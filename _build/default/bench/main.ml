@@ -1,0 +1,328 @@
+(* Benchmark harness: regenerates every table of the paper's evaluation
+   (§5).  Absolute times differ from the authors' Xeon workstation — the
+   solver substrate here is this repository's own CDCL/bit-blasting stack —
+   but the comparisons the paper draws are preserved: which configurations
+   complete, their relative order, and the effect of the per-instruction
+   optimization (see EXPERIMENTS.md).
+
+     dune exec bench/main.exe              -- everything
+     dune exec bench/main.exe -- table1    -- synthesis times (paper Table 1)
+     dune exec bench/main.exe -- table2    -- design sizes (paper Table 2)
+     dune exec bench/main.exe -- table3    -- constant-time study (paper §5.2)
+     dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
+     dune exec bench/main.exe -- ablation  -- engine ablations (DESIGN.md §5)
+
+   The monolithic ("no instruction-independence") experiments run under a
+   wall-clock deadline; exceeding it reports Timeout, reproducing the
+   paper's RV32I-monolithic row. *)
+
+let deadline = ref 60.0
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+type row_result =
+  | RSolved of Synth.Engine.solved * float
+  | RTimeout of float
+  | RFailed of string
+
+let run_problem ?(mode = Synth.Engine.Per_instruction) problem =
+  let options =
+    { Synth.Engine.default_options with
+      Synth.Engine.mode;
+      deadline_seconds = Some !deadline }
+  in
+  let outcome, dt = time (fun () -> Synth.Engine.synthesize ~options problem) in
+  match outcome with
+  | Synth.Engine.Solved s -> RSolved (s, dt)
+  | Synth.Engine.Timeout _ -> RTimeout dt
+  | Synth.Engine.Unrealizable { instr; _ } ->
+      RFailed (Printf.sprintf "unrealizable %s" (Option.value instr ~default:"?"))
+  | Synth.Engine.Union_failed { diagnostic; _ } -> RFailed diagnostic
+  | Synth.Engine.Not_independent _ -> RFailed "not independent" 
+
+(* {1 Table 1: control logic synthesis times} *)
+
+let table1 () =
+  print_endline "";
+  print_endline "Table 1: control logic synthesis over all case studies";
+  print_endline "(+ = monolithic, i.e. without the instruction-independence";
+  Printf.printf "optimization; timeout = %.0fs wall clock)\n" !deadline;
+  print_endline "";
+  Printf.printf "%-19s %-14s %10s %19s\n" "Design" "Variant" "Sketch LoC"
+    "Synthesis Time (s)";
+  print_endline (String.make 66 '-');
+  let row design variant problem mode =
+    let loc = Oyster.Printer.loc problem.Synth.Engine.design in
+    Printf.printf "%-19s %-14s %10d %!" design variant loc;
+    match run_problem ~mode problem with
+    | RSolved (_, dt) -> Printf.printf "%19.1f\n%!" dt
+    | RTimeout _ -> Printf.printf "%19s\n%!" "Timeout"
+    | RFailed msg -> Printf.printf "%19s\n%!" ("FAILED: " ^ msg)
+  in
+  row "AES Accelerator" "-" (Designs.Aes.problem ()) Synth.Engine.Per_instruction;
+  row "AES Accelerator+" "-" (Designs.Aes.problem ()) Synth.Engine.Monolithic;
+  List.iter
+    (fun v ->
+      row "Single-Cycle Core" (Isa.Rv32.variant_name v)
+        (Designs.Riscv_single.problem v)
+        Synth.Engine.Per_instruction)
+    [ Isa.Rv32.RV32I; Isa.Rv32.RV32I_Zbkb; Isa.Rv32.RV32I_Zbkc ];
+  row "Single-Cycle Core+" "RV32I"
+    (Designs.Riscv_single.problem Isa.Rv32.RV32I)
+    Synth.Engine.Monolithic;
+  List.iter
+    (fun v ->
+      row "Two-Stage Core" (Isa.Rv32.variant_name v)
+        (Designs.Riscv_two_stage.problem v)
+        Synth.Engine.Per_instruction)
+    [ Isa.Rv32.RV32I; Isa.Rv32.RV32I_Zbkb; Isa.Rv32.RV32I_Zbkc ];
+  row "Crypto Core" "CMOV ISA" (Designs.Crypto_core.problem ())
+    Synth.Engine.Per_instruction;
+  (* beyond the paper: the M standard extension (multiply/divide units) *)
+  row "Single-Cycle Core" "RV32I + M*"
+    (Designs.Riscv_single.problem Isa.Rv32.RV32I_M)
+    Synth.Engine.Per_instruction;
+  print_endline "(* = beyond the paper's variants: the RISC-V M extension)"
+
+(* {1 Table 2: size of generated control vs hand-written reference} *)
+
+let table2 () =
+  print_endline "";
+  print_endline "Table 2: size of designs with generated control logic compared";
+  print_endline "to a hand-written reference (single-cycle core)";
+  print_endline "";
+  Printf.printf "%-14s %9s %9s | %10s %10s %10s %10s\n" "Variant" "HDL(ref)"
+    "HDL(gen)" "Gates(ref)" "Gates(gen)" "Gates(opt)" "ref(opt)";
+  print_endline (String.make 82 '-');
+  List.iter
+    (fun v ->
+      let refd = Designs.Riscv_single.reference_design v in
+      let ref_loc =
+        Hdl.Pyrtl.bindings_loc (Designs.Riscv_single.reference_bindings v)
+      in
+      match run_problem (Designs.Riscv_single.problem v) with
+      | RSolved (s, _) ->
+          let gen_loc =
+            Hdl.Pyrtl.generated_loc ~pre_exprs:s.Synth.Engine.pre_exprs
+              ~per_instr:s.Synth.Engine.per_instr ~shared:s.Synth.Engine.shared
+          in
+          let nr = Netlist.of_design ~optimize:false refd in
+          let ng = Netlist.of_design ~optimize:false s.Synth.Engine.completed in
+          let no = Netlist.of_design ~optimize:true s.Synth.Engine.completed in
+          let nro = Netlist.of_design ~optimize:true refd in
+          Printf.printf "%-14s %9d %9d | %10d %10d %10d %10d\n%!"
+            (Isa.Rv32.variant_name v) ref_loc gen_loc nr.Netlist.total_gates
+            ng.Netlist.total_gates no.Netlist.total_gates nro.Netlist.total_gates
+      | RTimeout _ | RFailed _ ->
+          Printf.printf "%-14s synthesis failed\n%!" (Isa.Rv32.variant_name v))
+    [ Isa.Rv32.RV32I; Isa.Rv32.RV32I_Zbkb; Isa.Rv32.RV32I_Zbkc ];
+  print_endline "";
+  print_endline "HDL = control logic lines (PyRTL rendering); Gates = combinational";
+  print_endline "cells after compiling the whole core (register file materialized,";
+  print_endline "instruction/data memories as ports); opt = structural hashing +";
+  print_endline "algebraic rewrites + dead-gate elimination (the Yosys stand-in)."
+
+(* {1 Table 3: the constant-time cryptography study (paper §5.2)} *)
+
+let table3 () =
+  print_endline "";
+  print_endline "Table 3 (paper section 5.2): SHA-256 on the constant-time crypto";
+  print_endline "core; cycle counts must be independent of the input, and the";
+  print_endline "synthesized control must match the hand-written reference.";
+  print_endline "";
+  match run_problem (Designs.Crypto_core.problem ()) with
+  | RSolved (s, dt) ->
+      Printf.printf "control synthesis: %.1fs\n\n" dt;
+      let program = Sha_program.generate () in
+      let halt_pc = 4 * (List.length program - 1) in
+      Printf.printf "SHA-256 program: %d instructions\n\n" (List.length program);
+      Printf.printf "%6s %18s %18s %8s\n" "len" "cycles(generated)"
+        "cycles(reference)" "digest";
+      print_endline (String.make 56 '-');
+      let refd = Designs.Crypto_core.reference_design () in
+      let run design msg =
+        let r =
+          Designs.Testbench.run_core design ~program
+            ~dmem_init:(Sha_program.pack_input msg) ~halt_pc ~max_cycles:20000
+        in
+        let digest =
+          Sha_program.read_digest (fun a ->
+              Designs.Testbench.core_dmem r.Designs.Testbench.state a)
+        in
+        let hex =
+          String.concat ""
+            (Array.to_list (Array.map (Printf.sprintf "%08x") digest))
+        in
+        (Option.get r.Designs.Testbench.cycles_to_halt, hex)
+      in
+      List.iter
+        (fun len ->
+          let msg = String.init len (fun i -> Char.chr (33 + (i * 11 mod 90))) in
+          let cg, hg = run s.Synth.Engine.completed msg in
+          let cr, hr = run refd msg in
+          let ok = hg = Sha256.digest_hex msg && hr = hg && cg = cr in
+          Printf.printf "%6d %18d %18d %8s\n%!" len cg cr
+            (if ok then "OK" else "MISMATCH"))
+        [ 4; 8; 12; 16; 20; 24; 28; 32 ]
+  | RTimeout _ | RFailed _ -> print_endline "crypto core synthesis failed"
+
+(* {1 Ablations (DESIGN.md section 5)} *)
+
+let ablation () =
+  print_endline "";
+  print_endline "Ablation: per-instruction vs monolithic CEGIS on the RV32I";
+  print_endline "single-cycle core, plus the instruction-independence checks.";
+  print_endline "";
+  let problem = Designs.Riscv_single.problem Isa.Rv32.RV32I in
+  (match run_problem problem with
+  | RSolved (s, dt) ->
+      Printf.printf
+        "per-instruction: %.2fs, %d CEGIS rounds, %d solver queries, %d conflicts\n"
+        dt s.Synth.Engine.stats.Synth.Engine.iterations
+        s.Synth.Engine.stats.Synth.Engine.queries
+        s.Synth.Engine.stats.Synth.Engine.conflicts
+  | _ -> print_endline "per-instruction failed");
+  (match
+     run_problem ~mode:Synth.Engine.Monolithic
+       (Designs.Riscv_single.problem Isa.Rv32.RV32I)
+   with
+  | RSolved (_, dt) -> Printf.printf "monolithic:      %.2fs\n" dt
+  | RTimeout dt -> Printf.printf "monolithic:      Timeout after %.1fs\n" dt
+  | RFailed m -> Printf.printf "monolithic:      failed (%s)\n" m);
+  let trace =
+    Oyster.Symbolic.eval problem.Synth.Engine.design
+      ~cycles:problem.Synth.Engine.af.Ila.Absfun.cycles
+  in
+  let conds =
+    Ila.Conditions.compile problem.Synth.Engine.spec problem.Synth.Engine.af trace
+  in
+  let excl, dt = time (fun () -> Synth.Independence.check_mutual_exclusion conds) in
+  Printf.printf
+    "mutual exclusion: %d instruction pairs checked in %.2fs, %d overlaps\n"
+    (List.length conds * (List.length conds - 1) / 2)
+    dt
+    (List.length excl.Synth.Independence.overlapping);
+  let fb = Synth.Independence.check_no_feedback problem.Synth.Engine.design in
+  Printf.printf "control feedback paths: %d\n"
+    (List.length fb.Synth.Independence.feedback_paths);
+  (* verification-only cost: checking the hand-written reference control *)
+  let vproblem =
+    { problem with
+      Synth.Engine.design = Designs.Riscv_single.reference_design Isa.Rv32.RV32I }
+  in
+  let results, dt = time (fun () -> Synth.Engine.verify vproblem) in
+  Printf.printf "verify reference control: %d/%d instructions in %.2fs\n"
+    (List.length
+       (List.filter (fun (_, v) -> v = Synth.Engine.Verified) results))
+    (List.length results) dt;
+  (* don't-care minimization (the section-5.3 "optimal control" direction) *)
+  match run_problem problem with
+  | RSolved (s, _) ->
+      let before_loc = Hdl.Pyrtl.bindings_loc s.Synth.Engine.bindings in
+      let before_gates =
+        (Netlist.of_design ~optimize:true s.Synth.Engine.completed).Netlist.total_gates
+      in
+      let m = Synth.Minimize.run problem s in
+      let s' = m.Synth.Minimize.solved in
+      Printf.printf
+        "don't-care minimization: %.2fs, %d checks, %d merges; control loc %d -> %d; gates(opt) %d -> %d\n"
+        m.Synth.Minimize.minimize_stats.Synth.Minimize.wall_seconds
+        m.Synth.Minimize.minimize_stats.Synth.Minimize.checks
+        m.Synth.Minimize.minimize_stats.Synth.Minimize.merged before_loc
+        (Hdl.Pyrtl.bindings_loc s'.Synth.Engine.bindings)
+        before_gates
+        (Netlist.of_design ~optimize:true s'.Synth.Engine.completed).Netlist.total_gates
+  | _ -> print_endline "minimization skipped (synthesis failed)" 
+
+(* {1 Micro-benchmarks (Bechamel)} *)
+
+let micro () =
+  print_endline "";
+  print_endline "Micro-benchmarks (Bechamel; one representative workload per table)";
+  let open Bechamel in
+  let bv_a = Bitvec.of_string "128'xdeadbeefcafebabe0123456789abcdef" in
+  let bv_b = Bitvec.of_string "128'x0f1e2d3c4b5a69788796a5b4c3d2e1f0" in
+  let accumulator_problem = Designs.Accumulator.problem () in
+  let tests =
+    [ Test.make ~name:"bitvec-mul-128" (Staged.stage (fun () -> Bitvec.mul bv_a bv_b));
+      Test.make ~name:"bitvec-clmul-128"
+        (Staged.stage (fun () -> Bitvec.clmul bv_a bv_b));
+      Test.make ~name:"term-build-adder"
+        (Staged.stage (fun () ->
+             let x = Term.var "mb_x" 32 and y = Term.var "mb_y" 32 in
+             Term.eq (Term.add x y) (Term.add y x)));
+      (* table1 representative: one full synthesis of the Fig. 3 machine *)
+      Test.make ~name:"table1-accumulator-synthesis"
+        (Staged.stage (fun () ->
+             match Synth.Engine.synthesize accumulator_problem with
+             | Synth.Engine.Solved _ -> ()
+             | _ -> failwith "accumulator synthesis failed"));
+      (* table2 representative: netlist compilation of the ALU machine *)
+      Test.make ~name:"table2-netlist-alu"
+        (Staged.stage (fun () ->
+             ignore
+               (Netlist.of_design ~optimize:true (Designs.Alu.reference_design ()))));
+      (* table3 representative: one simulated core cycle *)
+      Test.make ~name:"table3-core-cycle"
+        (Staged.stage
+           (let design = Designs.Crypto_core.reference_design () in
+            let st =
+              Designs.Testbench.load_core design
+                ~program:[ Bitvec.of_int ~width:32 0x13 ]
+                ~dmem_init:[]
+            in
+            fun () -> ignore (Oyster.Interp.step st)))
+    ]
+  in
+  List.iter
+    (fun t ->
+      let instances = [ Toolkit.Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.8) () in
+      let results = Benchmark.all cfg instances t in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+      in
+      let a = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ v ] -> Printf.printf "%-32s %12.0f ns/run\n%!" name v
+          | _ -> Printf.printf "%-32s (no estimate)\n%!" name)
+        a)
+    tests
+
+(* {1 Driver} *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args =
+    List.filter_map
+      (fun a ->
+        match String.index_opt a '=' with
+        | Some i when String.sub a 0 i = "--deadline" ->
+            deadline :=
+              float_of_string (String.sub a (i + 1) (String.length a - i - 1));
+            None
+        | _ -> Some a)
+      args
+  in
+  let all () =
+    table1 ();
+    table2 ();
+    table3 ();
+    ablation ()
+  in
+  match args with
+  | [] | [ "all" ] -> all ()
+  | [ "table1" ] -> table1 ()
+  | [ "table2" ] -> table2 ()
+  | [ "table3" ] -> table3 ()
+  | [ "ablation" ] -> ablation ()
+  | [ "micro" ] -> micro ()
+  | _ ->
+      prerr_endline
+        "usage: main.exe [all|table1|table2|table3|ablation|micro] [--deadline=SECONDS]";
+      exit 1

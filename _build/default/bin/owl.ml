@@ -1,0 +1,444 @@
+(* owl — the command-line driver for the control logic synthesis toolchain.
+
+     owl list                         show the bundled case studies
+     owl print -d <design>           print a sketch as textual Oyster
+     owl synth -d <design> [...]     synthesize control logic
+     owl check <file.oyster>         parse + typecheck a textual design
+     owl netlist <file.oyster>       gate counts for a hole-free design
+     owl sim <file.oyster> -n N      simulate N cycles (inputs forced to 0) *)
+
+open Cmdliner
+
+(* {1 The case-study registry} *)
+
+type entry = {
+  description : string;
+  problem : unit -> Synth.Engine.problem;
+  reference : (unit -> Oyster.Ast.design) option;
+}
+
+let registry : (string * entry) list =
+  [ ("accumulator",
+     { description = "FSM accumulator machine (paper Fig. 3)";
+       problem = Designs.Accumulator.problem;
+       reference = Some Designs.Accumulator.reference_design });
+    ("alu",
+     { description = "three-stage pipelined ALU machine (paper Fig. 2)";
+       problem = Designs.Alu.problem;
+       reference = Some Designs.Alu.reference_design });
+    ("rv32-single",
+     { description = "single-cycle RV32I core (paper 4.1.1)";
+       problem = (fun () -> Designs.Riscv_single.problem Isa.Rv32.RV32I);
+       reference = Some (fun () -> Designs.Riscv_single.reference_design Isa.Rv32.RV32I) });
+    ("rv32-single-zbkb",
+     { description = "single-cycle RV32I+Zbkb core";
+       problem = (fun () -> Designs.Riscv_single.problem Isa.Rv32.RV32I_Zbkb);
+       reference =
+         Some (fun () -> Designs.Riscv_single.reference_design Isa.Rv32.RV32I_Zbkb) });
+    ("rv32-single-m",
+     { description = "single-cycle RV32I+M core (multiply/divide; beyond the paper)";
+       problem = (fun () -> Designs.Riscv_single.problem Isa.Rv32.RV32I_M);
+       reference =
+         Some (fun () -> Designs.Riscv_single.reference_design Isa.Rv32.RV32I_M) });
+    ("rv32-single-zbkc",
+     { description = "single-cycle RV32I+Zbkb+Zbkc core";
+       problem = (fun () -> Designs.Riscv_single.problem Isa.Rv32.RV32I_Zbkc);
+       reference =
+         Some (fun () -> Designs.Riscv_single.reference_design Isa.Rv32.RV32I_Zbkc) });
+    ("rv32-two-stage",
+     { description = "two-stage pipelined RV32I core (paper 4.1.2)";
+       problem = (fun () -> Designs.Riscv_two_stage.problem Isa.Rv32.RV32I);
+       reference =
+         Some (fun () -> Designs.Riscv_two_stage.reference_design Isa.Rv32.RV32I) });
+    ("crypto-core",
+     { description = "three-stage constant-time cryptography core (paper 4.2)";
+       problem = Designs.Crypto_core.problem;
+       reference = Some Designs.Crypto_core.reference_design });
+    ("aes",
+     { description = "AES-128 hardware accelerator (paper 4.3)";
+       problem = Designs.Aes.problem;
+       reference = Some Designs.Aes.reference_design });
+    ("gcd",
+     { description = "GCD accelerator (FSM with data-dependent decode)";
+       problem = Designs.Gcd.problem;
+       reference = Some Designs.Gcd.reference_design })
+  ]
+
+let lookup name =
+  match List.assoc_opt name registry with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf "unknown design %S; try `owl list'" name)
+
+(* {1 Commands} *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (name, e) -> Printf.printf "%-18s %s\n" name e.description)
+      registry
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the bundled case-study designs")
+    Term.(const run $ const ())
+
+let design_arg =
+  let doc = "Case-study design name (see `owl list')." in
+  Arg.(required & opt (some string) None & info [ "d"; "design" ] ~docv:"NAME" ~doc)
+
+let print_cmd =
+  let reference =
+    Arg.(value & flag & info [ "reference" ] ~doc:"Print the hand-written reference design instead of the sketch.")
+  in
+  let run name reference =
+    match lookup name with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok e ->
+        let d =
+          if reference then
+            match e.reference with
+            | Some f -> f ()
+            | None ->
+                prerr_endline "no reference design registered";
+                exit 1
+          else (e.problem ()).Synth.Engine.design
+        in
+        print_string (Oyster.Printer.design_to_string d)
+  in
+  Cmd.v (Cmd.info "print" ~doc:"Print a design as textual Oyster IR")
+    Term.(const run $ design_arg $ reference)
+
+let synth_cmd =
+  let monolithic =
+    Arg.(value & flag
+         & info [ "monolithic" ]
+             ~doc:"Disable the per-instruction optimization (paper 3.3.1).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock timeout.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the completed design (Oyster text) to $(docv).")
+  in
+  let pyrtl =
+    Arg.(value & flag
+         & info [ "pyrtl" ] ~doc:"Print the generated control logic PyRTL-style (paper Fig. 7).")
+  in
+  let run name monolithic deadline output pyrtl =
+    match lookup name with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok e -> (
+        let options =
+          { Synth.Engine.default_options with
+            Synth.Engine.mode =
+              (if monolithic then Synth.Engine.Monolithic
+               else Synth.Engine.Per_instruction);
+            deadline_seconds = deadline }
+        in
+        match Synth.Engine.synthesize ~options (e.problem ()) with
+        | Synth.Engine.Solved s ->
+            Printf.printf
+              "solved in %.2fs: %d CEGIS rounds, %d solver queries, %d conflicts\n"
+              s.Synth.Engine.stats.Synth.Engine.wall_seconds
+              s.Synth.Engine.stats.Synth.Engine.iterations
+              s.Synth.Engine.stats.Synth.Engine.queries
+              s.Synth.Engine.stats.Synth.Engine.conflicts;
+            if pyrtl then begin
+              print_endline "";
+              print_string
+                (Hdl.Pyrtl.generated_to_string ~pre_exprs:s.Synth.Engine.pre_exprs
+                   ~per_instr:s.Synth.Engine.per_instr
+                   ~shared:s.Synth.Engine.shared)
+            end;
+            (match output with
+            | Some file ->
+                let oc = open_out file in
+                output_string oc
+                  (Oyster.Printer.design_to_string s.Synth.Engine.completed);
+                close_out oc;
+                Printf.printf "completed design written to %s\n" file
+            | None -> ())
+        | Synth.Engine.Timeout st ->
+            Printf.printf "timeout after %.1fs (%d conflicts)\n"
+              st.Synth.Engine.wall_seconds st.Synth.Engine.conflicts;
+            exit 2
+        | Synth.Engine.Unrealizable { instr; _ } ->
+            Printf.printf "unrealizable: no control logic satisfies %s\n"
+              (Option.value instr ~default:"the specification");
+            exit 3
+        | Synth.Engine.Union_failed { diagnostic; _ } ->
+            Printf.printf "union failed: %s\n" diagnostic;
+            exit 4
+        | Synth.Engine.Not_independent { overlapping; feedback; _ } ->
+            Printf.printf
+              "instruction independence fails: %d overlapping pairs, %d feedback paths\n"
+              (List.length overlapping) (List.length feedback);
+            exit 5)
+  in
+  Cmd.v
+    (Cmd.info "synth" ~doc:"Synthesize control logic for a case-study design")
+    Term.(const run $ design_arg $ monolithic $ deadline $ output $ pyrtl)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oyster")
+
+let parse_file file =
+  let ic = open_in file in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  Oyster.Parser.parse_design src
+
+let check_cmd =
+  let run file =
+    match parse_file file with
+    | exception Oyster.Parser.Parse_error m ->
+        Printf.eprintf "parse error: %s\n" m;
+        exit 1
+    | d -> (
+        match Oyster.Typecheck.check d with
+        | exception Oyster.Typecheck.Type_error m ->
+            Printf.eprintf "type error: %s\n" m;
+            exit 1
+        | _ ->
+            Printf.printf
+              "%s: ok (%d declarations, %d statements, %d holes, %d LoC)\n"
+              d.Oyster.Ast.name
+              (List.length d.Oyster.Ast.decls)
+              (List.length d.Oyster.Ast.stmts)
+              (List.length (Oyster.Ast.holes d))
+              (Oyster.Printer.loc d))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and typecheck a textual Oyster design")
+    Term.(const run $ file_arg)
+
+let netlist_cmd =
+  let optimize =
+    Arg.(value & flag & info [ "optimize" ] ~doc:"Apply the logic optimizer.")
+  in
+  let run file optimize =
+    let d = parse_file file in
+    let c = Netlist.of_design ~optimize d in
+    Printf.printf "and %d  or %d  xor %d  not %d  mux %d  | gates %d  dffs %d\n"
+      c.Netlist.ands c.Netlist.ors c.Netlist.xors c.Netlist.nots c.Netlist.muxes
+      c.Netlist.total_gates c.Netlist.dffs
+  in
+  Cmd.v
+    (Cmd.info "netlist" ~doc:"Compile a hole-free design to gates and count them")
+    Term.(const run $ file_arg $ optimize)
+
+let cosim_cmd =
+  (* co-simulate a synthesized core against the ISS on random programs *)
+  let seeds =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of random programs.")
+  in
+  let run name seeds =
+    let variant, problem =
+      match name with
+      | "rv32-single" -> (Some Isa.Rv32.RV32I, Designs.Riscv_single.problem Isa.Rv32.RV32I)
+      | "rv32-single-zbkb" ->
+          (Some Isa.Rv32.RV32I_Zbkb, Designs.Riscv_single.problem Isa.Rv32.RV32I_Zbkb)
+      | "rv32-single-zbkc" ->
+          (Some Isa.Rv32.RV32I_Zbkc, Designs.Riscv_single.problem Isa.Rv32.RV32I_Zbkc)
+      | "rv32-two-stage" ->
+          (Some Isa.Rv32.RV32I, Designs.Riscv_two_stage.problem Isa.Rv32.RV32I)
+      | "crypto-core" -> (None, Designs.Crypto_core.problem ())
+      | _ ->
+          prerr_endline "cosim supports the RISC-V cores and crypto-core";
+          exit 1
+    in
+    match Synth.Engine.synthesize problem with
+    | Synth.Engine.Solved s ->
+        Printf.printf "synthesized in %.2fs; co-simulating %d random programs...\n%!"
+          s.Synth.Engine.stats.Synth.Engine.wall_seconds seeds;
+        let failures = ref 0 in
+        for seed = 1 to seeds do
+          let rng = Random.State.make [| seed; 4096 |] in
+          let profile, variant', cmov =
+            match variant with
+            | Some v -> (`Standard, v, false)
+            | None -> (`Cmov, Isa.Rv32.RV32I_Zbkb, true)
+          in
+          let program = Designs.Testbench.random_program ~profile rng variant' ~len:40 in
+          let dmem_init =
+            List.init 32 (fun i ->
+                (i, Bitvec.of_bits (Array.init 32 (fun _ -> Random.State.bool rng))))
+          in
+          let halt_pc = 4 * (List.length program - 1) in
+          let core =
+            Designs.Testbench.run_core s.Synth.Engine.completed ~program ~dmem_init
+              ~halt_pc ~max_cycles:2000
+          in
+          let _, iss =
+            Designs.Testbench.run_iss ~cmov variant' ~program ~dmem_init
+              ~max_cycles:2000
+          in
+          let ok = ref (core.Designs.Testbench.cycles_to_halt <> None) in
+          for r = 0 to 31 do
+            if
+              not
+                (Bitvec.equal
+                   (Designs.Testbench.core_reg core.Designs.Testbench.state r)
+                   (Isa.Iss.get_reg iss r))
+            then ok := false
+          done;
+          Printf.printf "  seed %2d: %s\n%!" seed (if !ok then "OK" else "MISMATCH");
+          if not !ok then incr failures
+        done;
+        if !failures > 0 then exit 1
+    | _ ->
+        prerr_endline "synthesis failed";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "cosim"
+       ~doc:"Synthesize a core and co-simulate it against the ISS oracle")
+    Term.(const run $ design_arg $ seeds)
+
+let independence_cmd =
+  let run name =
+    match lookup name with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok e ->
+        let problem = e.problem () in
+        let trace =
+          Oyster.Symbolic.eval problem.Synth.Engine.design
+            ~cycles:problem.Synth.Engine.af.Ila.Absfun.cycles
+        in
+        let conds =
+          Ila.Conditions.compile problem.Synth.Engine.spec problem.Synth.Engine.af
+            trace
+        in
+        let excl = Synth.Independence.check_mutual_exclusion conds in
+        let fb = Synth.Independence.check_no_feedback problem.Synth.Engine.design in
+        let n = List.length conds in
+        Printf.printf "%d instructions, %d precondition pairs checked\n" n
+          (n * (n - 1) / 2);
+        (match excl.Synth.Independence.overlapping with
+        | [] -> print_endline "mutually exclusive preconditions: yes"
+        | l ->
+            Printf.printf "OVERLAPPING pairs: %s\n"
+              (String.concat ", "
+                 (List.map (fun (a, b) -> a ^ "/" ^ b) l)));
+        (match fb.Synth.Independence.feedback_paths with
+        | [] -> print_endline "no control feedback: yes"
+        | l ->
+            List.iter
+              (fun (src, wire, dst) ->
+                Printf.printf "FEEDBACK: hole %s -> wire %s -> hole %s\n" src wire dst)
+              l);
+        if
+          excl.Synth.Independence.overlapping <> []
+          || fb.Synth.Independence.feedback_paths <> []
+        then exit 1
+  in
+  Cmd.v
+    (Cmd.info "independence"
+       ~doc:"Check the instruction-independence conditions (paper 3.3.1)")
+    Term.(const run $ design_arg)
+
+let verify_cmd =
+  (* verify the hand-written reference control against the specification *)
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock bound per query.")
+  in
+  let run name deadline =
+    match lookup name with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok e -> (
+        match e.reference with
+        | None ->
+            prerr_endline "no reference design registered";
+            exit 1
+        | Some f ->
+            let problem = e.problem () in
+            let problem = { problem with Synth.Engine.design = f () } in
+            let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline in
+            let results = Synth.Engine.verify ?deadline problem in
+            let bad = ref 0 in
+            List.iter
+              (fun (iname, verdict) ->
+                match verdict with
+                | Synth.Engine.Verified -> Printf.printf "  %-20s verified\n" iname
+                | Synth.Engine.Violated _ ->
+                    incr bad;
+                    Printf.printf "  %-20s VIOLATED\n" iname
+                | Synth.Engine.Inconclusive ->
+                    incr bad;
+                    Printf.printf "  %-20s inconclusive (budget)\n" iname)
+              results;
+            Printf.printf "%d/%d instructions verified\n"
+              (List.length results - !bad)
+              (List.length results);
+            if !bad > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Formally verify the hand-written reference control against the ILA specification")
+    Term.(const run $ design_arg $ deadline)
+
+let verilog_cmd =
+  let run file =
+    let d = parse_file file in
+    print_string (Hdl.Verilog.of_design d)
+  in
+  Cmd.v
+    (Cmd.info "verilog" ~doc:"Emit a hole-free design as Verilog-2001")
+    Term.(const run $ file_arg)
+
+let sim_cmd =
+  let cycles =
+    Arg.(value & opt int 10 & info [ "n"; "cycles" ] ~docv:"N" ~doc:"Cycles to run.")
+  in
+  let vcd =
+    Arg.(value & opt (some string) None
+         & info [ "vcd" ] ~docv:"FILE" ~doc:"Write a waveform dump to $(docv).")
+  in
+  let run file cycles vcd =
+    let d = parse_file file in
+    ignore (Oyster.Typecheck.check d);
+    let st = Oyster.Interp.init d in
+    let recorder = Oyster.Vcd.create d in
+    for c = 1 to cycles do
+      let r = Oyster.Interp.step ~inputs:(fun _ w -> Bitvec.zero w) st in
+      Oyster.Vcd.sample recorder st r;
+      Printf.printf "cycle %3d:" c;
+      List.iter
+        (fun (n, v) -> Printf.printf " %s=%s" n (Bitvec.to_string v))
+        r.Oyster.Interp.outputs;
+      print_newline ()
+    done;
+    match vcd with
+    | Some file ->
+        let oc = open_out file in
+        output_string oc (Oyster.Vcd.to_string recorder);
+        close_out oc;
+        Printf.printf "waveforms written to %s\n" file
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:"Simulate a hole-free design with all inputs forced to zero")
+    Term.(const run $ file_arg $ cycles $ vcd)
+
+let () =
+  let info =
+    Cmd.info "owl" ~version:"1.0.0"
+      ~doc:"Control logic synthesis: drawing the rest of the OWL"
+  in
+  exit (Cmd.eval (Cmd.group info
+       [ list_cmd; print_cmd; synth_cmd; cosim_cmd; independence_cmd;
+         verify_cmd; check_cmd; netlist_cmd; verilog_cmd; sim_cmd ]))

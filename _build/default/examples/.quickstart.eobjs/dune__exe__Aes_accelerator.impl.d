@@ -1,0 +1,1 @@
+examples/aes_accelerator.ml: Array Bitvec Designs Hdl List Printf Random Synth

@@ -1,0 +1,1 @@
+examples/alu_pipeline.ml: Bitvec Designs Hdl List Oyster Printf Synth

@@ -1,0 +1,1 @@
+examples/constant_time_sha.ml: Array Designs List Option Printf Sha256 Sha_program String Synth

@@ -1,0 +1,1 @@
+examples/custom_instruction.ml: Bitvec Designs Hdl Ila Isa List Option Printf Synth

@@ -1,0 +1,1 @@
+examples/gcd_accelerator.ml: Bitvec Designs List Printf String Synth

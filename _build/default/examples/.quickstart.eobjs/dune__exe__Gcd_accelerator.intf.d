@@ -1,0 +1,1 @@
+examples/gcd_accelerator.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitvec Designs List Oyster Printf Synth

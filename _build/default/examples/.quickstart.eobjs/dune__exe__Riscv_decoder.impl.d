@@ -1,0 +1,1 @@
+examples/riscv_decoder.ml: Array Bitvec Designs Hdl Isa List Option Oyster Printf Synth Sys

@@ -1,0 +1,72 @@
+(* The three-stage ALU machine of paper §2.2 (Fig. 2): decoder-style
+   control over a pipelined datapath.
+
+     dune exec examples/alu_pipeline.exe
+
+   The abstraction function is the one shown in §3.2 — inputs read at time
+   step 1, the register file read at 1 and written at 3, evaluated for
+   3 cycles — plus the pipeline-empty assumptions. *)
+
+let () =
+  print_endline "== Datapath sketch (three pipeline stages, two holes) ==";
+  print_string (Oyster.Printer.design_to_string (Designs.Alu.sketch ()));
+  print_endline "";
+  match Synth.Engine.synthesize (Designs.Alu.problem ()) with
+  | Synth.Engine.Solved s ->
+      Printf.printf "solved in %.3fs\n\n" s.Synth.Engine.stats.Synth.Engine.wall_seconds;
+      print_endline "per-instruction control values:";
+      List.iter
+        (fun (i, holes) ->
+          Printf.printf "  %-4s: alu_sel=%s reg_we=%s\n" i
+            (Bitvec.to_string (List.assoc "alu_sel" holes))
+            (Bitvec.to_string (List.assoc "reg_we" holes)))
+        s.Synth.Engine.per_instr;
+      print_endline "";
+      print_endline "control union output (the filled holes):";
+      List.iter
+        (fun (h, e) ->
+          Printf.printf "  %s <<= %s\n" h (Hdl.Pyrtl.expr_to_string e))
+        s.Synth.Engine.bindings;
+      print_endline "";
+      print_endline "== Driving the pipeline: regs = [10; 20; 30; 40] ==";
+      let st =
+        Oyster.Interp.init
+          ~mem_init:(fun _ _ _ addr ->
+            Bitvec.of_int ~width:8 (10 * (Bitvec.to_int_exn addr + 1)))
+          s.Synth.Engine.completed
+      in
+      (* issue ADD r3 <- r0 + r1 ; SUB r2 <- r3 - r0 ; XOR r1 <- r2 ^ r2 *)
+      let ops =
+        [ (1, 3, 0, 1);  (* regs[3] := 10 + 20 = 30 *)
+          (2, 2, 3, 0);  (* regs[2] := regs[3] - 10; note regs[3] is still
+                            in flight: the ALU machine has no forwarding,
+                            so this reads the OLD regs[3] = 40 -> 30 *)
+          (3, 1, 2, 2);  (* regs[1] := r2 ^ r2 = 0 *)
+          (0, 0, 0, 0); (0, 0, 0, 0); (0, 0, 0, 0) ]
+      in
+      List.iter
+        (fun (op, dest, src1, src2) ->
+          ignore
+            (Oyster.Interp.step
+               ~inputs:(fun name _ ->
+                 match name with
+                 | "op" -> Bitvec.of_int ~width:2 op
+                 | "dest" -> Bitvec.of_int ~width:2 dest
+                 | "src1" -> Bitvec.of_int ~width:2 src1
+                 | "src2" -> Bitvec.of_int ~width:2 src2
+                 | _ -> assert false)
+               st))
+        ops;
+      for r = 0 to 3 do
+        Printf.printf "  regs[%d] = %s\n" r
+          (Bitvec.to_string
+             (Oyster.Interp.read_mem st "regfile" (Bitvec.of_int ~width:2 r)))
+      done;
+      print_endline "";
+      print_endline
+        "(regs[1..3] are as computed; regs[0] is the drain target of the op=0";
+      print_endline
+        " padding issues — op=0 decodes no specification instruction, so its";
+      print_endline
+        " control is unconstrained, exactly as in the paper's formulation.)"
+  | _ -> prerr_endline "synthesis failed"

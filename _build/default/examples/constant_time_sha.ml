@@ -1,0 +1,54 @@
+(* The constant-time cryptography study of paper §5.2: synthesize the
+   bespoke three-stage core (RV32I+Zbkb without conditional branches, plus
+   CMOV), run a branch-free SHA-256 program for inputs of varying length,
+   and confirm that the cycle count never changes.
+
+     dune exec examples/constant_time_sha.exe *)
+
+let () =
+  print_endline "Synthesizing control for the constant-time crypto core...";
+  match Synth.Engine.synthesize (Designs.Crypto_core.problem ()) with
+  | Synth.Engine.Solved s ->
+      Printf.printf "solved in %.2fs\n\n" s.Synth.Engine.stats.Synth.Engine.wall_seconds;
+      let program = Sha_program.generate () in
+      let halt_pc = 4 * (List.length program - 1) in
+      Printf.printf "branch-free SHA-256 program: %d instructions\n\n"
+        (List.length program);
+      Printf.printf "%-34s %5s %9s %8s\n" "input" "bytes" "cycles" "digest";
+      print_endline (String.make 60 '-');
+      let baseline = ref None in
+      List.iter
+        (fun msg ->
+          let r =
+            Designs.Testbench.run_core s.Synth.Engine.completed ~program
+              ~dmem_init:(Sha_program.pack_input msg) ~halt_pc ~max_cycles:20000
+          in
+          let cycles = Option.get r.Designs.Testbench.cycles_to_halt in
+          let digest =
+            Sha_program.read_digest (fun a ->
+                Designs.Testbench.core_dmem r.Designs.Testbench.state a)
+          in
+          let hex =
+            String.concat ""
+              (Array.to_list (Array.map (Printf.sprintf "%08x") digest))
+          in
+          let constant =
+            match !baseline with
+            | None ->
+                baseline := Some cycles;
+                true
+            | Some c -> c = cycles
+          in
+          Printf.printf "%-34s %5d %9d %8s\n"
+            (if String.length msg <= 30 then Printf.sprintf "%S" msg
+             else Printf.sprintf "%S..." (String.sub msg 0 24))
+            (String.length msg) cycles
+            (if hex = Sha256.digest_hex msg && constant then "OK"
+             else "MISMATCH"))
+        [ "owl!"; "sketch"; "datapath"; "control logic"; "correct by constr.";
+          "drawing the rest of the owl!!"; String.make 32 'x' ];
+      print_endline "";
+      print_endline
+        "every row runs in the same number of cycles: the bespoke ISA has no";
+      print_endline "data-dependent control flow, so timing reveals nothing."
+  | _ -> prerr_endline "synthesis failed"

@@ -1,0 +1,499 @@
+(* Arbitrary-width bitvectors stored as LSB-first arrays of 31-bit limbs.
+   31-bit limbs keep every intermediate of schoolbook multiplication within
+   OCaml's 63-bit native int: (2^31-1)^2 + limb + carry = 2^62 - 1 = max_int. *)
+
+let limb_bits = 31
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = { w : int; limbs : int array }
+
+let width v = v.w
+
+let nlimbs_of_width w = (w + limb_bits - 1) / limb_bits
+
+let check_width w =
+  if w < 1 then invalid_arg (Printf.sprintf "Bitvec: width %d < 1" w)
+
+(* Mask the top limb so the representation is canonical. *)
+let canonicalize v =
+  let top = v.w mod limb_bits in
+  if top <> 0 then begin
+    let i = Array.length v.limbs - 1 in
+    v.limbs.(i) <- v.limbs.(i) land ((1 lsl top) - 1)
+  end;
+  v
+
+let make_raw w = { w; limbs = Array.make (nlimbs_of_width w) 0 }
+
+let zero w =
+  check_width w;
+  make_raw w
+
+let of_int ~width:w n =
+  check_width w;
+  let v = make_raw w in
+  let n = ref n in
+  (* Arithmetic shift propagates the sign, giving two's complement for
+     negative inputs once each limb is masked. *)
+  for i = 0 to Array.length v.limbs - 1 do
+    v.limbs.(i) <- !n land limb_mask;
+    n := !n asr limb_bits
+  done;
+  canonicalize v
+
+let of_int64 ~width:w n =
+  check_width w;
+  let v = make_raw w in
+  let n = ref n in
+  for i = 0 to Array.length v.limbs - 1 do
+    v.limbs.(i) <- Int64.to_int (Int64.logand !n (Int64.of_int limb_mask));
+    n := Int64.shift_right !n limb_bits
+  done;
+  canonicalize v
+
+let one w = of_int ~width:w 1
+
+let ones w =
+  check_width w;
+  let v = make_raw w in
+  Array.fill v.limbs 0 (Array.length v.limbs) limb_mask;
+  canonicalize v
+
+let bit v i =
+  if i < 0 || i >= v.w then
+    invalid_arg (Printf.sprintf "Bitvec.bit: index %d out of width %d" i v.w);
+  v.limbs.(i / limb_bits) lsr (i mod limb_bits) land 1 = 1
+
+let of_bits a =
+  let w = Array.length a in
+  check_width w;
+  let v = make_raw w in
+  Array.iteri
+    (fun i b ->
+      if b then
+        v.limbs.(i / limb_bits) <-
+          v.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits)))
+    a;
+  v
+
+let to_bits v = Array.init v.w (bit v)
+
+let is_zero v = Array.for_all (fun l -> l = 0) v.limbs
+
+let is_ones v =
+  let rec go i = if i >= v.w then true else bit v i && go (i + 1) in
+  go 0
+
+let to_int v =
+  (* The value fits in an OCaml int iff all bits at positions >= 62 are 0. *)
+  let fits = ref true in
+  for i = 62 to v.w - 1 do
+    if bit v i then fits := false
+  done;
+  if not !fits then None
+  else begin
+    let n = ref 0 in
+    for i = Array.length v.limbs - 1 downto 0 do
+      n := (!n lsl limb_bits) lor v.limbs.(i)
+    done;
+    Some !n
+  end
+
+let to_int_exn v =
+  match to_int v with
+  | Some n -> n
+  | None -> invalid_arg "Bitvec.to_int_exn: value exceeds int range"
+
+let to_int_trunc v =
+  let hi = min v.w 62 in
+  let n = ref 0 in
+  for i = hi - 1 downto 0 do
+    n := (!n lsl 1) lor (if bit v i then 1 else 0)
+  done;
+  !n
+
+let msb v = bit v (v.w - 1)
+
+let to_signed_int v =
+  if v.w <= 62 then begin
+    let n = to_int_trunc v in
+    Some (if msb v then n - (1 lsl v.w) else n)
+  end
+  else begin
+    (* Fits iff bits 62..w-1 all equal the sign interpretation of bit 62. *)
+    let sign = bit v (v.w - 1) in
+    let fits = ref true in
+    for i = 62 to v.w - 1 do
+      if bit v i <> sign then fits := false
+    done;
+    if not !fits then None
+    else begin
+      let n = ref 0 in
+      for i = 61 downto 0 do
+        n := (!n lsl 1) lor (if bit v i then 1 else 0)
+      done;
+      Some (if sign then !n - (1 lsl 62) else !n)
+    end
+  end
+
+let equal a b = a.w = b.w && a.limbs = b.limbs
+
+let compare a b =
+  let c = Stdlib.compare a.w b.w in
+  if c <> 0 then c
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else
+        let c = Stdlib.compare a.limbs.(i) b.limbs.(i) in
+        if c <> 0 then c else go (i - 1)
+    in
+    go (Array.length a.limbs - 1)
+  end
+
+let hash v = Hashtbl.hash (v.w, v.limbs)
+
+let check_same_width name a b =
+  if a.w <> b.w then
+    invalid_arg
+      (Printf.sprintf "Bitvec.%s: width mismatch (%d vs %d)" name a.w b.w)
+
+let ult a b =
+  check_same_width "ult" a b;
+  compare a b < 0
+
+let ule a b =
+  check_same_width "ule" a b;
+  compare a b <= 0
+
+let slt a b =
+  check_same_width "slt" a b;
+  match (msb a, msb b) with
+  | true, false -> true
+  | false, true -> false
+  | _ -> compare a b < 0
+
+let sle a b = equal a b || slt a b
+
+(* {1 Arithmetic} *)
+
+let add a b =
+  check_same_width "add" a b;
+  let r = make_raw a.w in
+  let carry = ref 0 in
+  for i = 0 to Array.length r.limbs - 1 do
+    let s = a.limbs.(i) + b.limbs.(i) + !carry in
+    r.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  canonicalize r
+
+let lognot a =
+  let r = make_raw a.w in
+  for i = 0 to Array.length r.limbs - 1 do
+    r.limbs.(i) <- lnot a.limbs.(i) land limb_mask
+  done;
+  canonicalize r
+
+let neg a = add (lognot a) (one a.w)
+
+let sub a b =
+  check_same_width "sub" a b;
+  add a (neg b)
+
+let mul a b =
+  check_same_width "mul" a b;
+  let n = Array.length a.limbs in
+  let r = make_raw a.w in
+  for i = 0 to n - 1 do
+    if a.limbs.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to n - 1 - i do
+        let t = r.limbs.(i + j) + (a.limbs.(i) * b.limbs.(j)) + !carry in
+        r.limbs.(i + j) <- t land limb_mask;
+        carry := t lsr limb_bits
+      done
+    end
+  done;
+  canonicalize r
+
+let binop_limbs name f a b =
+  check_same_width name a b;
+  let r = make_raw a.w in
+  for i = 0 to Array.length r.limbs - 1 do
+    r.limbs.(i) <- f a.limbs.(i) b.limbs.(i)
+  done;
+  canonicalize r
+
+let logand a = binop_limbs "logand" ( land ) a
+let logor a = binop_limbs "logor" ( lor ) a
+let logxor a = binop_limbs "logxor" ( lxor ) a
+
+(* {1 Shifts} *)
+
+let shl_int a k =
+  if k < 0 then invalid_arg "Bitvec.shl_int: negative amount";
+  if k >= a.w then zero a.w
+  else begin
+    let r = make_raw a.w in
+    for i = a.w - 1 downto k do
+      if bit a (i - k) then
+        r.limbs.(i / limb_bits) <-
+          r.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    r
+  end
+
+let lshr_int a k =
+  if k < 0 then invalid_arg "Bitvec.lshr_int: negative amount";
+  if k >= a.w then zero a.w
+  else begin
+    let r = make_raw a.w in
+    for i = 0 to a.w - 1 - k do
+      if bit a (i + k) then
+        r.limbs.(i / limb_bits) <-
+          r.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    r
+  end
+
+let ashr_int a k =
+  if k < 0 then invalid_arg "Bitvec.ashr_int: negative amount";
+  let k = min k a.w in
+  let r = lshr_int a k in
+  if msb a then begin
+    (* Fill the vacated top k bits with ones. *)
+    for i = a.w - k to a.w - 1 do
+      r.limbs.(i / limb_bits) <-
+        r.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done
+  end;
+  r
+
+let shift_amount b =
+  (* Unsigned amount, saturated to an int large enough to exceed any width. *)
+  let saturated = ref false in
+  for i = 62 to b.w - 1 do
+    if bit b i then saturated := true
+  done;
+  if !saturated then max_int else to_int_trunc b
+
+let shl a b = shl_int a (shift_amount b)
+let lshr a b = lshr_int a (shift_amount b)
+let ashr a b = ashr_int a (shift_amount b)
+
+let rol_int a k =
+  let k = ((k mod a.w) + a.w) mod a.w in
+  if k = 0 then a else logor (shl_int a k) (lshr_int a (a.w - k))
+
+let ror_int a k = rol_int a (-k)
+
+let rol a b = rol_int a (shift_amount b mod a.w)
+let ror a b = ror_int a (shift_amount b mod a.w)
+
+(* Division follows the RISC-V/SMT-LIB-compatible total semantics used
+   across the whole toolchain:
+     udiv x 0 = ones        urem x 0 = x
+     sdiv x 0 = -1          srem x 0 = x
+     sdiv min (-1) = min    srem min (-1) = 0
+   (the last two fall out of two's-complement wrap-around). *)
+let udivrem a b =
+  check_same_width "udiv" a b;
+  let w = a.w in
+  if is_zero b then (ones w, a)
+  else begin
+    (* restoring long division, one bit at a time *)
+    let q = make_raw w in
+    let r = ref (zero w) in
+    for i = w - 1 downto 0 do
+      r := shl_int !r 1;
+      if bit a i then r := logor !r (one w);
+      if ule b !r then begin
+        r := sub !r b;
+        q.limbs.(i / limb_bits) <- q.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (q, !r)
+  end
+
+let udiv a b = fst (udivrem a b)
+let urem a b = snd (udivrem a b)
+
+let sdivrem a b =
+  check_same_width "sdiv" a b;
+  let w = a.w in
+  if is_zero b then (ones w, a)
+  else begin
+    let abs_ v = if msb v then neg v else v in
+    let q, r = udivrem (abs_ a) (abs_ b) in
+    let q = if msb a <> msb b then neg q else q in
+    let r = if msb a then neg r else r in
+    ignore w;
+    (q, r)
+  end
+
+let sdiv a b = fst (sdivrem a b)
+let srem a b = snd (sdivrem a b)
+
+
+(* {1 Carry-less multiplication} *)
+
+let clmul_wide a b =
+  (* Full 2w-bit carry-less product, returned at width 2w. *)
+  check_same_width "clmul" a b;
+  let w2 = 2 * a.w in
+  let az = make_raw w2 in
+  Array.blit a.limbs 0 az.limbs 0 (Array.length a.limbs);
+  let acc = ref (zero w2) in
+  for i = 0 to b.w - 1 do
+    if bit b i then acc := logxor !acc (shl_int az i)
+  done;
+  !acc
+
+let extract ~high ~low v =
+  if low < 0 || high < low || high >= v.w then
+    invalid_arg
+      (Printf.sprintf "Bitvec.extract: [%d:%d] out of width %d" high low v.w);
+  let w = high - low + 1 in
+  let r = make_raw w in
+  for i = 0 to w - 1 do
+    if bit v (i + low) then
+      r.limbs.(i / limb_bits) <-
+        r.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  done;
+  r
+
+let clmul a b = extract ~high:(a.w - 1) ~low:0 (clmul_wide a b)
+
+let clmulh a b = extract ~high:(2 * a.w - 1) ~low:a.w (clmul_wide a b)
+
+let concat hi lo =
+  let w = hi.w + lo.w in
+  let r = make_raw w in
+  for i = 0 to lo.w - 1 do
+    if bit lo i then
+      r.limbs.(i / limb_bits) <-
+        r.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+  done;
+  for i = 0 to hi.w - 1 do
+    let j = i + lo.w in
+    if bit hi i then
+      r.limbs.(j / limb_bits) <- r.limbs.(j / limb_bits) lor (1 lsl (j mod limb_bits))
+  done;
+  r
+
+let zext v w =
+  if w < v.w then
+    invalid_arg (Printf.sprintf "Bitvec.zext: %d < %d" w v.w);
+  if w = v.w then v
+  else begin
+    let r = make_raw w in
+    Array.blit v.limbs 0 r.limbs 0 (Array.length v.limbs);
+    r
+  end
+
+let sext v w =
+  if w < v.w then
+    invalid_arg (Printf.sprintf "Bitvec.sext: %d < %d" w v.w);
+  if w = v.w then v
+  else if not (msb v) then zext v w
+  else begin
+    let r = zext v w in
+    for i = v.w to w - 1 do
+      r.limbs.(i / limb_bits) <-
+        r.limbs.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+    done;
+    r
+  end
+
+let repeat v n =
+  if n < 1 then invalid_arg "Bitvec.repeat: count < 1";
+  let rec go acc k = if k = 0 then acc else go (concat v acc) (k - 1) in
+  go v (n - 1)
+
+let reduce_or v = not (is_zero v)
+let reduce_and v = is_ones v
+
+let popcount v =
+  let n = ref 0 in
+  Array.iter
+    (fun l ->
+      let l = ref l in
+      while !l <> 0 do
+        l := !l land (!l - 1);
+        incr n
+      done)
+    v.limbs;
+  !n
+
+let reduce_xor v = popcount v land 1 = 1
+
+(* {1 Text} *)
+
+let to_binary_string v =
+  let b = Buffer.create (v.w + 8) in
+  Buffer.add_string b (string_of_int v.w);
+  Buffer.add_string b "'b";
+  for i = v.w - 1 downto 0 do
+    Buffer.add_char b (if bit v i then '1' else '0')
+  done;
+  Buffer.contents b
+
+let to_string v =
+  let ndigits = (v.w + 3) / 4 in
+  let b = Buffer.create (ndigits + 8) in
+  Buffer.add_string b (string_of_int v.w);
+  Buffer.add_string b "'x";
+  for d = ndigits - 1 downto 0 do
+    let nib = ref 0 in
+    for k = 3 downto 0 do
+      let i = (d * 4) + k in
+      nib := (!nib lsl 1) lor (if i < v.w && bit v i then 1 else 0)
+    done;
+    Buffer.add_char b "0123456789abcdef".[!nib]
+  done;
+  Buffer.contents b
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)
+
+let of_string s =
+  let fail () = invalid_arg (Printf.sprintf "Bitvec.of_string: %S" s) in
+  match String.index_opt s '\'' with
+  | None -> fail ()
+  | Some q ->
+      let w = try int_of_string (String.sub s 0 q) with _ -> fail () in
+      check_width w;
+      let rest = String.sub s (q + 1) (String.length s - q - 1) in
+      if rest = "" then fail ();
+      let base, digits =
+        match rest.[0] with
+        | 'b' | 'B' -> (2, String.sub rest 1 (String.length rest - 1))
+        | 'x' | 'X' | 'h' | 'H' -> (16, String.sub rest 1 (String.length rest - 1))
+        | 'd' | 'D' -> (10, String.sub rest 1 (String.length rest - 1))
+        | '0' .. '9' -> (10, rest)
+        | _ -> fail ()
+      in
+      if digits = "" then fail ();
+      let digit_val c =
+        match c with
+        | '0' .. '9' -> Char.code c - Char.code '0'
+        | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+        | _ -> fail ()
+      in
+      (* Accumulate via bitvector arithmetic at width w + a guard bit so we
+         can detect overflow of the declared width. *)
+      let gw = w + 4 in
+      let base_bv = of_int ~width:gw base in
+      let acc = ref (zero gw) in
+      String.iter
+        (fun c ->
+          if c <> '_' then begin
+            let d = digit_val c in
+            if d >= base then fail ();
+            acc := add (mul !acc base_bv) (of_int ~width:gw d);
+            (* Overflow check: guard bits must stay zero. *)
+            if reduce_or (extract ~high:(gw - 1) ~low:w !acc) then fail ()
+          end)
+        digits;
+      extract ~high:(w - 1) ~low:0 !acc

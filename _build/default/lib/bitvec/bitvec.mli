@@ -1,0 +1,170 @@
+(** Arbitrary-width bitvectors.
+
+    Every value carries an explicit positive width [w] and denotes an
+    unsigned integer in [0, 2^w).  All arithmetic is modulo [2^w].  Values
+    are immutable and canonical: two bitvectors are structurally equal iff
+    they have the same width and denote the same integer, so the polymorphic
+    [compare]/[equal]/[Hashtbl.hash] work — but prefer the typed functions
+    below.
+
+    This module is the concrete semantic domain of the whole toolchain:
+    the Oyster interpreter, the ILA specification evaluator, the SMT term
+    simplifier, and the instruction-set simulators all compute with it. *)
+
+type t
+
+(** {1 Construction} *)
+
+val width : t -> int
+
+val zero : int -> t
+(** [zero w] is the all-zeros vector of width [w].  Raises
+    [Invalid_argument] if [w < 1]. *)
+
+val one : int -> t
+(** [one w] is the value 1 at width [w]. *)
+
+val ones : int -> t
+(** [ones w] is the all-ones vector, i.e. [2^w - 1]. *)
+
+val of_int : width:int -> int -> t
+(** [of_int ~width n] truncates [n] to [width] bits.  Negative [n] is
+    interpreted in two's complement (so [of_int ~width:8 (-1) = ones 8]). *)
+
+val of_int64 : width:int -> int64 -> t
+
+val of_string : string -> t
+(** Parses Verilog-style constants: ["8'xff"], ["4'b1010"], ["12'd255"],
+    ["8'255"] (decimal when no base letter).  Raises [Invalid_argument] on
+    malformed input or if the value does not fit the width. *)
+
+val of_bits : bool array -> t
+(** [of_bits a] builds a vector of width [Array.length a] with bit [i]
+    (LSB-first) equal to [a.(i)].  Raises [Invalid_argument] on empty. *)
+
+(** {1 Observation} *)
+
+val to_int : t -> int option
+(** [to_int v] is [Some n] when the unsigned value fits in an OCaml [int]. *)
+
+val to_int_exn : t -> int
+
+val to_int_trunc : t -> int
+(** Low [min width 62] bits as a non-negative [int]; never fails. *)
+
+val to_signed_int : t -> int option
+(** Two's-complement signed value when it fits in an OCaml [int]. *)
+
+val bit : t -> int -> bool
+(** [bit v i] is bit [i] (LSB = 0).  Raises [Invalid_argument] if [i] is
+    out of range. *)
+
+val to_bits : t -> bool array
+
+val to_string : t -> string
+(** Verilog-style hex rendering, e.g. ["8'x1f"]. *)
+
+val to_binary_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Comparisons} *)
+
+val equal : t -> t -> bool
+(** Width and value equality. *)
+
+val compare : t -> t -> int
+(** Total order: first by width, then by unsigned value. *)
+
+val hash : t -> int
+
+val is_zero : t -> bool
+val is_ones : t -> bool
+
+val ult : t -> t -> bool
+val ule : t -> t -> bool
+val slt : t -> t -> bool
+val sle : t -> t -> bool
+(** Unsigned / two's-complement signed comparisons.  Raise
+    [Invalid_argument] on width mismatch. *)
+
+val msb : t -> bool
+
+(** {1 Arithmetic (modulo [2^w]; arguments must have equal widths)} *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val udiv : t -> t -> t
+(** Unsigned division; division by zero yields all-ones (the RISC-V/SMT-LIB
+    convention used across the toolchain). *)
+
+val urem : t -> t -> t
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+
+val sdiv : t -> t -> t
+(** Signed division, rounding toward zero; [x / 0 = -1] and
+    [min / -1 = min] (two's-complement wrap). *)
+
+val srem : t -> t -> t
+(** Signed remainder (sign of the dividend); [x % 0 = x] and
+    [min % -1 = 0]. *)
+
+val clmul : t -> t -> t
+(** Carry-less (GF(2)) multiply, low [w] bits — the RISC-V Zbkc [clmul]. *)
+
+val clmulh : t -> t -> t
+(** Carry-less multiply, high [w] bits ([clmulh]). *)
+
+(** {1 Bitwise} *)
+
+val logand : t -> t -> t
+val logor : t -> t -> t
+val logxor : t -> t -> t
+val lognot : t -> t
+
+(** {1 Shifts and rotates}
+
+    The [_int] forms take the shift amount as an [int]; amounts [>= width]
+    yield zero (or sign bits, for [ashr]).  The plain forms take the amount
+    as a bitvector (any width) interpreted unsigned. *)
+
+val shl_int : t -> int -> t
+val lshr_int : t -> int -> t
+val ashr_int : t -> int -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+
+val rol_int : t -> int -> t
+val ror_int : t -> int -> t
+val rol : t -> t -> t
+val ror : t -> t -> t
+(** Rotates; the amount is reduced modulo the width. *)
+
+(** {1 Structure} *)
+
+val extract : high:int -> low:int -> t -> t
+(** [extract ~high ~low v] is bits [low..high] inclusive, width
+    [high - low + 1].  Requires [0 <= low <= high < width v]. *)
+
+val concat : t -> t -> t
+(** [concat hi lo] places [hi] in the upper bits. *)
+
+val zext : t -> int -> t
+(** [zext v w] zero-extends to width [w >= width v]. *)
+
+val sext : t -> int -> t
+(** [sext v w] sign-extends to width [w >= width v]. *)
+
+val repeat : t -> int -> t
+(** [repeat v n] concatenates [n >= 1] copies of [v]. *)
+
+(** {1 Reductions} *)
+
+val reduce_or : t -> bool
+val reduce_and : t -> bool
+val reduce_xor : t -> bool
+val popcount : t -> int

@@ -1,0 +1,1 @@
+lib/designs/accumulator.ml: Bitvec Ila Oyster Synth

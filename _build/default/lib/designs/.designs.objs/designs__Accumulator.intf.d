@@ -1,0 +1,1 @@
+lib/designs/accumulator.mli: Ila Oyster Synth

@@ -1,0 +1,1 @@
+lib/designs/aes.ml: Aes_logic Aes_tables Bitvec Hdl Ila Oyster Synth

@@ -1,0 +1,1 @@
+lib/designs/aes.mli: Bitvec Ila Oyster Synth

@@ -1,0 +1,1 @@
+lib/designs/aes_logic.ml: Aes_tables Array Hdl Ila List

@@ -1,0 +1,1 @@
+lib/designs/aes_logic.mli: Hdl Ila

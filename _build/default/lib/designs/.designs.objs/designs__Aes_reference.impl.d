@@ -1,0 +1,1 @@
+lib/designs/aes_reference.ml: Aes_tables Array Bitvec

@@ -1,0 +1,1 @@
+lib/designs/aes_tables.ml: Array Bitvec

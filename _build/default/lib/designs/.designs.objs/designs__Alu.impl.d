@@ -1,0 +1,1 @@
+lib/designs/alu.ml: Bitvec Hdl Ila Oyster Synth

@@ -1,0 +1,1 @@
+lib/designs/alu.mli: Ila Oyster Synth

@@ -1,0 +1,1 @@
+lib/designs/crypto_core.ml: Bitvec Hdl Ila Isa List Oyster Riscv_common Synth

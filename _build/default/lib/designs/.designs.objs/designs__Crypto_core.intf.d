@@ -1,0 +1,1 @@
+lib/designs/crypto_core.mli: Ila Oyster Riscv_common Synth

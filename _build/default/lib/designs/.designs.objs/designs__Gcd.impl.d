@@ -1,0 +1,1 @@
+lib/designs/gcd.ml: Bitvec Hdl Ila List Oyster Synth

@@ -1,0 +1,1 @@
+lib/designs/gcd.mli: Ila Oyster Synth

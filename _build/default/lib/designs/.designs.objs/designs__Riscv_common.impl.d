@@ -1,0 +1,1 @@
+lib/designs/riscv_common.ml: Hdl Isa List

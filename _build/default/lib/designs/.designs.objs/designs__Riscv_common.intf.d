@@ -1,0 +1,1 @@
+lib/designs/riscv_common.mli: Hdl Isa

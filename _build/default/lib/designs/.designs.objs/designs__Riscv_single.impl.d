@@ -1,0 +1,1 @@
+lib/designs/riscv_single.ml: Bitvec Hdl Ila Isa List Oyster Riscv_common Synth

@@ -1,0 +1,1 @@
+lib/designs/riscv_single.mli: Hdl Ila Isa Oyster Synth

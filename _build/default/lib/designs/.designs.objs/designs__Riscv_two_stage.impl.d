@@ -1,0 +1,1 @@
+lib/designs/riscv_two_stage.ml: Hdl Ila Isa Oyster Riscv_common Riscv_single Synth

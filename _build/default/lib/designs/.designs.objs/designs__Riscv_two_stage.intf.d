@@ -1,0 +1,1 @@
+lib/designs/riscv_two_stage.mli: Ila Isa Oyster Synth

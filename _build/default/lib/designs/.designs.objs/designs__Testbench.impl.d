@@ -1,0 +1,1 @@
+lib/designs/testbench.ml: Array Bitvec Hashtbl Isa List Oyster Random

@@ -1,0 +1,1 @@
+lib/designs/testbench.mli: Bitvec Isa Oyster Random

@@ -1,0 +1,119 @@
+(* The accumulator machine of paper §2.3 (Fig. 3): FSM-style control.
+
+   Architectural spec: inputs reset/go/stop/val, states acc (8b) and state
+   (2b) with encodings STOP=0, RESET=1, GO=2.  (The paper's listing omits
+   stop_instr's state update; the FSM of Fig. 3 shows GO --stop--> STOP, so
+   we include state := STOP.)
+
+   Datapath sketch: the accumulator update is a priority conditional over
+   the combinational next-state value, as in the paper's pseudocode
+
+       state := ??
+       with state:  ?? -> acc := 0  |  ?? -> acc := acc + val  |  ?? -> acc := acc
+
+   The transition value [next] is a Per_instruction hole; the two selector
+   encodings are Shared holes (every instruction must agree on them), which
+   exercises the joint-synthesis strategy. *)
+
+let stop_enc = 0
+let reset_enc = 1
+let go_enc = 2
+
+let spec () =
+  let s = Ila.Spec.create "accumulator" in
+  let reset = Ila.Spec.new_bv_input s "reset" 1 in
+  let go = Ila.Spec.new_bv_input s "go" 1 in
+  let stop = Ila.Spec.new_bv_input s "stop" 1 in
+  let v = Ila.Spec.new_bv_input s "val" 2 in
+  let acc = Ila.Spec.new_bv_state s "acc" 8 in
+  let st = Ila.Spec.new_bv_state s "state" 2 in
+  let c2 n = Ila.Expr.of_int ~width:2 n in
+  let open Ila.Expr in
+  let reset_instr = Ila.Spec.new_instr s "reset_instr" in
+  Ila.Spec.set_decode reset_instr ((st == c2 stop_enc) && (reset == tru));
+  Ila.Spec.set_update reset_instr "acc" (of_int ~width:8 0);
+  Ila.Spec.set_update reset_instr "state" (c2 reset_enc);
+  let go_instr = Ila.Spec.new_instr s "go_instr" in
+  Ila.Spec.set_decode go_instr
+    (((st == c2 reset_enc) && (go == tru))
+    || ((st == c2 go_enc) && (stop == fls)));
+  Ila.Spec.set_update go_instr "acc" (acc + zext v 8);
+  Ila.Spec.set_update go_instr "state" (c2 go_enc);
+  let stop_instr = Ila.Spec.new_instr s "stop_instr" in
+  Ila.Spec.set_decode stop_instr ((st == c2 go_enc) && (stop == tru));
+  Ila.Spec.set_update stop_instr "acc" acc;
+  Ila.Spec.set_update stop_instr "state" (c2 stop_enc);
+  s
+
+let sketch () =
+  {
+    Oyster.Ast.name = "accumulator";
+    decls =
+      [ Oyster.Ast.Input ("reset", 1);
+        Oyster.Ast.Input ("go", 1);
+        Oyster.Ast.Input ("stop", 1);
+        Oyster.Ast.Input ("val", 2);
+        Oyster.Ast.Output ("out", 8);
+        Oyster.Ast.Register ("acc", 8);
+        Oyster.Ast.Register ("state", 2);
+        Oyster.Ast.Hole
+          { hole_name = "next"; hole_width = 2; kind = Oyster.Ast.Per_instruction;
+            deps = [ "state"; "reset"; "go"; "stop" ] };
+        Oyster.Ast.Hole
+          { hole_name = "enc_reset"; hole_width = 2; kind = Oyster.Ast.Shared; deps = [] };
+        Oyster.Ast.Hole
+          { hole_name = "enc_go"; hole_width = 2; kind = Oyster.Ast.Shared; deps = [] }
+      ];
+    stmts =
+      [ Oyster.Ast.Assign ("state", Oyster.Ast.Var "next");
+        Oyster.Ast.Assign
+          ( "acc",
+            Oyster.Ast.Ite
+              ( Oyster.Ast.Binop (Oyster.Ast.Eq, Oyster.Ast.Var "next", Oyster.Ast.Var "enc_reset"),
+                Oyster.Ast.Const (Bitvec.zero 8),
+                Oyster.Ast.Ite
+                  ( Oyster.Ast.Binop (Oyster.Ast.Eq, Oyster.Ast.Var "next", Oyster.Ast.Var "enc_go"),
+                    Oyster.Ast.Binop
+                      (Oyster.Ast.Add, Oyster.Ast.Var "acc",
+                       Oyster.Ast.Zext (Oyster.Ast.Var "val", 8)),
+                    Oyster.Ast.Var "acc" ) ) );
+        Oyster.Ast.Assign ("out", Oyster.Ast.Var "acc")
+      ];
+  }
+
+let abstraction () =
+  Ila.Absfun.make ~cycles:1
+    [ Ila.Absfun.mapping ~spec:"reset" ~dp:"reset" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"go" ~dp:"go" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"stop" ~dp:"stop" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"val" ~dp:"val" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"acc" ~dp:"acc" ~ty:Ila.Absfun.Dregister ~reads:[ 1 ]
+        ~writes:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"state" ~dp:"state" ~ty:Ila.Absfun.Dregister
+        ~reads:[ 1 ] ~writes:[ 1 ] () ]
+
+let problem () =
+  { Synth.Engine.design = sketch (); spec = spec (); af = abstraction () }
+
+(* Hand-written reference control logic (used as the Table-2-style baseline
+   and as a cross-check for the synthesized result). *)
+let reference_bindings () =
+  let c2 n = Oyster.Ast.Const (Bitvec.of_int ~width:2 n) in
+  let v n = Oyster.Ast.Var n in
+  let eqc a n = Oyster.Ast.Binop (Oyster.Ast.Eq, a, c2 n) in
+  let ( &&& ) a b = Oyster.Ast.Binop (Oyster.Ast.And, a, b) in
+  let ( ||| ) a b = Oyster.Ast.Binop (Oyster.Ast.Or, a, b) in
+  let nott a = Oyster.Ast.Unop (Oyster.Ast.Not, a) in
+  [ ("next",
+     Oyster.Ast.Ite
+       ( eqc (v "state") stop_enc &&& v "reset",
+         c2 reset_enc,
+         Oyster.Ast.Ite
+           ( (eqc (v "state") reset_enc &&& v "go")
+             ||| (eqc (v "state") go_enc &&& nott (v "stop")),
+             c2 go_enc,
+             c2 stop_enc ) ));
+    ("enc_reset", c2 reset_enc);
+    ("enc_go", c2 go_enc) ]
+
+let reference_design () = Oyster.Ast.fill_holes (sketch ()) (reference_bindings ())

@@ -1,0 +1,19 @@
+(** The accumulator machine of paper §2.3 (Fig. 3): the FSM-style control
+    quickstart.  The datapath sketch leaves the combinational next-state
+    value as a [Per_instruction] hole and the two branch-selection
+    encodings as [Shared] holes. *)
+
+val stop_enc : int
+val reset_enc : int
+val go_enc : int
+(** The architectural state encodings used by the specification. *)
+
+val spec : unit -> Ila.Spec.t
+val sketch : unit -> Oyster.Ast.design
+val abstraction : unit -> Ila.Absfun.t
+val problem : unit -> Synth.Engine.problem
+
+val reference_bindings : unit -> (string * Oyster.Ast.expr) list
+(** Hand-written control, for cross-checks and baselines. *)
+
+val reference_design : unit -> Oyster.Ast.design

@@ -1,0 +1,137 @@
+(* The AES-128 hardware accelerator case study (paper §4.3): FSM-style
+   control synthesized from an ILA specification whose "instructions" are
+   the first / intermediate / final round states.
+
+   Round numbering: the [round] state counts 0 (idle/first), 1..9
+   (intermediate rounds), 10 (final).  The paper's archived spec uses a
+   slightly different indexing for its decode predicates; the functional
+   content (one AddRoundKey, nine full rounds, one final round without
+   MixColumns) is identical — see DESIGN.md.
+
+   The datapath sketch leaves holes for the FSM: the state value is a
+   Per_instruction hole over [round], and the three branch-selection
+   encodings are Shared holes, exercising the joint-synthesis strategy. *)
+
+let spec () =
+  let s = Ila.Spec.create "aes128" in
+  let key_in = Ila.Spec.new_bv_input s "key_in" 128 in
+  let plaintext = Ila.Spec.new_bv_input s "plaintext" 128 in
+  let round = Ila.Spec.new_bv_state s "round" 4 in
+  let ciphertext = Ila.Spec.new_bv_state s "ciphertext" 128 in
+  let round_key = Ila.Spec.new_bv_state s "round_key" 128 in
+  let _ = Ila.Spec.new_mem_const s "sbox" ~addr_width:8 Aes_tables.sbox_bv in
+  let open Ila.Expr in
+  let c4 n = of_int ~width:4 n in
+  let first = Ila.Spec.new_instr s "FirstRound" in
+  Ila.Spec.set_decode first (round == c4 0);
+  Ila.Spec.set_update first "round" (c4 1);
+  Ila.Spec.set_update first "ciphertext" (plaintext lxor key_in);
+  Ila.Spec.set_update first "round_key" key_in;
+  let rk' = Aes_logic.Spec_logic.next_key round_key round in
+  let mid = Ila.Spec.new_instr s "IntermediateRound" in
+  Ila.Spec.set_decode mid ((c4 0 < round) && (round <= c4 9));
+  Ila.Spec.set_update mid "round" (round + c4 1);
+  Ila.Spec.set_update mid "ciphertext" (Aes_logic.Spec_logic.mid_round ciphertext rk');
+  Ila.Spec.set_update mid "round_key" rk';
+  let final = Ila.Spec.new_instr s "FinalRound" in
+  Ila.Spec.set_decode final (round == c4 10);
+  Ila.Spec.set_update final "round" (c4 0);
+  Ila.Spec.set_update final "ciphertext"
+    (Aes_logic.Spec_logic.final_round ciphertext rk');
+  Ila.Spec.set_update final "round_key" rk';
+  s
+
+let sketch () =
+  let open Hdl.Builder in
+  let c = create "aes_accel" in
+  let key_in = input c "key_in" 128 in
+  let plaintext = input c "plaintext" 128 in
+  let round = register c "round" 4 in
+  let ciphertext = register c "ciphertext" 128 in
+  let round_key = register c "round_key" 128 in
+  let sbox_read = rom c "sbox" ~addr_width:8 Aes_tables.sbox_bv in
+  Aes_logic.Signal_algebra.sbox_ref := sbox_read;
+  let state = hole c "state" 2 ~deps:[ round ] in
+  let enc_first = hole c "enc_first" 2 ~kind:Oyster.Ast.Shared ~deps:[] in
+  let enc_mid = hole c "enc_mid" 2 ~kind:Oyster.Ast.Shared ~deps:[] in
+  let enc_final = hole c "enc_final" 2 ~kind:Oyster.Ast.Shared ~deps:[] in
+  (* The round datapath in named stages: the final round shares the
+     SubBytes/ShiftRows network with the middle rounds, as real AES
+     datapaths do. *)
+  let rk_next = wire c "rk_next" (Aes_logic.Dp_logic.next_key round_key round) in
+  let sb = wire c "sb" (Aes_logic.Dp_logic.sub_bytes ciphertext) in
+  let sr = wire c "sr" (Aes_logic.Dp_logic.shift_rows sb) in
+  let mc = wire c "mc" (Aes_logic.Dp_logic.mix_columns sr) in
+  let ct_first = wire c "ct_first" (plaintext ^: key_in) in
+  let ct_mid = wire c "ct_mid" (mc ^: rk_next) in
+  let ct_final = wire c "ct_final" (sr ^: rk_next) in
+  let is k = state ==: k in
+  set_register c ciphertext
+    (mux (is enc_first) ct_first
+       (mux (is enc_mid) ct_mid (mux (is enc_final) ct_final ciphertext)));
+  set_register c round_key
+    (mux (is enc_first) key_in
+       (mux (is enc_mid) rk_next (mux (is enc_final) rk_next round_key)));
+  set_register c round
+    (mux (is enc_first) (const 4 1)
+       (mux (is enc_mid) (round +: const 4 1)
+          (mux (is enc_final) (const 4 0) round)));
+  output c "ciphertext_out" ciphertext;
+  finalize c
+
+let abstraction () =
+  Ila.Absfun.make ~cycles:1
+    [ Ila.Absfun.mapping ~spec:"key_in" ~dp:"key_in" ~ty:Ila.Absfun.Dinput
+        ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"plaintext" ~dp:"plaintext" ~ty:Ila.Absfun.Dinput
+        ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"round" ~dp:"round" ~ty:Ila.Absfun.Dregister
+        ~reads:[ 1 ] ~writes:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"ciphertext" ~dp:"ciphertext" ~ty:Ila.Absfun.Dregister
+        ~reads:[ 1 ] ~writes:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"round_key" ~dp:"round_key" ~ty:Ila.Absfun.Dregister
+        ~reads:[ 1 ] ~writes:[ 1 ] () ]
+
+let problem () =
+  { Synth.Engine.design = sketch (); spec = spec (); af = abstraction () }
+
+(* Hand-written reference control: encodings 0/1/2, transition from the
+   round counter. *)
+let reference_bindings () =
+  let c2 n = Oyster.Ast.Const (Bitvec.of_int ~width:2 n) in
+  let c4 n = Oyster.Ast.Const (Bitvec.of_int ~width:4 n) in
+  let v = Oyster.Ast.Var "round" in
+  let eq a b = Oyster.Ast.Binop (Oyster.Ast.Eq, a, b) in
+  let ( &&& ) a b = Oyster.Ast.Binop (Oyster.Ast.And, a, b) in
+  let ult a b = Oyster.Ast.Binop (Oyster.Ast.Ult, a, b) in
+  let ule a b = Oyster.Ast.Binop (Oyster.Ast.Ule, a, b) in
+  [ ("state",
+     Oyster.Ast.Ite
+       ( eq v (c4 0),
+         c2 0,
+         Oyster.Ast.Ite
+           (ult (c4 0) v &&& ule v (c4 9), c2 1,
+            Oyster.Ast.Ite (eq v (c4 10), c2 2, c2 3)) ));
+    ("enc_first", c2 0);
+    ("enc_mid", c2 1);
+    ("enc_final", c2 2) ]
+
+let reference_design () =
+  let d = Oyster.Ast.fill_holes (sketch ()) (reference_bindings ()) in
+  ignore (Oyster.Typecheck.check d);
+  d
+
+(* Run a completed accelerator for the full 11-round encryption. *)
+let run_accelerator design ~key ~plaintext =
+  let st = Oyster.Interp.init design in
+  for _ = 1 to 11 do
+    ignore
+      (Oyster.Interp.step
+         ~inputs:(fun name _ ->
+           match name with
+           | "key_in" -> key
+           | "plaintext" -> plaintext
+           | _ -> assert false)
+         st)
+  done;
+  Oyster.Interp.get_register st "ciphertext"

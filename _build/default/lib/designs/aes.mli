@@ -1,0 +1,17 @@
+(** The AES-128 hardware accelerator case study (paper §4.3): FSM-style
+    control synthesized from an ILA specification whose "instructions" are
+    the first / intermediate / final round states.  The state value is a
+    [Per_instruction] hole over the round counter; the three
+    branch-selection encodings are [Shared] holes (the joint-synthesis
+    strategy). *)
+
+val spec : unit -> Ila.Spec.t
+val sketch : unit -> Oyster.Ast.design
+val abstraction : unit -> Ila.Absfun.t
+val problem : unit -> Synth.Engine.problem
+val reference_bindings : unit -> (string * Oyster.Ast.expr) list
+val reference_design : unit -> Oyster.Ast.design
+
+val run_accelerator :
+  Oyster.Ast.design -> key:Bitvec.t -> plaintext:Bitvec.t -> Bitvec.t
+(** Runs a completed accelerator for the full 11-round encryption. *)

@@ -1,0 +1,135 @@
+(* AES-128 round combinational logic over an abstract bitvector algebra.
+
+   The same block is "instantiated" twice, exactly as a Verilog module would
+   be: once over ILA expressions (the specification's update functions,
+   paper §4.3's CipherUpdate/KeyUpdate) and once over HDL signals (the
+   accelerator datapath).  The byte order convention is that of
+   Aes_reference: block byte 0 is the most significant byte of the 128-bit
+   vector; state bytes are column-major (byte i = row i mod 4, column
+   i / 4). *)
+
+module type ALGEBRA = sig
+  type v
+
+  val const : int -> int -> v  (* width, value *)
+  val xor : v -> v -> v
+  val extract : high:int -> low:int -> v -> v
+  val concat : v -> v -> v  (* high part first *)
+  val mux : v -> v -> v -> v  (* 1-bit condition, then-, else- *)
+  val eq : v -> v -> v  (* 1-bit result *)
+  val sbox : v -> v  (* 8-bit in, 8-bit out, via the lookup table *)
+end
+
+module Make (A : ALGEBRA) = struct
+  let byte i v = A.extract ~high:(127 - (8 * i)) ~low:(120 - (8 * i)) v
+
+  let of_bytes = function
+    | [] -> invalid_arg "Aes_logic.of_bytes"
+    | b :: rest -> List.fold_left A.concat b rest
+
+  let map_state f st = of_bytes (List.init 16 (fun i -> f (byte i st)))
+
+  let sub_bytes st = map_state A.sbox st
+
+  let shift_rows st =
+    of_bytes
+      (List.init 16 (fun i ->
+           let row = i mod 4 and col = i / 4 in
+           byte (row + (4 * ((col + row) mod 4))) st))
+
+  (* xtime over an 8-bit value: shift left, conditional reduction *)
+  let xtime b =
+    let low7 = A.extract ~high:6 ~low:0 b in
+    let shifted = A.concat low7 (A.const 1 0) in
+    let msb = A.extract ~high:7 ~low:7 b in
+    A.xor shifted (A.mux msb (A.const 8 0x1b) (A.const 8 0))
+
+  let mix_columns st =
+    let out = Array.make 16 (A.const 8 0) in
+    for col = 0 to 3 do
+      let b i = byte ((4 * col) + i) st in
+      let x3 v = A.xor (xtime v) v in
+      out.(4 * col) <-
+        A.xor (xtime (b 0)) (A.xor (x3 (b 1)) (A.xor (b 2) (b 3)));
+      out.((4 * col) + 1) <-
+        A.xor (b 0) (A.xor (xtime (b 1)) (A.xor (x3 (b 2)) (b 3)));
+      out.((4 * col) + 2) <-
+        A.xor (b 0) (A.xor (b 1) (A.xor (xtime (b 2)) (x3 (b 3))));
+      out.((4 * col) + 3) <-
+        A.xor (x3 (b 0)) (A.xor (b 1) (A.xor (b 2) (xtime (b 3))))
+    done;
+    of_bytes (Array.to_list out)
+
+  let add_round_key st key = A.xor st key
+
+  (* Key schedule step: the round key for round [r] from the previous round
+     key, where [round_v] is the 4-bit round number signal (1..10). *)
+  let next_key rk round_v =
+    let word i = A.extract ~high:(127 - (32 * i)) ~low:(96 - (32 * i)) rk in
+    let w0 = word 0 and w1 = word 1 and w2 = word 2 and w3 = word 3 in
+    let wbyte i w = A.extract ~high:(31 - (8 * i)) ~low:(24 - (8 * i)) w in
+    (* RotWord + SubWord of w3 *)
+    let sub =
+      of_bytes
+        [ A.sbox (wbyte 1 w3); A.sbox (wbyte 2 w3); A.sbox (wbyte 3 w3);
+          A.sbox (wbyte 0 w3) ]
+    in
+    (* rcon byte selected by the runtime round number *)
+    let rcon_byte =
+      let rec chain r =
+        if r > 10 then A.const 8 0
+        else
+          A.mux
+            (A.eq round_v (A.const 4 r))
+            (A.const 8 Aes_tables.rcon.(r))
+            (chain (r + 1))
+      in
+      chain 1
+    in
+    let rcon_word = A.concat rcon_byte (A.const 24 0) in
+    let w0' = A.xor w0 (A.xor sub rcon_word) in
+    let w1' = A.xor w1 w0' in
+    let w2' = A.xor w2 w1' in
+    let w3' = A.xor w3 w2' in
+    A.concat w0' (A.concat w1' (A.concat w2' w3'))
+
+  (* One middle round (SubBytes, ShiftRows, MixColumns, AddRoundKey). *)
+  let mid_round ct rk' = add_round_key (mix_columns (shift_rows (sub_bytes ct))) rk'
+
+  (* The final round omits MixColumns. *)
+  let final_round ct rk' = add_round_key (shift_rows (sub_bytes ct)) rk'
+end
+
+(* {1 Instantiations} *)
+
+(* Over ILA expressions, with the S-box as a MemConst table named "sbox". *)
+module Expr_algebra = struct
+  type v = Ila.Expr.t
+
+  let const w n = Ila.Expr.of_int ~width:w n
+  let xor a b = Ila.Expr.Binop (Ila.Expr.Xor, a, b)
+  let extract ~high ~low v = Ila.Expr.extract ~high ~low v
+  let concat = Ila.Expr.concat
+  let mux c a b = Ila.Expr.ite c a b
+  let eq a b = Ila.Expr.Binop (Ila.Expr.Eq, a, b)
+  let sbox v = Ila.Expr.table_load "sbox" v
+end
+
+module Spec_logic = Make (Expr_algebra)
+
+(* Over HDL signals, with the S-box as a ROM; the ROM read function is
+   threaded through a reference because ROMs belong to a builder context. *)
+module Signal_algebra = struct
+  type v = Hdl.Builder.signal
+
+  let sbox_ref : (v -> v) ref = ref (fun _ -> failwith "Aes_logic: sbox not bound")
+  let const w n = Hdl.Builder.const w n
+  let xor = Hdl.Builder.( ^: )
+  let extract ~high ~low v = Hdl.Builder.bits ~high ~low v
+  let concat = Hdl.Builder.concat
+  let mux = Hdl.Builder.mux
+  let eq = Hdl.Builder.( ==: )
+  let sbox v = !sbox_ref v
+end
+
+module Dp_logic = Make (Signal_algebra)

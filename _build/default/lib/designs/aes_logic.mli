@@ -1,0 +1,59 @@
+(** AES-128 round combinational logic over an abstract bitvector algebra,
+    instantiated twice like a reusable hardware block: once over ILA
+    expressions (the specification's update functions, paper §4.3) and once
+    over HDL signals (the accelerator datapath).
+
+    Byte order convention (shared with {!Aes_reference}): block byte 0 is
+    the most significant byte of the 128-bit vector; state bytes are
+    column-major. *)
+
+module type ALGEBRA = sig
+  type v
+
+  val const : int -> int -> v  (** width, value *)
+
+  val xor : v -> v -> v
+  val extract : high:int -> low:int -> v -> v
+  val concat : v -> v -> v  (** high part first *)
+
+  val mux : v -> v -> v -> v  (** 1-bit condition, then-, else- *)
+
+  val eq : v -> v -> v  (** 1-bit result *)
+
+  val sbox : v -> v  (** 8-bit S-box lookup *)
+end
+
+module Make (A : ALGEBRA) : sig
+  val byte : int -> A.v -> A.v
+  val of_bytes : A.v list -> A.v
+  val sub_bytes : A.v -> A.v
+  val shift_rows : A.v -> A.v
+  val xtime : A.v -> A.v
+  val mix_columns : A.v -> A.v
+  val add_round_key : A.v -> A.v -> A.v
+
+  val next_key : A.v -> A.v -> A.v
+  (** [next_key rk round]: the key-schedule step, with the round constant
+      selected by the runtime 4-bit round number (1..10). *)
+
+  val mid_round : A.v -> A.v -> A.v
+  (** SubBytes, ShiftRows, MixColumns, AddRoundKey. *)
+
+  val final_round : A.v -> A.v -> A.v
+  (** The last round omits MixColumns. *)
+end
+
+(** Instantiation over ILA expressions (S-box as the MemConst "sbox"). *)
+module Expr_algebra : ALGEBRA with type v = Ila.Expr.t
+
+module Spec_logic : module type of Make (Expr_algebra)
+
+(** Instantiation over HDL signals; bind [sbox_ref] to a ROM read function
+    before building (see {!Aes.sketch}). *)
+module Signal_algebra : sig
+  include ALGEBRA with type v = Hdl.Builder.signal
+
+  val sbox_ref : (v -> v) ref
+end
+
+module Dp_logic : module type of Make (Signal_algebra)

@@ -1,0 +1,80 @@
+(* Byte-array reference implementation of AES-128 encryption (FIPS-197),
+   independent of the hardware-oriented 128-bit-vector formulation in
+   Aes_logic: used as the oracle for the accelerator case study.  State is
+   the standard 4x4 byte matrix in column-major order. *)
+
+let sub_bytes st = Array.map (fun b -> Aes_tables.sbox.(b)) st
+
+let shift_rows st =
+  (* byte index = row + 4*col *)
+  Array.init 16 (fun i ->
+      let row = i mod 4 and col = i / 4 in
+      st.(row + (4 * ((col + row) mod 4))))
+
+let mix_columns st =
+  let out = Array.make 16 0 in
+  for col = 0 to 3 do
+    let b i = st.((4 * col) + i) in
+    let m = Aes_tables.gf_mul in
+    out.(4 * col) <- m 2 (b 0) lxor m 3 (b 1) lxor b 2 lxor b 3;
+    out.((4 * col) + 1) <- b 0 lxor m 2 (b 1) lxor m 3 (b 2) lxor b 3;
+    out.((4 * col) + 2) <- b 0 lxor b 1 lxor m 2 (b 2) lxor m 3 (b 3);
+    out.((4 * col) + 3) <- m 3 (b 0) lxor b 1 lxor b 2 lxor m 2 (b 3)
+  done;
+  out
+
+let add_round_key st key = Array.init 16 (fun i -> st.(i) lxor key.(i))
+
+(* key schedule: 11 round keys of 16 bytes, from a 16-byte key *)
+let expand_key (key : int array) : int array array =
+  let w = Array.make_matrix 44 4 0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      w.(i).(j) <- key.((4 * i) + j)
+    done
+  done;
+  for i = 4 to 43 do
+    let temp = Array.copy w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then begin
+        (* RotWord then SubWord then rcon *)
+        let rotated = [| temp.(1); temp.(2); temp.(3); temp.(0) |] in
+        let subbed = Array.map (fun b -> Aes_tables.sbox.(b)) rotated in
+        subbed.(0) <- subbed.(0) lxor Aes_tables.rcon.(i / 4);
+        subbed
+      end
+      else temp
+    in
+    for j = 0 to 3 do
+      w.(i).(j) <- w.(i - 4).(j) lxor temp.(j)
+    done
+  done;
+  Array.init 11 (fun r ->
+      Array.init 16 (fun i -> w.((4 * r) + (i / 4)).(i mod 4)))
+
+let encrypt_block (key : int array) (plaintext : int array) : int array =
+  let keys = expand_key key in
+  let st = ref (add_round_key plaintext keys.(0)) in
+  for r = 1 to 9 do
+    st := add_round_key (mix_columns (shift_rows (sub_bytes !st))) keys.(r)
+  done;
+  add_round_key (shift_rows (sub_bytes !st)) keys.(10)
+
+(* {1 128-bit vector packing}
+
+   Convention shared with Aes_logic: byte 0 of the block (the first byte of
+   the FIPS-197 input sequence) occupies the most significant byte of the
+   128-bit vector. *)
+
+let to_bytes (v : Bitvec.t) : int array =
+  Array.init 16 (fun i ->
+      Bitvec.to_int_exn (Bitvec.extract ~high:(127 - (8 * i)) ~low:(120 - (8 * i)) v))
+
+let of_bytes (bs : int array) : Bitvec.t =
+  Array.fold_left
+    (fun acc b -> Bitvec.concat acc (Bitvec.of_int ~width:8 b))
+    (Bitvec.of_int ~width:8 bs.(0))
+    (Array.sub bs 1 15)
+
+let encrypt (key : Bitvec.t) (plaintext : Bitvec.t) : Bitvec.t =
+  of_bytes (encrypt_block (to_bytes key) (to_bytes plaintext))

@@ -1,0 +1,17 @@
+(** Byte-matrix reference implementation of AES-128 encryption (FIPS-197),
+    independent of the hardware-oriented 128-bit formulation in
+    {!Aes_logic} — the oracle for the accelerator case study. *)
+
+val sub_bytes : int array -> int array
+val shift_rows : int array -> int array
+val mix_columns : int array -> int array
+val add_round_key : int array -> int array -> int array
+val expand_key : int array -> int array array
+val encrypt_block : int array -> int array -> int array
+
+val to_bytes : Bitvec.t -> int array
+(** Block byte 0 (the first input byte of FIPS-197) is the most significant
+    byte of the 128-bit vector; the same convention as {!Aes_logic}. *)
+
+val of_bytes : int array -> Bitvec.t
+val encrypt : Bitvec.t -> Bitvec.t -> Bitvec.t

@@ -1,0 +1,54 @@
+(* AES constants, generated from first principles (GF(2^8) arithmetic with
+   the AES polynomial x^8+x^4+x^3+x+1) rather than transcribed, to rule out
+   table typos.  Spot values are pinned by unit tests against FIPS-197. *)
+
+let xtime b =
+  let t = b lsl 1 in
+  if t land 0x100 <> 0 then t lxor 0x11b else t
+
+let gf_mul a b =
+  let acc = ref 0 in
+  let a = ref a in
+  for i = 0 to 7 do
+    if b land (1 lsl i) <> 0 then acc := !acc lxor !a;
+    a := xtime !a
+  done;
+  !acc
+
+(* multiplicative inverse via exponentiation: x^254 = x^-1 in GF(2^8) *)
+let gf_inv a =
+  if a = 0 then 0
+  else begin
+    let rec pow acc base n =
+      if n = 0 then acc
+      else pow (if n land 1 = 1 then gf_mul acc base else acc) (gf_mul base base) (n lsr 1)
+    in
+    pow 1 a 254
+  end
+
+let sbox_entry a =
+  let x = gf_inv a in
+  let bit v i = (v lsr i) land 1 in
+  let out = ref 0 in
+  for i = 0 to 7 do
+    let b =
+      bit x i lxor bit x ((i + 4) mod 8) lxor bit x ((i + 5) mod 8)
+      lxor bit x ((i + 6) mod 8) lxor bit x ((i + 7) mod 8)
+      lxor bit 0x63 i
+    in
+    out := !out lor (b lsl i)
+  done;
+  !out
+
+let sbox = Array.init 256 sbox_entry
+
+let sbox_bv = Array.map (fun v -> Bitvec.of_int ~width:8 v) sbox
+
+(* round constants for AES-128 key expansion, RCON.(r) for r = 1..10 *)
+let rcon =
+  let a = Array.make 11 0 in
+  a.(1) <- 1;
+  for r = 2 to 10 do
+    a.(r) <- xtime a.(r - 1)
+  done;
+  a

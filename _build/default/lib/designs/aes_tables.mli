@@ -1,0 +1,11 @@
+(** AES constants generated from first principles (GF(2^8) arithmetic with
+    the AES polynomial); spot values are pinned to FIPS-197 by tests. *)
+
+val xtime : int -> int
+val gf_mul : int -> int -> int
+val gf_inv : int -> int
+val sbox_entry : int -> int
+val sbox : int array
+val sbox_bv : Bitvec.t array
+val rcon : int array
+(** [rcon.(r)] for rounds 1..10. *)

@@ -1,0 +1,111 @@
+(* The three-stage ALU machine of paper §2.2 (Fig. 2): decoder-style
+   control over a pipelined datapath.
+
+   Spec: inputs op/dest/src1/src2; a 4-entry register file [regs].
+   Instructions ADD (op=1), SUB (op=2), XOR (op=3); op=0 decodes nothing.
+
+   Sketch: three pipeline stages — (1) register read, (2) ALU, (3) write
+   back — with Per_instruction holes for the ALU operation select and the
+   write enable, both decoded from [op] in stage 1 and carried in pipeline
+   registers.  Pipeline valid bits guard the write port; the abstraction
+   function assumes the pipeline starts empty (the paper's "assume"
+   mechanism, §3.2). *)
+
+let spec () =
+  let s = Ila.Spec.create "alu" in
+  let op = Ila.Spec.new_bv_input s "op" 2 in
+  let dest = Ila.Spec.new_bv_input s "dest" 2 in
+  let src1 = Ila.Spec.new_bv_input s "src1" 2 in
+  let src2 = Ila.Spec.new_bv_input s "src2" 2 in
+  let _ = Ila.Spec.new_mem_state s "regs" ~addr_width:2 ~data_width:8 in
+  let open Ila.Expr in
+  let rs1 = load "regs" src1 in
+  let rs2 = load "regs" src2 in
+  let mk name code rhs =
+    let i = Ila.Spec.new_instr s name in
+    Ila.Spec.set_decode i (op == of_int ~width:2 code);
+    Ila.Spec.set_mem_update i "regs" [ (dest, rhs) ];
+    ignore i
+  in
+  mk "ADD" 1 (rs1 + rs2);
+  mk "SUB" 2 (rs1 - rs2);
+  mk "XOR" 3 (rs1 lxor rs2);
+  s
+
+let sketch () =
+  let open Hdl.Builder in
+  let c = create "alu3" in
+  let op = input c "op" 2 in
+  let dest = input c "dest" 2 in
+  let src1 = input c "src1" 2 in
+  let src2 = input c "src2" 2 in
+  let regfile = memory c "regfile" ~addr_width:2 ~data_width:8 in
+  (* stage 1 -> 2 pipeline registers *)
+  let p1_a = register c "p1_a" 8 in
+  let p1_b = register c "p1_b" 8 in
+  let p1_dest = register c "p1_dest" 2 in
+  let p1_sel = register c "p1_sel" 2 in
+  let p1_we = register c "p1_we" 1 in
+  let p1_valid = register c "p1_valid" 1 in
+  (* stage 2 -> 3 pipeline registers *)
+  let p2_res = register c "p2_res" 8 in
+  let p2_dest = register c "p2_dest" 2 in
+  let p2_we = register c "p2_we" 1 in
+  let p2_valid = register c "p2_valid" 1 in
+  (* control holes, decoded from op in stage 1 *)
+  let alu_sel = hole c "alu_sel" 2 ~deps:[ op ] in
+  let reg_we = hole c "reg_we" 1 ~deps:[ op ] in
+  (* stage 1: register read *)
+  set_register c p1_a (read regfile src1);
+  set_register c p1_b (read regfile src2);
+  set_register c p1_dest dest;
+  set_register c p1_sel alu_sel;
+  set_register c p1_we reg_we;
+  set_register c p1_valid tru;
+  (* stage 2: ALU *)
+  let alu_out =
+    wire c "alu_out"
+      (select p1_sel
+         [ (1, p1_a +: p1_b); (2, p1_a -: p1_b); (3, p1_a ^: p1_b) ]
+         p1_b)
+  in
+  set_register c p2_res alu_out;
+  set_register c p2_dest p1_dest;
+  set_register c p2_we (p1_we &: p1_valid);
+  set_register c p2_valid p1_valid;
+  (* stage 3: write back *)
+  write c regfile ~addr:p2_dest ~data:p2_res ~enable:(p2_we &: p2_valid);
+  (* bubble indicators for the abstraction function's assumptions *)
+  let _ = wire c "bubble1" (bnot p1_valid) in
+  let _ = wire c "bubble2" (bnot p2_valid) in
+  output c "result" p2_res;
+  finalize c
+
+let abstraction () =
+  Ila.Absfun.make ~cycles:3
+    ~assumes:[ ("bubble1", 1); ("bubble2", 1) ]
+    [ Ila.Absfun.mapping ~spec:"op" ~dp:"op" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"dest" ~dp:"dest" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"src1" ~dp:"src1" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"src2" ~dp:"src2" ~ty:Ila.Absfun.Dinput ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"regs" ~dp:"regfile" ~ty:Ila.Absfun.Dmemory
+        ~reads:[ 1 ] ~writes:[ 3 ] () ]
+
+let problem () =
+  { Synth.Engine.design = sketch (); spec = spec (); af = abstraction () }
+
+(* Hand-written reference control. *)
+let reference_bindings () =
+  let v n = Oyster.Ast.Var n in
+  let c2 n = Oyster.Ast.Const (Bitvec.of_int ~width:2 n) in
+  let c1 n = Oyster.Ast.Const (Bitvec.of_int ~width:1 n) in
+  let eqc a n = Oyster.Ast.Binop (Oyster.Ast.Eq, a, c2 n) in
+  [ ("alu_sel", v "op");
+    ("reg_we",
+     Oyster.Ast.Ite
+       ( Oyster.Ast.Binop
+           (Oyster.Ast.Or, eqc (v "op") 1,
+            Oyster.Ast.Binop (Oyster.Ast.Or, eqc (v "op") 2, eqc (v "op") 3)),
+         c1 1, c1 0 )) ]
+
+let reference_design () = Oyster.Ast.fill_holes (sketch ()) (reference_bindings ())

@@ -1,0 +1,13 @@
+(** The three-stage pipelined ALU machine of paper §2.2 (Fig. 2):
+    decoder-style control.  Instructions ADD (op=1), SUB (op=2), XOR
+    (op=3); holes for the ALU operation select and the write enable; the
+    abstraction function is the §3.2 example (inputs read at 1, register
+    file read at 1 / written at 3, cycles 3) plus pipeline-empty
+    assumptions. *)
+
+val spec : unit -> Ila.Spec.t
+val sketch : unit -> Oyster.Ast.design
+val abstraction : unit -> Ila.Absfun.t
+val problem : unit -> Synth.Engine.problem
+val reference_bindings : unit -> (string * Oyster.Ast.expr) list
+val reference_design : unit -> Oyster.Ast.design

@@ -1,0 +1,207 @@
+(* The bespoke constant-time cryptography core (paper §4.2): a three-stage
+   pipeline — (1) fetch, (2) decode + execute, (3) memory + write back —
+   running the CMOV ISA (RV32I+Zbkb without conditional branches or
+   sub-word memory access, plus the custom CMOV instruction).
+
+   Unconditional jumps resolve in stage 2 and flush the instruction being
+   fetched in stage 1 (the control hazard of §4.2); synthesis evaluates a
+   single instruction entering an empty pipeline, which the abstraction
+   function expresses with the bubble/valid assumptions, exactly as the
+   paper handles it with [instruction_valid].
+
+   CMOV needs the old destination value, so the register file has a third
+   read port; all three stage-2 read ports forward from stage-3 write-back.
+
+   Control holes (decoded in stage 2):
+     imm_sel alu_op asel bsel reg_write wb_sel mem_read mem_write jump
+     jalr_sel                                                      *)
+
+open Hdl.Builder
+
+let features =
+  { Riscv_common.zbkb = true; Riscv_common.zbkc = false; Riscv_common.cmov = true;
+    Riscv_common.m = false }
+
+let sketch () =
+  let c = create "crypto_core" in
+  let pc = register c "pc" 32 in
+  let fetch_pc = register c "fetch_pc" 32 in
+  let i_mem = memory c "i_mem" ~addr_width:30 ~data_width:32 in
+  let d_mem = memory c "d_mem" ~addr_width:30 ~data_width:32 in
+  let rf = memory c "rf" ~addr_width:5 ~data_width:32 in
+  (* stage 1 -> 2 registers *)
+  let f_instr = register c "f_instr" 32 in
+  let f_pc = register c "f_pc" 32 in
+  let f_valid = register c "f_valid" 1 in
+  (* stage 2 -> 3 registers *)
+  let p_alu_out = register c "p_alu_out" 32 in
+  let p_rd = register c "p_rd" 5 in
+  let p_store_data = register c "p_store_data" 32 in
+  let p_pc4 = register c "p_pc4" 32 in
+  let p_reg_write = register c "p_reg_write" 1 in
+  let p_wb_sel = register c "p_wb_sel" 2 in
+  let p_mem_read = register c "p_mem_read" 1 in
+  let p_mem_write = register c "p_mem_write" 1 in
+  let p_valid = register c "p_valid" 1 in
+  (* ---- stage 3: memory + write back *)
+  let s3_en = wire c "s3_en" p_valid in
+  let mem_word = wire c "mem_word" (read d_mem (bits ~high:31 ~low:2 p_alu_out)) in
+  let load_result = wire c "load_result" (mux p_mem_read mem_word (const 32 0)) in
+  write c d_mem ~addr:(bits ~high:31 ~low:2 p_alu_out) ~data:p_store_data
+    ~enable:(p_mem_write &: s3_en);
+  let wb =
+    wire c "wb" (select p_wb_sel [ (0, p_alu_out); (1, load_result) ] p_pc4)
+  in
+  let wb_en = wire c "wb_en" (p_reg_write &: s3_en &: (p_rd <>: const 5 0)) in
+  write c rf ~addr:p_rd ~data:wb ~enable:wb_en;
+  (* ---- stage 2: decode + execute *)
+  let d = Riscv_common.decode_fields c ~suffix:"" f_instr in
+  let deps =
+    [ d.Riscv_common.opcode; d.Riscv_common.funct3; d.Riscv_common.funct7;
+      d.Riscv_common.rs2slot ]
+  in
+  let h name w = hole c name w ~deps in
+  let imm_sel = h "imm_sel" 3 in
+  let alu_op = h "alu_op" 5 in
+  let asel = h "asel" 2 in
+  let bsel = h "bsel" 1 in
+  let reg_write = h "reg_write" 1 in
+  let wb_sel = h "wb_sel" 2 in
+  let mem_read = h "mem_read" 1 in
+  let mem_write = h "mem_write" 1 in
+  let jump = h "jump" 1 in
+  let jalr_sel = h "jalr_sel" 1 in
+  let fwd name src =
+    wire c name (mux (wb_en &: (p_rd ==: src)) wb (read rf src))
+  in
+  let rs1_val = fwd "rs1_val" d.Riscv_common.rs1 in
+  let rs2_val = fwd "rs2_val" d.Riscv_common.rs2 in
+  let rd_val = fwd "rd_val" d.Riscv_common.rd in
+  let imm = wire c "imm" (Riscv_common.immediate d imm_sel) in
+  let alu_a = wire c "alu_a" (select asel [ (0, rs1_val); (1, f_pc) ] (const 32 0)) in
+  let alu_b = wire c "alu_b" (mux bsel imm rs2_val) in
+  let alu_out =
+    wire c "alu_out" (Riscv_common.alu ~features alu_op alu_a alu_b ~old_rd:rd_val ())
+  in
+  let s2_en = wire c "instruction_valid" f_valid in
+  let taken = wire c "taken" (jump &: s2_en) in
+  let target =
+    wire c "target" (mux jalr_sel ((rs1_val +: imm) &: bnot (const 32 1)) (f_pc +: imm))
+  in
+  let pc4 = wire c "pc4" (f_pc +: const 32 4) in
+  let next_pc = wire c "next_pc" (mux taken target pc4) in
+  set_register c pc (mux s2_en next_pc pc);
+  (* pipeline advance into stage 3 *)
+  set_register c p_alu_out alu_out;
+  set_register c p_rd d.Riscv_common.rd;
+  set_register c p_store_data rs2_val;
+  set_register c p_pc4 pc4;
+  set_register c p_reg_write reg_write;
+  set_register c p_wb_sel wb_sel;
+  set_register c p_mem_read mem_read;
+  set_register c p_mem_write mem_write;
+  set_register c p_valid s2_en;
+  (* ---- stage 1: fetch (redirected by a stage-2 jump, which also kills
+     the instruction being fetched) *)
+  let fetch_addr = wire c "fetch_addr" (bits ~high:31 ~low:2 fetch_pc) in
+  let fetched = wire c "fetched" (read i_mem fetch_addr) in
+  set_register c f_instr fetched;
+  set_register c f_pc fetch_pc;
+  set_register c f_valid (bnot taken);
+  set_register c fetch_pc (mux taken target (fetch_pc +: const 32 4));
+  (* assumption wires *)
+  let _ = wire c "bubble2" (bnot f_valid) in
+  let _ = wire c "bubble3" (bnot p_valid) in
+  let _ = wire c "fetch_in_sync" (fetch_pc ==: pc) in
+  output c "pc_out" pc;
+  finalize c
+
+let abstraction () =
+  Ila.Absfun.make ~cycles:3
+    ~assumes:[ ("bubble2", 1); ("bubble3", 1); ("fetch_in_sync", 1) ]
+    [ Ila.Absfun.mapping ~spec:"pc" ~dp:"pc" ~ty:Ila.Absfun.Dregister ~reads:[ 1 ]
+        ~writes:[ 2 ] ();
+      Ila.Absfun.mapping ~spec:"GPR" ~dp:"rf" ~ty:Ila.Absfun.Dmemory ~reads:[ 2 ]
+        ~writes:[ 3 ] ();
+      Ila.Absfun.mapping ~spec:"mem" ~port:"fetch" ~dp:"i_mem" ~ty:Ila.Absfun.Dmemory
+        ~addr_via:"fetch_addr" ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"mem" ~dp:"d_mem" ~ty:Ila.Absfun.Dmemory ~reads:[ 3 ]
+        ~writes:[ 3 ] () ]
+
+let problem () =
+  { Synth.Engine.design = sketch ();
+    spec = Isa.Rv_spec.cmov_spec ();
+    af = abstraction () }
+
+(* Reference control for the CMOV ISA. *)
+let reference_bindings () =
+  let v n = Oyster.Ast.Var n in
+  let cst w n = Oyster.Ast.Const (Bitvec.of_int ~width:w n) in
+  let eq a b = Oyster.Ast.Binop (Oyster.Ast.Eq, a, b) in
+  let ( &&& ) a b = Oyster.Ast.Binop (Oyster.Ast.And, a, b) in
+  let ( ||| ) a b = Oyster.Ast.Binop (Oyster.Ast.Or, a, b) in
+  let ite c a b = Oyster.Ast.Ite (c, a, b) in
+  let opcode = v "opcode" and funct3 = v "funct3" and funct7 = v "funct7" in
+  let rs2slot = v "rs2slot" in
+  let is_op k = eq opcode (cst 7 k) in
+  let is_f3 k = eq funct3 (cst 3 k) in
+  let is_f7 k = eq funct7 (cst 7 k) in
+  let lui = is_op Isa.Rv32.op_lui in
+  let jal = is_op Isa.Rv32.op_jal and jalr = is_op Isa.Rv32.op_jalr in
+  let load = is_op Isa.Rv32.op_load and store = is_op Isa.Rv32.op_store in
+  let opimm = is_op Isa.Rv32.op_imm and opreg = is_op Isa.Rv32.op_reg in
+  let chain cases default =
+    List.fold_right (fun (cond, value) acc -> ite cond value acc) cases default
+  in
+  let r_alu =
+    chain
+      [ (is_f7 0x00 &&& is_f3 0, cst 5 0);
+        (is_f7 0x20 &&& is_f3 0, cst 5 1);
+        (is_f7 0x00 &&& is_f3 1, cst 5 2);
+        (is_f3 2, cst 5 3);
+        (is_f3 3, cst 5 4);
+        (is_f7 0x00 &&& is_f3 4, cst 5 5);
+        (is_f7 0x00 &&& is_f3 5, cst 5 6);
+        (is_f7 0x20 &&& is_f3 5, cst 5 7);
+        (is_f7 0x00 &&& is_f3 6, cst 5 8);
+        (is_f7 0x00 &&& is_f3 7, cst 5 9);
+        (is_f7 0x30 &&& is_f3 1, cst 5 10);
+        (is_f7 0x30 &&& is_f3 5, cst 5 11);
+        (is_f7 0x20 &&& is_f3 7, cst 5 12);
+        (is_f7 0x20 &&& is_f3 6, cst 5 13);
+        (is_f7 0x20 &&& is_f3 4, cst 5 14);
+        (is_f7 0x04 &&& is_f3 4, cst 5 15);
+        (is_f7 0x04 &&& is_f3 7, cst 5 16);
+        (is_f7 0x07 &&& is_f3 5, cst 5 23)  (* cmov *) ]
+      (cst 5 0)
+  in
+  let i_alu =
+    chain
+      [ (is_f3 1 &&& is_f7 0x00, cst 5 2);
+        (is_f3 5 &&& is_f7 0x00, cst 5 6);
+        (is_f3 5 &&& is_f7 0x20, cst 5 7);
+        (is_f3 5 &&& is_f7 0x30, cst 5 11);
+        (is_f3 5 &&& is_f7 0x34 &&& eq rs2slot (cst 5 24), cst 5 17);
+        (is_f3 5 &&& is_f7 0x34 &&& eq rs2slot (cst 5 7), cst 5 18);
+        (is_f3 1 &&& is_f7 0x04, cst 5 19);
+        (is_f3 5 &&& is_f7 0x04, cst 5 20);
+        (is_f3 0, cst 5 0); (is_f3 2, cst 5 3); (is_f3 3, cst 5 4);
+        (is_f3 4, cst 5 5); (is_f3 6, cst 5 8); (is_f3 7, cst 5 9) ]
+      (cst 5 0)
+  in
+  [ ("imm_sel",
+     ite store (cst 3 1) (ite lui (cst 3 3) (ite jal (cst 3 4) (cst 3 0))));
+    ("alu_op", ite opreg r_alu (ite opimm i_alu (cst 5 0)));
+    ("asel", ite lui (cst 2 2) (cst 2 0));
+    ("bsel", ite opreg (cst 1 0) (cst 1 1));
+    ("reg_write", ite store (cst 1 0) (cst 1 1));
+    ("wb_sel", ite load (cst 2 1) (ite (jal ||| jalr) (cst 2 2) (cst 2 0)));
+    ("mem_read", ite load (cst 1 1) (cst 1 0));
+    ("mem_write", ite store (cst 1 1) (cst 1 0));
+    ("jump", ite (jal ||| jalr) (cst 1 1) (cst 1 0));
+    ("jalr_sel", ite jalr (cst 1 1) (cst 1 0)) ]
+
+let reference_design () =
+  let d = Oyster.Ast.fill_holes (sketch ()) (reference_bindings ()) in
+  ignore (Oyster.Typecheck.check d);
+  d

@@ -1,0 +1,14 @@
+(** The bespoke three-stage constant-time cryptography core (paper §4.2):
+    fetch / decode+execute / memory+write-back, running the CMOV ISA
+    (RV32I+Zbkb without conditional branches or sub-word access, plus
+    CMOV).  Jumps resolve in stage 2 and flush the fetch stage; the
+    abstraction function carries the paper's instruction-validity
+    assumptions. *)
+
+val features : Riscv_common.alu_features
+
+val sketch : unit -> Oyster.Ast.design
+val abstraction : unit -> Ila.Absfun.t
+val problem : unit -> Synth.Engine.problem
+val reference_bindings : unit -> (string * Oyster.Ast.expr) list
+val reference_design : unit -> Oyster.Ast.design

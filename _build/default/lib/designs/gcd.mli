@@ -1,0 +1,24 @@
+(** A GCD accelerator: a second FSM-style case study (beyond AES)
+    demonstrating that the technique carries to accelerators in other
+    domains (paper §4.3), with *data-dependent* instruction decode (§2.1):
+    STEP_A fires when a > b, STEP_B when b > a, DONE when they meet, and an
+    explicit IDLE instruction makes the machine's behaviour total.
+
+    The FSM value is a [Per_instruction] hole over the comparison wires;
+    the four active-branch encodings are [Shared] 3-bit holes, and the
+    synthesizer must place IDLE's state outside all of them. *)
+
+val operand_width : int
+
+val spec : unit -> Ila.Spec.t
+val sketch : unit -> Oyster.Ast.design
+val abstraction : unit -> Ila.Absfun.t
+val problem : unit -> Synth.Engine.problem
+val reference_bindings : unit -> (string * Oyster.Ast.expr) list
+val reference_design : unit -> Oyster.Ast.design
+
+val run :
+  Oyster.Ast.design -> a:int -> b:int -> max_cycles:int -> (int * int) option
+(** Starts a computation and steps until ready; [Some (gcd, cycles)].
+    Operands must be positive (the subtractive algorithm does not
+    terminate on zero). *)

@@ -1,0 +1,217 @@
+(* Shared pieces of the RISC-V datapath sketches (paper §4.1/§4.2): the
+   decode-field wires, the immediate generator, the ALU (parameterized by
+   ISA variant), sub-word load/store logic, and the branch comparator.
+
+   ALU operation encoding (the [alu_op] hole selects one):
+      0 add   1 sub   2 sll   3 slt    4 sltu   5 xor   6 srl   7 sra
+      8 or    9 and  10 rol  11 ror   12 andn  13 orn  14 xnor
+     15 pack 16 packh 17 rev8 18 brev8 19 zip  20 unzip
+     21 clmul 22 clmulh 23 cmov (crypto core only)
+
+   Branch comparator encoding mirrors the branch funct3 values:
+      0 eq  1 ne  4 lt  5 ge  6 ltu  7 geu *)
+
+open Hdl.Builder
+
+type decoded = {
+  instruction : signal;
+  opcode : signal;
+  funct3 : signal;
+  funct7 : signal;
+  rs2slot : signal;
+  rd : signal;
+  rs1 : signal;
+  rs2 : signal;
+  imm_i : signal;
+  imm_s : signal;
+  imm_b : signal;
+  imm_u : signal;
+  imm_j : signal;
+}
+
+(* Decode-field wires for an instruction word signal. *)
+let decode_fields c ?(suffix = "") instruction =
+  let n base = base ^ suffix in
+  let instruction = wire c (n "instruction") instruction in
+  {
+    instruction;
+    opcode = wire c (n "opcode") (bits ~high:6 ~low:0 instruction);
+    funct3 = wire c (n "funct3") (bits ~high:14 ~low:12 instruction);
+    funct7 = wire c (n "funct7") (bits ~high:31 ~low:25 instruction);
+    rs2slot = wire c (n "rs2slot") (bits ~high:24 ~low:20 instruction);
+    rd = wire c (n "rd") (bits ~high:11 ~low:7 instruction);
+    rs1 = wire c (n "rs1") (bits ~high:19 ~low:15 instruction);
+    rs2 = wire c (n "rs2") (bits ~high:24 ~low:20 instruction);
+    imm_i = wire c (n "imm_i") (sext (bits ~high:31 ~low:20 instruction) 32);
+    imm_s =
+      wire c (n "imm_s")
+        (sext (concat (bits ~high:31 ~low:25 instruction) (bits ~high:11 ~low:7 instruction)) 32);
+    imm_b =
+      wire c (n "imm_b")
+        (sext
+           (concat_all
+              [ bit 31 instruction; bit 7 instruction;
+                bits ~high:30 ~low:25 instruction; bits ~high:11 ~low:8 instruction;
+                const 1 0 ])
+           32);
+    imm_u =
+      wire c (n "imm_u") (concat (bits ~high:31 ~low:12 instruction) (const 12 0));
+    imm_j =
+      wire c (n "imm_j")
+        (sext
+           (concat_all
+              [ bit 31 instruction; bits ~high:19 ~low:12 instruction;
+                bit 20 instruction; bits ~high:30 ~low:21 instruction; const 1 0 ])
+           32);
+  }
+
+(* Immediate selection (the [imm_sel] hole): 0 I, 1 S, 2 B, 3 U, 4 J. *)
+let immediate d imm_sel =
+  select imm_sel
+    [ (0, d.imm_i); (1, d.imm_s); (2, d.imm_b); (3, d.imm_u); (4, d.imm_j) ]
+    d.imm_i
+
+(* {1 Bit permutations (Zbkb)} *)
+
+let byte k x = bits ~high:((8 * k) + 7) ~low:(8 * k) x
+
+let rev8 x = concat_all [ byte 0 x; byte 1 x; byte 2 x; byte 3 x ]
+
+let brev8 x =
+  concat_all
+    (List.init 32 (fun j ->
+         let i = 31 - j in
+         (* output bit i comes from input bit (i/8)*8 + 7 - i mod 8 *)
+         bit (((i / 8) * 8) + (7 - (i mod 8))) x))
+
+let zip x =
+  concat_all
+    (List.init 32 (fun j ->
+         let i = 31 - j in
+         if i mod 2 = 0 then bit (i / 2) x else bit (16 + (i / 2)) x))
+
+let unzip x =
+  concat_all
+    (List.init 32 (fun j ->
+         let i = 31 - j in
+         if i < 16 then bit (2 * i) x else bit ((2 * (i - 16)) + 1) x))
+
+let pack a b = concat (bits ~high:15 ~low:0 b) (bits ~high:15 ~low:0 a)
+
+let packh a b =
+  zext (concat (bits ~high:7 ~low:0 b) (bits ~high:7 ~low:0 a)) 32
+
+(* {1 The ALU} *)
+
+type alu_features = { zbkb : bool; zbkc : bool; cmov : bool; m : bool }
+
+let features_of_variant = function
+  | Isa.Rv32.RV32I -> { zbkb = false; zbkc = false; cmov = false; m = false }
+  | Isa.Rv32.RV32I_Zbkb -> { zbkb = true; zbkc = false; cmov = false; m = false }
+  | Isa.Rv32.RV32I_Zbkc -> { zbkb = true; zbkc = true; cmov = false; m = false }
+  | Isa.Rv32.RV32I_M -> { zbkb = false; zbkc = false; cmov = false; m = true }
+
+(* [old_rd] is the third operand for CMOV (crypto core only); [extra]
+   supplies additional (select value, implementation) operations for
+   datapath iteration (see examples/custom_instruction.ml). *)
+let alu ~features ?(extra = []) alu_op a bsig ?(old_rd = const 32 0) () =
+  let sh = zext (bits ~high:4 ~low:0 bsig) 32 in
+  let base_ops =
+    [ (0, a +: bsig);
+      (1, a -: bsig);
+      (2, a <<: sh);
+      (3, zext (a <+ bsig) 32);
+      (4, zext (a <: bsig) 32);
+      (5, a ^: bsig);
+      (6, a >>: sh);
+      (7, a >>+ sh);
+      (8, a |: bsig);
+      (9, a &: bsig)
+    ]
+  in
+  let zbkb_ops =
+    if features.zbkb then
+      [ (10, rol a sh);
+        (11, ror a sh);
+        (12, a &: bnot bsig);
+        (13, a |: bnot bsig);
+        (14, bnot (a ^: bsig));
+        (15, pack a bsig);
+        (16, packh a bsig);
+        (17, rev8 a);
+        (18, brev8 a);
+        (19, zip a);
+        (20, unzip a)
+      ]
+    else []
+  in
+  let zbkc_ops =
+    if features.zbkc then [ (21, clmul a bsig); (22, clmulh a bsig) ] else []
+  in
+  let cmov_ops =
+    if features.cmov then
+      [ (23, mux (bsig <>: const 32 0) a old_rd) ]
+    else []
+  in
+  let m_ops =
+    if features.m then begin
+      let high signed_a signed_b =
+        let ext s v = if s then sext v 64 else zext v 64 in
+        bits ~high:63 ~low:32 (ext signed_a a *: ext signed_b bsig)
+      in
+      [ (24, a *: bsig);
+        (25, high true true);
+        (26, high true false);
+        (27, high false false);
+        (28, sdiv a bsig);
+        (29, udiv a bsig);
+        (30, srem a bsig);
+        (31, urem a bsig) ]
+    end
+    else []
+  in
+  let extra_ops = List.map (fun (k, f) -> (k, f a bsig)) extra in
+  select alu_op (base_ops @ zbkb_ops @ zbkc_ops @ cmov_ops @ m_ops @ extra_ops)
+    (a +: bsig)
+
+(* {1 Branch comparator} *)
+
+let branch_compare branch_op a b =
+  select branch_op
+    [ (0, a ==: b); (1, a <>: b); (4, a <+ b); (5, a >=+ b); (6, a <: b); (7, a >=: b) ]
+    fls
+
+(* {1 Sub-word memory access} *)
+
+let load_value ~mem_word ~offset ~mask_mode ~sign_ext =
+  (* mask_mode: 0 byte, 1 half, 2 word *)
+  let sel_byte =
+    select (bits ~high:1 ~low:0 offset)
+      [ (0, byte 0 mem_word); (1, byte 1 mem_word); (2, byte 2 mem_word) ]
+      (byte 3 mem_word)
+  in
+  let sel_half =
+    mux (bit 1 offset) (bits ~high:31 ~low:16 mem_word) (bits ~high:15 ~low:0 mem_word)
+  in
+  let ext v = mux sign_ext (sext v 32) (zext v 32) in
+  select mask_mode [ (0, ext sel_byte); (1, ext sel_half) ] mem_word
+
+let store_value ~mem_word ~offset ~mask_mode ~data =
+  let b0 = bits ~high:7 ~low:0 data in
+  let byte_insert =
+    select (bits ~high:1 ~low:0 offset)
+      [ (0, concat (bits ~high:31 ~low:8 mem_word) b0);
+        (1,
+         concat_all [ bits ~high:31 ~low:16 mem_word; b0; bits ~high:7 ~low:0 mem_word ]);
+        (2,
+         concat_all [ bits ~high:31 ~low:24 mem_word; b0; bits ~high:15 ~low:0 mem_word ])
+      ]
+      (concat b0 (bits ~high:23 ~low:0 mem_word))
+  in
+  let h0 = bits ~high:15 ~low:0 data in
+  let half_insert =
+    mux (bit 1 offset)
+      (concat h0 (bits ~high:15 ~low:0 mem_word))
+      (concat (bits ~high:31 ~low:16 mem_word) h0)
+  in
+  select mask_mode [ (0, byte_insert); (1, half_insert) ] data

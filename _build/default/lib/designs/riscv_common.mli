@@ -1,0 +1,82 @@
+(** Shared pieces of the RISC-V datapath sketches (paper §4.1/§4.2):
+    decode-field wires, the immediate generator, the variant-parameterized
+    ALU, the branch comparator, and the sub-word memory access logic.
+
+    ALU operation encoding (the [alu_op] hole selects one):
+    {v
+     0 add   1 sub   2 sll   3 slt    4 sltu   5 xor   6 srl   7 sra
+     8 or    9 and  10 rol  11 ror   12 andn  13 orn  14 xnor
+    15 pack 16 packh 17 rev8 18 brev8 19 zip  20 unzip
+    21 clmul 22 clmulh 23 cmov (crypto core only)
+    24 mul 25 mulh 26 mulhsu 27 mulhu 28 div 29 divu 30 rem 31 remu (M)
+    v}
+
+    The branch comparator mirrors the branch funct3 values
+    (0 eq, 1 ne, 4 lt, 5 ge, 6 ltu, 7 geu). *)
+
+open Hdl.Builder
+
+type decoded = {
+  instruction : signal;
+  opcode : signal;
+  funct3 : signal;
+  funct7 : signal;
+  rs2slot : signal;
+  rd : signal;
+  rs1 : signal;
+  rs2 : signal;
+  imm_i : signal;
+  imm_s : signal;
+  imm_b : signal;
+  imm_u : signal;
+  imm_j : signal;
+}
+
+val decode_fields : ctx -> ?suffix:string -> signal -> decoded
+(** Creates the named field wires for an instruction-word signal. *)
+
+val immediate : decoded -> signal -> signal
+(** Immediate selection by the [imm_sel] hole: 0 I, 1 S, 2 B, 3 U, 4 J. *)
+
+(** {1 Zbkb bit permutations (32-bit)} *)
+
+val byte : int -> signal -> signal
+val rev8 : signal -> signal
+val brev8 : signal -> signal
+val zip : signal -> signal
+val unzip : signal -> signal
+val pack : signal -> signal -> signal
+val packh : signal -> signal -> signal
+
+(** {1 The ALU} *)
+
+type alu_features = { zbkb : bool; zbkc : bool; cmov : bool; m : bool }
+
+val features_of_variant : Isa.Rv32.isa_variant -> alu_features
+
+val alu :
+  features:alu_features ->
+  ?extra:(int * (signal -> signal -> signal)) list ->
+  signal ->
+  signal ->
+  signal ->
+  ?old_rd:signal ->
+  unit ->
+  signal
+(** [alu ~features alu_op a b ()] — [old_rd] is CMOV's third operand;
+    [extra] adds custom operations (select value, implementation over the
+    two operands) for datapath iteration. *)
+
+val branch_compare : signal -> signal -> signal -> signal
+(** [branch_compare branch_op a b]. *)
+
+(** {1 Sub-word memory access (word-addressed model, see Rv32)} *)
+
+val load_value :
+  mem_word:signal -> offset:signal -> mask_mode:signal -> sign_ext:signal -> signal
+(** [mask_mode]: 0 byte, 1 half, otherwise word; [offset] is the byte
+    address whose low two bits select the lane. *)
+
+val store_value :
+  mem_word:signal -> offset:signal -> mask_mode:signal -> data:signal -> signal
+(** The read-modify-write merge for sub-word stores. *)

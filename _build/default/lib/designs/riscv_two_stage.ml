@@ -1,0 +1,153 @@
+(* Two-stage pipelined embedded-class RISC-V core sketch (paper §4.1.2),
+   Ibex-like: stage 1 = fetch + decode + execute (branches resolve here),
+   stage 2 = memory + write-back.
+
+   Microarchitectural choices, reflected in the abstraction function exactly
+   as §4.1.2 describes:
+
+   - a speculative fetch pointer [fetch_pc] runs one instruction ahead of
+     the architectural [pc], which commits in stage 2 (pc write: 2);
+     the fetch-port mapping's [addr_via] records the invariant that the
+     fetch address equals the architectural pc when an instruction enters
+     the pipeline, and [fetch_in_sync] is assumed at cycle 1;
+   - stage-1 register reads see stage-2 write-backs combinationally
+     (write-through register file / write-back forwarding), so back-to-back
+     dependent instructions execute correctly;
+   - the pipeline starts empty: [bubble2] is assumed at cycle 1.
+
+   The control holes are the same fourteen signals as the single-cycle core
+   (decoded in stage 1; the memory/write-back ones ride the pipeline
+   registers into stage 2). *)
+
+open Hdl.Builder
+
+let sketch variant =
+  let c = create ("rv32_two_stage_" ^ Riscv_single.variant_tag variant) in
+  let pc = register c "pc" 32 in
+  let fetch_pc = register c "fetch_pc" 32 in
+  let i_mem = memory c "i_mem" ~addr_width:30 ~data_width:32 in
+  let d_mem = memory c "d_mem" ~addr_width:30 ~data_width:32 in
+  let rf = memory c "rf" ~addr_width:5 ~data_width:32 in
+  (* stage 1 -> 2 pipeline registers *)
+  let p_alu_out = register c "p_alu_out" 32 in
+  let p_rd = register c "p_rd" 5 in
+  let p_store_data = register c "p_store_data" 32 in
+  let p_next_pc = register c "p_next_pc" 32 in
+  let p_pc4 = register c "p_pc4" 32 in
+  let p_reg_write = register c "p_reg_write" 1 in
+  let p_wb_sel = register c "p_wb_sel" 2 in
+  let p_mem_read = register c "p_mem_read" 1 in
+  let p_mem_write = register c "p_mem_write" 1 in
+  let p_mask_mode = register c "p_mask_mode" 2 in
+  let p_sign_ext = register c "p_sign_ext" 1 in
+  let p_valid = register c "p_valid" 1 in
+  (* ---- stage 2: memory + write back (wires first so stage 1 can bypass) *)
+  let s2_en = wire c "s2_en" p_valid in
+  let mem_word = wire c "mem_word" (read d_mem (bits ~high:31 ~low:2 p_alu_out)) in
+  let load_raw =
+    Riscv_common.load_value ~mem_word ~offset:p_alu_out ~mask_mode:p_mask_mode
+      ~sign_ext:p_sign_ext
+  in
+  let load_result = wire c "load_result" (mux p_mem_read load_raw (const 32 0)) in
+  let store_word =
+    wire c "store_word"
+      (Riscv_common.store_value ~mem_word ~offset:p_alu_out ~mask_mode:p_mask_mode
+         ~data:p_store_data)
+  in
+  write c d_mem ~addr:(bits ~high:31 ~low:2 p_alu_out) ~data:store_word
+    ~enable:(p_mem_write &: s2_en);
+  let wb =
+    wire c "wb" (select p_wb_sel [ (0, p_alu_out); (1, load_result) ] p_pc4)
+  in
+  let wb_en =
+    wire c "wb_en" (p_reg_write &: s2_en &: (p_rd <>: const 5 0))
+  in
+  write c rf ~addr:p_rd ~data:wb ~enable:wb_en;
+  set_register c pc (mux s2_en p_next_pc pc);
+  (* ---- stage 1: fetch + decode + execute *)
+  let fetch_addr = wire c "fetch_addr" (bits ~high:31 ~low:2 fetch_pc) in
+  let d = Riscv_common.decode_fields c (read i_mem fetch_addr) in
+  let deps =
+    [ d.Riscv_common.opcode; d.Riscv_common.funct3; d.Riscv_common.funct7;
+      d.Riscv_common.rs2slot ]
+  in
+  let h name w = hole c name w ~deps in
+  let imm_sel = h "imm_sel" 3 in
+  let alu_op = h "alu_op" 5 in
+  let asel = h "asel" 2 in
+  let bsel = h "bsel" 1 in
+  let reg_write = h "reg_write" 1 in
+  let wb_sel = h "wb_sel" 2 in
+  let mem_read = h "mem_read" 1 in
+  let mem_write = h "mem_write" 1 in
+  let mask_mode = h "mask_mode" 2 in
+  let mem_sign_ext = h "mem_sign_ext" 1 in
+  let branch_en = h "branch_en" 1 in
+  let branch_op = h "branch_op" 3 in
+  let jump = h "jump" 1 in
+  let jalr_sel = h "jalr_sel" 1 in
+  (* register read with write-back forwarding *)
+  let fwd name src =
+    wire c name
+      (mux (wb_en &: (p_rd ==: src)) wb (read rf src))
+  in
+  let rs1_val = fwd "rs1_val" d.Riscv_common.rs1 in
+  let rs2_val = fwd "rs2_val" d.Riscv_common.rs2 in
+  let imm = wire c "imm" (Riscv_common.immediate d imm_sel) in
+  let alu_a = wire c "alu_a" (select asel [ (0, rs1_val); (1, fetch_pc) ] (const 32 0)) in
+  let alu_b = wire c "alu_b" (mux bsel imm rs2_val) in
+  let features = Riscv_common.features_of_variant variant in
+  let alu_out = wire c "alu_out" (Riscv_common.alu ~features alu_op alu_a alu_b ()) in
+  let cmp = wire c "cmp" (Riscv_common.branch_compare branch_op rs1_val rs2_val) in
+  let taken = wire c "taken" (jump |: (branch_en &: cmp)) in
+  let target =
+    wire c "target"
+      (mux jalr_sel ((rs1_val +: imm) &: bnot (const 32 1)) (fetch_pc +: imm))
+  in
+  let pc4 = wire c "pc4" (fetch_pc +: const 32 4) in
+  let next_pc = wire c "next_pc" (mux taken target pc4) in
+  set_register c fetch_pc next_pc;
+  (* pipeline advance *)
+  set_register c p_alu_out alu_out;
+  set_register c p_rd d.Riscv_common.rd;
+  set_register c p_store_data rs2_val;
+  set_register c p_next_pc next_pc;
+  set_register c p_pc4 pc4;
+  set_register c p_reg_write reg_write;
+  set_register c p_wb_sel wb_sel;
+  set_register c p_mem_read mem_read;
+  set_register c p_mem_write mem_write;
+  set_register c p_mask_mode mask_mode;
+  set_register c p_sign_ext mem_sign_ext;
+  set_register c p_valid tru;
+  (* assumption wires *)
+  let _ = wire c "bubble2" (bnot p_valid) in
+  let _ = wire c "fetch_in_sync" (fetch_pc ==: pc) in
+  output c "pc_out" pc;
+  finalize c
+
+let abstraction () =
+  Ila.Absfun.make ~cycles:2
+    ~assumes:[ ("bubble2", 1); ("fetch_in_sync", 1) ]
+    [ Ila.Absfun.mapping ~spec:"pc" ~dp:"pc" ~ty:Ila.Absfun.Dregister ~reads:[ 1 ]
+        ~writes:[ 2 ] ();
+      Ila.Absfun.mapping ~spec:"GPR" ~dp:"rf" ~ty:Ila.Absfun.Dmemory ~reads:[ 1 ]
+        ~writes:[ 2 ] ();
+      Ila.Absfun.mapping ~spec:"mem" ~port:"fetch" ~dp:"i_mem" ~ty:Ila.Absfun.Dmemory
+        ~addr_via:"fetch_addr" ~reads:[ 1 ] ();
+      Ila.Absfun.mapping ~spec:"mem" ~dp:"d_mem" ~ty:Ila.Absfun.Dmemory ~reads:[ 2 ]
+        ~writes:[ 2 ] () ]
+
+let problem variant =
+  { Synth.Engine.design = sketch variant;
+    spec = Isa.Rv_spec.spec variant;
+    af = abstraction () }
+
+(* The reference control is identical to the single-cycle core's: the same
+   fourteen signals decoded from the same fields. *)
+let reference_bindings = Riscv_single.reference_bindings
+
+let reference_design variant =
+  let d = Oyster.Ast.fill_holes (sketch variant) (reference_bindings variant) in
+  ignore (Oyster.Typecheck.check d);
+  d

@@ -1,0 +1,12 @@
+(** Two-stage pipelined (Ibex-like) RISC-V core sketch (paper §4.1.2):
+    stage 1 = fetch + decode + execute, stage 2 = memory + write back, with
+    a speculative fetch pointer, write-through register-file forwarding,
+    and the paper's strengthened abstraction function (pc write: 2, GPR
+    read: 1 / write: 2, d_mem at 2, cycles 2) plus pipeline-start
+    assumptions. *)
+
+val sketch : Isa.Rv32.isa_variant -> Oyster.Ast.design
+val abstraction : unit -> Ila.Absfun.t
+val problem : Isa.Rv32.isa_variant -> Synth.Engine.problem
+val reference_bindings : Isa.Rv32.isa_variant -> (string * Oyster.Ast.expr) list
+val reference_design : Isa.Rv32.isa_variant -> Oyster.Ast.design

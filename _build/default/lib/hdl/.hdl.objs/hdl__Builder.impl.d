@@ -1,0 +1,1 @@
+lib/hdl/builder.ml: Array Bitvec List Oyster Printf

@@ -1,0 +1,1 @@
+lib/hdl/builder.mli: Bitvec Oyster

@@ -1,0 +1,1 @@
+lib/hdl/pyrtl.ml: Bitvec Format List Oyster Printf String

@@ -1,0 +1,1 @@
+lib/hdl/pyrtl.mli: Bitvec Format Oyster

@@ -1,0 +1,1 @@
+lib/hdl/verilog.ml: Array Bitvec Buffer List Oyster Printf String

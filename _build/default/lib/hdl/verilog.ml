@@ -1,0 +1,244 @@
+(* Verilog-2001 emission of hole-free Oyster designs.
+
+   The paper's toolchain produces PyRTL, which elaborates to Verilog for
+   hardware synthesis; this backend closes the same loop.  Emission is
+   netlist-style: every sub-expression becomes a named wire (Verilog can
+   only slice identifiers), registers and memory writes go into a single
+   @(posedge clk) block in statement order (later writes win, matching the
+   Oyster commit semantics), ROMs become initialized reg arrays, and the
+   carry-less multiplies become generated functions. *)
+
+exception Verilog_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Verilog_error s)) fmt
+
+type emitter = {
+  buf : Buffer.t;
+  design : Oyster.Ast.design;
+  tenv : Oyster.Typecheck.env;
+  all_names : string list ref;
+  mutable tmp : int;
+  mutable body : string list;  (* reversed wire definitions *)
+  mutable clmul_widths : (int * bool) list;  (* width, high-half *)
+}
+
+let fresh e w =
+  e.tmp <- e.tmp + 1;
+  let n = Printf.sprintf "_t%d" e.tmp in
+  (n, w)
+
+let define e (n, w) rhs =
+  e.body <- Printf.sprintf "  wire [%d:0] %s = %s;" (w - 1) n rhs :: e.body;
+  n
+
+let vconst v =
+  Printf.sprintf "%d'h%s" (Bitvec.width v)
+    (let s = Bitvec.to_string v in
+     match String.index_opt s 'x' with
+     | Some i -> String.sub s (i + 1) (String.length s - i - 1)
+     | None -> s)
+
+let width_of e expr = Oyster.Typecheck.expr_width e.tenv e.all_names expr
+
+(* Emit [expr], returning the name of a wire (or literal) holding it. *)
+let rec emit_expr e (expr : Oyster.Ast.expr) : string =
+  let w = width_of e expr in
+  match expr with
+  | Oyster.Ast.Var n -> n
+  | Oyster.Ast.Const v -> define e (fresh e w) (vconst v)
+  | Oyster.Ast.Unop (op, a) -> (
+      let a' = emit_expr e a in
+      match op with
+      | Oyster.Ast.Not -> define e (fresh e w) (Printf.sprintf "~%s" a')
+      | Oyster.Ast.Neg -> define e (fresh e w) (Printf.sprintf "-%s" a')
+      | Oyster.Ast.RedOr -> define e (fresh e 1) (Printf.sprintf "|%s" a')
+      | Oyster.Ast.RedAnd -> define e (fresh e 1) (Printf.sprintf "&%s" a')
+      | Oyster.Ast.RedXor -> define e (fresh e 1) (Printf.sprintf "^%s" a'))
+  | Oyster.Ast.Binop (op, a, b) -> (
+      let wa = width_of e a in
+      let a' = emit_expr e a in
+      let b' = emit_expr e b in
+      let bin s = define e (fresh e w) (Printf.sprintf "%s %s %s" a' s b') in
+      let signed s =
+        define e (fresh e w)
+          (Printf.sprintf "$signed(%s) %s $signed(%s)" a' s b')
+      in
+      match op with
+      | Oyster.Ast.And -> bin "&"
+      | Oyster.Ast.Or -> bin "|"
+      | Oyster.Ast.Xor -> bin "^"
+      | Oyster.Ast.Add -> bin "+"
+      | Oyster.Ast.Sub -> bin "-"
+      | Oyster.Ast.Mul -> bin "*"
+      | Oyster.Ast.Udiv ->
+          define e (fresh e w)
+            (Printf.sprintf "(%s == %d'd0) ? {%d{1'b1}} : (%s / %s)" b' wa w a' b')
+      | Oyster.Ast.Urem ->
+          define e (fresh e w)
+            (Printf.sprintf "(%s == %d'd0) ? %s : (%s %% %s)" b' wa a' a' b')
+      | Oyster.Ast.Sdiv ->
+          define e (fresh e w)
+            (Printf.sprintf
+               "(%s == %d'd0) ? {%d{1'b1}} : ((%s == {1'b1, %d'd0} && %s == {%d{1'b1}}) ? %s : $signed(%s) / $signed(%s))"
+               b' wa w a' (wa - 1) b' wa a' a' b')
+      | Oyster.Ast.Srem ->
+          define e (fresh e w)
+            (Printf.sprintf
+               "(%s == %d'd0) ? %s : ((%s == {1'b1, %d'd0} && %s == {%d{1'b1}}) ? %d'd0 : $signed(%s) %% $signed(%s))"
+               b' wa a' a' (wa - 1) b' wa w a' b')
+      | Oyster.Ast.Clmul ->
+          if not (List.mem (wa, false) e.clmul_widths) then
+            e.clmul_widths <- (wa, false) :: e.clmul_widths;
+          define e (fresh e w) (Printf.sprintf "clmul%d(%s, %s)" wa a' b')
+      | Oyster.Ast.Clmulh ->
+          if not (List.mem (wa, true) e.clmul_widths) then
+            e.clmul_widths <- (wa, true) :: e.clmul_widths;
+          define e (fresh e w) (Printf.sprintf "clmulh%d(%s, %s)" wa a' b')
+      | Oyster.Ast.Shl -> bin "<<"
+      | Oyster.Ast.Lshr -> bin ">>"
+      | Oyster.Ast.Ashr ->
+          define e (fresh e w) (Printf.sprintf "$signed(%s) >>> %s" a' b')
+      | Oyster.Ast.Rol | Oyster.Ast.Ror ->
+          (* amount reduced mod the width; wide-enough arithmetic on the
+             amount avoids truncation surprises *)
+          let amt = define e (fresh e 32) (Printf.sprintf "%s %% %d" b' wa) in
+          let left, right =
+            match op with
+            | Oyster.Ast.Rol -> (amt, Printf.sprintf "(%d - %s) %% %d" wa amt wa)
+            | _ -> (Printf.sprintf "(%d - %s) %% %d" wa amt wa, amt)
+          in
+          define e (fresh e w)
+            (Printf.sprintf "(%s << (%s)) | (%s >> (%s))" a' left a' right)
+      | Oyster.Ast.Eq -> bin "=="
+      | Oyster.Ast.Ne -> bin "!="
+      | Oyster.Ast.Ult -> bin "<"
+      | Oyster.Ast.Ule -> bin "<="
+      | Oyster.Ast.Ugt -> bin ">"
+      | Oyster.Ast.Uge -> bin ">="
+      | Oyster.Ast.Slt -> signed "<"
+      | Oyster.Ast.Sle -> signed "<="
+      | Oyster.Ast.Sgt -> signed ">"
+      | Oyster.Ast.Sge -> signed ">=")
+  | Oyster.Ast.Ite (c, a, b) ->
+      let c' = emit_expr e c in
+      let a' = emit_expr e a in
+      let b' = emit_expr e b in
+      define e (fresh e w) (Printf.sprintf "%s ? %s : %s" c' a' b')
+  | Oyster.Ast.Extract (h, l, a) ->
+      let a' = emit_expr e a in
+      define e (fresh e w) (Printf.sprintf "%s[%d:%d]" a' h l)
+  | Oyster.Ast.Concat (a, b) ->
+      let a' = emit_expr e a in
+      let b' = emit_expr e b in
+      define e (fresh e w) (Printf.sprintf "{%s, %s}" a' b')
+  | Oyster.Ast.Zext (a, _) ->
+      let wa = width_of e a in
+      let a' = emit_expr e a in
+      if w = wa then a'
+      else define e (fresh e w) (Printf.sprintf "{%d'd0, %s}" (w - wa) a')
+  | Oyster.Ast.Sext (a, _) ->
+      let wa = width_of e a in
+      let a' = emit_expr e a in
+      if w = wa then a'
+      else
+        define e (fresh e w)
+          (Printf.sprintf "{{%d{%s[%d]}}, %s}" (w - wa) a' (wa - 1) a')
+  | Oyster.Ast.Read (m, a) ->
+      let a' = emit_expr e a in
+      define e (fresh e w) (Printf.sprintf "%s[%s]" m a')
+  | Oyster.Ast.RomRead (r, a) ->
+      let a' = emit_expr e a in
+      define e (fresh e w) (Printf.sprintf "%s[%s]" r a')
+
+let clmul_function w high =
+  let name = if high then Printf.sprintf "clmulh%d" w else Printf.sprintf "clmul%d" w in
+  String.concat "\n"
+    [ Printf.sprintf "  function [%d:0] %s(input [%d:0] a, input [%d:0] b);"
+        (w - 1) name (w - 1) (w - 1);
+      Printf.sprintf "    reg [%d:0] acc; integer i;" ((2 * w) - 1);
+      "    begin";
+      "      acc = 0;";
+      Printf.sprintf "      for (i = 0; i < %d; i = i + 1)" w;
+      Printf.sprintf "        if (b[i]) acc = acc ^ ({%d'd0, a} << i);" w;
+      (if high then Printf.sprintf "      %s = acc[%d:%d];" name ((2 * w) - 1) w
+       else Printf.sprintf "      %s = acc[%d:0];" name (w - 1));
+      "    end";
+      "  endfunction" ]
+
+let of_design (design : Oyster.Ast.design) : string =
+  if Oyster.Ast.holes design <> [] then
+    fail "design %s still has holes" design.Oyster.Ast.name;
+  ignore (Oyster.Typecheck.check design);
+  let tenv = Oyster.Typecheck.env_of_design design in
+  let all_names =
+    ref (List.map Oyster.Ast.decl_name design.Oyster.Ast.decls)
+  in
+  let e =
+    { buf = Buffer.create 4096; design; tenv; all_names; tmp = 0; body = [];
+      clmul_widths = [] }
+  in
+  let b fmt = Printf.ksprintf (fun s -> Buffer.add_string e.buf (s ^ "\n")) fmt in
+  (* ports *)
+  let inputs = Oyster.Ast.inputs design in
+  let outputs = Oyster.Ast.outputs design in
+  let ports =
+    "input wire clk"
+    :: List.map (fun (n, w) -> Printf.sprintf "input wire [%d:0] %s" (w - 1) n) inputs
+    @ List.map
+        (fun (n, w) -> Printf.sprintf "output wire [%d:0] %s" (w - 1) n)
+        outputs
+  in
+  b "// generated from Oyster design %s" design.Oyster.Ast.name;
+  b "module %s(" design.Oyster.Ast.name;
+  b "  %s" (String.concat ",\n  " ports);
+  b ");";
+  (* state declarations *)
+  List.iter
+    (fun (n, w) -> b "  reg [%d:0] %s = 0;" (w - 1) n)
+    (Oyster.Ast.registers design);
+  List.iter
+    (fun (n, aw, dw) -> b "  reg [%d:0] %s [0:%d];" (dw - 1) n ((1 lsl aw) - 1))
+    (Oyster.Ast.memories design);
+  List.iter
+    (fun (r : Oyster.Ast.rom_decl) ->
+      b "  reg [%d:0] %s [0:%d];"
+        (Bitvec.width r.Oyster.Ast.rom_data.(0) - 1)
+        r.Oyster.Ast.rom_name
+        (Array.length r.Oyster.Ast.rom_data - 1);
+      b "  initial begin";
+      Array.iteri
+        (fun i v -> b "    %s[%d] = %s;" r.Oyster.Ast.rom_name i (vconst v))
+        r.Oyster.Ast.rom_data;
+      b "  end")
+    (Oyster.Ast.roms design);
+  (* statements: combinational wires inline; sequential effects collected *)
+  let seq : string list ref = ref [] in
+  List.iter
+    (fun stmt ->
+      match stmt with
+      | Oyster.Ast.Assign (name, rhs) -> (
+          match Oyster.Ast.find_decl design name with
+          | Some (Oyster.Ast.Wire (_, w)) ->
+              let rhs' = emit_expr e rhs in
+              e.body <-
+                Printf.sprintf "  wire [%d:0] %s = %s;" (w - 1) name rhs' :: e.body
+          | Some (Oyster.Ast.Output _) ->
+              let rhs' = emit_expr e rhs in
+              e.body <- Printf.sprintf "  assign %s = %s;" name rhs' :: e.body
+          | Some (Oyster.Ast.Register _) ->
+              let rhs' = emit_expr e rhs in
+              seq := Printf.sprintf "    %s <= %s;" name rhs' :: !seq
+          | _ -> fail "bad assignment target %s" name)
+      | Oyster.Ast.Write { mem; addr; data; enable } ->
+          let a' = emit_expr e addr in
+          let d' = emit_expr e data in
+          let en' = emit_expr e enable in
+          seq := Printf.sprintf "    if (%s) %s[%s] <= %s;" en' mem a' d' :: !seq)
+    design.Oyster.Ast.stmts;
+  List.iter (fun (w, high) -> b "%s" (clmul_function w high)) e.clmul_widths;
+  List.iter (fun line -> b "%s" line) (List.rev e.body);
+  b "  always @(posedge clk) begin";
+  List.iter (fun line -> b "%s" line) (List.rev !seq);
+  b "  end";
+  b "endmodule";
+  Buffer.contents e.buf

@@ -1,0 +1,15 @@
+(** Verilog-2001 emission of hole-free Oyster designs, closing the loop the
+    paper's toolchain closes through PyRTL elaboration.
+
+    Emission is netlist-style (every sub-expression becomes a named wire,
+    because Verilog can only slice identifiers); registers and memory
+    writes share one [always @(posedge clk)] block in statement order, so
+    later writes win exactly as in the Oyster commit semantics; ROMs become
+    [initial]-initialized arrays; carry-less multiplies become generated
+    functions. *)
+
+exception Verilog_error of string
+
+val of_design : Oyster.Ast.design -> string
+(** Raises {!Verilog_error} if the design still has holes (synthesize
+    first), or {!Oyster.Typecheck.Type_error} if it is ill-formed. *)

@@ -1,0 +1,1 @@
+lib/ila/absfun.ml: List Option Printf

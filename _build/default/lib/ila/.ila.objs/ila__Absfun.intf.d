@@ -1,0 +1,1 @@
+lib/ila/absfun.mli:

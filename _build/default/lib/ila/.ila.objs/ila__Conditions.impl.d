@@ -1,0 +1,1 @@
+lib/ila/conditions.ml: Absfun Expr List Oyster Printf Spec Term

@@ -1,0 +1,1 @@
+lib/ila/conditions.mli: Absfun Expr Oyster Spec Term

@@ -1,0 +1,1 @@
+lib/ila/spec.ml: Array Bitvec Expr Hashtbl List Printf String

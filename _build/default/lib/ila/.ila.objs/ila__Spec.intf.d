@@ -1,0 +1,1 @@
+lib/ila/spec.mli: Bitvec Expr Hashtbl

@@ -1,0 +1,100 @@
+(* Abstraction functions (paper §3.2).
+
+   An abstraction function maps every architectural state element of a
+   specification to a datapath component of the sketch, annotated with the
+   time steps at which the architectural read/write effects occur in the
+   datapath, plus the number of cycles to evaluate symbolically and a list
+   of signals assumed true (for hazard handling).
+
+   Time-step convention used throughout this code base (see DESIGN.md):
+   states are s_0 (initial) .. s_k after k cycles of symbolic evaluation.
+
+     read:  t   the architectural read observes state s_{t-1}
+                (for inputs: the input sampled during cycle t)
+     write: t   the architectural write is performed during cycle t and is
+                observed in state s_t
+     assume (w, t)   wire w evaluates to 1 during cycle t *)
+
+type dp_type = Dinput | Doutput | Dregister | Dmemory
+
+type mapping = {
+  spec_id : string;  (* name of the spec input / state element *)
+  port : string option;
+      (* matches the [port] of spec Loads when one architectural memory is
+         split over several datapath memories; [None] is the default port *)
+  dp_name : string;
+  dp_type : dp_type;
+  reads : int list;
+  writes : int list;
+  addr_via : string option;
+      (* for memory mappings: a datapath wire that carries the access
+         address at the read time step.  This encodes a microarchitectural
+         invariant (e.g. "the fetch address equals the architectural pc when
+         the instruction enters the pipeline") so that specification-side
+         loads become the exact terms the datapath computes. *)
+}
+
+type t = {
+  mappings : mapping list;
+  cycles : int;
+  assumes : (string * int) list;
+}
+
+exception Absfun_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Absfun_error s)) fmt
+
+(* {1 Builders (concrete syntax close to the paper's)} *)
+
+let mapping ?port ?addr_via ~spec ~dp ~ty ?(reads = []) ?(writes = []) () =
+  { spec_id = spec; port; dp_name = dp; dp_type = ty; reads; writes; addr_via }
+
+let make ~cycles ?(assumes = []) mappings =
+  if cycles < 1 then fail "cycles must be >= 1";
+  List.iter
+    (fun m ->
+      List.iter
+        (fun t ->
+          if t < 1 || t > cycles then
+            fail "%s: read/write time %d out of range 1..%d" m.spec_id t cycles)
+        (m.reads @ m.writes))
+    mappings;
+  List.iter
+    (fun (_, t) ->
+      if t < 1 || t > cycles then fail "assume time %d out of range" t)
+    assumes;
+  { mappings; cycles; assumes }
+
+(* {1 Lookups} *)
+
+let mappings_for af spec_id =
+  List.filter (fun m -> m.spec_id = spec_id) af.mappings
+
+let read_mapping af spec_id ~port =
+  let candidates = mappings_for af spec_id in
+  let candidates = List.filter (fun m -> m.reads <> []) candidates in
+  match candidates with
+  | [] -> fail "no read mapping for %s" spec_id
+  | [ m ] -> m
+  | _ -> (
+      (* several read-capable mappings: select by port *)
+      match List.find_opt (fun m -> m.port = port) candidates with
+      | Some m -> m
+      | None ->
+          fail "ambiguous read mapping for %s (port %s)" spec_id
+            (Option.value port ~default:"<default>"))
+
+let write_mappings af spec_id =
+  List.filter (fun m -> m.writes <> []) (mappings_for af spec_id)
+
+let read_time m =
+  match m.reads with
+  | [ t ] -> t
+  | t :: _ -> t
+  | [] -> fail "%s has no read time" m.spec_id
+
+let write_time m =
+  match m.writes with
+  | [ t ] -> t
+  | t :: _ -> t
+  | [] -> fail "%s has no write time" m.spec_id

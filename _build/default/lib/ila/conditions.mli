@@ -1,0 +1,39 @@
+(** Compilation of ILA instructions into pre/postconditions over a symbolic
+    Oyster trace — the T[[.]] translation of paper Fig. 8 combined with the
+    abstraction-function substitution of Equation (1):
+
+    {v
+    Pre_j  [s_spec := alpha(s_0)]          (SetDecode -> assume)
+    Post_j [s_spec := alpha(s_1 .. s_k)]   (SetUpdate -> assert)
+    v}
+
+    Postconditions cover every architectural state element: updated
+    elements must equal their specified values, untouched ones must keep
+    their pre-state values (the frame).  Memory frames use one universally
+    quantified "challenge" address per write-capable datapath memory: in
+    the verification query its negation lets the solver search for a
+    differing address; in the CEGIS synthesis phase the counterexample
+    fixes it. *)
+
+exception Compile_error of string
+
+type conditions = {
+  instr_name : string;
+  pre : Term.t;  (** the compiled decode predicate *)
+  assumes : Term.t;  (** conjunction of abstraction-function assumptions *)
+  post : Term.t;
+  challenges : (string * Term.t) list;
+      (** datapath memory name -> its challenge address variable *)
+}
+
+val compile_expr : Spec.t -> Absfun.t -> Oyster.Symbolic.trace -> Expr.t -> Term.t
+(** Compiles a specification expression against the pre-state (reads follow
+    the abstraction function's read times and ports). *)
+
+val compile_instr :
+  Spec.t -> Absfun.t -> Oyster.Symbolic.trace -> Spec.instr -> conditions
+(** Raises {!Compile_error} on inconsistencies (trace length differs from
+    the abstraction function's [cycles], updates to unmapped state, ...). *)
+
+val compile : Spec.t -> Absfun.t -> Oyster.Symbolic.trace -> conditions list
+(** All instructions, in creation order. *)

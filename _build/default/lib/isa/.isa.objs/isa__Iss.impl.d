@@ -1,0 +1,1 @@
+lib/isa/iss.ml: Array Bitvec Hashtbl List Rv32

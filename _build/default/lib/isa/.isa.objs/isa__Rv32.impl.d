@@ -1,0 +1,1 @@
+lib/isa/rv32.ml: Bitvec List Option Printf

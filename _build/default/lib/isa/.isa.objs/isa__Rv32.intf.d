@@ -1,0 +1,1 @@
+lib/isa/rv32.mli: Bitvec

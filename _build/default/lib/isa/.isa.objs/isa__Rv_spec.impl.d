@@ -1,0 +1,1 @@
+lib/isa/rv_spec.ml: Bitvec Expr Ila List Rv32 Spec String

@@ -1,0 +1,1 @@
+lib/isa/rv_spec.mli: Ila Rv32

@@ -1,0 +1,260 @@
+(* Hand-written instruction-set simulator for RV32I + Zbkb + Zbkc.
+
+   This is the independent reference oracle: it shares no semantics code
+   with the ILA specification (lib/isa/rv_spec.ml) or the datapaths, so
+   agreement between them is meaningful evidence of correctness.
+
+   Memory model: word-addressed (see Rv32); i_mem and d_mem are separate,
+   matching the cores.  x0 is hardwired to zero. *)
+
+exception Halt  (* raised on a jump-to-self (the conventional "done" loop) *)
+
+type t = {
+  variant : Rv32.isa_variant;
+  cmov : bool;  (* accept the bespoke CMOV instruction (paper §4.2) *)
+  mutable pc : Bitvec.t;  (* 32 bits *)
+  regs : Bitvec.t array;  (* 32 registers, 32 bits *)
+  imem : (int, Bitvec.t) Hashtbl.t;  (* word index -> instruction *)
+  dmem : (int, Bitvec.t) Hashtbl.t;  (* word index -> data word *)
+  mutable cycles : int;
+}
+
+let create ?(variant = Rv32.RV32I_Zbkc) ?(cmov = false) () =
+  {
+    variant;
+    cmov;
+    pc = Bitvec.zero 32;
+    regs = Array.make 32 (Bitvec.zero 32);
+    imem = Hashtbl.create 256;
+    dmem = Hashtbl.create 256;
+    cycles = 0;
+  }
+
+let load_program t words =
+  List.iteri (fun i w -> Hashtbl.replace t.imem i w) words
+
+let get_reg t i = if i = 0 then Bitvec.zero 32 else t.regs.(i)
+let set_reg t i v = if i <> 0 then t.regs.(i) <- v
+
+let read_word tbl idx =
+  match Hashtbl.find_opt tbl idx with Some v -> v | None -> Bitvec.zero 32
+
+let dmem_read t word_idx = read_word t.dmem word_idx
+let dmem_write t word_idx v = Hashtbl.replace t.dmem word_idx v
+
+let b32 n = Bitvec.of_int ~width:32 n
+
+(* {1 Bit-manipulation semantics (Zbkb)} *)
+
+let rev8 x =
+  (* swap byte order *)
+  let byte i = Bitvec.extract ~high:((8 * i) + 7) ~low:(8 * i) x in
+  Bitvec.concat (byte 0) (Bitvec.concat (byte 1) (Bitvec.concat (byte 2) (byte 3)))
+
+let brev8 x =
+  (* reverse the bits inside each byte *)
+  Bitvec.of_bits
+    (Array.init 32 (fun i ->
+         let byte = i / 8 and bit = i mod 8 in
+         Bitvec.bit x ((byte * 8) + (7 - bit))))
+
+let zip x =
+  (* out[2i] = x[i], out[2i+1] = x[16+i] *)
+  Bitvec.of_bits
+    (Array.init 32 (fun i ->
+         if i mod 2 = 0 then Bitvec.bit x (i / 2) else Bitvec.bit x (16 + (i / 2))))
+
+let unzip x =
+  (* out[i] = x[2i], out[16+i] = x[2i+1] *)
+  Bitvec.of_bits
+    (Array.init 32 (fun i ->
+         if i < 16 then Bitvec.bit x (2 * i) else Bitvec.bit x ((2 * (i - 16)) + 1)))
+
+let pack a b =
+  (* rs2 low half over rs1 low half *)
+  Bitvec.concat (Bitvec.extract ~high:15 ~low:0 b) (Bitvec.extract ~high:15 ~low:0 a)
+
+let packh a b =
+  Bitvec.zext
+    (Bitvec.concat (Bitvec.extract ~high:7 ~low:0 b) (Bitvec.extract ~high:7 ~low:0 a))
+    32
+
+(* {1 Sub-word access helpers (word-addressed memory model)} *)
+
+let load_sub ~word ~offset ~size ~signed =
+  (* size: 0 byte, 1 half, 2 word; offset: byte offset 0..3 *)
+  match size with
+  | 0 ->
+      let byte =
+        Bitvec.extract ~high:((8 * offset) + 7) ~low:(8 * offset) word
+      in
+      if signed then Bitvec.sext byte 32 else Bitvec.zext byte 32
+  | 1 ->
+      let h = if offset land 2 = 0 then 0 else 1 in
+      let half = Bitvec.extract ~high:((16 * h) + 15) ~low:(16 * h) word in
+      if signed then Bitvec.sext half 32 else Bitvec.zext half 32
+  | _ -> word
+
+let store_sub ~old ~data ~offset ~size =
+  match size with
+  | 0 ->
+      let byte = Bitvec.extract ~high:7 ~low:0 data in
+      Bitvec.of_bits
+        (Array.init 32 (fun i ->
+             if i / 8 = offset then Bitvec.bit byte (i mod 8) else Bitvec.bit old i))
+  | 1 ->
+      let h = if offset land 2 = 0 then 0 else 1 in
+      let half = Bitvec.extract ~high:15 ~low:0 data in
+      Bitvec.of_bits
+        (Array.init 32 (fun i ->
+             if i / 16 = h then Bitvec.bit half (i mod 16) else Bitvec.bit old i))
+  | _ -> data
+
+(* {1 Stepping} *)
+
+exception Illegal_instruction of Bitvec.t
+
+let shamt v = Bitvec.zext (Bitvec.extract ~high:4 ~low:0 v) 32
+
+(* The CMOV encoding: R-type, opcode OP, funct3 5, funct7 0x07. *)
+let is_cmov w =
+  Rv32.get_opcode w = Rv32.op_reg && Rv32.get_funct3 w = 5 && Rv32.get_funct7 w = 0x07
+
+let step t =
+  let pc_word = Bitvec.to_int_exn (Bitvec.extract ~high:31 ~low:2 t.pc) in
+  let w = read_word t.imem pc_word in
+  if t.cmov && is_cmov w then begin
+    (* cmov rd, rs1, rs2: rd := rs2 <> 0 ? rs1 : rd *)
+    let rd = Rv32.get_rd w in
+    let rs1 = get_reg t (Rv32.get_rs1 w) in
+    let rs2 = get_reg t (Rv32.get_rs2 w) in
+    if not (Bitvec.is_zero rs2) then set_reg t rd rs1;
+    t.pc <- Bitvec.add t.pc (b32 4);
+    t.cycles <- t.cycles + 1
+  end
+  else
+  let desc =
+    match Rv32.decode t.variant w with
+    | Some d -> d
+    | None -> raise (Illegal_instruction w)
+  in
+  let rd = Rv32.get_rd w in
+  let rs1 = get_reg t (Rv32.get_rs1 w) in
+  let rs2 = get_reg t (Rv32.get_rs2 w) in
+  let pc4 = Bitvec.add t.pc (b32 4) in
+  let next_pc = ref pc4 in
+  let wb v = set_reg t rd v in
+  let of_bool c = if c then b32 1 else b32 0 in
+  let eff imm = Bitvec.add rs1 imm in
+  let word_idx a = Bitvec.to_int_exn (Bitvec.extract ~high:31 ~low:2 a) in
+  let offset a = Bitvec.to_int_exn (Bitvec.extract ~high:1 ~low:0 a) in
+  (match desc.Rv32.mnemonic with
+  | "lui" -> wb (Rv32.imm_u w)
+  | "auipc" -> wb (Bitvec.add t.pc (Rv32.imm_u w))
+  | "jal" ->
+      let target = Bitvec.add t.pc (Rv32.imm_j w) in
+      if Bitvec.equal target t.pc then raise Halt;
+      wb pc4;
+      next_pc := target
+  | "jalr" ->
+      let target =
+        Bitvec.logand (Bitvec.add rs1 (Rv32.imm_i w))
+          (Bitvec.lognot (b32 1))
+      in
+      if Bitvec.equal target t.pc then raise Halt;
+      wb pc4;
+      next_pc := target
+  | "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" ->
+      let taken =
+        match desc.Rv32.mnemonic with
+        | "beq" -> Bitvec.equal rs1 rs2
+        | "bne" -> not (Bitvec.equal rs1 rs2)
+        | "blt" -> Bitvec.slt rs1 rs2
+        | "bge" -> not (Bitvec.slt rs1 rs2)
+        | "bltu" -> Bitvec.ult rs1 rs2
+        | _ -> not (Bitvec.ult rs1 rs2)
+      in
+      if taken then next_pc := Bitvec.add t.pc (Rv32.imm_b w)
+  | "lb" | "lh" | "lw" | "lbu" | "lhu" ->
+      let a = eff (Rv32.imm_i w) in
+      let word = dmem_read t (word_idx a) in
+      let size, signed =
+        match desc.Rv32.mnemonic with
+        | "lb" -> (0, true)
+        | "lh" -> (1, true)
+        | "lw" -> (2, true)
+        | "lbu" -> (0, false)
+        | _ -> (1, false)
+      in
+      wb (load_sub ~word ~offset:(offset a) ~size ~signed)
+  | "sb" | "sh" | "sw" ->
+      let a = eff (Rv32.imm_s w) in
+      let size =
+        match desc.Rv32.mnemonic with "sb" -> 0 | "sh" -> 1 | _ -> 2
+      in
+      let old = dmem_read t (word_idx a) in
+      dmem_write t (word_idx a)
+        (store_sub ~old ~data:rs2 ~offset:(offset a) ~size)
+  | "addi" -> wb (Bitvec.add rs1 (Rv32.imm_i w))
+  | "slti" -> wb (of_bool (Bitvec.slt rs1 (Rv32.imm_i w)))
+  | "sltiu" -> wb (of_bool (Bitvec.ult rs1 (Rv32.imm_i w)))
+  | "xori" -> wb (Bitvec.logxor rs1 (Rv32.imm_i w))
+  | "ori" -> wb (Bitvec.logor rs1 (Rv32.imm_i w))
+  | "andi" -> wb (Bitvec.logand rs1 (Rv32.imm_i w))
+  | "slli" -> wb (Bitvec.shl rs1 (shamt (Rv32.imm_i w)))
+  | "srli" -> wb (Bitvec.lshr rs1 (shamt (Rv32.imm_i w)))
+  | "srai" -> wb (Bitvec.ashr rs1 (shamt (Rv32.imm_i w)))
+  | "add" -> wb (Bitvec.add rs1 rs2)
+  | "sub" -> wb (Bitvec.sub rs1 rs2)
+  | "sll" -> wb (Bitvec.shl rs1 (shamt rs2))
+  | "slt" -> wb (of_bool (Bitvec.slt rs1 rs2))
+  | "sltu" -> wb (of_bool (Bitvec.ult rs1 rs2))
+  | "xor" -> wb (Bitvec.logxor rs1 rs2)
+  | "srl" -> wb (Bitvec.lshr rs1 (shamt rs2))
+  | "sra" -> wb (Bitvec.ashr rs1 (shamt rs2))
+  | "or" -> wb (Bitvec.logor rs1 rs2)
+  | "and" -> wb (Bitvec.logand rs1 rs2)
+  (* Zbkb *)
+  | "rol" -> wb (Bitvec.rol rs1 (shamt rs2))
+  | "ror" -> wb (Bitvec.ror rs1 (shamt rs2))
+  | "rori" -> wb (Bitvec.ror rs1 (shamt (Rv32.imm_i w)))
+  | "andn" -> wb (Bitvec.logand rs1 (Bitvec.lognot rs2))
+  | "orn" -> wb (Bitvec.logor rs1 (Bitvec.lognot rs2))
+  | "xnor" -> wb (Bitvec.lognot (Bitvec.logxor rs1 rs2))
+  | "pack" -> wb (pack rs1 rs2)
+  | "packh" -> wb (packh rs1 rs2)
+  | "rev8" -> wb (rev8 rs1)
+  | "brev8" -> wb (brev8 rs1)
+  | "zip" -> wb (zip rs1)
+  | "unzip" -> wb (unzip rs1)
+  (* Zbkc *)
+  | "clmul" -> wb (Bitvec.clmul rs1 rs2)
+  | "clmulh" -> wb (Bitvec.clmulh rs1 rs2)
+  (* M *)
+  | "mul" -> wb (Bitvec.mul rs1 rs2)
+  | "mulh" ->
+      wb (Bitvec.extract ~high:63 ~low:32
+            (Bitvec.mul (Bitvec.sext rs1 64) (Bitvec.sext rs2 64)))
+  | "mulhsu" ->
+      wb (Bitvec.extract ~high:63 ~low:32
+            (Bitvec.mul (Bitvec.sext rs1 64) (Bitvec.zext rs2 64)))
+  | "mulhu" ->
+      wb (Bitvec.extract ~high:63 ~low:32
+            (Bitvec.mul (Bitvec.zext rs1 64) (Bitvec.zext rs2 64)))
+  | "div" -> wb (Bitvec.sdiv rs1 rs2)
+  | "divu" -> wb (Bitvec.udiv rs1 rs2)
+  | "rem" -> wb (Bitvec.srem rs1 rs2)
+  | "remu" -> wb (Bitvec.urem rs1 rs2)
+  | m -> failwith ("Iss.step: unhandled mnemonic " ^ m));
+  t.pc <- !next_pc;
+  t.cycles <- t.cycles + 1
+
+let run ?(max_cycles = 1_000_000) t =
+  try
+    while t.cycles < max_cycles do
+      step t
+    done;
+    `Max_cycles
+  with
+  | Halt -> `Halted
+  | Illegal_instruction w -> `Illegal w

@@ -1,0 +1,54 @@
+(** Hand-written instruction-set simulator for RV32I + Zbkb + Zbkc (plus,
+    optionally, the bespoke CMOV instruction of paper §4.2).
+
+    This is the independent reference oracle: it shares no semantics code
+    with the ILA specification ({!Rv_spec}) or the datapath sketches, so
+    their agreement — checked by property tests and core co-simulation —
+    is meaningful evidence of correctness.
+
+    [x0] is hardwired to zero; i_mem and d_mem are separate word-addressed
+    memories, matching the cores; a jump to its own address raises {!Halt}
+    (the conventional "done" idiom of the testbenches). *)
+
+exception Halt
+
+exception Illegal_instruction of Bitvec.t
+
+type t = {
+  variant : Rv32.isa_variant;
+  cmov : bool;
+  mutable pc : Bitvec.t;
+  regs : Bitvec.t array;  (** 32 registers; read x0 through {!get_reg} *)
+  imem : (int, Bitvec.t) Hashtbl.t;  (** word index -> instruction *)
+  dmem : (int, Bitvec.t) Hashtbl.t;  (** word index -> data word *)
+  mutable cycles : int;
+}
+
+val create : ?variant:Rv32.isa_variant -> ?cmov:bool -> unit -> t
+(** Defaults: [RV32I_Zbkc], no CMOV. *)
+
+val load_program : t -> Bitvec.t list -> unit
+(** Places instruction words from address 0. *)
+
+val get_reg : t -> int -> Bitvec.t
+val set_reg : t -> int -> Bitvec.t -> unit
+val dmem_read : t -> int -> Bitvec.t
+val dmem_write : t -> int -> Bitvec.t -> unit
+
+val is_cmov : Bitvec.t -> bool
+(** Recognizes the CMOV encoding (OP, funct3 5, funct7 0x07). *)
+
+val step : t -> unit
+(** Executes one instruction.  Raises {!Halt} or
+    {!Illegal_instruction}. *)
+
+val run : ?max_cycles:int -> t -> [ `Halted | `Illegal of Bitvec.t | `Max_cycles ]
+
+(** {1 Zbkb reference semantics} (exposed for tests) *)
+
+val rev8 : Bitvec.t -> Bitvec.t
+val brev8 : Bitvec.t -> Bitvec.t
+val zip : Bitvec.t -> Bitvec.t
+val unzip : Bitvec.t -> Bitvec.t
+val pack : Bitvec.t -> Bitvec.t -> Bitvec.t
+val packh : Bitvec.t -> Bitvec.t -> Bitvec.t

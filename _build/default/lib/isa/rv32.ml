@@ -1,0 +1,244 @@
+(* RV32I base ISA (37 instructions: no FENCE/ECALL/EBREAK, as in the paper)
+   plus the Zbkb (12) and Zbkc (2) cryptography extensions: instruction
+   descriptors, field encodings, and an assembler.
+
+   Memory model used across the whole reproduction (spec, ISS, datapaths):
+   instruction and data memories are word-addressed (30-bit word index,
+   32-bit words).  Sub-word accesses select bytes/halfwords inside the
+   addressed word by the low address bits; a misaligned halfword selects the
+   halfword at bit 1 of the address (i.e. accesses never cross a word
+   boundary).  This matches simple embedded cores without misalignment
+   traps and is applied identically on the specification and datapath
+   sides (see DESIGN.md). *)
+
+type format = R | I | S | B | U | J
+
+type ext = Base | Zbkb | Zbkc | M
+
+type descriptor = {
+  mnemonic : string;
+  format : format;
+  opcode : int;  (* 7 bits *)
+  funct3 : int option;
+  funct7 : int option;  (* for R-type and immediate shifts/rotates *)
+  rs2f : int option;
+      (* fixed rs2 slot for unary permutations (rev8/brev8/zip/unzip),
+         which share funct7 and are distinguished by bits 24:20 *)
+  ext : ext;
+}
+
+let d mnemonic format opcode ?funct3 ?funct7 ?rs2f ext =
+  { mnemonic; format; opcode; funct3; funct7; rs2f; ext }
+
+(* Opcodes *)
+let op_lui = 0x37
+let op_auipc = 0x17
+let op_jal = 0x6f
+let op_jalr = 0x67
+let op_branch = 0x63
+let op_load = 0x03
+let op_store = 0x23
+let op_imm = 0x13
+let op_reg = 0x33
+
+let base =
+  [ d "lui" U op_lui Base;
+    d "auipc" U op_auipc Base;
+    d "jal" J op_jal Base;
+    d "jalr" I op_jalr ~funct3:0 Base;
+    d "beq" B op_branch ~funct3:0 Base;
+    d "bne" B op_branch ~funct3:1 Base;
+    d "blt" B op_branch ~funct3:4 Base;
+    d "bge" B op_branch ~funct3:5 Base;
+    d "bltu" B op_branch ~funct3:6 Base;
+    d "bgeu" B op_branch ~funct3:7 Base;
+    d "lb" I op_load ~funct3:0 Base;
+    d "lh" I op_load ~funct3:1 Base;
+    d "lw" I op_load ~funct3:2 Base;
+    d "lbu" I op_load ~funct3:4 Base;
+    d "lhu" I op_load ~funct3:5 Base;
+    d "sb" S op_store ~funct3:0 Base;
+    d "sh" S op_store ~funct3:1 Base;
+    d "sw" S op_store ~funct3:2 Base;
+    d "addi" I op_imm ~funct3:0 Base;
+    d "slti" I op_imm ~funct3:2 Base;
+    d "sltiu" I op_imm ~funct3:3 Base;
+    d "xori" I op_imm ~funct3:4 Base;
+    d "ori" I op_imm ~funct3:6 Base;
+    d "andi" I op_imm ~funct3:7 Base;
+    d "slli" I op_imm ~funct3:1 ~funct7:0x00 Base;
+    d "srli" I op_imm ~funct3:5 ~funct7:0x00 Base;
+    d "srai" I op_imm ~funct3:5 ~funct7:0x20 Base;
+    d "add" R op_reg ~funct3:0 ~funct7:0x00 Base;
+    d "sub" R op_reg ~funct3:0 ~funct7:0x20 Base;
+    d "sll" R op_reg ~funct3:1 ~funct7:0x00 Base;
+    d "slt" R op_reg ~funct3:2 ~funct7:0x00 Base;
+    d "sltu" R op_reg ~funct3:3 ~funct7:0x00 Base;
+    d "xor" R op_reg ~funct3:4 ~funct7:0x00 Base;
+    d "srl" R op_reg ~funct3:5 ~funct7:0x00 Base;
+    d "sra" R op_reg ~funct3:5 ~funct7:0x20 Base;
+    d "or" R op_reg ~funct3:6 ~funct7:0x00 Base;
+    d "and" R op_reg ~funct3:7 ~funct7:0x00 Base
+  ]
+
+let zbkb =
+  [ d "rol" R op_reg ~funct3:1 ~funct7:0x30 Zbkb;
+    d "ror" R op_reg ~funct3:5 ~funct7:0x30 Zbkb;
+    d "rori" I op_imm ~funct3:5 ~funct7:0x30 Zbkb;
+    d "andn" R op_reg ~funct3:7 ~funct7:0x20 Zbkb;
+    d "orn" R op_reg ~funct3:6 ~funct7:0x20 Zbkb;
+    d "xnor" R op_reg ~funct3:4 ~funct7:0x20 Zbkb;
+    d "pack" R op_reg ~funct3:4 ~funct7:0x04 Zbkb;
+    d "packh" R op_reg ~funct3:7 ~funct7:0x04 Zbkb;
+    (* unary bit permutations encoded as I-type with fixed imm12 *)
+    d "rev8" I op_imm ~funct3:5 ~funct7:0x34 ~rs2f:24 Zbkb;  (* imm12 = 0x698 *)
+    d "brev8" I op_imm ~funct3:5 ~funct7:0x34 ~rs2f:7 Zbkb;  (* imm12 = 0x687 *)
+    d "zip" I op_imm ~funct3:1 ~funct7:0x04 ~rs2f:15 Zbkb;  (* imm12 = 0x08f *)
+    d "unzip" I op_imm ~funct3:5 ~funct7:0x04 ~rs2f:15 Zbkb  (* imm12 = 0x08f *)
+  ]
+
+let zbkc =
+  [ d "clmul" R op_reg ~funct3:1 ~funct7:0x05 Zbkc;
+    d "clmulh" R op_reg ~funct3:3 ~funct7:0x05 Zbkc ]
+
+(* The M standard extension (multiply/divide), beyond the paper's variants:
+   it demonstrates ISA iteration over heavier functional units. *)
+let m_ext =
+  [ d "mul" R op_reg ~funct3:0 ~funct7:0x01 M;
+    d "mulh" R op_reg ~funct3:1 ~funct7:0x01 M;
+    d "mulhsu" R op_reg ~funct3:2 ~funct7:0x01 M;
+    d "mulhu" R op_reg ~funct3:3 ~funct7:0x01 M;
+    d "div" R op_reg ~funct3:4 ~funct7:0x01 M;
+    d "divu" R op_reg ~funct3:5 ~funct7:0x01 M;
+    d "rem" R op_reg ~funct3:6 ~funct7:0x01 M;
+    d "remu" R op_reg ~funct3:7 ~funct7:0x01 M ]
+
+(* The fixed 12-bit immediates of the unary Zbkb permutations (their rs2
+   slot is part of the encoding). *)
+let fixed_imm12 = function
+  | "rev8" -> Some 0x698
+  | "brev8" -> Some 0x687
+  | "zip" -> Some 0x08f
+  | "unzip" -> Some 0x08f
+  | _ -> None
+
+type isa_variant = RV32I | RV32I_Zbkb | RV32I_Zbkc | RV32I_M
+
+let instructions = function
+  | RV32I -> base
+  | RV32I_Zbkb -> base @ zbkb
+  | RV32I_Zbkc -> base @ zbkb @ zbkc
+  | RV32I_M -> base @ m_ext
+
+let variant_name = function
+  | RV32I -> "RV32I"
+  | RV32I_Zbkb -> "RV32I + Zbkb"
+  | RV32I_Zbkc -> "RV32I + Zbkc"
+  | RV32I_M -> "RV32I + M"
+
+let find variant mnemonic =
+  match List.find_opt (fun d -> d.mnemonic = mnemonic) (instructions variant) with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Rv32.find: no instruction %s" mnemonic)
+
+(* {1 Encoding}
+
+   Immediates are taken as OCaml ints in the natural signed range of the
+   format and encoded into the instruction word. *)
+
+let mask n bits = n land ((1 lsl bits) - 1)
+
+let encode_fields (desc : descriptor) ~rd ~rs1 ~rs2 ~imm =
+  let f3 = Option.value desc.funct3 ~default:0 in
+  let f7 = Option.value desc.funct7 ~default:0 in
+  match desc.format with
+  | R -> (f7 lsl 25) lor (mask rs2 5 lsl 20) lor (mask rs1 5 lsl 15)
+         lor (f3 lsl 12) lor (mask rd 5 lsl 7) lor desc.opcode
+  | I ->
+      let imm =
+        match fixed_imm12 desc.mnemonic with
+        | Some fixed -> fixed
+        | None -> (
+            (* immediate shifts/rotates carry funct7 in the upper imm bits *)
+            match desc.funct7 with
+            | Some f7 -> (f7 lsl 5) lor mask imm 5
+            | None -> mask imm 12)
+      in
+      (imm lsl 20) lor (mask rs1 5 lsl 15) lor (f3 lsl 12) lor (mask rd 5 lsl 7)
+      lor desc.opcode
+  | S ->
+      let imm = mask imm 12 in
+      (mask (imm lsr 5) 7 lsl 25) lor (mask rs2 5 lsl 20) lor (mask rs1 5 lsl 15)
+      lor (f3 lsl 12) lor (mask imm 5 lsl 7) lor desc.opcode
+  | B ->
+      let imm = mask imm 13 in
+      (mask (imm lsr 12) 1 lsl 31)
+      lor (mask (imm lsr 5) 6 lsl 25)
+      lor (mask rs2 5 lsl 20) lor (mask rs1 5 lsl 15) lor (f3 lsl 12)
+      lor (mask (imm lsr 1) 4 lsl 8)
+      lor (mask (imm lsr 11) 1 lsl 7)
+      lor desc.opcode
+  | U -> (mask (imm lsr 12) 20 lsl 12) lor (mask rd 5 lsl 7) lor desc.opcode
+  | J ->
+      let imm = mask imm 21 in
+      (mask (imm lsr 20) 1 lsl 31)
+      lor (mask (imm lsr 1) 10 lsl 21)
+      lor (mask (imm lsr 11) 1 lsl 20)
+      lor (mask (imm lsr 12) 8 lsl 12)
+      lor (mask rd 5 lsl 7) lor desc.opcode
+
+let encode variant mnemonic ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = 0) () =
+  let desc = find variant mnemonic in
+  Bitvec.of_int ~width:32 (encode_fields desc ~rd ~rs1 ~rs2 ~imm)
+
+(* {1 Field extraction (shared by the ISS)} *)
+
+let get_opcode w = Bitvec.to_int_exn (Bitvec.extract ~high:6 ~low:0 w)
+let get_rd w = Bitvec.to_int_exn (Bitvec.extract ~high:11 ~low:7 w)
+let get_funct3 w = Bitvec.to_int_exn (Bitvec.extract ~high:14 ~low:12 w)
+let get_rs1 w = Bitvec.to_int_exn (Bitvec.extract ~high:19 ~low:15 w)
+let get_rs2 w = Bitvec.to_int_exn (Bitvec.extract ~high:24 ~low:20 w)
+let get_funct7 w = Bitvec.to_int_exn (Bitvec.extract ~high:31 ~low:25 w)
+
+let imm_i w = Bitvec.sext (Bitvec.extract ~high:31 ~low:20 w) 32
+
+let imm_s w =
+  Bitvec.sext
+    (Bitvec.concat (Bitvec.extract ~high:31 ~low:25 w) (Bitvec.extract ~high:11 ~low:7 w))
+    32
+
+let imm_b w =
+  Bitvec.sext
+    (Bitvec.concat
+       (Bitvec.extract ~high:31 ~low:31 w)
+       (Bitvec.concat
+          (Bitvec.extract ~high:7 ~low:7 w)
+          (Bitvec.concat
+             (Bitvec.extract ~high:30 ~low:25 w)
+             (Bitvec.concat (Bitvec.extract ~high:11 ~low:8 w) (Bitvec.zero 1)))))
+    32
+
+let imm_u w =
+  Bitvec.concat (Bitvec.extract ~high:31 ~low:12 w) (Bitvec.zero 12)
+
+let imm_j w =
+  Bitvec.sext
+    (Bitvec.concat
+       (Bitvec.extract ~high:31 ~low:31 w)
+       (Bitvec.concat
+          (Bitvec.extract ~high:19 ~low:12 w)
+          (Bitvec.concat
+             (Bitvec.extract ~high:20 ~low:20 w)
+             (Bitvec.concat (Bitvec.extract ~high:30 ~low:21 w) (Bitvec.zero 1)))))
+    32
+
+(* Decode an instruction word back to its descriptor. *)
+let decode variant w =
+  let opc = get_opcode w and f3 = get_funct3 w and f7 = get_funct7 w in
+  List.find_opt
+    (fun desc ->
+      desc.opcode = opc
+      && (match desc.funct3 with None -> true | Some f -> f = f3)
+      && (match desc.funct7 with None -> true | Some f -> f = f7)
+      && (match desc.rs2f with None -> true | Some r -> r = get_rs2 w))
+    (instructions variant)

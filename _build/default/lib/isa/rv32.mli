@@ -1,0 +1,86 @@
+(** RV32I base ISA (37 instructions: no FENCE/ECALL/EBREAK, matching the
+    paper's §4.1 configuration) plus the Zbkb (12) and Zbkc (2)
+    cryptography extensions: instruction descriptors, field encodings, and
+    an assembler.
+
+    Memory model used across the whole reproduction (specification, ISS,
+    and datapaths): instruction and data memories are word-addressed
+    (30-bit word index, 32-bit words); sub-word accesses select bytes or
+    halfwords within the addressed word by the low address bits, so
+    accesses never cross a word boundary.  See DESIGN.md. *)
+
+type format = R | I | S | B | U | J
+
+type ext = Base | Zbkb | Zbkc | M
+
+type descriptor = {
+  mnemonic : string;
+  format : format;
+  opcode : int;  (** 7 bits *)
+  funct3 : int option;
+  funct7 : int option;  (** also for immediate shifts/rotates *)
+  rs2f : int option;
+      (** fixed rs2 slot for the unary permutations (rev8/brev8/zip/unzip),
+          which share funct7 and are distinguished by bits 24:20 *)
+  ext : ext;
+}
+
+(** {1 Opcode constants} *)
+
+val op_lui : int
+val op_auipc : int
+val op_jal : int
+val op_jalr : int
+val op_branch : int
+val op_load : int
+val op_store : int
+val op_imm : int
+val op_reg : int
+
+val base : descriptor list
+val zbkb : descriptor list
+val zbkc : descriptor list
+
+val m_ext : descriptor list
+(** The M standard extension (multiply/divide) — beyond the paper's
+    variants, demonstrating ISA iteration over heavier functional units. *)
+
+val fixed_imm12 : string -> int option
+(** The fixed 12-bit immediates encoding the unary Zbkb permutations. *)
+
+type isa_variant = RV32I | RV32I_Zbkb | RV32I_Zbkc | RV32I_M
+
+val instructions : isa_variant -> descriptor list
+val variant_name : isa_variant -> string
+
+val find : isa_variant -> string -> descriptor
+(** Raises [Invalid_argument] on unknown mnemonics. *)
+
+(** {1 Assembly} *)
+
+val encode_fields : descriptor -> rd:int -> rs1:int -> rs2:int -> imm:int -> int
+
+val encode :
+  isa_variant -> string -> ?rd:int -> ?rs1:int -> ?rs2:int -> ?imm:int -> unit ->
+  Bitvec.t
+(** Encodes one instruction; immediates are taken in the natural signed
+    range of the format (branch/jump offsets in bytes). *)
+
+(** {1 Field extraction} *)
+
+val get_opcode : Bitvec.t -> int
+val get_rd : Bitvec.t -> int
+val get_funct3 : Bitvec.t -> int
+val get_rs1 : Bitvec.t -> int
+val get_rs2 : Bitvec.t -> int
+val get_funct7 : Bitvec.t -> int
+
+val imm_i : Bitvec.t -> Bitvec.t
+val imm_s : Bitvec.t -> Bitvec.t
+val imm_b : Bitvec.t -> Bitvec.t
+val imm_u : Bitvec.t -> Bitvec.t
+val imm_j : Bitvec.t -> Bitvec.t
+(** Sign-extended 32-bit immediates per format. *)
+
+val decode : isa_variant -> Bitvec.t -> descriptor option
+(** The unique descriptor matching an instruction word, if any. *)

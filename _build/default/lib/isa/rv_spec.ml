@@ -1,0 +1,336 @@
+(* ILA specification for RV32I + Zbkb + Zbkc (paper §4.1), written against
+   the ILA DSL the way the IMDb-archive specs are written against the ILA
+   C++ library.
+
+   Architectural state:
+     pc   32-bit program counter
+     GPR  32 x 32-bit registers (x0 is preserved by construction: every
+          update stores the old value back when rd = 0)
+     mem  a single architectural memory (word-addressed); instruction
+          fetches use the "fetch" load port so the abstraction function can
+          split it over i_mem / d_mem as in the paper (§3.2)
+
+   Every instruction updates pc.  Semantics are written independently of
+   the ISS (lib/isa/iss.ml); their agreement is checked by property tests. *)
+
+open Ila
+
+let c w n = Expr.of_int ~width:w n
+
+(* Build a 32-bit value from a per-bit expression function (bit 0 = LSB). *)
+let of_bit_fn f =
+  let rec go i acc = if i >= 32 then acc else go (i + 1) (Expr.concat (f i) acc) in
+  go 1 (f 0)
+
+let bit x i = Expr.extract ~high:i ~low:i x
+
+type fields = {
+  instr : Expr.t;
+  opcode : Expr.t;
+  funct3 : Expr.t;
+  funct7 : Expr.t;
+  rs2slot : Expr.t;
+  rd : Expr.t;  (* 5 bits *)
+  rs1v : Expr.t;
+  rs2v : Expr.t;
+  imm_i : Expr.t;
+  imm_s : Expr.t;
+  imm_b : Expr.t;
+  imm_u : Expr.t;
+  imm_j : Expr.t;
+  pc : Expr.t;
+  pc4 : Expr.t;
+}
+
+let mk_fields pc =
+  let open Expr in
+  let instr = load ~port:"fetch" "mem" (extract ~high:31 ~low:2 pc) in
+  let gpr a = load "GPR" a in
+  {
+    instr;
+    opcode = extract ~high:6 ~low:0 instr;
+    funct3 = extract ~high:14 ~low:12 instr;
+    funct7 = extract ~high:31 ~low:25 instr;
+    rs2slot = extract ~high:24 ~low:20 instr;
+    rd = extract ~high:11 ~low:7 instr;
+    rs1v = gpr (extract ~high:19 ~low:15 instr);
+    rs2v = gpr (extract ~high:24 ~low:20 instr);
+    imm_i = sext (extract ~high:31 ~low:20 instr) 32;
+    imm_s =
+      sext (concat (extract ~high:31 ~low:25 instr) (extract ~high:11 ~low:7 instr)) 32;
+    imm_b =
+      sext
+        (concat (bit instr 31)
+           (concat (bit instr 7)
+              (concat (extract ~high:30 ~low:25 instr)
+                 (concat (extract ~high:11 ~low:8 instr) (const (Bitvec.zero 1))))))
+        32;
+    imm_u = concat (extract ~high:31 ~low:12 instr) (const (Bitvec.zero 12));
+    imm_j =
+      sext
+        (concat (bit instr 31)
+           (concat (extract ~high:19 ~low:12 instr)
+              (concat (bit instr 20)
+                 (concat (extract ~high:30 ~low:21 instr) (const (Bitvec.zero 1))))))
+        32;
+    pc;
+    pc4 = Expr.(pc + c 32 4);
+  }
+
+(* {1 Sub-word access semantics (shared helpers, Expr level)} *)
+
+let byte_of word off =
+  (* off: 2-bit byte offset *)
+  let sel k = Expr.extract ~high:((8 * k) + 7) ~low:(8 * k) word in
+  let eqo n = Expr.Binop (Expr.Eq, off, c 2 n) in
+  Expr.ite (eqo 0) (sel 0)
+    (Expr.ite (eqo 1) (sel 1) (Expr.ite (eqo 2) (sel 2) (sel 3)))
+
+let half_of word off =
+  Expr.ite
+    (Expr.Binop (Expr.Eq, bit off 1, c 1 0))
+    (Expr.extract ~high:15 ~low:0 word)
+    (Expr.extract ~high:31 ~low:16 word)
+
+let insert_byte word off data =
+  let b = Expr.extract ~high:7 ~low:0 data in
+  let at k =
+    (* replace byte k of word *)
+    match k with
+    | 0 -> Expr.concat (Expr.extract ~high:31 ~low:8 word) b
+    | 1 ->
+        Expr.concat
+          (Expr.extract ~high:31 ~low:16 word)
+          (Expr.concat b (Expr.extract ~high:7 ~low:0 word))
+    | 2 ->
+        Expr.concat
+          (Expr.extract ~high:31 ~low:24 word)
+          (Expr.concat b (Expr.extract ~high:15 ~low:0 word))
+    | _ -> Expr.concat b (Expr.extract ~high:23 ~low:0 word)
+  in
+  let eqo n = Expr.Binop (Expr.Eq, off, c 2 n) in
+  Expr.ite (eqo 0) (at 0)
+    (Expr.ite (eqo 1) (at 1) (Expr.ite (eqo 2) (at 2) (at 3)))
+
+let insert_half word off data =
+  let h = Expr.extract ~high:15 ~low:0 data in
+  Expr.ite
+    (Expr.Binop (Expr.Eq, bit off 1, c 1 0))
+    (Expr.concat (Expr.extract ~high:31 ~low:16 word) h)
+    (Expr.concat h (Expr.extract ~high:15 ~low:0 word))
+
+(* {1 Zbkb semantics} *)
+
+let zbkb_rev8 x = of_bit_fn (fun i -> bit x (((3 - (i / 8)) * 8) + (i mod 8)))
+let zbkb_brev8 x = of_bit_fn (fun i -> bit x (((i / 8) * 8) + (7 - (i mod 8))))
+
+let zbkb_zip x =
+  of_bit_fn (fun i -> if i mod 2 = 0 then bit x (i / 2) else bit x (16 + (i / 2)))
+
+let zbkb_unzip x =
+  of_bit_fn (fun i -> if i < 16 then bit x (2 * i) else bit x ((2 * (i - 16)) + 1))
+
+let zbkb_pack a b =
+  Expr.concat (Expr.extract ~high:15 ~low:0 b) (Expr.extract ~high:15 ~low:0 a)
+
+let zbkb_packh a b =
+  Expr.zext
+    (Expr.concat (Expr.extract ~high:7 ~low:0 b) (Expr.extract ~high:7 ~low:0 a))
+    32
+
+(* {1 The specification} *)
+
+let shamt v = Expr.zext (Expr.extract ~high:4 ~low:0 v) 32
+
+(* For the constant-time cryptography core (paper §4.2): the bespoke ISA
+   drops conditional branches and adds CMOV. *)
+type flavour = Standard of Rv32.isa_variant | Cmov_isa
+
+let build flavour =
+  let name =
+    match flavour with
+    | Standard v -> "rv32_" ^ String.map (fun ch -> if ch = ' ' then '_' else ch) (Rv32.variant_name v)
+    | Cmov_isa -> "cmov_isa"
+  in
+  let s = Spec.create name in
+  let pc = Spec.new_bv_state s "pc" 32 in
+  let _ = Spec.new_mem_state s "GPR" ~addr_width:5 ~data_width:32 in
+  let _ = Spec.new_mem_state s "mem" ~addr_width:30 ~data_width:32 in
+  let f = mk_fields pc in
+  let open Expr in
+  let decode_of (desc : Rv32.descriptor) =
+    let checks =
+      [ (f.opcode == c 7 desc.Rv32.opcode) ]
+      @ (match desc.Rv32.funct3 with
+        | Some v -> [ (f.funct3 == c 3 v) ]
+        | None -> [])
+      @ (match desc.Rv32.funct7 with
+        | Some v -> [ (f.funct7 == c 7 v) ]
+        | None -> [])
+      @
+      match desc.Rv32.rs2f with
+      | Some v -> [ (f.rs2slot == c 5 v) ]
+      | None -> []
+    in
+    match checks with
+    | [] -> assert false
+    | e :: rest -> List.fold_left (fun acc x -> Expr.(acc && x)) e rest
+  in
+  (* GPR write that preserves x0. *)
+  let gpr_store rd value = (rd, ite (rd == c 5 0) (load "GPR" rd) value) in
+  let add_instr (desc : Rv32.descriptor) ?(extra_decode = []) ~updates () =
+    let i = Spec.new_instr s (String.uppercase_ascii desc.Rv32.mnemonic) in
+    Spec.set_decode i
+      (List.fold_left (fun acc x -> Expr.(acc && x)) (decode_of desc) extra_decode);
+    updates i
+  in
+  let simple_alu desc value =
+    add_instr desc ~updates:(fun i ->
+        Spec.set_mem_update i "GPR" [ gpr_store f.rd value ];
+        Spec.set_update i "pc" f.pc4;
+        ())
+      ()
+  in
+  let eff_i = f.rs1v + f.imm_i in
+  let eff_s = f.rs1v + f.imm_s in
+  let has mnemonic =
+    match flavour with
+    | Standard _ -> true
+    | Cmov_isa ->
+        (* keep only what SHA-256 straight-line code needs: no conditional
+           branches; loads/stores word-only; no AUIPC *)
+        not
+          (List.mem mnemonic
+             [ "beq"; "bne"; "blt"; "bge"; "bltu"; "bgeu"; "lb"; "lh"; "lbu";
+               "lhu"; "sb"; "sh"; "auipc" ])
+  in
+  let descriptors =
+    match flavour with
+    | Standard v -> Rv32.instructions v
+    | Cmov_isa -> List.filter (fun (d : Rv32.descriptor) -> has d.Rv32.mnemonic)
+                    (Rv32.instructions Rv32.RV32I_Zbkb)
+  in
+  List.iter
+    (fun (desc : Rv32.descriptor) ->
+      match desc.Rv32.mnemonic with
+      | "lui" -> simple_alu desc f.imm_u
+      | "auipc" -> simple_alu desc (f.pc + f.imm_u)
+      | "jal" ->
+          add_instr desc ~updates:(fun i ->
+              Spec.set_mem_update i "GPR" [ gpr_store f.rd f.pc4 ];
+              Spec.set_update i "pc" (f.pc + f.imm_j))
+            ()
+      | "jalr" ->
+          add_instr desc ~updates:(fun i ->
+              Spec.set_mem_update i "GPR" [ gpr_store f.rd f.pc4 ];
+              Spec.set_update i "pc"
+                (eff_i land lnot (c 32 1)))
+            ()
+      | "beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu" ->
+          let cond =
+            match desc.Rv32.mnemonic with
+            | "beq" -> f.rs1v == f.rs2v
+            | "bne" -> f.rs1v != f.rs2v
+            | "blt" -> f.rs1v <+ f.rs2v
+            | "bge" -> Expr.lnot (f.rs1v <+ f.rs2v)
+            | "bltu" -> f.rs1v < f.rs2v
+            | _ -> Expr.lnot (f.rs1v < f.rs2v)
+          in
+          add_instr desc ~updates:(fun i ->
+              Spec.set_update i "pc" (ite cond (f.pc + f.imm_b) f.pc4))
+            ()
+      | "lb" | "lh" | "lw" | "lbu" | "lhu" ->
+          let word = load "mem" (extract ~high:31 ~low:2 eff_i) in
+          let off = extract ~high:1 ~low:0 eff_i in
+          let value =
+            match desc.Rv32.mnemonic with
+            | "lb" -> sext (byte_of word off) 32
+            | "lbu" -> zext (byte_of word off) 32
+            | "lh" -> sext (half_of word off) 32
+            | "lhu" -> zext (half_of word off) 32
+            | _ -> word
+          in
+          simple_alu desc value
+      | "sb" | "sh" | "sw" ->
+          let widx = extract ~high:31 ~low:2 eff_s in
+          let old = load "mem" widx in
+          let off = extract ~high:1 ~low:0 eff_s in
+          let data =
+            match desc.Rv32.mnemonic with
+            | "sb" -> insert_byte old off f.rs2v
+            | "sh" -> insert_half old off f.rs2v
+            | _ -> f.rs2v
+          in
+          add_instr desc ~updates:(fun i ->
+              Spec.set_mem_update i "mem" [ (widx, data) ];
+              Spec.set_update i "pc" f.pc4)
+            ()
+      | "addi" -> simple_alu desc (f.rs1v + f.imm_i)
+      | "slti" -> simple_alu desc (zext (ite (f.rs1v <+ f.imm_i) Expr.tru Expr.fls) 32)
+      | "sltiu" -> simple_alu desc (zext (ite (f.rs1v < f.imm_i) Expr.tru Expr.fls) 32)
+      | "xori" -> simple_alu desc (f.rs1v lxor f.imm_i)
+      | "ori" -> simple_alu desc (f.rs1v lor f.imm_i)
+      | "andi" -> simple_alu desc (f.rs1v land f.imm_i)
+      | "slli" -> simple_alu desc (f.rs1v << shamt f.imm_i)
+      | "srli" -> simple_alu desc (f.rs1v >> shamt f.imm_i)
+      | "srai" -> simple_alu desc (f.rs1v >>+ shamt f.imm_i)
+      | "add" -> simple_alu desc (f.rs1v + f.rs2v)
+      | "sub" -> simple_alu desc (f.rs1v - f.rs2v)
+      | "sll" -> simple_alu desc (f.rs1v << shamt f.rs2v)
+      | "slt" -> simple_alu desc (zext (ite (f.rs1v <+ f.rs2v) Expr.tru Expr.fls) 32)
+      | "sltu" -> simple_alu desc (zext (ite (f.rs1v < f.rs2v) Expr.tru Expr.fls) 32)
+      | "xor" -> simple_alu desc (f.rs1v lxor f.rs2v)
+      | "srl" -> simple_alu desc (f.rs1v >> shamt f.rs2v)
+      | "sra" -> simple_alu desc (f.rs1v >>+ shamt f.rs2v)
+      | "or" -> simple_alu desc (f.rs1v lor f.rs2v)
+      | "and" -> simple_alu desc (f.rs1v land f.rs2v)
+      | "rol" -> simple_alu desc (Expr.Binop (Expr.Rol, f.rs1v, shamt f.rs2v))
+      | "ror" -> simple_alu desc (Expr.Binop (Expr.Ror, f.rs1v, shamt f.rs2v))
+      | "rori" -> simple_alu desc (Expr.Binop (Expr.Ror, f.rs1v, shamt f.imm_i))
+      | "andn" -> simple_alu desc (f.rs1v land lnot f.rs2v)
+      | "orn" -> simple_alu desc (f.rs1v lor lnot f.rs2v)
+      | "xnor" -> simple_alu desc (lnot (f.rs1v lxor f.rs2v))
+      | "pack" -> simple_alu desc (zbkb_pack f.rs1v f.rs2v)
+      | "packh" -> simple_alu desc (zbkb_packh f.rs1v f.rs2v)
+      | "rev8" -> simple_alu desc (zbkb_rev8 f.rs1v)
+      | "brev8" -> simple_alu desc (zbkb_brev8 f.rs1v)
+      | "zip" -> simple_alu desc (zbkb_zip f.rs1v)
+      | "unzip" -> simple_alu desc (zbkb_unzip f.rs1v)
+      | "clmul" -> simple_alu desc (Expr.Binop (Expr.Clmul, f.rs1v, f.rs2v))
+      | "clmulh" -> simple_alu desc (Expr.Binop (Expr.Clmulh, f.rs1v, f.rs2v))
+      | "mul" -> simple_alu desc (f.rs1v * f.rs2v)
+      | "mulh" ->
+          simple_alu desc
+            (extract ~high:63 ~low:32
+               (Expr.Binop (Expr.Mul, sext f.rs1v 64, sext f.rs2v 64)))
+      | "mulhsu" ->
+          simple_alu desc
+            (extract ~high:63 ~low:32
+               (Expr.Binop (Expr.Mul, sext f.rs1v 64, zext f.rs2v 64)))
+      | "mulhu" ->
+          simple_alu desc
+            (extract ~high:63 ~low:32
+               (Expr.Binop (Expr.Mul, zext f.rs1v 64, zext f.rs2v 64)))
+      | "div" -> simple_alu desc (Expr.Binop (Expr.Sdiv, f.rs1v, f.rs2v))
+      | "divu" -> simple_alu desc (Expr.Binop (Expr.Udiv, f.rs1v, f.rs2v))
+      | "rem" -> simple_alu desc (Expr.Binop (Expr.Srem, f.rs1v, f.rs2v))
+      | "remu" -> simple_alu desc (Expr.Binop (Expr.Urem, f.rs1v, f.rs2v))
+      | m -> failwith ("Rv_spec.build: unhandled mnemonic " ^ m))
+    descriptors;
+  (* The bespoke CMOV instruction (paper §4.2): cmov rd, rs1, rs2 writes
+     rs1 to rd when rs2 is non-zero, and leaves rd unchanged otherwise.
+     Encoding: R-type, opcode 0x33 (OP), funct3 5, funct7 0x07. *)
+  (match flavour with
+  | Cmov_isa ->
+      let i = Spec.new_instr s "CMOV" in
+      Spec.set_decode i
+        ((f.opcode == c 7 Rv32.op_reg) && (f.funct3 == c 3 5) && (f.funct7 == c 7 0x07));
+      let rdv = load "GPR" f.rd in
+      Spec.set_mem_update i "GPR"
+        [ gpr_store f.rd (ite (f.rs2v != c 32 0) f.rs1v rdv) ];
+      Spec.set_update i "pc" f.pc4
+  | Standard _ -> ());
+  s
+
+let spec variant = build (Standard variant)
+let cmov_spec () = build Cmov_isa

@@ -1,0 +1,21 @@
+(** ILA specifications for the RISC-V case studies (paper §4.1/§4.2),
+    written against the {!Ila} DSL the way the archived ILA specs are
+    written against the ILA C++ library.
+
+    Architectural state: [pc] (32 bits), [GPR] (a 32 x 32-bit memory state;
+    x0 is preserved because every update stores the old value back when
+    rd = 0), and a single architectural memory [mem] whose instruction
+    fetches use the ["fetch"] load port — letting the abstraction function
+    split it over i_mem/d_mem exactly as in paper §3.2. *)
+
+type flavour = Standard of Rv32.isa_variant | Cmov_isa
+
+val build : flavour -> Ila.Spec.t
+
+val spec : Rv32.isa_variant -> Ila.Spec.t
+(** RV32I / +Zbkb / +Zbkc. *)
+
+val cmov_spec : unit -> Ila.Spec.t
+(** The bespoke constant-time ISA (paper §4.2): RV32I+Zbkb without
+    conditional branches, sub-word memory access, or AUIPC, plus the custom
+    CMOV instruction (rd := rs2 <> 0 ? rs1 : rd). *)

@@ -1,0 +1,275 @@
+(* Gate-level compilation of hole-free Oyster designs, for the design-size
+   comparison of paper Table 2.
+
+   The design is first evaluated symbolically for one cycle; the resulting
+   next-state / output / write terms are lowered to a gate netlist through
+   the shared {!Circuit} constructors.  Small memories (register files, FSM
+   tables: address width <= [materialize_threshold]) become DFF arrays with
+   mux read ports and decoded write ports; large memories (i_mem, d_mem)
+   stay black boxes whose port logic is still counted.
+
+   Two modes stand in for the paper's "before/after Yosys" comparison:
+
+   - raw: constants fold (any synthesis front-end does that much), but no
+     structural sharing — every gate the datapath describes is emitted, and
+     unused logic remains;
+   - optimized: structural hashing (CSE), algebraic shortcuts (x&x, x^x,
+     ite with equal branches, double negation, ...), and dead-gate
+     elimination from the design's roots. *)
+
+type counts = {
+  ands : int;
+  ors : int;
+  xors : int;
+  nots : int;
+  muxes : int;
+  dffs : int;
+  total_gates : int;  (* combinational cells: and + or + xor + not + mux *)
+}
+
+let materialize_threshold = 6
+
+type node =
+  | Nconst of bool
+  | Nleaf  (* input, DFF output, or black-box memory read port *)
+  | Nand of int * int
+  | Nor of int * int
+  | Nxor of int * int
+  | Nnot of int
+  | Nmux of int * int * int
+
+type builder = {
+  optimize : bool;
+  mutable nodes : node array;
+  mutable n : int;
+  cache : (node, int) Hashtbl.t;
+}
+
+let new_builder optimize =
+  let b = { optimize; nodes = Array.make 1024 Nleaf; n = 0; cache = Hashtbl.create 4096 } in
+  b
+
+let alloc b node =
+  if b.n = Array.length b.nodes then begin
+    let a = Array.make (2 * b.n) Nleaf in
+    Array.blit b.nodes 0 a 0 b.n;
+    b.nodes <- a
+  end;
+  b.nodes.(b.n) <- node;
+  b.n <- b.n + 1;
+  b.n - 1
+
+let mk b node =
+  if b.optimize then begin
+    match Hashtbl.find_opt b.cache node with
+    | Some id -> id
+    | None ->
+        let id = alloc b node in
+        Hashtbl.add b.cache node id;
+        id
+  end
+  else alloc b node
+
+(* The two constants get fixed slots. *)
+let builder_create optimize =
+  let b = new_builder optimize in
+  let t = alloc b (Nconst true) in
+  let f = alloc b (Nconst false) in
+  assert (t = 0 && f = 1);
+  b
+
+let is_true id = id = 0
+let is_false id = id = 1
+
+let gates_module b =
+  let module G = struct
+    type lit = int
+
+    let tru = 0
+    let fls = 1
+
+    let neg l =
+      if is_true l then fls
+      else if is_false l then tru
+      else if b.optimize then
+        match b.nodes.(l) with Nnot x -> x | _ -> mk b (Nnot l)
+      else mk b (Nnot l)
+
+    let mk_and a y =
+      if is_false a || is_false y then fls
+      else if is_true a then y
+      else if is_true y then a
+      else if b.optimize && a = y then a
+      else
+        let a, y = if a < y then (a, y) else (y, a) in
+        mk b (Nand (a, y))
+
+    let mk_or a y =
+      if is_true a || is_true y then tru
+      else if is_false a then y
+      else if is_false y then a
+      else if b.optimize && a = y then a
+      else
+        let a, y = if a < y then (a, y) else (y, a) in
+        mk b (Nor (a, y))
+
+    let mk_xor a y =
+      if is_false a then y
+      else if is_false y then a
+      else if is_true a then neg y
+      else if is_true y then neg a
+      else if b.optimize && a = y then fls
+      else
+        let a, y = if a < y then (a, y) else (y, a) in
+        mk b (Nxor (a, y))
+
+    let mk_ite c a y =
+      if is_true c then a
+      else if is_false c then y
+      else if a = y then a
+      else if is_true a && is_false y then c
+      else if is_false a && is_true y then neg c
+      else mk b (Nmux (c, a, y))
+  end in
+  (module G : Circuit.GATES with type lit = int)
+
+exception Netlist_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Netlist_error s)) fmt
+
+let of_design ?(optimize = false) (design : Oyster.Ast.design) : counts =
+  if Oyster.Ast.holes design <> [] then
+    fail "design %s still has holes" design.Oyster.Ast.name;
+  let trace = Oyster.Symbolic.eval design ~cycles:1 in
+  let b = builder_create optimize in
+  let module G = (val gates_module b) in
+  let module W = Circuit.Words (G) in
+  (* materialized memory cells: mem name -> cell array (2^aw arrays of dw) *)
+  let materialized : (string, int array array) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (name, aw, dw) ->
+      if aw <= materialize_threshold then
+        Hashtbl.replace materialized name
+          (Array.init (1 lsl aw) (fun _ -> Array.init dw (fun _ -> alloc b Nleaf))))
+    (Oyster.Ast.memories design);
+  let mem_oyster_name (m : Term.mem) =
+    (* strip the session prefix: <p>mem!<name> *)
+    match String.rindex_opt m.Term.mem_name '!' with
+    | Some i ->
+        String.sub m.Term.mem_name (i + 1) (String.length m.Term.mem_name - i - 1)
+    | None -> m.Term.mem_name
+  in
+  let tctx =
+    W.make_tctx
+      ~var_bits:(fun _name w -> Array.init w (fun _ -> alloc b Nleaf))
+      ~read_bits:(fun m abits ->
+        match Hashtbl.find_opt materialized (mem_oyster_name m) with
+        | None ->
+            (* black-box read port: data bits are fresh leaves *)
+            Array.init m.Term.data_width (fun _ -> alloc b Nleaf)
+        | Some cells ->
+            (* mux tree over the address bits *)
+            let dw = m.Term.data_width in
+            let rec select lo level =
+              if level < 0 then cells.(lo)
+              else
+                let lower = select lo (level - 1) in
+                let upper = select (lo + (1 lsl level)) (level - 1) in
+                Array.init dw (fun i -> G.mk_ite abits.(level) upper.(i) lower.(i))
+            in
+            select 0 (m.Term.addr_width - 1))
+  in
+  let compile t = W.term_bits tctx t in
+  let roots = ref [] in
+  let add_roots bits = roots := Array.to_list bits @ !roots in
+  (* outputs *)
+  List.iter
+    (fun (n, _) -> add_roots (compile (Oyster.Symbolic.wire_at trace ~cycle:1 n)))
+    (Oyster.Ast.outputs design);
+  (* register DFFs: next-state cones are roots *)
+  let dffs = ref 0 in
+  List.iter
+    (fun (n, w) ->
+      dffs := !dffs + w;
+      add_roots (compile (Oyster.Symbolic.reg_at trace ~state:1 n)))
+    (Oyster.Ast.registers design);
+  (* memory write ports *)
+  List.iter
+    (fun (name, aw, dw) ->
+      let writes = Oyster.Symbolic.writes_at trace ~state:1 name in
+      let compiled =
+        List.map
+          (fun (ev : Oyster.Symbolic.write_event) ->
+            ( compile ev.Oyster.Symbolic.w_addr,
+              compile ev.Oyster.Symbolic.w_data,
+              (compile ev.Oyster.Symbolic.w_enable).(0) ))
+          writes
+      in
+      match Hashtbl.find_opt materialized name with
+      | None ->
+          (* black box: the port logic itself is part of the design *)
+          List.iter
+            (fun (a, d, e) ->
+              add_roots a;
+              add_roots d;
+              add_roots [| e |])
+            compiled
+      | Some cells ->
+          dffs := !dffs + ((1 lsl aw) * dw);
+          (* next-state per cell: chronologically later writes win *)
+          Array.iteri
+            (fun i cell ->
+              let next =
+                List.fold_left
+                  (fun acc (a, d, e) ->
+                    let addr_match =
+                      W.mk_eq_bits a
+                        (W.const_bits (Bitvec.of_int ~width:aw i))
+                    in
+                    let sel = G.mk_and e addr_match in
+                    Array.init dw (fun k -> G.mk_ite sel d.(k) acc.(k)))
+                  cell compiled
+              in
+              add_roots next)
+            cells)
+    (Oyster.Ast.memories design);
+  (* count: in optimized mode only gates reachable from the roots *)
+  let live = Array.make b.n (not optimize) in
+  if optimize then begin
+    let rec visit id =
+      if not live.(id) then begin
+        live.(id) <- true;
+        match b.nodes.(id) with
+        | Nconst _ | Nleaf -> ()
+        | Nnot x -> visit x
+        | Nand (x, y) | Nor (x, y) | Nxor (x, y) ->
+            visit x;
+            visit y
+        | Nmux (c, x, y) ->
+            visit c;
+            visit x;
+            visit y
+      end
+    in
+    List.iter visit !roots
+  end;
+  let ands = ref 0 and ors = ref 0 and xors = ref 0 and nots = ref 0 and muxes = ref 0 in
+  for i = 0 to b.n - 1 do
+    if live.(i) then
+      match b.nodes.(i) with
+      | Nand _ -> incr ands
+      | Nor _ -> incr ors
+      | Nxor _ -> incr xors
+      | Nnot _ -> incr nots
+      | Nmux _ -> incr muxes
+      | Nconst _ | Nleaf -> ()
+  done;
+  {
+    ands = !ands;
+    ors = !ors;
+    xors = !xors;
+    nots = !nots;
+    muxes = !muxes;
+    dffs = !dffs;
+    total_gates = !ands + !ors + !xors + !nots + !muxes;
+  }

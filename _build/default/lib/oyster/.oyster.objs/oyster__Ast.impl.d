@@ -1,0 +1,1 @@
+lib/oyster/ast.ml: Bitvec Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/oyster/ast.mli: Bitvec

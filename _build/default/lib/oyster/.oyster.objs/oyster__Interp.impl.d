@@ -1,0 +1,1 @@
+lib/oyster/interp.ml: Array Ast Bitvec Hashtbl List Printf

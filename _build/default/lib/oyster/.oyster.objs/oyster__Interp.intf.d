@@ -1,0 +1,1 @@
+lib/oyster/interp.mli: Ast Bitvec Hashtbl

@@ -1,0 +1,1 @@
+lib/oyster/parser.ml: Array Ast Bitvec List Printf String

@@ -1,0 +1,1 @@
+lib/oyster/parser.mli: Ast

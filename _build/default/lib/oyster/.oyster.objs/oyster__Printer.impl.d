@@ -1,0 +1,1 @@
+lib/oyster/printer.ml: Array Ast Bitvec Format List String

@@ -1,0 +1,1 @@
+lib/oyster/printer.mli: Ast Format

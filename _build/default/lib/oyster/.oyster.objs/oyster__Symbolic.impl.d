@@ -1,0 +1,1 @@
+lib/oyster/symbolic.ml: Array Ast Hashtbl Interp List Printf Term Typecheck

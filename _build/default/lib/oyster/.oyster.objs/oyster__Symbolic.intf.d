@@ -1,0 +1,1 @@
+lib/oyster/symbolic.mli: Ast Term

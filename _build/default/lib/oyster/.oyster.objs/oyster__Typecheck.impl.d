@@ -1,0 +1,1 @@
+lib/oyster/typecheck.ml: Array Ast Bitvec Hashtbl List Printf

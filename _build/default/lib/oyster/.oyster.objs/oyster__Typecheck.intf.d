@@ -1,0 +1,1 @@
+lib/oyster/typecheck.mli: Ast Hashtbl

@@ -1,0 +1,1 @@
+lib/oyster/vcd.ml: Ast Bitvec Buffer Char Interp List Printf String

@@ -1,0 +1,1 @@
+lib/oyster/vcd.mli: Ast Bitvec Interp

@@ -1,0 +1,277 @@
+(* Hand-written recursive-descent parser for the textual Oyster format
+   emitted by Printer.  Grammar (one design per file):
+
+     design NAME { decl-or-stmt* }
+
+     decl  ::= input NAME W | output NAME W | wire NAME W | register NAME W
+             | memory NAME AW DW
+             | rom NAME AW [ CONST* ]
+             | hole NAME W (per-instruction|shared) ( NAME* )
+     stmt  ::= NAME := expr
+             | write NAME expr expr expr
+     expr  ::= NAME | CONST | ( OP expr* )
+
+   Comments run from ';' to end of line. *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+type token =
+  | Tident of string
+  | Tconst of Bitvec.t
+  | Tint of int
+  | Tlparen
+  | Trparen
+  | Tlbracket
+  | Trbracket
+  | Tlbrace
+  | Trbrace
+  | Tassign
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '!' || c = '$' || c = '-'
+
+let tokenize (src : string) : token list =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = ';' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then (toks := Tlparen :: !toks; incr i)
+    else if c = ')' then (toks := Trparen :: !toks; incr i)
+    else if c = '[' then (toks := Tlbracket :: !toks; incr i)
+    else if c = ']' then (toks := Trbracket :: !toks; incr i)
+    else if c = '{' then (toks := Tlbrace :: !toks; incr i)
+    else if c = '}' then (toks := Trbrace :: !toks; incr i)
+    else if c = ':' && !i + 1 < n && src.[!i + 1] = '=' then begin
+      toks := Tassign :: !toks;
+      i := !i + 2
+    end
+    else if is_ident_char c then begin
+      let start = !i in
+      while !i < n && (is_ident_char src.[!i] || src.[!i] = '\'') do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      if String.contains word '\'' then
+        toks := Tconst (try Bitvec.of_string word with Invalid_argument m -> fail "%s" m) :: !toks
+      else if String.length word > 0 && (word.[0] >= '0' && word.[0] <= '9') then
+        toks := Tint (try int_of_string word with _ -> fail "bad integer %S" word) :: !toks
+      else toks := Tident word :: !toks
+    end
+    else fail "unexpected character %C at offset %d" c !i
+  done;
+  List.rev !toks
+
+(* {1 Parsing} *)
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+
+let next s =
+  match s.toks with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+      s.toks <- rest;
+      t
+
+let expect_ident s =
+  match next s with Tident n -> n | _ -> fail "expected identifier"
+
+let expect_int s =
+  match next s with Tint n -> n | _ -> fail "expected integer"
+
+let expect s tok msg = if next s <> tok then fail "expected %s" msg
+
+let unop_of_name = function
+  | "not" -> Some Ast.Not
+  | "neg" -> Some Ast.Neg
+  | "redor" -> Some Ast.RedOr
+  | "redand" -> Some Ast.RedAnd
+  | "redxor" -> Some Ast.RedXor
+  | _ -> None
+
+let binop_of_name = function
+  | "and" -> Some Ast.And
+  | "or" -> Some Ast.Or
+  | "xor" -> Some Ast.Xor
+  | "add" -> Some Ast.Add
+  | "sub" -> Some Ast.Sub
+  | "mul" -> Some Ast.Mul
+  | "udiv" -> Some Ast.Udiv
+  | "urem" -> Some Ast.Urem
+  | "sdiv" -> Some Ast.Sdiv
+  | "srem" -> Some Ast.Srem
+  | "clmul" -> Some Ast.Clmul
+  | "clmulh" -> Some Ast.Clmulh
+  | "shl" -> Some Ast.Shl
+  | "lshr" -> Some Ast.Lshr
+  | "ashr" -> Some Ast.Ashr
+  | "rol" -> Some Ast.Rol
+  | "ror" -> Some Ast.Ror
+  | "eq" -> Some Ast.Eq
+  | "ne" -> Some Ast.Ne
+  | "ult" -> Some Ast.Ult
+  | "ule" -> Some Ast.Ule
+  | "ugt" -> Some Ast.Ugt
+  | "uge" -> Some Ast.Uge
+  | "slt" -> Some Ast.Slt
+  | "sle" -> Some Ast.Sle
+  | "sgt" -> Some Ast.Sgt
+  | "sge" -> Some Ast.Sge
+  | _ -> None
+
+let rec parse_expr s : Ast.expr =
+  match next s with
+  | Tident n -> Ast.Var n
+  | Tconst v -> Ast.Const v
+  | Tlparen -> (
+      let head = expect_ident s in
+      let e =
+        match head with
+        | "if" ->
+            let c = parse_expr s in
+            let a = parse_expr s in
+            let b = parse_expr s in
+            Ast.Ite (c, a, b)
+        | "extract" ->
+            let h = expect_int s in
+            let l = expect_int s in
+            Ast.Extract (h, l, parse_expr s)
+        | "concat" ->
+            let a = parse_expr s in
+            Ast.Concat (a, parse_expr s)
+        | "zext" ->
+            let a = parse_expr s in
+            Ast.Zext (a, expect_int s)
+        | "sext" ->
+            let a = parse_expr s in
+            Ast.Sext (a, expect_int s)
+        | "read" ->
+            let m = expect_ident s in
+            Ast.Read (m, parse_expr s)
+        | "romread" ->
+            let r = expect_ident s in
+            Ast.RomRead (r, parse_expr s)
+        | name -> (
+            match unop_of_name name with
+            | Some op -> Ast.Unop (op, parse_expr s)
+            | None -> (
+                match binop_of_name name with
+                | Some op ->
+                    let a = parse_expr s in
+                    Ast.Binop (op, a, parse_expr s)
+                | None -> fail "unknown operator %s" name))
+      in
+      expect s Trparen ")";
+      e)
+  | _ -> fail "expected expression"
+
+let parse_item s : [ `Decl of Ast.decl | `Stmt of Ast.stmt ] =
+  match next s with
+  | Tident "input" ->
+      let n = expect_ident s in
+      `Decl (Ast.Input (n, expect_int s))
+  | Tident "output" ->
+      let n = expect_ident s in
+      `Decl (Ast.Output (n, expect_int s))
+  | Tident "wire" ->
+      let n = expect_ident s in
+      `Decl (Ast.Wire (n, expect_int s))
+  | Tident "register" ->
+      let n = expect_ident s in
+      `Decl (Ast.Register (n, expect_int s))
+  | Tident "memory" ->
+      let n = expect_ident s in
+      let aw = expect_int s in
+      let dw = expect_int s in
+      `Decl (Ast.Memory { mem_name = n; addr_width = aw; data_width = dw })
+  | Tident "rom" ->
+      let n = expect_ident s in
+      let aw = expect_int s in
+      expect s Tlbracket "[";
+      let data = ref [] in
+      let rec loop () =
+        match peek s with
+        | Some Trbracket -> ignore (next s)
+        | Some (Tconst v) ->
+            ignore (next s);
+            data := v :: !data;
+            loop ()
+        | _ -> fail "expected constant or ] in rom data"
+      in
+      loop ();
+      `Decl
+        (Ast.Rom
+           { rom_name = n; rom_addr_width = aw;
+             rom_data = Array.of_list (List.rev !data) })
+  | Tident "hole" ->
+      let n = expect_ident s in
+      let w = expect_int s in
+      let kind =
+        match expect_ident s with
+        | "per-instruction" -> Ast.Per_instruction
+        | "shared" -> Ast.Shared
+        | k -> fail "unknown hole kind %s" k
+      in
+      expect s Tlparen "(";
+      let deps = ref [] in
+      let rec loop () =
+        match peek s with
+        | Some Trparen -> ignore (next s)
+        | Some (Tident d) ->
+            ignore (next s);
+            deps := d :: !deps;
+            loop ()
+        | _ -> fail "expected identifier or ) in hole deps"
+      in
+      loop ();
+      `Decl (Ast.Hole { hole_name = n; hole_width = w; kind; deps = List.rev !deps })
+  | Tident "write" ->
+      let mem = expect_ident s in
+      let addr = parse_expr s in
+      let data = parse_expr s in
+      let enable = parse_expr s in
+      `Stmt (Ast.Write { mem; addr; data; enable })
+  | Tident n -> (
+      match peek s with
+      | Some Tassign ->
+          ignore (next s);
+          `Stmt (Ast.Assign (n, parse_expr s))
+      | _ -> fail "expected := after %s" n)
+  | _ -> fail "expected declaration or statement"
+
+let parse_design (src : string) : Ast.design =
+  let s = { toks = tokenize src } in
+  (match next s with Tident "design" -> () | _ -> fail "expected 'design'");
+  let name = expect_ident s in
+  expect s Tlbrace "{";
+  let decls = ref [] and stmts = ref [] in
+  let rec loop () =
+    match peek s with
+    | Some Trbrace -> ignore (next s)
+    | Some _ ->
+        (match parse_item s with
+        | `Decl d ->
+            if !stmts <> [] then fail "declaration after statements";
+            decls := d :: !decls
+        | `Stmt st -> stmts := st :: !stmts);
+        loop ()
+    | None -> fail "unexpected end of input (missing })"
+  in
+  loop ();
+  (match peek s with
+  | None -> ()
+  | Some _ -> fail "trailing tokens after design");
+  { Ast.name; decls = List.rev !decls; stmts = List.rev !stmts }

@@ -1,0 +1,20 @@
+(** Recursive-descent parser for the textual Oyster format produced by
+    {!Printer}.  Comments run from [;] to end of line.
+
+    Grammar (one design per input):
+    {v
+    design NAME { decl-or-stmt* }
+    decl ::= input NAME W | output NAME W | wire NAME W | register NAME W
+           | memory NAME AW DW
+           | rom NAME AW [ CONST* ]
+           | hole NAME W (per-instruction|shared) ( NAME* )
+    stmt ::= NAME := expr
+           | write NAME expr expr expr
+    expr ::= NAME | CONST | ( OP expr* )
+    v} *)
+
+exception Parse_error of string
+
+val parse_design : string -> Ast.design
+(** Parses a complete design.  Raises {!Parse_error}; the result is not
+    typechecked (use {!Typecheck.check}). *)

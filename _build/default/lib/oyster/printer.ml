@@ -1,0 +1,100 @@
+(* Textual rendering of Oyster designs.  The format round-trips through
+   Parser and is the "lines of Oyster code" measure used by the Table 1
+   benchmark (one declaration or statement per line). *)
+
+let unop_name = function
+  | Ast.Not -> "not"
+  | Ast.Neg -> "neg"
+  | Ast.RedOr -> "redor"
+  | Ast.RedAnd -> "redand"
+  | Ast.RedXor -> "redxor"
+
+let binop_name = function
+  | Ast.And -> "and"
+  | Ast.Or -> "or"
+  | Ast.Xor -> "xor"
+  | Ast.Add -> "add"
+  | Ast.Sub -> "sub"
+  | Ast.Mul -> "mul"
+  | Ast.Udiv -> "udiv"
+  | Ast.Urem -> "urem"
+  | Ast.Sdiv -> "sdiv"
+  | Ast.Srem -> "srem"
+  | Ast.Clmul -> "clmul"
+  | Ast.Clmulh -> "clmulh"
+  | Ast.Shl -> "shl"
+  | Ast.Lshr -> "lshr"
+  | Ast.Ashr -> "ashr"
+  | Ast.Rol -> "rol"
+  | Ast.Ror -> "ror"
+  | Ast.Eq -> "eq"
+  | Ast.Ne -> "ne"
+  | Ast.Ult -> "ult"
+  | Ast.Ule -> "ule"
+  | Ast.Ugt -> "ugt"
+  | Ast.Uge -> "uge"
+  | Ast.Slt -> "slt"
+  | Ast.Sle -> "sle"
+  | Ast.Sgt -> "sgt"
+  | Ast.Sge -> "sge"
+
+let rec pp_expr fmt (e : Ast.expr) =
+  match e with
+  | Ast.Var n -> Format.pp_print_string fmt n
+  | Ast.Const v -> Format.pp_print_string fmt (Bitvec.to_string v)
+  | Ast.Unop (op, a) ->
+      Format.fprintf fmt "@[<hov 1>(%s@ %a)@]" (unop_name op) pp_expr a
+  | Ast.Binop (op, a, b) ->
+      Format.fprintf fmt "@[<hov 1>(%s@ %a@ %a)@]" (binop_name op) pp_expr a pp_expr b
+  | Ast.Ite (c, a, b) ->
+      Format.fprintf fmt "@[<hov 1>(if@ %a@ %a@ %a)@]" pp_expr c pp_expr a pp_expr b
+  | Ast.Extract (h, l, a) ->
+      Format.fprintf fmt "@[<hov 1>(extract %d %d@ %a)@]" h l pp_expr a
+  | Ast.Concat (a, b) ->
+      Format.fprintf fmt "@[<hov 1>(concat@ %a@ %a)@]" pp_expr a pp_expr b
+  | Ast.Zext (a, w) -> Format.fprintf fmt "@[<hov 1>(zext@ %a %d)@]" pp_expr a w
+  | Ast.Sext (a, w) -> Format.fprintf fmt "@[<hov 1>(sext@ %a %d)@]" pp_expr a w
+  | Ast.Read (m, a) -> Format.fprintf fmt "@[<hov 1>(read %s@ %a)@]" m pp_expr a
+  | Ast.RomRead (r, a) -> Format.fprintf fmt "@[<hov 1>(romread %s@ %a)@]" r pp_expr a
+
+let pp_decl fmt (d : Ast.decl) =
+  match d with
+  | Ast.Input (n, w) -> Format.fprintf fmt "input %s %d" n w
+  | Ast.Output (n, w) -> Format.fprintf fmt "output %s %d" n w
+  | Ast.Wire (n, w) -> Format.fprintf fmt "wire %s %d" n w
+  | Ast.Register (n, w) -> Format.fprintf fmt "register %s %d" n w
+  | Ast.Memory { mem_name; addr_width; data_width } ->
+      Format.fprintf fmt "memory %s %d %d" mem_name addr_width data_width
+  | Ast.Rom { rom_name; rom_addr_width; rom_data } ->
+      Format.fprintf fmt "rom %s %d [%s]" rom_name rom_addr_width
+        (String.concat " " (Array.to_list (Array.map Bitvec.to_string rom_data)))
+  | Ast.Hole { hole_name; hole_width; kind; deps } ->
+      Format.fprintf fmt "hole %s %d %s (%s)" hole_name hole_width
+        (match kind with Ast.Per_instruction -> "per-instruction" | Ast.Shared -> "shared")
+        (String.concat " " deps)
+
+let pp_stmt fmt (s : Ast.stmt) =
+  match s with
+  | Ast.Assign (n, e) -> Format.fprintf fmt "@[<hov 2>%s :=@ %a@]" n pp_expr e
+  | Ast.Write { mem; addr; data; enable } ->
+      Format.fprintf fmt "@[<hov 2>write %s@ %a@ %a@ %a@]" mem pp_expr addr
+        pp_expr data pp_expr enable
+
+let pp_design fmt (d : Ast.design) =
+  Format.pp_set_margin fmt 80;
+  Format.fprintf fmt "design %s {@\n" d.name;
+  List.iter (fun decl -> Format.fprintf fmt "  @[<hov 2>%a@]@\n" pp_decl decl) d.decls;
+  List.iter (fun stmt -> Format.fprintf fmt "  @[<hov 2>%a@]@\n" pp_stmt stmt) d.stmts;
+  Format.fprintf fmt "}@\n"
+
+let design_to_string d = Format.asprintf "%a" pp_design d
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+
+(* Lines of Oyster code: the sketch-size measure reported in Table 1 — the
+   number of non-blank lines of the textual rendering (expressions wrap at
+   80 columns, so a datapath with more functional units is longer). *)
+let loc (d : Ast.design) =
+  design_to_string d |> String.split_on_char '\n'
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.length

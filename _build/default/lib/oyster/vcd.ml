@@ -1,0 +1,88 @@
+(* Value Change Dump output from interpreter runs. *)
+
+type signal = {
+  sig_name : string;
+  sig_width : int;
+  code : string;  (* VCD identifier *)
+  mutable last : Bitvec.t option;  (* last emitted value *)
+}
+
+type recorder = {
+  design : Ast.design;
+  signals : signal list;  (* registers then wires/outputs/inputs *)
+  buf : Buffer.t;
+  mutable cycle : int;
+}
+
+(* Short printable identifier codes: base-94 over '!'..'~'. *)
+let code_of_index i =
+  let rec go i acc =
+    let c = Char.chr (33 + (i mod 94)) in
+    let acc = String.make 1 c ^ acc in
+    if i < 94 then acc else go ((i / 94) - 1) acc
+  in
+  go i ""
+
+let create (design : Ast.design) =
+  let names =
+    List.map (fun (n, w) -> (n, w)) (Ast.registers design)
+    @ Ast.inputs design @ Ast.wires design @ Ast.outputs design
+  in
+  let signals =
+    List.mapi
+      (fun i (n, w) -> { sig_name = n; sig_width = w; code = code_of_index i; last = None })
+      names
+  in
+  { design; signals; buf = Buffer.create 1024; cycle = 0 }
+
+let emit_value r s (v : Bitvec.t) =
+  match s.last with
+  | Some old when Bitvec.equal old v -> ()
+  | _ ->
+      s.last <- Some v;
+      if s.sig_width = 1 then
+        Buffer.add_string r.buf
+          (Printf.sprintf "%d%s\n" (if Bitvec.is_ones v then 1 else 0) s.code)
+      else begin
+        let bits =
+          String.init s.sig_width (fun i ->
+              if Bitvec.bit v (s.sig_width - 1 - i) then '1' else '0')
+        in
+        Buffer.add_string r.buf (Printf.sprintf "b%s %s\n" bits s.code)
+      end
+
+let sample r (state : Interp.state) (result : Interp.step_result) =
+  Buffer.add_string r.buf (Printf.sprintf "#%d\n" (r.cycle * 10));
+  List.iter
+    (fun s ->
+      let v =
+        match Ast.find_decl r.design s.sig_name with
+        | Some (Ast.Register _) -> Some (Interp.get_register state s.sig_name)
+        | _ -> List.assoc_opt s.sig_name result.Interp.wires
+      in
+      match v with Some v -> emit_value r s v | None -> ())
+    r.signals;
+  r.cycle <- r.cycle + 1
+
+let to_string r =
+  let header = Buffer.create 512 in
+  Buffer.add_string header "$timescale 1ns $end\n";
+  Buffer.add_string header
+    (Printf.sprintf "$scope module %s $end\n" r.design.Ast.name);
+  List.iter
+    (fun s ->
+      Buffer.add_string header
+        (Printf.sprintf "$var wire %d %s %s $end\n" s.sig_width s.code s.sig_name))
+    r.signals;
+  Buffer.add_string header "$upscope $end\n$enddefinitions $end\n";
+  Buffer.contents header ^ Buffer.contents r.buf
+  ^ Printf.sprintf "#%d\n" (r.cycle * 10)
+
+let simulate ?inputs ?hole_value ?state design ~cycles =
+  let st = match state with Some s -> s | None -> Interp.init design in
+  let r = create design in
+  for _ = 1 to cycles do
+    let result = Interp.step ?inputs ?hole_value st in
+    sample r st result
+  done;
+  to_string r

@@ -1,0 +1,26 @@
+(** Value Change Dump (IEEE 1364 §18) output from interpreter runs, for
+    inspecting simulations in any waveform viewer.
+
+    One simulation cycle advances time by 10 time units; registers are
+    sampled after each step (their post-edge values), combinational wires,
+    outputs and sampled inputs during it. *)
+
+type recorder
+
+val create : Ast.design -> recorder
+
+val sample : recorder -> Interp.state -> Interp.step_result -> unit
+(** Records one executed cycle. *)
+
+val to_string : recorder -> string
+(** The complete VCD document for the recorded cycles. *)
+
+val simulate :
+  ?inputs:(string -> int -> Bitvec.t) ->
+  ?hole_value:(string -> int -> Bitvec.t) ->
+  ?state:Interp.state ->
+  Ast.design ->
+  cycles:int ->
+  string
+(** Convenience: run the design for [cycles] (starting from [state] or a
+    fresh one) and dump everything. *)

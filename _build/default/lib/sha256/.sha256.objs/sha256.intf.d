@@ -1,0 +1,1 @@
+lib/sha256/sha256.mli:

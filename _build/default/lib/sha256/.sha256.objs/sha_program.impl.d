@@ -1,0 +1,1 @@
+lib/sha256/sha_program.ml: Array Bitvec Char Isa List Sha256 String

@@ -1,0 +1,23 @@
+(** Reference SHA-256 (FIPS 180-4) on plain OCaml integers masked to 32
+    bits — the oracle for the constant-time cryptography core experiment
+    (paper §5.2). *)
+
+val k : int array
+(** The 64 round constants. *)
+
+val h0 : int array
+(** The 8 initial hash values. *)
+
+val rotr : int -> int -> int
+
+val pad : string -> int array
+(** The padded message as big-endian 32-bit words (a multiple of 16). *)
+
+val compress : int array -> int array -> int array
+(** One compression-function application: chaining value, 16-word block. *)
+
+val digest_words : string -> int array
+(** The digest as 8 big-endian words. *)
+
+val digest_hex : string -> string
+(** The conventional 64-character lowercase hex digest. *)

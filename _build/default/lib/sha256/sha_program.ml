@@ -1,0 +1,186 @@
+(* Straight-line SHA-256 for the constant-time cryptography core
+   (paper §5.2).
+
+   The generated program is the same instruction sequence for every input:
+   the input length L is runtime data (word 0 of d_mem), and padding is
+   applied branch-free with shift/compare/CMOV sequences.  Inputs up to 55
+   bytes fit one padded block; the experiment uses 4..32 bytes.
+
+   Data-memory layout (word addresses):
+     0         L, the input length in bytes
+     1 .. 8    input, packed little-endian (byte i at word 1+i/4, lane i%4)
+     16 .. 79  W[0..63] message-schedule scratch
+     96 .. 103 digest output (big-endian words, as in FIPS 180-4)
+
+   Register use: x1..x8 = a..h, x9..x15 scratch, x16 = L.
+
+   The program ends with [jal x0, 0] — the conventional jump-to-self halt
+   recognized by both the ISS and the core testbenches. *)
+
+let input_base = 1
+let w_base = 16
+let digest_base = 96
+
+let variant = Isa.Rv32.RV32I_Zbkb
+
+type asm = { mutable code : Bitvec.t list }
+
+let emit a w = a.code <- w :: a.code
+
+let e a m ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = 0) () =
+  emit a (Isa.Rv32.encode variant m ~rd ~rs1 ~rs2 ~imm ())
+
+(* cmov rd, rs1, rs2 (bespoke encoding: OP, funct3 5, funct7 0x07) *)
+let cmov a ~rd ~rs1 ~rs2 =
+  emit a
+    (Bitvec.of_int ~width:32
+       ((0x07 lsl 25) lor (rs2 lsl 20) lor (rs1 lsl 15) lor (5 lsl 12)
+       lor (rd lsl 7) lor 0x33))
+
+(* Materialize a 32-bit constant with lui+addi (always two instructions so
+   the program shape is input-independent). *)
+let li a rd v =
+  let v = v land 0xFFFFFFFF in
+  let lo = v land 0xFFF in
+  let lo = if lo >= 0x800 then lo - 0x1000 else lo in
+  let hi = (v - lo) land 0xFFFFFFFF in
+  e a "lui" ~rd ~imm:hi ();
+  e a "addi" ~rd ~rs1:rd ~imm:lo ()
+
+let generate () : Bitvec.t list =
+  let a = { code = [] } in
+  (* x16 := L *)
+  e a "lw" ~rd:16 ~rs1:0 ~imm:0 ();
+  (* ---- padding and block construction: W[w] for w = 0..15 ---- *)
+  for w = 0 to 15 do
+    (* x9 := input word (zero beyond the 8 input words) *)
+    if w < 8 then e a "lw" ~rd:9 ~rs1:0 ~imm:(4 * (input_base + w)) ()
+    else e a "addi" ~rd:9 ~rs1:0 ~imm:0 ();
+    (* x10 := diff = L - 4w *)
+    e a "addi" ~rd:10 ~rs1:16 ~imm:(-4 * w) ();
+    (* x11 := 8*diff (shift amounts use the low 5 bits only; boundary cases
+       are fixed up with CMOV below) *)
+    e a "slli" ~rd:11 ~rs1:10 ~imm:3 ();
+    (* x12 := candidate mask = (1 << 8*diff) - 1 *)
+    e a "addi" ~rd:12 ~rs1:0 ~imm:1 ();
+    e a "sll" ~rd:12 ~rs1:12 ~rs2:11 ();
+    e a "addi" ~rd:12 ~rs1:12 ~imm:(-1) ();
+    (* x13 := diff >= 4 (signed): not (diff < 4) *)
+    e a "slti" ~rd:13 ~rs1:10 ~imm:4 ();
+    e a "xori" ~rd:13 ~rs1:13 ~imm:1 ();
+    (* x14 := diff <= 0 (signed) *)
+    e a "slti" ~rd:14 ~rs1:10 ~imm:1 ();
+    (* mask := ge4 ? 0xffffffff : mask; mask := le0 ? 0 : mask *)
+    e a "addi" ~rd:15 ~rs1:0 ~imm:(-1) ();
+    cmov a ~rd:12 ~rs1:15 ~rs2:13;
+    cmov a ~rd:12 ~rs1:0 ~rs2:14;
+    e a "and" ~rd:9 ~rs1:9 ~rs2:12 ();
+    (* pad byte 0x80 at lane diff when 0 <= diff <= 3 (unsigned diff < 4) *)
+    e a "sltiu" ~rd:13 ~rs1:10 ~imm:4 ();
+    e a "addi" ~rd:14 ~rs1:0 ~imm:0x80 ();
+    e a "sll" ~rd:14 ~rs1:14 ~rs2:11 ();
+    e a "addi" ~rd:15 ~rs1:0 ~imm:0 ();
+    cmov a ~rd:15 ~rs1:14 ~rs2:13;
+    e a "or" ~rd:9 ~rs1:9 ~rs2:15 ();
+    (* big-endian message word *)
+    e a "rev8" ~rd:9 ~rs1:9 ();
+    (* the last word carries the bit length (L <= 55 so the high word, w=14,
+       is zero already) *)
+    if w = 15 then begin
+      e a "slli" ~rd:14 ~rs1:16 ~imm:3 ();
+      e a "or" ~rd:9 ~rs1:9 ~rs2:14 ()
+    end;
+    e a "sw" ~rs1:0 ~rs2:9 ~imm:(4 * (w_base + w)) ()
+  done;
+  (* ---- message schedule: W[16..63] ---- *)
+  for t = 16 to 63 do
+    let waddr i = 4 * (w_base + i) in
+    e a "lw" ~rd:9 ~rs1:0 ~imm:(waddr (t - 15)) ();
+    e a "rori" ~rd:10 ~rs1:9 ~imm:7 ();
+    e a "rori" ~rd:11 ~rs1:9 ~imm:18 ();
+    e a "xor" ~rd:10 ~rs1:10 ~rs2:11 ();
+    e a "srli" ~rd:11 ~rs1:9 ~imm:3 ();
+    e a "xor" ~rd:10 ~rs1:10 ~rs2:11 ();  (* sigma0 *)
+    e a "lw" ~rd:9 ~rs1:0 ~imm:(waddr (t - 2)) ();
+    e a "rori" ~rd:11 ~rs1:9 ~imm:17 ();
+    e a "rori" ~rd:12 ~rs1:9 ~imm:19 ();
+    e a "xor" ~rd:11 ~rs1:11 ~rs2:12 ();
+    e a "srli" ~rd:12 ~rs1:9 ~imm:10 ();
+    e a "xor" ~rd:11 ~rs1:11 ~rs2:12 ();  (* sigma1 *)
+    e a "lw" ~rd:12 ~rs1:0 ~imm:(waddr (t - 16)) ();
+    e a "lw" ~rd:13 ~rs1:0 ~imm:(waddr (t - 7)) ();
+    e a "add" ~rd:10 ~rs1:10 ~rs2:11 ();
+    e a "add" ~rd:10 ~rs1:10 ~rs2:12 ();
+    e a "add" ~rd:10 ~rs1:10 ~rs2:13 ();
+    e a "sw" ~rs1:0 ~rs2:10 ~imm:(waddr t) ()
+  done;
+  (* ---- initialize working variables ---- *)
+  Array.iteri (fun i v -> li a (i + 1) v) Sha256.h0;
+  (* ---- 64 rounds ---- *)
+  for t = 0 to 63 do
+    (* T1 = h + Sigma1(e) + Ch(e,f,g) + K[t] + W[t]  (in x9) *)
+    e a "rori" ~rd:9 ~rs1:5 ~imm:6 ();
+    e a "rori" ~rd:10 ~rs1:5 ~imm:11 ();
+    e a "xor" ~rd:9 ~rs1:9 ~rs2:10 ();
+    e a "rori" ~rd:10 ~rs1:5 ~imm:25 ();
+    e a "xor" ~rd:9 ~rs1:9 ~rs2:10 ();
+    e a "and" ~rd:10 ~rs1:5 ~rs2:6 ();
+    e a "andn" ~rd:11 ~rs1:7 ~rs2:5 ();  (* g & ~e *)
+    e a "xor" ~rd:10 ~rs1:10 ~rs2:11 ();
+    e a "add" ~rd:9 ~rs1:9 ~rs2:10 ();
+    e a "add" ~rd:9 ~rs1:9 ~rs2:8 ();
+    li a 10 Sha256.k.(t);
+    e a "add" ~rd:9 ~rs1:9 ~rs2:10 ();
+    e a "lw" ~rd:10 ~rs1:0 ~imm:(4 * (w_base + t)) ();
+    e a "add" ~rd:9 ~rs1:9 ~rs2:10 ();
+    (* T2 = Sigma0(a) + Maj(a,b,c)  (in x10) *)
+    e a "rori" ~rd:10 ~rs1:1 ~imm:2 ();
+    e a "rori" ~rd:11 ~rs1:1 ~imm:13 ();
+    e a "xor" ~rd:10 ~rs1:10 ~rs2:11 ();
+    e a "rori" ~rd:11 ~rs1:1 ~imm:22 ();
+    e a "xor" ~rd:10 ~rs1:10 ~rs2:11 ();
+    e a "and" ~rd:11 ~rs1:1 ~rs2:2 ();
+    e a "and" ~rd:12 ~rs1:1 ~rs2:3 ();
+    e a "xor" ~rd:11 ~rs1:11 ~rs2:12 ();
+    e a "and" ~rd:12 ~rs1:2 ~rs2:3 ();
+    e a "xor" ~rd:11 ~rs1:11 ~rs2:12 ();
+    e a "add" ~rd:10 ~rs1:10 ~rs2:11 ();
+    (* rotate the working variables *)
+    e a "addi" ~rd:8 ~rs1:7 ~imm:0 ();  (* h = g *)
+    e a "addi" ~rd:7 ~rs1:6 ~imm:0 ();  (* g = f *)
+    e a "addi" ~rd:6 ~rs1:5 ~imm:0 ();  (* f = e *)
+    e a "add" ~rd:5 ~rs1:4 ~rs2:9 ();  (* e = d + T1 *)
+    e a "addi" ~rd:4 ~rs1:3 ~imm:0 ();  (* d = c *)
+    e a "addi" ~rd:3 ~rs1:2 ~imm:0 ();  (* c = b *)
+    e a "addi" ~rd:2 ~rs1:1 ~imm:0 ();  (* b = a *)
+    e a "add" ~rd:1 ~rs1:9 ~rs2:10 ()  (* a = T1 + T2 *)
+  done;
+  (* ---- digest = h0 + working variables ---- *)
+  Array.iteri
+    (fun i v ->
+      li a 9 v;
+      e a "add" ~rd:9 ~rs1:9 ~rs2:(i + 1) ();
+      e a "sw" ~rs1:0 ~rs2:9 ~imm:(4 * (digest_base + i)) ())
+    Sha256.h0;
+  (* halt *)
+  e a "jal" ~rd:0 ~imm:0 ();
+  List.rev a.code
+
+(* Pack an input string into the data-memory image: length word plus
+   little-endian packed words. *)
+let pack_input (msg : string) : (int * Bitvec.t) list =
+  if String.length msg > 32 then invalid_arg "Sha_program.pack_input: > 32 bytes";
+  let l = String.length msg in
+  let word w =
+    let byte j =
+      let i = (4 * w) + j in
+      if i < l then Char.code msg.[i] else 0
+    in
+    Bitvec.of_int ~width:32
+      (byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24))
+  in
+  (0, Bitvec.of_int ~width:32 l) :: List.init 8 (fun w -> (input_base + w, word w))
+
+(* Read the digest from a word-indexed read function. *)
+let read_digest (read_word : int -> Bitvec.t) : int array =
+  Array.init 8 (fun i -> Bitvec.to_int_exn (read_word (digest_base + i)))

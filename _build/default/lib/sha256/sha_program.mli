@@ -1,0 +1,28 @@
+(** Straight-line SHA-256 for the constant-time cryptography core (paper
+    §5.2): the generated program is the same instruction sequence for every
+    input; the input length is runtime data and padding is applied
+    branch-free with shift/compare/CMOV sequences.  Inputs up to 55 bytes
+    fit a single padded block (the experiment uses 4–32).
+
+    Data-memory layout (word addresses): word 0 holds the byte length;
+    words [input_base..input_base+7] the packed little-endian input;
+    [w_base..w_base+63] the message schedule scratch;
+    [digest_base..digest_base+7] the output digest (big-endian words). *)
+
+val input_base : int
+val w_base : int
+val digest_base : int
+
+val variant : Isa.Rv32.isa_variant
+(** The encoding variant used by the generator (RV32I+Zbkb, plus the
+    bespoke CMOV encoding). *)
+
+val generate : unit -> Bitvec.t list
+(** The program; it ends with the jump-to-self halt. *)
+
+val pack_input : string -> (int * Bitvec.t) list
+(** Data-memory image (word address, value) for an input of at most 32
+    bytes. *)
+
+val read_digest : (int -> Bitvec.t) -> int array
+(** Reads the 8 digest words through a word-indexed read function. *)

@@ -1,0 +1,1 @@
+lib/smt/blast.ml: Array Circuit Hashtbl Printf Sat Term

@@ -1,0 +1,1 @@
+lib/smt/circuit.ml: Array Bitvec Hashtbl Term

@@ -1,0 +1,1 @@
+lib/smt/circuit.mli: Bitvec Term

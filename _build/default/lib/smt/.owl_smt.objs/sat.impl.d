@@ -1,0 +1,1 @@
+lib/smt/sat.ml: Array Float List Option Printf Stdlib Unix

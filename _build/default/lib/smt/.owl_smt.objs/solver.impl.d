@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Array Bitvec Blast Hashtbl List Printf Sat String Term

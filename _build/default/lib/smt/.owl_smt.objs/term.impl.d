@@ -1,0 +1,1 @@
+lib/smt/term.ml: Array Bitvec Format Hashtbl List Printf Stdlib String

@@ -1,0 +1,32 @@
+(** Tseitin bit-blasting of bitvector terms to CNF.
+
+    A blasting context wraps a {!Sat} solver and maintains a structural gate
+    cache (so repeated subcircuits share literals) and a per-term cache (so
+    the DAG sharing of {!Term} carries over to the CNF).
+
+    [Read] nodes must be eliminated before blasting (the {!Solver} façade
+    Ackermannizes them); encountering one raises [Invalid_argument]. *)
+
+type t
+
+val create : Sat.t -> t
+
+val lit_true : t -> int
+(** The distinguished always-true literal. *)
+
+val blast : t -> Term.t -> int array
+(** [blast ctx term] returns one DIMACS literal per bit, LSB first. *)
+
+val assert_term : t -> Term.t -> unit
+(** Asserts a width-1 term to be true (adds a unit clause). *)
+
+val var_bits : t -> string -> int array option
+(** The literals allocated for a [Var] term, if it was blasted. *)
+
+(** {1 Gate-level API} (used by tests and the netlist backend) *)
+
+val mk_and : t -> int -> int -> int
+val mk_or : t -> int -> int -> int
+val mk_xor : t -> int -> int -> int
+val mk_ite : t -> int -> int -> int -> int
+(** [mk_ite c a b] is [if c then a else b]. *)

@@ -1,0 +1,46 @@
+(** A CDCL SAT solver.
+
+    Implements the standard modern architecture: two-watched-literal unit
+    propagation, first-UIP conflict analysis with clause learning, VSIDS
+    decision heuristic with phase saving, Luby restarts, and activity-based
+    learned-clause deletion.
+
+    Literals use the DIMACS convention: variable [v >= 1], positive literal
+    [v], negative literal [-v].  Clauses may be added between [solve] calls
+    (the solver restarts from decision level 0).
+
+    A deterministic conflict budget turns long searches into [Unknown]; the
+    benchmark harness uses this to reproduce the paper's Table 1 timeout row
+    reproducibly. *)
+
+type t
+
+type result = Sat | Unsat | Unknown
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocates a fresh variable and returns its (positive) index. *)
+
+val num_vars : t -> int
+val num_clauses : t -> int
+
+val conflicts : t -> int
+(** Total conflicts encountered across all [solve] calls. *)
+
+val add_clause : t -> int list -> unit
+(** Adds a clause.  The empty clause (or a clause whose literals are all
+    falsified at level 0) makes the instance unsatisfiable.  Raises
+    [Invalid_argument] on literals naming unallocated variables. *)
+
+val solve : ?assumptions:int list -> ?budget:int -> ?deadline:float -> t -> result
+(** [solve ~assumptions ~budget ~deadline s] checks satisfiability under the
+    given assumption literals.  [budget] bounds the number of conflicts for
+    this call and [deadline] (an absolute [Unix.gettimeofday] time) bounds
+    its wall-clock duration; exceeding either yields [Unknown].  After
+    [Sat], [value] reads the model.  After [Unsat] under assumptions, the
+    solver remains usable with different assumptions. *)
+
+val value : t -> int -> bool
+(** Model value of a variable after [solve] returned [Sat].  Variables the
+    search never assigned default to [false]. *)

@@ -1,0 +1,181 @@
+(* SMT façade: Ackermannization + bit-blasting + CDCL. *)
+
+type model = {
+  var_value : string -> Bitvec.t option;
+  read_values : (string * Bitvec.t * Bitvec.t) list;
+}
+
+type outcome = Sat of model | Unsat | Unknown
+
+type stats = { sat_vars : int; sat_clauses : int; sat_conflicts : int }
+
+let stats_ref = ref { sat_vars = 0; sat_clauses = 0; sat_conflicts = 0 }
+let last_stats () = !stats_ref
+
+(* Fresh names for Ackermann variables; a global counter keeps names unique
+   across queries (Term hash-consing and the Var registry are global). *)
+let ack_counter = ref 0
+
+(* {1 Ackermann expansion}
+
+   Replace every [Read (m, addr)] node by a fresh variable, bottom-up, and
+   record the (mem, rewritten-address, variable) instances.  For every pair
+   of instances on the same memory, add the congruence constraint
+   [addr1 = addr2 -> v1 = v2]. *)
+
+let ackermannize (assertions : Term.t list) =
+  let memo : (int, Term.t) Hashtbl.t = Hashtbl.create 256 in
+  (* key: (mem_name, rewritten address id) -> replacement var *)
+  let instance_tbl : (string * int, Term.t) Hashtbl.t = Hashtbl.create 64 in
+  let instances : (Term.mem * Term.t * Term.t) list ref = ref [] in
+  let rec go (t : Term.t) : Term.t =
+    match Hashtbl.find_opt memo (Term.id t) with
+    | Some r -> r
+    | None ->
+        let r =
+          match t.Term.node with
+          | Term.Const _ | Term.Var _ -> t
+          | Term.Not x -> Term.bnot (go x)
+          | Term.Binop (op, a, b) -> (
+              let a = go a and b = go b in
+              match op with
+              | Term.And -> Term.band a b
+              | Term.Or -> Term.bor a b
+              | Term.Xor -> Term.bxor a b
+              | Term.Add -> Term.add a b
+              | Term.Sub -> Term.sub a b
+              | Term.Mul -> Term.mul a b
+              | Term.Udiv -> Term.udiv a b
+              | Term.Urem -> Term.urem a b
+              | Term.Sdiv -> Term.sdiv a b
+              | Term.Srem -> Term.srem a b
+              | Term.Clmul -> Term.clmul a b
+              | Term.Clmulh -> Term.clmulh a b
+              | Term.Shl -> Term.shl a b
+              | Term.Lshr -> Term.lshr a b
+              | Term.Ashr -> Term.ashr a b)
+          | Term.Cmp (op, a, b) -> (
+              let a = go a and b = go b in
+              match op with
+              | Term.Eq -> Term.eq a b
+              | Term.Ult -> Term.ult a b
+              | Term.Ule -> Term.ule a b
+              | Term.Slt -> Term.slt a b
+              | Term.Sle -> Term.sle a b)
+          | Term.Ite (c, a, b) -> Term.ite (go c) (go a) (go b)
+          | Term.Extract (h, l, x) -> Term.extract ~high:h ~low:l (go x)
+          | Term.Concat (a, b) -> Term.concat (go a) (go b)
+          | Term.Table (tb, i) -> Term.table_read tb (go i)
+          | Term.Read (m, addr) -> (
+              let addr = go addr in
+              let key = (m.Term.mem_name, Term.id addr) in
+              match Hashtbl.find_opt instance_tbl key with
+              | Some v -> v
+              | None ->
+                  incr ack_counter;
+                  let v =
+                    Term.var
+                      (Printf.sprintf "ack!%s!%d" m.Term.mem_name !ack_counter)
+                      m.Term.data_width
+                  in
+                  Hashtbl.add instance_tbl key v;
+                  instances := (m, addr, v) :: !instances;
+                  v)
+        in
+        Hashtbl.add memo (Term.id t) r;
+        r
+  in
+  let rewritten = List.map go assertions in
+  (* congruence constraints per memory *)
+  let by_mem = Hashtbl.create 8 in
+  List.iter
+    (fun (m, addr, v) ->
+      let key = m.Term.mem_name in
+      let l = try Hashtbl.find by_mem key with Not_found -> [] in
+      Hashtbl.replace by_mem key ((addr, v) :: l))
+    !instances;
+  let congruences = ref [] in
+  Hashtbl.iter
+    (fun _ l ->
+      let arr = Array.of_list l in
+      for i = 0 to Array.length arr - 1 do
+        for j = i + 1 to Array.length arr - 1 do
+          let a1, v1 = arr.(i) and a2, v2 = arr.(j) in
+          congruences :=
+            Term.implies (Term.eq a1 a2) (Term.eq v1 v2) :: !congruences
+        done
+      done)
+    by_mem;
+  (rewritten @ !congruences, List.rev !instances)
+
+(* {1 Checking} *)
+
+let check ?(budget = max_int) ?deadline assertions =
+  List.iter
+    (fun t ->
+      if Term.width t <> 1 then invalid_arg "Solver.check: assertion width <> 1")
+    assertions;
+  (* Fast path: conjunction constant after simplification. *)
+  if List.exists Term.is_false assertions then
+    Unsat
+  else begin
+    let assertions, instances = ackermannize assertions in
+    if List.exists Term.is_false assertions then Unsat
+    else begin
+      let sat = Sat.create () in
+      let ctx = Blast.create sat in
+      List.iter (Blast.assert_term ctx) assertions;
+      let result = Sat.solve ~budget ?deadline sat in
+      stats_ref :=
+        {
+          sat_vars = Sat.num_vars sat;
+          sat_clauses = Sat.num_clauses sat;
+          sat_conflicts = Sat.conflicts sat;
+        };
+      match result with
+      | Sat.Unsat -> Unsat
+      | Sat.Unknown -> Unknown
+      | Sat.Sat ->
+          let var_value name =
+            match Blast.var_bits ctx name with
+            | None -> None
+            | Some bits ->
+                Some
+                  (Bitvec.of_bits
+                     (Array.map
+                        (fun l -> if l > 0 then Sat.value sat l else not (Sat.value sat (-l)))
+                        bits))
+          in
+          (* Evaluate read instance addresses under the model to produce the
+             word-level memory view.  Variables the blaster never saw were
+             simplified away; any value works, so they default to zero. *)
+          let env =
+            {
+              Term.lookup_var =
+                (fun n w ->
+                  match var_value n with
+                  | Some v -> Some v
+                  | None -> Some (Bitvec.zero w));
+              Term.lookup_read = (fun _ _ -> None);
+            }
+          in
+          let read_values =
+            List.map
+              (fun ((m : Term.mem), addr, v) ->
+                let a = Term.eval env addr in
+                let value = Term.eval env v in
+                (m.Term.mem_name, a, value))
+              instances
+          in
+          Sat { var_value; read_values }
+    end
+  end
+
+let read_lookup model (m : Term.mem) addr =
+  let rec go = function
+    | [] -> None
+    | (name, a, v) :: rest ->
+        if String.equal name m.Term.mem_name && Bitvec.equal a addr then Some v
+        else go rest
+  in
+  go model.read_values

@@ -1,0 +1,31 @@
+(** SMT façade: satisfiability of conjunctions of width-1 bitvector terms.
+
+    Pipeline: Ackermann-expand uninterpreted memory reads, bit-blast with
+    {!Blast}, decide with {!Sat}, and reconstruct a word-level model.
+
+    The [budget] bounds SAT conflicts; exhausting it yields [Unknown], which
+    the synthesis engine and the benchmark harness surface as a timeout. *)
+
+type model = {
+  var_value : string -> Bitvec.t option;
+      (** value of a named bitvector variable; [None] if the variable was
+          simplified away (callers should treat it as "any value") *)
+  read_values : (string * Bitvec.t * Bitvec.t) list;
+      (** [(mem_name, address, value)] for every distinct read instance,
+          with the address evaluated under the model *)
+}
+
+type outcome = Sat of model | Unsat | Unknown
+
+val check : ?budget:int -> ?deadline:float -> Term.t list -> outcome
+(** Checks satisfiability of the conjunction of the given width-1 terms.
+    [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]).
+    Raises [Invalid_argument] if any term is not width 1. *)
+
+val read_lookup : model -> Term.mem -> Bitvec.t -> Bitvec.t option
+(** Looks an address up in [read_values] (first match). *)
+
+type stats = { sat_vars : int; sat_clauses : int; sat_conflicts : int }
+
+val last_stats : unit -> stats
+(** Statistics of the most recent [check] call. *)

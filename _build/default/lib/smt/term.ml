@@ -1,0 +1,704 @@
+(* Hash-consed bitvector terms with bottom-up simplification. *)
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Udiv
+  | Urem
+  | Sdiv
+  | Srem
+  | Clmul
+  | Clmulh
+  | Shl
+  | Lshr
+  | Ashr
+
+type cmpop = Eq | Ult | Ule | Slt | Sle
+
+type mem = { mem_name : string; addr_width : int; data_width : int }
+type table = { tab_name : string; tab_addr_width : int; tab_data : Bitvec.t array }
+
+type t = { id : int; width : int; node : node }
+
+and node =
+  | Const of Bitvec.t
+  | Var of string
+  | Not of t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | Ite of t * t * t
+  | Extract of int * int * t
+  | Concat of t * t
+  | Read of mem * t
+  | Table of table * t
+
+let width t = t.width
+let id t = t.id
+let equal a b = a == b
+let compare a b = Stdlib.compare a.id b.id
+let hash t = t.id
+
+(* {1 Hash-consing}
+
+   Nodes are keyed structurally with children compared by id, so building
+   the same node twice yields the same physical term. *)
+
+module Key = struct
+  type k = node
+
+  let equal_node a b =
+    match (a, b) with
+    | Const x, Const y -> Bitvec.equal x y
+    | Var x, Var y -> String.equal x y
+    | Not x, Not y -> x == y
+    | Binop (o1, a1, b1), Binop (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | Cmp (o1, a1, b1), Cmp (o2, a2, b2) -> o1 = o2 && a1 == a2 && b1 == b2
+    | Ite (c1, a1, b1), Ite (c2, a2, b2) -> c1 == c2 && a1 == a2 && b1 == b2
+    | Extract (h1, l1, x), Extract (h2, l2, y) -> h1 = h2 && l1 = l2 && x == y
+    | Concat (a1, b1), Concat (a2, b2) -> a1 == a2 && b1 == b2
+    | Read (m1, a1), Read (m2, a2) -> String.equal m1.mem_name m2.mem_name && a1 == a2
+    | Table (t1, a1), Table (t2, a2) ->
+        String.equal t1.tab_name t2.tab_name && a1 == a2
+    | _ -> false
+
+  let hash_node = function
+    | Const v -> Hashtbl.hash (0, Bitvec.hash v)
+    | Var s -> Hashtbl.hash (1, s)
+    | Not x -> Hashtbl.hash (2, x.id)
+    | Binop (o, a, b) -> Hashtbl.hash (3, o, a.id, b.id)
+    | Cmp (o, a, b) -> Hashtbl.hash (4, o, a.id, b.id)
+    | Ite (c, a, b) -> Hashtbl.hash (5, c.id, a.id, b.id)
+    | Extract (h, l, x) -> Hashtbl.hash (6, h, l, x.id)
+    | Concat (a, b) -> Hashtbl.hash (7, a.id, b.id)
+    | Read (m, a) -> Hashtbl.hash (8, m.mem_name, a.id)
+    | Table (tb, a) -> Hashtbl.hash (9, tb.tab_name, a.id)
+
+  type t = k
+
+  let equal = equal_node
+  let hash = hash_node
+end
+
+module Cons = Hashtbl.Make (Key)
+
+let cons_table : t Cons.t = Cons.create 4096
+let next_id = ref 0
+
+(* Registries guarding against the same name being reused at a different
+   width (variables) or with different contents (tables). *)
+let var_registry : (string, int) Hashtbl.t = Hashtbl.create 256
+let table_registry : (string, table) Hashtbl.t = Hashtbl.create 16
+
+let intern width node =
+  match Cons.find_opt cons_table node with
+  | Some t -> t
+  | None ->
+      let t = { id = !next_id; width; node } in
+      incr next_id;
+      Cons.add cons_table node t;
+      t
+
+(* {1 Basic constructors} *)
+
+let const v = intern (Bitvec.width v) (Const v)
+let of_int ~width n = const (Bitvec.of_int ~width n)
+let zero w = const (Bitvec.zero w)
+let one w = const (Bitvec.one w)
+let ones w = const (Bitvec.ones w)
+let tru = const (Bitvec.one 1)
+let fls = const (Bitvec.zero 1)
+
+let var name w =
+  if w < 1 then invalid_arg (Printf.sprintf "Term.var: width %d < 1" w);
+  (match Hashtbl.find_opt var_registry name with
+  | Some w' when w' <> w ->
+      invalid_arg
+        (Printf.sprintf "Term.var: %S used at width %d and %d" name w' w)
+  | Some _ -> ()
+  | None -> Hashtbl.add var_registry name w);
+  intern w (Var name)
+
+let is_const t = match t.node with Const v -> Some v | _ -> None
+let is_true t = match t.node with Const v -> Bitvec.is_ones v && Bitvec.width v = 1 | _ -> false
+let is_false t = match t.node with Const v -> Bitvec.is_zero v && Bitvec.width v = 1 | _ -> false
+
+let check_same_width name a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Term.%s: width mismatch (%d vs %d)" name a.width b.width)
+
+(* {1 Simplifying constructors} *)
+
+let rec bnot a =
+  match a.node with
+  | Const v -> const (Bitvec.lognot v)
+  | Not x -> x
+  | Cmp (Ult, x, y) -> cmp Ule y x
+  | Cmp (Ule, x, y) -> cmp Ult y x
+  | Cmp (Slt, x, y) -> cmp Sle y x
+  | Cmp (Sle, x, y) -> cmp Slt y x
+  | Ite (c, x, y) when a.width = 1 -> ite c (bnot x) (bnot y)
+  | _ -> intern a.width (Not a)
+
+and order2 a b = if a.id <= b.id then (a, b) else (b, a)
+
+and band a b =
+  check_same_width "band" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (Bitvec.logand x y)
+  | Some x, None when Bitvec.is_zero x -> a
+  | None, Some y when Bitvec.is_zero y -> b
+  | Some x, None when Bitvec.is_ones x -> b
+  | None, Some y when Bitvec.is_ones y -> a
+  | _ ->
+      if a == b then a
+      else if (match a.node with Not x -> x == b | _ -> false)
+              || (match b.node with Not y -> y == a | _ -> false)
+      then zero a.width
+      else
+        let a, b = order2 a b in
+        intern a.width (Binop (And, a, b))
+
+and bor a b =
+  check_same_width "bor" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (Bitvec.logor x y)
+  | Some x, None when Bitvec.is_zero x -> b
+  | None, Some y when Bitvec.is_zero y -> a
+  | Some x, None when Bitvec.is_ones x -> a
+  | None, Some y when Bitvec.is_ones y -> b
+  | _ ->
+      if a == b then a
+      else if (match a.node with Not x -> x == b | _ -> false)
+              || (match b.node with Not y -> y == a | _ -> false)
+      then ones a.width
+      else
+        let a, b = order2 a b in
+        intern a.width (Binop (Or, a, b))
+
+and bxor a b =
+  check_same_width "bxor" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (Bitvec.logxor x y)
+  | Some x, None when Bitvec.is_zero x -> b
+  | None, Some y when Bitvec.is_zero y -> a
+  | Some x, None when Bitvec.is_ones x -> bnot b
+  | None, Some y when Bitvec.is_ones y -> bnot a
+  | _ ->
+      if a == b then zero a.width
+      else
+        let a, b = order2 a b in
+        intern a.width (Binop (Xor, a, b))
+
+and add a b =
+  check_same_width "add" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (Bitvec.add x y)
+  | Some x, None when Bitvec.is_zero x -> b
+  | None, Some y when Bitvec.is_zero y -> a
+  | _ ->
+      let a, b = order2 a b in
+      intern a.width (Binop (Add, a, b))
+
+and sub a b =
+  check_same_width "sub" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (Bitvec.sub x y)
+  | None, Some y when Bitvec.is_zero y -> a
+  | _ -> if a == b then zero a.width else intern a.width (Binop (Sub, a, b))
+
+and mul a b =
+  check_same_width "mul" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y -> const (Bitvec.mul x y)
+  | Some x, None when Bitvec.is_zero x -> a
+  | None, Some y when Bitvec.is_zero y -> b
+  | Some x, None when Bitvec.equal x (Bitvec.one a.width) -> b
+  | None, Some y when Bitvec.equal y (Bitvec.one a.width) -> a
+  | _ ->
+      let a, b = order2 a b in
+      intern a.width (Binop (Mul, a, b))
+
+and division op a b =
+  check_same_width "div" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y ->
+      let f =
+        match op with
+        | Udiv -> Bitvec.udiv
+        | Urem -> Bitvec.urem
+        | Sdiv -> Bitvec.sdiv
+        | _ -> Bitvec.srem
+      in
+      const (f x y)
+  | None, Some y when Bitvec.equal y (Bitvec.one a.width) -> (
+      (* x / 1 = x, x % 1 = 0 *)
+      match op with Udiv | Sdiv -> a | _ -> zero a.width)
+  | _ -> intern a.width (Binop (op, a, b))
+
+and carryless op a b =
+  check_same_width "clmul" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y ->
+      const (if op = Clmul then Bitvec.clmul x y else Bitvec.clmulh x y)
+  | Some x, None when Bitvec.is_zero x -> a
+  | None, Some y when Bitvec.is_zero y -> b
+  | _ ->
+      let a, b = order2 a b in
+      intern a.width (Binop (op, a, b))
+
+and shift op a b =
+  (* The amount operand may have any width; it is read unsigned. *)
+  match (is_const a, is_const b) with
+  | Some x, Some y ->
+      let f = match op with Shl -> Bitvec.shl | Lshr -> Bitvec.lshr | _ -> Bitvec.ashr in
+      const (f x y)
+  | _, Some y when Bitvec.is_zero y -> a
+  | _, Some y when (match Bitvec.to_int y with Some k -> k >= a.width | None -> true) ->
+      (* Over-shift: zeros, or all-sign-bits for an arithmetic shift. *)
+      if op = Ashr then ite (msb a) (ones a.width) (zero a.width) else zero a.width
+  | Some x, None when Bitvec.is_zero x -> a
+  | _ -> intern a.width (Binop (op, a, b))
+
+and cmp op a b =
+  check_same_width "cmp" a b;
+  match (is_const a, is_const b) with
+  | Some x, Some y ->
+      let r =
+        match op with
+        | Eq -> Bitvec.equal x y
+        | Ult -> Bitvec.ult x y
+        | Ule -> Bitvec.ule x y
+        | Slt -> Bitvec.slt x y
+        | Sle -> Bitvec.sle x y
+      in
+      if r then tru else fls
+  | _ when a == b -> (
+      match op with Eq | Ule | Sle -> tru | Ult | Slt -> fls)
+  | _ -> (
+      match op with
+      | Eq -> mk_eq a b
+      | Ult | Slt | Ule | Sle ->
+          intern 1 (Cmp (op, a, b)))
+
+and mk_eq a b =
+  (* Equality gets extra structure-aware rules because the synthesis
+     post-conditions are conjunctions of equalities between spec-side and
+     datapath-side terms; decomposing them early keeps SAT queries small. *)
+  let a, b = order2 a b in
+  match (a.node, b.node) with
+  (* width-1 equalities are boolean identities *)
+  | _ when a.width = 1 && is_true b -> a
+  | _ when a.width = 1 && is_false b -> bnot a
+  | _ when a.width = 1 && is_true a -> b
+  | _ when a.width = 1 && is_false a -> bnot b
+  (* split equalities over aligned concatenations *)
+  | Concat (hi1, lo1), Concat (hi2, lo2) when lo1.width = lo2.width ->
+      band (mk_eq_dispatch hi1 hi2) (mk_eq_dispatch lo1 lo2)
+  | Concat (hi, lo), Const v | Const v, Concat (hi, lo) ->
+      let wlo = lo.width in
+      band
+        (mk_eq_dispatch hi (const (Bitvec.extract ~high:(Bitvec.width v - 1) ~low:wlo v)))
+        (mk_eq_dispatch lo (const (Bitvec.extract ~high:(wlo - 1) ~low:0 v)))
+  (* (ite c k1 k2) = k resolves when the arms are constants *)
+  | Ite (c, x, y), Const v | Const v, Ite (c, x, y) -> (
+      match (is_const x, is_const y) with
+      | Some xv, Some yv -> (
+          match (Bitvec.equal xv v, Bitvec.equal yv v) with
+          | true, true -> tru
+          | true, false -> c
+          | false, true -> bnot c
+          | false, false -> fls)
+      | _ -> intern 1 (Cmp (Eq, a, b)))
+  | _ -> intern 1 (Cmp (Eq, a, b))
+
+and mk_eq_dispatch a b = cmp Eq a b
+
+and ite c a b =
+  if c.width <> 1 then invalid_arg "Term.ite: condition width <> 1";
+  check_same_width "ite" a b;
+  if is_true c then a
+  else if is_false c then b
+  else if a == b then a
+  else
+    match c.node with
+    | Not d -> ite d b a
+    | _ ->
+        if a.width = 1 && is_true a && is_false b then c
+        else if a.width = 1 && is_false a && is_true b then bnot c
+        else
+          (* collapse nested ite on the same condition *)
+          let a = match a.node with Ite (c', x, _) when c' == c -> x | _ -> a in
+          let b = match b.node with Ite (c', _, y) when c' == c -> y | _ -> b in
+          if a == b then a else intern a.width (Ite (c, a, b))
+
+and extract ~high ~low a =
+  if low < 0 || high < low || high >= a.width then
+    invalid_arg
+      (Printf.sprintf "Term.extract: [%d:%d] out of width %d" high low a.width);
+  if low = 0 && high = a.width - 1 then a
+  else
+    match a.node with
+    | Const v -> const (Bitvec.extract ~high ~low v)
+    | Extract (_, low', x) -> extract ~high:(high + low') ~low:(low + low') x
+    | Concat (hi, lo) ->
+        let wlo = lo.width in
+        if high < wlo then extract ~high ~low lo
+        else if low >= wlo then extract ~high:(high - wlo) ~low:(low - wlo) hi
+        else concat (extract ~high:(high - wlo) ~low:0 hi) (extract ~high:(wlo - 1) ~low lo)
+    | Ite (c, x, y) -> ite c (extract ~high ~low x) (extract ~high ~low y)
+    | _ -> intern (high - low + 1) (Extract (high, low, a))
+
+and concat hi lo =
+  let w = hi.width + lo.width in
+  match (hi.node, lo.node) with
+  | Const x, Const y -> const (Bitvec.concat x y)
+  | Extract (h1, l1, x), Extract (h2, l2, y) when x == y && l1 = h2 + 1 ->
+      extract ~high:h1 ~low:l2 x
+  | _, Concat (m, lo') ->
+      (* Right-normalize so the adjacent-extract rule can fire across
+         rebracketing: ((a @ b) @ c) becomes (a @ (b @ c)). *)
+      concat (concat hi m) lo'
+  | _ -> intern w (Concat (hi, lo))
+
+and msb a = extract ~high:(a.width - 1) ~low:(a.width - 1) a
+
+let bit a i = extract ~high:i ~low:i a
+
+let eq = cmp Eq
+let ult = cmp Ult
+let ule = cmp Ule
+let slt = cmp Slt
+let sle = cmp Sle
+let ne a b = bnot (eq a b)
+let ugt a b = ult b a
+let uge a b = ule b a
+let sgt a b = slt b a
+let sge a b = sle b a
+let shl = shift Shl
+let lshr = shift Lshr
+let ashr = shift Ashr
+let clmul = carryless Clmul
+let clmulh = carryless Clmulh
+let udiv = division Udiv
+let urem = division Urem
+let sdiv = division Sdiv
+let srem = division Srem
+let neg a = sub (zero a.width) a
+
+let zext a w =
+  if w < a.width then invalid_arg "Term.zext";
+  if w = a.width then a else concat (zero (w - a.width)) a
+
+let sext a w =
+  if w < a.width then invalid_arg "Term.sext";
+  if w = a.width then a
+  else
+    let k = w - a.width in
+    concat (ite (msb a) (ones k) (zero k)) a
+
+let read m addr =
+  if addr.width <> m.addr_width then
+    invalid_arg
+      (Printf.sprintf "Term.read: mem %s expects address width %d, got %d"
+         m.mem_name m.addr_width addr.width);
+  intern m.data_width (Read (m, addr))
+
+let table_read tb idx =
+  if idx.width <> tb.tab_addr_width then invalid_arg "Term.table_read: index width";
+  if Array.length tb.tab_data <> 1 lsl tb.tab_addr_width then
+    invalid_arg "Term.table_read: table size must be 2^addr_width";
+  (match Hashtbl.find_opt table_registry tb.tab_name with
+  | Some tb' when tb' != tb && tb'.tab_data <> tb.tab_data ->
+      invalid_arg
+        (Printf.sprintf "Term.table_read: table %S redefined with new contents"
+           tb.tab_name)
+  | Some _ -> ()
+  | None -> Hashtbl.add table_registry tb.tab_name tb);
+  match is_const idx with
+  | Some v -> const tb.tab_data.(Bitvec.to_int_exn v)
+  | None -> intern (Bitvec.width tb.tab_data.(0)) (Table (tb, idx))
+
+let implies a b = bor (bnot a) b
+let conj l = List.fold_left band tru l
+let disj l = List.fold_left bor fls l
+
+(* {1 Traversal} *)
+
+let fold_dag f acc root =
+  let visited = Hashtbl.create 64 in
+  let acc = ref acc in
+  let rec go t =
+    if not (Hashtbl.mem visited t.id) then begin
+      Hashtbl.add visited t.id ();
+      (match t.node with
+      | Const _ | Var _ -> ()
+      | Not x | Extract (_, _, x) | Read (_, x) | Table (_, x) -> go x
+      | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b) ->
+          go a;
+          go b
+      | Ite (c, a, b) ->
+          go c;
+          go a;
+          go b);
+      acc := f !acc t
+    end
+  in
+  go root;
+  !acc
+
+let size t = fold_dag (fun n _ -> n + 1) 0 t
+
+let vars t =
+  let l =
+    fold_dag
+      (fun acc t -> match t.node with Var s -> (s, t.width) :: acc | _ -> acc)
+      [] t
+  in
+  List.sort_uniq Stdlib.compare l
+
+let reads t =
+  fold_dag
+    (fun acc t -> match t.node with Read (m, a) -> (m, a) :: acc | _ -> acc)
+    [] t
+  |> List.rev
+
+(* {1 Printing} *)
+
+let binop_name = function
+  | And -> "bvand"
+  | Or -> "bvor"
+  | Xor -> "bvxor"
+  | Add -> "bvadd"
+  | Sub -> "bvsub"
+  | Mul -> "bvmul"
+  | Udiv -> "bvudiv"
+  | Urem -> "bvurem"
+  | Sdiv -> "bvsdiv"
+  | Srem -> "bvsrem"
+  | Clmul -> "clmul"
+  | Clmulh -> "clmulh"
+  | Shl -> "bvshl"
+  | Lshr -> "bvlshr"
+  | Ashr -> "bvashr"
+
+let cmpop_name = function
+  | Eq -> "="
+  | Ult -> "bvult"
+  | Ule -> "bvule"
+  | Slt -> "bvslt"
+  | Sle -> "bvsle"
+
+let pp fmt root =
+  (* Nodes referenced more than once print as [#id] after their first
+     occurrence, which keeps DAG output linear in the DAG size. *)
+  let seen = Hashtbl.create 64 in
+  let shared = Hashtbl.create 64 in
+  let count t =
+    match Hashtbl.find_opt shared t.id with
+    | Some n -> Hashtbl.replace shared t.id (n + 1)
+    | None -> Hashtbl.add shared t.id 1
+  in
+  let rec cnt t =
+    count t;
+    if Hashtbl.find shared t.id = 1 then
+      match t.node with
+      | Const _ | Var _ -> ()
+      | Not x | Extract (_, _, x) | Read (_, x) | Table (_, x) -> cnt x
+      | Binop (_, a, b) | Cmp (_, a, b) | Concat (a, b) ->
+          cnt a;
+          cnt b
+      | Ite (c, a, b) ->
+          cnt c;
+          cnt a;
+          cnt b
+  in
+  cnt root;
+  let rec go fmt t =
+    let is_leaf = match t.node with Const _ | Var _ -> true | _ -> false in
+    if (not is_leaf) && Hashtbl.mem seen t.id then Format.fprintf fmt "#%d" t.id
+    else begin
+      if not is_leaf then Hashtbl.add seen t.id ();
+      let tag fmt t =
+        if (not is_leaf) && Hashtbl.find shared t.id > 1 then
+          Format.fprintf fmt "!%d:" t.id
+      in
+      match t.node with
+      | Const v -> Format.fprintf fmt "%s" (Bitvec.to_string v)
+      | Var s -> Format.fprintf fmt "%s" s
+      | Not x -> Format.fprintf fmt "(%abvnot %a)" tag t go x
+      | Binop (o, a, b) ->
+          Format.fprintf fmt "(%a%s %a %a)" tag t (binop_name o) go a go b
+      | Cmp (o, a, b) ->
+          Format.fprintf fmt "(%a%s %a %a)" tag t (cmpop_name o) go a go b
+      | Ite (c, a, b) -> Format.fprintf fmt "(%aite %a %a %a)" tag t go c go a go b
+      | Extract (h, l, x) ->
+          Format.fprintf fmt "(%aextract %d %d %a)" tag t h l go x
+      | Concat (a, b) -> Format.fprintf fmt "(%aconcat %a %a)" tag t go a go b
+      | Read (m, a) -> Format.fprintf fmt "(%aread %s %a)" tag t m.mem_name go a
+      | Table (tb, a) -> Format.fprintf fmt "(%atable %s %a)" tag t tb.tab_name go a
+    end
+  in
+  go fmt root
+
+(* {1 Evaluation and substitution} *)
+
+type env = {
+  lookup_var : string -> int -> Bitvec.t option;
+  lookup_read : mem -> Bitvec.t -> Bitvec.t option;
+}
+
+let eval env root =
+  let memo = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match t.node with
+          | Const v -> v
+          | Var s -> (
+              match env.lookup_var s t.width with
+              | Some v ->
+                  if Bitvec.width v <> t.width then
+                    failwith (Printf.sprintf "Term.eval: %s bound at wrong width" s)
+                  else v
+              | None -> failwith (Printf.sprintf "Term.eval: unbound variable %s" s))
+          | Not x -> Bitvec.lognot (go x)
+          | Binop (o, a, b) -> (
+              let a = go a and b = go b in
+              match o with
+              | And -> Bitvec.logand a b
+              | Or -> Bitvec.logor a b
+              | Xor -> Bitvec.logxor a b
+              | Add -> Bitvec.add a b
+              | Sub -> Bitvec.sub a b
+              | Mul -> Bitvec.mul a b
+              | Udiv -> Bitvec.udiv a b
+              | Urem -> Bitvec.urem a b
+              | Sdiv -> Bitvec.sdiv a b
+              | Srem -> Bitvec.srem a b
+              | Clmul -> Bitvec.clmul a b
+              | Clmulh -> Bitvec.clmulh a b
+              | Shl -> Bitvec.shl a b
+              | Lshr -> Bitvec.lshr a b
+              | Ashr -> Bitvec.ashr a b)
+          | Cmp (o, a, b) ->
+              let a = go a and b = go b in
+              let r =
+                match o with
+                | Eq -> Bitvec.equal a b
+                | Ult -> Bitvec.ult a b
+                | Ule -> Bitvec.ule a b
+                | Slt -> Bitvec.slt a b
+                | Sle -> Bitvec.sle a b
+              in
+              if r then Bitvec.one 1 else Bitvec.zero 1
+          | Ite (c, a, b) -> if Bitvec.is_ones (go c) then go a else go b
+          | Extract (h, l, x) -> Bitvec.extract ~high:h ~low:l (go x)
+          | Concat (a, b) -> Bitvec.concat (go a) (go b)
+          | Read (m, a) -> (
+              let addr = go a in
+              match env.lookup_read m addr with
+              | Some v -> v
+              | None ->
+                  failwith
+                    (Printf.sprintf "Term.eval: unresolved read %s[%s]" m.mem_name
+                       (Bitvec.to_string addr)))
+          | Table (tb, a) -> tb.tab_data.(Bitvec.to_int_exn (go a))
+        in
+        Hashtbl.add memo t.id v;
+        v
+  in
+  go root
+
+let substitute env root =
+  let memo = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match t.node with
+          | Const _ -> t
+          | Var s -> (
+              match env.lookup_var s t.width with Some v -> const v | None -> t)
+          | Not x -> bnot (go x)
+          | Binop (And, a, b) -> band (go a) (go b)
+          | Binop (Or, a, b) -> bor (go a) (go b)
+          | Binop (Xor, a, b) -> bxor (go a) (go b)
+          | Binop (Add, a, b) -> add (go a) (go b)
+          | Binop (Sub, a, b) -> sub (go a) (go b)
+          | Binop (Mul, a, b) -> mul (go a) (go b)
+          | Binop (Udiv, a, b) -> udiv (go a) (go b)
+          | Binop (Urem, a, b) -> urem (go a) (go b)
+          | Binop (Sdiv, a, b) -> sdiv (go a) (go b)
+          | Binop (Srem, a, b) -> srem (go a) (go b)
+          | Binop (Clmul, a, b) -> clmul (go a) (go b)
+          | Binop (Clmulh, a, b) -> clmulh (go a) (go b)
+          | Binop (Shl, a, b) -> shl (go a) (go b)
+          | Binop (Lshr, a, b) -> lshr (go a) (go b)
+          | Binop (Ashr, a, b) -> ashr (go a) (go b)
+          | Cmp (o, a, b) -> cmp o (go a) (go b)
+          | Ite (c, a, b) ->
+              let c = go c in
+              (* Avoid rebuilding the dead branch when the condition folds. *)
+              if is_true c then go a else if is_false c then go b else ite c (go a) (go b)
+          | Extract (h, l, x) -> extract ~high:h ~low:l (go x)
+          | Concat (a, b) -> concat (go a) (go b)
+          | Read (m, a) -> (
+              let a = go a in
+              match is_const a with
+              | Some addr -> (
+                  match env.lookup_read m addr with
+                  | Some v -> const v
+                  | None -> read m a)
+              | None -> read m a)
+          | Table (tb, a) -> table_read tb (go a)
+        in
+        Hashtbl.add memo t.id v;
+        v
+  in
+  go root
+
+let rename f root =
+  let memo = Hashtbl.create 64 in
+  let rec go t =
+    match Hashtbl.find_opt memo t.id with
+    | Some v -> v
+    | None ->
+        let v =
+          match t.node with
+          | Const _ -> t
+          | Var s -> (match f s with Some s' -> var s' t.width | None -> t)
+          | Not x -> bnot (go x)
+          | Binop (And, a, b) -> band (go a) (go b)
+          | Binop (Or, a, b) -> bor (go a) (go b)
+          | Binop (Xor, a, b) -> bxor (go a) (go b)
+          | Binop (Add, a, b) -> add (go a) (go b)
+          | Binop (Sub, a, b) -> sub (go a) (go b)
+          | Binop (Mul, a, b) -> mul (go a) (go b)
+          | Binop (Udiv, a, b) -> udiv (go a) (go b)
+          | Binop (Urem, a, b) -> urem (go a) (go b)
+          | Binop (Sdiv, a, b) -> sdiv (go a) (go b)
+          | Binop (Srem, a, b) -> srem (go a) (go b)
+          | Binop (Clmul, a, b) -> clmul (go a) (go b)
+          | Binop (Clmulh, a, b) -> clmulh (go a) (go b)
+          | Binop (Shl, a, b) -> shl (go a) (go b)
+          | Binop (Lshr, a, b) -> lshr (go a) (go b)
+          | Binop (Ashr, a, b) -> ashr (go a) (go b)
+          | Cmp (o, a, b) -> cmp o (go a) (go b)
+          | Ite (c, a, b) -> ite (go c) (go a) (go b)
+          | Extract (h, l, x) -> extract ~high:h ~low:l (go x)
+          | Concat (a, b) -> concat (go a) (go b)
+          | Read (m, a) -> read m (go a)
+          | Table (tb, a) -> table_read tb (go a)
+        in
+        Hashtbl.add memo t.id v;
+        v
+  in
+  go root

@@ -1,0 +1,161 @@
+(** Hash-consed bitvector terms (QF_BV + uninterpreted memory reads).
+
+    This is the symbolic domain shared by the Oyster symbolic evaluator, the
+    ILA condition compiler, and the synthesis engine.  Terms are maximally
+    shared: structurally equal terms are physically equal and carry a unique
+    [id], so spec-side and datapath-side computations that coincide collapse
+    to the same node and [eq t t] simplifies to true without touching the
+    SAT solver.
+
+    All smart constructors simplify bottom-up (constant folding, identities,
+    canonical ordering of commutative arguments, pushing [extract] through
+    structure).  Booleans are width-1 bitvectors. *)
+
+type binop =
+  | And
+  | Or
+  | Xor
+  | Add
+  | Sub
+  | Mul
+  | Udiv  (** division by zero yields all-ones (RISC-V/SMT-LIB convention) *)
+  | Urem  (** remainder by zero yields the dividend *)
+  | Sdiv
+  | Srem
+  | Clmul  (** carry-less multiply, low half *)
+  | Clmulh  (** carry-less multiply, high half *)
+  | Shl
+  | Lshr
+  | Ashr
+
+type cmpop = Eq | Ult | Ule | Slt | Sle
+
+(** An uninterpreted memory: reads from the initial state of a RAM. *)
+type mem = { mem_name : string; addr_width : int; data_width : int }
+
+(** A read-only lookup table (the paper's ILA [MemConst]); entries are
+    materialized, so a read with a constant index folds. *)
+type table = { tab_name : string; tab_addr_width : int; tab_data : Bitvec.t array }
+
+type t = private { id : int; width : int; node : node }
+
+and node =
+  | Const of Bitvec.t
+  | Var of string
+  | Not of t
+  | Binop of binop * t * t
+  | Cmp of cmpop * t * t
+  | Ite of t * t * t  (** condition has width 1 *)
+  | Extract of int * int * t  (** high, low *)
+  | Concat of t * t  (** first argument is the high part *)
+  | Read of mem * t
+  | Table of table * t
+
+val width : t -> int
+val id : t -> int
+val equal : t -> t -> bool  (** physical, thanks to hash-consing *)
+
+val compare : t -> t -> int  (** by id *)
+
+val hash : t -> int
+
+(** {1 Constructors} *)
+
+val const : Bitvec.t -> t
+val var : string -> int -> t
+(** [var name width].  The same name must always be used at the same width;
+    raises [Invalid_argument] otherwise. *)
+
+val of_int : width:int -> int -> t
+val zero : int -> t
+val one : int -> t
+val ones : int -> t
+val tru : t  (** width-1 constant 1 *)
+
+val fls : t  (** width-1 constant 0 *)
+
+val bnot : t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+val udiv : t -> t -> t
+val urem : t -> t -> t
+val sdiv : t -> t -> t
+val srem : t -> t -> t
+val clmul : t -> t -> t
+val clmulh : t -> t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+val ashr : t -> t -> t
+
+val eq : t -> t -> t
+val ne : t -> t -> t
+val ult : t -> t -> t
+val ule : t -> t -> t
+val ugt : t -> t -> t
+val uge : t -> t -> t
+val slt : t -> t -> t
+val sle : t -> t -> t
+val sgt : t -> t -> t
+val sge : t -> t -> t
+
+val ite : t -> t -> t -> t
+val extract : high:int -> low:int -> t -> t
+val concat : t -> t -> t
+val zext : t -> int -> t
+val sext : t -> int -> t
+val msb : t -> t
+val bit : t -> int -> t
+
+val read : mem -> t -> t
+val table_read : table -> t -> t
+
+val implies : t -> t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+(** {1 Observation} *)
+
+val is_const : t -> Bitvec.t option
+val is_true : t -> bool
+val is_false : t -> bool
+
+val size : t -> int
+(** Number of distinct nodes in the DAG rooted at the term. *)
+
+val fold_dag : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Folds over every distinct node of the DAG, children before parents. *)
+
+val vars : t -> (string * int) list
+(** Distinct variables (name, width), sorted by name. *)
+
+val reads : t -> (mem * t) list
+(** Distinct [Read] applications in the DAG. *)
+
+val pp : Format.formatter -> t -> unit
+(** S-expression rendering (SMT-LIB flavoured), with sharing expanded. *)
+
+(** {1 Evaluation and substitution} *)
+
+type env = {
+  lookup_var : string -> int -> Bitvec.t option;
+      (** [lookup_var name width]; a [Some] result must have that width *)
+  lookup_read : mem -> Bitvec.t -> Bitvec.t option;
+      (** value of reading [mem] at a {e concrete} address *)
+}
+
+val eval : env -> t -> Bitvec.t
+(** Full concrete evaluation.  Raises [Failure] if a variable is unbound or
+    a read is unresolved. *)
+
+val substitute : env -> t -> t
+(** Partial evaluation: replaces bound variables with constants, resolves
+    reads whose address becomes concrete, and re-simplifies.  Unbound
+    variables remain symbolic. *)
+
+val rename : (string -> string option) -> t -> t
+(** Renames variables (e.g. to freshen hole instances per CEGIS copy). *)

@@ -1,0 +1,1 @@
+lib/synth/engine.ml: Bitvec Hashtbl Ila Independence List Option Oyster Printf Reconstruct Refine Solver String Term Union Unix

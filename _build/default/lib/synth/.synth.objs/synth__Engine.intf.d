@@ -1,0 +1,1 @@
+lib/synth/engine.mli: Bitvec Ila Oyster Solver Term

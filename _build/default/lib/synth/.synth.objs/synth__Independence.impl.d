@@ -1,0 +1,1 @@
+lib/synth/independence.ml: Array Hashtbl Ila List Option Oyster Solver String

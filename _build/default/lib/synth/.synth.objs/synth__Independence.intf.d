@@ -1,0 +1,1 @@
+lib/synth/independence.mli: Ila Oyster

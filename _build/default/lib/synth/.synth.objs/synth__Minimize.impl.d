@@ -1,0 +1,1 @@
+lib/synth/minimize.ml: Bitvec Engine Hashtbl Ila List Oyster Solver String Term Union Unix

@@ -1,0 +1,1 @@
+lib/synth/minimize.mli: Engine

@@ -1,0 +1,1 @@
+lib/synth/reconstruct.ml: Array Hashtbl List Option Oyster String Term

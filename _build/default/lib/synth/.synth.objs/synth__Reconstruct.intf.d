@@ -1,0 +1,1 @@
+lib/synth/reconstruct.mli: Oyster Term

@@ -1,0 +1,1 @@
+lib/synth/refine.ml: Array Bitvec Hashtbl List Term

@@ -1,0 +1,1 @@
+lib/synth/refine.mli: Term

@@ -1,0 +1,1 @@
+lib/synth/union.ml: Bitvec List Option Oyster String

@@ -1,0 +1,1 @@
+lib/synth/union.mli: Bitvec Oyster

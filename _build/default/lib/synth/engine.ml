@@ -1,0 +1,505 @@
+(* Control logic synthesis (paper §3.3).
+
+   The ∃∀ sketch-filling problem of Equation (1) is decided by CEGIS:
+
+     synth  phase: find hole constants satisfying (Pre -> Post) on every
+                   counterexample state collected so far (a ground SAT query
+                   over hole bits only);
+     verify phase: with holes fixed, search for a state with Pre ∧ ¬Post;
+                   UNSAT proves the candidate correct, a model becomes a new
+                   counterexample.
+
+   Three strategies, selected by hole kinds and [mode]:
+
+   - independent (Per_instruction mode, no Shared holes): each instruction
+     gets its own CEGIS loop over its own copy of the hole constants — the
+     paper's §3.3.1 optimization; results are joined by the control union.
+
+   - joint (Per_instruction mode with Shared holes, e.g. FSM state
+     encodings): one synthesis loop over all constants, but verification
+     stays per-instruction (small queries).
+
+   - monolithic (Monolithic mode, the paper's "without optimization" rows):
+     verification is a single query over the disjunction of all instructions'
+     violation formulas — the formula whose size makes solving times explode
+     (Table 1). *)
+
+type mode = Per_instruction | Monolithic
+
+type options = {
+  mode : mode;
+  conflict_budget : int;  (* total SAT conflicts before declaring timeout *)
+  max_iterations : int;  (* CEGIS rounds per loop *)
+  deadline_seconds : float option;  (* wall-clock timeout *)
+  check_independence : bool;
+      (* verify the instruction-independence preconditions (paper 3.3.1)
+         before synthesizing; abstraction-function assume wires act as the
+         permitted feedback cuts *)
+}
+
+let default_options =
+  {
+    mode = Per_instruction;
+    conflict_budget = max_int;
+    max_iterations = 256;
+    deadline_seconds = None;
+    check_independence = false;
+  }
+
+type stats = {
+  mutable iterations : int;
+  mutable queries : int;
+  mutable conflicts : int;
+  mutable wall_seconds : float;
+}
+
+type solved = {
+  completed : Oyster.Ast.design;
+  bindings : (string * Oyster.Ast.expr) list;
+  per_instr : (string * (string * Bitvec.t) list) list;
+  shared : (string * Bitvec.t) list;
+  pre_exprs : (string * Oyster.Ast.expr) list;
+      (* each instruction's precondition over the datapath namespace *)
+  stats : stats;
+}
+
+type outcome =
+  | Solved of solved
+  | Timeout of stats
+  | Unrealizable of { instr : string option; stats : stats }
+  | Union_failed of { diagnostic : string; stats : stats }
+  | Not_independent of {
+      overlapping : (string * string) list;
+      feedback : (string * string * string) list;
+      stats : stats;
+    }
+
+exception Engine_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Engine_error s)) fmt
+
+type problem = {
+  design : Oyster.Ast.design;
+  spec : Ila.Spec.t;
+  af : Ila.Absfun.t;
+}
+
+(* {1 Internal bookkeeping} *)
+
+type run = {
+  opts : options;
+  stats : stats;
+  started : float;
+  hole_marker : string;  (* prefix identifying hole variables *)
+}
+
+exception Stop of outcome
+
+let now () = Unix.gettimeofday ()
+
+let check_deadline run =
+  run.stats.wall_seconds <- now () -. run.started;
+  match run.opts.deadline_seconds with
+  | Some d when run.stats.wall_seconds > d -> raise (Stop (Timeout run.stats))
+  | _ -> ()
+
+let solver_query run assertions =
+  check_deadline run;
+  let remaining = run.opts.conflict_budget - run.stats.conflicts in
+  if remaining <= 0 then raise (Stop (Timeout run.stats));
+  let deadline =
+    Option.map (fun d -> run.started +. d) run.opts.deadline_seconds
+  in
+  let result = Solver.check ~budget:remaining ?deadline assertions in
+  run.stats.queries <- run.stats.queries + 1;
+  run.stats.conflicts <-
+    run.stats.conflicts + (Solver.last_stats ()).Solver.sat_conflicts;
+  match result with
+  | Solver.Unknown -> raise (Stop (Timeout run.stats))
+  | r -> r
+
+let is_hole_var run name =
+  (* hole variables are <prefix>hole!<name> plus the per-instruction suffix *)
+  let m = run.hole_marker in
+  let lm = String.length m in
+  String.length name >= lm && String.sub name 0 lm = m
+
+(* Substitution environments. *)
+
+let candidate_env run (candidate : (string, Bitvec.t) Hashtbl.t) =
+  {
+    Term.lookup_var =
+      (fun n _w -> if is_hole_var run n then Hashtbl.find_opt candidate n else None);
+    Term.lookup_read = (fun _ _ -> None);
+  }
+
+let cex_env run (model : Solver.model) =
+  {
+    Term.lookup_var =
+      (fun n w ->
+        if is_hole_var run n then None
+        else
+          match model.Solver.var_value n with
+          | Some v -> Some v
+          | None -> Some (Bitvec.zero w));
+    Term.lookup_read =
+      (fun m a ->
+        match
+          List.find_opt
+            (fun (name, addr, _) ->
+              String.equal name m.Term.mem_name && Bitvec.equal addr a)
+            model.Solver.read_values
+        with
+        | Some (_, _, v) -> Some v
+        | None -> Some (Bitvec.zero m.Term.data_width));
+  }
+
+(* Ground the residual memory reads of a counterexample-substituted formula.
+
+   [Term.substitute] resolves reads whose address is concrete, but a read
+   whose address depends on a hole stays symbolic.  Left free, the synthesis
+   phase could satisfy its constraints by inventing memory contents instead
+   of fixing the holes (a classic CEGIS degeneracy).  We instead interpret
+   every remaining read against the counterexample's memory: an ite chain
+   over the model's read set, defaulting to zero — one concrete memory, the
+   same one [cex_env] exposes for concrete addresses. *)
+let ground_reads (model : Solver.model) (root : Term.t) : Term.t =
+  let memo = Hashtbl.create 64 in
+  let mem_fun (m : Term.mem) addr =
+    let entries =
+      List.filter
+        (fun (name, _, _) -> String.equal name m.Term.mem_name)
+        model.Solver.read_values
+    in
+    List.fold_left
+      (fun acc (_, a, v) ->
+        Term.ite (Term.eq addr (Term.const a)) (Term.const v) acc)
+      (Term.zero m.Term.data_width)
+      entries
+  in
+  let rec go (t : Term.t) =
+    match Hashtbl.find_opt memo (Term.id t) with
+    | Some r -> r
+    | None ->
+        let r =
+          match t.Term.node with
+          | Term.Const _ | Term.Var _ -> t
+          | Term.Not x -> Term.bnot (go x)
+          | Term.Binop (op, a, b) -> (
+              let a = go a and b = go b in
+              match op with
+              | Term.And -> Term.band a b
+              | Term.Or -> Term.bor a b
+              | Term.Xor -> Term.bxor a b
+              | Term.Add -> Term.add a b
+              | Term.Sub -> Term.sub a b
+              | Term.Mul -> Term.mul a b
+              | Term.Udiv -> Term.udiv a b
+              | Term.Urem -> Term.urem a b
+              | Term.Sdiv -> Term.sdiv a b
+              | Term.Srem -> Term.srem a b
+              | Term.Clmul -> Term.clmul a b
+              | Term.Clmulh -> Term.clmulh a b
+              | Term.Shl -> Term.shl a b
+              | Term.Lshr -> Term.lshr a b
+              | Term.Ashr -> Term.ashr a b)
+          | Term.Cmp (op, a, b) -> (
+              let a = go a and b = go b in
+              match op with
+              | Term.Eq -> Term.eq a b
+              | Term.Ult -> Term.ult a b
+              | Term.Ule -> Term.ule a b
+              | Term.Slt -> Term.slt a b
+              | Term.Sle -> Term.sle a b)
+          | Term.Ite (c, a, b) -> Term.ite (go c) (go a) (go b)
+          | Term.Extract (h, l, x) -> Term.extract ~high:h ~low:l (go x)
+          | Term.Concat (a, b) -> Term.concat (go a) (go b)
+          | Term.Table (tb, i) -> Term.table_read tb (go i)
+          | Term.Read (m, a) -> mem_fun m (go a)
+        in
+        Hashtbl.add memo (Term.id t) r;
+        r
+  in
+  go root
+
+(* {1 Verification of completed designs}
+
+   With no holes in play this is plain bounded refinement checking: for
+   every instruction, Pre /\ assumes /\ not Post must be unsatisfiable over
+   the completed design's symbolic trace.  This is how a hand-written (or
+   previously synthesized) control implementation is formally checked
+   against the specification. *)
+
+type verdict = Verified | Violated of Solver.model | Inconclusive
+
+let verify ?(budget = max_int) ?deadline (problem : problem) :
+    (string * verdict) list =
+  if Oyster.Ast.holes problem.design <> [] then
+    fail "Engine.verify: design still has holes (synthesize first)";
+  let trace =
+    Oyster.Symbolic.eval problem.design ~cycles:problem.af.Ila.Absfun.cycles
+  in
+  let conds = Ila.Conditions.compile problem.spec problem.af trace in
+  List.map
+    (fun (c : Ila.Conditions.conditions) ->
+      let violation =
+        Term.band c.Ila.Conditions.pre
+          (Term.band c.Ila.Conditions.assumes (Term.bnot c.Ila.Conditions.post))
+      in
+      (* Field refinement (see Refine): substitute the instruction-word
+         fields the precondition pins into the fetched word, so the decode
+         folds and the operation-selection muxes collapse before
+         bit-blasting.  Verifying hand-written control over an ALU tree
+         with 64-bit multiplier/divider cones is intractable without it. *)
+      let pins = Refine.collect c.Ila.Conditions.pre in
+      let refined = Refine.apply pins violation in
+      let verdict =
+        match Solver.check ~budget ?deadline [ refined ] with
+        | Solver.Unsat -> Verified
+        | Solver.Unknown -> Inconclusive
+        | Solver.Sat m -> (
+            (* The refined model lacks the pinned bits (they folded away);
+               re-check the original formula to report a faithful
+               counterexample.  Violations are found quickly in practice,
+               so the extra query is cheap. *)
+            match Solver.check ~budget ?deadline [ violation ] with
+            | Solver.Sat m' -> Violated m'
+            | Solver.Unsat | Solver.Unknown -> Violated m)
+      in
+      (c.Ila.Conditions.instr_name, verdict))
+    conds
+
+(* {1 The synthesis core} *)
+
+let synthesize ?(options = default_options) (problem : problem) : outcome =
+  let stats = { iterations = 0; queries = 0; conflicts = 0; wall_seconds = 0.0 } in
+  let started = now () in
+  let trace =
+    Oyster.Symbolic.eval problem.design ~cycles:problem.af.Ila.Absfun.cycles
+  in
+  let run =
+    {
+      opts = options;
+      stats;
+      started;
+      hole_marker = trace.Oyster.Symbolic.prefix ^ "hole!";
+    }
+  in
+  try
+    let conds = Ila.Conditions.compile problem.spec problem.af trace in
+    if conds = [] then fail "specification has no instructions";
+    let holes = Oyster.Ast.holes problem.design in
+    if holes = [] then fail "sketch has no holes";
+    if options.check_independence then begin
+      let allowed_cuts = List.map fst problem.af.Ila.Absfun.assumes in
+      let excl = Independence.check_mutual_exclusion conds in
+      let fb = Independence.check_no_feedback ~allowed_cuts problem.design in
+      if
+        excl.Independence.overlapping <> []
+        || fb.Independence.feedback_paths <> []
+      then
+        raise
+          (Stop
+             (Not_independent
+                {
+                  overlapping = excl.Independence.overlapping;
+                  feedback = fb.Independence.feedback_paths;
+                  stats = run.stats;
+                }))
+    end;
+    let shared_holes, per_holes =
+      List.partition
+        (fun (h : Oyster.Ast.hole_decl) -> h.Oyster.Ast.kind = Oyster.Ast.Shared)
+        holes
+    in
+    let hole_var (h : Oyster.Ast.hole_decl) =
+      match List.assoc_opt h.Oyster.Ast.hole_name trace.Oyster.Symbolic.hole_terms with
+      | Some t -> (
+          match t.Term.node with
+          | Term.Var n -> (n, Term.width t)
+          | _ -> fail "hole %s was not evaluated as a variable" h.Oyster.Ast.hole_name)
+      | None ->
+          (* hole unused by any statement: synthesize an arbitrary constant *)
+          (run.hole_marker ^ h.Oyster.Ast.hole_name, h.Oyster.Ast.hole_width)
+    in
+    let per_hole_vars = List.map hole_var per_holes in
+    let shared_hole_vars = List.map hole_var shared_holes in
+    (* Per-instruction renaming of the Per_instruction hole constants. *)
+    let renamed_var (base, _w) iname = base ^ "!!" ^ iname in
+    let rename_for iname t =
+      Term.rename
+        (fun n ->
+          if List.exists (fun (base, _) -> String.equal base n) per_hole_vars then
+            Some (n ^ "!!" ^ iname)
+          else None)
+        t
+    in
+    let formulas =
+      List.map
+        (fun (c : Ila.Conditions.conditions) ->
+          let pre = Term.band c.Ila.Conditions.pre c.Ila.Conditions.assumes in
+          let correct =
+            Term.implies pre c.Ila.Conditions.post |> rename_for c.Ila.Conditions.instr_name
+          in
+          let violation =
+            Term.band pre (Term.bnot c.Ila.Conditions.post)
+            |> rename_for c.Ila.Conditions.instr_name
+          in
+          (c, correct, violation))
+        conds
+    in
+    let instr_names =
+      List.map (fun (c : Ila.Conditions.conditions) -> c.Ila.Conditions.instr_name) conds
+    in
+    let hole_vars_of_instr iname =
+      List.map (fun hv -> (renamed_var hv iname, snd hv)) per_hole_vars
+      @ shared_hole_vars
+    in
+    let candidate : (string, Bitvec.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun iname ->
+        List.iter
+          (fun (n, w) -> Hashtbl.replace candidate n (Bitvec.zero w))
+          (hole_vars_of_instr iname))
+      instr_names;
+    (* synth-phase constraint pool *)
+    let constraints : Term.t list ref = ref [] in
+    (* Update hole values from a synthesis model.  Variables the model does
+       not constrain (simplified away, or belonging to another instruction's
+       already-solved loop) keep their current value. *)
+    let refresh_candidate model =
+      Hashtbl.iter
+        (fun n _old ->
+          match model.Solver.var_value n with
+          | Some v -> Hashtbl.replace candidate n v
+          | None -> ())
+        (Hashtbl.copy candidate)
+    in
+    let synth_step ~blame () =
+      match solver_query run !constraints with
+      | Solver.Sat m -> refresh_candidate m
+      | Solver.Unsat -> raise (Stop (Unrealizable { instr = blame; stats = run.stats }))
+      | Solver.Unknown -> assert false
+    in
+    let verify violation =
+      let v = Term.substitute (candidate_env run candidate) violation in
+      match solver_query run [ v ] with
+      | Solver.Sat m -> Some m
+      | Solver.Unsat -> None
+      | Solver.Unknown -> assert false
+    in
+    let add_cex_for model correct_formulas =
+      let env = cex_env run model in
+      List.iter
+        (fun f ->
+          let g = ground_reads model (Term.substitute env f) in
+          if not (Term.is_true g) then constraints := g :: !constraints)
+        correct_formulas
+    in
+    let independent = options.mode = Per_instruction && shared_holes = [] in
+    (if independent then
+       (* The paper's per-instruction strategy: separate small CEGIS loops. *)
+       List.iter
+         (fun ((c : Ila.Conditions.conditions), correct, violation) ->
+           let local_constraints = ref [] in
+           let rec loop iter =
+             if iter > options.max_iterations then
+               raise (Stop (Timeout run.stats));
+             run.stats.iterations <- run.stats.iterations + 1;
+             match verify violation with
+             | None -> ()
+             | Some model ->
+                 let env = cex_env run model in
+                 let g = ground_reads model (Term.substitute env correct) in
+                 local_constraints := g :: !local_constraints;
+                 (match solver_query run !local_constraints with
+                 | Solver.Sat m -> refresh_candidate m
+                 | Solver.Unsat ->
+                     raise
+                       (Stop
+                          (Unrealizable
+                             { instr = Some c.Ila.Conditions.instr_name; stats = run.stats }))
+                 | Solver.Unknown -> assert false);
+                 loop (iter + 1)
+           in
+           loop 1)
+         formulas
+     else
+       (* joint synthesis; verification granularity depends on the mode *)
+       let corrects = List.map (fun (_, f, _) -> f) formulas in
+       let rec loop iter =
+         if iter > options.max_iterations then raise (Stop (Timeout run.stats));
+         run.stats.iterations <- run.stats.iterations + 1;
+         let failing =
+           match options.mode with
+           | Monolithic -> (
+               let big = Term.disj (List.map (fun (_, _, v) -> v) formulas) in
+               match verify big with None -> [] | Some m -> [ m ])
+           | Per_instruction ->
+               List.filter_map (fun (_, _, v) -> verify v) formulas
+         in
+         match failing with
+         | [] -> ()
+         | models ->
+             List.iter (fun m -> add_cex_for m corrects) models;
+             synth_step ~blame:None ();
+             loop (iter + 1)
+       in
+       loop 1);
+    (* assemble results *)
+    let per_instr =
+      List.map
+        (fun iname ->
+          ( iname,
+            List.map
+              (fun ((h : Oyster.Ast.hole_decl), (base, w)) ->
+                let v =
+                  match Hashtbl.find_opt candidate (renamed_var (base, w) iname) with
+                  | Some v -> v
+                  | None -> Bitvec.zero w
+                in
+                (h.Oyster.Ast.hole_name, v))
+              (List.combine per_holes per_hole_vars) ))
+        instr_names
+    in
+    let shared =
+      List.map
+        (fun ((h : Oyster.Ast.hole_decl), (base, w)) ->
+          ( h.Oyster.Ast.hole_name,
+            match Hashtbl.find_opt candidate base with
+            | Some v -> v
+            | None -> Bitvec.zero w ))
+        (List.combine shared_holes shared_hole_vars)
+    in
+    (* reconstruct precondition expressions over the datapath namespace *)
+    let prefer = List.concat_map (fun (h : Oyster.Ast.hole_decl) -> h.Oyster.Ast.deps) holes in
+    let ctx = Reconstruct.ctx_of_trace ~prefer trace in
+    let pre_exprs, missing =
+      List.fold_left
+        (fun (acc, missing) (c : Ila.Conditions.conditions) ->
+          match Reconstruct.expr_of_term ctx c.Ila.Conditions.pre with
+          | Some e -> ((c.Ila.Conditions.instr_name, e) :: acc, missing)
+          | None -> (acc, c.Ila.Conditions.instr_name :: missing))
+        ([], []) conds
+    in
+    run.stats.wall_seconds <- now () -. run.started;
+    if missing <> [] then
+      Union_failed
+        {
+          diagnostic =
+            Printf.sprintf
+              "preconditions of %s are not expressible over the datapath wires"
+              (String.concat ", " missing);
+          stats = run.stats;
+        }
+    else begin
+      let completed, bindings =
+        Union.apply problem.design ~pre_exprs ~shared ~per_instr
+      in
+      run.stats.wall_seconds <- now () -. run.started;
+      Solved { completed; bindings; per_instr; shared; pre_exprs; stats = run.stats }
+    end
+  with
+  | Stop outcome ->
+      stats.wall_seconds <- now () -. started;
+      outcome

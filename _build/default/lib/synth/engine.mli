@@ -1,0 +1,96 @@
+(** Control logic synthesis (paper §3.3): filling datapath-sketch holes so
+    that every specification instruction's precondition implies its
+    postcondition, for all initial states — Equation (1), decided by CEGIS.
+
+    Strategy selection:
+    - independent per-instruction CEGIS when the mode is [Per_instruction]
+      and no [Shared] holes exist (the paper's §3.3.1 optimization);
+    - joint synthesis with per-instruction verification when [Shared] holes
+      (FSM state encodings) must be consistent across instructions;
+    - [Monolithic]: one verification query over the disjunction of all
+      instructions' violation formulas — the unoptimized baseline whose
+      solving time explodes (Table 1's dagger rows). *)
+
+type mode = Per_instruction | Monolithic
+
+type options = {
+  mode : mode;
+  conflict_budget : int;  (** total SAT conflicts before declaring timeout *)
+  max_iterations : int;  (** CEGIS rounds per loop *)
+  deadline_seconds : float option;  (** wall-clock timeout *)
+  check_independence : bool;
+      (** verify the instruction-independence preconditions (paper §3.3.1)
+          before synthesizing; the abstraction function's assume wires act
+          as the permitted feedback cuts *)
+}
+
+val default_options : options
+(** [Per_instruction], unlimited conflicts, 256 rounds, no deadline. *)
+
+type stats = {
+  mutable iterations : int;
+  mutable queries : int;
+  mutable conflicts : int;
+  mutable wall_seconds : float;
+}
+
+type solved = {
+  completed : Oyster.Ast.design;  (** holes filled, typechecked *)
+  bindings : (string * Oyster.Ast.expr) list;  (** what filled each hole *)
+  per_instr : (string * (string * Bitvec.t) list) list;
+      (** instruction -> hole -> synthesized constant *)
+  shared : (string * Bitvec.t) list;  (** Shared-hole constants *)
+  pre_exprs : (string * Oyster.Ast.expr) list;
+      (** each instruction's precondition over the datapath namespace *)
+  stats : stats;
+}
+
+type outcome =
+  | Solved of solved
+  | Timeout of stats
+  | Unrealizable of { instr : string option; stats : stats }
+      (** no hole values satisfy the named instruction (or, in joint modes,
+          the conjunction) *)
+  | Union_failed of { diagnostic : string; stats : stats }
+      (** synthesis succeeded but a precondition could not be re-expressed
+          over the datapath wires *)
+  | Not_independent of {
+      overlapping : (string * string) list;
+      feedback : (string * string * string) list;
+      stats : stats;
+    }  (** the §3.3.1 preconditions fail (with [check_independence]) *)
+
+exception Engine_error of string
+
+type problem = {
+  design : Oyster.Ast.design;
+  spec : Ila.Spec.t;
+  af : Ila.Absfun.t;
+}
+
+val ground_reads : Solver.model -> Term.t -> Term.t
+(** Replaces residual (hole-address-dependent) memory reads of a
+    counterexample-substituted formula by the counterexample's memory
+    function; exposed for the {!Minimize} pass and tests. *)
+
+val synthesize : ?options:options -> problem -> outcome
+
+(** {1 Verification of completed designs}
+
+    With no holes this is plain bounded refinement checking — the way a
+    hand-written control implementation is formally checked against the
+    specification, instruction by instruction.
+
+    Each query is preprocessed by {e field refinement}: instruction-word
+    fields that the precondition pins to constants (opcode, funct3,
+    funct7) are substituted structurally into the fetched word, so the
+    decode comparisons fold and the datapath's operation-selection muxes
+    collapse before bit-blasting.  Without this, verifying a core whose
+    ALU tree contains wide multipliers or dividers is intractable: the
+    solver has to refute every unselected cone bit by bit. *)
+
+type verdict = Verified | Violated of Solver.model | Inconclusive
+
+val verify :
+  ?budget:int -> ?deadline:float -> problem -> (string * verdict) list
+(** Raises {!Engine_error} if the design still has holes. *)

@@ -1,0 +1,150 @@
+(* Don't-care minimization of synthesized control — the paper's §5.3
+   future-work direction ("generate HDL code that is correct and also
+   optimal with respect to some objective function").
+
+   Per-instruction synthesis assigns every hole a concrete value for every
+   instruction, including holes the instruction does not constrain (for
+   ADD, the branch comparator select is a don't-care).  The control union
+   then splits value groups unnecessarily, inflating both the generated
+   HDL and the synthesized circuit.
+
+   This pass shrinks the result: per hole, instructions are greedily moved
+   into the most popular value group whenever re-verification proves the
+   changed value still satisfies that instruction's correctness condition.
+   Each check is one (small) UNSAT query, so the pass stays cheap relative
+   to synthesis, and the result is still correct by construction — every
+   adopted value is verified, never assumed. *)
+
+type stats = {
+  mutable checks : int;
+  mutable merged : int;  (* (instruction, hole) pairs moved to a shared value *)
+  mutable wall_seconds : float;
+}
+
+type result = { solved : Engine.solved; minimize_stats : stats }
+
+exception Minimize_error of string
+
+let popular_value values =
+  (* most frequent Bitvec in a list; ties break to the first seen *)
+  let groups : (Bitvec.t * int ref) list ref = ref [] in
+  List.iter
+    (fun v ->
+      match List.find_opt (fun (g, _) -> Bitvec.equal g v) !groups with
+      | Some (_, n) -> incr n
+      | None -> groups := !groups @ [ (v, ref 1) ])
+    values;
+  match
+    List.fold_left
+      (fun best (v, n) ->
+        match best with
+        | Some (_, bn) when bn >= !n -> best
+        | _ -> Some (v, !n))
+      None !groups
+  with
+  | Some (v, _) -> v
+  | None -> raise (Minimize_error "no values")
+
+let run ?(budget = max_int) (problem : Engine.problem) (solved : Engine.solved) :
+    result =
+  let t0 = Unix.gettimeofday () in
+  let stats = { checks = 0; merged = 0; wall_seconds = 0.0 } in
+  let trace =
+    Oyster.Symbolic.eval problem.Engine.design
+      ~cycles:problem.Engine.af.Ila.Absfun.cycles
+  in
+  let conds = Ila.Conditions.compile problem.Engine.spec problem.Engine.af trace in
+  let hole_term name =
+    match List.assoc_opt name trace.Oyster.Symbolic.hole_terms with
+    | Some t -> (
+        match t.Term.node with
+        | Term.Var v -> v
+        | _ -> raise (Minimize_error "hole is not a variable"))
+    | None -> trace.Oyster.Symbolic.prefix ^ "hole!" ^ name
+  in
+  (* mutable copy of the per-instruction assignments *)
+  let assignment : (string, (string, Bitvec.t) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (iname, holes) ->
+      let tbl = Hashtbl.create 16 in
+      List.iter (fun (h, v) -> Hashtbl.replace tbl h v) holes;
+      Hashtbl.replace assignment iname tbl)
+    solved.Engine.per_instr;
+  let shared_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (h, v) -> Hashtbl.replace shared_tbl (hole_term h) v)
+    solved.Engine.shared;
+  let verifies iname =
+    (* substitute the instruction's current hole values (plus the shared
+       ones) into its violation formula and check unsatisfiability *)
+    let c =
+      List.find (fun c -> c.Ila.Conditions.instr_name = iname) conds
+    in
+    let tbl = Hashtbl.find assignment iname in
+    let env =
+      {
+        Term.lookup_var =
+          (fun n _w ->
+            match Hashtbl.find_opt shared_tbl n with
+            | Some v -> Some v
+            | None ->
+                Hashtbl.fold
+                  (fun h v acc ->
+                    if acc = None && String.equal n (hole_term h) then Some v
+                    else acc)
+                  tbl None);
+        Term.lookup_read = (fun _ _ -> None);
+      }
+    in
+    let violation =
+      Term.band c.Ila.Conditions.pre
+        (Term.band c.Ila.Conditions.assumes (Term.bnot c.Ila.Conditions.post))
+    in
+    stats.checks <- stats.checks + 1;
+    match Solver.check ~budget [ Term.substitute env violation ] with
+    | Solver.Unsat -> true
+    | Solver.Sat _ -> false
+    | Solver.Unknown -> false
+  in
+  let hole_names =
+    match solved.Engine.per_instr with
+    | (_, holes) :: _ -> List.map fst holes
+    | [] -> []
+  in
+  let instr_names = List.map fst solved.Engine.per_instr in
+  List.iter
+    (fun h ->
+      let target =
+        popular_value
+          (List.map (fun i -> Hashtbl.find (Hashtbl.find assignment i) h) instr_names)
+      in
+      List.iter
+        (fun i ->
+          let tbl = Hashtbl.find assignment i in
+          let current = Hashtbl.find tbl h in
+          if not (Bitvec.equal current target) then begin
+            Hashtbl.replace tbl h target;
+            if verifies i then stats.merged <- stats.merged + 1
+            else Hashtbl.replace tbl h current (* revert *)
+          end)
+        instr_names)
+    hole_names;
+  (* rebuild the completed design through the same union path *)
+  let per_instr =
+    List.map
+      (fun i ->
+        let tbl = Hashtbl.find assignment i in
+        (i, List.map (fun h -> (h, Hashtbl.find tbl h)) hole_names))
+      instr_names
+  in
+  let completed, bindings =
+    Union.apply problem.Engine.design ~pre_exprs:solved.Engine.pre_exprs
+      ~shared:solved.Engine.shared ~per_instr
+  in
+  stats.wall_seconds <- Unix.gettimeofday () -. t0;
+  {
+    solved = { solved with Engine.completed; bindings; per_instr };
+    minimize_stats = stats;
+  }

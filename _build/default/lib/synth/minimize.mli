@@ -1,0 +1,23 @@
+(** Don't-care minimization of synthesized control — the paper's §5.3
+    future-work direction of generating control that is "correct and also
+    optimal with respect to some objective function".
+
+    Per hole, instructions are greedily moved into the most popular value
+    group whenever re-verification (one UNSAT query) proves the changed
+    value still satisfies that instruction's correctness condition; the
+    result is re-unioned.  Every adopted value is verified, so the output
+    is correct by construction like the input. *)
+
+type stats = {
+  mutable checks : int;  (** re-verification queries issued *)
+  mutable merged : int;  (** (instruction, hole) pairs moved to a shared value *)
+  mutable wall_seconds : float;
+}
+
+type result = { solved : Engine.solved; minimize_stats : stats }
+
+exception Minimize_error of string
+
+val run : ?budget:int -> Engine.problem -> Engine.solved -> result
+(** [budget] bounds each re-verification query's SAT conflicts; queries that
+    exceed it conservatively keep the original value. *)

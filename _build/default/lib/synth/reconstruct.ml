@@ -1,0 +1,141 @@
+(* Reconstruction of Oyster expressions from SMT terms.
+
+   The control-union step (paper Fig. 6) emits per-instruction precondition
+   wires like [pre_add := (eq opcode 7'x33) and ...].  The preconditions are
+   available as Term.t values compiled from the ILA decode; to emit them as
+   datapath code we rebuild an Oyster expression, replacing any subterm that
+   the datapath already computes (a wire, input, or register sampled in
+   cycle 1) by a reference to that name.
+
+   Reconstruction fails (returns [None]) if a leaf variable or memory read
+   cannot be expressed over the datapath namespace — which means the decode
+   depends on state the sketch does not expose; the engine reports this as
+   a diagnostic. *)
+
+type ctx = {
+  by_term : (int, string) Hashtbl.t;  (* Term id -> datapath name *)
+  mem_names : (string * string) list;  (* Term mem_name -> oyster memory name *)
+  rom_names : (string * string) list;  (* Term tab_name -> oyster rom name *)
+}
+
+(* Build the matching context from a symbolic trace: every cycle's wires
+   (they include sampled inputs and outputs) and the initial register
+   values.  A control signal is consumed in the cycle its holes feed, which
+   in a pipelined sketch need not be cycle 1 (e.g. the crypto core decodes
+   in stage 2), so all cycles participate; [prefer] names — typically the
+   holes' declared dependencies — win conflicts regardless of cycle, then
+   earlier cycles win, then registers, with a lexicographic tie-break. *)
+let ctx_of_trace ?(prefer = []) (trace : Oyster.Symbolic.trace) =
+  let by_term = Hashtbl.create 64 in
+  let ranks = Hashtbl.create 64 in
+  let outputs =
+    List.map fst (Oyster.Ast.outputs trace.Oyster.Symbolic.design)
+  in
+  let consider rank (name, term) =
+    let rank =
+      if List.mem name prefer then 0
+      else if List.mem name outputs then rank + 1000  (* outputs last *)
+      else rank
+    in
+    let id = Term.id term in
+    let better =
+      match Hashtbl.find_opt by_term id with
+      | None -> true
+      | Some existing ->
+          let old_rank = Hashtbl.find ranks id in
+          rank < old_rank || (rank = old_rank && String.compare name existing < 0)
+    in
+    if better then begin
+      Hashtbl.replace by_term id name;
+      Hashtbl.replace ranks id rank
+    end
+  in
+  List.iter
+    (fun (n, _w) -> consider 1 (n, Oyster.Symbolic.reg_at trace ~state:0 n))
+    (Oyster.Ast.registers trace.Oyster.Symbolic.design);
+  Array.iteri
+    (fun i wires -> List.iter (consider (2 + i)) wires)
+    trace.Oyster.Symbolic.cycle_wires;
+  let mem_names =
+    List.map (fun (oy, m) -> (m.Term.mem_name, oy)) trace.Oyster.Symbolic.mems
+  in
+  let rom_names =
+    List.map
+      (fun (r : Oyster.Ast.rom_decl) ->
+        (trace.Oyster.Symbolic.prefix ^ "rom!" ^ r.Oyster.Ast.rom_name,
+         r.Oyster.Ast.rom_name))
+      (Oyster.Ast.roms trace.Oyster.Symbolic.design)
+  in
+  { by_term; mem_names; rom_names }
+
+let binop_of_term : Term.binop -> Oyster.Ast.binop = function
+  | Term.And -> Oyster.Ast.And
+  | Term.Or -> Oyster.Ast.Or
+  | Term.Xor -> Oyster.Ast.Xor
+  | Term.Add -> Oyster.Ast.Add
+  | Term.Sub -> Oyster.Ast.Sub
+  | Term.Mul -> Oyster.Ast.Mul
+  | Term.Udiv -> Oyster.Ast.Udiv
+  | Term.Urem -> Oyster.Ast.Urem
+  | Term.Sdiv -> Oyster.Ast.Sdiv
+  | Term.Srem -> Oyster.Ast.Srem
+  | Term.Clmul -> Oyster.Ast.Clmul
+  | Term.Clmulh -> Oyster.Ast.Clmulh
+  | Term.Shl -> Oyster.Ast.Shl
+  | Term.Lshr -> Oyster.Ast.Lshr
+  | Term.Ashr -> Oyster.Ast.Ashr
+
+let cmpop_of_term : Term.cmpop -> Oyster.Ast.binop = function
+  | Term.Eq -> Oyster.Ast.Eq
+  | Term.Ult -> Oyster.Ast.Ult
+  | Term.Ule -> Oyster.Ast.Ule
+  | Term.Slt -> Oyster.Ast.Slt
+  | Term.Sle -> Oyster.Ast.Sle
+
+let expr_of_term (ctx : ctx) (t : Term.t) : Oyster.Ast.expr option =
+  let memo = Hashtbl.create 32 in
+  let rec go (t : Term.t) =
+    match Hashtbl.find_opt memo (Term.id t) with
+    | Some r -> r
+    | None ->
+        let r =
+          match Hashtbl.find_opt ctx.by_term (Term.id t) with
+          | Some name -> Some (Oyster.Ast.Var name)
+          | None -> go_node t
+        in
+        Hashtbl.add memo (Term.id t) r;
+        r
+  and go_node (t : Term.t) =
+    match t.Term.node with
+    | Term.Const v -> Some (Oyster.Ast.Const v)
+    | Term.Var _ -> None  (* unmatched symbolic leaf *)
+    | Term.Not a ->
+        Option.map (fun a -> Oyster.Ast.Unop (Oyster.Ast.Not, a)) (go a)
+    | Term.Binop (op, a, b) -> (
+        match (go a, go b) with
+        | Some a, Some b -> Some (Oyster.Ast.Binop (binop_of_term op, a, b))
+        | _ -> None)
+    | Term.Cmp (op, a, b) -> (
+        match (go a, go b) with
+        | Some a, Some b -> Some (Oyster.Ast.Binop (cmpop_of_term op, a, b))
+        | _ -> None)
+    | Term.Ite (c, a, b) -> (
+        match (go c, go a, go b) with
+        | Some c, Some a, Some b -> Some (Oyster.Ast.Ite (c, a, b))
+        | _ -> None)
+    | Term.Extract (h, l, a) ->
+        Option.map (fun a -> Oyster.Ast.Extract (h, l, a)) (go a)
+    | Term.Concat (a, b) -> (
+        match (go a, go b) with
+        | Some a, Some b -> Some (Oyster.Ast.Concat (a, b))
+        | _ -> None)
+    | Term.Read (m, a) -> (
+        match List.assoc_opt m.Term.mem_name ctx.mem_names with
+        | Some oy -> Option.map (fun a -> Oyster.Ast.Read (oy, a)) (go a)
+        | None -> None)
+    | Term.Table (tb, a) -> (
+        match List.assoc_opt tb.Term.tab_name ctx.rom_names with
+        | Some oy -> Option.map (fun a -> Oyster.Ast.RomRead (oy, a)) (go a)
+        | None -> None)
+  in
+  go t

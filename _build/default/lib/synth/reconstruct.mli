@@ -1,0 +1,18 @@
+(** Reconstruction of Oyster expressions from SMT terms.
+
+    The control union emits per-instruction precondition wires; the
+    preconditions exist as {!Term.t}s compiled from the ILA decode.  This
+    module rebuilds them as datapath code, replacing any subterm the
+    datapath already computes — a wire, input, or register sampled in some
+    cycle — by a reference to that name.  Failure ([None]) means the decode
+    depends on state the sketch does not expose. *)
+
+type ctx
+
+val ctx_of_trace : ?prefer:string list -> Oyster.Symbolic.trace -> ctx
+(** Matching context from every cycle's wires and the initial register
+    values.  [prefer] names (typically the holes' declared dependencies)
+    win conflicts regardless of cycle; then earlier cycles, then registers,
+    with a lexicographic tie-break. *)
+
+val expr_of_term : ctx -> Term.t -> Oyster.Ast.expr option

@@ -1,0 +1,37 @@
+(** Field refinement: structural substitution of precondition-pinned fields.
+
+    During synthesis the decode muxes collapse because the candidate control
+    values are constants.  During verification of a completed design the
+    control is an expression over the instruction word, so the datapath keeps
+    its full selection trees — for an M-extension core that means eight
+    symbolic 64-bit multiplier and divider cones feeding one mux, which the
+    bit-level solver has to refute one path at a time.
+
+    An instruction's precondition pins instruction-word fields to constants
+    ([extract[6:0](fetch) = opcode], ...).  Substituting those constants
+    structurally — replacing the fetched word with
+    [concat(funct7-const, rs2, rs1, funct3-const, rd, opcode-const)] —
+    lets the term simplifier fold the decode comparisons and collapse the
+    selection trees before bit-blasting.  The rewrite is equisatisfiable
+    with the original formula {e provided the pinning equalities are
+    conjuncts of it}: the refined word agrees with the original on every
+    unpinned bit, and the precondition forces the pinned bits anyway. *)
+
+type pins
+(** Pinned bits, per base term (a variable or an uninterpreted read). *)
+
+val collect : Term.t -> pins
+(** [collect pre] extracts field pins from the top-level conjuncts of
+    [pre]: every conjunct of the form [extract(base, hi, lo) = const] or
+    [base = const] where [base] is a variable or a memory read.  On
+    conflicting pins the first wins — the formula is unsatisfiable either
+    way and the solver settles it. *)
+
+val is_empty : pins -> bool
+
+val apply : pins -> Term.t -> Term.t
+(** [apply pins t] replaces every pinned base occurring in [t] with the
+    concatenation of its pinned constants and extracts of the base for the
+    unpinned gaps, re-simplifying bottom-up.  Sound only when the formula
+    solved implies the pinning equalities [collect] saw (e.g. it conjoins
+    the same precondition). *)

@@ -1,0 +1,140 @@
+(* The control union (paper Fig. 6).
+
+   Per-instruction synthesis yields, for every hole, a concrete bitvector
+   per instruction.  The union groups instructions by value and emits a
+   nested if-then-else over per-instruction precondition wires:
+
+     pre_add  := <decode of ADD over datapath wires>
+     ...
+     write_register := if (pre_add or pre_load) then 1'x1 else ...
+
+   (Fig. 6's pseudo-code transposes the branches of its IfThenElse; we follow
+   the paper's worked example, which selects the head value when the head
+   condition holds.)  The final group's value becomes the default arm, which
+   is equivalent under the instruction-independence conditions: mutually
+   exclusive preconditions covering all decodable states. *)
+
+type group = { value : Bitvec.t; instrs : string list }
+
+type hole_result = { hole : string; groups : group list }
+
+(* [group_results per_instr hole_names] pivots a per-instruction value map
+   (instr -> hole -> value) into per-hole value groups, preserving
+   instruction order. *)
+let group_results (per_instr : (string * (string * Bitvec.t) list) list)
+    (hole_names : string list) : hole_result list =
+  List.map
+    (fun hole ->
+      let groups = ref [] in
+      List.iter
+        (fun (iname, assignment) ->
+          match List.assoc_opt hole assignment with
+          | None -> ()
+          | Some v -> (
+              match
+                List.find_opt (fun g -> Bitvec.equal g.value v) !groups
+              with
+              | Some g ->
+                  groups :=
+                    List.map
+                      (fun g' ->
+                        if g' == g then { g' with instrs = g'.instrs @ [ iname ] }
+                        else g')
+                      !groups
+              | None -> groups := !groups @ [ { value = v; instrs = [ iname ] } ]))
+        per_instr;
+      { hole; groups = !groups })
+    hole_names
+
+let pre_wire_name iname =
+  "pre_" ^ String.map (fun c -> if c = '.' || c = '-' then '_' else c) iname
+
+(* Order groups so the most populous value becomes the final (default) arm:
+   under mutually exclusive preconditions the chain is equivalent in any
+   order, and this choice needs the fewest precondition wires. *)
+let order_for_default groups =
+  match groups with
+  | [] | [ _ ] -> groups
+  | _ ->
+      let biggest =
+        List.fold_left
+          (fun best g ->
+            match best with
+            | Some b when List.length b.instrs >= List.length g.instrs -> best
+            | _ -> Some g)
+          None groups
+        |> Option.get
+      in
+      List.filter (fun g -> g != biggest) groups @ [ biggest ]
+
+(* LogicGen of Fig. 6: nested if-then-else over grouped values. *)
+let rec logic_gen (groups : group list) : Oyster.Ast.expr =
+  match groups with
+  | [] -> invalid_arg "Union.logic_gen: no synthesis results"
+  | [ g ] -> Oyster.Ast.Const g.value
+  | g :: rest ->
+      let cond =
+        match List.map (fun i -> Oyster.Ast.Var (pre_wire_name i)) g.instrs with
+        | [] -> assert false
+        | c :: cs ->
+            List.fold_left (fun acc c -> Oyster.Ast.Binop (Oyster.Ast.Or, acc, c)) c cs
+      in
+      Oyster.Ast.Ite (cond, Oyster.Ast.Const g.value, logic_gen rest)
+
+(* [apply design ~pre_exprs ~shared ~per_instr] completes the design:
+   - a [pre_<instr>] wire per instruction that appears in some group,
+   - every Per_instruction hole bound to its nested ite,
+   - every Shared hole bound to its single constant.
+
+   Returns the completed design (typechecked) and the bindings used. *)
+let apply (design : Oyster.Ast.design)
+    ~(pre_exprs : (string * Oyster.Ast.expr) list)
+    ~(shared : (string * Bitvec.t) list)
+    ~(per_instr : (string * (string * Bitvec.t) list) list) =
+  let hole_decls = Oyster.Ast.holes design in
+  let per_holes =
+    List.filter_map
+      (fun (h : Oyster.Ast.hole_decl) ->
+        match h.Oyster.Ast.kind with
+        | Oyster.Ast.Per_instruction -> Some h.Oyster.Ast.hole_name
+        | Oyster.Ast.Shared -> None)
+      hole_decls
+  in
+  let results =
+    group_results per_instr per_holes
+    |> List.map (fun r -> { r with groups = order_for_default r.groups })
+  in
+  (* only materialize pre wires that some hole's logic actually tests *)
+  let used_instrs =
+    List.concat_map
+      (fun r ->
+        match r.groups with
+        | [] | [ _ ] -> []
+        | gs ->
+            (* the last group is the default arm: its instructions need no wire *)
+            List.concat_map (fun g -> g.instrs)
+              (List.filteri (fun i _ -> i < List.length gs - 1) gs))
+      results
+    |> List.sort_uniq String.compare
+  in
+  let pre_defs =
+    List.filter_map
+      (fun iname ->
+        match List.assoc_opt iname pre_exprs with
+        | Some e -> Some (pre_wire_name iname, 1, e)
+        | None -> None)
+      used_instrs
+  in
+  (if List.length pre_defs <> List.length used_instrs then
+     invalid_arg "Union.apply: missing precondition expression for an instruction");
+  let bindings =
+    List.map (fun r -> (r.hole, logic_gen r.groups)) results
+    @ List.map (fun (h, v) -> (h, Oyster.Ast.Const v)) shared
+  in
+  let design = Oyster.Ast.insert_wires design pre_defs in
+  let design = Oyster.Ast.fill_holes design bindings in
+  (* reconstructed preconditions may reference wires assigned late in the
+     original order (e.g. output aliases); re-schedule combinationally *)
+  let design = Oyster.Ast.schedule design in
+  ignore (Oyster.Typecheck.check design);
+  (design, bindings)

@@ -1,0 +1,37 @@
+(** The control union ⊔ (paper Fig. 6): joins per-instruction synthesized
+    constants into complete control logic — a nested if-then-else over
+    per-instruction precondition wires, one value group per distinct
+    constant.
+
+    The most populous group becomes the default arm (correct under the
+    instruction-independence conditions: mutually exclusive preconditions
+    covering every decodable state), which minimizes the precondition wires
+    that must be materialized. *)
+
+type group = { value : Bitvec.t; instrs : string list }
+
+type hole_result = { hole : string; groups : group list }
+
+val group_results :
+  (string * (string * Bitvec.t) list) list -> string list -> hole_result list
+(** Pivots an instruction->hole->value map into per-hole value groups,
+    preserving instruction order. *)
+
+val pre_wire_name : string -> string
+(** The wire carrying an instruction's precondition ([pre_<instr>]). *)
+
+val order_for_default : group list -> group list
+
+val logic_gen : group list -> Oyster.Ast.expr
+(** LogicGen of Fig. 6: the nested if-then-else for one hole. *)
+
+val apply :
+  Oyster.Ast.design ->
+  pre_exprs:(string * Oyster.Ast.expr) list ->
+  shared:(string * Bitvec.t) list ->
+  per_instr:(string * (string * Bitvec.t) list) list ->
+  Oyster.Ast.design * (string * Oyster.Ast.expr) list
+(** Completes the design: inserts the needed [pre_*] wires, fills every
+    [Per_instruction] hole with its nested ite and every [Shared] hole with
+    its constant, and typechecks.  Returns the design and the hole
+    bindings. *)

@@ -1,0 +1,294 @@
+(* Unit and property tests for Bitvec.
+
+   The property tests cross-check every operation at widths <= 30 against a
+   reference model in plain OCaml ints (values mod 2^w), then check
+   structural laws (associativity, roundtrips, ...) at large widths too. *)
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+(* {1 Reference model for small widths} *)
+
+let mask w = (1 lsl w) - 1
+
+let signed w n = if n land (1 lsl (w - 1)) <> 0 then n - (1 lsl w) else n
+
+let ref_clmul w a b =
+  let acc = ref 0 in
+  for i = 0 to w - 1 do
+    if b land (1 lsl i) <> 0 then acc := !acc lxor (a lsl i)
+  done;
+  !acc
+
+(* {1 Generators} *)
+
+let gen_small_pair =
+  (* width w in 1..30 and two values in [0, 2^w) *)
+  QCheck.Gen.(
+    1 -- 30 >>= fun w ->
+    pair (0 -- mask w) (0 -- mask w) >>= fun (a, b) -> return (w, a, b))
+
+let arb_small_pair =
+  QCheck.make gen_small_pair ~print:(fun (w, a, b) ->
+      Printf.sprintf "w=%d a=%d b=%d" w a b)
+
+let gen_wide =
+  (* A bitvector of width 1..130 built from random bits. *)
+  QCheck.Gen.(
+    1 -- 130 >>= fun w ->
+    array_size (return w) bool >>= fun bits -> return (Bitvec.of_bits bits))
+
+let arb_wide = QCheck.make gen_wide ~print:Bitvec.to_string
+
+let gen_wide_pair =
+  QCheck.Gen.(
+    1 -- 130 >>= fun w ->
+    let bits = array_size (return w) bool in
+    pair bits bits >>= fun (x, y) ->
+    return (Bitvec.of_bits x, Bitvec.of_bits y))
+
+let arb_wide_pair =
+  QCheck.make gen_wide_pair ~print:(fun (a, b) ->
+      Printf.sprintf "%s %s" (Bitvec.to_string a) (Bitvec.to_string b))
+
+let prop name arb f = QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:500 ~name arb f)
+
+(* {1 Unit tests} *)
+
+let test_construction () =
+  Alcotest.(check (option int)) "of_int 8 255" (Some 255)
+    (Bitvec.to_int (Bitvec.of_int ~width:8 255));
+  Alcotest.(check (option int)) "of_int truncates" (Some 1)
+    (Bitvec.to_int (Bitvec.of_int ~width:8 257));
+  Alcotest.check bv "of_int negative = ones" (Bitvec.ones 8)
+    (Bitvec.of_int ~width:8 (-1));
+  Alcotest.(check int) "width" 96 (Bitvec.width (Bitvec.zero 96));
+  Alcotest.(check (option int)) "zero" (Some 0) (Bitvec.to_int (Bitvec.zero 64));
+  Alcotest.check bv "of_int64" (Bitvec.of_int ~width:64 7)
+    (Bitvec.of_int64 ~width:64 7L);
+  Alcotest.(check bool) "to_int overflow" true
+    (Bitvec.to_int (Bitvec.ones 128) = None)
+
+let test_of_string () =
+  let cases =
+    [ ("8'xff", Bitvec.ones 8);
+      ("8'hFF", Bitvec.ones 8);
+      ("4'b1010", Bitvec.of_int ~width:4 10);
+      ("12'd255", Bitvec.of_int ~width:12 255);
+      ("8'255", Bitvec.of_int ~width:8 255);
+      ("32'xdead_beef", Bitvec.of_int ~width:32 0xdeadbeef);
+      ("1'b1", Bitvec.one 1) ]
+  in
+  List.iter (fun (s, v) -> Alcotest.check bv s v (Bitvec.of_string s)) cases;
+  let bad = [ "xff"; "8'"; "8'q12"; "0'x0"; "2'd4"; "4'b2"; "8'xgg"; "" ] in
+  List.iter
+    (fun s ->
+      Alcotest.check_raises s
+        (Invalid_argument (Printf.sprintf "Bitvec.of_string: %S" s))
+        (fun () ->
+          match s with
+          | "0'x0" ->
+              (* width error surfaces as the width message *)
+              (try ignore (Bitvec.of_string s) with Invalid_argument _ ->
+                raise (Invalid_argument (Printf.sprintf "Bitvec.of_string: %S" s)))
+          | _ -> ignore (Bitvec.of_string s)))
+    bad
+
+let test_to_string () =
+  Alcotest.(check string) "hex" "8'x1f" (Bitvec.to_string (Bitvec.of_int ~width:8 0x1f));
+  Alcotest.(check string) "bin" "4'b1010"
+    (Bitvec.to_binary_string (Bitvec.of_int ~width:4 10));
+  Alcotest.(check string) "odd width hex" "5'x1f" (Bitvec.to_string (Bitvec.ones 5))
+
+let test_structure () =
+  let v = Bitvec.of_string "16'xabcd" in
+  Alcotest.check bv "extract low byte" (Bitvec.of_string "8'xcd")
+    (Bitvec.extract ~high:7 ~low:0 v);
+  Alcotest.check bv "extract high nibble" (Bitvec.of_string "4'xa")
+    (Bitvec.extract ~high:15 ~low:12 v);
+  Alcotest.check bv "concat" v
+    (Bitvec.concat (Bitvec.of_string "8'xab") (Bitvec.of_string "8'xcd"));
+  Alcotest.check bv "zext" (Bitvec.of_string "12'x0cd")
+    (Bitvec.zext (Bitvec.of_string "8'xcd") 12);
+  Alcotest.check bv "sext" (Bitvec.of_string "12'xfcd")
+    (Bitvec.sext (Bitvec.of_string "8'xcd") 12);
+  Alcotest.check bv "repeat" (Bitvec.of_string "6'b101101")
+    (Bitvec.repeat (Bitvec.of_string "3'b101") 2)
+
+let test_signed () =
+  Alcotest.(check (option int)) "to_signed -1" (Some (-1))
+    (Bitvec.to_signed_int (Bitvec.ones 8));
+  Alcotest.(check (option int)) "to_signed 127" (Some 127)
+    (Bitvec.to_signed_int (Bitvec.of_int ~width:8 127));
+  Alcotest.(check bool) "slt -1 < 0" true
+    (Bitvec.slt (Bitvec.ones 8) (Bitvec.zero 8));
+  Alcotest.(check bool) "ult 0 < -1" true
+    (Bitvec.ult (Bitvec.zero 8) (Bitvec.ones 8));
+  Alcotest.(check (option int)) "to_signed wide -1" (Some (-1))
+    (Bitvec.to_signed_int (Bitvec.ones 128));
+  Alcotest.(check bool) "to_signed wide big" true
+    (Bitvec.to_signed_int (Bitvec.concat (Bitvec.one 64) (Bitvec.zero 64)) = None)
+
+let test_shifts () =
+  let v = Bitvec.of_string "8'b00010110" in
+  Alcotest.check bv "shl 2" (Bitvec.of_string "8'b01011000") (Bitvec.shl_int v 2);
+  Alcotest.check bv "lshr 2" (Bitvec.of_string "8'b00000101") (Bitvec.lshr_int v 2);
+  Alcotest.check bv "shl over" (Bitvec.zero 8) (Bitvec.shl_int v 8);
+  Alcotest.check bv "ashr neg" (Bitvec.of_string "8'b11110001")
+    (Bitvec.ashr_int (Bitvec.of_string "8'b10001111") 3);
+  Alcotest.check bv "ashr over neg" (Bitvec.ones 8)
+    (Bitvec.ashr_int (Bitvec.of_string "8'x80") 100);
+  Alcotest.check bv "rol" (Bitvec.of_string "8'b01101001")
+    (Bitvec.rol_int (Bitvec.of_string "8'b10110100") 1);
+  Alcotest.check bv "ror = rol inverse" v (Bitvec.ror_int (Bitvec.rol_int v 3) 3);
+  (* bitvector-amount forms with huge amounts *)
+  Alcotest.check bv "shl by huge bv" (Bitvec.zero 8)
+    (Bitvec.shl v (Bitvec.ones 100));
+  Alcotest.check bv "rol by w" v (Bitvec.rol v (Bitvec.of_int ~width:8 8))
+
+let test_reductions () =
+  Alcotest.(check int) "popcount" 4 (Bitvec.popcount (Bitvec.of_string "8'b01011101" |> Bitvec.logand (Bitvec.of_string "8'b01101101")));
+  Alcotest.(check bool) "reduce_or zero" false (Bitvec.reduce_or (Bitvec.zero 77));
+  Alcotest.(check bool) "reduce_and ones" true (Bitvec.reduce_and (Bitvec.ones 77));
+  Alcotest.(check bool) "reduce_xor" true (Bitvec.reduce_xor (Bitvec.of_string "8'b01110000"))
+
+(* {1 Properties: small-width cross-check against int model} *)
+
+let small_props =
+  let check2 name f g =
+    prop name arb_small_pair (fun (w, a, b) ->
+        let va = Bitvec.of_int ~width:w a and vb = Bitvec.of_int ~width:w b in
+        Bitvec.to_int_exn (f va vb) = g w a b land mask w)
+  in
+  [ check2 "add matches int" Bitvec.add (fun _ a b -> a + b);
+    check2 "sub matches int" Bitvec.sub (fun _ a b -> a - b);
+    check2 "mul matches int" Bitvec.mul (fun _ a b -> a * b);
+    check2 "and matches int" Bitvec.logand (fun _ a b -> a land b);
+    check2 "or matches int" Bitvec.logor (fun _ a b -> a lor b);
+    check2 "xor matches int" Bitvec.logxor (fun _ a b -> a lxor b);
+    check2 "clmul matches int" Bitvec.clmul (fun w a b -> ref_clmul w a b);
+    check2 "udiv matches int" Bitvec.udiv (fun w a b ->
+        if b = 0 then mask w else a / b);
+    check2 "urem matches int" Bitvec.urem (fun _ a b -> if b = 0 then a else a mod b);
+    check2 "sdiv matches int" Bitvec.sdiv (fun w a b ->
+        let sa = signed w a and sb = signed w b in
+        if sb = 0 then mask w
+        else
+          (* OCaml (/) truncates toward zero, like the convention *)
+          sa / sb);
+    check2 "srem matches int" Bitvec.srem (fun w a b ->
+        let sa = signed w a and sb = signed w b in
+        if sb = 0 then a else Stdlib.(sa - (sa / sb * sb)) |> fun r -> r);
+    check2 "clmulh matches int" Bitvec.clmulh (fun w a b -> ref_clmul w a b lsr w);
+    prop "neg matches int" arb_small_pair (fun (w, a, _) ->
+        Bitvec.to_int_exn (Bitvec.neg (Bitvec.of_int ~width:w a)) = -a land mask w);
+    prop "lognot matches int" arb_small_pair (fun (w, a, _) ->
+        Bitvec.to_int_exn (Bitvec.lognot (Bitvec.of_int ~width:w a)) = lnot a land mask w);
+    prop "ult matches int" arb_small_pair (fun (w, a, b) ->
+        Bitvec.ult (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b) = (a < b));
+    prop "slt matches int" arb_small_pair (fun (w, a, b) ->
+        Bitvec.slt (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b)
+        = (signed w a < signed w b));
+    prop "sle matches int" arb_small_pair (fun (w, a, b) ->
+        Bitvec.sle (Bitvec.of_int ~width:w a) (Bitvec.of_int ~width:w b)
+        = (signed w a <= signed w b));
+    prop "shl matches int" arb_small_pair (fun (w, a, b) ->
+        let k = b mod (w + 2) in
+        Bitvec.to_int_exn (Bitvec.shl_int (Bitvec.of_int ~width:w a) k)
+        = (if k >= w then 0 else (a lsl k) land mask w));
+    prop "lshr matches int" arb_small_pair (fun (w, a, b) ->
+        let k = b mod (w + 2) in
+        Bitvec.to_int_exn (Bitvec.lshr_int (Bitvec.of_int ~width:w a) k)
+        = (if k >= w then 0 else a lsr k));
+    prop "ashr matches int" arb_small_pair (fun (w, a, b) ->
+        let k = b mod (w + 2) in
+        let expect = (signed w a asr min k 62) land mask w in
+        Bitvec.to_int_exn (Bitvec.ashr_int (Bitvec.of_int ~width:w a) k) = expect);
+    prop "rol matches int" arb_small_pair (fun (w, a, b) ->
+        let k = b mod w in
+        Bitvec.to_int_exn (Bitvec.rol_int (Bitvec.of_int ~width:w a) k)
+        = ((a lsl k) lor (a lsr (w - k))) land mask w);
+    prop "to_signed roundtrip" arb_small_pair (fun (w, a, _) ->
+        Bitvec.to_signed_int (Bitvec.of_int ~width:w (signed w a)) = Some (signed w a))
+  ]
+
+(* {1 Properties: structural laws at large widths} *)
+
+let wide_props =
+  [ prop "add commutative" arb_wide_pair (fun (a, b) ->
+        Bitvec.equal (Bitvec.add a b) (Bitvec.add b a));
+    prop "mul commutative" arb_wide_pair (fun (a, b) ->
+        Bitvec.equal (Bitvec.mul a b) (Bitvec.mul b a));
+    prop "clmul commutative" arb_wide_pair (fun (a, b) ->
+        Bitvec.equal (Bitvec.clmul a b) (Bitvec.clmul b a));
+    prop "add/sub inverse" arb_wide_pair (fun (a, b) ->
+        Bitvec.equal (Bitvec.sub (Bitvec.add a b) b) a);
+    prop "neg is 0 - x" arb_wide (fun a ->
+        Bitvec.equal (Bitvec.neg a) (Bitvec.sub (Bitvec.zero (Bitvec.width a)) a));
+    prop "x + not x = ones" arb_wide (fun a ->
+        Bitvec.equal (Bitvec.add a (Bitvec.lognot a)) (Bitvec.ones (Bitvec.width a)));
+    prop "xor self = 0" arb_wide (fun a ->
+        Bitvec.is_zero (Bitvec.logxor a a));
+    prop "de morgan" arb_wide_pair (fun (a, b) ->
+        Bitvec.equal
+          (Bitvec.lognot (Bitvec.logand a b))
+          (Bitvec.logor (Bitvec.lognot a) (Bitvec.lognot b)));
+    prop "bits roundtrip" arb_wide (fun a ->
+        Bitvec.equal a (Bitvec.of_bits (Bitvec.to_bits a)));
+    prop "string roundtrip" arb_wide (fun a ->
+        Bitvec.equal a (Bitvec.of_string (Bitvec.to_string a)));
+    prop "binary string roundtrip" arb_wide (fun a ->
+        Bitvec.equal a (Bitvec.of_string (Bitvec.to_binary_string a)));
+    prop "concat then extract hi" arb_wide_pair (fun (a, b) ->
+        let c = Bitvec.concat a b in
+        let wa = Bitvec.width a and wb = Bitvec.width b in
+        Bitvec.equal a (Bitvec.extract ~high:(wa + wb - 1) ~low:wb c)
+        && Bitvec.equal b (Bitvec.extract ~high:(wb - 1) ~low:0 c));
+    prop "zext preserves value" arb_wide (fun a ->
+        let z = Bitvec.zext a (Bitvec.width a + 17) in
+        Bitvec.equal a (Bitvec.extract ~high:(Bitvec.width a - 1) ~low:0 z)
+        && not (Bitvec.reduce_or (Bitvec.extract ~high:(Bitvec.width z - 1) ~low:(Bitvec.width a) z)));
+    prop "sext top bits equal msb" arb_wide (fun a ->
+        let s = Bitvec.sext a (Bitvec.width a + 9) in
+        let top = Bitvec.extract ~high:(Bitvec.width s - 1) ~low:(Bitvec.width a) s in
+        if Bitvec.msb a then Bitvec.is_ones top else Bitvec.is_zero top);
+    prop "rol total = width is id" arb_wide_pair (fun (a, b) ->
+        let w = Bitvec.width a in
+        let k = Bitvec.to_int_trunc b mod w in
+        Bitvec.equal a (Bitvec.rol_int (Bitvec.rol_int a k) (w - k)));
+    prop "shl then lshr masks" arb_wide_pair (fun (a, b) ->
+        let w = Bitvec.width a in
+        let k = Bitvec.to_int_trunc b mod w in
+        let r = Bitvec.lshr_int (Bitvec.shl_int a k) k in
+        Bitvec.equal r
+          (if k = 0 then a
+           else Bitvec.zext (Bitvec.extract ~high:(w - 1 - k) ~low:0 a) w));
+    prop "clmul distributes over xor" arb_wide_pair (fun (a, b) ->
+        let w = Bitvec.width a in
+        let c = Bitvec.rol_int a 1 in
+        Bitvec.equal
+          (Bitvec.clmul (Bitvec.logxor a c) b)
+          (Bitvec.logxor (Bitvec.clmul a b) (Bitvec.clmul c b))
+        && w > 0);
+    prop "compare consistent with ult" arb_wide_pair (fun (a, b) ->
+        let c = Bitvec.compare a b in
+        if c = 0 then Bitvec.equal a b
+        else if c < 0 then Bitvec.ult a b
+        else Bitvec.ult b a);
+    prop "popcount concat additive" arb_wide_pair (fun (a, b) ->
+        Bitvec.popcount (Bitvec.concat a b) = Bitvec.popcount a + Bitvec.popcount b);
+    prop "hash respects equal" arb_wide (fun a ->
+        Bitvec.hash a = Bitvec.hash (Bitvec.of_bits (Bitvec.to_bits a)))
+  ]
+
+let () =
+  Alcotest.run "bitvec"
+    [ ("unit",
+       [ Alcotest.test_case "construction" `Quick test_construction;
+         Alcotest.test_case "of_string" `Quick test_of_string;
+         Alcotest.test_case "to_string" `Quick test_to_string;
+         Alcotest.test_case "structure" `Quick test_structure;
+         Alcotest.test_case "signed" `Quick test_signed;
+         Alcotest.test_case "shifts" `Quick test_shifts;
+         Alcotest.test_case "reductions" `Quick test_reductions ]);
+      ("small-width model", small_props);
+      ("wide laws", wide_props) ]

@@ -1,0 +1,1 @@
+test/designs/test_aes.ml: Alcotest Array Bitvec Designs Ila List Random Synth

@@ -1,0 +1,1 @@
+test/designs/test_crypto.ml: Alcotest Array Bitvec Char Designs Isa Lazy List Option Printf Random Sha256 Sha_program String Synth

@@ -1,0 +1,1 @@
+test/designs/test_crypto.mli:

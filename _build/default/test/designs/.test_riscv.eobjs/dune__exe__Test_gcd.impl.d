@@ -1,0 +1,1 @@
+test/designs/test_gcd.ml: Alcotest Bitvec Designs Lazy List Option Oyster Printf Random Synth

@@ -1,0 +1,1 @@
+test/designs/test_riscv.ml: Alcotest Array Bitvec Designs Isa List Option Oyster Printf Random Synth

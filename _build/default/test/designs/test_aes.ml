@@ -1,0 +1,115 @@
+(* Tests for the AES-128 accelerator (paper §4.3):
+
+   - generated tables match FIPS-197 spot values;
+   - the byte-level reference matches the FIPS-197 example vector;
+   - the ILA specification, evaluated concretely, matches the reference;
+   - FSM control synthesis succeeds, discovers consistent state encodings,
+     and the completed accelerator encrypts correctly. *)
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+
+let fips_key = Bitvec.of_string "128'x000102030405060708090a0b0c0d0e0f"
+let fips_pt = Bitvec.of_string "128'x00112233445566778899aabbccddeeff"
+let fips_ct = Bitvec.of_string "128'x69c4e0d86a7b0430d8cdb78070b4c55a"
+
+let test_tables () =
+  Alcotest.(check int) "sbox[0]" 0x63 Designs.Aes_tables.sbox.(0);
+  Alcotest.(check int) "sbox[1]" 0x7c Designs.Aes_tables.sbox.(1);
+  Alcotest.(check int) "sbox[0x53]" 0xed Designs.Aes_tables.sbox.(0x53);
+  Alcotest.(check int) "sbox[0xff]" 0x16 Designs.Aes_tables.sbox.(0xff);
+  Alcotest.(check int) "rcon[1]" 0x01 Designs.Aes_tables.rcon.(1);
+  Alcotest.(check int) "rcon[8]" 0x80 Designs.Aes_tables.rcon.(8);
+  Alcotest.(check int) "rcon[10]" 0x36 Designs.Aes_tables.rcon.(10);
+  (* gf arithmetic sanity: 0x57 * 0x83 = 0xc1 (FIPS-197 example) *)
+  Alcotest.(check int) "gf_mul" 0xc1 (Designs.Aes_tables.gf_mul 0x57 0x83)
+
+let test_reference_vector () =
+  Alcotest.check bv "FIPS-197" fips_ct (Designs.Aes_reference.encrypt fips_key fips_pt)
+
+(* Run the ILA spec concretely for 11 architectural steps. *)
+let spec_encrypt key pt =
+  let spec = Designs.Aes.spec () in
+  let st = Ila.Spec.init_state spec in
+  let inputs = function
+    | "key_in" -> key
+    | "plaintext" -> pt
+    | n -> failwith ("unexpected input " ^ n)
+  in
+  for _ = 1 to 11 do
+    match Ila.Spec.step_concrete spec st ~inputs with
+    | Some _ -> ()
+    | None -> Alcotest.fail "spec stalled"
+  done;
+  Ila.Spec.get_bv st "ciphertext"
+
+let random_block rng =
+  Bitvec.of_bits (Array.init 128 (fun _ -> Random.State.bool rng))
+
+let test_spec_matches_reference () =
+  Alcotest.check bv "FIPS vector via spec" fips_ct (spec_encrypt fips_key fips_pt);
+  let rng = Random.State.make [| 17 |] in
+  for _ = 1 to 10 do
+    let key = random_block rng and pt = random_block rng in
+    Alcotest.check bv "random block"
+      (Designs.Aes_reference.encrypt key pt)
+      (spec_encrypt key pt)
+  done
+
+let test_reference_design () =
+  let d = Designs.Aes.reference_design () in
+  Alcotest.check bv "FIPS vector via datapath" fips_ct
+    (Designs.Aes.run_accelerator d ~key:fips_key ~plaintext:fips_pt)
+
+let test_synthesis () =
+  match Synth.Engine.synthesize (Designs.Aes.problem ()) with
+  | Synth.Engine.Solved s ->
+      (* the three state encodings must be pairwise distinct *)
+      let enc n = List.assoc n s.Synth.Engine.shared in
+      let e1 = enc "enc_first" and e2 = enc "enc_mid" and e3 = enc "enc_final" in
+      Alcotest.(check bool) "encodings distinct" true
+        ((not (Bitvec.equal e1 e2)) && (not (Bitvec.equal e2 e3))
+        && not (Bitvec.equal e1 e3));
+      (* per-instruction transition values agree with the encodings *)
+      let state_of i =
+        List.assoc "state" (List.assoc i s.Synth.Engine.per_instr)
+      in
+      Alcotest.check bv "first" e1 (state_of "FirstRound");
+      Alcotest.check bv "mid" e2 (state_of "IntermediateRound");
+      Alcotest.check bv "final" e3 (state_of "FinalRound");
+      (* the completed accelerator encrypts correctly *)
+      Alcotest.check bv "FIPS vector" fips_ct
+        (Designs.Aes.run_accelerator s.Synth.Engine.completed ~key:fips_key
+           ~plaintext:fips_pt);
+      let rng = Random.State.make [| 23 |] in
+      for _ = 1 to 5 do
+        let key = random_block rng and pt = random_block rng in
+        Alcotest.check bv "random"
+          (Designs.Aes_reference.encrypt key pt)
+          (Designs.Aes.run_accelerator s.Synth.Engine.completed ~key ~plaintext:pt)
+      done
+  | Synth.Engine.Timeout _ -> Alcotest.fail "timeout"
+  | Synth.Engine.Unrealizable _ -> Alcotest.fail "unrealizable"
+  | Synth.Engine.Union_failed { diagnostic; _ } -> Alcotest.fail diagnostic
+  | Synth.Engine.Not_independent _ -> Alcotest.fail "not independent" 
+
+let test_monolithic () =
+  let options =
+    { Synth.Engine.default_options with Synth.Engine.mode = Synth.Engine.Monolithic }
+  in
+  match Synth.Engine.synthesize ~options (Designs.Aes.problem ()) with
+  | Synth.Engine.Solved s ->
+      Alcotest.check bv "FIPS vector (monolithic)" fips_ct
+        (Designs.Aes.run_accelerator s.Synth.Engine.completed ~key:fips_key
+           ~plaintext:fips_pt)
+  | _ -> Alcotest.fail "monolithic synthesis failed"
+
+let () =
+  Alcotest.run "aes"
+    [ ("tables", [ Alcotest.test_case "constants" `Quick test_tables ]);
+      ("reference",
+       [ Alcotest.test_case "FIPS-197 vector" `Quick test_reference_vector;
+         Alcotest.test_case "spec matches reference" `Quick test_spec_matches_reference;
+         Alcotest.test_case "reference datapath" `Quick test_reference_design ]);
+      ("synthesis",
+       [ Alcotest.test_case "per-instruction" `Quick test_synthesis;
+         Alcotest.test_case "monolithic" `Quick test_monolithic ]) ]

@@ -1,0 +1,1 @@
+test/hdl/test_hdl.ml: Alcotest Bitvec Hdl List Oyster

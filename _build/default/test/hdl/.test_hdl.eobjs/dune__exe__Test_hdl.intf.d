@@ -1,0 +1,1 @@
+test/hdl/test_hdl.mli:

@@ -1,0 +1,1 @@
+test/hdl/test_verilog.ml: Alcotest Designs Hdl Isa List Oyster Printf String Synth

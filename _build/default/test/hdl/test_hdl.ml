@@ -1,0 +1,127 @@
+(* Tests for the PyRTL-flavoured HDL builder and the PyRTL rendering. *)
+
+open Hdl.Builder
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+let b w n = Bitvec.of_int ~width:w n
+
+let test_builder_roundtrip () =
+  (* build a small design and simulate it *)
+  let c = create "demo" in
+  let x = input c "x" 8 in
+  let y = input c "y" 8 in
+  let r = register c "acc" 8 in
+  let sum = wire c "sum" (x +: y) in
+  set_register c r (r +: sum);
+  output c "out" (mux (r >: const 8 100) (const 8 255) r);
+  let d = finalize c in
+  let st = Oyster.Interp.init d in
+  let step () =
+    Oyster.Interp.step
+      ~inputs:(fun name _ -> if name = "x" then b 8 30 else b 8 25)
+      st
+  in
+  let r1 = step () in
+  Alcotest.check bv "out before" (b 8 0) (List.assoc "out" r1.Oyster.Interp.outputs);
+  let r2 = step () in
+  Alcotest.check bv "out after one acc" (b 8 55)
+    (List.assoc "out" r2.Oyster.Interp.outputs);
+  let r3 = step () in
+  Alcotest.check bv "saturated display" (b 8 255)
+    (List.assoc "out" r3.Oyster.Interp.outputs)
+
+let test_width_errors () =
+  let expect_fail f =
+    match f () with
+    | exception Hdl_error _ -> ()
+    | _ -> Alcotest.fail "expected Hdl_error"
+  in
+  expect_fail (fun () ->
+      let c = create "bad1" in
+      let x = input c "x" 8 in
+      let y = input c "y" 4 in
+      x +: y);
+  expect_fail (fun () ->
+      let c = create "bad2" in
+      let x = input c "x" 8 in
+      mux x (const 8 0) (const 8 1));
+  expect_fail (fun () ->
+      let c = create "bad3" in
+      let x = input c "x" 8 in
+      bits ~high:9 ~low:0 x);
+  expect_fail (fun () ->
+      let c = create "bad4" in
+      let _ = input c "x" 8 in
+      let _ = input c "x" 8 in
+      ());
+  expect_fail (fun () ->
+      let c = create "bad5" in
+      let x = input c "x" 8 in
+      zext x 4)
+
+let test_select () =
+  let c = create "sel" in
+  let s = input c "s" 2 in
+  output c "o" (select s [ (0, const 8 10); (1, const 8 20) ] (const 8 99));
+  let d = finalize c in
+  let run v =
+    let st = Oyster.Interp.init d in
+    let r = Oyster.Interp.step ~inputs:(fun _ _ -> b 2 v) st in
+    List.assoc "o" r.Oyster.Interp.outputs
+  in
+  Alcotest.check bv "case 0" (b 8 10) (run 0);
+  Alcotest.check bv "case 1" (b 8 20) (run 1);
+  Alcotest.check bv "default" (b 8 99) (run 3)
+
+let test_concat_all_and_bits () =
+  let c = create "cc" in
+  let x = input c "x" 8 in
+  output c "o"
+    (concat_all [ bits ~high:1 ~low:0 x; bit 7 x; bits ~high:6 ~low:2 x ]);
+  let d = finalize c in
+  let st = Oyster.Interp.init d in
+  let r = Oyster.Interp.step ~inputs:(fun _ _ -> b 8 0b10110101) st in
+  (* [1:0]=01, [7]=1, [6:2]=01101 -> 01 1 01101 *)
+  Alcotest.check bv "rearranged" (Bitvec.of_string "8'b01101101")
+    (List.assoc "o" r.Oyster.Interp.outputs)
+
+(* {1 PyRTL rendering} *)
+
+let test_pyrtl_exprs () =
+  let e =
+    Oyster.Ast.Ite
+      ( Oyster.Ast.Binop (Oyster.Ast.Eq, Oyster.Ast.Var "op", Oyster.Ast.Const (b 7 3)),
+        Oyster.Ast.Const (b 2 1),
+        Oyster.Ast.Const (b 2 0) )
+  in
+  Alcotest.(check string) "mux rendering"
+    "mux((op == 0x03), falsecase=0x0, truecase=0x1)"
+    (Hdl.Pyrtl.expr_to_string e);
+  Alcotest.(check string) "slice rendering" "instr[0:7]"
+    (Hdl.Pyrtl.expr_to_string (Oyster.Ast.Extract (6, 0, Oyster.Ast.Var "instr")))
+
+let test_loc_measures () =
+  (* a chain of n if-then-else cases counts as n+1 lines *)
+  let rec chain n =
+    if n = 0 then Oyster.Ast.Const (b 4 0)
+    else Oyster.Ast.Ite (Oyster.Ast.Var "c", Oyster.Ast.Const (b 4 n), chain (n - 1))
+  in
+  Alcotest.(check int) "bindings loc" (5 + 1)
+    (Hdl.Pyrtl.bindings_loc [ ("sig", chain 5) ]);
+  let per_instr = [ ("ADD", [ ("a", b 2 1); ("b", b 1 0) ]); ("SUB", [ ("a", b 2 2) ]) ] in
+  (* header + 2 instr lines + 3 signal lines + 1 shared = 7 *)
+  Alcotest.(check int) "generated loc" 7
+    (Hdl.Pyrtl.generated_loc
+       ~pre_exprs:[ ("ADD", Oyster.Ast.Var "pa"); ("SUB", Oyster.Ast.Var "ps") ]
+       ~per_instr ~shared:[ ("enc", b 2 3) ])
+
+let () =
+  Alcotest.run "hdl"
+    [ ("builder",
+       [ Alcotest.test_case "roundtrip" `Quick test_builder_roundtrip;
+         Alcotest.test_case "width errors" `Quick test_width_errors;
+         Alcotest.test_case "select" `Quick test_select;
+         Alcotest.test_case "concat/bits" `Quick test_concat_all_and_bits ]);
+      ("pyrtl",
+       [ Alcotest.test_case "expressions" `Quick test_pyrtl_exprs;
+         Alcotest.test_case "loc measures" `Quick test_loc_measures ]) ]

@@ -1,0 +1,215 @@
+(* Tests for the ILA layer: the specification builder's error discipline,
+   concrete spec evaluation, abstraction-function validation, and the
+   pre/postcondition compiler (including memory frame conditions, port
+   disambiguation, and the addr_via mechanism). *)
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+let b w n = Bitvec.of_int ~width:w n
+
+(* {1 Spec builder} *)
+
+let test_spec_errors () =
+  let expect_fail f =
+    match f () with
+    | exception Ila.Spec.Spec_error _ -> ()
+    | _ -> Alcotest.fail "expected Spec_error"
+  in
+  expect_fail (fun () ->
+      let s = Ila.Spec.create "d1" in
+      let _ = Ila.Spec.new_bv_state s "x" 8 in
+      Ila.Spec.new_bv_input s "x" 8);
+  expect_fail (fun () ->
+      let s = Ila.Spec.create "d2" in
+      let i = Ila.Spec.new_instr s "I" in
+      Ila.Spec.set_decode i Ila.Expr.tru;
+      Ila.Spec.set_decode i Ila.Expr.tru);
+  expect_fail (fun () ->
+      let s = Ila.Spec.create "d3" in
+      let x = Ila.Spec.new_bv_state s "x" 8 in
+      let i = Ila.Spec.new_instr s "I" in
+      Ila.Spec.set_update i "x" x;
+      Ila.Spec.set_update i "x" x);
+  expect_fail (fun () ->
+      let s = Ila.Spec.create "d4" in
+      let _ = Ila.Spec.new_instr s "I" in
+      ignore (Ila.Spec.new_instr s "I"));
+  expect_fail (fun () ->
+      let s = Ila.Spec.create "d5" in
+      ignore (Ila.Spec.new_mem_const s "t" ~addr_width:3 (Array.make 7 (Bitvec.zero 4))))
+
+let test_spec_concrete_mutual_exclusion () =
+  (* two instructions decoding simultaneously must be detected *)
+  let s = Ila.Spec.create "over" in
+  let x = Ila.Spec.new_bv_state s "x" 4 in
+  let i1 = Ila.Spec.new_instr s "A" in
+  Ila.Spec.set_decode i1 Ila.Expr.(x == of_int ~width:4 0);
+  let i2 = Ila.Spec.new_instr s "B" in
+  Ila.Spec.set_decode i2 Ila.Expr.(x < of_int ~width:4 2);
+  let st = Ila.Spec.init_state s in
+  match Ila.Spec.step_concrete s st ~inputs:(fun _ -> assert false) with
+  | exception Ila.Spec.Spec_error _ -> ()
+  | _ -> Alcotest.fail "expected mutual-exclusion failure"
+
+let test_spec_stall () =
+  let s = Ila.Spec.create "stall" in
+  let x = Ila.Spec.new_bv_state s "x" 4 in
+  let i = Ila.Spec.new_instr s "A" in
+  Ila.Spec.set_decode i Ila.Expr.(x == of_int ~width:4 7);
+  Ila.Spec.set_update i "x" x;
+  let st = Ila.Spec.init_state s in
+  Alcotest.(check bool) "no instruction decodes" true
+    (Ila.Spec.step_concrete s st ~inputs:(fun _ -> assert false) = None)
+
+let test_table_load () =
+  let s = Ila.Spec.create "tabs" in
+  let x = Ila.Spec.new_bv_state s "x" 3 in
+  let _ =
+    Ila.Spec.new_mem_const s "sq" ~addr_width:3
+      (Array.init 8 (fun i -> b 8 (i * i)))
+  in
+  let i = Ila.Spec.new_instr s "A" in
+  Ila.Spec.set_decode i Ila.Expr.tru;
+  let y = Ila.Spec.new_bv_state s "y" 8 in
+  ignore y;
+  Ila.Spec.set_update i "y" (Ila.Expr.table_load "sq" x);
+  let st = Ila.Spec.init_state s in
+  Ila.Spec.set_bv st "x" (b 3 5);
+  ignore (Ila.Spec.step_concrete s st ~inputs:(fun _ -> assert false));
+  Alcotest.check bv "table result" (b 8 25) (Ila.Spec.get_bv st "y")
+
+(* {1 Abstraction functions} *)
+
+let test_absfun_validation () =
+  let expect_fail f =
+    match f () with
+    | exception Ila.Absfun.Absfun_error _ -> ()
+    | _ -> Alcotest.fail "expected Absfun_error"
+  in
+  expect_fail (fun () -> Ila.Absfun.make ~cycles:0 []);
+  expect_fail (fun () ->
+      Ila.Absfun.make ~cycles:2
+        [ Ila.Absfun.mapping ~spec:"x" ~dp:"x" ~ty:Ila.Absfun.Dregister ~reads:[ 3 ] () ]);
+  expect_fail (fun () ->
+      Ila.Absfun.make ~cycles:1 ~assumes:[ ("v", 2) ] [])
+
+let test_port_disambiguation () =
+  let af =
+    Ila.Absfun.make ~cycles:1
+      [ Ila.Absfun.mapping ~spec:"mem" ~port:"fetch" ~dp:"i_mem"
+          ~ty:Ila.Absfun.Dmemory ~reads:[ 1 ] ();
+        Ila.Absfun.mapping ~spec:"mem" ~dp:"d_mem" ~ty:Ila.Absfun.Dmemory
+          ~reads:[ 1 ] ~writes:[ 1 ] () ]
+  in
+  let m1 = Ila.Absfun.read_mapping af "mem" ~port:(Some "fetch") in
+  Alcotest.(check string) "fetch port" "i_mem" m1.Ila.Absfun.dp_name;
+  let m2 = Ila.Absfun.read_mapping af "mem" ~port:None in
+  Alcotest.(check string) "default port" "d_mem" m2.Ila.Absfun.dp_name;
+  (* write-capable mappings *)
+  Alcotest.(check int) "one writer" 1 (List.length (Ila.Absfun.write_mappings af "mem"))
+
+(* {1 Condition compilation on the ALU case study} *)
+
+let alu_conditions () =
+  let design = Designs.Alu.sketch () in
+  let trace = Oyster.Symbolic.eval design ~cycles:3 in
+  let conds =
+    Ila.Conditions.compile (Designs.Alu.spec ()) (Designs.Alu.abstraction ()) trace
+  in
+  (trace, conds)
+
+let test_conditions_shape () =
+  let _, conds = alu_conditions () in
+  Alcotest.(check int) "three instructions" 3 (List.length conds);
+  List.iter
+    (fun c ->
+      Alcotest.(check int) "pre is boolean" 1 (Term.width c.Ila.Conditions.pre);
+      Alcotest.(check int) "post is boolean" 1 (Term.width c.Ila.Conditions.post);
+      (* the regfile frame check introduces exactly one challenge address *)
+      Alcotest.(check int) "one challenge" 1 (List.length c.Ila.Conditions.challenges);
+      (* assumes conjunction covers the two bubble wires *)
+      Alcotest.(check bool) "assumes nontrivial" true
+        (not (Term.is_true c.Ila.Conditions.assumes)))
+    conds
+
+let test_conditions_satisfiable () =
+  (* each instruction's precondition must be satisfiable (else the spec is
+     vacuous), and pre /\ assumes /\ post must be satisfiable with the
+     reference control values (else the design cannot implement it) *)
+  let _, conds = alu_conditions () in
+  List.iter
+    (fun c ->
+      match Solver.check [ c.Ila.Conditions.pre; c.Ila.Conditions.assumes ] with
+      | Solver.Sat _ -> ()
+      | _ -> Alcotest.failf "pre of %s unsatisfiable" c.Ila.Conditions.instr_name)
+    conds
+
+let test_cycle_mismatch_rejected () =
+  let design = Designs.Alu.sketch () in
+  let trace = Oyster.Symbolic.eval design ~cycles:2 in
+  match
+    Ila.Conditions.compile (Designs.Alu.spec ()) (Designs.Alu.abstraction ()) trace
+  with
+  | exception Ila.Conditions.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected cycle-count mismatch error"
+
+let test_missing_write_mapping () =
+  (* an instruction updating a state element with no write mapping *)
+  let s = Ila.Spec.create "now" in
+  let acc = Ila.Spec.new_bv_state s "acc" 8 in
+  let i = Ila.Spec.new_instr s "A" in
+  Ila.Spec.set_decode i Ila.Expr.tru;
+  Ila.Spec.set_update i "acc" acc;
+  let design =
+    { Oyster.Ast.name = "d";
+      decls = [ Oyster.Ast.Register ("acc", 8); Oyster.Ast.Output ("o", 8) ];
+      stmts = [ Oyster.Ast.Assign ("o", Oyster.Ast.Var "acc") ] }
+  in
+  let af =
+    Ila.Absfun.make ~cycles:1
+      [ Ila.Absfun.mapping ~spec:"acc" ~dp:"acc" ~ty:Ila.Absfun.Dregister
+          ~reads:[ 1 ] () ]
+  in
+  let trace = Oyster.Symbolic.eval design ~cycles:1 in
+  match Ila.Conditions.compile s af trace with
+  | exception Ila.Conditions.Compile_error _ -> ()
+  | _ -> Alcotest.fail "expected missing-write-mapping error"
+
+let test_addr_via () =
+  (* fetch through a separate fetch pointer: addr_via substitutes the
+     datapath's fetch address for the specification's, making the fetched
+     words the same term *)
+  let design = Designs.Riscv_two_stage.sketch Isa.Rv32.RV32I in
+  let trace = Oyster.Symbolic.eval design ~cycles:2 in
+  let conds =
+    Ila.Conditions.compile
+      (Isa.Rv_spec.spec Isa.Rv32.RV32I)
+      (Designs.Riscv_two_stage.abstraction ())
+      trace
+  in
+  let add = List.find (fun c -> c.Ila.Conditions.instr_name = "ADD") conds in
+  (* the decode must reference the i_mem read at the *fetch_addr* wire: the
+     instruction wire's term appears inside the compiled precondition *)
+  let instr_term = Oyster.Symbolic.wire_at trace ~cycle:1 "instruction" in
+  let found =
+    Term.fold_dag
+      (fun acc t -> acc || Term.equal t instr_term)
+      false add.Ila.Conditions.pre
+  in
+  Alcotest.(check bool) "decode shares the fetched instruction term" true found
+
+let () =
+  Alcotest.run "ila"
+    [ ("spec",
+       [ Alcotest.test_case "builder errors" `Quick test_spec_errors;
+         Alcotest.test_case "mutual exclusion" `Quick test_spec_concrete_mutual_exclusion;
+         Alcotest.test_case "stall" `Quick test_spec_stall;
+         Alcotest.test_case "mem const" `Quick test_table_load ]);
+      ("absfun",
+       [ Alcotest.test_case "validation" `Quick test_absfun_validation;
+         Alcotest.test_case "ports" `Quick test_port_disambiguation ]);
+      ("conditions",
+       [ Alcotest.test_case "shape" `Quick test_conditions_shape;
+         Alcotest.test_case "satisfiable" `Quick test_conditions_satisfiable;
+         Alcotest.test_case "cycle mismatch" `Quick test_cycle_mismatch_rejected;
+         Alcotest.test_case "missing write mapping" `Quick test_missing_write_mapping;
+         Alcotest.test_case "addr_via" `Quick test_addr_via ]) ]

@@ -1,0 +1,117 @@
+(* Tests for the gate-level netlist backend. *)
+
+open Hdl.Builder
+
+let counts ?(optimize = false) d = Netlist.of_design ~optimize d
+
+(* An 8-bit ripple adder has exactly 2 XOR, 2 AND, 1 OR per full adder; the
+   first stage's carry-in is constant false and folds. *)
+let test_adder_counts () =
+  let c = create "adder8" in
+  let a = input c "a" 8 in
+  let b = input c "b" 8 in
+  output c "s" (a +: b);
+  let d = finalize c in
+  let n = counts d in
+  Alcotest.(check int) "xors" (2 * 8) (n.Netlist.xors + 1);
+  (* bit 0: carry-in false folds one xor away: 2*8 - 1 total *)
+  Alcotest.(check int) "dffs" 0 n.Netlist.dffs;
+  Alcotest.(check bool) "ands present" true (n.Netlist.ands > 0)
+
+let test_register_dffs () =
+  let c = create "regs" in
+  let a = input c "a" 16 in
+  let r = register c "r" 16 in
+  set_register c r a;
+  output c "o" r;
+  let n = counts (finalize c) in
+  Alcotest.(check int) "dffs" 16 n.Netlist.dffs;
+  Alcotest.(check int) "no gates" 0 n.Netlist.total_gates
+
+let test_memory_materialization () =
+  let c = create "rfm" in
+  let addr = input c "addr" 2 in
+  let data = input c "data" 8 in
+  let we = input c "we" 1 in
+  let m = memory c "m" ~addr_width:2 ~data_width:8 in
+  write c m ~addr ~data ~enable:we;
+  output c "o" (read m addr);
+  let n = counts (finalize c) in
+  (* 4 cells x 8 bits of state *)
+  Alcotest.(check int) "dffs" 32 n.Netlist.dffs;
+  Alcotest.(check bool) "write decode + read mux" true (n.Netlist.total_gates > 32)
+
+let test_blackbox_memory () =
+  let c = create "bb" in
+  let addr = input c "addr" 20 in
+  let m = memory c "m" ~addr_width:20 ~data_width:8 in
+  output c "o" (read m addr);
+  let n = counts (finalize c) in
+  (* address width 20 > threshold: no dffs, no gates, just ports *)
+  Alcotest.(check int) "dffs" 0 n.Netlist.dffs;
+  Alcotest.(check int) "gates" 0 n.Netlist.total_gates
+
+let test_rom_constant_fold () =
+  let c = create "romf" in
+  let romr = rom c "t" ~addr_width:3 (Array.init 8 (fun i -> Bitvec.of_int ~width:8 i)) in
+  output c "o" (romr (const 3 5));
+  let n = counts (finalize c) in
+  Alcotest.(check int) "constant index folds" 0 n.Netlist.total_gates
+
+let test_optimize_shrinks () =
+  (* Term-level hash-consing removes source-level duplication before gates
+     exist; what the gate optimizer adds is structural sharing across
+     separately compiled cones.  Two subtractions against the same [b] each
+     build [not b] — raw emits the inverters twice, optimized shares them. *)
+  let c = create "cse" in
+  let a = input c "a" 8 in
+  let b = input c "b" 8 in
+  let x = input c "x" 8 in
+  output c "o1" (a -: b);
+  output c "o2" (x -: b);
+  let d = finalize c in
+  let raw = counts d in
+  let opt = counts ~optimize:true d in
+  Alcotest.(check bool)
+    (Printf.sprintf "inverters shared (%d raw, %d opt)" raw.Netlist.nots
+       opt.Netlist.nots)
+    true
+    (opt.Netlist.nots < raw.Netlist.nots);
+  Alcotest.(check bool)
+    (Printf.sprintf "opt (%d) < raw (%d)" opt.Netlist.total_gates
+       raw.Netlist.total_gates)
+    true
+    (opt.Netlist.total_gates < raw.Netlist.total_gates)
+
+let test_holes_rejected () =
+  let c = create "holed" in
+  let a = input c "a" 4 in
+  let h = hole c "h" 4 ~deps:[ a ] in
+  output c "o" (a ^: h);
+  let d = finalize c in
+  match Netlist.of_design d with
+  | exception Netlist.Netlist_error _ -> ()
+  | _ -> Alcotest.fail "expected rejection of design with holes"
+
+let test_monotone_on_cores () =
+  (* raw >= optimized on a real design, and generated >= reference raw *)
+  let refd = Designs.Riscv_single.reference_design Isa.Rv32.RV32I in
+  let raw = counts refd in
+  let opt = counts ~optimize:true refd in
+  Alcotest.(check bool) "opt <= raw" true
+    (opt.Netlist.total_gates <= raw.Netlist.total_gates);
+  Alcotest.(check bool) "plausible size" true (raw.Netlist.total_gates > 1000);
+  Alcotest.(check int) "rf + pc dffs" (1024 + 32) raw.Netlist.dffs
+
+let () =
+  Alcotest.run "netlist"
+    [ ("counts",
+       [ Alcotest.test_case "adder" `Quick test_adder_counts;
+         Alcotest.test_case "registers" `Quick test_register_dffs;
+         Alcotest.test_case "materialized memory" `Quick test_memory_materialization;
+         Alcotest.test_case "black-box memory" `Quick test_blackbox_memory;
+         Alcotest.test_case "rom folding" `Quick test_rom_constant_fold ]);
+      ("optimizer",
+       [ Alcotest.test_case "cse + dead code" `Quick test_optimize_shrinks;
+         Alcotest.test_case "cores monotone" `Quick test_monotone_on_cores ]);
+      ("errors", [ Alcotest.test_case "holes rejected" `Quick test_holes_rejected ]) ]

@@ -1,0 +1,1 @@
+test/oyster/gen_designs.ml: Array Bitvec List Oyster Printf Random

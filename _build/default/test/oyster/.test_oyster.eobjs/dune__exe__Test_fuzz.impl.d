@@ -1,0 +1,1 @@
+test/oyster/test_fuzz.ml: Alcotest Array Bitvec Gen_designs Hashtbl Hdl List Netlist Oyster Printf Random String Term

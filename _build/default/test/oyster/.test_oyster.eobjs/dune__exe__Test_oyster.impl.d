@@ -1,0 +1,1 @@
+test/oyster/test_oyster.ml: Alcotest Array Ast Bitvec Hashtbl Interp List Oyster Parser Printer Printf Random String Symbolic Term Typecheck Vcd

@@ -1,0 +1,1 @@
+test/oyster/test_oyster.mli:

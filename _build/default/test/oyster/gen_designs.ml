@@ -1,0 +1,145 @@
+(* Random well-typed Oyster designs, for cross-cutting fuzz properties:
+   the typechecker accepts them by construction, the printer/parser must
+   round-trip them, the symbolic evaluator must agree with the interpreter
+   on random stimulus, the netlist and Verilog backends must accept them.
+
+   A design gets a few inputs, registers, one small memory, one ROM, a
+   chain of wires (each a random expression over everything defined so
+   far), register updates, a memory write, and outputs. *)
+
+let widths = [ 1; 2; 4; 8 ]
+
+type gctx = {
+  rng : Random.State.t;
+  mutable avail : (string * int) list;  (* readable name, width *)
+}
+
+let pick ctx l = List.nth l (Random.State.int ctx.rng (List.length l))
+
+let pick_width ctx = pick ctx widths
+
+(* Build a random expression of the requested width from available names. *)
+let rec gen_expr ctx depth w : Oyster.Ast.expr =
+  let candidates = List.filter (fun (_, w') -> w' = w) ctx.avail in
+  let leaf () =
+    if candidates <> [] && Random.State.bool ctx.rng then
+      Oyster.Ast.Var (fst (pick ctx candidates))
+    else
+      Oyster.Ast.Const
+        (Bitvec.of_bits (Array.init w (fun _ -> Random.State.bool ctx.rng)))
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Random.State.int ctx.rng 9 with
+    | 0 -> leaf ()
+    | 1 ->
+        let op =
+          pick ctx
+            [ Oyster.Ast.And; Oyster.Ast.Or; Oyster.Ast.Xor; Oyster.Ast.Add;
+              Oyster.Ast.Sub; Oyster.Ast.Mul; Oyster.Ast.Udiv; Oyster.Ast.Urem;
+              Oyster.Ast.Sdiv; Oyster.Ast.Srem; Oyster.Ast.Clmul; Oyster.Ast.Rol ]
+        in
+        Oyster.Ast.Binop (op, gen_expr ctx (depth - 1) w, gen_expr ctx (depth - 1) w)
+    | 2 ->
+        let op = pick ctx [ Oyster.Ast.Shl; Oyster.Ast.Lshr; Oyster.Ast.Ashr ] in
+        let wamt = pick_width ctx in
+        Oyster.Ast.Binop (op, gen_expr ctx (depth - 1) w, gen_expr ctx (depth - 1) wamt)
+    | 3 ->
+        Oyster.Ast.Ite
+          (gen_expr ctx (depth - 1) 1, gen_expr ctx (depth - 1) w,
+           gen_expr ctx (depth - 1) w)
+    | 4 ->
+        (* extract from something wider *)
+        let wider = w + Random.State.int ctx.rng 5 in
+        let low = Random.State.int ctx.rng (wider - w + 1) in
+        Oyster.Ast.Extract (low + w - 1, low, gen_expr ctx (depth - 1) wider)
+    | 5 when w >= 2 ->
+        let wl = 1 + Random.State.int ctx.rng (w - 1) in
+        Oyster.Ast.Concat
+          (gen_expr ctx (depth - 1) (w - wl), gen_expr ctx (depth - 1) wl)
+    | 6 when w >= 2 ->
+        let wi = 1 + Random.State.int ctx.rng (w - 1) in
+        if Random.State.bool ctx.rng then Oyster.Ast.Zext (gen_expr ctx (depth - 1) wi, w)
+        else Oyster.Ast.Sext (gen_expr ctx (depth - 1) wi, w)
+    | 7 when w = 1 ->
+        let wc = pick_width ctx in
+        let op =
+          pick ctx
+            [ Oyster.Ast.Eq; Oyster.Ast.Ne; Oyster.Ast.Ult; Oyster.Ast.Sle;
+              Oyster.Ast.Sgt ]
+        in
+        Oyster.Ast.Binop (op, gen_expr ctx (depth - 1) wc, gen_expr ctx (depth - 1) wc)
+    | 8 when w = 1 ->
+        let wa = pick_width ctx in
+        Oyster.Ast.Unop
+          (pick ctx [ Oyster.Ast.RedOr; Oyster.Ast.RedAnd; Oyster.Ast.RedXor ],
+           gen_expr ctx (depth - 1) wa)
+    | _ -> Oyster.Ast.Unop (pick ctx [ Oyster.Ast.Not; Oyster.Ast.Neg ], gen_expr ctx (depth - 1) w)
+
+let mem_dw = 8
+let mem_aw = 3
+let rom_dw = 4
+let rom_aw = 2
+
+let generate seed : Oyster.Ast.design =
+  let ctx = { rng = Random.State.make [| seed; 4242 |]; avail = [] } in
+  let n_inputs = 1 + Random.State.int ctx.rng 3 in
+  let inputs = List.init n_inputs (fun i -> (Printf.sprintf "in%d" i, pick_width ctx)) in
+  let n_regs = 1 + Random.State.int ctx.rng 2 in
+  let regs = List.init n_regs (fun i -> (Printf.sprintf "r%d" i, pick_width ctx)) in
+  ctx.avail <- inputs @ regs;
+  let rom_data =
+    Array.init (1 lsl rom_aw) (fun _ ->
+        Bitvec.of_bits (Array.init rom_dw (fun _ -> Random.State.bool ctx.rng)))
+  in
+  let decls =
+    List.map (fun (n, w) -> Oyster.Ast.Input (n, w)) inputs
+    @ List.map (fun (n, w) -> Oyster.Ast.Register (n, w)) regs
+    @ [ Oyster.Ast.Memory { mem_name = "m"; addr_width = mem_aw; data_width = mem_dw };
+        Oyster.Ast.Rom { rom_name = "t"; rom_addr_width = rom_aw; rom_data } ]
+  in
+  (* wire chain; memory/rom reads mixed in through dedicated wires *)
+  let n_wires = 2 + Random.State.int ctx.rng 5 in
+  let wire_decls = ref [] in
+  let stmts = ref [] in
+  for i = 0 to n_wires - 1 do
+    let w = pick_width ctx in
+    let name = Printf.sprintf "w%d" i in
+    let e =
+      match Random.State.int ctx.rng 5 with
+      | 0 ->
+          (* memory read: width must match the data width *)
+          if w = mem_dw then Oyster.Ast.Read ("m", gen_expr ctx 2 mem_aw)
+          else Oyster.Ast.Zext (Oyster.Ast.Extract (w - 1, 0, Oyster.Ast.Read ("m", gen_expr ctx 2 mem_aw)), w)
+      | 1 when w >= rom_dw ->
+          Oyster.Ast.Zext (Oyster.Ast.RomRead ("t", gen_expr ctx 2 rom_aw), w)
+      | _ -> gen_expr ctx 3 w
+    in
+    wire_decls := Oyster.Ast.Wire (name, w) :: !wire_decls;
+    stmts := Oyster.Ast.Assign (name, e) :: !stmts;
+    ctx.avail <- (name, w) :: ctx.avail
+  done;
+  (* register updates *)
+  List.iter
+    (fun (n, w) -> stmts := Oyster.Ast.Assign (n, gen_expr ctx 3 w) :: !stmts)
+    regs;
+  (* one memory write *)
+  stmts :=
+    Oyster.Ast.Write
+      { mem = "m"; addr = gen_expr ctx 2 mem_aw; data = gen_expr ctx 2 mem_dw;
+        enable = gen_expr ctx 2 1 }
+    :: !stmts;
+  (* outputs *)
+  let n_outs = 1 + Random.State.int ctx.rng 2 in
+  let out_decls = ref [] in
+  for i = 0 to n_outs - 1 do
+    let w = pick_width ctx in
+    let name = Printf.sprintf "out%d" i in
+    out_decls := Oyster.Ast.Output (name, w) :: !out_decls;
+    stmts := Oyster.Ast.Assign (name, gen_expr ctx 3 w) :: !stmts
+  done;
+  {
+    Oyster.Ast.name = Printf.sprintf "fuzz%d" seed;
+    decls = decls @ List.rev !wire_decls @ List.rev !out_decls;
+    stmts = List.rev !stmts;
+  }

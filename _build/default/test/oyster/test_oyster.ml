@@ -1,0 +1,366 @@
+(* Tests for the Oyster IR: typechecking, concrete interpretation, the
+   symbolic evaluator (cross-checked against the interpreter), printing and
+   parsing round-trips, and hole filling. *)
+
+open Oyster
+
+let bv = Alcotest.testable Bitvec.pp Bitvec.equal
+let b vlen v = Bitvec.of_int ~width:vlen v
+
+(* {1 Example designs} *)
+
+(* A two-input adder machine with an accumulator register, a memory and a
+   rom, exercising every construct. *)
+let full_design =
+  {
+    Ast.name = "full";
+    decls =
+      [ Ast.Input ("a", 8);
+        Ast.Input ("b", 8);
+        Ast.Input ("we", 1);
+        Ast.Output ("out", 8);
+        Ast.Wire ("sum", 8);
+        Ast.Register ("acc", 8);
+        Ast.Memory { mem_name = "m"; addr_width = 3; data_width = 8 };
+        Ast.Rom
+          { rom_name = "sq"; rom_addr_width = 3;
+            rom_data = Array.init 8 (fun i -> b 8 (i * i)) } ];
+    stmts =
+      [ Ast.Assign ("sum", Ast.Binop (Ast.Add, Ast.Var "a", Ast.Var "b"));
+        Ast.Assign
+          ( "acc",
+            Ast.Binop
+              ( Ast.Add,
+                Ast.Var "acc",
+                Ast.Binop
+                  (Ast.Xor, Ast.Var "sum",
+                   Ast.RomRead ("sq", Ast.Extract (2, 0, Ast.Var "a"))) ) );
+        Ast.Write
+          { mem = "m"; addr = Ast.Extract (2, 0, Ast.Var "b");
+            data = Ast.Var "sum"; enable = Ast.Var "we" };
+        Ast.Assign
+          ("out", Ast.Binop (Ast.Add, Ast.Var "acc", Ast.Read ("m", Ast.Extract (2, 0, Ast.Var "a"))))
+      ];
+  }
+
+(* The paper's accumulator (Fig. 3) with holes for state encodings and the
+   state transition. *)
+let acc_sketch =
+  {
+    Ast.name = "accumulator";
+    decls =
+      [ Ast.Input ("reset", 1);
+        Ast.Input ("go", 1);
+        Ast.Input ("stop", 1);
+        Ast.Input ("val", 2);
+        Ast.Output ("out", 8);
+        Ast.Register ("acc", 8);
+        Ast.Register ("state", 2);
+        Ast.Hole
+          { hole_name = "next_state"; hole_width = 2; kind = Ast.Per_instruction;
+            deps = [ "state"; "reset"; "go"; "stop" ] };
+        Ast.Hole
+          { hole_name = "enc_reset"; hole_width = 2; kind = Ast.Shared; deps = [] } ];
+    stmts =
+      [ Ast.Assign ("state", Ast.Var "next_state");
+        Ast.Assign
+          ( "acc",
+            Ast.Ite
+              ( Ast.Binop (Ast.Eq, Ast.Var "state", Ast.Var "enc_reset"),
+                Ast.Const (Bitvec.zero 8),
+                Ast.Binop (Ast.Add, Ast.Var "acc", Ast.Zext (Ast.Var "val", 8)) ) );
+        Ast.Assign ("out", Ast.Var "acc")
+      ];
+  }
+
+(* {1 Typechecker} *)
+
+let tc_ok d = ignore (Typecheck.check d)
+
+let tc_fails ?(msg = "") d =
+  match Typecheck.check d with
+  | exception Typecheck.Type_error m ->
+      if msg <> "" && not (String.length m >= String.length msg
+                           && String.sub m 0 (String.length msg) = msg) then
+        Alcotest.failf "wrong error: got %S, wanted prefix %S" m msg
+  | _ -> Alcotest.fail "expected type error"
+
+let test_typecheck_accepts () =
+  tc_ok full_design;
+  tc_ok acc_sketch
+
+let test_typecheck_rejects () =
+  let base name decls stmts = { Ast.name; decls; stmts } in
+  (* width mismatch *)
+  tc_fails
+    (base "w1"
+       [ Ast.Wire ("x", 8) ]
+       [ Ast.Assign ("x", Ast.Const (Bitvec.zero 4)) ]);
+  (* read before assignment *)
+  tc_fails ~msg:"y read before assignment"
+    (base "w2"
+       [ Ast.Wire ("x", 4); Ast.Wire ("y", 4) ]
+       [ Ast.Assign ("x", Ast.Var "y"); Ast.Assign ("y", Ast.Var "x") ]);
+  (* duplicate declaration *)
+  tc_fails ~msg:"duplicate declaration"
+    (base "w3" [ Ast.Wire ("x", 4); Ast.Input ("x", 4) ] []);
+  (* unassigned wire *)
+  tc_fails ~msg:"x is never assigned" (base "w4" [ Ast.Wire ("x", 4) ] []);
+  (* assignment to input *)
+  tc_fails ~msg:"assignment to input"
+    (base "w5" [ Ast.Input ("x", 4) ] [ Ast.Assign ("x", Ast.Var "x") ]);
+  (* double assignment of a wire *)
+  tc_fails ~msg:"x assigned twice"
+    (base "w6"
+       [ Ast.Wire ("x", 4) ]
+       [ Ast.Assign ("x", Ast.Const (Bitvec.zero 4));
+         Ast.Assign ("x", Ast.Const (Bitvec.zero 4)) ]);
+  (* ite with non-boolean condition *)
+  tc_fails ~msg:"ite condition"
+    (base "w7"
+       [ Ast.Wire ("x", 4); Ast.Input ("c", 2) ]
+       [ Ast.Assign
+           ("x", Ast.Ite (Ast.Var "c", Ast.Const (Bitvec.zero 4), Ast.Const (Bitvec.zero 4)))
+       ]);
+  (* rom of wrong size *)
+  tc_fails ~msg:"rom r has 3 entries"
+    (base "w8"
+       [ Ast.Rom { rom_name = "r"; rom_addr_width = 2; rom_data = Array.make 3 (Bitvec.zero 4) } ]
+       []);
+  (* memory as variable *)
+  tc_fails ~msg:"memory m used as a variable"
+    (base "w9"
+       [ Ast.Memory { mem_name = "m"; addr_width = 2; data_width = 4 }; Ast.Wire ("x", 4) ]
+       [ Ast.Assign ("x", Ast.Var "m") ])
+
+(* {1 Concrete interpreter} *)
+
+let test_interp () =
+  let st = Interp.init full_design in
+  let inputs_of a bvalue we name _w =
+    match name with
+    | "a" -> b 8 a
+    | "b" -> b 8 bvalue
+    | "we" -> b 1 we
+    | _ -> assert false
+  in
+  (* cycle 1: a=3 b=5 we=1: sum=8, writes m[5]=8, acc <- 0 + (8 xor sq[3]=9) = 1,
+     out = acc(0) + m[3](0) = 0 *)
+  let r1 = Interp.step ~inputs:(inputs_of 3 5 1) st in
+  Alcotest.check bv "out cycle1" (b 8 0) (List.assoc "out" r1.Interp.outputs);
+  Alcotest.check bv "acc after c1" (b 8 1) (Interp.get_register st "acc");
+  Alcotest.check bv "m[5]" (b 8 8) (Interp.read_mem st "m" (b 3 5));
+  (* cycle 2: a=5 b=2 we=0: out = acc(1) + m[5](8) = 9; m unchanged *)
+  let r2 = Interp.step ~inputs:(inputs_of 5 2 0) st in
+  Alcotest.check bv "out cycle2" (b 8 9) (List.assoc "out" r2.Interp.outputs);
+  Alcotest.check bv "m[2] unwritten" (b 8 0) (Interp.read_mem st "m" (b 3 2));
+  (* registers update at end of cycle: acc = 1 + (7 xor sq[5]=25) = 1 + 30 = 31 *)
+  Alcotest.check bv "acc after c2" (b 8 31) (Interp.get_register st "acc")
+
+let test_interp_unbound_hole () =
+  let st = Interp.init acc_sketch in
+  match Interp.step ~inputs:(fun _ w -> Bitvec.zero w) st with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected runtime error for unbound hole"
+
+let test_interp_hole_binding () =
+  let st = Interp.init acc_sketch in
+  let hole_value name w =
+    match name with
+    | "next_state" -> Bitvec.zero w
+    | "enc_reset" -> Bitvec.zero w
+    | _ -> assert false
+  in
+  (* state starts 0 = enc_reset, so acc resets to 0 each cycle *)
+  let r =
+    Interp.step ~inputs:(fun _ w -> Bitvec.ones w) ~hole_value st
+  in
+  ignore r;
+  Alcotest.check bv "acc reset" (b 8 0) (Interp.get_register st "acc")
+
+(* {1 Symbolic vs concrete consistency} *)
+
+let test_symbolic_matches_concrete () =
+  let cycles = 3 in
+  let trace = Symbolic.eval full_design ~cycles in
+  (* random concrete stimulus *)
+  let rng = Random.State.make [| 7 |] in
+  for _trial = 1 to 25 do
+    let input_val = Hashtbl.create 16 in
+    for c = 1 to cycles do
+      Hashtbl.replace input_val ("a", c) (b 8 (Random.State.int rng 256));
+      Hashtbl.replace input_val ("b", c) (b 8 (Random.State.int rng 256));
+      Hashtbl.replace input_val ("we", c) (b 1 (Random.State.int rng 2))
+    done;
+    let acc0 = b 8 (Random.State.int rng 256) in
+    let mem_image = Array.init 8 (fun _ -> b 8 (Random.State.int rng 256)) in
+    (* concrete run *)
+    let st =
+      Interp.init
+        ~mem_init:(fun _ _ _ addr -> mem_image.(Bitvec.to_int_exn addr))
+        full_design
+    in
+    Interp.set_register st "acc" acc0;
+    let concrete_outs = ref [] in
+    for c = 1 to cycles do
+      let r =
+        Interp.step
+          ~inputs:(fun name _ -> Hashtbl.find input_val (name, c))
+          st
+      in
+      concrete_outs := List.assoc "out" r.Interp.outputs :: !concrete_outs
+    done;
+    let concrete_outs = List.rev !concrete_outs in
+    (* symbolic evaluation specialized with the same stimulus *)
+    let p = trace.Symbolic.prefix in
+    let env =
+      {
+        Term.lookup_var =
+          (fun name w ->
+            if name = p ^ "reg!acc" then Some acc0
+            else
+              (* inputs: <p>in!<name>!<c> *)
+              match String.index_opt name '!' with
+              | Some _ when String.length name > String.length p
+                            && String.sub name 0 (String.length p) = p -> (
+                  let rest = String.sub name (String.length p) (String.length name - String.length p) in
+                  match String.split_on_char '!' rest with
+                  | [ "in"; nm; c ] -> Some (Hashtbl.find input_val (nm, int_of_string c))
+                  | _ -> Some (Bitvec.zero w))
+              | _ -> None);
+        Term.lookup_read =
+          (fun m addr ->
+            if m.Term.mem_name = p ^ "mem!m" then
+              Some mem_image.(Bitvec.to_int_exn addr)
+            else None);
+      }
+    in
+    List.iteri
+      (fun i expected ->
+        let sym_out = Symbolic.wire_at trace ~cycle:(i + 1) "out" in
+        let got = Term.eval env sym_out in
+        Alcotest.check bv (Printf.sprintf "out cycle %d" (i + 1)) expected got)
+      concrete_outs;
+    (* final register state matches *)
+    let sym_acc = Symbolic.reg_at trace ~state:cycles "acc" in
+    Alcotest.check bv "final acc" (Interp.get_register st "acc") (Term.eval env sym_acc);
+    (* memory reads through the write log match *)
+    for a = 0 to 7 do
+      let sym_read =
+        Symbolic.read_mem_at trace ~state:cycles "m" (Term.const (b 3 a))
+      in
+      Alcotest.check bv
+        (Printf.sprintf "mem[%d]" a)
+        (Interp.read_mem st "m" (b 3 a))
+        (Term.eval env sym_read)
+    done
+  done
+
+let test_symbolic_holes () =
+  let trace = Symbolic.eval acc_sketch ~cycles:1 in
+  Alcotest.(check int) "two holes seen" 2 (List.length trace.Symbolic.hole_terms);
+  (* hole terms are variables named <p>hole!<name> *)
+  List.iter
+    (fun (name, t) ->
+      match t.Term.node with
+      | Term.Var v ->
+          Alcotest.(check string) "hole var name"
+            (trace.Symbolic.prefix ^ "hole!" ^ name) v
+      | _ -> Alcotest.fail "hole term is not a variable")
+    trace.Symbolic.hole_terms
+
+(* {1 Printing and parsing} *)
+
+let test_roundtrip () =
+  List.iter
+    (fun d ->
+      let text = Printer.design_to_string d in
+      let d' = Parser.parse_design text in
+      let text' = Printer.design_to_string d' in
+      Alcotest.(check string) (d.Ast.name ^ " round-trips") text text';
+      ignore (Typecheck.check d'))
+    [ full_design; acc_sketch ]
+
+let test_parse_errors () =
+  let bad s =
+    match Parser.parse_design s with
+    | exception Parser.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  bad "";
+  bad "design d {";
+  bad "design d { input x }";
+  bad "design d { x := (bogus y z) }";
+  bad "design d { wire x 4 x := 4'x0 } trailing";
+  bad "design d { x := }"
+
+let test_loc () =
+  (* loc counts non-blank rendered lines: at least one per declaration and
+     statement, plus the design header and closing brace *)
+  Alcotest.(check bool) "loc lower bound" true
+    (Printer.loc full_design
+    >= List.length full_design.Ast.decls + List.length full_design.Ast.stmts + 2);
+  (* rendering is deterministic *)
+  Alcotest.(check int) "loc stable" (Printer.loc full_design) (Printer.loc full_design)
+
+(* {1 fill_holes} *)
+
+let test_fill_holes () =
+  let filled =
+    Ast.fill_holes acc_sketch
+      [ ("next_state",
+         Ast.Ite
+           ( Ast.Var "reset",
+             Ast.Const (Bitvec.zero 2),
+             Ast.Var "state" ));
+        ("enc_reset", Ast.Const (Bitvec.zero 2)) ]
+  in
+  ignore (Typecheck.check filled);
+  Alcotest.(check int) "no holes left" 0 (List.length (Ast.holes filled));
+  (* the filled design simulates without a hole callback *)
+  let st = Interp.init filled in
+  let r = Interp.step ~inputs:(fun _ w -> Bitvec.ones w) st in
+  ignore r;
+  Alcotest.check bv "acc stays reset" (b 8 0) (Interp.get_register st "acc")
+
+(* {1 VCD waveforms} *)
+
+let test_vcd () =
+  let filled =
+    Ast.fill_holes acc_sketch
+      [ ("next_state", Ast.Const (Bitvec.zero 2));
+        ("enc_reset", Ast.Const (Bitvec.zero 2)) ]
+  in
+  let vcd =
+    Vcd.simulate filled ~cycles:3
+      ~inputs:(fun name w -> if name = "val" then b 2 3 else Bitvec.zero w)
+  in
+  let contains needle =
+    let lh = String.length vcd and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub vcd i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "header" true (contains "$enddefinitions $end");
+  Alcotest.(check bool) "acc declared" true (contains "$var wire 8");
+  Alcotest.(check bool) "time 0" true (contains "#0\n");
+  Alcotest.(check bool) "time 20" true (contains "#20\n");
+  Alcotest.(check bool) "value dump" true (contains "b00000000")
+
+let () =
+  Alcotest.run "oyster"
+    [ ("typecheck",
+       [ Alcotest.test_case "accepts" `Quick test_typecheck_accepts;
+         Alcotest.test_case "rejects" `Quick test_typecheck_rejects ]);
+      ("interp",
+       [ Alcotest.test_case "full design" `Quick test_interp;
+         Alcotest.test_case "unbound hole" `Quick test_interp_unbound_hole;
+         Alcotest.test_case "hole binding" `Quick test_interp_hole_binding ]);
+      ("symbolic",
+       [ Alcotest.test_case "matches concrete" `Quick test_symbolic_matches_concrete;
+         Alcotest.test_case "holes" `Quick test_symbolic_holes ]);
+      ("text",
+       [ Alcotest.test_case "round-trip" `Quick test_roundtrip;
+         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+         Alcotest.test_case "loc" `Quick test_loc ]);
+      ("fill-holes", [ Alcotest.test_case "fill" `Quick test_fill_holes ]);
+      ("vcd", [ Alcotest.test_case "waveforms" `Quick test_vcd ]) ]

@@ -1,0 +1,1 @@
+test/smt/gen_terms.ml: Bitvec Format List Printf QCheck Term

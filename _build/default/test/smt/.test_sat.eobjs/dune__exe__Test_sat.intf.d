@@ -1,0 +1,1 @@
+test/smt/test_sat.mli:

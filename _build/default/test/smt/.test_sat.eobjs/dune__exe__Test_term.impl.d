@@ -1,0 +1,1 @@
+test/smt/test_term.ml: Alcotest Array Bitvec Format Gen_terms List Printf QCheck QCheck_alcotest String Term

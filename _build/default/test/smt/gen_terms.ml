@@ -1,0 +1,195 @@
+(* Shared random-term generator for the smt test suites.
+
+   Each generated node pairs the Term (built through the simplifying smart
+   constructors) with an independent reference evaluator built directly on
+   Bitvec, so tests can detect unsound simplifications. *)
+
+type gen_term = {
+  term : Term.t;
+  reval : (string -> Bitvec.t) -> Bitvec.t;  (* reference evaluation *)
+  twidth : int;
+}
+
+(* Variable pool: names encode the width so the global registry never sees a
+   clash. *)
+(* Terms are rooted at widths in [root_widths], but derived widths (extract
+   sources, comparison operands, ...) range over 1..12, so the registered
+   pool covers all of them. *)
+let root_widths = [ 1; 2; 3; 5; 8 ]
+let var_widths = List.init 12 (fun i -> i + 1)
+let vars_per_width = 2
+
+let var_name w i = Printf.sprintf "gv%d_%d" w i
+
+let all_vars =
+  List.concat_map
+    (fun w -> List.init vars_per_width (fun i -> (var_name w i, w)))
+    var_widths
+
+let gen_var w =
+  QCheck.Gen.(
+    0 -- (vars_per_width - 1) >>= fun i ->
+    let name = var_name w i in
+    return { term = Term.var name w; reval = (fun env -> env name); twidth = w })
+
+let gen_const w =
+  QCheck.Gen.(
+    array_size (return w) bool >>= fun bits ->
+    let v = Bitvec.of_bits bits in
+    return { term = Term.const v; reval = (fun _ -> v); twidth = w })
+
+let binops =
+  [ (Term.band, Bitvec.logand);
+    (Term.bor, Bitvec.logor);
+    (Term.bxor, Bitvec.logxor);
+    (Term.add, Bitvec.add);
+    (Term.sub, Bitvec.sub);
+    (Term.mul, Bitvec.mul);
+    (Term.udiv, Bitvec.udiv);
+    (Term.urem, Bitvec.urem);
+    (Term.sdiv, Bitvec.sdiv);
+    (Term.srem, Bitvec.srem);
+    (Term.clmul, Bitvec.clmul);
+    (Term.clmulh, Bitvec.clmulh);
+    (Term.shl, Bitvec.shl);
+    (Term.lshr, Bitvec.lshr);
+    (Term.ashr, Bitvec.ashr)
+  ]
+
+let cmps =
+  [ (Term.eq, fun a b -> Bitvec.equal a b);
+    (Term.ult, Bitvec.ult);
+    (Term.ule, Bitvec.ule);
+    (Term.slt, Bitvec.slt);
+    (Term.sle, Bitvec.sle)
+  ]
+
+let bool_of b = if b then Bitvec.one 1 else Bitvec.zero 1
+
+let rec gen_sized w size =
+  let open QCheck.Gen in
+  if size <= 0 then oneof [ gen_var w; gen_const w ]
+  else
+    let sub = gen_sized w (size / 2) in
+    let candidates =
+      [ (* unary not *)
+        ( 2,
+          sub >>= fun a ->
+          return
+            {
+              term = Term.bnot a.term;
+              reval = (fun env -> Bitvec.lognot (a.reval env));
+              twidth = w;
+            } );
+        (* binop *)
+        ( 6,
+          oneofl binops >>= fun (tf, rf) ->
+          pair sub sub >>= fun (a, b) ->
+          return
+            {
+              term = tf a.term b.term;
+              reval = (fun env -> rf (a.reval env) (b.reval env));
+              twidth = w;
+            } );
+        (* ite *)
+        ( 3,
+          gen_sized 1 (size / 2) >>= fun c ->
+          pair sub sub >>= fun (a, b) ->
+          return
+            {
+              term = Term.ite c.term a.term b.term;
+              reval =
+                (fun env ->
+                  if Bitvec.is_ones (c.reval env) then a.reval env else b.reval env);
+              twidth = w;
+            } );
+        (* extract from a wider term *)
+        ( 2,
+          0 -- 4 >>= fun extra ->
+          let wider = min 12 (w + extra) in
+          let wider = max wider w in
+          gen_sized wider (size / 2) >>= fun a ->
+          0 -- (wider - w) >>= fun low ->
+          let high = low + w - 1 in
+          return
+            {
+              term = Term.extract ~high ~low a.term;
+              reval = (fun env -> Bitvec.extract ~high ~low (a.reval env));
+              twidth = w;
+            } );
+        (* concat of split *)
+        ( 2,
+          if w < 2 then gen_var w
+          else
+            1 -- (w - 1) >>= fun wl ->
+            pair (gen_sized (w - wl) (size / 2)) (gen_sized wl (size / 2))
+            >>= fun (hi, lo) ->
+            return
+              {
+                term = Term.concat hi.term lo.term;
+                reval = (fun env -> Bitvec.concat (hi.reval env) (lo.reval env));
+                twidth = w;
+              } );
+        (* zext / sext *)
+        ( 1,
+          if w < 2 then gen_var w
+          else
+            1 -- (w - 1) >>= fun wi ->
+            gen_sized wi (size / 2) >>= fun a ->
+            bool >>= fun signed ->
+            return
+              {
+                term = (if signed then Term.sext a.term w else Term.zext a.term w);
+                reval =
+                  (fun env ->
+                    if signed then Bitvec.sext (a.reval env) w
+                    else Bitvec.zext (a.reval env) w);
+                twidth = w;
+              } );
+        (* comparison (width 1 result), lifted back via ite when w > 1 *)
+        ( 2,
+          1 -- 8 >>= fun wc ->
+          oneofl cmps >>= fun (tf, rf) ->
+          pair (gen_sized wc (size / 2)) (gen_sized wc (size / 2))
+          >>= fun (a, b) ->
+          let cmp_term = tf a.term b.term in
+          let cmp_reval env = bool_of (rf (a.reval env) (b.reval env)) in
+          if w = 1 then return { term = cmp_term; reval = cmp_reval; twidth = 1 }
+          else
+            return
+              {
+                term = Term.ite cmp_term (Term.ones w) (Term.zero w);
+                reval =
+                  (fun env ->
+                    if Bitvec.is_ones (cmp_reval env) then Bitvec.ones w
+                    else Bitvec.zero w);
+                twidth = w;
+              } )
+      ]
+    in
+    frequency candidates
+
+let gen_any_width =
+  QCheck.Gen.(
+    oneofl root_widths >>= fun w ->
+    0 -- 12 >>= fun size -> gen_sized w size)
+
+let gen_bool_term = QCheck.Gen.(0 -- 14 >>= fun size -> gen_sized 1 size)
+
+let gen_env =
+  (* random assignment to the whole variable pool *)
+  QCheck.Gen.(
+    let gen_binding (name, w) =
+      array_size (return w) bool >>= fun bits -> return (name, Bitvec.of_bits bits)
+    in
+    flatten_l (List.map gen_binding all_vars) >>= fun l ->
+    return (fun name -> List.assoc name l))
+
+let print_gen_term g = Format.asprintf "%a" Term.pp g.term
+
+let arb_term_env =
+  QCheck.make
+    QCheck.Gen.(pair gen_any_width gen_env)
+    ~print:(fun (g, _) -> print_gen_term g)
+
+let arb_bool_term = QCheck.make gen_bool_term ~print:print_gen_term

@@ -1,0 +1,241 @@
+(* Tests for the CDCL SAT solver: random CNFs cross-checked against a
+   brute-force oracle, pigeonhole instances, assumptions, incrementality,
+   and budget behaviour. *)
+
+(* {1 Brute-force oracle} *)
+
+let brute_force nvars clauses =
+  let sat = ref false in
+  let n = 1 lsl nvars in
+  let assignment = Array.make (nvars + 1) false in
+  let i = ref 0 in
+  while (not !sat) && !i < n do
+    for v = 1 to nvars do
+      assignment.(v) <- (!i lsr (v - 1)) land 1 = 1
+    done;
+    let ok =
+      List.for_all
+        (fun c ->
+          List.exists (fun l -> assignment.(abs l) = (l > 0)) c)
+        clauses
+    in
+    if ok then sat := true;
+    incr i
+  done;
+  !sat
+
+let model_satisfies s clauses =
+  List.for_all
+    (fun c -> List.exists (fun l -> Sat.value s (abs l) = (l > 0)) c)
+    clauses
+
+let mk_solver nvars clauses =
+  let s = Sat.create () in
+  for _ = 1 to nvars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) clauses;
+  s
+
+(* {1 Random CNF property} *)
+
+let gen_cnf =
+  QCheck.Gen.(
+    2 -- 12 >>= fun nvars ->
+    0 -- 60 >>= fun nclauses ->
+    let gen_lit =
+      pair (1 -- nvars) bool >>= fun (v, s) -> return (if s then v else -v)
+    in
+    let gen_clause = list_size (1 -- 4) gen_lit in
+    list_size (return nclauses) gen_clause >>= fun clauses ->
+    return (nvars, clauses))
+
+let arb_cnf =
+  QCheck.make gen_cnf ~print:(fun (n, cs) ->
+      Printf.sprintf "nvars=%d %s" n
+        (String.concat " "
+           (List.map
+              (fun c -> "(" ^ String.concat "," (List.map string_of_int c) ^ ")")
+              cs)))
+
+let prop_matches_oracle =
+  QCheck.Test.make ~count:800 ~name:"solver agrees with brute force" arb_cnf
+    (fun (nvars, clauses) ->
+      let s = mk_solver nvars clauses in
+      match Sat.solve s with
+      | Sat.Sat -> brute_force nvars clauses && model_satisfies s clauses
+      | Sat.Unsat -> not (brute_force nvars clauses)
+      | Sat.Unknown -> false)
+
+let prop_assumptions =
+  (* solving under assumptions equals solving with the assumptions added as
+     unit clauses; and the solver stays usable afterwards *)
+  QCheck.Test.make ~count:400 ~name:"assumptions match unit clauses"
+    (QCheck.pair arb_cnf (QCheck.make QCheck.Gen.(list_size (1 -- 3) (pair (1 -- 4) bool))))
+    (fun ((nvars, clauses), assum_raw) ->
+      let assum =
+        List.sort_uniq Stdlib.compare
+          (List.map (fun (v, s) -> if s then v else -v) assum_raw)
+      in
+      (* skip contradictory assumption lists like [1; -1] *)
+      let contradictory = List.exists (fun l -> List.mem (-l) assum) assum in
+      QCheck.assume (not contradictory);
+      let nvars = max nvars 4 in
+      let s = mk_solver nvars clauses in
+      let r1 = Sat.solve ~assumptions:assum s in
+      let expected = brute_force nvars (List.map (fun l -> [ l ]) assum @ clauses) in
+      let first_ok =
+        match r1 with
+        | Sat.Sat -> expected && model_satisfies s clauses
+        | Sat.Unsat -> not expected
+        | Sat.Unknown -> false
+      in
+      (* the solver must still answer the unconstrained query correctly *)
+      let r2 = Sat.solve s in
+      let second_ok =
+        match r2 with
+        | Sat.Sat -> brute_force nvars clauses
+        | Sat.Unsat -> not (brute_force nvars clauses)
+        | Sat.Unknown -> false
+      in
+      first_ok && second_ok)
+
+let prop_incremental =
+  QCheck.Test.make ~count:300 ~name:"incremental clause addition"
+    (QCheck.pair arb_cnf arb_cnf)
+    (fun ((n1, c1), (n2, c2)) ->
+      let nvars = max n1 n2 in
+      let s = mk_solver nvars c1 in
+      ignore (Sat.solve s);
+      List.iter (Sat.add_clause s) c2;
+      match Sat.solve s with
+      | Sat.Sat -> brute_force nvars (c1 @ c2) && model_satisfies s (c1 @ c2)
+      | Sat.Unsat -> not (brute_force nvars (c1 @ c2))
+      | Sat.Unknown -> false)
+
+(* {1 Structured instances} *)
+
+let pigeonhole p h =
+  (* p pigeons, h holes; var (i,j) = pigeon i in hole j; unsat iff p > h *)
+  let s = Sat.create () in
+  let v = Array.make_matrix p h 0 in
+  for i = 0 to p - 1 do
+    for j = 0 to h - 1 do
+      v.(i).(j) <- Sat.new_var s
+    done
+  done;
+  for i = 0 to p - 1 do
+    Sat.add_clause s (Array.to_list v.(i))
+  done;
+  for j = 0 to h - 1 do
+    for i1 = 0 to p - 1 do
+      for i2 = i1 + 1 to p - 1 do
+        Sat.add_clause s [ -v.(i1).(j); -v.(i2).(j) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole () =
+  List.iter
+    (fun (p, h) ->
+      let s = pigeonhole p h in
+      let expect = if p > h then Sat.Unsat else Sat.Sat in
+      Alcotest.(check bool)
+        (Printf.sprintf "php %d %d" p h)
+        true
+        (Sat.solve s = expect))
+    [ (3, 3); (4, 3); (5, 4); (6, 5); (6, 6); (7, 6) ]
+
+let test_budget () =
+  let s = pigeonhole 9 8 in
+  Alcotest.(check bool) "budget exhausts" true (Sat.solve ~budget:20 s = Sat.Unknown);
+  (* a second call with a real budget still works *)
+  Alcotest.(check bool) "then solves" true (Sat.solve s = Sat.Unsat)
+
+let test_xor_chain () =
+  (* x1 xor x2 xor ... xor xn = 1 with all equalities forced pairwise *)
+  let s = Sat.create () in
+  let n = 40 in
+  let v = Array.init n (fun _ -> Sat.new_var s) in
+  (* chain: v_i = v_{i+1} *)
+  for i = 0 to n - 2 do
+    Sat.add_clause s [ -v.(i); v.(i + 1) ];
+    Sat.add_clause s [ v.(i); -v.(i + 1) ]
+  done;
+  Sat.add_clause s [ v.(0) ];
+  Sat.add_clause s [ -v.(n - 1) ];
+  Alcotest.(check bool) "equality chain unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_edges () =
+  let s = Sat.create () in
+  let v1 = Sat.new_var s in
+  (* tautology is dropped silently *)
+  Sat.add_clause s [ v1; -v1 ];
+  Alcotest.(check bool) "tautology sat" true (Sat.solve s = Sat.Sat);
+  (* empty clause *)
+  let s = Sat.create () in
+  Sat.add_clause s [];
+  Alcotest.(check bool) "empty clause unsat" true (Sat.solve s = Sat.Unsat);
+  (* conflicting units *)
+  let s = Sat.create () in
+  let v1 = Sat.new_var s in
+  Sat.add_clause s [ v1 ];
+  Sat.add_clause s [ -v1 ];
+  Alcotest.(check bool) "conflicting units unsat" true (Sat.solve s = Sat.Unsat);
+  (* unknown variable *)
+  let s = Sat.create () in
+  Alcotest.check_raises "unknown var"
+    (Invalid_argument "Sat.add_clause: unknown variable 3") (fun () ->
+      Sat.add_clause s [ 3 ]);
+  (* duplicate literals collapse *)
+  let s = Sat.create () in
+  let v1 = Sat.new_var s in
+  Sat.add_clause s [ v1; v1; v1 ];
+  Alcotest.(check bool) "dup lits" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "unit forced" true (Sat.value s v1);
+  (* assumption of a level-0 falsified literal *)
+  let s = Sat.create () in
+  let v1 = Sat.new_var s in
+  Sat.add_clause s [ -v1 ];
+  Alcotest.(check bool) "assume falsified" true
+    (Sat.solve ~assumptions:[ v1 ] s = Sat.Unsat);
+  Alcotest.(check bool) "still sat without" true (Sat.solve s = Sat.Sat)
+
+let test_large_random_3sat () =
+  (* below the phase-transition ratio: should be satisfiable and fast *)
+  let st = Random.State.make [| 42 |] in
+  let nvars = 150 in
+  let s = Sat.create () in
+  for _ = 1 to nvars do
+    ignore (Sat.new_var s)
+  done;
+  let clauses = ref [] in
+  for _ = 1 to 3 * nvars do
+    let lit () =
+      let v = 1 + Random.State.int st nvars in
+      if Random.State.bool st then v else -v
+    in
+    clauses := [ lit (); lit (); lit () ] :: !clauses
+  done;
+  List.iter (Sat.add_clause s) !clauses;
+  match Sat.solve s with
+  | Sat.Sat ->
+      Alcotest.(check bool) "model valid" true
+        (List.for_all
+           (fun c -> List.exists (fun l -> Sat.value s (abs l) = (l > 0)) c)
+           !clauses)
+  | Sat.Unsat -> () (* possible but extremely unlikely at ratio 3 *)
+  | Sat.Unknown -> Alcotest.fail "unknown without budget"
+
+let () =
+  Alcotest.run "sat"
+    [ ("oracle",
+       List.map QCheck_alcotest.to_alcotest
+         [ prop_matches_oracle; prop_assumptions; prop_incremental ]);
+      ("structured",
+       [ Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
+         Alcotest.test_case "budget" `Quick test_budget;
+         Alcotest.test_case "xor chain" `Quick test_xor_chain;
+         Alcotest.test_case "edge cases" `Quick test_edges;
+         Alcotest.test_case "random 3sat" `Quick test_large_random_3sat ]) ]

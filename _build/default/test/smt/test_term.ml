@@ -1,0 +1,165 @@
+(* Tests for the Term module: simplifier soundness against the reference
+   evaluator, hash-consing, substitution, and targeted rewrite rules. *)
+
+let term_env_of f =
+  {
+    Term.lookup_var = (fun name _ -> Some (f name));
+    Term.lookup_read = (fun _ _ -> None);
+  }
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:1000 ~name arb f)
+
+let props =
+  [ prop "eval agrees with reference" Gen_terms.arb_term_env (fun (g, env) ->
+        Bitvec.equal (Term.eval (term_env_of env) g.Gen_terms.term) (g.Gen_terms.reval env));
+    prop "substitute-all equals eval" Gen_terms.arb_term_env (fun (g, env) ->
+        let t' = Term.substitute (term_env_of env) g.Gen_terms.term in
+        match Term.is_const t' with
+        | Some v -> Bitvec.equal v (g.Gen_terms.reval env)
+        | None -> false);
+    prop "width preserved" Gen_terms.arb_term_env (fun (g, _) ->
+        Term.width g.Gen_terms.term = g.Gen_terms.twidth);
+    prop "rename roundtrip" Gen_terms.arb_term_env (fun (g, env) ->
+        let fwd s = Some ("rt!" ^ s) in
+        let bwd s =
+          if String.length s > 3 && String.sub s 0 3 = "rt!" then
+            Some (String.sub s 3 (String.length s - 3))
+          else None
+        in
+        let t' = Term.rename bwd (Term.rename fwd g.Gen_terms.term) in
+        Bitvec.equal
+          (Term.eval (term_env_of env) t')
+          (g.Gen_terms.reval env));
+    prop "pp then size is stable" Gen_terms.arb_term_env (fun (g, _) ->
+        (* printing must not mutate or crash; size is positive *)
+        let s = Format.asprintf "%a" Term.pp g.Gen_terms.term in
+        String.length s > 0 && Term.size g.Gen_terms.term > 0)
+  ]
+
+(* {1 Unit tests for specific rewrites} *)
+
+let tt = Alcotest.testable Term.pp Term.equal
+
+let x8 = Term.var "ut_x8" 8
+let y8 = Term.var "ut_y8" 8
+let c1 = Term.var "ut_c1" 1
+
+let test_hashcons () =
+  Alcotest.(check bool) "physical equality" true
+    (Term.equal (Term.add x8 y8) (Term.add y8 x8));
+  (* commutative normalization makes these the same node *)
+  Alcotest.(check int) "same id"
+    (Term.id (Term.band x8 y8))
+    (Term.id (Term.band y8 x8));
+  Alcotest.check_raises "width clash"
+    (Invalid_argument "Term.var: \"ut_x8\" used at width 8 and 4") (fun () ->
+      ignore (Term.var "ut_x8" 4))
+
+let test_bool_rewrites () =
+  Alcotest.check tt "eq self" Term.tru (Term.eq x8 x8);
+  Alcotest.check tt "ult self" Term.fls (Term.ult x8 x8);
+  Alcotest.check tt "not not" x8 (Term.bnot (Term.bnot x8));
+  Alcotest.check tt "not ult" (Term.ule y8 x8) (Term.bnot (Term.ult x8 y8));
+  Alcotest.check tt "and self" x8 (Term.band x8 x8);
+  Alcotest.check tt "and complement" (Term.zero 8) (Term.band x8 (Term.bnot x8));
+  Alcotest.check tt "or complement" (Term.ones 8) (Term.bor x8 (Term.bnot x8));
+  Alcotest.check tt "xor self" (Term.zero 8) (Term.bxor x8 x8);
+  Alcotest.check tt "implies false" Term.tru (Term.implies Term.fls c1);
+  Alcotest.check tt "eq with true" c1 (Term.eq c1 Term.tru);
+  Alcotest.check tt "eq with false" (Term.bnot c1) (Term.eq c1 Term.fls)
+
+let test_arith_rewrites () =
+  Alcotest.check tt "add zero" x8 (Term.add x8 (Term.zero 8));
+  Alcotest.check tt "sub self" (Term.zero 8) (Term.sub x8 x8);
+  Alcotest.check tt "mul one" x8 (Term.mul x8 (Term.one 8));
+  Alcotest.check tt "mul zero" (Term.zero 8) (Term.mul x8 (Term.zero 8));
+  Alcotest.check tt "shl zero" x8 (Term.shl x8 (Term.zero 3));
+  Alcotest.check tt "over-shift" (Term.zero 8) (Term.lshr x8 (Term.of_int ~width:8 9));
+  Alcotest.check tt "const fold"
+    (Term.of_int ~width:8 30)
+    (Term.add (Term.of_int ~width:8 10) (Term.of_int ~width:8 20))
+
+let test_structure_rewrites () =
+  Alcotest.check tt "extract full" x8 (Term.extract ~high:7 ~low:0 x8);
+  Alcotest.check tt "extract concat hi" x8
+    (Term.extract ~high:15 ~low:8 (Term.concat x8 y8));
+  Alcotest.check tt "extract concat lo" y8
+    (Term.extract ~high:7 ~low:0 (Term.concat x8 y8));
+  Alcotest.check tt "concat adjacent extracts" x8
+    (Term.concat (Term.extract ~high:7 ~low:4 x8) (Term.extract ~high:3 ~low:0 x8));
+  Alcotest.check tt "extract of extract"
+    (Term.extract ~high:5 ~low:4 x8)
+    (Term.extract ~high:3 ~low:2 (Term.extract ~high:7 ~low:2 x8));
+  Alcotest.check tt "zext then extract" x8
+    (Term.extract ~high:7 ~low:0 (Term.zext x8 12));
+  Alcotest.check tt "ite same" x8 (Term.ite c1 x8 x8);
+  Alcotest.check tt "ite true" x8 (Term.ite Term.tru x8 y8);
+  Alcotest.check tt "ite not cond" (Term.ite c1 y8 x8)
+    (Term.ite (Term.bnot c1) x8 y8);
+  Alcotest.check tt "ite bool collapse" c1 (Term.ite c1 Term.tru Term.fls);
+  (* eq of ite with const arms resolves to the condition *)
+  Alcotest.check tt "eq ite const"
+    c1
+    (Term.eq (Term.ite c1 (Term.of_int ~width:8 3) (Term.of_int ~width:8 5))
+       (Term.of_int ~width:8 3))
+
+let test_table () =
+  let tb =
+    { Term.tab_name = "ut_sq"; tab_addr_width = 2;
+      tab_data = Array.init 4 (fun i -> Bitvec.of_int ~width:4 (i * i)) }
+  in
+  Alcotest.check tt "const table read"
+    (Term.of_int ~width:4 9)
+    (Term.table_read tb (Term.of_int ~width:2 3));
+  let i2 = Term.var "ut_i2" 2 in
+  let t = Term.table_read tb i2 in
+  Alcotest.(check int) "symbolic table width" 4 (Term.width t);
+  let env v =
+    { Term.lookup_var = (fun n _ -> if n = "ut_i2" then Some (Bitvec.of_int ~width:2 v) else None);
+      Term.lookup_read = (fun _ _ -> None) }
+  in
+  for v = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "table eval %d" v)
+      true
+      (Bitvec.equal (Term.eval (env v) t) (Bitvec.of_int ~width:4 (v * v)))
+  done
+
+let test_reads () =
+  let m = { Term.mem_name = "ut_mem"; addr_width = 4; data_width = 8 } in
+  let a = Term.var "ut_addr" 4 in
+  let r1 = Term.read m a in
+  let r2 = Term.read m a in
+  Alcotest.(check bool) "reads hash-cons" true (Term.equal r1 r2);
+  Alcotest.(check int) "read listed" 1 (List.length (Term.reads (Term.add r1 r2)));
+  let env =
+    { Term.lookup_var = (fun _ w -> Some (Bitvec.of_int ~width:w 5));
+      Term.lookup_read =
+        (fun m' addr ->
+          if m'.Term.mem_name = "ut_mem" && Bitvec.to_int_exn addr = 5 then
+            Some (Bitvec.of_int ~width:8 42)
+          else None) }
+  in
+  Alcotest.(check bool) "read eval" true
+    (Bitvec.equal (Term.eval env r1) (Bitvec.of_int ~width:8 42));
+  (* substitution resolves the read once the address is concrete *)
+  let t = Term.substitute env r1 in
+  Alcotest.check tt "read substitute" (Term.of_int ~width:8 42) t
+
+let test_vars_collection () =
+  let t = Term.add (Term.mul x8 y8) x8 in
+  Alcotest.(check (list (pair string int))) "vars" [ ("ut_x8", 8); ("ut_y8", 8) ]
+    (Term.vars t)
+
+let () =
+  Alcotest.run "term"
+    [ ("properties", props);
+      ("rewrites",
+       [ Alcotest.test_case "hash-consing" `Quick test_hashcons;
+         Alcotest.test_case "boolean" `Quick test_bool_rewrites;
+         Alcotest.test_case "arithmetic" `Quick test_arith_rewrites;
+         Alcotest.test_case "structure" `Quick test_structure_rewrites;
+         Alcotest.test_case "tables" `Quick test_table;
+         Alcotest.test_case "reads" `Quick test_reads;
+         Alcotest.test_case "vars" `Quick test_vars_collection ]) ]

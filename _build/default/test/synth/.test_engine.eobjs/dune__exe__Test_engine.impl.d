@@ -1,0 +1,1 @@
+test/synth/test_engine.ml: Alcotest Array Bitvec Designs Hdl Ila List Option Oyster Printf Random Synth

@@ -1,0 +1,1 @@
+test/synth/test_engine.mli:

@@ -1,0 +1,1 @@
+test/synth/test_refine.ml: Alcotest Bitvec List QCheck QCheck_alcotest Solver Synth Term

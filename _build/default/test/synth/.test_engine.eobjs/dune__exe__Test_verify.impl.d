@@ -1,0 +1,1 @@
+test/synth/test_verify.ml: Alcotest Bitvec Designs Isa List Oyster Solver Synth

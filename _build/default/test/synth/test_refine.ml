@@ -1,0 +1,176 @@
+(* Tests for Synth.Refine — field refinement of verification queries.
+
+   The load-bearing property is equisatisfiability: for any formula that
+   conjoins its own pinning equalities, refining must not change the
+   solver's sat/unsat answer.  Checked against random formulas and random
+   (possibly overlapping, possibly conflicting) pins. *)
+
+let tt = Term.const (Bitvec.ones 1)
+
+(* {1 Unit tests} *)
+
+let test_full_pin () =
+  let w = Term.var "rfw" 8 in
+  let c = Bitvec.of_int ~width:8 0xab in
+  let pre = Term.eq w (Term.const c) in
+  let pins = Synth.Refine.collect pre in
+  Alcotest.(check bool) "has pins" false (Synth.Refine.is_empty pins);
+  Alcotest.(check bool) "base becomes the constant" true
+    (Term.equal (Synth.Refine.apply pins w) (Term.const c))
+
+let test_no_pins () =
+  let x = Term.var "rfx" 8 and y = Term.var "rfy" 8 in
+  let pre = Term.ult x y in
+  Alcotest.(check bool) "no pins from an inequality" true
+    (Synth.Refine.is_empty (Synth.Refine.collect pre))
+
+let test_field_pin_folds_decode () =
+  (* the canonical decode shape: pinning the selector field must fold the
+     comparison to true before any solver runs *)
+  let w = Term.var "rfd" 8 in
+  let sel = Term.extract ~high:7 ~low:4 w in
+  let pre = Term.eq sel (Term.const (Bitvec.of_int ~width:4 0xa)) in
+  let pins = Synth.Refine.collect pre in
+  Alcotest.(check bool) "decode comparison folds to true" true
+    (Term.equal (Synth.Refine.apply pins pre) tt);
+  (* the unpinned field survives as an extract of the original base *)
+  let low = Term.extract ~high:3 ~low:0 w in
+  Alcotest.(check bool) "unpinned field unchanged" true
+    (Term.equal (Synth.Refine.apply pins low) low)
+
+let test_read_base () =
+  (* pins apply to uninterpreted memory reads (the fetched instruction) *)
+  let m = { Term.mem_name = "rf_imem"; addr_width = 4; data_width = 8 } in
+  let fetch = Term.read m (Term.var "rfpc" 4) in
+  let pre =
+    Term.eq (Term.extract ~high:3 ~low:0 fetch)
+      (Term.const (Bitvec.of_int ~width:4 5))
+  in
+  let pins = Synth.Refine.collect pre in
+  Alcotest.(check bool) "read field folds" true
+    (Term.equal
+       (Synth.Refine.apply pins (Term.extract ~high:3 ~low:0 fetch))
+       (Term.const (Bitvec.of_int ~width:4 5)))
+
+let test_selection_mux_collapses () =
+  (* the motivating structure: with the selector pinned, the mux over an
+     expensive arm and a cheap arm must collapse to the selected arm *)
+  let w = Term.var "rfm" 8 in
+  let a = Term.var "rfa" 8 and b = Term.var "rfb" 8 in
+  let sel = Term.eq (Term.extract ~high:7 ~low:6 w) (Term.const (Bitvec.of_int ~width:2 2)) in
+  let mux = Term.ite sel (Term.mul a b) (Term.add a b) in
+  let pre =
+    Term.eq (Term.extract ~high:7 ~low:6 w) (Term.const (Bitvec.of_int ~width:2 2))
+  in
+  let pins = Synth.Refine.collect pre in
+  Alcotest.(check bool) "mux collapses to the multiply arm" true
+    (Term.equal (Synth.Refine.apply pins mux) (Term.mul a b))
+
+(* {1 The equisatisfiability property} *)
+
+(* A small self-contained formula generator: width-1 terms over one 8-bit
+   pinnable base, two free 8-bit variables, and a free boolean. *)
+
+let gen_formula : Term.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let base = Term.var "qrw" 8 in
+  let gen_word8 =
+    fix
+      (fun self size ->
+        if size <= 0 then
+          oneofl
+            [ base;
+              Term.var "qra" 8;
+              Term.var "qrb" 8;
+              Term.const (Bitvec.of_int ~width:8 0x5c) ]
+        else
+          let sub = self (size / 2) in
+          oneof
+            [ map2 Term.add sub sub;
+              map2 Term.sub sub sub;
+              map2 Term.band sub sub;
+              map2 Term.bor sub sub;
+              map2 Term.bxor sub sub;
+              map2 Term.mul sub sub;
+              map Term.bnot sub;
+              (* extract a field of the base and widen it back *)
+              ( 0 -- 4 >>= fun lo ->
+                let hi = min 7 (lo + 3) in
+                map
+                  (fun s ->
+                    Term.concat
+                      (Term.extract ~high:hi ~low:lo base)
+                      (Term.extract ~high:(6 - (hi - lo)) ~low:0 s))
+                  sub );
+              map3 Term.ite
+                (map2 Term.eq sub sub)
+                sub sub ])
+      3
+  in
+  let open QCheck.Gen in
+  oneof
+    [ map2 Term.eq gen_word8 gen_word8;
+      map2 Term.ult gen_word8 gen_word8;
+      map2 Term.slt gen_word8 gen_word8;
+      map2
+        (fun a b -> Term.band (Term.eq a b) (Term.var "qrc" 1))
+        gen_word8 gen_word8 ]
+
+let gen_pins : Term.t QCheck.Gen.t =
+  (* 0..3 random field pins on the base; ranges may overlap and conflict *)
+  let open QCheck.Gen in
+  let base = Term.var "qrw" 8 in
+  let gen_pin =
+    0 -- 7 >>= fun lo ->
+    0 -- (7 - lo) >>= fun len ->
+    let hi = lo + len in
+    0 -- ((1 lsl (len + 1)) - 1) >>= fun v ->
+    return
+      (Term.eq
+         (Term.extract ~high:hi ~low:lo base)
+         (Term.const (Bitvec.of_int ~width:(len + 1) v)))
+  in
+  0 -- 3 >>= fun n ->
+  list_size (return n) gen_pin >>= fun pins ->
+  return (List.fold_left Term.band tt pins)
+
+let sat_answer t =
+  match Solver.check ~budget:100_000 [ t ] with
+  | Solver.Unsat -> Some false
+  | Solver.Sat _ -> Some true
+  | Solver.Unknown -> None
+
+let prop_equisat =
+  QCheck.Test.make ~count:400 ~name:"refined query is equisatisfiable"
+    (QCheck.make QCheck.Gen.(pair gen_pins gen_formula))
+    (fun (pre, f) ->
+      let violation = Term.band pre f in
+      let refined = Synth.Refine.apply (Synth.Refine.collect pre) violation in
+      match (sat_answer violation, sat_answer refined) with
+      | Some a, Some b -> a = b
+      | _ -> QCheck.assume_fail ())
+
+let prop_refined_not_larger =
+  QCheck.Test.make ~count:400 ~name:"refinement never grows the DAG much"
+    (QCheck.make QCheck.Gen.(pair gen_pins gen_formula))
+    (fun (pre, f) ->
+      (* each refined base adds at most a handful of concat/const nodes; a
+         blowup here would mean the rewrite recurses somewhere it should
+         not *)
+      let violation = Term.band pre f in
+      let refined = Synth.Refine.apply (Synth.Refine.collect pre) violation in
+      Term.size refined <= Term.size violation + 16)
+
+let () =
+  Alcotest.run "refine"
+    [ ("refine",
+       [ Alcotest.test_case "full pin" `Quick test_full_pin;
+         Alcotest.test_case "no pins" `Quick test_no_pins;
+         Alcotest.test_case "field pin folds decode" `Quick
+           test_field_pin_folds_decode;
+         Alcotest.test_case "read base" `Quick test_read_base;
+         Alcotest.test_case "selection mux collapses" `Quick
+           test_selection_mux_collapses ]);
+      ("properties",
+       [ QCheck_alcotest.to_alcotest prop_equisat;
+         QCheck_alcotest.to_alcotest prop_refined_not_larger ]) ]
