@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- table3    -- constant-time study (paper §5.2)
      dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- ablation  -- engine ablations (DESIGN.md §5)
+     dune exec bench/main.exe -- parallel  -- serial vs parallel CEGIS scheduler
 
    The monolithic ("no instruction-independence") experiments run under a
    wall-clock deadline; exceeding it reports Timeout, reproducing the
@@ -28,11 +29,9 @@ type row_result =
   | RTimeout of float
   | RFailed of string
 
-let run_problem ?(mode = Synth.Engine.Per_instruction) problem =
+let run_problem ?(mode = Synth.Engine.Per_instruction) ?(jobs = 1) problem =
   let options =
-    { Synth.Engine.default_options with
-      Synth.Engine.mode;
-      deadline_seconds = Some !deadline }
+    Synth.Engine.make_options ~mode ~jobs ~deadline_seconds:!deadline ()
   in
   let outcome, dt = time (fun () -> Synth.Engine.synthesize ~options problem) in
   match outcome with
@@ -237,6 +236,47 @@ let ablation () =
         (Netlist.of_design ~optimize:true s'.Synth.Engine.completed).Netlist.total_gates
   | _ -> print_endline "minimization skipped (synthesis failed)" 
 
+(* {1 Parallel scheduler: serial vs fanned-out per-instruction CEGIS} *)
+
+let parallel () =
+  print_endline "";
+  print_endline "Parallel per-instruction CEGIS: serial (jobs=1) vs worker pool";
+  print_endline "(jobs=4) on the RV32I single-cycle core.  The merge is";
+  print_endline "deterministic, so both schedules must produce identical";
+  print_endline "bindings; wall-clock gains require actual cores.";
+  Printf.printf "(this machine reports %d usable core(s))\n\n"
+    (Synth.Pool.default_jobs ());
+  let describe tag jobs =
+    match run_problem ~jobs (Designs.Riscv_single.problem Isa.Rv32.RV32I) with
+    | RSolved (s, dt) ->
+        Printf.printf "%-14s %8.2fs  %4d rounds  %5d queries  %7d conflicts\n%!"
+          tag dt s.Synth.Engine.stats.Synth.Engine.iterations
+          s.Synth.Engine.stats.Synth.Engine.queries
+          s.Synth.Engine.stats.Synth.Engine.conflicts;
+        Some s
+    | RTimeout dt ->
+        Printf.printf "%-14s Timeout after %.1fs\n%!" tag dt;
+        None
+    | RFailed m ->
+        Printf.printf "%-14s failed (%s)\n%!" tag m;
+        None
+  in
+  match (describe "jobs=1 (serial)" 1, describe "jobs=4 (pool)" 4) with
+  | Some s1, Some s4 ->
+      let same =
+        s1.Synth.Engine.per_instr = s4.Synth.Engine.per_instr
+        && s1.Synth.Engine.shared = s4.Synth.Engine.shared
+        && List.length s1.Synth.Engine.bindings
+           = List.length s4.Synth.Engine.bindings
+        && List.for_all2
+             (fun (h1, e1) (h2, e2) -> h1 = h2 && e1 = e2)
+             s1.Synth.Engine.bindings s4.Synth.Engine.bindings
+      in
+      Printf.printf "bindings identical across schedules: %s\n"
+        (if same then "yes" else "NO (determinism bug)");
+      if not same then exit 1
+  | _ -> ()
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -313,7 +353,8 @@ let () =
     table1 ();
     table2 ();
     table3 ();
-    ablation ()
+    ablation ();
+    parallel ()
   in
   match args with
   | [] | [ "all" ] -> all ()
@@ -321,8 +362,9 @@ let () =
   | [ "table2" ] -> table2 ()
   | [ "table3" ] -> table3 ()
   | [ "ablation" ] -> ablation ()
+  | [ "parallel" ] -> parallel ()
   | [ "micro" ] -> micro ()
   | _ ->
       prerr_endline
-        "usage: main.exe [all|table1|table2|table3|ablation|micro] [--deadline=SECONDS]";
+        "usage: main.exe [all|table1|table2|table3|ablation|parallel|micro] [--deadline=SECONDS]";
       exit 1

@@ -110,6 +110,19 @@ let print_cmd =
   Cmd.v (Cmd.info "print" ~doc:"Print a design as textual Oyster IR")
     Term.(const run $ design_arg $ reference)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for the independent per-instruction solver loops \
+     (1 = serial; shared holes force the serial joint path regardless)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let check_jobs jobs =
+  if jobs < 1 then begin
+    prerr_endline "owl: --jobs must be >= 1";
+    exit 1
+  end
+
 let synth_cmd =
   let monolithic =
     Arg.(value & flag
@@ -129,18 +142,19 @@ let synth_cmd =
     Arg.(value & flag
          & info [ "pyrtl" ] ~doc:"Print the generated control logic PyRTL-style (paper Fig. 7).")
   in
-  let run name monolithic deadline output pyrtl =
+  let run name monolithic jobs deadline output pyrtl =
+    check_jobs jobs;
     match lookup name with
     | Error m ->
         prerr_endline m;
         exit 1
     | Ok e -> (
         let options =
-          { Synth.Engine.default_options with
-            Synth.Engine.mode =
+          Synth.Engine.make_options
+            ~mode:
               (if monolithic then Synth.Engine.Monolithic
-               else Synth.Engine.Per_instruction);
-            deadline_seconds = deadline }
+               else Synth.Engine.Per_instruction)
+            ~jobs ?deadline_seconds:deadline ()
         in
         match Synth.Engine.synthesize ~options (e.problem ()) with
         | Synth.Engine.Solved s ->
@@ -184,7 +198,7 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize control logic for a case-study design")
-    Term.(const run $ design_arg $ monolithic $ deadline $ output $ pyrtl)
+    Term.(const run $ design_arg $ monolithic $ jobs_arg $ deadline $ output $ pyrtl)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oyster")
@@ -352,7 +366,8 @@ let verify_cmd =
     Arg.(value & opt (some float) None
          & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock bound per query.")
   in
-  let run name deadline =
+  let run name deadline jobs =
+    check_jobs jobs;
     match lookup name with
     | Error m ->
         prerr_endline m;
@@ -366,7 +381,7 @@ let verify_cmd =
             let problem = e.problem () in
             let problem = { problem with Synth.Engine.design = f () } in
             let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline in
-            let results = Synth.Engine.verify ?deadline problem in
+            let results = Synth.Engine.verify ?deadline ~jobs problem in
             let bad = ref 0 in
             List.iter
               (fun (iname, verdict) ->
@@ -388,7 +403,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:
          "Formally verify the hand-written reference control against the ILA specification")
-    Term.(const run $ design_arg $ deadline)
+    Term.(const run $ design_arg $ deadline $ jobs_arg)
 
 let verilog_cmd =
   let run file =

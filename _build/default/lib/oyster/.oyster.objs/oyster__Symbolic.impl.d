@@ -1,1 +1,1 @@
-lib/oyster/symbolic.ml: Array Ast Hashtbl Interp List Printf Term Typecheck
+lib/oyster/symbolic.ml: Array Ast Atomic Hashtbl Interp List Printf Term Typecheck

@@ -42,11 +42,12 @@ type trace = {
   mems : (string * Term.mem) list;
 }
 
-let session_counter = ref 0
+(* Atomic so concurrent symbolic evaluations (e.g. from parallel engine
+   runs) never reuse a namespace prefix. *)
+let session_counter = Atomic.make 0
 
 let fresh_prefix () =
-  incr session_counter;
-  Printf.sprintf "s%d!" !session_counter
+  Printf.sprintf "s%d!" (Atomic.fetch_and_add session_counter 1 + 1)
 
 (* Read-over-write: the value of [mem] at address [addr] given the
    chronological write log (later writes win). *)

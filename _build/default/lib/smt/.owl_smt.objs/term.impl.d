@@ -1,1 +1,1 @@
-lib/smt/term.ml: Array Bitvec Format Hashtbl List Printf Stdlib String
+lib/smt/term.ml: Array Atomic Bitvec Format Hashtbl Int List Mutex Printf Stdlib String

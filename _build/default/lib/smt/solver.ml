@@ -5,29 +5,35 @@ type model = {
   read_values : (string * Bitvec.t * Bitvec.t) list;
 }
 
-type outcome = Sat of model | Unsat | Unknown
-
 type stats = { sat_vars : int; sat_clauses : int; sat_conflicts : int }
 
-let stats_ref = ref { sat_vars = 0; sat_clauses = 0; sat_conflicts = 0 }
-let last_stats () = !stats_ref
+let empty_stats = { sat_vars = 0; sat_clauses = 0; sat_conflicts = 0 }
 
-(* Fresh names for Ackermann variables; a global counter keeps names unique
-   across queries (Term hash-consing and the Var registry are global). *)
-let ack_counter = ref 0
+type outcome = Sat of model * stats | Unsat of stats | Unknown of stats
+
+let stats_of = function Sat (_, s) | Unsat s | Unknown s -> s
 
 (* {1 Ackermann expansion}
 
    Replace every [Read (m, addr)] node by a fresh variable, bottom-up, and
    record the (mem, rewritten-address, variable) instances.  For every pair
    of instances on the same memory, add the congruence constraint
-   [addr1 = addr2 -> v1 = v2]. *)
+   [addr1 = addr2 -> v1 = v2].
+
+   Ackermann variables are named per call ("ack!<mem>!<k>" with [k]
+   counting from 1 in traversal order), never per process: each [check]
+   owns its SAT context, so reusing a name across independent calls is
+   harmless, and per-call numbering keeps the generated CNF — hence the
+   whole query — deterministic no matter how many checks other domains ran
+   before this one.  Widths cannot clash because the name embeds the
+   memory, whose data width is fixed. *)
 
 let ackermannize (assertions : Term.t list) =
   let memo : (int, Term.t) Hashtbl.t = Hashtbl.create 256 in
   (* key: (mem_name, rewritten address id) -> replacement var *)
   let instance_tbl : (string * int, Term.t) Hashtbl.t = Hashtbl.create 64 in
   let instances : (Term.mem * Term.t * Term.t) list ref = ref [] in
+  let ack_counter = ref 0 in
   let rec go (t : Term.t) : Term.t =
     match Hashtbl.find_opt memo (Term.id t) with
     | Some r -> r
@@ -108,7 +114,11 @@ let ackermannize (assertions : Term.t list) =
     by_mem;
   (rewritten @ !congruences, List.rev !instances)
 
-(* {1 Checking} *)
+(* {1 Checking}
+
+   [check] is re-entrant: the SAT solver, the blasting context, and the
+   returned statistics are all per call, so any number of checks may run
+   concurrently from different domains. *)
 
 let check ?(budget = max_int) ?deadline assertions =
   List.iter
@@ -117,24 +127,25 @@ let check ?(budget = max_int) ?deadline assertions =
     assertions;
   (* Fast path: conjunction constant after simplification. *)
   if List.exists Term.is_false assertions then
-    Unsat
+    Unsat empty_stats
   else begin
     let assertions, instances = ackermannize assertions in
-    if List.exists Term.is_false assertions then Unsat
+    if List.exists Term.is_false assertions then Unsat empty_stats
     else begin
       let sat = Sat.create () in
       let ctx = Blast.create sat in
       List.iter (Blast.assert_term ctx) assertions;
       let result = Sat.solve ~budget ?deadline sat in
-      stats_ref :=
+      let stats =
         {
           sat_vars = Sat.num_vars sat;
           sat_clauses = Sat.num_clauses sat;
           sat_conflicts = Sat.conflicts sat;
-        };
+        }
+      in
       match result with
-      | Sat.Unsat -> Unsat
-      | Sat.Unknown -> Unknown
+      | Sat.Unsat -> Unsat stats
+      | Sat.Unknown -> Unknown stats
       | Sat.Sat ->
           let var_value name =
             match Blast.var_bits ctx name with
@@ -167,10 +178,14 @@ let check ?(budget = max_int) ?deadline assertions =
                 (m.Term.mem_name, a, value))
               instances
           in
-          Sat { var_value; read_values }
+          Sat ({ var_value; read_values }, stats)
     end
   end
 
+(* First match in instance order.  Distinct read instances can evaluate to
+   the same concrete address; the Ackermann congruence constraints force
+   their values to agree in any model, so first-match is both deterministic
+   and canonical — later duplicates are necessarily equal. *)
 let read_lookup model (m : Term.mem) addr =
   let rec go = function
     | [] -> None

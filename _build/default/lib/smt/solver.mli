@@ -4,7 +4,14 @@
     {!Blast}, decide with {!Sat}, and reconstruct a word-level model.
 
     The [budget] bounds SAT conflicts; exhausting it yields [Unknown], which
-    the synthesis engine and the benchmark harness surface as a timeout. *)
+    the synthesis engine and the benchmark harness surface as a timeout.
+
+    {b Re-entrancy contract.}  [check] holds no state between calls: the
+    SAT instance, the blasting context, the Ackermann numbering, and the
+    statistics are all per call, and the term layer it builds on is
+    domain-safe.  Concurrent [check] calls from different domains are
+    therefore independent — each returns its own correct outcome and its
+    own stats.  The parallel synthesis scheduler relies on this. *)
 
 type model = {
   var_value : string -> Bitvec.t option;
@@ -15,17 +22,26 @@ type model = {
           with the address evaluated under the model *)
 }
 
-type outcome = Sat of model | Unsat | Unknown
+type stats = { sat_vars : int; sat_clauses : int; sat_conflicts : int }
+(** Per-call solver statistics.  Carried inside the {!outcome} rather than
+    read from process state, so concurrent checks cannot race. *)
+
+val empty_stats : stats
+
+type outcome = Sat of model * stats | Unsat of stats | Unknown of stats
+
+val stats_of : outcome -> stats
+(** The statistics of any outcome. *)
 
 val check : ?budget:int -> ?deadline:float -> Term.t list -> outcome
 (** Checks satisfiability of the conjunction of the given width-1 terms.
     [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]).
-    Raises [Invalid_argument] if any term is not width 1. *)
+    Raises [Invalid_argument] if any term is not width 1.  Re-entrant; see
+    the module preamble. *)
 
 val read_lookup : model -> Term.mem -> Bitvec.t -> Bitvec.t option
-(** Looks an address up in [read_values] (first match). *)
-
-type stats = { sat_vars : int; sat_clauses : int; sat_conflicts : int }
-
-val last_stats : unit -> stats
-(** Statistics of the most recent [check] call. *)
+(** Looks an address up in [read_values], returning the {e first} match in
+    read-instance order.  Distinct instances may alias the same concrete
+    address, but the Ackermann congruence constraints force aliasing
+    instances to carry equal values in any model, so the first match is
+    canonical and the lookup deterministic. *)

@@ -22,7 +22,7 @@ type cmpop = Eq | Ult | Ule | Slt | Sle
 type mem = { mem_name : string; addr_width : int; data_width : int }
 type table = { tab_name : string; tab_addr_width : int; tab_data : Bitvec.t array }
 
-type t = { id : int; width : int; node : node }
+type t = { id : int; width : int; skey : int; node : node }
 
 and node =
   | Const of Bitvec.t
@@ -44,8 +44,17 @@ let hash t = t.id
 
 (* {1 Hash-consing}
 
-   Nodes are keyed structurally with children compared by id, so building
-   the same node twice yields the same physical term. *)
+   Nodes are keyed structurally with children compared physically, so
+   building the same node twice yields the same physical term.
+
+   The table is shared by every domain and sharded under mutexes, which
+   keeps physical equality meaningful across domains: a term built by one
+   worker is found (not duplicated) by another.  Ids are allocated from an
+   atomic counter, so they are unique but their numeric order depends on
+   scheduling.  Anything that must be deterministic across runs and across
+   [jobs] settings therefore orders terms by [skey] — a structural hash
+   computed from the node shape and the children's skeys, independent of
+   allocation order — with a full structural comparison breaking ties. *)
 
 module Key = struct
   type k = node
@@ -85,22 +94,129 @@ end
 
 module Cons = Hashtbl.Make (Key)
 
-let cons_table : t Cons.t = Cons.create 4096
-let next_id = ref 0
+(* The consing table is sharded by node hash; each shard has its own lock so
+   concurrent domains rarely contend.  Plain Hashtbl is not safe under
+   concurrent mutation, so every access happens under the shard's mutex. *)
+
+let shard_bits = 6
+let shard_count = 1 lsl shard_bits
+
+type shard = { lock : Mutex.t; tbl : t Cons.t }
+
+let shards =
+  Array.init shard_count (fun _ ->
+      { lock = Mutex.create (); tbl = Cons.create 256 })
+
+let next_id = Atomic.make 0
 
 (* Registries guarding against the same name being reused at a different
-   width (variables) or with different contents (tables). *)
+   width (variables) or with different contents (tables); guarded by one
+   lock (low traffic). *)
+let registry_lock = Mutex.create ()
 let var_registry : (string, int) Hashtbl.t = Hashtbl.create 256
 let table_registry : (string, table) Hashtbl.t = Hashtbl.create 16
 
+(* Structural key: like [Key.hash_node] but built from the children's
+   [skey]s instead of their ids, so it only depends on term structure. *)
+let skey_node width = function
+  | Const v -> Hashtbl.hash (0, width, Bitvec.hash v)
+  | Var s -> Hashtbl.hash (1, width, s)
+  | Not x -> Hashtbl.hash (2, width, x.skey)
+  | Binop (o, a, b) -> Hashtbl.hash (3, width, o, a.skey, b.skey)
+  | Cmp (o, a, b) -> Hashtbl.hash (4, width, o, a.skey, b.skey)
+  | Ite (c, a, b) -> Hashtbl.hash (5, width, c.skey, a.skey, b.skey)
+  | Extract (h, l, x) -> Hashtbl.hash (6, width, h, l, x.skey)
+  | Concat (a, b) -> Hashtbl.hash (7, width, a.skey, b.skey)
+  | Read (m, a) -> Hashtbl.hash (8, width, m.mem_name, a.skey)
+  | Table (tb, a) -> Hashtbl.hash (9, width, tb.tab_name, a.skey)
+
+let node_tag = function
+  | Const _ -> 0
+  | Var _ -> 1
+  | Not _ -> 2
+  | Binop _ -> 3
+  | Cmp _ -> 4
+  | Ite _ -> 5
+  | Extract _ -> 6
+  | Concat _ -> 7
+  | Read _ -> 8
+  | Table _ -> 9
+
+(* Total structural order, independent of allocation order.  Distinct
+   hash-consed terms always differ structurally, so this never returns 0
+   for [a != b]; the skey fast path means the recursion is only taken on
+   hash collisions. *)
+let rec struct_compare a b =
+  if a == b then 0
+  else
+    let c = Int.compare a.skey b.skey in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.width b.width in
+      if c <> 0 then c
+      else
+        let c = Int.compare (node_tag a.node) (node_tag b.node) in
+        if c <> 0 then c
+        else
+          match (a.node, b.node) with
+          | Const x, Const y -> Bitvec.compare x y
+          | Var x, Var y -> String.compare x y
+          | Not x, Not y -> struct_compare x y
+          | Binop (o1, a1, b1), Binop (o2, a2, b2) ->
+              let c = Stdlib.compare o1 o2 in
+              if c <> 0 then c
+              else
+                let c = struct_compare a1 a2 in
+                if c <> 0 then c else struct_compare b1 b2
+          | Cmp (o1, a1, b1), Cmp (o2, a2, b2) ->
+              let c = Stdlib.compare o1 o2 in
+              if c <> 0 then c
+              else
+                let c = struct_compare a1 a2 in
+                if c <> 0 then c else struct_compare b1 b2
+          | Ite (c1, a1, b1), Ite (c2, a2, b2) ->
+              let c = struct_compare c1 c2 in
+              if c <> 0 then c
+              else
+                let c = struct_compare a1 a2 in
+                if c <> 0 then c else struct_compare b1 b2
+          | Extract (h1, l1, x), Extract (h2, l2, y) ->
+              let c = Int.compare h1 h2 in
+              if c <> 0 then c
+              else
+                let c = Int.compare l1 l2 in
+                if c <> 0 then c else struct_compare x y
+          | Concat (a1, b1), Concat (a2, b2) ->
+              let c = struct_compare a1 a2 in
+              if c <> 0 then c else struct_compare b1 b2
+          | Read (m1, a1), Read (m2, a2) ->
+              let c = String.compare m1.mem_name m2.mem_name in
+              if c <> 0 then c else struct_compare a1 a2
+          | Table (t1, a1), Table (t2, a2) ->
+              let c = String.compare t1.tab_name t2.tab_name in
+              if c <> 0 then c else struct_compare a1 a2
+          | _ -> assert false (* tags already compared *)
+
 let intern width node =
-  match Cons.find_opt cons_table node with
-  | Some t -> t
-  | None ->
-      let t = { id = !next_id; width; node } in
-      incr next_id;
-      Cons.add cons_table node t;
-      t
+  let s = shards.(Key.hash node land (shard_count - 1)) in
+  Mutex.lock s.lock;
+  let t =
+    match Cons.find_opt s.tbl node with
+    | Some t -> t
+    | None ->
+        let t =
+          {
+            id = Atomic.fetch_and_add next_id 1;
+            width;
+            skey = skey_node width node;
+            node;
+          }
+        in
+        Cons.add s.tbl node t;
+        t
+  in
+  Mutex.unlock s.lock;
+  t
 
 (* {1 Basic constructors} *)
 
@@ -114,12 +230,24 @@ let fls = const (Bitvec.zero 1)
 
 let var name w =
   if w < 1 then invalid_arg (Printf.sprintf "Term.var: width %d < 1" w);
-  (match Hashtbl.find_opt var_registry name with
-  | Some w' when w' <> w ->
+  let clash =
+    Mutex.lock registry_lock;
+    let c =
+      match Hashtbl.find_opt var_registry name with
+      | Some w' when w' <> w -> Some w'
+      | Some _ -> None
+      | None ->
+          Hashtbl.add var_registry name w;
+          None
+    in
+    Mutex.unlock registry_lock;
+    c
+  in
+  (match clash with
+  | Some w' ->
       invalid_arg
         (Printf.sprintf "Term.var: %S used at width %d and %d" name w' w)
-  | Some _ -> ()
-  | None -> Hashtbl.add var_registry name w);
+  | None -> ());
   intern w (Var name)
 
 let is_const t = match t.node with Const v -> Some v | _ -> None
@@ -144,7 +272,10 @@ let rec bnot a =
   | Ite (c, x, y) when a.width = 1 -> ite c (bnot x) (bnot y)
   | _ -> intern a.width (Not a)
 
-and order2 a b = if a.id <= b.id then (a, b) else (b, a)
+(* Canonical operand order for commutative operators.  This must not
+   depend on [id] (allocation order): parallel synthesis requires the same
+   term structure whether worker domains interleave or not. *)
+and order2 a b = if struct_compare a b <= 0 then (a, b) else (b, a)
 
 and band a b =
   check_same_width "band" a b;
@@ -412,13 +543,23 @@ let table_read tb idx =
   if idx.width <> tb.tab_addr_width then invalid_arg "Term.table_read: index width";
   if Array.length tb.tab_data <> 1 lsl tb.tab_addr_width then
     invalid_arg "Term.table_read: table size must be 2^addr_width";
-  (match Hashtbl.find_opt table_registry tb.tab_name with
-  | Some tb' when tb' != tb && tb'.tab_data <> tb.tab_data ->
-      invalid_arg
-        (Printf.sprintf "Term.table_read: table %S redefined with new contents"
-           tb.tab_name)
-  | Some _ -> ()
-  | None -> Hashtbl.add table_registry tb.tab_name tb);
+  let clash =
+    Mutex.lock registry_lock;
+    let c =
+      match Hashtbl.find_opt table_registry tb.tab_name with
+      | Some tb' when tb' != tb && tb'.tab_data <> tb.tab_data -> true
+      | Some _ -> false
+      | None ->
+          Hashtbl.add table_registry tb.tab_name tb;
+          false
+    in
+    Mutex.unlock registry_lock;
+    c
+  in
+  if clash then
+    invalid_arg
+      (Printf.sprintf "Term.table_read: table %S redefined with new contents"
+         tb.tab_name);
   match is_const idx with
   | Some v -> const tb.tab_data.(Bitvec.to_int_exn v)
   | None -> intern (Bitvec.width tb.tab_data.(0)) (Table (tb, idx))

@@ -9,7 +9,16 @@
 
     All smart constructors simplify bottom-up (constant folding, identities,
     canonical ordering of commutative arguments, pushing [extract] through
-    structure).  Booleans are width-1 bitvectors. *)
+    structure).  Booleans are width-1 bitvectors.
+
+    {b Domain safety.}  The hash-consing table, the variable registry, and
+    the table registry are shared across domains and internally locked, so
+    terms may be built and combined freely from concurrent domains —
+    physical equality keeps working because every domain interns into the
+    same table.  Determinism is preserved too: commutative operands are
+    ordered by a structural key rather than by allocation id, so the term
+    DAG produced by a computation does not depend on how domains
+    interleave. *)
 
 type binop =
   | And
@@ -37,7 +46,14 @@ type mem = { mem_name : string; addr_width : int; data_width : int }
     materialized, so a read with a constant index folds. *)
 type table = { tab_name : string; tab_addr_width : int; tab_data : Bitvec.t array }
 
-type t = private { id : int; width : int; node : node }
+type t = private {
+  id : int;  (** unique per process; allocation order, not deterministic *)
+  width : int;
+  skey : int;
+      (** structural hash, independent of allocation order; the basis of
+          the canonical commutative-operand ordering *)
+  node : node;
+}
 
 and node =
   | Const of Bitvec.t

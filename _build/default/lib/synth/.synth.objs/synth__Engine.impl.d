@@ -1,1 +1,1 @@
-lib/synth/engine.ml: Bitvec Hashtbl Ila Independence List Option Oyster Printf Reconstruct Refine Solver String Term Union Unix
+lib/synth/engine.ml: Atomic Bitvec Hashtbl Ila Independence List Option Oyster Pool Printf Reconstruct Refine Solver String Term Union Unix

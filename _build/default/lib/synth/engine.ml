@@ -28,6 +28,7 @@ type mode = Per_instruction | Monolithic
 
 type options = {
   mode : mode;
+  jobs : int;  (* worker domains for independent per-instruction loops *)
   conflict_budget : int;  (* total SAT conflicts before declaring timeout *)
   max_iterations : int;  (* CEGIS rounds per loop *)
   deadline_seconds : float option;  (* wall-clock timeout *)
@@ -40,11 +41,20 @@ type options = {
 let default_options =
   {
     mode = Per_instruction;
+    jobs = 1;
     conflict_budget = max_int;
     max_iterations = 256;
     deadline_seconds = None;
     check_independence = false;
   }
+
+let make_options ?(mode = Per_instruction) ?(jobs = 1)
+    ?(conflict_budget = max_int) ?(max_iterations = 256) ?deadline_seconds
+    ?(check_independence = false) () =
+  if jobs < 1 then invalid_arg "Engine.make_options: jobs < 1";
+  if max_iterations < 1 then invalid_arg "Engine.make_options: max_iterations < 1";
+  { mode; jobs; conflict_budget; max_iterations; deadline_seconds;
+    check_independence }
 
 type stats = {
   mutable iterations : int;
@@ -84,11 +94,26 @@ type problem = {
   af : Ila.Absfun.t;
 }
 
+(* A deterministic symbolic-evaluation namespace per problem.  A fresh
+   session counter would make a second [synthesize] call in the same
+   process allocate differently-named variables, perturbing solver search
+   and hence which of several correct models it returns; with the solver
+   re-entrant and terms hash-consed globally, reusing the same names (and
+   thus the exact same term nodes) across calls is safe and makes repeated
+   runs — serial or parallel — bit-for-bit reproducible. *)
+let problem_prefix (problem : problem) =
+  "p!" ^ problem.design.Oyster.Ast.name ^ "!"
+
 (* {1 Internal bookkeeping} *)
 
+(* One [run] per worker: [stats] is that worker's private tally (the
+   scheduler sums the tallies afterwards), while [consumed] is shared by
+   every worker of a synthesis call so the conflict budget bounds the whole
+   call, not each loop separately. *)
 type run = {
   opts : options;
   stats : stats;
+  consumed : int Atomic.t;  (* conflicts consumed across all workers *)
   started : float;
   hole_marker : string;  (* prefix identifying hole variables *)
 }
@@ -96,6 +121,24 @@ type run = {
 exception Stop of outcome
 
 let now () = Unix.gettimeofday ()
+
+let fresh_stats () =
+  { iterations = 0; queries = 0; conflicts = 0; wall_seconds = 0.0 }
+
+let merge_stats into from =
+  into.iterations <- into.iterations + from.iterations;
+  into.queries <- into.queries + from.queries;
+  into.conflicts <- into.conflicts + from.conflicts
+
+(* Rebuild an outcome around the scheduler's merged stats (worker Stop
+   payloads carry only that worker's tally). *)
+let with_stats stats = function
+  | Solved s -> Solved { s with stats }
+  | Timeout _ -> Timeout stats
+  | Unrealizable { instr; _ } -> Unrealizable { instr; stats }
+  | Union_failed { diagnostic; _ } -> Union_failed { diagnostic; stats }
+  | Not_independent { overlapping; feedback; _ } ->
+      Not_independent { overlapping; feedback; stats }
 
 let check_deadline run =
   run.stats.wall_seconds <- now () -. run.started;
@@ -105,17 +148,18 @@ let check_deadline run =
 
 let solver_query run assertions =
   check_deadline run;
-  let remaining = run.opts.conflict_budget - run.stats.conflicts in
+  let remaining = run.opts.conflict_budget - Atomic.get run.consumed in
   if remaining <= 0 then raise (Stop (Timeout run.stats));
   let deadline =
     Option.map (fun d -> run.started +. d) run.opts.deadline_seconds
   in
   let result = Solver.check ~budget:remaining ?deadline assertions in
+  let st = Solver.stats_of result in
   run.stats.queries <- run.stats.queries + 1;
-  run.stats.conflicts <-
-    run.stats.conflicts + (Solver.last_stats ()).Solver.sat_conflicts;
+  run.stats.conflicts <- run.stats.conflicts + st.Solver.sat_conflicts;
+  ignore (Atomic.fetch_and_add run.consumed st.Solver.sat_conflicts);
   match result with
-  | Solver.Unknown -> raise (Stop (Timeout run.stats))
+  | Solver.Unknown _ -> raise (Stop (Timeout run.stats))
   | r -> r
 
 let is_hole_var run name =
@@ -232,15 +276,18 @@ let ground_reads (model : Solver.model) (root : Term.t) : Term.t =
 
 type verdict = Verified | Violated of Solver.model | Inconclusive
 
-let verify ?(budget = max_int) ?deadline (problem : problem) :
+let verify ?(budget = max_int) ?deadline ?(jobs = 1) (problem : problem) :
     (string * verdict) list =
   if Oyster.Ast.holes problem.design <> [] then
     fail "Engine.verify: design still has holes (synthesize first)";
   let trace =
-    Oyster.Symbolic.eval problem.design ~cycles:problem.af.Ila.Absfun.cycles
+    Oyster.Symbolic.eval ~prefix:(problem_prefix problem) problem.design
+      ~cycles:problem.af.Ila.Absfun.cycles
   in
   let conds = Ila.Conditions.compile problem.spec problem.af trace in
-  List.map
+  (* each instruction's refinement check is an independent solver query, so
+     they fan out over the worker pool; results keep instruction order *)
+  Pool.map ~jobs
     (fun (c : Ila.Conditions.conditions) ->
       let violation =
         Term.band c.Ila.Conditions.pre
@@ -255,16 +302,16 @@ let verify ?(budget = max_int) ?deadline (problem : problem) :
       let refined = Refine.apply pins violation in
       let verdict =
         match Solver.check ~budget ?deadline [ refined ] with
-        | Solver.Unsat -> Verified
-        | Solver.Unknown -> Inconclusive
-        | Solver.Sat m -> (
+        | Solver.Unsat _ -> Verified
+        | Solver.Unknown _ -> Inconclusive
+        | Solver.Sat (m, _) -> (
             (* The refined model lacks the pinned bits (they folded away);
                re-check the original formula to report a faithful
                counterexample.  Violations are found quickly in practice,
                so the extra query is cheap. *)
             match Solver.check ~budget ?deadline [ violation ] with
-            | Solver.Sat m' -> Violated m'
-            | Solver.Unsat | Solver.Unknown -> Violated m)
+            | Solver.Sat (m', _) -> Violated m'
+            | Solver.Unsat _ | Solver.Unknown _ -> Violated m)
       in
       (c.Ila.Conditions.instr_name, verdict))
     conds
@@ -272,15 +319,18 @@ let verify ?(budget = max_int) ?deadline (problem : problem) :
 (* {1 The synthesis core} *)
 
 let synthesize ?(options = default_options) (problem : problem) : outcome =
-  let stats = { iterations = 0; queries = 0; conflicts = 0; wall_seconds = 0.0 } in
+  if options.jobs < 1 then fail "Engine.synthesize: options.jobs < 1";
+  let stats = fresh_stats () in
   let started = now () in
   let trace =
-    Oyster.Symbolic.eval problem.design ~cycles:problem.af.Ila.Absfun.cycles
+    Oyster.Symbolic.eval ~prefix:(problem_prefix problem) problem.design
+      ~cycles:problem.af.Ila.Absfun.cycles
   in
   let run =
     {
       opts = options;
       stats;
+      consumed = Atomic.make 0;
       started;
       hole_marker = trace.Oyster.Symbolic.prefix ^ "hole!";
     }
@@ -362,31 +412,33 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
           (fun (n, w) -> Hashtbl.replace candidate n (Bitvec.zero w))
           (hole_vars_of_instr iname))
       instr_names;
-    (* synth-phase constraint pool *)
+    (* synth-phase constraint pool (joint modes) *)
     let constraints : Term.t list ref = ref [] in
-    (* Update hole values from a synthesis model.  Variables the model does
-       not constrain (simplified away, or belonging to another instruction's
-       already-solved loop) keep their current value. *)
-    let refresh_candidate model =
+    (* Update hole values in [tbl] from a synthesis model.  Variables the
+       model does not constrain (simplified away, or belonging to another
+       instruction's already-solved loop) keep their current value. *)
+    let refresh_table tbl model =
       Hashtbl.iter
         (fun n _old ->
           match model.Solver.var_value n with
-          | Some v -> Hashtbl.replace candidate n v
+          | Some v -> Hashtbl.replace tbl n v
           | None -> ())
-        (Hashtbl.copy candidate)
+        (Hashtbl.copy tbl)
     in
+    let refresh_candidate model = refresh_table candidate model in
     let synth_step ~blame () =
       match solver_query run !constraints with
-      | Solver.Sat m -> refresh_candidate m
-      | Solver.Unsat -> raise (Stop (Unrealizable { instr = blame; stats = run.stats }))
-      | Solver.Unknown -> assert false
+      | Solver.Sat (m, _) -> refresh_candidate m
+      | Solver.Unsat _ ->
+          raise (Stop (Unrealizable { instr = blame; stats = run.stats }))
+      | Solver.Unknown _ -> assert false
     in
     let verify violation =
       let v = Term.substitute (candidate_env run candidate) violation in
       match solver_query run [ v ] with
-      | Solver.Sat m -> Some m
-      | Solver.Unsat -> None
-      | Solver.Unknown -> assert false
+      | Solver.Sat (m, _) -> Some m
+      | Solver.Unsat _ -> None
+      | Solver.Unknown _ -> assert false
     in
     let add_cex_for model correct_formulas =
       let env = cex_env run model in
@@ -397,35 +449,80 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
         correct_formulas
     in
     let independent = options.mode = Per_instruction && shared_holes = [] in
-    (if independent then
-       (* The paper's per-instruction strategy: separate small CEGIS loops. *)
-       List.iter
-         (fun ((c : Ila.Conditions.conditions), correct, violation) ->
+    (if independent then begin
+       (* The paper's per-instruction strategy: separate small CEGIS loops,
+          independent by construction (paper 3.3.1), fanned out across the
+          worker pool.  Each task owns its stats and its slice of the
+          candidate (the per-instruction renamed hole copies are disjoint),
+          so workers share nothing but the term table, the solver (both
+          re-entrant) and the conflict-budget counter.  The merge is
+          deterministic: results land in instruction order, and on failure
+          the lowest-indexed failing instruction is reported — the same one
+          the serial schedule blames. *)
+       let failed = Atomic.make false in
+       let task ((c : Ila.Conditions.conditions), correct, violation) =
+         let trun = { run with stats = fresh_stats () } in
+         (* serial fallback keeps the historical early exit; parallel
+            workers run to completion so blame stays deterministic *)
+         if trun.opts.jobs = 1 && Atomic.get failed then (`Skipped, trun.stats)
+         else begin
+           let local : (string, Bitvec.t) Hashtbl.t = Hashtbl.create 16 in
+           List.iter
+             (fun (n, w) -> Hashtbl.replace local n (Bitvec.zero w))
+             (hole_vars_of_instr c.Ila.Conditions.instr_name);
            let local_constraints = ref [] in
-           let rec loop iter =
-             if iter > options.max_iterations then
-               raise (Stop (Timeout run.stats));
-             run.stats.iterations <- run.stats.iterations + 1;
-             match verify violation with
-             | None -> ()
-             | Some model ->
-                 let env = cex_env run model in
-                 let g = ground_reads model (Term.substitute env correct) in
-                 local_constraints := g :: !local_constraints;
-                 (match solver_query run !local_constraints with
-                 | Solver.Sat m -> refresh_candidate m
-                 | Solver.Unsat ->
-                     raise
-                       (Stop
-                          (Unrealizable
-                             { instr = Some c.Ila.Conditions.instr_name; stats = run.stats }))
-                 | Solver.Unknown -> assert false);
-                 loop (iter + 1)
-           in
-           loop 1)
-         formulas
+           try
+             let rec loop iter =
+               if iter > options.max_iterations then
+                 raise (Stop (Timeout trun.stats));
+               trun.stats.iterations <- trun.stats.iterations + 1;
+               let v = Term.substitute (candidate_env trun local) violation in
+               match solver_query trun [ v ] with
+               | Solver.Unsat _ -> ()
+               | Solver.Unknown _ -> assert false
+               | Solver.Sat (model, _) ->
+                   let env = cex_env trun model in
+                   let g = ground_reads model (Term.substitute env correct) in
+                   local_constraints := g :: !local_constraints;
+                   (match solver_query trun !local_constraints with
+                   | Solver.Sat (m, _) -> refresh_table local m
+                   | Solver.Unsat _ ->
+                       raise
+                         (Stop
+                            (Unrealizable
+                               {
+                                 instr = Some c.Ila.Conditions.instr_name;
+                                 stats = trun.stats;
+                               }))
+                   | Solver.Unknown _ -> assert false);
+                   loop (iter + 1)
+             in
+             loop 1;
+             (`Solved local, trun.stats)
+           with Stop o ->
+             Atomic.set failed true;
+             (`Stopped o, trun.stats)
+         end
+       in
+       let results = Pool.map ~jobs:options.jobs task formulas in
+       (* deterministic merge, in instruction order *)
+       List.iter (fun (_, ts) -> merge_stats run.stats ts) results;
+       (match
+          List.find_map
+            (function `Stopped o, _ -> Some o | _ -> None)
+            results
+        with
+       | Some o -> raise (Stop o)
+       | None -> ());
+       List.iter
+         (function
+           | `Solved local, _ -> Hashtbl.iter (Hashtbl.replace candidate) local
+           | (`Skipped | `Stopped _), _ -> ())
+         results
+     end
      else
-       (* joint synthesis; verification granularity depends on the mode *)
+       (* joint synthesis; verification granularity depends on the mode.
+          Shared holes couple the loops, so this path stays serial. *)
        let corrects = List.map (fun (_, f, _) -> f) formulas in
        let rec loop iter =
          if iter > options.max_iterations then raise (Stop (Timeout run.stats));
@@ -502,4 +599,6 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
   with
   | Stop outcome ->
       stats.wall_seconds <- now () -. started;
-      outcome
+      (* worker Stop payloads carry only that worker's tally; report the
+         merged one *)
+      with_stats stats outcome

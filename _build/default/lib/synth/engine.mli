@@ -15,6 +15,10 @@ type mode = Per_instruction | Monolithic
 
 type options = {
   mode : mode;
+  jobs : int;
+      (** worker domains for the independent per-instruction loops; [1]
+          (the default) is the serial path.  Shared holes force joint
+          synthesis, which ignores [jobs] and stays serial. *)
   conflict_budget : int;  (** total SAT conflicts before declaring timeout *)
   max_iterations : int;  (** CEGIS rounds per loop *)
   deadline_seconds : float option;  (** wall-clock timeout *)
@@ -25,7 +29,22 @@ type options = {
 }
 
 val default_options : options
-(** [Per_instruction], unlimited conflicts, 256 rounds, no deadline. *)
+(** [Per_instruction], one job, unlimited conflicts, 256 rounds, no
+    deadline. *)
+
+val make_options :
+  ?mode:mode ->
+  ?jobs:int ->
+  ?conflict_budget:int ->
+  ?max_iterations:int ->
+  ?deadline_seconds:float ->
+  ?check_independence:bool ->
+  unit ->
+  options
+(** Labelled construction of {!options}, defaulting every field like
+    {!default_options}.  Prefer this over record literals so adding option
+    fields stops breaking call sites.  Raises [Invalid_argument] if
+    [jobs < 1] or [max_iterations < 1]. *)
 
 type stats = {
   mutable iterations : int;
@@ -68,12 +87,29 @@ type problem = {
   af : Ila.Absfun.t;
 }
 
+val problem_prefix : problem -> string
+(** The deterministic symbolic-evaluation namespace the engine passes to
+    {!Oyster.Symbolic.eval} for this problem (derived from the design
+    name, not from a session counter).  Reusing it — as {!Minimize} does —
+    keeps hole-variable names consistent with the synthesis trace and
+    keeps repeated runs bit-for-bit reproducible. *)
+
 val ground_reads : Solver.model -> Term.t -> Term.t
 (** Replaces residual (hole-address-dependent) memory reads of a
     counterexample-substituted formula by the counterexample's memory
     function; exposed for the {!Minimize} pass and tests. *)
 
 val synthesize : ?options:options -> problem -> outcome
+(** Runs CEGIS according to [options].  With [options.jobs > 1] and no
+    [Shared] holes, the independent per-instruction loops are fanned out
+    over a {!Pool} of worker domains; results are merged deterministically
+    (same [bindings]/[per_instr] as the serial schedule, stats summed
+    across workers, the lowest-indexed failing instruction blamed on
+    failure).  When [Shared] holes force joint synthesis, or [jobs = 1],
+    the serial path runs unchanged.  The [conflict_budget] is global to
+    the call; under parallel schedules the exact query at which an
+    exhausted budget is noticed may vary, but unlimited-budget runs are
+    bit-for-bit deterministic. *)
 
 (** {1 Verification of completed designs}
 
@@ -92,5 +128,11 @@ val synthesize : ?options:options -> problem -> outcome
 type verdict = Verified | Violated of Solver.model | Inconclusive
 
 val verify :
-  ?budget:int -> ?deadline:float -> problem -> (string * verdict) list
-(** Raises {!Engine_error} if the design still has holes. *)
+  ?budget:int ->
+  ?deadline:float ->
+  ?jobs:int ->
+  problem ->
+  (string * verdict) list
+(** Raises {!Engine_error} if the design still has holes.  [jobs]
+    (default 1) fans the per-instruction refinement checks out across
+    worker domains; the verdict list keeps instruction order either way. *)

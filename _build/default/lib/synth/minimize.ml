@@ -50,8 +50,8 @@ let run ?(budget = max_int) (problem : Engine.problem) (solved : Engine.solved) 
   let t0 = Unix.gettimeofday () in
   let stats = { checks = 0; merged = 0; wall_seconds = 0.0 } in
   let trace =
-    Oyster.Symbolic.eval problem.Engine.design
-      ~cycles:problem.Engine.af.Ila.Absfun.cycles
+    Oyster.Symbolic.eval ~prefix:(Engine.problem_prefix problem)
+      problem.Engine.design ~cycles:problem.Engine.af.Ila.Absfun.cycles
   in
   let conds = Ila.Conditions.compile problem.Engine.spec problem.Engine.af trace in
   let hole_term name =
@@ -104,9 +104,9 @@ let run ?(budget = max_int) (problem : Engine.problem) (solved : Engine.solved) 
     in
     stats.checks <- stats.checks + 1;
     match Solver.check ~budget [ Term.substitute env violation ] with
-    | Solver.Unsat -> true
+    | Solver.Unsat _ -> true
     | Solver.Sat _ -> false
-    | Solver.Unknown -> false
+    | Solver.Unknown _ -> false
   in
   let hole_names =
     match solved.Engine.per_instr with

@@ -1,0 +1,50 @@
+(* A fixed-size Domain worker pool for independent synthesis jobs.
+
+   Tasks are pulled from a shared atomic cursor, so the pool balances load
+   without any per-task channel machinery.  The calling domain is itself a
+   worker (spawning [jobs - 1] extra domains), which makes [jobs = 1] a
+   true serial fallback: no domain is spawned and tasks run inline, in
+   order, on the caller's stack.
+
+   Results are stored by task index and returned in input order, so callers
+   see a deterministic shape regardless of completion order.  A task that
+   raises does not tear the pool down mid-run: every task still executes,
+   and the exception of the lowest-indexed failing task is re-raised after
+   all workers have joined (deterministic blame). *)
+
+type 'b cell = Pending | Done of 'b | Raised of exn
+
+let map ~jobs f items =
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else begin
+    let results = Array.make n Pending in
+    let cursor = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add cursor 1 in
+        if i < n then begin
+          results.(i) <- (try Done (f arr.(i)) with e -> Raised e);
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned =
+      List.init
+        (min jobs n - 1)
+        (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (* first failure by index wins; otherwise collect in order *)
+    Array.iter (function Raised e -> raise e | _ -> ()) results;
+    Array.to_list
+      (Array.map
+         (function Done v -> v | Pending | Raised _ -> assert false)
+         results)
+  end
+
+let default_jobs () = Domain.recommended_domain_count ()

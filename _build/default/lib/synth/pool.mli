@@ -1,0 +1,20 @@
+(** A fixed-size Domain worker pool for independent synthesis jobs.
+
+    The synthesis engine uses this to fan independent per-instruction CEGIS
+    loops and verification queries out across cores (paper §3.3.1: the
+    queries are independent, so nothing orders them).  The pool is
+    deliberately minimal: a shared atomic task cursor, [jobs - 1] spawned
+    domains plus the calling domain, results returned in input order. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f items] applies [f] to every item, running up to [jobs]
+    applications concurrently, and returns the results in input order.
+
+    With [jobs = 1] no domain is spawned and the applications run inline,
+    in order — a true serial fallback.  If one or more applications raise,
+    every task still runs to completion and the exception of the
+    lowest-indexed failing task is re-raised after all workers have joined,
+    so blame is deterministic.  Raises [Invalid_argument] if [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — a sensible [-j] default. *)

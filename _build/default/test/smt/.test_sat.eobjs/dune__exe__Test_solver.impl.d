@@ -1,1 +1,1 @@
-test/smt/test_solver.ml: Alcotest Array Bitvec Gen_terms Hashtbl List QCheck QCheck_alcotest Solver Term
+test/smt/test_solver.ml: Alcotest Array Bitvec Domain Gen_terms Hashtbl List QCheck QCheck_alcotest Solver Term

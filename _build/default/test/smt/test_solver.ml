@@ -59,9 +59,9 @@ let prop_solver_agrees =
     arb_small_bool (fun g ->
       QCheck.assume (uses_only_small g);
       match Solver.check [ g.Gen_terms.term ] with
-      | Solver.Unknown -> false
-      | Solver.Unsat -> not (brute_sat g)
-      | Solver.Sat m ->
+      | Solver.Unknown _ -> false
+      | Solver.Unsat _ -> not (brute_sat g)
+      | Solver.Sat (m, _) ->
           (* model must satisfy the reference semantics *)
           let env name =
             let w = List.assoc name Gen_terms.all_vars in
@@ -76,14 +76,14 @@ let prop_conjunction =
       let r1 = Solver.check [ g1.Gen_terms.term; g2.Gen_terms.term ] in
       let r2 = Solver.check [ Term.band g1.Gen_terms.term g2.Gen_terms.term ] in
       match (r1, r2) with
-      | Solver.Sat _, Solver.Sat _ | Solver.Unsat, Solver.Unsat -> true
+      | Solver.Sat _, Solver.Sat _ | Solver.Unsat _, Solver.Unsat _ -> true
       | _ -> false)
 
 (* {1 Validity helpers} *)
 
 let is_valid ?budget t =
   match Solver.check ?budget [ Term.bnot t ] with
-  | Solver.Unsat -> true
+  | Solver.Unsat _ -> true
   | _ -> false
 
 let test_arith_identities () =
@@ -127,11 +127,11 @@ let test_reads () =
   (match
      Solver.check [ Term.eq a1 a2; Term.bnot (Term.eq r1 r2) ]
    with
-  | Solver.Unsat -> ()
+  | Solver.Unsat _ -> ()
   | _ -> Alcotest.fail "congruence violated");
   (* distinct addresses leave values free *)
   (match Solver.check [ Term.bnot (Term.eq r1 r2) ] with
-  | Solver.Sat model ->
+  | Solver.Sat (model, _) ->
       (* the model must report consistent read values *)
       let v1 = Solver.read_lookup model m (Term.eval
         { Term.lookup_var = (fun n w -> match model.Solver.var_value n with
@@ -143,7 +143,7 @@ let test_reads () =
   let rc1 = Term.read m (Term.of_int ~width:4 3) in
   let rc2 = Term.read m (Term.of_int ~width:4 3) in
   (match Solver.check [ Term.bnot (Term.eq rc1 rc2) ] with
-  | Solver.Unsat -> ()
+  | Solver.Unsat _ -> ()
   | _ -> Alcotest.fail "same constant address must alias")
 
 let test_tables () =
@@ -155,14 +155,14 @@ let test_tables () =
   let t = Term.table_read tb i in
   (* find the index mapping to 21 *)
   (match Solver.check [ Term.eq t (Term.of_int ~width:8 21) ] with
-  | Solver.Sat m -> (
+  | Solver.Sat (m, _) -> (
       match m.Solver.var_value "sv_idx" with
       | Some v -> Alcotest.(check int) "index" 3 (Bitvec.to_int_exn v)
       | None -> Alcotest.fail "index unconstrained")
   | _ -> Alcotest.fail "expected sat");
   (* no index maps to 5 *)
   (match Solver.check [ Term.eq t (Term.of_int ~width:8 5) ] with
-  | Solver.Unsat -> ()
+  | Solver.Unsat _ -> ()
   | _ -> Alcotest.fail "expected unsat")
 
 let test_budget () =
@@ -175,17 +175,64 @@ let test_budget () =
       Term.ult (Term.one 16) b ]
   in
   match Solver.check ~budget:5 q with
-  | Solver.Unknown -> ()
+  | Solver.Unknown _ -> ()
   | Solver.Sat _ -> () (* a lucky small search is acceptable *)
-  | Solver.Unsat -> Alcotest.fail "5-conflict budget cannot prove unsat here"
+  | Solver.Unsat _ -> Alcotest.fail "5-conflict budget cannot prove unsat here"
 
 let test_stats () =
+  (* stats travel inside the outcome: no process-global state to race on *)
   let a = Term.var "sv_a" 8 in
-  (match Solver.check [ Term.eq a (Term.of_int ~width:8 7) ] with
-  | Solver.Sat _ -> ()
-  | _ -> Alcotest.fail "sat expected");
-  let s = Solver.last_stats () in
-  Alcotest.(check bool) "vars allocated" true (s.Solver.sat_vars > 0)
+  match Solver.check [ Term.eq a (Term.of_int ~width:8 7) ] with
+  | Solver.Sat (_, s) ->
+      Alcotest.(check bool) "vars allocated" true (s.Solver.sat_vars > 0)
+  | _ -> Alcotest.fail "sat expected"
+
+let test_read_lookup_duplicates () =
+  (* regression: a model may contain several read instances of the same
+     memory whose addresses evaluate to the same concrete value.
+     [read_lookup] returns the first match in instance order; congruence
+     forces all aliasing instances to agree, so the choice is canonical *)
+  let m = { Term.mem_name = "sv_dup"; addr_width = 4; data_width = 8 } in
+  let a = Term.var "sv_dup_a" 4 in
+  let r1 = Term.read m a in
+  let r2 = Term.read m (Term.of_int ~width:4 9) in
+  match
+    Solver.check
+      [ Term.eq a (Term.of_int ~width:4 9);
+        Term.eq r1 (Term.of_int ~width:8 0x42) ]
+  with
+  | Solver.Sat (model, _) -> (
+      (* both instances alias address 9; whichever instance read_lookup
+         picks, congruence pinned its value to 0x42 *)
+      match Solver.read_lookup model m (Bitvec.of_int ~width:4 9) with
+      | Some v ->
+          Alcotest.(check int) "canonical value" 0x42 (Bitvec.to_int_exn v);
+          ignore r2
+      | None -> Alcotest.fail "aliased address missing from model")
+  | _ -> Alcotest.fail "expected sat"
+
+let test_concurrent_checks () =
+  (* two domains build terms and run checks concurrently; each outcome must
+     carry its own correct stats — there is no process-global solver state
+     left to race on *)
+  let job name rhs () =
+    let a = Term.var name 8 in
+    Solver.check [ Term.eq (Term.mul a a) (Term.of_int ~width:8 rhs) ]
+  in
+  (* 25 = 5*5 is a square; 3 is not a square mod 256 (squares are 0 mod 4
+     or 1 mod 8) *)
+  let d1 = Domain.spawn (job "sv_conc_a" 25) in
+  let d2 = Domain.spawn (job "sv_conc_b" 3) in
+  let r1 = Domain.join d1 and r2 = Domain.join d2 in
+  (match r1 with
+  | Solver.Sat (_, s) ->
+      Alcotest.(check bool) "sat side allocated vars" true (s.Solver.sat_vars > 0)
+  | _ -> Alcotest.fail "square query: expected sat");
+  match r2 with
+  | Solver.Unsat s ->
+      Alcotest.(check bool) "unsat side counted conflicts independently" true
+        (s.Solver.sat_vars > 0)
+  | _ -> Alcotest.fail "non-square query: expected unsat"
 
 let () =
   Alcotest.run "solver"
@@ -197,4 +244,7 @@ let () =
          Alcotest.test_case "memory reads" `Quick test_reads;
          Alcotest.test_case "tables" `Quick test_tables;
          Alcotest.test_case "budget" `Quick test_budget;
-         Alcotest.test_case "stats" `Quick test_stats ]) ]
+         Alcotest.test_case "stats" `Quick test_stats;
+         Alcotest.test_case "read_lookup duplicate addresses" `Quick
+           test_read_lookup_duplicates;
+         Alcotest.test_case "concurrent checks" `Quick test_concurrent_checks ]) ]

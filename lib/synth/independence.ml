@@ -26,12 +26,12 @@ let check_mutual_exclusion ?(budget = max_int)
           [ ci.Ila.Conditions.pre; ci.Ila.Conditions.assumes;
             cj.Ila.Conditions.pre; cj.Ila.Conditions.assumes ]
       with
-      | Solver.Unsat -> ()
+      | Solver.Unsat _ -> ()
       | Solver.Sat _ ->
           overlapping :=
             (ci.Ila.Conditions.instr_name, cj.Ila.Conditions.instr_name)
             :: !overlapping
-      | Solver.Unknown ->
+      | Solver.Unknown _ ->
           undecided :=
             (ci.Ila.Conditions.instr_name, cj.Ila.Conditions.instr_name)
             :: !undecided

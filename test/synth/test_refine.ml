@@ -136,9 +136,9 @@ let gen_pins : Term.t QCheck.Gen.t =
 
 let sat_answer t =
   match Solver.check ~budget:100_000 [ t ] with
-  | Solver.Unsat -> Some false
+  | Solver.Unsat _ -> Some false
   | Solver.Sat _ -> Some true
-  | Solver.Unknown -> None
+  | Solver.Unknown _ -> None
 
 let prop_equisat =
   QCheck.Test.make ~count:400 ~name:"refined query is equisatisfiable"
