@@ -12,6 +12,11 @@
      dune exec bench/main.exe -- micro     -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- ablation  -- engine ablations (DESIGN.md §5)
      dune exec bench/main.exe -- parallel  -- serial vs parallel CEGIS scheduler
+     dune exec bench/main.exe -- incremental -- solver sessions vs fresh solver
+     dune exec bench/main.exe -- smoke     -- seconds-scale CI check, no report
+
+   Regular invocations also write BENCH_<date>.json (section wall-clocks
+   plus per-run solver statistics) for commit-to-commit comparison.
 
    The monolithic ("no instruction-independence") experiments run under a
    wall-clock deadline; exceeding it reports Timeout, reproducing the
@@ -24,23 +29,108 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
+(* {1 JSON report}
+
+   Every regular bench invocation writes BENCH_<date>.json in the working
+   directory: per-section wall clock plus one record per instrumented
+   synthesis run (iterations, queries, SAT variables/clauses/conflicts),
+   so performance is diffable across commits.  The [smoke] entry point
+   skips the report (it runs inside the dune sandbox). *)
+
+module Report = struct
+  let runs : string list ref = ref []
+  let sections : string list ref = ref []
+
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | c when Char.code c < 32 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let str s = "\"" ^ escape s ^ "\""
+
+  let obj fields =
+    "{"
+    ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
+    ^ "}"
+
+  let record fields = runs := obj fields :: !runs
+
+  let stats_fields (st : Synth.Engine.stats) =
+    [ ("iterations", string_of_int st.Synth.Engine.iterations);
+      ("queries", string_of_int st.Synth.Engine.queries);
+      ("sat_conflicts", string_of_int st.Synth.Engine.conflicts);
+      ("sat_vars", string_of_int st.Synth.Engine.blasted_vars);
+      ("sat_clauses", string_of_int st.Synth.Engine.blasted_clauses);
+      ("trivial_unsats", string_of_int st.Synth.Engine.trivial_unsats) ]
+
+  let record_run ~section ~label ~outcome ~wall st =
+    record
+      ([ ("section", str section); ("label", str label);
+         ("outcome", str outcome);
+         ("wall_seconds", Printf.sprintf "%.6f" wall) ]
+      @ match st with None -> [] | Some st -> stats_fields st)
+
+  let record_section name wall =
+    sections :=
+      obj [ ("name", str name); ("wall_seconds", Printf.sprintf "%.6f" wall) ]
+      :: !sections
+
+  let write () =
+    let tm = Unix.localtime (Unix.gettimeofday ()) in
+    let date =
+      Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    in
+    let file = Printf.sprintf "BENCH_%s.json" date in
+    let arr l = "[\n    " ^ String.concat ",\n    " (List.rev l) ^ "\n  ]" in
+    let oc = open_out file in
+    output_string oc
+      ("{\n  \"date\": " ^ str date ^ ",\n  \"sections\": " ^ arr !sections
+     ^ ",\n  \"runs\": " ^ arr !runs ^ "\n}\n");
+    close_out oc;
+    Printf.printf "\nbenchmark report written to %s\n" file
+end
+
 type row_result =
   | RSolved of Synth.Engine.solved * float
   | RTimeout of float
   | RFailed of string
 
-let run_problem ?(mode = Synth.Engine.Per_instruction) ?(jobs = 1) problem =
+let run_problem ?(mode = Synth.Engine.Per_instruction) ?(jobs = 1)
+    ?(incremental = true) ?tag problem =
   let options =
-    Synth.Engine.make_options ~mode ~jobs ~deadline_seconds:!deadline ()
+    Synth.Engine.make_options ~mode ~jobs ~deadline_seconds:!deadline
+      ~incremental ()
   in
   let outcome, dt = time (fun () -> Synth.Engine.synthesize ~options problem) in
-  match outcome with
-  | Synth.Engine.Solved s -> RSolved (s, dt)
-  | Synth.Engine.Timeout _ -> RTimeout dt
-  | Synth.Engine.Unrealizable { instr; _ } ->
-      RFailed (Printf.sprintf "unrealizable %s" (Option.value instr ~default:"?"))
-  | Synth.Engine.Union_failed { diagnostic; _ } -> RFailed diagnostic
-  | Synth.Engine.Not_independent _ -> RFailed "not independent" 
+  let result =
+    match outcome with
+    | Synth.Engine.Solved s -> RSolved (s, dt)
+    | Synth.Engine.Timeout _ -> RTimeout dt
+    | Synth.Engine.Unrealizable { instr; _ } ->
+        RFailed (Printf.sprintf "unrealizable %s" (Option.value instr ~default:"?"))
+    | Synth.Engine.Union_failed { diagnostic; _ } -> RFailed diagnostic
+    | Synth.Engine.Not_independent _ -> RFailed "not independent"
+  in
+  (match tag with
+  | None -> ()
+  | Some (section, label) ->
+      let outcome_str, st =
+        match result with
+        | RSolved (s, _) -> ("solved", Some s.Synth.Engine.stats)
+        | RTimeout _ -> ("timeout", None)
+        | RFailed m -> ("failed: " ^ m, None)
+      in
+      Report.record_run ~section ~label ~outcome:outcome_str ~wall:dt st);
+  result
 
 (* {1 Table 1: control logic synthesis times} *)
 
@@ -56,7 +146,7 @@ let table1 () =
   let row design variant problem mode =
     let loc = Oyster.Printer.loc problem.Synth.Engine.design in
     Printf.printf "%-19s %-14s %10d %!" design variant loc;
-    match run_problem ~mode problem with
+    match run_problem ~mode ~tag:("table1", design ^ " " ^ variant) problem with
     | RSolved (_, dt) -> Printf.printf "%19.1f\n%!" dt
     | RTimeout _ -> Printf.printf "%19s\n%!" "Timeout"
     | RFailed msg -> Printf.printf "%19s\n%!" ("FAILED: " ^ msg)
@@ -277,6 +367,131 @@ let parallel () =
       if not same then exit 1
   | _ -> ()
 
+(* {1 Incremental solver sessions vs fresh solver per query} *)
+
+let incremental () =
+  print_endline "";
+  print_endline "Incremental solver sessions: one persistent session per CEGIS";
+  print_endline "loop (SAT state, Tseitin cache, learned clauses survive across";
+  print_endline "iterations; stale candidates retracted via activation literals)";
+  print_endline "vs the historical fresh solver per query.";
+  print_endline "";
+  Printf.printf "%-24s %-12s %8s %7s %8s %12s %10s\n" "Design" "Mode" "wall(s)"
+    "rounds" "queries" "clauses" "conflicts";
+  print_endline (String.make 88 '-');
+  let run_mode name problem ~incr ~jobs =
+    let mode_tag =
+      (if incr then "session" else "fresh") ^ Printf.sprintf " j%d" jobs
+    in
+    match run_problem ~jobs ~incremental:incr
+            ~tag:("incremental", name ^ " " ^ mode_tag) problem
+    with
+    | RSolved (s, dt) ->
+        let st = s.Synth.Engine.stats in
+        Printf.printf "%-24s %-12s %8.2f %7d %8d %12d %10d\n%!" name mode_tag dt
+          st.Synth.Engine.iterations st.Synth.Engine.queries
+          st.Synth.Engine.blasted_clauses st.Synth.Engine.conflicts;
+        Some (s, dt)
+    | RTimeout dt ->
+        Printf.printf "%-24s %-12s Timeout after %.1fs\n%!" name mode_tag dt;
+        None
+    | RFailed m ->
+        Printf.printf "%-24s %-12s failed (%s)\n%!" name mode_tag m;
+        None
+  in
+  let ok = ref true in
+  let compare name problem =
+    let inc = run_mode name problem ~incr:true ~jobs:1 in
+    let fresh = run_mode name problem ~incr:false ~jobs:1 in
+    let inc4 = run_mode name problem ~incr:true ~jobs:4 in
+    match (inc, fresh, inc4) with
+    | Some (si, wi), Some (sf, wf), Some (s4, _) ->
+        let sti = si.Synth.Engine.stats and stf = sf.Synth.Engine.stats in
+        let fewer =
+          sti.Synth.Engine.blasted_clauses < stf.Synth.Engine.blasted_clauses
+        in
+        let faster = wi < wf in
+        let same a b =
+          a.Synth.Engine.per_instr = b.Synth.Engine.per_instr
+          && a.Synth.Engine.shared = b.Synth.Engine.shared
+        in
+        Printf.printf
+          "  %s: %.1fx fewer clauses (%s), %.2fx wall (%s), bindings vs fresh %s, jobs=4 deterministic %s\n%!"
+          name
+          (float_of_int stf.Synth.Engine.blasted_clauses
+          /. float_of_int (max 1 sti.Synth.Engine.blasted_clauses))
+          (if fewer then "ok" else "REGRESSION")
+          (wf /. wi)
+          (if faster then "ok" else "slower")
+          (if same si sf then "identical" else "differ (both verified)")
+          (if same si s4 then "ok" else "BUG");
+        Report.record
+          [ ("section", Report.str "incremental");
+            ("label", Report.str (name ^ " summary"));
+            ("incremental_clauses",
+             string_of_int sti.Synth.Engine.blasted_clauses);
+            ("fresh_clauses", string_of_int stf.Synth.Engine.blasted_clauses);
+            ("incremental_wall_seconds", Printf.sprintf "%.6f" wi);
+            ("fresh_wall_seconds", Printf.sprintf "%.6f" wf);
+            ("fewer_clauses", string_of_bool fewer);
+            ("faster", string_of_bool faster);
+            ("bindings_identical_to_fresh", string_of_bool (same si sf));
+            ("jobs4_deterministic", string_of_bool (same si s4)) ];
+        if (not fewer) || not (same si s4) then ok := false
+    | _ -> ok := false
+  in
+  compare "accumulator" (Designs.Accumulator.problem ());
+  compare "rv32-single RV32I" (Designs.Riscv_single.problem Isa.Rv32.RV32I);
+  print_endline "";
+  if !ok then
+    print_endline
+      "incremental sessions: strictly fewer blasted clauses on every design; \
+       jobs=4 bindings identical to jobs=1"
+  else begin
+    print_endline "incremental sessions: REGRESSION (see rows above)";
+    exit 1
+  end
+
+(* {1 Smoke test (dune @bench-smoke alias)}
+
+   A seconds-scale end-to-end exercise of the bench harness with sessions
+   enabled — run in CI via [dune build @bench-smoke].  No JSON report: the
+   alias runs inside dune's sandbox. *)
+
+let smoke () =
+  let problem = Designs.Accumulator.problem () in
+  let solve ~incremental =
+    let options = Synth.Engine.make_options ~incremental () in
+    match Synth.Engine.synthesize ~options problem with
+    | Synth.Engine.Solved s -> s
+    | _ ->
+        prerr_endline "bench smoke: accumulator synthesis failed";
+        exit 1
+  in
+  let inc = solve ~incremental:true in
+  let fresh = solve ~incremental:false in
+  let sti = inc.Synth.Engine.stats and stf = fresh.Synth.Engine.stats in
+  Printf.printf
+    "bench smoke: accumulator solved; %d rounds, %d queries, %d clauses \
+     (sessions) vs %d clauses (fresh)\n"
+    sti.Synth.Engine.iterations sti.Synth.Engine.queries
+    sti.Synth.Engine.blasted_clauses stf.Synth.Engine.blasted_clauses;
+  if sti.Synth.Engine.blasted_clauses >= stf.Synth.Engine.blasted_clauses
+  then begin
+    prerr_endline "bench smoke: incremental mode did not blast fewer clauses";
+    exit 1
+  end;
+  if
+    inc.Synth.Engine.per_instr <> fresh.Synth.Engine.per_instr
+    || inc.Synth.Engine.shared <> fresh.Synth.Engine.shared
+  then begin
+    (* identical bindings are not guaranteed in general, but on this tiny
+       design a divergence means something structural changed — fail loud *)
+    prerr_endline "bench smoke: accumulator bindings diverged between modes";
+    exit 1
+  end;
+  print_endline "bench smoke: ok"
+
 (* {1 Micro-benchmarks (Bechamel)} *)
 
 let micro () =
@@ -349,22 +564,28 @@ let () =
         | _ -> Some a)
       args
   in
-  let all () =
-    table1 ();
-    table2 ();
-    table3 ();
-    ablation ();
-    parallel ()
+  let sections_tbl =
+    [ ("table1", table1); ("table2", table2); ("table3", table3);
+      ("ablation", ablation); ("parallel", parallel);
+      ("incremental", incremental); ("micro", micro) ]
+  in
+  let run_sections names =
+    List.iter
+      (fun name ->
+        let (), dt = time (List.assoc name sections_tbl) in
+        Report.record_section name dt)
+      names;
+    Report.write ()
   in
   match args with
-  | [] | [ "all" ] -> all ()
-  | [ "table1" ] -> table1 ()
-  | [ "table2" ] -> table2 ()
-  | [ "table3" ] -> table3 ()
-  | [ "ablation" ] -> ablation ()
-  | [ "parallel" ] -> parallel ()
-  | [ "micro" ] -> micro ()
+  | [] | [ "all" ] ->
+      run_sections
+        [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "incremental" ]
+  | [ "smoke" ] -> smoke ()
+  | [ name ] when List.mem_assoc name sections_tbl -> run_sections [ name ]
   | _ ->
       prerr_endline
-        "usage: main.exe [all|table1|table2|table3|ablation|parallel|micro] [--deadline=SECONDS]";
+        "usage: main.exe \
+         [all|table1|table2|table3|ablation|parallel|incremental|micro|smoke] \
+         [--deadline=SECONDS]";
       exit 1

@@ -123,6 +123,14 @@ let check_jobs jobs =
     exit 1
   end
 
+let no_incremental_arg =
+  let doc =
+    "Use a fresh solver for every query instead of reusing incremental \
+     solver sessions (SAT state, blasting cache, learned clauses) across \
+     CEGIS iterations.  Escape hatch for debugging and A/B timing."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
 let synth_cmd =
   let monolithic =
     Arg.(value & flag
@@ -142,7 +150,7 @@ let synth_cmd =
     Arg.(value & flag
          & info [ "pyrtl" ] ~doc:"Print the generated control logic PyRTL-style (paper Fig. 7).")
   in
-  let run name monolithic jobs deadline output pyrtl =
+  let run name monolithic jobs deadline output pyrtl no_incremental =
     check_jobs jobs;
     match lookup name with
     | Error m ->
@@ -154,7 +162,8 @@ let synth_cmd =
             ~mode:
               (if monolithic then Synth.Engine.Monolithic
                else Synth.Engine.Per_instruction)
-            ~jobs ?deadline_seconds:deadline ()
+            ~jobs ?deadline_seconds:deadline
+            ~incremental:(not no_incremental) ()
         in
         match Synth.Engine.synthesize ~options (e.problem ()) with
         | Synth.Engine.Solved s ->
@@ -198,7 +207,8 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize control logic for a case-study design")
-    Term.(const run $ design_arg $ monolithic $ jobs_arg $ deadline $ output $ pyrtl)
+    Term.(const run $ design_arg $ monolithic $ jobs_arg $ deadline $ output
+          $ pyrtl $ no_incremental_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oyster")
@@ -366,7 +376,7 @@ let verify_cmd =
     Arg.(value & opt (some float) None
          & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock bound per query.")
   in
-  let run name deadline jobs =
+  let run name deadline jobs no_incremental =
     check_jobs jobs;
     match lookup name with
     | Error m ->
@@ -381,7 +391,10 @@ let verify_cmd =
             let problem = e.problem () in
             let problem = { problem with Synth.Engine.design = f () } in
             let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline in
-            let results = Synth.Engine.verify ?deadline ~jobs problem in
+            let results =
+              Synth.Engine.verify ?deadline ~jobs
+                ~incremental:(not no_incremental) problem
+            in
             let bad = ref 0 in
             List.iter
               (fun (iname, verdict) ->
@@ -403,7 +416,7 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:
          "Formally verify the hand-written reference control against the ILA specification")
-    Term.(const run $ design_arg $ deadline $ jobs_arg)
+    Term.(const run $ design_arg $ deadline $ jobs_arg $ no_incremental_arg)
 
 let verilog_cmd =
   let run file =

@@ -1,1 +1,1 @@
-lib/smt/solver.ml: Array Bitvec Blast Hashtbl List Printf Sat String Term
+lib/smt/solver.ml: Array Bitvec Blast Hashtbl Lazy List Option Printf Sat Term

@@ -1,1 +1,1 @@
-lib/smt/solver.mli: Bitvec Term
+lib/smt/solver.mli: Bitvec Hashtbl Lazy Term

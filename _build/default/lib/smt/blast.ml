@@ -7,6 +7,7 @@ type t = {
   gate_cache : (int * int * int * int, int) Hashtbl.t;
   var_bits_tbl : (string, int array) Hashtbl.t;
   mutable translate : Term.t -> int array;
+  mutable cached_terms_fn : unit -> int;  (* size of the term -> bits cache *)
 }
 
 let lit_true c = c.tlit
@@ -96,6 +97,7 @@ let create sat =
       gate_cache = Hashtbl.create 4096;
       var_bits_tbl = Hashtbl.create 64;
       translate = (fun _ -> assert false);
+      cached_terms_fn = (fun () -> 0);
     }
   in
   let module G = struct
@@ -126,11 +128,21 @@ let create sat =
              m.Term.mem_name))
   in
   c.translate <- W.term_bits tctx;
+  c.cached_terms_fn <- (fun () -> W.cached_terms tctx);
   c
 
 let blast c t = c.translate t
+
+let cached_terms c = c.cached_terms_fn ()
 
 let assert_term c t =
   if Term.width t <> 1 then invalid_arg "Blast.assert_term: width <> 1";
   let bits = blast c t in
   Sat.add_clause c.sat [ bits.(0) ]
+
+let fresh_lit c = Sat.new_var c.sat
+
+let assert_term_guarded c ~guard t =
+  if Term.width t <> 1 then invalid_arg "Blast.assert_term_guarded: width <> 1";
+  let bits = blast c t in
+  Sat.add_clause c.sat [ -guard; bits.(0) ]

@@ -91,6 +91,7 @@ let create () =
 
 let num_vars s = s.nvars
 let num_clauses s = s.n_clauses - List.length s.free_list
+let num_learnt s = s.learnt_count
 let conflicts s = s.total_conflicts
 
 (* {1 Variable allocation} *)

@@ -25,6 +25,12 @@ val new_var : t -> int
 val num_vars : t -> int
 val num_clauses : t -> int
 
+val num_learnt : t -> int
+(** Learned clauses currently in the database.  [num_clauses - num_learnt]
+    is the number of problem clauses, which only ever grows; incremental
+    sessions difference it across [solve] calls to report how many clauses
+    each check actually blasted. *)
+
 val conflicts : t -> int
 (** Total conflicts encountered across all [solve] calls. *)
 

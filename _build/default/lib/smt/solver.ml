@@ -1,13 +1,30 @@
-(* SMT façade: Ackermannization + bit-blasting + CDCL. *)
+(* SMT façade: Ackermannization + bit-blasting + CDCL.
+
+   Two entry points share one engine:
+
+   - [check]: the historical one-shot API.  A fresh session per call, so
+     every call is independent and re-entrant.
+   - [Session]: a persistent solving context.  The SAT instance, the
+     blasting context (with its term -> literals cache) and the Ackermann
+     instance table survive across checks, so a family of queries that
+     differ by a few added constraints — the CEGIS inner loop — re-encodes
+     only what is new and keeps learned clauses and variable activity. *)
 
 type model = {
   var_value : string -> Bitvec.t option;
   read_values : (string * Bitvec.t * Bitvec.t) list;
+  read_index : (string * string, Bitvec.t) Hashtbl.t Lazy.t;
 }
 
-type stats = { sat_vars : int; sat_clauses : int; sat_conflicts : int }
+type stats = {
+  sat_vars : int;
+  sat_clauses : int;
+  sat_conflicts : int;
+  trivially_unsat : bool;
+}
 
-let empty_stats = { sat_vars = 0; sat_clauses = 0; sat_conflicts = 0 }
+let empty_stats =
+  { sat_vars = 0; sat_clauses = 0; sat_conflicts = 0; trivially_unsat = false }
 
 type outcome = Sat of model * stats | Unsat of stats | Unknown of stats
 
@@ -17,180 +34,369 @@ let stats_of = function Sat (_, s) | Unsat s | Unknown s -> s
 
    Replace every [Read (m, addr)] node by a fresh variable, bottom-up, and
    record the (mem, rewritten-address, variable) instances.  For every pair
-   of instances on the same memory, add the congruence constraint
-   [addr1 = addr2 -> v1 = v2].
+   of instances on the same memory, a congruence constraint
+   [addr1 = addr2 -> v1 = v2] is required.
 
-   Ackermann variables are named per call ("ack!<mem>!<k>" with [k]
-   counting from 1 in traversal order), never per process: each [check]
-   owns its SAT context, so reusing a name across independent calls is
-   harmless, and per-call numbering keeps the generated CNF — hence the
-   whole query — deterministic no matter how many checks other domains ran
-   before this one.  Widths cannot clash because the name embeds the
-   memory, whose data width is fixed. *)
+   The state is monotone so a session can extend it: the memo and instance
+   tables persist, and rewriting a new assertion returns only the
+   congruence constraints its {e new} instances introduce (each new
+   instance against every instance recorded before it, in recording
+   order).  A one-shot [check] uses a fresh state, which reproduces the
+   historical per-call behavior.
 
-let ackermannize (assertions : Term.t list) =
-  let memo : (int, Term.t) Hashtbl.t = Hashtbl.create 256 in
-  (* key: (mem_name, rewritten address id) -> replacement var *)
-  let instance_tbl : (string * int, Term.t) Hashtbl.t = Hashtbl.create 64 in
-  let instances : (Term.mem * Term.t * Term.t) list ref = ref [] in
-  let ack_counter = ref 0 in
+   Ackermann variables are named per state ("ack!<mem>!<k>" with [k]
+   counting from 1 in traversal order), never per process: each state is
+   owned by exactly one SAT context, so reusing a name across independent
+   sessions is harmless, and per-state numbering keeps the generated CNF —
+   hence the whole query — deterministic no matter how many checks other
+   domains ran before this one.  Widths cannot clash because the name
+   embeds the memory, whose data width is fixed. *)
+
+type ack = {
+  ack_memo : (int, Term.t) Hashtbl.t;  (* original term id -> rewritten *)
+  (* (mem name, rewritten address id) -> replacement variable *)
+  ack_instance_tbl : (string * int, Term.t) Hashtbl.t;
+  (* per memory, the (address, variable) instances, newest first *)
+  ack_by_mem : (string, (Term.t * Term.t) list) Hashtbl.t;
+  mutable ack_counter : int;
+  (* all instances in traversal order, newest first *)
+  mutable ack_instances_rev : (Term.mem * Term.t * Term.t) list;
+}
+
+let ack_create () =
+  {
+    ack_memo = Hashtbl.create 256;
+    ack_instance_tbl = Hashtbl.create 64;
+    ack_by_mem = Hashtbl.create 8;
+    ack_counter = 0;
+    ack_instances_rev = [];
+  }
+
+(* Rewrites [t], extending the instance table; appends the congruence
+   constraints owed by newly discovered instances to [congs] (in reverse
+   discovery order — callers reverse once at the end). *)
+let ack_rewrite (a : ack) (congs : Term.t list ref) (t : Term.t) : Term.t =
   let rec go (t : Term.t) : Term.t =
-    match Hashtbl.find_opt memo (Term.id t) with
+    match Hashtbl.find_opt a.ack_memo (Term.id t) with
     | Some r -> r
     | None ->
         let r =
           match t.Term.node with
           | Term.Const _ | Term.Var _ -> t
           | Term.Not x -> Term.bnot (go x)
-          | Term.Binop (op, a, b) -> (
-              let a = go a and b = go b in
+          | Term.Binop (op, x, y) -> (
+              let x = go x and y = go y in
               match op with
-              | Term.And -> Term.band a b
-              | Term.Or -> Term.bor a b
-              | Term.Xor -> Term.bxor a b
-              | Term.Add -> Term.add a b
-              | Term.Sub -> Term.sub a b
-              | Term.Mul -> Term.mul a b
-              | Term.Udiv -> Term.udiv a b
-              | Term.Urem -> Term.urem a b
-              | Term.Sdiv -> Term.sdiv a b
-              | Term.Srem -> Term.srem a b
-              | Term.Clmul -> Term.clmul a b
-              | Term.Clmulh -> Term.clmulh a b
-              | Term.Shl -> Term.shl a b
-              | Term.Lshr -> Term.lshr a b
-              | Term.Ashr -> Term.ashr a b)
-          | Term.Cmp (op, a, b) -> (
-              let a = go a and b = go b in
+              | Term.And -> Term.band x y
+              | Term.Or -> Term.bor x y
+              | Term.Xor -> Term.bxor x y
+              | Term.Add -> Term.add x y
+              | Term.Sub -> Term.sub x y
+              | Term.Mul -> Term.mul x y
+              | Term.Udiv -> Term.udiv x y
+              | Term.Urem -> Term.urem x y
+              | Term.Sdiv -> Term.sdiv x y
+              | Term.Srem -> Term.srem x y
+              | Term.Clmul -> Term.clmul x y
+              | Term.Clmulh -> Term.clmulh x y
+              | Term.Shl -> Term.shl x y
+              | Term.Lshr -> Term.lshr x y
+              | Term.Ashr -> Term.ashr x y)
+          | Term.Cmp (op, x, y) -> (
+              let x = go x and y = go y in
               match op with
-              | Term.Eq -> Term.eq a b
-              | Term.Ult -> Term.ult a b
-              | Term.Ule -> Term.ule a b
-              | Term.Slt -> Term.slt a b
-              | Term.Sle -> Term.sle a b)
-          | Term.Ite (c, a, b) -> Term.ite (go c) (go a) (go b)
+              | Term.Eq -> Term.eq x y
+              | Term.Ult -> Term.ult x y
+              | Term.Ule -> Term.ule x y
+              | Term.Slt -> Term.slt x y
+              | Term.Sle -> Term.sle x y)
+          | Term.Ite (c, x, y) -> Term.ite (go c) (go x) (go y)
           | Term.Extract (h, l, x) -> Term.extract ~high:h ~low:l (go x)
-          | Term.Concat (a, b) -> Term.concat (go a) (go b)
+          | Term.Concat (x, y) -> Term.concat (go x) (go y)
           | Term.Table (tb, i) -> Term.table_read tb (go i)
           | Term.Read (m, addr) -> (
               let addr = go addr in
               let key = (m.Term.mem_name, Term.id addr) in
-              match Hashtbl.find_opt instance_tbl key with
+              match Hashtbl.find_opt a.ack_instance_tbl key with
               | Some v -> v
               | None ->
-                  incr ack_counter;
+                  a.ack_counter <- a.ack_counter + 1;
                   let v =
                     Term.var
-                      (Printf.sprintf "ack!%s!%d" m.Term.mem_name !ack_counter)
+                      (Printf.sprintf "ack!%s!%d" m.Term.mem_name a.ack_counter)
                       m.Term.data_width
                   in
-                  Hashtbl.add instance_tbl key v;
-                  instances := (m, addr, v) :: !instances;
+                  Hashtbl.add a.ack_instance_tbl key v;
+                  let earlier =
+                    Option.value ~default:[]
+                      (Hashtbl.find_opt a.ack_by_mem m.Term.mem_name)
+                  in
+                  (* congruence with every earlier instance of this memory;
+                     [earlier] is newest-first, which is deterministic *)
+                  List.iter
+                    (fun (a2, v2) ->
+                      congs :=
+                        Term.implies (Term.eq addr a2) (Term.eq v v2) :: !congs)
+                    earlier;
+                  Hashtbl.replace a.ack_by_mem m.Term.mem_name
+                    ((addr, v) :: earlier);
+                  a.ack_instances_rev <- (m, addr, v) :: a.ack_instances_rev;
                   v)
         in
-        Hashtbl.add memo (Term.id t) r;
+        Hashtbl.add a.ack_memo (Term.id t) r;
         r
   in
-  let rewritten = List.map go assertions in
-  (* congruence constraints per memory *)
-  let by_mem = Hashtbl.create 8 in
-  List.iter
-    (fun (m, addr, v) ->
-      let key = m.Term.mem_name in
-      let l = try Hashtbl.find by_mem key with Not_found -> [] in
-      Hashtbl.replace by_mem key ((addr, v) :: l))
-    !instances;
-  let congruences = ref [] in
-  Hashtbl.iter
-    (fun _ l ->
-      let arr = Array.of_list l in
-      for i = 0 to Array.length arr - 1 do
-        for j = i + 1 to Array.length arr - 1 do
-          let a1, v1 = arr.(i) and a2, v2 = arr.(j) in
-          congruences :=
-            Term.implies (Term.eq a1 a2) (Term.eq v1 v2) :: !congruences
-        done
-      done)
-    by_mem;
-  (rewritten @ !congruences, List.rev !instances)
+  go t
 
-(* {1 Checking}
+(* One-shot expansion (kept for tests and external callers): rewrites the
+   assertions against a fresh state and returns the congruence constraints
+   alongside, plus the instances in traversal order. *)
+let ackermannize (assertions : Term.t list) =
+  let a = ack_create () in
+  let congs = ref [] in
+  let rewritten = List.map (ack_rewrite a congs) assertions in
+  (rewritten @ List.rev !congs, List.rev a.ack_instances_rev)
 
-   [check] is re-entrant: the SAT solver, the blasting context, and the
-   returned statistics are all per call, so any number of checks may run
-   concurrently from different domains. *)
+(* {1 Sessions} *)
+
+module Session = struct
+  type t = {
+    sat : Sat.t;
+    blast : Blast.t;
+    ack : ack;
+    mutable trivially_false : bool;
+        (* a permanently asserted term simplified to constant false: the
+           session is dead without ever consulting the SAT solver *)
+    (* watermarks for per-check statistics deltas *)
+    mutable last_vars : int;
+    mutable last_clauses : int;
+    mutable last_conflicts : int;
+  }
+
+  type guard = int
+
+  let create () =
+    let sat = Sat.create () in
+    let blast = Blast.create sat in
+    {
+      sat;
+      blast;
+      ack = ack_create ();
+      trivially_false = false;
+      last_vars = 0;
+      last_clauses = 0;
+      last_conflicts = 0;
+    }
+
+  let problem_clauses s = Sat.num_clauses s.sat - Sat.num_learnt s.sat
+
+  let assert_always s t =
+    if Term.width t <> 1 then
+      invalid_arg "Solver.Session.assert_always: assertion width <> 1";
+    if Term.is_false t then s.trivially_false <- true
+    else begin
+      let congs = ref [] in
+      let t' = ack_rewrite s.ack congs t in
+      List.iter (Blast.assert_term s.blast) (List.rev !congs);
+      if Term.is_false t' then s.trivially_false <- true
+      else Blast.assert_term s.blast t'
+    end
+
+  let assert_retractable s t =
+    if Term.width t <> 1 then
+      invalid_arg "Solver.Session.assert_retractable: assertion width <> 1";
+    if Term.is_false t then begin
+      (* enabling this guard must be contradictory on its own *)
+      let g = Blast.fresh_lit s.blast in
+      Sat.add_clause s.sat [ -g ];
+      g
+    end
+    else begin
+      let congs = ref [] in
+      let t' = ack_rewrite s.ack congs t in
+      (* congruence constraints relate Ackermann variables only; they are
+         valid regardless of which guarded assertions are active, so they
+         are asserted permanently *)
+      List.iter (Blast.assert_term s.blast) (List.rev !congs);
+      if Term.is_false t' then begin
+        let g = Blast.fresh_lit s.blast in
+        Sat.add_clause s.sat [ -g ];
+        g
+      end
+      else begin
+        (* blast first, then allocate the guard, so variable numbering for
+           the encoded term matches what a fresh one-shot check would
+           produce *)
+        let bits = Blast.blast s.blast t' in
+        let g = Blast.fresh_lit s.blast in
+        Sat.add_clause s.sat [ -g; bits.(0) ];
+        g
+      end
+    end
+
+  let retract s g = Sat.add_clause s.sat [ -g ]
+
+  let take_stats ?(trivially_unsat = false) s =
+    let vars = Sat.num_vars s.sat in
+    let clauses = problem_clauses s in
+    let conflicts = Sat.conflicts s.sat in
+    let d =
+      {
+        sat_vars = vars - s.last_vars;
+        sat_clauses = clauses - s.last_clauses;
+        sat_conflicts = conflicts - s.last_conflicts;
+        trivially_unsat;
+      }
+    in
+    s.last_vars <- vars;
+    s.last_clauses <- clauses;
+    s.last_conflicts <- conflicts;
+    d
+
+  let cumulative_stats s =
+    {
+      sat_vars = Sat.num_vars s.sat;
+      sat_clauses = problem_clauses s;
+      sat_conflicts = Sat.conflicts s.sat;
+      trivially_unsat = s.trivially_false;
+    }
+
+  (* Model reconstruction.  Assignments are snapshotted eagerly, so the
+     model stays valid after further asserts/retracts/checks on the same
+     session (the engine retracts a candidate before mining the model). *)
+  let build_model s =
+    let nvars = Sat.num_vars s.sat in
+    let values = Array.init nvars (fun i -> Sat.value s.sat (i + 1)) in
+    let lit_val l = if l > 0 then values.(l - 1) else not values.(-l - 1) in
+    let var_value name =
+      match Blast.var_bits s.blast name with
+      | None -> None
+      | Some bits when Array.exists (fun l -> abs l > nvars) bits -> None
+      | Some bits -> Some (Bitvec.of_bits (Array.map lit_val bits))
+    in
+    (* Evaluate read instance addresses under the model to produce the
+       word-level memory view.  Variables the blaster never saw were
+       simplified away; any value works, so they default to zero. *)
+    let env =
+      {
+        Term.lookup_var =
+          (fun n w ->
+            match var_value n with
+            | Some v -> Some v
+            | None -> Some (Bitvec.zero w));
+        Term.lookup_read = (fun _ _ -> None);
+      }
+    in
+    let read_values =
+      List.rev_map
+        (fun ((m : Term.mem), addr, v) ->
+          (m.Term.mem_name, Term.eval env addr, Term.eval env v))
+        s.ack.ack_instances_rev
+    in
+    (* First match in instance order is canonical (congruence forces
+       aliasing instances to agree), so the index keeps the first binding
+       per (memory, address). *)
+    let read_index =
+      lazy
+        (let tbl = Hashtbl.create (List.length read_values) in
+         List.iter
+           (fun (name, a, v) ->
+             let key = (name, Bitvec.to_string a) in
+             if not (Hashtbl.mem tbl key) then Hashtbl.add tbl key v)
+           read_values;
+         tbl)
+    in
+    { var_value; read_values; read_index }
+
+  let check_with ?(assumptions = []) ?(budget = max_int) ?deadline s assertions
+      =
+    List.iter
+      (fun t ->
+        if Term.width t <> 1 then
+          invalid_arg "Solver.Session.check_with: assertion width <> 1")
+      assertions;
+    (* Fast path: a constant-false conjunct poisons the session without
+       blasting anything; the statistics still report honest deltas plus
+       the [trivially_unsat] flag so budget accounting sees that no search
+       happened. *)
+    if List.exists Term.is_false assertions then s.trivially_false <- true
+    else List.iter (assert_always s) assertions;
+    if s.trivially_false then Unsat (take_stats ~trivially_unsat:true s)
+    else begin
+      let result = Sat.solve ~assumptions ~budget ?deadline s.sat in
+      let st = take_stats s in
+      match result with
+      | Sat.Unsat -> Unsat st
+      | Sat.Unknown -> Unknown st
+      | Sat.Sat -> Sat (build_model s, st)
+    end
+
+  let cached_terms s = Blast.cached_terms s.blast
+end
+
+(* {1 Arenas}
+
+   A session allocation scope: one arena per worker domain gives each
+   domain its own private sessions (nothing inside a session is locked, so
+   sessions must never cross domains) while keeping an aggregate view for
+   benchmarking.  [shared] memoizes one session per arena for callers that
+   want cross-task reuse within a worker. *)
+
+module Arena = struct
+  type t = {
+    mutable sessions : Session.t list;
+    mutable shared_session : Session.t option;
+  }
+
+  let create () = { sessions = []; shared_session = None }
+
+  let session a =
+    let s = Session.create () in
+    a.sessions <- s :: a.sessions;
+    s
+
+  let shared a =
+    match a.shared_session with
+    | Some s -> s
+    | None ->
+        let s = session a in
+        a.shared_session <- Some s;
+        s
+
+  let session_count a = List.length a.sessions
+
+  let stats a =
+    List.fold_left
+      (fun acc s ->
+        let st = Session.cumulative_stats s in
+        {
+          sat_vars = acc.sat_vars + st.sat_vars;
+          sat_clauses = acc.sat_clauses + st.sat_clauses;
+          sat_conflicts = acc.sat_conflicts + st.sat_conflicts;
+          trivially_unsat = false;
+        })
+      empty_stats a.sessions
+end
+
+(* {1 One-shot checking}
+
+   [check] is re-entrant: it is a fresh session per call, so the SAT
+   solver, the blasting context, and the returned statistics are all per
+   call, and any number of checks may run concurrently from different
+   domains. *)
 
 let check ?(budget = max_int) ?deadline assertions =
-  List.iter
-    (fun t ->
-      if Term.width t <> 1 then invalid_arg "Solver.check: assertion width <> 1")
-    assertions;
-  (* Fast path: conjunction constant after simplification. *)
-  if List.exists Term.is_false assertions then
-    Unsat empty_stats
-  else begin
-    let assertions, instances = ackermannize assertions in
-    if List.exists Term.is_false assertions then Unsat empty_stats
-    else begin
-      let sat = Sat.create () in
-      let ctx = Blast.create sat in
-      List.iter (Blast.assert_term ctx) assertions;
-      let result = Sat.solve ~budget ?deadline sat in
-      let stats =
-        {
-          sat_vars = Sat.num_vars sat;
-          sat_clauses = Sat.num_clauses sat;
-          sat_conflicts = Sat.conflicts sat;
-        }
-      in
-      match result with
-      | Sat.Unsat -> Unsat stats
-      | Sat.Unknown -> Unknown stats
-      | Sat.Sat ->
-          let var_value name =
-            match Blast.var_bits ctx name with
-            | None -> None
-            | Some bits ->
-                Some
-                  (Bitvec.of_bits
-                     (Array.map
-                        (fun l -> if l > 0 then Sat.value sat l else not (Sat.value sat (-l)))
-                        bits))
-          in
-          (* Evaluate read instance addresses under the model to produce the
-             word-level memory view.  Variables the blaster never saw were
-             simplified away; any value works, so they default to zero. *)
-          let env =
-            {
-              Term.lookup_var =
-                (fun n w ->
-                  match var_value n with
-                  | Some v -> Some v
-                  | None -> Some (Bitvec.zero w));
-              Term.lookup_read = (fun _ _ -> None);
-            }
-          in
-          let read_values =
-            List.map
-              (fun ((m : Term.mem), addr, v) ->
-                let a = Term.eval env addr in
-                let value = Term.eval env v in
-                (m.Term.mem_name, a, value))
-              instances
-          in
-          Sat ({ var_value; read_values }, stats)
-    end
-  end
+  let s = Session.create () in
+  Session.check_with ~budget ?deadline s assertions
 
 (* First match in instance order.  Distinct read instances can evaluate to
    the same concrete address; the Ackermann congruence constraints force
    their values to agree in any model, so first-match is both deterministic
-   and canonical — later duplicates are necessarily equal. *)
+   and canonical — later duplicates are necessarily equal.  The index is a
+   hash table built lazily once per model (keyed by memory name and
+   address), replacing the per-lookup list scan that made dense lookup
+   patterns quadratic. *)
 let read_lookup model (m : Term.mem) addr =
-  let rec go = function
-    | [] -> None
-    | (name, a, v) :: rest ->
-        if String.equal name m.Term.mem_name && Bitvec.equal a addr then Some v
-        else go rest
-  in
-  go model.read_values
+  Hashtbl.find_opt
+    (Lazy.force model.read_index)
+    (m.Term.mem_name, Bitvec.to_string addr)

@@ -3,15 +3,27 @@
     Pipeline: Ackermann-expand uninterpreted memory reads, bit-blast with
     {!Blast}, decide with {!Sat}, and reconstruct a word-level model.
 
-    The [budget] bounds SAT conflicts; exhausting it yields [Unknown], which
-    the synthesis engine and the benchmark harness surface as a timeout.
+    Two entry points share the engine:
+
+    - {!check}, the one-shot API: a fresh context per call;
+    - {!Session}, a persistent context for families of related queries.
+      The SAT state (learned clauses, variable activity, phase saving),
+      the Tseitin encoding cache, and the Ackermann instance table all
+      survive across checks, so each additional query pays only for what
+      it adds.  This is what makes the CEGIS inner loop incremental.
+
+    The [budget] bounds SAT conflicts; exhausting it yields [Unknown],
+    which the synthesis engine and the benchmark harness surface as a
+    timeout.
 
     {b Re-entrancy contract.}  [check] holds no state between calls: the
     SAT instance, the blasting context, the Ackermann numbering, and the
     statistics are all per call, and the term layer it builds on is
     domain-safe.  Concurrent [check] calls from different domains are
-    therefore independent — each returns its own correct outcome and its
-    own stats.  The parallel synthesis scheduler relies on this. *)
+    therefore independent.  A {!Session.t} is single-owner: nothing inside
+    it is locked, so a session must stay on the domain that created it
+    (use one {!Arena} per worker domain).  Distinct sessions on distinct
+    domains never interact. *)
 
 type model = {
   var_value : string -> Bitvec.t option;
@@ -20,11 +32,29 @@ type model = {
   read_values : (string * Bitvec.t * Bitvec.t) list;
       (** [(mem_name, address, value)] for every distinct read instance,
           with the address evaluated under the model *)
+  read_index : (string * string, Bitvec.t) Hashtbl.t Lazy.t;
+      (** lookup index over [read_values] — first instance per (memory,
+          printed address) — built lazily by the solver for
+          {!read_lookup}; treat as an implementation detail *)
 }
 
-type stats = { sat_vars : int; sat_clauses : int; sat_conflicts : int }
-(** Per-call solver statistics.  Carried inside the {!outcome} rather than
-    read from process state, so concurrent checks cannot race. *)
+type stats = {
+  sat_vars : int;  (** SAT variables this check allocated *)
+  sat_clauses : int;
+      (** problem clauses this check added (blasting, Ackermann congruence,
+          guards); learned clauses are excluded.  For a one-shot {!check}
+          this is the whole encoding; for a session check it is the
+          increment over the previous check — summing over a query sequence
+          gives total blasted clauses. *)
+  sat_conflicts : int;  (** conflicts during this check's search *)
+  trivially_unsat : bool;
+      (** the conjunction simplified to constant false before any search:
+          no SAT work happened, so zero conflicts really means zero cost —
+          budget bookkeeping can tell this apart from a genuine
+          zero-conflict refutation *)
+}
+(** Per-check statistics.  Carried inside the {!outcome} rather than read
+    from process state, so concurrent checks cannot race. *)
 
 val empty_stats : stats
 
@@ -39,9 +69,95 @@ val check : ?budget:int -> ?deadline:float -> Term.t list -> outcome
     Raises [Invalid_argument] if any term is not width 1.  Re-entrant; see
     the module preamble. *)
 
+val ackermannize : Term.t list -> Term.t list * (Term.mem * Term.t * Term.t) list
+(** One-shot Ackermann expansion (exposed for tests): rewritten assertions
+    plus congruence constraints, and the read instances in traversal
+    order. *)
+
+(** {1 Incremental sessions} *)
+
+module Session : sig
+  type t
+  (** A persistent solving context.  Single-owner: never share a session
+      across domains. *)
+
+  type guard
+  (** Handle to a retractable assertion (an activation literal). *)
+
+  val create : unit -> t
+
+  val assert_always : t -> Term.t -> unit
+  (** Permanently asserts a width-1 term.  Asserting a constant-false term
+      (or one that Ackermannization reduces to constant false) poisons the
+      session: every later check returns [Unsat] with [trivially_unsat]
+      set.  Raises [Invalid_argument] on width <> 1. *)
+
+  val assert_retractable : t -> Term.t -> guard
+  (** Asserts a width-1 term guarded by a fresh activation literal.  The
+      term is enforced only by checks that pass the returned guard in
+      [assumptions]; its encoding (and any Ackermann congruence it
+      introduced) stays in the session either way.  Raises
+      [Invalid_argument] on width <> 1. *)
+
+  val retract : t -> guard -> unit
+  (** Permanently disables a guarded assertion (asserts the negation of
+      its activation literal).  Checking with a retracted guard among the
+      assumptions afterwards yields [Unsat].  Retracting twice is
+      harmless. *)
+
+  val check_with :
+    ?assumptions:guard list ->
+    ?budget:int ->
+    ?deadline:float ->
+    t ->
+    Term.t list ->
+    outcome
+  (** [check_with ~assumptions s extra] permanently asserts the [extra]
+      terms (like {!assert_always}) and then decides the session's
+      asserted conjunction with the guarded assertions named by
+      [assumptions] enabled.  Statistics are per-check increments (see
+      {!stats}).  After [Unsat] under assumptions the session remains
+      usable with different assumptions; after [Sat] the returned model is
+      a snapshot and stays valid across later asserts, retractions, and
+      checks on the same session. *)
+
+  val cumulative_stats : t -> stats
+  (** Totals since [create]: variables, problem clauses, conflicts. *)
+
+  val cached_terms : t -> int
+  (** Size of the session's term → literals blasting cache. *)
+end
+
+(** {1 Session arenas}
+
+    One arena per worker domain: sessions are unlocked single-owner state,
+    so a pool worker allocates every session it needs from its own arena
+    and nothing is ever shared across domains.  The arena also aggregates
+    statistics over the sessions it handed out. *)
+
+module Arena : sig
+  type t
+
+  val create : unit -> t
+
+  val session : t -> Session.t
+  (** A fresh session owned by this arena. *)
+
+  val shared : t -> Session.t
+  (** The arena's memoized session (created on first use) — for callers
+      that want to reuse one encoding cache across successive tasks on the
+      same worker. *)
+
+  val session_count : t -> int
+
+  val stats : t -> stats
+  (** Cumulative statistics summed over the arena's sessions. *)
+end
+
 val read_lookup : model -> Term.mem -> Bitvec.t -> Bitvec.t option
 (** Looks an address up in [read_values], returning the {e first} match in
     read-instance order.  Distinct instances may alias the same concrete
     address, but the Ackermann congruence constraints force aliasing
     instances to carry equal values in any model, so the first match is
-    canonical and the lookup deterministic. *)
+    canonical and the lookup deterministic.  Backed by a hash index built
+    once per model, so repeated lookups are O(1). *)

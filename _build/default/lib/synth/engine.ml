@@ -36,6 +36,10 @@ type options = {
       (* verify the instruction-independence preconditions (paper 3.3.1)
          before synthesizing; abstraction-function assume wires act as the
          permitted feedback cuts *)
+  incremental : bool;
+      (* reuse one solver session per CEGIS loop (SAT state, blasting
+         cache, learned clauses survive across iterations) instead of a
+         fresh solver per query *)
 }
 
 let default_options =
@@ -46,20 +50,24 @@ let default_options =
     max_iterations = 256;
     deadline_seconds = None;
     check_independence = false;
+    incremental = true;
   }
 
 let make_options ?(mode = Per_instruction) ?(jobs = 1)
     ?(conflict_budget = max_int) ?(max_iterations = 256) ?deadline_seconds
-    ?(check_independence = false) () =
+    ?(check_independence = false) ?(incremental = true) () =
   if jobs < 1 then invalid_arg "Engine.make_options: jobs < 1";
   if max_iterations < 1 then invalid_arg "Engine.make_options: max_iterations < 1";
   { mode; jobs; conflict_budget; max_iterations; deadline_seconds;
-    check_independence }
+    check_independence; incremental }
 
 type stats = {
   mutable iterations : int;
   mutable queries : int;
   mutable conflicts : int;
+  mutable blasted_vars : int;
+  mutable blasted_clauses : int;
+  mutable trivial_unsats : int;
   mutable wall_seconds : float;
 }
 
@@ -123,12 +131,23 @@ exception Stop of outcome
 let now () = Unix.gettimeofday ()
 
 let fresh_stats () =
-  { iterations = 0; queries = 0; conflicts = 0; wall_seconds = 0.0 }
+  {
+    iterations = 0;
+    queries = 0;
+    conflicts = 0;
+    blasted_vars = 0;
+    blasted_clauses = 0;
+    trivial_unsats = 0;
+    wall_seconds = 0.0;
+  }
 
 let merge_stats into from =
   into.iterations <- into.iterations + from.iterations;
   into.queries <- into.queries + from.queries;
-  into.conflicts <- into.conflicts + from.conflicts
+  into.conflicts <- into.conflicts + from.conflicts;
+  into.blasted_vars <- into.blasted_vars + from.blasted_vars;
+  into.blasted_clauses <- into.blasted_clauses + from.blasted_clauses;
+  into.trivial_unsats <- into.trivial_unsats + from.trivial_unsats
 
 (* Rebuild an outcome around the scheduler's merged stats (worker Stop
    payloads carry only that worker's tally). *)
@@ -146,18 +165,49 @@ let check_deadline run =
   | Some d when run.stats.wall_seconds > d -> raise (Stop (Timeout run.stats))
   | _ -> ()
 
-let solver_query run assertions =
+(* Common bookkeeping for one solver query.  Session checks report
+   per-check increments (see {!Solver.stats}), so summing them here gives
+   the same totals as the one-shot path: [blasted_clauses] counts every
+   problem clause encoded across the run — the headline metric the
+   incremental mode is meant to shrink — and [consumed] deducts only the
+   conflicts of this query from the shared budget pool. *)
+let account run (st : Solver.stats) =
+  run.stats.queries <- run.stats.queries + 1;
+  run.stats.conflicts <- run.stats.conflicts + st.Solver.sat_conflicts;
+  run.stats.blasted_vars <- run.stats.blasted_vars + st.Solver.sat_vars;
+  run.stats.blasted_clauses <-
+    run.stats.blasted_clauses + st.Solver.sat_clauses;
+  if st.Solver.trivially_unsat then
+    run.stats.trivial_unsats <- run.stats.trivial_unsats + 1;
+  ignore (Atomic.fetch_and_add run.consumed st.Solver.sat_conflicts)
+
+let budget_remaining run =
   check_deadline run;
   let remaining = run.opts.conflict_budget - Atomic.get run.consumed in
   if remaining <= 0 then raise (Stop (Timeout run.stats));
-  let deadline =
-    Option.map (fun d -> run.started +. d) run.opts.deadline_seconds
+  remaining
+
+let query_deadline run =
+  Option.map (fun d -> run.started +. d) run.opts.deadline_seconds
+
+let solver_query run assertions =
+  let remaining = budget_remaining run in
+  let result = Solver.check ~budget:remaining ?deadline:(query_deadline run) assertions in
+  account run (Solver.stats_of result);
+  match result with
+  | Solver.Unknown _ -> raise (Stop (Timeout run.stats))
+  | r -> r
+
+(* The incremental counterpart: same budget/deadline/accounting contract,
+   but the query runs inside a persistent session ([assertions] are
+   asserted permanently, [assumptions] name retractable guards). *)
+let session_query ?assumptions run sess assertions =
+  let remaining = budget_remaining run in
+  let result =
+    Solver.Session.check_with ?assumptions ~budget:remaining
+      ?deadline:(query_deadline run) sess assertions
   in
-  let result = Solver.check ~budget:remaining ?deadline assertions in
-  let st = Solver.stats_of result in
-  run.stats.queries <- run.stats.queries + 1;
-  run.stats.conflicts <- run.stats.conflicts + st.Solver.sat_conflicts;
-  ignore (Atomic.fetch_and_add run.consumed st.Solver.sat_conflicts);
+  account run (Solver.stats_of result);
   match result with
   | Solver.Unknown _ -> raise (Stop (Timeout run.stats))
   | r -> r
@@ -276,8 +326,8 @@ let ground_reads (model : Solver.model) (root : Term.t) : Term.t =
 
 type verdict = Verified | Violated of Solver.model | Inconclusive
 
-let verify ?(budget = max_int) ?deadline ?(jobs = 1) (problem : problem) :
-    (string * verdict) list =
+let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
+    (problem : problem) : (string * verdict) list =
   if Oyster.Ast.holes problem.design <> [] then
     fail "Engine.verify: design still has holes (synthesize first)";
   let trace =
@@ -285,10 +335,16 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) (problem : problem) :
       ~cycles:problem.af.Ila.Absfun.cycles
   in
   let conds = Ila.Conditions.compile problem.spec problem.af trace in
-  (* each instruction's refinement check is an independent solver query, so
-     they fan out over the worker pool; results keep instruction order *)
-  Pool.map ~jobs
-    (fun (c : Ila.Conditions.conditions) ->
+  (* Each instruction's refinement check is an independent solver query, so
+     they fan out over the worker pool; results keep instruction order.
+     Incrementally, every worker keeps one session for all the instructions
+     it picks up: the refined violations share the datapath trace, so the
+     blasting cache re-encodes only each instruction's decode-specific
+     cones.  Which instructions share a worker's session depends on the
+     dynamic schedule, but with an unexhausted budget that only perturbs
+     search order, never the Verified/Violated verdict. *)
+  Pool.map_arena ~jobs ~make:Solver.Arena.create
+    (fun arena (c : Ila.Conditions.conditions) ->
       let violation =
         Term.band c.Ila.Conditions.pre
           (Term.band c.Ila.Conditions.assumes (Term.bnot c.Ila.Conditions.post))
@@ -300,15 +356,29 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) (problem : problem) :
          with 64-bit multiplier/divider cones is intractable without it. *)
       let pins = Refine.collect c.Ila.Conditions.pre in
       let refined = Refine.apply pins violation in
+      let refined_outcome =
+        if incremental then begin
+          let s = Solver.Arena.shared arena in
+          let g = Solver.Session.assert_retractable s refined in
+          let r =
+            Solver.Session.check_with ~assumptions:[ g ] ~budget ?deadline s []
+          in
+          Solver.Session.retract s g;
+          r
+        end
+        else Solver.check ~budget ?deadline [ refined ]
+      in
       let verdict =
-        match Solver.check ~budget ?deadline [ refined ] with
+        match refined_outcome with
         | Solver.Unsat _ -> Verified
         | Solver.Unknown _ -> Inconclusive
         | Solver.Sat (m, _) -> (
             (* The refined model lacks the pinned bits (they folded away);
                re-check the original formula to report a faithful
-               counterexample.  Violations are found quickly in practice,
-               so the extra query is cheap. *)
+               counterexample.  A fresh check keeps the reported model
+               deterministic even under parallel incremental schedules;
+               violations are found quickly in practice, so the extra
+               query is cheap. *)
             match Solver.check ~budget ?deadline [ violation ] with
             | Solver.Sat (m', _) -> Violated m'
             | Solver.Unsat _ | Solver.Unknown _ -> Violated m)
@@ -412,8 +482,6 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
           (fun (n, w) -> Hashtbl.replace candidate n (Bitvec.zero w))
           (hole_vars_of_instr iname))
       instr_names;
-    (* synth-phase constraint pool (joint modes) *)
-    let constraints : Term.t list ref = ref [] in
     (* Update hole values in [tbl] from a synthesis model.  Variables the
        model does not constrain (simplified away, or belonging to another
        instruction's already-solved loop) keep their current value. *)
@@ -425,28 +493,29 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
           | None -> ())
         (Hashtbl.copy tbl)
     in
-    let refresh_candidate model = refresh_table candidate model in
-    let synth_step ~blame () =
-      match solver_query run !constraints with
-      | Solver.Sat (m, _) -> refresh_candidate m
-      | Solver.Unsat _ ->
-          raise (Stop (Unrealizable { instr = blame; stats = run.stats }))
-      | Solver.Unknown _ -> assert false
-    in
-    let verify violation =
-      let v = Term.substitute (candidate_env run candidate) violation in
-      match solver_query run [ v ] with
+    (* Verify one candidate against a (possibly shared) verification
+       session: assert the candidate-substituted violation behind a fresh
+       activation literal, check with that guard assumed, then retract it.
+       The violation's hole-free cones are identical from iteration to
+       iteration, so the session's blasting cache re-encodes only the
+       folded candidate cones; the retracted guard permanently disables the
+       stale candidate's clauses while everything learned stays. *)
+    let session_verify trun sess violation candidate =
+      let v = Term.substitute (candidate_env trun candidate) violation in
+      let g = Solver.Session.assert_retractable sess v in
+      let result = session_query ~assumptions:[ g ] trun sess [] in
+      Solver.Session.retract sess g;
+      match result with
       | Solver.Sat (m, _) -> Some m
       | Solver.Unsat _ -> None
       | Solver.Unknown _ -> assert false
     in
-    let add_cex_for model correct_formulas =
-      let env = cex_env run model in
-      List.iter
-        (fun f ->
-          let g = ground_reads model (Term.substitute env f) in
-          if not (Term.is_true g) then constraints := g :: !constraints)
-        correct_formulas
+    let fresh_verify trun violation candidate =
+      let v = Term.substitute (candidate_env trun candidate) violation in
+      match solver_query trun [ v ] with
+      | Solver.Sat (m, _) -> Some m
+      | Solver.Unsat _ -> None
+      | Solver.Unknown _ -> assert false
     in
     let independent = options.mode = Per_instruction && shared_holes = [] in
     (if independent then begin
@@ -460,7 +529,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
           the lowest-indexed failing instruction is reported — the same one
           the serial schedule blames. *)
        let failed = Atomic.make false in
-       let task ((c : Ila.Conditions.conditions), correct, violation) =
+       let task arena ((c : Ila.Conditions.conditions), correct, violation) =
          let trun = { run with stats = fresh_stats () } in
          (* serial fallback keeps the historical early exit; parallel
             workers run to completion so blame stays deterministic *)
@@ -470,21 +539,42 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
            List.iter
              (fun (n, w) -> Hashtbl.replace local n (Bitvec.zero w))
              (hole_vars_of_instr c.Ila.Conditions.instr_name);
+           (* Incremental mode keeps two sessions for the whole loop — one
+              for verify queries (candidates come and go via activation
+              literals), one for synth queries (counterexample constraints
+              only accumulate, so they are asserted permanently).  The
+              sessions are per task, not per worker, so the query sequence
+              each one sees is independent of the dynamic schedule and the
+              bindings are identical for any [jobs]. *)
+           let sessions =
+             if options.incremental then
+               Some (Solver.Arena.session arena, Solver.Arena.session arena)
+             else None
+           in
            let local_constraints = ref [] in
+           let verify_candidate () =
+             match sessions with
+             | Some (vsess, _) -> session_verify trun vsess violation local
+             | None -> fresh_verify trun violation local
+           in
+           let synth_with g =
+             match sessions with
+             | Some (_, ssess) -> session_query trun ssess [ g ]
+             | None ->
+                 local_constraints := g :: !local_constraints;
+                 solver_query trun !local_constraints
+           in
            try
              let rec loop iter =
                if iter > options.max_iterations then
                  raise (Stop (Timeout trun.stats));
                trun.stats.iterations <- trun.stats.iterations + 1;
-               let v = Term.substitute (candidate_env trun local) violation in
-               match solver_query trun [ v ] with
-               | Solver.Unsat _ -> ()
-               | Solver.Unknown _ -> assert false
-               | Solver.Sat (model, _) ->
+               match verify_candidate () with
+               | None -> ()
+               | Some model ->
                    let env = cex_env trun model in
                    let g = ground_reads model (Term.substitute env correct) in
-                   local_constraints := g :: !local_constraints;
-                   (match solver_query trun !local_constraints with
+                   (match synth_with g with
                    | Solver.Sat (m, _) -> refresh_table local m
                    | Solver.Unsat _ ->
                        raise
@@ -504,7 +594,10 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
              (`Stopped o, trun.stats)
          end
        in
-       let results = Pool.map ~jobs:options.jobs task formulas in
+       let results =
+         Pool.map_arena ~jobs:options.jobs ~make:Solver.Arena.create task
+           formulas
+       in
        (* deterministic merge, in instruction order *)
        List.iter (fun (_, ts) -> merge_stats run.stats ts) results;
        (match
@@ -520,29 +613,75 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
            | (`Skipped | `Stopped _), _ -> ())
          results
      end
-     else
+     else begin
        (* joint synthesis; verification granularity depends on the mode.
           Shared holes couple the loops, so this path stays serial. *)
        let corrects = List.map (fun (_, f, _) -> f) formulas in
+       let verify_targets =
+         match options.mode with
+         | Monolithic -> [ Term.disj (List.map (fun (_, _, v) -> v) formulas) ]
+         | Per_instruction -> List.map (fun (_, _, v) -> v) formulas
+       in
+       (* one verify session per target plus one synth session, all on the
+          calling domain (this path is serial) *)
+       let arena = Solver.Arena.create () in
+       let vsessions =
+         List.map
+           (fun v ->
+             (v, if options.incremental then Some (Solver.Arena.session arena) else None))
+           verify_targets
+       in
+       let synth_sess =
+         if options.incremental then Some (Solver.Arena.session arena) else None
+       in
+       (* fresh mode re-sends the whole pool each synth query; incremental
+          mode asserts each constraint once, so it only tracks the not yet
+          asserted tail *)
+       let constraints : Term.t list ref = ref [] in
+       let pending : Term.t list ref = ref [] in
+       let add_cex_for model =
+         let env = cex_env run model in
+         List.iter
+           (fun f ->
+             let g = ground_reads model (Term.substitute env f) in
+             if not (Term.is_true g) then begin
+               constraints := g :: !constraints;
+               pending := g :: !pending
+             end)
+           corrects
+       in
+       let synth_step () =
+         let result =
+           match synth_sess with
+           | Some s ->
+               let fresh = List.rev !pending in
+               pending := [];
+               session_query run s fresh
+           | None -> solver_query run !constraints
+         in
+         match result with
+         | Solver.Sat (m, _) -> refresh_table candidate m
+         | Solver.Unsat _ ->
+             raise (Stop (Unrealizable { instr = None; stats = run.stats }))
+         | Solver.Unknown _ -> assert false
+       in
+       let verify (v, sess) =
+         match sess with
+         | Some s -> session_verify run s v candidate
+         | None -> fresh_verify run v candidate
+       in
        let rec loop iter =
          if iter > options.max_iterations then raise (Stop (Timeout run.stats));
          run.stats.iterations <- run.stats.iterations + 1;
-         let failing =
-           match options.mode with
-           | Monolithic -> (
-               let big = Term.disj (List.map (fun (_, _, v) -> v) formulas) in
-               match verify big with None -> [] | Some m -> [ m ])
-           | Per_instruction ->
-               List.filter_map (fun (_, _, v) -> verify v) formulas
-         in
-         match failing with
+         match List.filter_map verify vsessions with
          | [] -> ()
          | models ->
-             List.iter (fun m -> add_cex_for m corrects) models;
-             synth_step ~blame:None ();
+             List.iter add_cex_for models;
+             synth_step ();
              loop (iter + 1)
        in
-       loop 1);
+       loop 1
+     end);
     (* assemble results *)
     let per_instr =
       List.map

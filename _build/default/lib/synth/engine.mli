@@ -26,11 +26,18 @@ type options = {
       (** verify the instruction-independence preconditions (paper §3.3.1)
           before synthesizing; the abstraction function's assume wires act
           as the permitted feedback cuts *)
+  incremental : bool;
+      (** keep one persistent {!Solver.Session} pair per CEGIS loop — SAT
+          state, the Tseitin blasting cache, and learned clauses survive
+          across iterations, stale candidates are retracted via activation
+          literals — instead of re-encoding every query from scratch.  On
+          by default; [false] restores the historical fresh-solver-per-query
+          behavior (the [--no-incremental] escape hatch). *)
 }
 
 val default_options : options
 (** [Per_instruction], one job, unlimited conflicts, 256 rounds, no
-    deadline. *)
+    deadline, incremental sessions on. *)
 
 val make_options :
   ?mode:mode ->
@@ -39,6 +46,7 @@ val make_options :
   ?max_iterations:int ->
   ?deadline_seconds:float ->
   ?check_independence:bool ->
+  ?incremental:bool ->
   unit ->
   options
 (** Labelled construction of {!options}, defaulting every field like
@@ -50,6 +58,16 @@ type stats = {
   mutable iterations : int;
   mutable queries : int;
   mutable conflicts : int;
+  mutable blasted_vars : int;
+      (** SAT variables allocated, summed over every query *)
+  mutable blasted_clauses : int;
+      (** problem clauses encoded (blasting, Ackermann congruence, guards;
+          learned clauses excluded), summed over every query.  Session
+          queries report per-check increments, so this compares directly
+          across incremental and fresh modes — it is the work the
+          incremental sessions exist to avoid repeating. *)
+  mutable trivial_unsats : int;
+      (** queries refuted by constant folding before any SAT search *)
   mutable wall_seconds : float;
 }
 
@@ -109,7 +127,18 @@ val synthesize : ?options:options -> problem -> outcome
     the serial path runs unchanged.  The [conflict_budget] is global to
     the call; under parallel schedules the exact query at which an
     exhausted budget is noticed may vary, but unlimited-budget runs are
-    bit-for-bit deterministic. *)
+    bit-for-bit deterministic.
+
+    With [options.incremental] (the default) each CEGIS loop keeps one
+    verify session and one synth session for its lifetime: counterexample
+    constraints are asserted once and accumulate, candidate violations are
+    asserted behind activation literals and retracted when refuted, and
+    the Tseitin cache re-encodes only each iteration's new cones.  The
+    sessions are per loop (never shared between instructions), so
+    incremental bindings are identical for any [jobs] value; they may
+    differ from fresh-mode bindings (both satisfy the specification — the
+    solver's search visits models in a different order when state
+    persists). *)
 
 (** {1 Verification of completed designs}
 
@@ -131,8 +160,17 @@ val verify :
   ?budget:int ->
   ?deadline:float ->
   ?jobs:int ->
+  ?incremental:bool ->
   problem ->
   (string * verdict) list
 (** Raises {!Engine_error} if the design still has holes.  [jobs]
     (default 1) fans the per-instruction refinement checks out across
-    worker domains; the verdict list keeps instruction order either way. *)
+    worker domains; the verdict list keeps instruction order either way.
+    With [incremental] (the default) each worker reuses one solver session
+    across the instructions it checks, so the shared datapath trace is
+    blasted once per worker instead of once per instruction.  Which
+    instructions share a session depends on the dynamic schedule; with an
+    unexhausted budget this never changes a verdict (counterexample models
+    are re-derived by a fresh check, so they are schedule-independent
+    too), but under a tight [budget] the exact query that exhausts it may
+    differ from the fresh mode's. *)

@@ -14,8 +14,13 @@
 
 type 'b cell = Pending | Done of 'b | Raised of exn
 
-let map ~jobs f items =
-  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+(* [map_arena] is the general form: each worker calls [make] exactly once,
+   at startup, and passes the resulting per-worker state to every task it
+   executes.  This is how the engine gives each domain its own
+   {!Solver.Arena} — sessions are unlocked single-owner state, so they
+   must be allocated on (and never leave) the domain that uses them. *)
+let map_arena ~jobs ~make f items =
+  if jobs < 1 then invalid_arg "Pool.map_arena: jobs < 1";
   let arr = Array.of_list items in
   let n = Array.length arr in
   if n = 0 then []
@@ -23,10 +28,11 @@ let map ~jobs f items =
     let results = Array.make n Pending in
     let cursor = Atomic.make 0 in
     let worker () =
+      let w = make () in
       let rec go () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          results.(i) <- (try Done (f arr.(i)) with e -> Raised e);
+          results.(i) <- (try Done (f w arr.(i)) with e -> Raised e);
           go ()
         end
       in
@@ -46,5 +52,9 @@ let map ~jobs f items =
          (function Done v -> v | Pending | Raised _ -> assert false)
          results)
   end
+
+let map ~jobs f items =
+  if jobs < 1 then invalid_arg "Pool.map: jobs < 1";
+  map_arena ~jobs ~make:(fun () -> ()) (fun () x -> f x) items
 
 let default_jobs () = Domain.recommended_domain_count ()

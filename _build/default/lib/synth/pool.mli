@@ -6,6 +6,19 @@
     deliberately minimal: a shared atomic task cursor, [jobs - 1] spawned
     domains plus the calling domain, results returned in input order. *)
 
+val map_arena :
+  jobs:int -> make:(unit -> 'w) -> ('w -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_arena ~jobs ~make f items] is {!map} with per-worker state: each
+    worker domain calls [make ()] exactly once before pulling tasks, and
+    every task that worker executes receives that worker's state as the
+    first argument.  The engine uses this to give each domain a private
+    {!Solver.Arena} — incremental solver sessions are unlocked
+    single-owner state, so they are allocated per worker and never cross
+    domains.  Which tasks share a worker's state depends on the dynamic
+    schedule; state must therefore only carry caches or other
+    result-invariant context.  Exception and ordering behavior are exactly
+    {!map}'s. *)
+
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] applies [f] to every item, running up to [jobs]
     applications concurrently, and returns the results in input order.

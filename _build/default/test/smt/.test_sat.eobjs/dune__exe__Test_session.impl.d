@@ -1,0 +1,1 @@
+test/smt/test_session.ml: Alcotest Bitvec Domain Gen_terms List QCheck QCheck_alcotest Solver String Term

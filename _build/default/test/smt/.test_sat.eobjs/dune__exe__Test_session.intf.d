@@ -1,0 +1,1 @@
+test/smt/test_session.mli:

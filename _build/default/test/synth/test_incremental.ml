@@ -1,0 +1,118 @@
+(* Incremental-session equivalence: the engine with [incremental] (the
+   default) must be a pure performance change, never a correctness one.
+
+   - On the small case studies (accumulator, pipelined ALU) the incremental
+     and fresh modes currently find the exact same hole constants — locked
+     in here as a regression net.
+   - On larger designs the modes may legitimately diverge (persistent
+     learned clauses steer the solver to a different correct model), so
+     the guarantee checked there is semantic: the incremental solution's
+     completed design passes full refinement verification.
+   - Incremental mode must encode strictly fewer SAT clauses than fresh
+     mode whenever a loop runs at least two CEGIS iterations — re-blasting
+     the shared cones is exactly the work sessions exist to avoid.
+   - Within incremental mode, bindings are independent of [jobs] (the
+     test_parallel suite covers this for the default options; here the
+     fresh mode gets the same check so the escape hatch stays healthy).
+   - [Engine.verify] verdicts must agree between incremental and fresh. *)
+
+let solve ~incremental ?(jobs = 1) problem =
+  let options = Synth.Engine.make_options ~incremental ~jobs () in
+  match Synth.Engine.synthesize ~options problem with
+  | Synth.Engine.Solved s -> s
+  | _ -> Alcotest.fail "synthesis failed"
+
+let test_same_bindings_small () =
+  List.iter
+    (fun (name, mk) ->
+      let si = solve ~incremental:true (mk ()) in
+      let sf = solve ~incremental:false (mk ()) in
+      Alcotest.(check bool) (name ^ ": per_instr identical") true
+        (si.Synth.Engine.per_instr = sf.Synth.Engine.per_instr);
+      Alcotest.(check bool) (name ^ ": shared identical") true
+        (si.Synth.Engine.shared = sf.Synth.Engine.shared);
+      Alcotest.(check bool) (name ^ ": bindings identical") true
+        (si.Synth.Engine.bindings = sf.Synth.Engine.bindings))
+    [ ("accumulator", Designs.Accumulator.problem);
+      ("alu", Designs.Alu.problem) ]
+
+let test_fewer_clauses () =
+  List.iter
+    (fun (name, mk) ->
+      let si = solve ~incremental:true (mk ()) in
+      let sf = solve ~incremental:false (mk ()) in
+      let ci = si.Synth.Engine.stats.Synth.Engine.blasted_clauses in
+      let cf = sf.Synth.Engine.stats.Synth.Engine.blasted_clauses in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: looped (%d iterations)" name
+           si.Synth.Engine.stats.Synth.Engine.iterations)
+        true
+        (si.Synth.Engine.stats.Synth.Engine.iterations >= 2);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %d < %d clauses" name ci cf)
+        true (ci < cf))
+    [ ("accumulator", Designs.Accumulator.problem);
+      ("alu", Designs.Alu.problem) ]
+
+let test_fresh_jobs_determinism () =
+  (* the --no-incremental escape hatch keeps the scheduler-independence
+     guarantee of the original fresh-solver engine *)
+  let s1 = solve ~incremental:false ~jobs:1 (Designs.Alu.problem ()) in
+  let s4 = solve ~incremental:false ~jobs:4 (Designs.Alu.problem ()) in
+  Alcotest.(check bool) "fresh bindings identical across schedules" true
+    (s1.Synth.Engine.per_instr = s4.Synth.Engine.per_instr
+    && s1.Synth.Engine.shared = s4.Synth.Engine.shared
+    && s1.Synth.Engine.bindings = s4.Synth.Engine.bindings)
+
+let test_rv32_incremental_verifies () =
+  (* the large-design guarantee: whatever model the incremental sessions
+     steer the search to, the completed core passes refinement checking *)
+  let problem = Designs.Riscv_single.problem Isa.Rv32.RV32I in
+  let s = solve ~incremental:true ~jobs:4 problem in
+  let vproblem =
+    { problem with Synth.Engine.design = s.Synth.Engine.completed }
+  in
+  let verdicts = Synth.Engine.verify ~jobs:4 ~incremental:true vproblem in
+  List.iter
+    (fun (iname, v) ->
+      Alcotest.(check bool) (iname ^ " verified") true
+        (v = Synth.Engine.Verified))
+    verdicts
+
+let test_verify_modes_agree () =
+  let problem = Designs.Accumulator.problem () in
+  let problem =
+    { problem with
+      Synth.Engine.design = Designs.Accumulator.reference_design () }
+  in
+  let vi = Synth.Engine.verify ~incremental:true problem in
+  let vf = Synth.Engine.verify ~incremental:false problem in
+  Alcotest.(check int) "same number of verdicts" (List.length vf)
+    (List.length vi);
+  List.iter2
+    (fun (n1, d1) (n2, d2) ->
+      Alcotest.(check string) "instruction order preserved" n1 n2;
+      let same =
+        match (d1, d2) with
+        | Synth.Engine.Verified, Synth.Engine.Verified
+        | Synth.Engine.Violated _, Synth.Engine.Violated _
+        | Synth.Engine.Inconclusive, Synth.Engine.Inconclusive ->
+            true
+        | _ -> false
+      in
+      Alcotest.(check bool) ("verdict for " ^ n1) true same)
+    vi vf
+
+let () =
+  Alcotest.run "incremental"
+    [ ("equivalence",
+       [ Alcotest.test_case "small designs: identical bindings" `Quick
+           test_same_bindings_small;
+         Alcotest.test_case "strictly fewer blasted clauses" `Quick
+           test_fewer_clauses;
+         Alcotest.test_case "fresh mode stays schedule-deterministic" `Quick
+           test_fresh_jobs_determinism;
+         Alcotest.test_case "rv32 incremental solution verifies" `Quick
+           test_rv32_incremental_verifies;
+         Alcotest.test_case "verify verdicts agree across modes" `Quick
+           test_verify_modes_agree ]) ]

@@ -15,10 +15,29 @@ val lit_true : t -> int
 (** The distinguished always-true literal. *)
 
 val blast : t -> Term.t -> int array
-(** [blast ctx term] returns one DIMACS literal per bit, LSB first. *)
+(** [blast ctx term] returns one DIMACS literal per bit, LSB first.
+
+    Translation is cached per hash-consed [Term.id] for the lifetime of the
+    context, so re-blasting a term whose subterms were already seen only
+    encodes the new nodes — the property incremental solver sessions rely
+    on to avoid re-encoding the sketch every CEGIS iteration. *)
+
+val cached_terms : t -> int
+(** Number of distinct terms in the term → literals cache. *)
 
 val assert_term : t -> Term.t -> unit
 (** Asserts a width-1 term to be true (adds a unit clause). *)
+
+val fresh_lit : t -> int
+(** Allocates a fresh SAT variable in the underlying solver and returns its
+    positive literal; used for activation guards. *)
+
+val assert_term_guarded : t -> guard:int -> Term.t -> unit
+(** [assert_term_guarded c ~guard t] asserts [guard -> t]: the clause
+    [(-guard, t)] plus [t]'s definitional clauses.  Solving with [guard]
+    among the assumptions enforces [t]; permanently adding the unit clause
+    [-guard] retracts it (the definitional clauses are tautological on
+    their own and stay). *)
 
 val var_bits : t -> string -> int array option
 (** The literals allocated for a [Var] term, if it was blasted. *)

@@ -60,5 +60,10 @@ module Words (G : GATES) : sig
       CNF backend rejects them, the netlist backend makes them ports). *)
 
   val term_bits : tctx -> Term.t -> G.lit array
-  (** Translates a term, caching per node so DAG sharing carries over. *)
+  (** Translates a term, caching per node so DAG sharing carries over.
+      The cache lives as long as the context, so persistent contexts
+      (incremental solver sessions) re-encode only never-seen nodes. *)
+
+  val cached_terms : tctx -> int
+  (** Number of distinct nodes in the translation cache. *)
 end
