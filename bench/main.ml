@@ -69,7 +69,12 @@ module Report = struct
       ("sat_conflicts", string_of_int st.Synth.Engine.conflicts);
       ("sat_vars", string_of_int st.Synth.Engine.blasted_vars);
       ("sat_clauses", string_of_int st.Synth.Engine.blasted_clauses);
-      ("trivial_unsats", string_of_int st.Synth.Engine.trivial_unsats) ]
+      ("trivial_unsats", string_of_int st.Synth.Engine.trivial_unsats);
+      ("retried_queries", string_of_int st.Synth.Engine.retried_queries);
+      ("degraded_queries", string_of_int st.Synth.Engine.degraded_queries);
+      ("validation_failures",
+       string_of_int st.Synth.Engine.validation_failures);
+      ("task_retries", string_of_int st.Synth.Engine.task_retries) ]
 
   let record_run ~section ~label ~outcome ~wall st =
     record
@@ -476,6 +481,23 @@ let smoke () =
      (sessions) vs %d clauses (fresh)\n"
     sti.Synth.Engine.iterations sti.Synth.Engine.queries
     sti.Synth.Engine.blasted_clauses stf.Synth.Engine.blasted_clauses;
+  (* resilience counters ride along so the perf trajectory shows when the
+     retry/validation machinery starts doing work on a clean run (all four
+     must stay zero here: no faults, no budget, no deadline) *)
+  Printf.printf
+    "bench smoke: resilience counters: %d retried, %d degraded, %d \
+     validation failures, %d task retries\n"
+    sti.Synth.Engine.retried_queries sti.Synth.Engine.degraded_queries
+    sti.Synth.Engine.validation_failures sti.Synth.Engine.task_retries;
+  if
+    sti.Synth.Engine.retried_queries <> 0
+    || sti.Synth.Engine.degraded_queries <> 0
+    || sti.Synth.Engine.validation_failures <> 0
+    || sti.Synth.Engine.task_retries <> 0
+  then begin
+    prerr_endline "bench smoke: resilience machinery engaged on a clean run";
+    exit 1
+  end;
   if sti.Synth.Engine.blasted_clauses >= stf.Synth.Engine.blasted_clauses
   then begin
     prerr_endline "bench smoke: incremental mode did not blast fewer clauses";

@@ -131,6 +131,61 @@ let no_incremental_arg =
   in
   Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
+let retries_arg =
+  let doc =
+    "Extra attempts per solver query (and per crashed worker task) before \
+     giving up: Unknown outcomes retry with geometrically escalated \
+     conflict budgets and deadline slices, the final attempt on a fresh \
+     one-shot solver."
+  in
+  Arg.(value & opt int Synth.Engine.default_options.Synth.Engine.retries
+       & info [ "retries" ] ~docv:"K" ~doc)
+
+let escalation_arg =
+  let doc = "Geometric budget/time growth per retry attempt." in
+  Arg.(value
+       & opt int Synth.Engine.default_options.Synth.Engine.escalation_factor
+       & info [ "escalation-factor" ] ~docv:"F" ~doc)
+
+let validate_models_arg =
+  let doc =
+    "Cross-check every satisfiable solver model by concrete evaluation of \
+     the asserted formulas before trusting it; failed checks retry and \
+     fall back to a fresh solver."
+  in
+  Arg.(value & flag & info [ "validate-models" ] ~doc)
+
+let fault_plan_arg =
+  let doc =
+    "Deterministic fault plan for resilience testing, e.g. \
+     'unknown@3,corrupt@5,crash@1,seed=7' (also read from the \
+     OWL_FAULT_PLAN environment variable; the flag wins)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+let install_fault_plan = function
+  | Some plan -> (
+      match Fault.parse plan with
+      | p -> Fault.install p
+      | exception Fault.Parse_error m ->
+          Printf.eprintf "owl: %s\n" m;
+          exit 1)
+  | None -> (
+      match Fault.install_from_env () with
+      | (_ : bool) -> ()
+      | exception Fault.Parse_error m ->
+          Printf.eprintf "owl: OWL_FAULT_PLAN: %s\n" m;
+          exit 1)
+
+(* every synthesis-layer failure (engine, union, minimizer) shares one
+   structured exception; report it uniformly instead of crashing *)
+let or_engine_error f =
+  try f ()
+  with Synth.Engine.Engine_error m ->
+    Printf.eprintf "owl: synthesis error: %s\n" m;
+    exit 6
+
 let synth_cmd =
   let monolithic =
     Arg.(value & flag
@@ -150,22 +205,32 @@ let synth_cmd =
     Arg.(value & flag
          & info [ "pyrtl" ] ~doc:"Print the generated control logic PyRTL-style (paper Fig. 7).")
   in
-  let run name monolithic jobs deadline output pyrtl no_incremental =
+  let run name monolithic jobs deadline output pyrtl no_incremental retries
+      escalation_factor validate_models fault_plan =
     check_jobs jobs;
+    install_fault_plan fault_plan;
     match lookup name with
     | Error m ->
         prerr_endline m;
         exit 1
     | Ok e -> (
         let options =
-          Synth.Engine.make_options
-            ~mode:
-              (if monolithic then Synth.Engine.Monolithic
-               else Synth.Engine.Per_instruction)
-            ~jobs ?deadline_seconds:deadline
-            ~incremental:(not no_incremental) ()
+          try
+            Synth.Engine.make_options
+              ~mode:
+                (if monolithic then Synth.Engine.Monolithic
+                 else Synth.Engine.Per_instruction)
+              ~jobs ?deadline_seconds:deadline
+              ~incremental:(not no_incremental) ~retries ~escalation_factor
+              ~validate_models ()
+          with Invalid_argument m ->
+            Printf.eprintf "owl: %s\n" m;
+            exit 1
         in
-        match Synth.Engine.synthesize ~options (e.problem ()) with
+        match
+          or_engine_error (fun () ->
+              Synth.Engine.synthesize ~options (e.problem ()))
+        with
         | Synth.Engine.Solved s ->
             Printf.printf
               "solved in %.2fs: %d CEGIS rounds, %d solver queries, %d conflicts\n"
@@ -173,6 +238,20 @@ let synth_cmd =
               s.Synth.Engine.stats.Synth.Engine.iterations
               s.Synth.Engine.stats.Synth.Engine.queries
               s.Synth.Engine.stats.Synth.Engine.conflicts;
+            let st = s.Synth.Engine.stats in
+            if
+              st.Synth.Engine.retried_queries > 0
+              || st.Synth.Engine.degraded_queries > 0
+              || st.Synth.Engine.validation_failures > 0
+              || st.Synth.Engine.task_retries > 0
+            then
+              Printf.printf
+                "recovered: %d query retries, %d fresh-solver fallbacks, %d \
+                 rejected models, %d task retries\n"
+                st.Synth.Engine.retried_queries
+                st.Synth.Engine.degraded_queries
+                st.Synth.Engine.validation_failures
+                st.Synth.Engine.task_retries;
             if pyrtl then begin
               print_endline "";
               print_string
@@ -208,7 +287,8 @@ let synth_cmd =
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize control logic for a case-study design")
     Term.(const run $ design_arg $ monolithic $ jobs_arg $ deadline $ output
-          $ pyrtl $ no_incremental_arg)
+          $ pyrtl $ no_incremental_arg $ retries_arg $ escalation_arg
+          $ validate_models_arg $ fault_plan_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oyster")
@@ -376,8 +456,10 @@ let verify_cmd =
     Arg.(value & opt (some float) None
          & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock bound per query.")
   in
-  let run name deadline jobs no_incremental =
+  let run name deadline jobs no_incremental retries escalation_factor
+      validate_models fault_plan =
     check_jobs jobs;
+    install_fault_plan fault_plan;
     match lookup name with
     | Error m ->
         prerr_endline m;
@@ -392,8 +474,10 @@ let verify_cmd =
             let problem = { problem with Synth.Engine.design = f () } in
             let deadline = Option.map (fun d -> Unix.gettimeofday () +. d) deadline in
             let results =
-              Synth.Engine.verify ?deadline ~jobs
-                ~incremental:(not no_incremental) problem
+              or_engine_error (fun () ->
+                  Synth.Engine.verify ?deadline ~jobs
+                    ~incremental:(not no_incremental) ~retries
+                    ~escalation_factor ~validate_models problem)
             in
             let bad = ref 0 in
             List.iter
@@ -416,7 +500,9 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:
          "Formally verify the hand-written reference control against the ILA specification")
-    Term.(const run $ design_arg $ deadline $ jobs_arg $ no_incremental_arg)
+    Term.(const run $ design_arg $ deadline $ jobs_arg $ no_incremental_arg
+          $ retries_arg $ escalation_arg $ validate_models_arg
+          $ fault_plan_arg)
 
 let verilog_cmd =
   let run file =

@@ -1,0 +1,135 @@
+(* Deterministic fault injection.  See the interface for the plan grammar.
+
+   The installed plan lives in one [Atomic.t]; the hot path with no plan
+   installed is a single atomic load returning [None]/unit.  Counters are
+   atomics inside the installed state, so concurrent worker domains index
+   checks and task attempts in a coherent global order (which faults land
+   on which worker under [jobs > 1] depends on the schedule — recovery,
+   not fault placement, is what must be deterministic). *)
+
+type action = Spurious_unknown | Corrupt_model
+
+exception Injected_crash of int
+exception Parse_error of string
+
+type plan = {
+  unknowns : int list;  (* sorted, 1-based check indices *)
+  corrupts : int list;
+  crashes : int list;  (* sorted, 1-based task-attempt indices *)
+  plan_seed : int;
+}
+
+type state = {
+  plan : plan;
+  checks : int Atomic.t;
+  tasks : int Atomic.t;
+  hits : int Atomic.t;
+}
+
+let installed : state option Atomic.t = Atomic.make None
+
+let parse_error fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let parse s =
+  let index directive v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | Some n -> parse_error "fault plan: %s@%d: index must be >= 1" directive n
+    | None -> parse_error "fault plan: %s@%s: not an integer" directive v
+  in
+  let parts =
+    String.split_on_char ',' (String.trim s)
+    |> List.map String.trim
+    |> List.filter (fun p -> p <> "")
+  in
+  if parts = [] then parse_error "fault plan: empty plan";
+  let p =
+    List.fold_left
+      (fun acc part ->
+        match String.index_opt part '@' with
+        | Some i -> (
+            let d = String.sub part 0 i in
+            let v = String.sub part (i + 1) (String.length part - i - 1) in
+            let n = index d v in
+            match d with
+            | "unknown" -> { acc with unknowns = n :: acc.unknowns }
+            | "corrupt" -> { acc with corrupts = n :: acc.corrupts }
+            | "crash" -> { acc with crashes = n :: acc.crashes }
+            | _ -> parse_error "fault plan: unknown directive %S" d)
+        | None -> (
+            match String.index_opt part '=' with
+            | Some i when String.sub part 0 i = "seed" -> (
+                let v = String.sub part (i + 1) (String.length part - i - 1) in
+                match int_of_string_opt v with
+                | Some n -> { acc with plan_seed = n }
+                | None -> parse_error "fault plan: seed=%s: not an integer" v)
+            | _ -> parse_error "fault plan: cannot parse element %S" part))
+      { unknowns = []; corrupts = []; crashes = []; plan_seed = 0 }
+      parts
+  in
+  {
+    unknowns = List.sort_uniq compare p.unknowns;
+    corrupts = List.sort_uniq compare p.corrupts;
+    crashes = List.sort_uniq compare p.crashes;
+    plan_seed = p.plan_seed;
+  }
+
+let to_string p =
+  let tag d = List.map (fun n -> Printf.sprintf "%s@%d" d n) in
+  String.concat ","
+    (tag "unknown" p.unknowns @ tag "corrupt" p.corrupts
+    @ tag "crash" p.crashes
+    @ if p.plan_seed = 0 then [] else [ Printf.sprintf "seed=%d" p.plan_seed ])
+
+let install plan =
+  Atomic.set installed
+    (Some
+       {
+         plan;
+         checks = Atomic.make 0;
+         tasks = Atomic.make 0;
+         hits = Atomic.make 0;
+       })
+
+let install_from_env () =
+  match Sys.getenv_opt "OWL_FAULT_PLAN" with
+  | Some s when String.trim s <> "" ->
+      install (parse s);
+      true
+  | _ -> false
+
+let clear () = Atomic.set installed None
+let active () = Atomic.get installed <> None
+
+let seed () =
+  match Atomic.get installed with
+  | Some st -> st.plan.plan_seed
+  | None -> 0
+
+let fired () =
+  match Atomic.get installed with Some st -> Atomic.get st.hits | None -> 0
+
+let on_check () =
+  match Atomic.get installed with
+  | None -> None
+  | Some st ->
+      let i = 1 + Atomic.fetch_and_add st.checks 1 in
+      if List.mem i st.plan.unknowns then begin
+        Atomic.incr st.hits;
+        Some Spurious_unknown
+      end
+      else if List.mem i st.plan.corrupts then begin
+        Atomic.incr st.hits;
+        Some Corrupt_model
+      end
+      else None
+
+let on_task () =
+  match Atomic.get installed with
+  | None -> ()
+  | Some st ->
+      let i = 1 + Atomic.fetch_and_add st.tasks 1 in
+      if List.mem i st.plan.crashes then begin
+        Atomic.incr st.hits;
+        raise (Injected_crash i)
+      end

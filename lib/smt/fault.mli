@@ -1,0 +1,74 @@
+(** Deterministic fault injection for the solving stack.
+
+    A {e fault plan} names, by global index, the solver checks and pool
+    task attempts that should misbehave: a check can return a spurious
+    [Unknown] (the solver state is left untouched, so a retry of the same
+    check is honest) or hand back a corrupted copy of its model (one
+    seed-chosen bit flipped per variable); a task attempt can crash with
+    {!Injected_crash} before any work runs.  Plans are parsed from a
+    string ([--fault-plan] / the [OWL_FAULT_PLAN] environment variable)
+    and installed process-globally, with atomic counters, so a plan
+    exercises exactly the same faults on every run — the recovery paths of
+    the resilience layer become reproducibly testable.
+
+    When no plan is installed (the default), every hook is a single atomic
+    load — the machinery costs nothing in production.
+
+    Plan grammar (comma-separated, whitespace-free):
+
+    {v unknown@N | corrupt@N | crash@N | seed=N v}
+
+    where [N >= 1] indexes solver checks (for [unknown]/[corrupt]) or pool
+    task attempts (for [crash]) in process-global arrival order.  [seed]
+    (default 0) varies which model bit a [corrupt] flips. *)
+
+type action =
+  | Spurious_unknown  (** report [Unknown] without consulting the solver *)
+  | Corrupt_model  (** if the check is [Sat], corrupt a copy of its model *)
+
+exception Injected_crash of int
+(** Raised by {!on_task} for a planned crash; the payload is the 1-based
+    task-attempt index that crashed. *)
+
+exception Parse_error of string
+
+type plan
+
+val parse : string -> plan
+(** Parses the grammar above.  Raises {!Parse_error} with a diagnostic on
+    malformed input (unknown directive, index < 1, empty element). *)
+
+val to_string : plan -> string
+(** Canonical rendering of a plan (sorted indices, seed last). *)
+
+val install : plan -> unit
+(** Installs a plan process-globally and resets the check/task counters.
+    Replaces any previous plan. *)
+
+val install_from_env : unit -> bool
+(** Installs the plan named by the [OWL_FAULT_PLAN] environment variable,
+    if set and non-empty; returns whether a plan was installed.  Raises
+    {!Parse_error} like {!parse}. *)
+
+val clear : unit -> unit
+(** Removes the installed plan; hooks become free again. *)
+
+val active : unit -> bool
+
+val seed : unit -> int
+(** The installed plan's seed, or 0 when no plan is installed. *)
+
+val fired : unit -> int
+(** How many planned faults have triggered since {!install}.  A [corrupt]
+    counts when its check arrives, even if the check turns out not to be
+    [Sat]. *)
+
+val on_check : unit -> action option
+(** Called by the solver once per check, before searching.  Returns the
+    planned action for this check index, if any; [unknown@N] wins over
+    [corrupt@N] at the same index. *)
+
+val on_task : unit -> unit
+(** Called by the pool once per task attempt, before the task body.
+    Raises {!Injected_crash} when this attempt index is planned to
+    crash. *)

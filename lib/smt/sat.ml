@@ -538,6 +538,14 @@ let solve ?(assumptions = []) ?(budget = max_int) ?deadline s =
   cancel_until s 0;
   s.model_valid <- false;
   if not s.ok then Unsat
+  else if
+    (* the in-search deadline test only runs every 256 conflicts, so an
+       easy formula could slip past an already-expired deadline entirely;
+       refuse up front instead (the solver stays reusable) *)
+    match deadline with
+    | Some d -> Unix.gettimeofday () > d
+    | None -> false
+  then Unknown
   else begin
     let assum =
       List.map

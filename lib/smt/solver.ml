@@ -30,6 +30,20 @@ type outcome = Sat of model * stats | Unsat of stats | Unknown of stats
 
 let stats_of = function Sat (_, s) | Unsat s | Unknown s -> s
 
+(* Deterministic model corruption for fault injection ([Fault.Corrupt_model]):
+   flip one seed-chosen bit of every variable the blaster saw, on a copy.
+   The session itself is untouched, so retrying the same check recovers the
+   honest model — phase saving replays the saved polarities, which are the
+   model, so the retry finds it with zero conflicts. *)
+let corrupt_model (m : model) =
+  let s = Fault.seed () in
+  let flip name v =
+    let w = Bitvec.width v in
+    let bit = Hashtbl.hash (s, name) mod w in
+    Bitvec.logxor v (Bitvec.shl_int (Bitvec.one w) bit)
+  in
+  { m with var_value = (fun n -> Option.map (flip n) (m.var_value n)) }
+
 (* {1 Ackermann expansion}
 
    Replace every [Read (m, addr)] node by a fresh variable, bottom-up, and
@@ -323,12 +337,25 @@ module Session = struct
     else List.iter (assert_always s) assertions;
     if s.trivially_false then Unsat (take_stats ~trivially_unsat:true s)
     else begin
-      let result = Sat.solve ~assumptions ~budget ?deadline s.sat in
-      let st = take_stats s in
-      match result with
-      | Sat.Unsat -> Unsat st
-      | Sat.Unknown -> Unknown st
-      | Sat.Sat -> Sat (build_model s, st)
+      (* Fault-injection hook: a planned spurious Unknown intercepts the
+         check {e before} the SAT search, leaving the session untouched, so
+         a retry of the same check is honest.  A planned corruption damages
+         only the returned model copy, for the same reason. *)
+      match Fault.on_check () with
+      | Some Fault.Spurious_unknown -> Unknown (take_stats s)
+      | injected -> (
+          let result = Sat.solve ~assumptions ~budget ?deadline s.sat in
+          let st = take_stats s in
+          match result with
+          | Sat.Unsat -> Unsat st
+          | Sat.Unknown -> Unknown st
+          | Sat.Sat ->
+              let m = build_model s in
+              let m =
+                if injected = Some Fault.Corrupt_model then corrupt_model m
+                else m
+              in
+              Sat (m, st))
     end
 
   let cached_terms s = Blast.cached_terms s.blast

@@ -40,6 +40,13 @@ type options = {
       (* reuse one solver session per CEGIS loop (SAT state, blasting
          cache, learned clauses survive across iterations) instead of a
          fresh solver per query *)
+  retries : int;
+      (* extra attempts per solver query when an attempt comes back
+         Unknown (or its model fails validation); see Resilience *)
+  escalation_factor : int;  (* geometric budget/time growth per attempt *)
+  validate_models : bool;
+      (* cross-check every Sat model by concrete evaluation of the
+         asserted terms before trusting it *)
 }
 
 let default_options =
@@ -51,15 +58,28 @@ let default_options =
     deadline_seconds = None;
     check_independence = false;
     incremental = true;
+    retries = Resilience.default.Resilience.retries;
+    escalation_factor = Resilience.default.Resilience.escalation_factor;
+    validate_models = Resilience.default.Resilience.validate_models;
   }
 
 let make_options ?(mode = Per_instruction) ?(jobs = 1)
     ?(conflict_budget = max_int) ?(max_iterations = 256) ?deadline_seconds
-    ?(check_independence = false) ?(incremental = true) () =
+    ?(check_independence = false) ?(incremental = true)
+    ?(retries = default_options.retries)
+    ?(escalation_factor = default_options.escalation_factor)
+    ?(validate_models = default_options.validate_models) () =
   if jobs < 1 then invalid_arg "Engine.make_options: jobs < 1";
   if max_iterations < 1 then invalid_arg "Engine.make_options: max_iterations < 1";
+  (* Resilience.make validates retries/escalation_factor *)
+  ignore (Resilience.make ~retries ~escalation_factor ~validate_models ());
   { mode; jobs; conflict_budget; max_iterations; deadline_seconds;
-    check_independence; incremental }
+    check_independence; incremental; retries; escalation_factor;
+    validate_models }
+
+let policy_of_options (o : options) =
+  Resilience.make ~retries:o.retries ~escalation_factor:o.escalation_factor
+    ~validate_models:o.validate_models ()
 
 type stats = {
   mutable iterations : int;
@@ -68,6 +88,10 @@ type stats = {
   mutable blasted_vars : int;
   mutable blasted_clauses : int;
   mutable trivial_unsats : int;
+  mutable retried_queries : int;
+  mutable degraded_queries : int;
+  mutable validation_failures : int;
+  mutable task_retries : int;
   mutable wall_seconds : float;
 }
 
@@ -92,9 +116,9 @@ type outcome =
       stats : stats;
     }
 
-exception Engine_error of string
+exception Engine_error = Synth_error.Engine_error
 
-let fail fmt = Printf.ksprintf (fun s -> raise (Engine_error s)) fmt
+let fail fmt = Synth_error.fail fmt
 
 type problem = {
   design : Oyster.Ast.design;
@@ -124,6 +148,10 @@ type run = {
   consumed : int Atomic.t;  (* conflicts consumed across all workers *)
   started : float;
   hole_marker : string;  (* prefix identifying hole variables *)
+  policy : Resilience.policy;  (* derived once from [opts] *)
+  tasks_left : int Atomic.t;
+      (* per-instruction tasks not yet completed, shared by all workers:
+         the denominator of the resilience ladder's deadline slices *)
 }
 
 exception Stop of outcome
@@ -138,6 +166,10 @@ let fresh_stats () =
     blasted_vars = 0;
     blasted_clauses = 0;
     trivial_unsats = 0;
+    retried_queries = 0;
+    degraded_queries = 0;
+    validation_failures = 0;
+    task_retries = 0;
     wall_seconds = 0.0;
   }
 
@@ -147,7 +179,12 @@ let merge_stats into from =
   into.conflicts <- into.conflicts + from.conflicts;
   into.blasted_vars <- into.blasted_vars + from.blasted_vars;
   into.blasted_clauses <- into.blasted_clauses + from.blasted_clauses;
-  into.trivial_unsats <- into.trivial_unsats + from.trivial_unsats
+  into.trivial_unsats <- into.trivial_unsats + from.trivial_unsats;
+  into.retried_queries <- into.retried_queries + from.retried_queries;
+  into.degraded_queries <- into.degraded_queries + from.degraded_queries;
+  into.validation_failures <-
+    into.validation_failures + from.validation_failures;
+  into.task_retries <- into.task_retries + from.task_retries
 
 (* Rebuild an outcome around the scheduler's merged stats (worker Stop
    payloads carry only that worker's tally). *)
@@ -190,27 +227,117 @@ let budget_remaining run =
 let query_deadline run =
   Option.map (fun d -> run.started +. d) run.opts.deadline_seconds
 
-let solver_query run assertions =
-  let remaining = budget_remaining run in
-  let result = Solver.check ~budget:remaining ?deadline:(query_deadline run) assertions in
-  account run (Solver.stats_of result);
-  match result with
-  | Solver.Unknown _ -> raise (Stop (Timeout run.stats))
-  | r -> r
+(* {1 Model validation}
 
-(* The incremental counterpart: same budget/deadline/accounting contract,
-   but the query runs inside a persistent session ([assertions] are
-   asserted permanently, [assumptions] name retractable guards). *)
-let session_query ?assumptions run sess assertions =
-  let remaining = budget_remaining run in
-  let result =
-    Solver.Session.check_with ?assumptions ~budget:remaining
-      ?deadline:(query_deadline run) sess assertions
+   The runtime guard against trusting a wrong [Sat] model (a latent
+   session bug, or an injected corruption): evaluate the asserted terms
+   concretely under the model and require every one to hold.  The
+   evaluation environment mirrors the solver's own defaulting rules —
+   variables the blaster simplified away take any value (zero), residual
+   memory reads resolve through the model's read instances (Ackermann
+   congruence makes that canonical), absent addresses default to zero
+   exactly as [cex_env] exposes them — so a model the solver honestly
+   produced always passes. *)
+
+let model_env (model : Solver.model) =
+  {
+    Term.lookup_var =
+      (fun n w ->
+        match model.Solver.var_value n with
+        | Some v -> Some v
+        | None -> Some (Bitvec.zero w));
+    Term.lookup_read =
+      (fun m a ->
+        match Solver.read_lookup model m a with
+        | Some v -> Some v
+        | None -> Some (Bitvec.zero m.Term.data_width));
+  }
+
+let model_satisfies model terms =
+  let env = model_env model in
+  List.for_all (fun t -> Bitvec.is_ones (Term.eval env t)) terms
+
+(* {1 The resilient query ladder}
+
+   One logical query runs as up to [retries + 1] attempts (see
+   {!Resilience}): escalating conflict budgets, per-task deadline slices,
+   and a final attempt that degrades from the incremental session to a
+   fresh one-shot solver.  [check] performs the query in its primary mode;
+   [fresh] re-states the same query against a fresh solver (the degraded
+   mode); [validate] lazily names the terms any [Sat] model must satisfy
+   concretely when model validation is on.
+
+   An [Unknown] on a non-final attempt retries one rung up; on the final
+   attempt it raises [Stop (Timeout _)] — the ladder is the only place
+   that turns solver Unknowns into engine timeouts.  A validation failure
+   retries like an Unknown, except that it always earns a fresh-solver
+   rung (even with [retries = 0] the engine never emits bindings from an
+   unvalidated model just because retrying is disabled), and a failure
+   {e on} the fresh rung is a hard error: at that point the model came
+   from a stateless solver, so something is wrong beyond a transient. *)
+let resilient run ~check ~fresh ~validate =
+  let p = run.policy in
+  let total = run.opts.conflict_budget in
+  let attempts = Resilience.attempts p in
+  let rec go attempt =
+    let remaining = budget_remaining run in
+    (* [attempt] exceeds [attempts] only on the bonus validation rung *)
+    let rung = min attempt attempts in
+    let use_fresh = attempt > 1 && attempt >= attempts in
+    let final = attempt >= attempts in
+    let budget = Resilience.attempt_budget p ~total ~remaining ~attempt:rung in
+    let deadline =
+      Resilience.slice_deadline p ~now:(now ()) ~hard:(query_deadline run)
+        ~tasks_left:(Atomic.get run.tasks_left) ~attempt:rung
+    in
+    if use_fresh then
+      run.stats.degraded_queries <- run.stats.degraded_queries + 1;
+    let result =
+      if use_fresh then fresh ~budget ?deadline ()
+      else check ~budget ?deadline ()
+    in
+    account run (Solver.stats_of result);
+    match result with
+    | Solver.Unknown _ ->
+        if final then raise (Stop (Timeout run.stats))
+        else begin
+          run.stats.retried_queries <- run.stats.retried_queries + 1;
+          go (attempt + 1)
+        end
+    | Solver.Sat (m, _)
+      when p.Resilience.validate_models
+           && not (model_satisfies m (validate ())) ->
+        run.stats.validation_failures <- run.stats.validation_failures + 1;
+        if use_fresh then
+          fail
+            "model validation failed on a fresh solver (persistent fault or \
+             solver bug)"
+        else begin
+          run.stats.retried_queries <- run.stats.retried_queries + 1;
+          go (attempt + 1)
+        end
+    | r -> r
   in
-  account run (Solver.stats_of result);
-  match result with
-  | Solver.Unknown _ -> raise (Stop (Timeout run.stats))
-  | r -> r
+  go 1
+
+let solver_query run assertions =
+  let q ~budget ?deadline () = Solver.check ~budget ?deadline assertions in
+  resilient run ~check:q ~fresh:q ~validate:(fun () -> assertions)
+
+(* The incremental counterpart: the query runs inside a persistent session
+   ([assertions] are asserted permanently — once, before the ladder, so
+   retries re-search without re-asserting — and [assumptions] name
+   retractable guards).  [shadow] must restate the whole logical query as
+   plain terms: it is what the degraded fresh-solver rung solves and what
+   model validation evaluates. *)
+let session_query ?assumptions ~shadow run sess assertions =
+  List.iter (Solver.Session.assert_always sess) assertions;
+  resilient run
+    ~check:(fun ~budget ?deadline () ->
+      Solver.Session.check_with ?assumptions ~budget ?deadline sess [])
+    ~fresh:(fun ~budget ?deadline () ->
+      Solver.check ~budget ?deadline (shadow ()))
+    ~validate:shadow
 
 let is_hole_var run name =
   (* hole variables are <prefix>hole!<name> plus the per-instruction suffix *)
@@ -327,14 +454,62 @@ let ground_reads (model : Solver.model) (root : Term.t) : Term.t =
 type verdict = Verified | Violated of Solver.model | Inconclusive
 
 let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
-    (problem : problem) : (string * verdict) list =
+    ?(retries = default_options.retries)
+    ?(escalation_factor = default_options.escalation_factor)
+    ?(validate_models = default_options.validate_models) (problem : problem) :
+    (string * verdict) list =
   if Oyster.Ast.holes problem.design <> [] then
     fail "Engine.verify: design still has holes (synthesize first)";
+  let policy = Resilience.make ~retries ~escalation_factor ~validate_models () in
   let trace =
     Oyster.Symbolic.eval ~prefix:(problem_prefix problem) problem.design
       ~cycles:problem.af.Ila.Absfun.cycles
   in
   let conds = Ila.Conditions.compile problem.spec problem.af trace in
+  let tasks_left = Atomic.make (List.length conds) in
+  (* The same resilience ladder as the synthesis core, per instruction:
+     [budget] bounds the instruction's whole ladder (escalating rungs plus
+     a fresh-solver final rung), deadline slices divide the remaining wall
+     time over the instructions still outstanding, and with
+     [validate_models] every Sat model is concretely evaluated against
+     [shadow] before being trusted.  Exhausting the ladder is
+     Inconclusive, like any other Unknown. *)
+  let resilient_check ~check ~shadow =
+    let attempts = Resilience.attempts policy in
+    let consumed = ref 0 in
+    let rec go attempt =
+      let remaining = budget - !consumed in
+      if remaining <= 0 then Solver.Unknown Solver.empty_stats
+      else begin
+        let rung = min attempt attempts in
+        let use_fresh = attempt > 1 && attempt >= attempts in
+        let b =
+          Resilience.attempt_budget policy ~total:budget ~remaining
+            ~attempt:rung
+        in
+        let dl =
+          Resilience.slice_deadline policy ~now:(now ()) ~hard:deadline
+            ~tasks_left:(Atomic.get tasks_left) ~attempt:rung
+        in
+        let result =
+          if use_fresh then Solver.check ~budget:b ?deadline:dl (shadow ())
+          else check ~budget:b ?deadline:dl ()
+        in
+        consumed := !consumed + (Solver.stats_of result).Solver.sat_conflicts;
+        match result with
+        | Solver.Unknown _ when attempt < attempts -> go (attempt + 1)
+        | Solver.Sat (m, _)
+          when validate_models && not (model_satisfies m (shadow ())) ->
+            if use_fresh then
+              fail
+                "Engine.verify: model validation failed on a fresh solver \
+                 (persistent fault or solver bug)"
+            else go (attempt + 1)
+        | r -> r
+      end
+    in
+    go 1
+  in
   (* Each instruction's refinement check is an independent solver query, so
      they fan out over the worker pool; results keep instruction order.
      Incrementally, every worker keeps one session for all the instructions
@@ -342,9 +517,12 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
      blasting cache re-encodes only each instruction's decode-specific
      cones.  Which instructions share a worker's session depends on the
      dynamic schedule, but with an unexhausted budget that only perturbs
-     search order, never the Verified/Violated verdict. *)
-  Pool.map_arena ~jobs ~make:Solver.Arena.create
-    (fun arena (c : Ila.Conditions.conditions) ->
+     search order, never the Verified/Violated verdict.  Tasks crashed by
+     an injected fault are retried on a fresh arena like the synthesis
+     pool's. *)
+  try
+    Pool.map_arena ~jobs ~make:Solver.Arena.create ~retries
+      (fun arena (c : Ila.Conditions.conditions) ->
       let violation =
         Term.band c.Ila.Conditions.pre
           (Term.band c.Ila.Conditions.assumes (Term.bnot c.Ila.Conditions.post))
@@ -361,12 +539,20 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
           let s = Solver.Arena.shared arena in
           let g = Solver.Session.assert_retractable s refined in
           let r =
-            Solver.Session.check_with ~assumptions:[ g ] ~budget ?deadline s []
+            resilient_check
+              ~check:(fun ~budget ?deadline () ->
+                Solver.Session.check_with ~assumptions:[ g ] ~budget ?deadline
+                  s [])
+              ~shadow:(fun () -> [ refined ])
           in
           Solver.Session.retract s g;
           r
         end
-        else Solver.check ~budget ?deadline [ refined ]
+        else
+          resilient_check
+            ~check:(fun ~budget ?deadline () ->
+              Solver.check ~budget ?deadline [ refined ])
+            ~shadow:(fun () -> [ refined ])
       in
       let verdict =
         match refined_outcome with
@@ -383,8 +569,12 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
             | Solver.Sat (m', _) -> Violated m'
             | Solver.Unsat _ | Solver.Unknown _ -> Violated m)
       in
+      ignore (Atomic.fetch_and_add tasks_left (-1));
       (c.Ila.Conditions.instr_name, verdict))
-    conds
+      conds
+  with Fault.Injected_crash i ->
+    fail "Engine.verify: worker task attempt %d crashed and exhausted %d retries"
+      i retries
 
 (* {1 The synthesis core} *)
 
@@ -403,6 +593,8 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
       consumed = Atomic.make 0;
       started;
       hole_marker = trace.Oyster.Symbolic.prefix ^ "hole!";
+      policy = policy_of_options options;
+      tasks_left = Atomic.make 1;
     }
   in
   try
@@ -503,19 +695,21 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
     let session_verify trun sess violation candidate =
       let v = Term.substitute (candidate_env trun candidate) violation in
       let g = Solver.Session.assert_retractable sess v in
-      let result = session_query ~assumptions:[ g ] trun sess [] in
+      let result =
+        session_query ~assumptions:[ g ] ~shadow:(fun () -> [ v ]) trun sess []
+      in
       Solver.Session.retract sess g;
       match result with
       | Solver.Sat (m, _) -> Some m
       | Solver.Unsat _ -> None
-      | Solver.Unknown _ -> assert false
+      | Solver.Unknown _ -> fail "internal: resilient query returned Unknown"
     in
     let fresh_verify trun violation candidate =
       let v = Term.substitute (candidate_env trun candidate) violation in
       match solver_query trun [ v ] with
       | Solver.Sat (m, _) -> Some m
       | Solver.Unsat _ -> None
-      | Solver.Unknown _ -> assert false
+      | Solver.Unknown _ -> fail "internal: resilient query returned Unknown"
     in
     let independent = options.mode = Per_instruction && shared_holes = [] in
     (if independent then begin
@@ -551,6 +745,11 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
                Some (Solver.Arena.session arena, Solver.Arena.session arena)
              else None
            in
+           (* every accumulated ground constraint, newest first — the fresh
+              mode's whole query, and in incremental mode the shadow of the
+              synth session's asserted set (what the resilience ladder's
+              degraded fresh-solver rung re-solves, and what model
+              validation evaluates) *)
            let local_constraints = ref [] in
            let verify_candidate () =
              match sessions with
@@ -558,11 +757,12 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
              | None -> fresh_verify trun violation local
            in
            let synth_with g =
+             local_constraints := g :: !local_constraints;
              match sessions with
-             | Some (_, ssess) -> session_query trun ssess [ g ]
-             | None ->
-                 local_constraints := g :: !local_constraints;
-                 solver_query trun !local_constraints
+             | Some (_, ssess) ->
+                 session_query ~shadow:(fun () -> !local_constraints) trun
+                   ssess [ g ]
+             | None -> solver_query trun !local_constraints
            in
            try
              let rec loop iter =
@@ -584,20 +784,32 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
                                  instr = Some c.Ila.Conditions.instr_name;
                                  stats = trun.stats;
                                }))
-                   | Solver.Unknown _ -> assert false);
+                   | Solver.Unknown _ ->
+                       fail "internal: resilient query returned Unknown");
                    loop (iter + 1)
              in
              loop 1;
+             ignore (Atomic.fetch_and_add run.tasks_left (-1));
              (`Solved local, trun.stats)
            with Stop o ->
              Atomic.set failed true;
+             ignore (Atomic.fetch_and_add run.tasks_left (-1));
              (`Stopped o, trun.stats)
          end
        in
+       Atomic.set run.tasks_left (List.length formulas);
+       let task_retried = Atomic.make 0 in
        let results =
-         Pool.map_arena ~jobs:options.jobs ~make:Solver.Arena.create task
-           formulas
+         try
+           Pool.map_arena ~jobs:options.jobs ~make:Solver.Arena.create
+             ~retries:options.retries ~retried:task_retried task formulas
+         with Fault.Injected_crash i ->
+           fail
+             "worker task attempt %d crashed and exhausted %d retries" i
+             options.retries
        in
+       run.stats.task_retries <-
+         run.stats.task_retries + Atomic.get task_retried;
        (* deterministic merge, in instruction order *)
        List.iter (fun (_, ts) -> merge_stats run.stats ts) results;
        (match
@@ -656,14 +868,15 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
            | Some s ->
                let fresh = List.rev !pending in
                pending := [];
-               session_query run s fresh
+               session_query ~shadow:(fun () -> !constraints) run s fresh
            | None -> solver_query run !constraints
          in
          match result with
          | Solver.Sat (m, _) -> refresh_table candidate m
          | Solver.Unsat _ ->
              raise (Stop (Unrealizable { instr = None; stats = run.stats }))
-         | Solver.Unknown _ -> assert false
+         | Solver.Unknown _ ->
+             fail "internal: resilient query returned Unknown"
        in
        let verify (v, sess) =
          match sess with

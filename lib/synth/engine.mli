@@ -33,11 +33,28 @@ type options = {
           literals — instead of re-encoding every query from scratch.  On
           by default; [false] restores the historical fresh-solver-per-query
           behavior (the [--no-incremental] escape hatch). *)
+  retries : int;
+      (** extra attempts per solver query (and per crashed pool task)
+          before giving up: an [Unknown] outcome climbs the {!Resilience}
+          ladder — geometrically escalating conflict budgets and deadline
+          slices, the final attempt degrading from the incremental session
+          to a fresh one-shot solver — instead of immediately timing the
+          run out.  With the default unlimited budget and no deadline the
+          ladder only engages under injected or environmental faults, so
+          it costs nothing otherwise. *)
+  escalation_factor : int;
+      (** geometric budget/time growth per retry attempt *)
+  validate_models : bool;
+      (** cross-check every [Sat] model by concretely evaluating the
+          asserted terms before trusting it; a failed check retries and
+          ultimately falls back to a fresh solver rather than emitting
+          wrong bindings.  Off by default (pay-as-you-go). *)
 }
 
 val default_options : options
 (** [Per_instruction], one job, unlimited conflicts, 256 rounds, no
-    deadline, incremental sessions on. *)
+    deadline, incremental sessions on, 2 retries with factor-4 escalation,
+    model validation off. *)
 
 val make_options :
   ?mode:mode ->
@@ -47,12 +64,16 @@ val make_options :
   ?deadline_seconds:float ->
   ?check_independence:bool ->
   ?incremental:bool ->
+  ?retries:int ->
+  ?escalation_factor:int ->
+  ?validate_models:bool ->
   unit ->
   options
 (** Labelled construction of {!options}, defaulting every field like
     {!default_options}.  Prefer this over record literals so adding option
     fields stops breaking call sites.  Raises [Invalid_argument] if
-    [jobs < 1] or [max_iterations < 1]. *)
+    [jobs < 1], [max_iterations < 1], [retries < 0], or
+    [escalation_factor < 1]. *)
 
 type stats = {
   mutable iterations : int;
@@ -68,6 +89,17 @@ type stats = {
           incremental sessions exist to avoid repeating. *)
   mutable trivial_unsats : int;
       (** queries refuted by constant folding before any SAT search *)
+  mutable retried_queries : int;
+      (** ladder retries: query attempts that came back [Unknown] (or
+          failed model validation) and were re-run one rung up *)
+  mutable degraded_queries : int;
+      (** ladder final rungs executed on a fresh one-shot solver instead
+          of the incremental session *)
+  mutable validation_failures : int;
+      (** [Sat] models rejected by concrete evaluation of the asserted
+          terms (with [validate_models]) *)
+  mutable task_retries : int;
+      (** crashed pool tasks re-executed on a fresh worker arena *)
   mutable wall_seconds : float;
 }
 
@@ -161,6 +193,9 @@ val verify :
   ?deadline:float ->
   ?jobs:int ->
   ?incremental:bool ->
+  ?retries:int ->
+  ?escalation_factor:int ->
+  ?validate_models:bool ->
   problem ->
   (string * verdict) list
 (** Raises {!Engine_error} if the design still has holes.  [jobs]
@@ -173,4 +208,12 @@ val verify :
     unexhausted budget this never changes a verdict (counterexample models
     are re-derived by a fresh check, so they are schedule-independent
     too), but under a tight [budget] the exact query that exhausts it may
-    differ from the fresh mode's. *)
+    differ from the fresh mode's.
+
+    [retries], [escalation_factor], and [validate_models] (defaults as in
+    {!default_options}) run each instruction's query through the same
+    {!Resilience} ladder as synthesis: [budget] bounds the whole ladder,
+    deadline slices divide the remaining wall time over the instructions
+    still outstanding, the final attempt runs on a fresh one-shot solver,
+    and only an exhausted ladder is reported [Inconclusive].  Crashed
+    worker tasks are retried up to [retries] times on a fresh arena. *)

@@ -23,7 +23,9 @@ type stats = {
 
 type result = { solved : Engine.solved; minimize_stats : stats }
 
-exception Minimize_error of string
+(* an alias of the shared synthesis failure so one CLI handler catches
+   both engine and minimizer errors *)
+exception Minimize_error = Synth_error.Engine_error
 
 let popular_value values =
   (* most frequent Bitvec in a list; ties break to the first seen *)

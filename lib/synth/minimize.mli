@@ -17,6 +17,9 @@ type stats = {
 type result = { solved : Engine.solved; minimize_stats : stats }
 
 exception Minimize_error of string
+(** An alias of {!Synth_error.Engine_error} (hence of
+    [Engine.Engine_error]): all synthesis-layer failures share one
+    exception so the CLI reports them uniformly. *)
 
 val run : ?budget:int -> Engine.problem -> Engine.solved -> result
 (** [budget] bounds each re-verification query's SAT conflicts; queries that

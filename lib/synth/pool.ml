@@ -8,31 +8,56 @@
 
    Results are stored by task index and returned in input order, so callers
    see a deterministic shape regardless of completion order.  A task that
-   raises does not tear the pool down mid-run: every task still executes,
-   and the exception of the lowest-indexed failing task is re-raised after
-   all workers have joined (deterministic blame). *)
+   raises is first retried up to [retries] times, each retry on fresh
+   per-worker state (a crashed worker's arena may be mid-mutation, so it is
+   abandoned rather than reused); only a task whose every attempt raised
+   becomes [Raised].  That does not tear the pool down mid-run either:
+   every task still executes, and the exception of the lowest-indexed
+   failing task is re-raised after all workers have joined (deterministic
+   blame). *)
 
 type 'b cell = Pending | Done of 'b | Raised of exn
 
-(* [map_arena] is the general form: each worker calls [make] exactly once,
-   at startup, and passes the resulting per-worker state to every task it
-   executes.  This is how the engine gives each domain its own
-   {!Solver.Arena} — sessions are unlocked single-owner state, so they
-   must be allocated on (and never leave) the domain that uses them. *)
-let map_arena ~jobs ~make f items =
+(* [map_arena] is the general form: each worker calls [make] at startup
+   (and once more per retry attempt), and passes the resulting per-worker
+   state to every task it executes.  This is how the engine gives each
+   domain its own {!Solver.Arena} — sessions are unlocked single-owner
+   state, so they must be allocated on (and never leave) the domain that
+   uses them. *)
+let map_arena ~jobs ~make ?(retries = 0) ?retried f items =
   if jobs < 1 then invalid_arg "Pool.map_arena: jobs < 1";
+  if retries < 0 then invalid_arg "Pool.map_arena: retries < 0";
   let arr = Array.of_list items in
   let n = Array.length arr in
   if n = 0 then []
   else begin
     let results = Array.make n Pending in
     let cursor = Atomic.make 0 in
+    let run_task w i =
+      (* [Fault.on_task] is the crash-injection point: it counts this
+         attempt and raises when the installed fault plan says so, taking
+         exactly the retry path a real worker crash would *)
+      let rec attempt w k =
+        try
+          Fault.on_task ();
+          Done (f w arr.(i))
+        with e ->
+          if k >= retries then Raised e
+          else begin
+            (match retried with
+            | Some c -> Atomic.incr c
+            | None -> ());
+            attempt (make ()) (k + 1)
+          end
+      in
+      attempt w 0
+    in
     let worker () =
       let w = make () in
       let rec go () =
         let i = Atomic.fetch_and_add cursor 1 in
         if i < n then begin
-          results.(i) <- (try Done (f w arr.(i)) with e -> Raised e);
+          results.(i) <- run_task w i;
           go ()
         end
       in

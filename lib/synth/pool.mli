@@ -7,17 +7,34 @@
     domains plus the calling domain, results returned in input order. *)
 
 val map_arena :
-  jobs:int -> make:(unit -> 'w) -> ('w -> 'a -> 'b) -> 'a list -> 'b list
+  jobs:int ->
+  make:(unit -> 'w) ->
+  ?retries:int ->
+  ?retried:int Atomic.t ->
+  ('w -> 'a -> 'b) ->
+  'a list ->
+  'b list
 (** [map_arena ~jobs ~make f items] is {!map} with per-worker state: each
-    worker domain calls [make ()] exactly once before pulling tasks, and
-    every task that worker executes receives that worker's state as the
-    first argument.  The engine uses this to give each domain a private
+    worker domain calls [make ()] once before pulling tasks, and every
+    task that worker executes receives that worker's state as the first
+    argument.  The engine uses this to give each domain a private
     {!Solver.Arena} — incremental solver sessions are unlocked
     single-owner state, so they are allocated per worker and never cross
     domains.  Which tasks share a worker's state depends on the dynamic
     schedule; state must therefore only carry caches or other
-    result-invariant context.  Exception and ordering behavior are exactly
-    {!map}'s. *)
+    result-invariant context.
+
+    A task that raises is re-executed up to [retries] times (default 0),
+    each retry on a fresh [make ()] state — a crashed attempt may have
+    left the worker's state mid-mutation, so it is abandoned for that
+    task.  Each retry increments [retried] when given, so callers can
+    surface recovery counts in their statistics.  Every attempt first
+    passes the {!Fault.on_task} crash-injection point, which is how
+    simulated worker crashes exercise exactly this path.  Only a task
+    whose every attempt raised counts as failed; exception and ordering
+    behavior for such tasks are exactly {!map}'s (lowest-indexed failing
+    task re-raised after all workers join).  Raises [Invalid_argument] if
+    [retries < 0]. *)
 
 val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f items] applies [f] to every item, running up to [jobs]

@@ -1,0 +1,57 @@
+(* The escalating retry ladder.  See the interface for the contract; the
+   only subtlety here is saturation: budgets are habitually [max_int], so
+   every multiplication and power clamps instead of overflowing. *)
+
+type policy = {
+  retries : int;
+  escalation_factor : int;
+  validate_models : bool;
+}
+
+let default = { retries = 2; escalation_factor = 4; validate_models = false }
+
+let make ?(retries = default.retries)
+    ?(escalation_factor = default.escalation_factor)
+    ?(validate_models = default.validate_models) () =
+  if retries < 0 then invalid_arg "Resilience.make: retries < 0";
+  if escalation_factor < 1 then
+    invalid_arg "Resilience.make: escalation_factor < 1";
+  { retries; escalation_factor; validate_models }
+
+let attempts p = p.retries + 1
+let is_final p ~attempt = attempt >= attempts p
+
+let mul_sat a b =
+  if a <= 0 || b <= 0 then 0
+  else if a > max_int / b then max_int
+  else a * b
+
+let pow_sat base n =
+  let rec go acc n = if n <= 0 then acc else go (mul_sat acc base) (n - 1) in
+  go 1 n
+
+(* The first rung: total divided down by factor^retries, so the whole
+   ladder (a geometric series summing to < total * f/(f-1) of the first
+   rung... i.e. roughly total) stays within the pool even if every rung
+   runs dry.  Never below one conflict. *)
+let first_budget p ~total =
+  max 1 (total / pow_sat p.escalation_factor p.retries)
+
+let attempt_budget p ~total ~remaining ~attempt =
+  if is_final p ~attempt then remaining
+  else
+    min remaining
+      (mul_sat (first_budget p ~total)
+         (pow_sat p.escalation_factor (attempt - 1)))
+
+let slice_deadline p ~now ~hard ~tasks_left ~attempt =
+  match hard with
+  | None -> None
+  | Some h ->
+      if is_final p ~attempt then Some h
+      else
+        let share = (h -. now) /. float_of_int (max 1 tasks_left) in
+        let share =
+          share *. float_of_int (pow_sat p.escalation_factor (attempt - 1))
+        in
+        Some (min h (now +. share))

@@ -1,0 +1,3 @@
+exception Engine_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Engine_error s)) fmt

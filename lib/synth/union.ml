@@ -70,7 +70,7 @@ let order_for_default groups =
 (* LogicGen of Fig. 6: nested if-then-else over grouped values. *)
 let rec logic_gen (groups : group list) : Oyster.Ast.expr =
   match groups with
-  | [] -> invalid_arg "Union.logic_gen: no synthesis results"
+  | [] -> Synth_error.fail "Union.logic_gen: no synthesis results"
   | [ g ] -> Oyster.Ast.Const g.value
   | g :: rest ->
       let cond =
@@ -126,7 +126,8 @@ let apply (design : Oyster.Ast.design)
       used_instrs
   in
   (if List.length pre_defs <> List.length used_instrs then
-     invalid_arg "Union.apply: missing precondition expression for an instruction");
+     Synth_error.fail
+       "Union.apply: missing precondition expression for an instruction");
   let bindings =
     List.map (fun r -> (r.hole, logic_gen r.groups)) results
     @ List.map (fun (h, v) -> (h, Oyster.Ast.Const v)) shared

@@ -1,0 +1,128 @@
+(* Fault-injection plans: parsing, and the check/task hooks observed
+   through the public Solver API.
+
+   The plan state is process-global, so every test clears it on the way
+   out (Fun.protect) — a leaked plan would silently corrupt later tests. *)
+
+let with_plan s f =
+  Fault.install (Fault.parse s);
+  Fun.protect ~finally:Fault.clear f
+
+let test_parse_roundtrip () =
+  let canon s = Fault.to_string (Fault.parse s) in
+  Alcotest.(check string)
+    "canonical order" "unknown@2,corrupt@7,crash@1,seed=5"
+    (canon "crash@1,seed=5,corrupt@7,unknown@2");
+  Alcotest.(check string)
+    "duplicates collapse" "unknown@3"
+    (canon "unknown@3,unknown@3");
+  Alcotest.(check string)
+    "default seed omitted" "corrupt@1" (canon "corrupt@1,seed=0");
+  Alcotest.(check string)
+    "whitespace tolerated" "crash@2,crash@4"
+    (canon " crash@4 , crash@2 ")
+
+let test_parse_errors () =
+  let rejects s =
+    Alcotest.(check bool)
+      (Printf.sprintf "rejects %S" s)
+      true
+      (match Fault.parse s with
+      | exception Fault.Parse_error _ -> true
+      | _ -> false)
+  in
+  List.iter rejects
+    [ ""; "bogus@1"; "unknown@0"; "unknown@x"; "seed=oops"; "unknown" ]
+
+(* one assertion pinning x to a constant: Sat with exactly one honest
+   model, so corruption is detectable as "model value <> 5" *)
+let pinned () = [ Term.eq (Term.var "x" 8) (Term.const (Bitvec.of_int ~width:8 5)) ]
+
+let value_of = function
+  | Solver.Sat (m, _) -> (
+      match m.Solver.var_value "x" with
+      | Some v -> Bitvec.to_int_exn v
+      | None -> Alcotest.fail "model missing x")
+  | _ -> Alcotest.fail "expected Sat"
+
+let test_spurious_unknown () =
+  with_plan "unknown@1" (fun () ->
+      (match Solver.check (pinned ()) with
+      | Solver.Unknown _ -> ()
+      | _ -> Alcotest.fail "planned check should be Unknown");
+      Alcotest.(check int) "fault fired" 1 (Fault.fired ());
+      (* the next check (index 2, unplanned) is honest *)
+      Alcotest.(check int) "honest after fault" 5
+        (value_of (Solver.check (pinned ()))));
+  (* plan cleared: first check honest again *)
+  Alcotest.(check int) "honest without plan" 5
+    (value_of (Solver.check (pinned ())))
+
+let test_corrupt_model () =
+  with_plan "corrupt@1,seed=7" (fun () ->
+      let v = value_of (Solver.check (pinned ())) in
+      Alcotest.(check bool)
+        (Printf.sprintf "corrupted value (got %d)" v)
+        true (v <> 5);
+      Alcotest.(check int) "fault fired" 1 (Fault.fired ());
+      Alcotest.(check int) "honest after fault" 5
+        (value_of (Solver.check (pinned ()))))
+
+let test_corrupt_session_retry () =
+  (* a session retry of the same corrupted check reproduces the honest
+     model — the corruption damages only the returned copy, never the
+     solver state.  This is the property the engine's validation-retry
+     path relies on. *)
+  with_plan "corrupt@1,seed=7" (fun () ->
+      let s = Solver.Session.create () in
+      let v1 =
+        match Solver.Session.check_with s (pinned ()) with
+        | Solver.Sat (m, _) -> m.Solver.var_value "x"
+        | _ -> Alcotest.fail "expected Sat"
+      in
+      Alcotest.(check bool) "first model corrupted" true
+        (v1 <> Some (Bitvec.of_int ~width:8 5));
+      match Solver.Session.check_with s [] with
+      | Solver.Sat (m, _) ->
+          Alcotest.(check bool) "retry honest" true
+            (m.Solver.var_value "x" = Some (Bitvec.of_int ~width:8 5))
+      | _ -> Alcotest.fail "retry should be Sat")
+
+let test_unknown_beats_corrupt () =
+  with_plan "unknown@1,corrupt@1" (fun () ->
+      match Solver.check (pinned ()) with
+      | Solver.Unknown _ -> ()
+      | _ -> Alcotest.fail "unknown@N must win over corrupt@N")
+
+let test_task_crash () =
+  with_plan "crash@2" (fun () ->
+      Fault.on_task ();  (* attempt 1: planned clean *)
+      (match Fault.on_task () with
+      | exception Fault.Injected_crash 2 -> ()
+      | exception Fault.Injected_crash i ->
+          Alcotest.fail (Printf.sprintf "crashed with index %d" i)
+      | () -> Alcotest.fail "attempt 2 should crash");
+      Fault.on_task ();  (* attempt 3: clean again *)
+      Alcotest.(check int) "one crash fired" 1 (Fault.fired ()));
+  Fault.on_task () (* no plan: free *)
+
+let test_env_install () =
+  (* install_from_env reads OWL_FAULT_PLAN; absent/blank means no plan *)
+  Alcotest.(check bool) "no env, no plan" false
+    (Sys.getenv_opt "OWL_FAULT_PLAN" = None && Fault.install_from_env ());
+  Alcotest.(check bool) "still inactive" false (Fault.active ())
+
+let () =
+  Alcotest.run "fault"
+    [ ("plan",
+       [ Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
+         Alcotest.test_case "parse errors" `Quick test_parse_errors;
+         Alcotest.test_case "env install" `Quick test_env_install ]);
+      ("injection",
+       [ Alcotest.test_case "spurious unknown" `Quick test_spurious_unknown;
+         Alcotest.test_case "corrupt model" `Quick test_corrupt_model;
+         Alcotest.test_case "corrupt then session retry" `Quick
+           test_corrupt_session_retry;
+         Alcotest.test_case "unknown beats corrupt" `Quick
+           test_unknown_beats_corrupt;
+         Alcotest.test_case "task crash" `Quick test_task_crash ]) ]

@@ -153,6 +153,29 @@ let test_budget () =
   (* a second call with a real budget still works *)
   Alcotest.(check bool) "then solves" true (Sat.solve s = Sat.Unsat)
 
+let test_deadline_expired () =
+  (* an already-expired deadline must refuse up front, even on an easy
+     instance that would never reach the every-256-conflicts check *)
+  let s = Sat.create () in
+  let v1 = Sat.new_var s in
+  let v2 = Sat.new_var s in
+  Sat.add_clause s [ v1; v2 ];
+  Alcotest.(check bool)
+    "expired deadline unknown" true
+    (Sat.solve ~deadline:(Unix.gettimeofday () -. 1.0) s = Sat.Unknown);
+  (* the refusal must leave the solver reusable *)
+  Alcotest.(check bool) "then solves" true (Sat.solve s = Sat.Sat)
+
+let test_deadline_midsearch () =
+  (* php 9 8 needs far more than a few ms of search, so a near-now
+     deadline fires the in-search test; afterwards the solver must still
+     reach the honest verdict *)
+  let s = pigeonhole 9 8 in
+  Alcotest.(check bool)
+    "mid-search deadline unknown" true
+    (Sat.solve ~deadline:(Unix.gettimeofday () +. 0.02) s = Sat.Unknown);
+  Alcotest.(check bool) "then solves" true (Sat.solve s = Sat.Unsat)
+
 let test_xor_chain () =
   (* x1 xor x2 xor ... xor xn = 1 with all equalities forced pairwise *)
   let s = Sat.create () in
@@ -236,6 +259,8 @@ let () =
       ("structured",
        [ Alcotest.test_case "pigeonhole" `Quick test_pigeonhole;
          Alcotest.test_case "budget" `Quick test_budget;
+         Alcotest.test_case "deadline expired" `Quick test_deadline_expired;
+         Alcotest.test_case "deadline mid-search" `Quick test_deadline_midsearch;
          Alcotest.test_case "xor chain" `Quick test_xor_chain;
          Alcotest.test_case "edge cases" `Quick test_edges;
          Alcotest.test_case "random 3sat" `Quick test_large_random_3sat ]) ]
