@@ -41,25 +41,10 @@ module Report = struct
   let runs : string list ref = ref []
   let sections : string list ref = ref []
 
-  let escape s =
-    let b = Buffer.create (String.length s + 8) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string b "\\\""
-        | '\\' -> Buffer.add_string b "\\\\"
-        | c when Char.code c < 32 ->
-            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char b c)
-      s;
-    Buffer.contents b
-
-  let str s = "\"" ^ escape s ^ "\""
-
-  let obj fields =
-    "{"
-    ^ String.concat ", " (List.map (fun (k, v) -> str k ^ ": " ^ v) fields)
-    ^ "}"
+  (* JSON emission lives in Owl_obs's [Json] (the escaping code originated
+     here); the report and the Chrome trace sink share it *)
+  let str = Json.str
+  let obj = Json.obj
 
   let record fields = runs := obj fields :: !runs
 
@@ -88,6 +73,33 @@ module Report = struct
       obj [ ("name", str name); ("wall_seconds", Printf.sprintf "%.6f" wall) ]
       :: !sections
 
+  (* histogram summaries (and counters) accumulated by Owl_obs across the
+     whole invocation — query latency, conflicts per check, clauses per
+     blast — embedded so the distribution shape is diffable across
+     commits, not just the totals *)
+  let metric_objs () =
+    List.map
+      (fun (m : Obs.metric) ->
+        obj
+          ([ ("name", str m.Obs.metric_name);
+             ("kind",
+              str
+                (match m.Obs.metric_kind with
+                 | `Counter -> "counter"
+                 | `Histogram -> "histogram"));
+             ("count", Json.int m.Obs.count);
+             ("sum", Json.int m.Obs.sum) ]
+          @
+          match m.Obs.metric_kind with
+          | `Counter -> []
+          | `Histogram ->
+              [ ("min", Json.int m.Obs.min_value);
+                ("max", Json.int m.Obs.max_value);
+                ("p50", Json.int m.Obs.p50);
+                ("p90", Json.int m.Obs.p90);
+                ("p99", Json.int m.Obs.p99) ]))
+      (Obs.metrics ())
+
   let write () =
     let tm = Unix.localtime (Unix.gettimeofday ()) in
     let date =
@@ -99,7 +111,9 @@ module Report = struct
     let oc = open_out file in
     output_string oc
       ("{\n  \"date\": " ^ str date ^ ",\n  \"sections\": " ^ arr !sections
-     ^ ",\n  \"runs\": " ^ arr !runs ^ "\n}\n");
+     ^ ",\n  \"runs\": " ^ arr !runs ^ ",\n  \"metrics\": "
+     ^ arr (List.rev (metric_objs ()))
+     ^ "\n}\n");
     close_out oc;
     Printf.printf "\nbenchmark report written to %s\n" file
 end
@@ -512,6 +526,50 @@ let smoke () =
     prerr_endline "bench smoke: accumulator bindings diverged between modes";
     exit 1
   end;
+  (* One traced synthesis: the emitted Chrome trace must be valid JSON
+     (checked with Owl_obs's own strict parser) with a non-empty
+     traceEvents array. *)
+  Obs.enable ();
+  Obs.enable_metrics ();
+  ignore (solve ~incremental:true);
+  let trace = Obs.chrome_trace_string () in
+  Obs.disable ();
+  Obs.disable_metrics ();
+  (match Json.parse trace with
+  | doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.Arr (_ :: _ as evs)) ->
+          Printf.printf "bench smoke: trace is valid JSON with %d events\n"
+            (List.length evs)
+      | _ ->
+          prerr_endline "bench smoke: trace has no traceEvents";
+          exit 1)
+  | exception Json.Parse_error m ->
+      prerr_endline ("bench smoke: trace is not valid JSON: " ^ m);
+      exit 1);
+  (* Null-sink overhead: with tracing and metrics off, a span is one
+     atomic load plus a branch.  The bound is deliberately loose (it only
+     catches an accidentally expensive disabled path, e.g. a lock or an
+     allocation), so it holds on slow shared CI machines. *)
+  let reps = 1_000_000 in
+  let payload () = Sys.opaque_identity 2 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (payload ()))
+  done;
+  let bare = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Sys.opaque_identity (Obs.span "noop" payload))
+  done;
+  let spanned = Unix.gettimeofday () -. t0 in
+  let per_call_ns = (spanned -. bare) *. 1e9 /. float_of_int reps in
+  Printf.printf "bench smoke: disabled-span overhead %.1f ns/call\n"
+    per_call_ns;
+  if per_call_ns > 1000.0 then begin
+    prerr_endline "bench smoke: null-sink overhead exceeds 1000 ns/call";
+    exit 1
+  end;
   print_endline "bench smoke: ok"
 
 (* {1 Micro-benchmarks (Bechamel)} *)
@@ -592,6 +650,9 @@ let () =
       ("incremental", incremental); ("micro", micro) ]
   in
   let run_sections names =
+    (* histogram/counter collection across every section; the summaries
+       land in the report's "metrics" array *)
+    Obs.enable_metrics ();
     List.iter
       (fun name ->
         let (), dt = time (List.assoc name sections_tbl) in

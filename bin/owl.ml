@@ -178,6 +178,54 @@ let install_fault_plan = function
           Printf.eprintf "owl: OWL_FAULT_PLAN: %s\n" m;
           exit 1)
 
+(* {1 Observability}
+
+   [--trace FILE] records spans across the solver, CEGIS engine, and
+   worker pool and writes Chrome trace-event JSON (open in chrome://tracing
+   or https://ui.perfetto.dev); the OWL_TRACE environment variable is the
+   flagless equivalent, mirroring OWL_FAULT_PLAN (the flag wins).
+   [--metrics] prints the counter/histogram summary table.  Both write
+   through [at_exit] so the timeout and error exit paths still report. *)
+
+let trace_arg =
+  let doc =
+    "Record a trace of solver, CEGIS, and worker-pool activity and write \
+     it to $(docv) as Chrome trace-event JSON (viewable in chrome://tracing \
+     or Perfetto).  Also read from the OWL_TRACE environment variable; the \
+     flag wins.  Implies metrics collection."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Collect counters and latency/size histograms across the run and print \
+     a summary table on exit."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let install_observability ~trace ~metrics =
+  let trace =
+    match trace with Some _ -> trace | None -> Sys.getenv_opt "OWL_TRACE"
+  in
+  if metrics then begin
+    Obs.enable_metrics ();
+    at_exit (fun () -> print_string (Obs.summary_table ()))
+  end;
+  match trace with
+  | None -> ()
+  | Some file ->
+      Obs.enable ();
+      Obs.enable_metrics ();
+      at_exit (fun () ->
+          let events = List.length (Obs.events ()) in
+          let oc = open_out file in
+          Obs.write_chrome_trace oc;
+          close_out oc;
+          Printf.eprintf "trace: %d events written to %s%s\n%!" events file
+            (match Obs.dropped () with
+            | 0 -> ""
+            | d -> Printf.sprintf " (%d dropped)" d))
+
 (* every synthesis-layer failure (engine, union, minimizer) shares one
    structured exception; report it uniformly instead of crashing *)
 let or_engine_error f =
@@ -206,9 +254,10 @@ let synth_cmd =
          & info [ "pyrtl" ] ~doc:"Print the generated control logic PyRTL-style (paper Fig. 7).")
   in
   let run name monolithic jobs deadline output pyrtl no_incremental retries
-      escalation_factor validate_models fault_plan =
+      escalation_factor validate_models fault_plan trace metrics =
     check_jobs jobs;
     install_fault_plan fault_plan;
+    install_observability ~trace ~metrics;
     match lookup name with
     | Error m ->
         prerr_endline m;
@@ -232,26 +281,26 @@ let synth_cmd =
               Synth.Engine.synthesize ~options (e.problem ()))
         with
         | Synth.Engine.Solved s ->
+            let st = s.Synth.Engine.stats in
             Printf.printf
               "solved in %.2fs: %d CEGIS rounds, %d solver queries, %d conflicts\n"
-              s.Synth.Engine.stats.Synth.Engine.wall_seconds
-              s.Synth.Engine.stats.Synth.Engine.iterations
-              s.Synth.Engine.stats.Synth.Engine.queries
-              s.Synth.Engine.stats.Synth.Engine.conflicts;
-            let st = s.Synth.Engine.stats in
-            if
-              st.Synth.Engine.retried_queries > 0
-              || st.Synth.Engine.degraded_queries > 0
-              || st.Synth.Engine.validation_failures > 0
-              || st.Synth.Engine.task_retries > 0
-            then
-              Printf.printf
-                "recovered: %d query retries, %d fresh-solver fallbacks, %d \
-                 rejected models, %d task retries\n"
-                st.Synth.Engine.retried_queries
-                st.Synth.Engine.degraded_queries
-                st.Synth.Engine.validation_failures
-                st.Synth.Engine.task_retries;
+              st.Synth.Engine.wall_seconds st.Synth.Engine.iterations
+              st.Synth.Engine.queries st.Synth.Engine.conflicts;
+            (* the full statistics record, resilience tallies included —
+               the bench JSON is not the only place these are visible *)
+            let row name value = Printf.printf "  %-22s %d\n" name value in
+            row "iterations" st.Synth.Engine.iterations;
+            row "queries" st.Synth.Engine.queries;
+            row "conflicts" st.Synth.Engine.conflicts;
+            row "blasted vars" st.Synth.Engine.blasted_vars;
+            row "blasted clauses" st.Synth.Engine.blasted_clauses;
+            row "trivial unsats" st.Synth.Engine.trivial_unsats;
+            row "retried queries" st.Synth.Engine.retried_queries;
+            row "degraded queries" st.Synth.Engine.degraded_queries;
+            row "validation failures" st.Synth.Engine.validation_failures;
+            row "task retries" st.Synth.Engine.task_retries;
+            Printf.printf "  %-22s %.2f\n" "wall seconds"
+              st.Synth.Engine.wall_seconds;
             if pyrtl then begin
               print_endline "";
               print_string
@@ -268,8 +317,11 @@ let synth_cmd =
                 Printf.printf "completed design written to %s\n" file
             | None -> ())
         | Synth.Engine.Timeout st ->
-            Printf.printf "timeout after %.1fs (%d conflicts)\n"
-              st.Synth.Engine.wall_seconds st.Synth.Engine.conflicts;
+            Printf.printf
+              "timeout after %.1fs (%d CEGIS rounds, %d solver queries, %d \
+               conflicts)\n"
+              st.Synth.Engine.wall_seconds st.Synth.Engine.iterations
+              st.Synth.Engine.queries st.Synth.Engine.conflicts;
             exit 2
         | Synth.Engine.Unrealizable { instr; _ } ->
             Printf.printf "unrealizable: no control logic satisfies %s\n"
@@ -288,7 +340,7 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesize control logic for a case-study design")
     Term.(const run $ design_arg $ monolithic $ jobs_arg $ deadline $ output
           $ pyrtl $ no_incremental_arg $ retries_arg $ escalation_arg
-          $ validate_models_arg $ fault_plan_arg)
+          $ validate_models_arg $ fault_plan_arg $ trace_arg $ metrics_arg)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oyster")
@@ -457,9 +509,10 @@ let verify_cmd =
          & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock bound per query.")
   in
   let run name deadline jobs no_incremental retries escalation_factor
-      validate_models fault_plan =
+      validate_models fault_plan trace metrics =
     check_jobs jobs;
     install_fault_plan fault_plan;
+    install_observability ~trace ~metrics;
     match lookup name with
     | Error m ->
         prerr_endline m;
@@ -502,7 +555,7 @@ let verify_cmd =
          "Formally verify the hand-written reference control against the ILA specification")
     Term.(const run $ design_arg $ deadline $ jobs_arg $ no_incremental_arg
           $ retries_arg $ escalation_arg $ validate_models_arg
-          $ fault_plan_arg)
+          $ fault_plan_arg $ trace_arg $ metrics_arg)
 
 let verilog_cmd =
   let run file =

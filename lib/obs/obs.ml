@@ -1,0 +1,480 @@
+(* Tracing and metrics core.  See the interface for the contract.
+
+   Layout mirrors {!Fault}: the whole recording state hangs off one
+   [Atomic.t], so the disabled path of every instrumentation point is a
+   single atomic load and a branch — the "null sink".  When enabled, each
+   domain records into its own fixed-capacity buffer (reached through
+   domain-local storage, so the hot path takes no locks); buffers register
+   themselves with the epoch on a domain's first event, which is the only
+   mutex in the system and runs once per domain per epoch. *)
+
+type arg = Int of int | Float of float | Str of string | Bool of bool
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  ts : float;
+  dom : int;
+  seq : int;
+  args : (string * arg) list;
+}
+
+type ring = {
+  r_epoch : int;
+  r_dom : int;
+  r_events : event array;
+  mutable r_len : int;
+  mutable r_dropped : int;
+}
+
+type state = {
+  epoch : int;
+  capacity : int;
+  t0 : float;
+  mutable rings : ring list;  (* guarded by [reg_mutex]; newest first *)
+  reg_mutex : Mutex.t;
+}
+
+let current : state option Atomic.t = Atomic.make None
+let epoch_counter = Atomic.make 0
+
+let dummy_event =
+  { ph = Instant; name = ""; ts = 0.0; dom = 0; seq = 0; args = [] }
+
+(* Each domain caches its ring here; the epoch tag invalidates rings from
+   a previous enable so recordings never bleed across epochs. *)
+let ring_key : ring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let default_capacity = 1 lsl 18
+
+let enable ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Obs.enable: capacity < 1";
+  Atomic.set current
+    (Some
+       {
+         epoch = 1 + Atomic.fetch_and_add epoch_counter 1;
+         capacity;
+         t0 = Unix.gettimeofday ();
+         rings = [];
+         reg_mutex = Mutex.create ();
+       })
+
+let disable () = Atomic.set current None
+let enabled () = Atomic.get current <> None
+
+let ring_for st =
+  let slot = Domain.DLS.get ring_key in
+  match !slot with
+  | Some r when r.r_epoch = st.epoch -> r
+  | _ ->
+      let r =
+        {
+          r_epoch = st.epoch;
+          r_dom = (Domain.self () :> int);
+          r_events = Array.make st.capacity dummy_event;
+          r_len = 0;
+          r_dropped = 0;
+        }
+      in
+      Mutex.lock st.reg_mutex;
+      st.rings <- r :: st.rings;
+      Mutex.unlock st.reg_mutex;
+      slot := Some r;
+      r
+
+let emit st ph name args =
+  let r = ring_for st in
+  if r.r_len < Array.length r.r_events then begin
+    r.r_events.(r.r_len) <-
+      {
+        ph;
+        name;
+        ts = Unix.gettimeofday () -. st.t0;
+        dom = r.r_dom;
+        seq = r.r_len;
+        args;
+      };
+    r.r_len <- r.r_len + 1
+  end
+  else r.r_dropped <- r.r_dropped + 1
+
+let span ?(args = []) ?result name f =
+  match Atomic.get current with
+  | None -> f ()
+  | Some st -> (
+      emit st Begin name args;
+      match f () with
+      | v ->
+          let rargs = match result with None -> [] | Some g -> g v in
+          emit st End name rargs;
+          v
+      | exception e ->
+          emit st End name [ ("exception", Str (Printexc.to_string e)) ];
+          raise e)
+
+let instant ?(args = []) name =
+  match Atomic.get current with
+  | None -> ()
+  | Some st -> emit st Instant name args
+
+let snapshot_rings st =
+  Mutex.lock st.reg_mutex;
+  let rings = st.rings in
+  Mutex.unlock st.reg_mutex;
+  (* snapshot each ring's length so concurrent recording after this point
+     is invisible; sort by domain id for a canonical ring order *)
+  List.sort (fun (a, _) (b, _) -> compare a.r_dom b.r_dom)
+    (List.map (fun r -> (r, r.r_len)) rings)
+
+(* K-way merge ordered by (ts, dom).  Heads are consumed in per-ring
+   order, so one domain's events are never reordered even if its clock
+   stepped backward; ties across domains break by domain id, making the
+   merged stream a pure function of the buffers. *)
+let events () =
+  match Atomic.get current with
+  | None -> []
+  | Some st ->
+      let rings = Array.of_list (snapshot_rings st) in
+      let idx = Array.map (fun _ -> 0) rings in
+      let out = ref [] in
+      let continue = ref true in
+      while !continue do
+        let best = ref (-1) in
+        Array.iteri
+          (fun i (r, len) ->
+            if idx.(i) < len then
+              match !best with
+              | -1 -> best := i
+              | b ->
+                  let rb, _ = rings.(b) in
+                  let eb = rb.r_events.(idx.(b))
+                  and ei = r.r_events.(idx.(i)) in
+                  if ei.ts < eb.ts || (ei.ts = eb.ts && ei.dom < eb.dom) then
+                    best := i)
+          rings;
+        if !best < 0 then continue := false
+        else begin
+          let r, _ = rings.(!best) in
+          out := r.r_events.(idx.(!best)) :: !out;
+          idx.(!best) <- idx.(!best) + 1
+        end
+      done;
+      List.rev !out
+
+let dropped () =
+  match Atomic.get current with
+  | None -> 0
+  | Some st ->
+      List.fold_left (fun acc (r, _) -> acc + r.r_dropped) 0 (snapshot_rings st)
+
+(* {1 Chrome trace-event export}
+
+   The JSON Object Format: {"traceEvents": [...]}.  Spans become "B"/"E"
+   pairs, instants "i" with thread scope; one tid per domain; timestamps
+   in microseconds.  Metadata events name the process and each domain so
+   Perfetto's track labels are readable. *)
+
+let arg_json = function
+  | Int i -> Json.int i
+  | Float f -> Json.num f
+  | Str s -> Json.str s
+  | Bool b -> Json.bool b
+
+let chrome_event ev =
+  let fields =
+    [
+      ("name", Json.str ev.name);
+      ("cat", Json.str "owl");
+      ( "ph",
+        Json.str (match ev.ph with Begin -> "B" | End -> "E" | Instant -> "i")
+      );
+      ("ts", Printf.sprintf "%.3f" (ev.ts *. 1e6));
+      ("pid", "1");
+      ("tid", Json.int ev.dom);
+    ]
+  in
+  let fields =
+    match ev.ph with
+    | Instant -> fields @ [ ("s", Json.str "t") ]
+    | Begin | End -> fields
+  in
+  let fields =
+    match ev.args with
+    | [] -> fields
+    | args ->
+        fields
+        @ [ ("args", Json.obj (List.map (fun (k, v) -> (k, arg_json v)) args))
+          ]
+  in
+  Json.obj fields
+
+let chrome_trace_string () =
+  let evs = events () in
+  let doms =
+    List.sort_uniq compare (List.map (fun ev -> ev.dom) evs)
+  in
+  let meta =
+    Json.obj
+      [
+        ("name", Json.str "process_name");
+        ("ph", Json.str "M");
+        ("pid", "1");
+        ("args", Json.obj [ ("name", Json.str "owl") ]);
+      ]
+    :: List.map
+         (fun d ->
+           Json.obj
+             [
+               ("name", Json.str "thread_name");
+               ("ph", Json.str "M");
+               ("pid", "1");
+               ("tid", Json.int d);
+               ( "args",
+                 Json.obj
+                   [ ("name", Json.str (Printf.sprintf "domain %d" d)) ] );
+             ])
+         doms
+  in
+  let n_dropped = dropped () in
+  let tail =
+    if n_dropped = 0 then []
+    else
+      [
+        Json.obj
+          [
+            ("name", Json.str "obs.dropped_events");
+            ("cat", Json.str "owl");
+            ("ph", Json.str "i");
+            ("ts", "0");
+            ("pid", "1");
+            ("tid", "0");
+            ("s", Json.str "g");
+            ("args", Json.obj [ ("count", Json.int n_dropped) ]);
+          ];
+      ]
+  in
+  Json.obj
+    [
+      ( "traceEvents",
+        Json.arr (meta @ List.map chrome_event evs @ tail) );
+      ("displayTimeUnit", Json.str "ms");
+    ]
+
+let write_chrome_trace oc = output_string oc (chrome_trace_string ())
+
+(* {1 Metrics}
+
+   A flat registry of named counters and log₂-bucketed histograms.  The
+   registry is mutex-guarded (metric handles are created once, at module
+   initialization of the instrumented libraries); recording through a
+   handle is atomic operations only.  The enabled flag makes the disabled
+   path one load and a branch, like tracing. *)
+
+let metrics_on = Atomic.make false
+let enable_metrics () = Atomic.set metrics_on true
+let disable_metrics () = Atomic.set metrics_on false
+let metrics_enabled () = Atomic.get metrics_on
+
+type counter = { c_name : string; c_value : int Atomic.t }
+
+type histogram = {
+  h_name : string;
+  h_count : int Atomic.t;
+  h_sum : int Atomic.t;
+  h_min : int Atomic.t;
+  h_max : int Atomic.t;
+  h_buckets : int Atomic.t array;  (* 64: bucket 0 = "<= 0", i = 2^(i-1).. *)
+}
+
+let registry_mutex = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  Mutex.lock registry_mutex;
+  let c =
+    match Hashtbl.find_opt counters name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = Atomic.make 0 } in
+        Hashtbl.add counters name c;
+        c
+  in
+  Mutex.unlock registry_mutex;
+  c
+
+let histogram name =
+  Mutex.lock registry_mutex;
+  let h =
+    match Hashtbl.find_opt histograms name with
+    | Some h -> h
+    | None ->
+        let h =
+          {
+            h_name = name;
+            h_count = Atomic.make 0;
+            h_sum = Atomic.make 0;
+            h_min = Atomic.make max_int;
+            h_max = Atomic.make min_int;
+            h_buckets = Array.init 64 (fun _ -> Atomic.make 0);
+          }
+        in
+        Hashtbl.add histograms name h;
+        h
+  in
+  Mutex.unlock registry_mutex;
+  h
+
+let incr ?(by = 1) c =
+  if Atomic.get metrics_on then ignore (Atomic.fetch_and_add c.c_value by)
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+    min 63 (bits 0 v)
+  end
+
+let rec atomic_min a v =
+  let cur = Atomic.get a in
+  if v < cur && not (Atomic.compare_and_set a cur v) then atomic_min a v
+
+let rec atomic_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then atomic_max a v
+
+let observe h v =
+  if Atomic.get metrics_on then begin
+    Atomic.incr h.h_count;
+    ignore (Atomic.fetch_and_add h.h_sum v);
+    atomic_min h.h_min v;
+    atomic_max h.h_max v;
+    Atomic.incr h.h_buckets.(bucket_of v)
+  end
+
+type metric = {
+  metric_name : string;
+  metric_kind : [ `Counter | `Histogram ];
+  count : int;
+  sum : int;
+  min_value : int;
+  max_value : int;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+}
+
+(* log-scale quantile: the upper bound of the first bucket whose
+   cumulative count reaches the rank *)
+let quantile buckets total q =
+  if total = 0 then 0
+  else begin
+    let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
+    let acc = ref 0 and result = ref 0 and found = ref false in
+    Array.iteri
+      (fun i b ->
+        if not !found then begin
+          acc := !acc + b;
+          if !acc >= rank then begin
+            result := (if i = 0 then 0 else (1 lsl i) - 1);
+            found := true
+          end
+        end)
+      buckets;
+    !result
+  end
+
+let metrics () =
+  Mutex.lock registry_mutex;
+  let cs = Hashtbl.fold (fun _ c acc -> c :: acc) counters [] in
+  let hs = Hashtbl.fold (fun _ h acc -> h :: acc) histograms [] in
+  Mutex.unlock registry_mutex;
+  let counter_metrics =
+    List.filter_map
+      (fun c ->
+        let v = Atomic.get c.c_value in
+        if v = 0 then None
+        else
+          Some
+            {
+              metric_name = c.c_name;
+              metric_kind = `Counter;
+              count = v;
+              sum = v;
+              min_value = 0;
+              max_value = 0;
+              p50 = 0;
+              p90 = 0;
+              p99 = 0;
+            })
+      cs
+  in
+  let histogram_metrics =
+    List.filter_map
+      (fun h ->
+        let count = Atomic.get h.h_count in
+        if count = 0 then None
+        else begin
+          let buckets = Array.map Atomic.get h.h_buckets in
+          Some
+            {
+              metric_name = h.h_name;
+              metric_kind = `Histogram;
+              count;
+              sum = Atomic.get h.h_sum;
+              min_value = Atomic.get h.h_min;
+              max_value = Atomic.get h.h_max;
+              p50 = quantile buckets count 0.50;
+              p90 = quantile buckets count 0.90;
+              p99 = quantile buckets count 0.99;
+            }
+        end)
+      hs
+  in
+  List.sort
+    (fun a b -> compare a.metric_name b.metric_name)
+    (counter_metrics @ histogram_metrics)
+
+let summary_table () =
+  let ms = metrics () in
+  let b = Buffer.create 1024 in
+  let hists = List.filter (fun m -> m.metric_kind = `Histogram) ms in
+  let counts = List.filter (fun m -> m.metric_kind = `Counter) ms in
+  if counts <> [] then begin
+    Buffer.add_string b "counters:\n";
+    List.iter
+      (fun m -> Buffer.add_string b (Printf.sprintf "  %-36s %12d\n" m.metric_name m.count))
+      counts
+  end;
+  if hists <> [] then begin
+    Buffer.add_string b
+      (Printf.sprintf "histograms (p50/p90/p99 are log-scale upper bounds):\n");
+    Buffer.add_string b
+      (Printf.sprintf "  %-36s %8s %12s %10s %7s %7s %7s %7s %9s\n" "name"
+         "count" "sum" "mean" "min" "p50" "p90" "p99" "max");
+    List.iter
+      (fun m ->
+        Buffer.add_string b
+          (Printf.sprintf "  %-36s %8d %12d %10.1f %7d %7d %7d %7d %9d\n"
+             m.metric_name m.count m.sum
+             (float_of_int m.sum /. float_of_int (max 1 m.count))
+             m.min_value m.p50 m.p90 m.p99 m.max_value))
+      hists
+  end;
+  if ms = [] then Buffer.add_string b "no metrics recorded\n";
+  Buffer.contents b
+
+let reset_metrics () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Atomic.set h.h_count 0;
+      Atomic.set h.h_sum 0;
+      Atomic.set h.h_min max_int;
+      Atomic.set h.h_max min_int;
+      Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
+    histograms;
+  Mutex.unlock registry_mutex

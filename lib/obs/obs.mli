@@ -1,0 +1,143 @@
+(** Owl_obs: domain-safe tracing and metrics for the synthesis runtime.
+
+    Two independent facilities share this module:
+
+    - {b Tracing}: spans ({!span}) and instant events ({!instant}) carrying
+      a timestamp, the recording domain's id, and structured key→value
+      arguments.  Events land in a per-domain in-memory ring buffer (no
+      locks on the hot path; buffer registration on a domain's first event
+      is the only synchronized step) and are merged post-hoc into one
+      deterministic stream ({!events}), exportable as Chrome trace-event
+      JSON ({!write_chrome_trace}) that [chrome://tracing] and Perfetto
+      open directly.
+
+    - {b Metrics}: named {!counter}s and log-scaled {!histogram}s (powers
+      of two), summarized as a table ({!summary_table}) or structured
+      records ({!metrics}) for embedding in reports.
+
+    Both are off by default.  The disabled path — the "null sink" — is one
+    atomic load and a branch per call site: [span] runs its thunk directly,
+    [instant]/[observe]/[incr] return immediately.  Instrumentation is
+    therefore safe to leave in the hottest solver paths.
+
+    {b Domain-safety.}  Recording is lock-free per domain; enabling,
+    disabling, and draining are meant for the orchestrating domain.
+    Timestamps come from [Unix.gettimeofday]; per-domain event order is
+    preserved by construction (the merge never reorders one domain's
+    events even if the clock steps), and cross-domain order is by
+    timestamp with the domain id as the deterministic tie-break. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool  (** A structured span/event argument value. *)
+
+(** {1 Tracing} *)
+
+val enable : ?capacity:int -> unit -> unit
+(** Starts a fresh recording epoch: clears any previous recording and
+    begins collecting events into per-domain buffers of [capacity] events
+    each (default 2{^18}).  When a domain's buffer fills, further events
+    from that domain are dropped and counted ({!dropped}) — the kept
+    prefix stays well-nested.  Raises [Invalid_argument] if
+    [capacity < 1]. *)
+
+val disable : unit -> unit
+(** Stops recording and discards the recording state.  Call {!events} or
+    {!write_chrome_trace} first to keep the data. *)
+
+val enabled : unit -> bool
+
+val span :
+  ?args:(string * arg) list ->
+  ?result:('a -> (string * arg) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
+(** [span ~args ~result name f] runs [f ()] inside a named span: a [Begin]
+    event with [args] before, an [End] event after.  [result] computes
+    arguments for the [End] event from [f]'s value — the hook for delta
+    statistics that only exist once the work is done; it is not called
+    when tracing is disabled.  If [f] raises, the [End] event carries the
+    exception (printed) as its argument and the exception is re-raised,
+    so spans always nest properly per domain. *)
+
+val instant : ?args:(string * arg) list -> string -> unit
+(** Records a point event. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  ph : phase;
+  name : string;
+  ts : float;  (** seconds since {!enable} *)
+  dom : int;  (** recording domain id *)
+  seq : int;  (** per-domain sequence number *)
+  args : (string * arg) list;
+}
+
+val events : unit -> event list
+(** The merged event stream of the current epoch: a deterministic k-way
+    merge of the per-domain buffers ordered by [(ts, dom)] that preserves
+    each domain's own order exactly.  Empty when disabled. *)
+
+val dropped : unit -> int
+(** Events dropped across all domains because a buffer filled. *)
+
+val chrome_trace_string : unit -> string
+(** The current epoch as a Chrome trace-event JSON document
+    ([{"traceEvents": [...]}]): spans as ["B"]/["E"] pairs, instants as
+    ["i"] with thread scope, one [tid] per domain, timestamps in
+    microseconds, plus process/thread-name metadata.  Open the result in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+val write_chrome_trace : out_channel -> unit
+
+(** {1 Metrics} *)
+
+val enable_metrics : unit -> unit
+val disable_metrics : unit -> unit
+val metrics_enabled : unit -> bool
+
+type counter
+type histogram
+
+val counter : string -> counter
+(** Registers (or returns the existing) named counter.  Call it once at
+    module initialization and keep the handle: the handle path is
+    lock-free, the registry lookup is not. *)
+
+val histogram : string -> histogram
+(** Registers (or returns the existing) named histogram.  Buckets are
+    powers of two: bucket 0 holds values [<= 0], bucket [i >= 1] holds
+    values in [[2^(i-1), 2^i - 1]]. *)
+
+val incr : ?by:int -> counter -> unit
+(** Adds to a counter; a no-op (one branch) when metrics are disabled. *)
+
+val observe : histogram -> int -> unit
+(** Records a value; a no-op (one branch) when metrics are disabled. *)
+
+type metric = {
+  metric_name : string;
+  metric_kind : [ `Counter | `Histogram ];
+  count : int;  (** counter value, or number of observations *)
+  sum : int;
+  min_value : int;
+  max_value : int;
+  p50 : int;  (** bucket upper bounds — log-scale approximations *)
+  p90 : int;
+  p99 : int;
+}
+
+val metrics : unit -> metric list
+(** Snapshot of every registered metric with at least one recording,
+    sorted by name.  Counter records carry the value in [count] and [sum];
+    the distribution fields are zero. *)
+
+val summary_table : unit -> string
+(** Human-readable rendering of {!metrics}. *)
+
+val reset_metrics : unit -> unit
+(** Zeroes every registered metric (registrations persist). *)

@@ -135,14 +135,28 @@ let blast c t = c.translate t
 
 let cached_terms c = c.cached_terms_fn ()
 
+let h_clauses_per_assert = Obs.histogram "blast.clauses_per_assert"
+
+(* [Sat.num_clauses] walks the free list, so only snapshot it when the
+   metric will actually be recorded *)
+let with_clause_count c f =
+  if Obs.metrics_enabled () then begin
+    let before = Sat.num_clauses c.sat in
+    f ();
+    Obs.observe h_clauses_per_assert (Sat.num_clauses c.sat - before)
+  end
+  else f ()
+
 let assert_term c t =
   if Term.width t <> 1 then invalid_arg "Blast.assert_term: width <> 1";
-  let bits = blast c t in
-  Sat.add_clause c.sat [ bits.(0) ]
+  with_clause_count c (fun () ->
+      let bits = blast c t in
+      Sat.add_clause c.sat [ bits.(0) ])
 
 let fresh_lit c = Sat.new_var c.sat
 
 let assert_term_guarded c ~guard t =
   if Term.width t <> 1 then invalid_arg "Blast.assert_term_guarded: width <> 1";
-  let bits = blast c t in
-  Sat.add_clause c.sat [ -guard; bits.(0) ]
+  with_clause_count c (fun () ->
+      let bits = blast c t in
+      Sat.add_clause c.sat [ -guard; bits.(0) ])

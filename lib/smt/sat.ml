@@ -60,6 +60,11 @@ type t = {
   mutable total_conflicts : int;
   mutable learnt_count : int;
   mutable model_valid : bool;
+  (* cumulative search-phase counters; solve spans report their deltas *)
+  mutable n_propagations : int;
+  mutable n_decisions : int;
+  mutable n_restarts : int;
+  mutable n_reductions : int;
 }
 
 let create () =
@@ -87,12 +92,20 @@ let create () =
     total_conflicts = 0;
     learnt_count = 0;
     model_valid = false;
+    n_propagations = 0;
+    n_decisions = 0;
+    n_restarts = 0;
+    n_reductions = 0;
   }
 
 let num_vars s = s.nvars
 let num_clauses s = s.n_clauses - List.length s.free_list
 let num_learnt s = s.learnt_count
 let conflicts s = s.total_conflicts
+let propagations s = s.n_propagations
+let decisions s = s.n_decisions
+let restarts s = s.n_restarts
+let reductions s = s.n_reductions
 
 (* {1 Variable allocation} *)
 
@@ -262,6 +275,7 @@ let propagate s =
     while s.qhead < Vec.size s.trail do
       let p = Vec.get s.trail s.qhead in
       s.qhead <- s.qhead + 1;
+      s.n_propagations <- s.n_propagations + 1;
       (* p became true; visit clauses watching ~p *)
       let falsified = p lxor 1 in
       let ws = s.watches.(falsified) in
@@ -534,7 +548,7 @@ let luby x =
   done;
   1 lsl !seq
 
-let solve ?(assumptions = []) ?(budget = max_int) ?deadline s =
+let solve_inner ?(assumptions = []) ?(budget = max_int) ?deadline s =
   cancel_until s 0;
   s.model_valid <- false;
   if not s.ok then Unsat
@@ -607,11 +621,24 @@ let solve ?(assumptions = []) ?(budget = max_int) ?deadline s =
           then result := Some Unknown
           else if !conflicts_this >= !next_restart then begin
             incr restart_count;
+            s.n_restarts <- s.n_restarts + 1;
             next_restart :=
               !conflicts_this + (100 * luby (!restart_count + 1));
+            if Obs.enabled () then
+              Obs.instant "sat.restart"
+                ~args:
+                  [
+                    ("conflicts", Obs.Int !conflicts_this);
+                    ("learnt", Obs.Int s.learnt_count);
+                  ];
             cancel_until s (min (Array.length assum) (decision_level s))
           end
-          else if s.learnt_count > 4000 + (num_clauses s / 2) then reduce_db s
+          else if s.learnt_count > 4000 + (num_clauses s / 2) then begin
+            s.n_reductions <- s.n_reductions + 1;
+            Obs.span "sat.reduce_db"
+              ~result:(fun () -> [ ("learnt_after", Obs.Int s.learnt_count) ])
+              (fun () -> reduce_db s)
+          end
         end
       end
       else begin
@@ -640,6 +667,7 @@ let solve ?(assumptions = []) ?(budget = max_int) ?deadline s =
             result := Some Sat
           end
           else begin
+            s.n_decisions <- s.n_decisions + 1;
             Vec.push s.trail_lim (Vec.size s.trail);
             let l = (2 * !v) lor if s.polarity.(!v) then 0 else 1 in
             enqueue s l (-1)
@@ -651,6 +679,57 @@ let solve ?(assumptions = []) ?(budget = max_int) ?deadline s =
     | Some Sat -> ()
     | _ -> cancel_until s 0);
     Option.get !result
+  end
+
+(* Observability wrapper: [solve_inner] only pays plain field increments;
+   counter deltas and the span are accounted here, once per call. *)
+
+let c_propagations = Obs.counter "sat.propagations"
+let c_decisions = Obs.counter "sat.decisions"
+let c_conflicts = Obs.counter "sat.conflicts"
+let c_restarts = Obs.counter "sat.restarts"
+let c_reduce_dbs = Obs.counter "sat.reduce_dbs"
+let c_solves = Obs.counter "sat.solves"
+
+let result_name = function
+  | Sat -> "sat"
+  | Unsat -> "unsat"
+  | Unknown -> "unknown"
+
+let solve ?(assumptions = []) ?(budget = max_int) ?deadline s =
+  if not (Obs.enabled () || Obs.metrics_enabled ()) then
+    solve_inner ~assumptions ~budget ?deadline s
+  else begin
+    let c0 = s.total_conflicts
+    and p0 = s.n_propagations
+    and d0 = s.n_decisions
+    and r0 = s.n_restarts
+    and g0 = s.n_reductions in
+    let r =
+      Obs.span "sat.solve"
+        ~args:
+          [
+            ("vars", Obs.Int (num_vars s));
+            ("clauses", Obs.Int (num_clauses s));
+            ("assumptions", Obs.Int (List.length assumptions));
+          ]
+        ~result:(fun r ->
+          [
+            ("result", Obs.Str (result_name r));
+            ("conflicts", Obs.Int (s.total_conflicts - c0));
+            ("propagations", Obs.Int (s.n_propagations - p0));
+            ("decisions", Obs.Int (s.n_decisions - d0));
+            ("restarts", Obs.Int (s.n_restarts - r0));
+          ])
+        (fun () -> solve_inner ~assumptions ~budget ?deadline s)
+    in
+    Obs.incr c_solves;
+    Obs.incr ~by:(s.total_conflicts - c0) c_conflicts;
+    Obs.incr ~by:(s.n_propagations - p0) c_propagations;
+    Obs.incr ~by:(s.n_decisions - d0) c_decisions;
+    Obs.incr ~by:(s.n_restarts - r0) c_restarts;
+    Obs.incr ~by:(s.n_reductions - g0) c_reduce_dbs;
+    r
   end
 
 let value s v =

@@ -34,6 +34,20 @@ val num_learnt : t -> int
 val conflicts : t -> int
 (** Total conflicts encountered across all [solve] calls. *)
 
+val propagations : t -> int
+(** Literals propagated by unit propagation, cumulative across [solve]
+    calls.  Each [solve] call's [sat.solve] trace span reports the delta
+    together with {!decisions}, {!restarts}, and {!conflicts}. *)
+
+val decisions : t -> int
+(** VSIDS decisions made, cumulative across [solve] calls. *)
+
+val restarts : t -> int
+(** Luby restarts performed, cumulative across [solve] calls. *)
+
+val reductions : t -> int
+(** Learned-clause database reductions, cumulative across [solve] calls. *)
+
 val add_clause : t -> int list -> unit
 (** Adds a clause.  The empty clause (or a clause whose literals are all
     falsified at level 0) makes the instance unsatisfiable.  Raises

@@ -30,6 +30,18 @@ type outcome = Sat of model * stats | Unsat of stats | Unknown of stats
 
 let stats_of = function Sat (_, s) | Unsat s | Unknown s -> s
 
+let outcome_name = function
+  | Sat _ -> "sat"
+  | Unsat _ -> "unsat"
+  | Unknown _ -> "unknown"
+
+(* Observability handles, registered once at module initialization *)
+let c_checks = Obs.counter "solver.checks"
+let c_ack_instances = Obs.counter "solver.ack_instances"
+let h_check_latency = Obs.histogram "solver.check.latency_us"
+let h_check_conflicts = Obs.histogram "solver.check.conflicts"
+let h_check_clauses = Obs.histogram "solver.check.clauses"
+
 (* Deterministic model corruption for fault injection ([Fault.Corrupt_model]):
    flip one seed-chosen bit of every variable the blaster saw, on a copy.
    The session itself is untouched, so retrying the same check recovers the
@@ -135,6 +147,14 @@ let ack_rewrite (a : ack) (congs : Term.t list ref) (t : Term.t) : Term.t =
               | Some v -> v
               | None ->
                   a.ack_counter <- a.ack_counter + 1;
+                  Obs.incr c_ack_instances;
+                  if Obs.enabled () then
+                    Obs.instant "solver.ack_instance"
+                      ~args:
+                        [
+                          ("mem", Obs.Str m.Term.mem_name);
+                          ("instances", Obs.Int a.ack_counter);
+                        ];
                   let v =
                     Term.var
                       (Printf.sprintf "ack!%s!%d" m.Term.mem_name a.ack_counter)
@@ -322,8 +342,8 @@ module Session = struct
     in
     { var_value; read_values; read_index }
 
-  let check_with ?(assumptions = []) ?(budget = max_int) ?deadline s assertions
-      =
+  let check_with_raw ?(assumptions = []) ?(budget = max_int) ?deadline s
+      assertions =
     List.iter
       (fun t ->
         if Term.width t <> 1 then
@@ -356,6 +376,42 @@ module Session = struct
                 else m
               in
               Sat (m, st))
+    end
+
+  (* Observability wrapper: the span's end arguments carry this check's
+     statistics {e delta} (what the incremental encoding actually added),
+     and the histograms feed the summary table. *)
+  let check_with ?(assumptions = []) ?(budget = max_int) ?deadline s assertions
+      =
+    if not (Obs.enabled () || Obs.metrics_enabled ()) then
+      check_with_raw ~assumptions ~budget ?deadline s assertions
+    else begin
+      let t_start = Unix.gettimeofday () in
+      let outcome =
+        Obs.span "solver.check"
+          ~args:
+            [
+              ("assertions", Obs.Int (List.length assertions));
+              ("assumptions", Obs.Int (List.length assumptions));
+            ]
+          ~result:(fun o ->
+            let st = stats_of o in
+            [
+              ("result", Obs.Str (outcome_name o));
+              ("delta_vars", Obs.Int st.sat_vars);
+              ("delta_clauses", Obs.Int st.sat_clauses);
+              ("conflicts", Obs.Int st.sat_conflicts);
+              ("trivially_unsat", Obs.Bool st.trivially_unsat);
+            ])
+          (fun () -> check_with_raw ~assumptions ~budget ?deadline s assertions)
+      in
+      let st = stats_of outcome in
+      Obs.incr c_checks;
+      Obs.observe h_check_latency
+        (int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6));
+      Obs.observe h_check_conflicts st.sat_conflicts;
+      Obs.observe h_check_clauses st.sat_clauses;
+      outcome
     end
 
   let cached_terms s = Blast.cached_terms s.blast

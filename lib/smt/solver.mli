@@ -63,6 +63,9 @@ type outcome = Sat of model * stats | Unsat of stats | Unknown of stats
 val stats_of : outcome -> stats
 (** The statistics of any outcome. *)
 
+val outcome_name : outcome -> string
+(** ["sat"], ["unsat"], or ["unknown"] — for logs and trace arguments. *)
+
 val check : ?budget:int -> ?deadline:float -> Term.t list -> outcome
 (** Checks satisfiability of the conjunction of the given width-1 terms.
     [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]).

@@ -290,11 +290,23 @@ let resilient run ~check ~fresh ~validate =
       Resilience.slice_deadline p ~now:(now ()) ~hard:(query_deadline run)
         ~tasks_left:(Atomic.get run.tasks_left) ~attempt:rung
     in
-    if use_fresh then
+    if use_fresh then begin
       run.stats.degraded_queries <- run.stats.degraded_queries + 1;
+      if Obs.enabled () then
+        Obs.instant "resilience.degrade" ~args:[ ("attempt", Obs.Int attempt) ]
+    end;
     let result =
-      if use_fresh then fresh ~budget ?deadline ()
-      else check ~budget ?deadline ()
+      Obs.span "resilience.attempt"
+        ~args:
+          [
+            ("attempt", Obs.Int attempt);
+            ("budget", Obs.Int budget);
+            ("fresh", Obs.Bool use_fresh);
+          ]
+        ~result:(fun r -> [ ("result", Obs.Str (Solver.outcome_name r)) ])
+        (fun () ->
+          if use_fresh then fresh ~budget ?deadline ()
+          else check ~budget ?deadline ())
     in
     account run (Solver.stats_of result);
     match result with
@@ -302,18 +314,33 @@ let resilient run ~check ~fresh ~validate =
         if final then raise (Stop (Timeout run.stats))
         else begin
           run.stats.retried_queries <- run.stats.retried_queries + 1;
+          if Obs.enabled () then
+            Obs.instant "resilience.retry"
+              ~args:
+                [ ("attempt", Obs.Int attempt); ("reason", Obs.Str "unknown") ];
           go (attempt + 1)
         end
     | Solver.Sat (m, _)
       when p.Resilience.validate_models
            && not (model_satisfies m (validate ())) ->
         run.stats.validation_failures <- run.stats.validation_failures + 1;
+        if Obs.enabled () then
+          Obs.instant "resilience.validation_failure"
+            ~args:
+              [ ("attempt", Obs.Int attempt); ("fresh", Obs.Bool use_fresh) ];
         if use_fresh then
           fail
             "model validation failed on a fresh solver (persistent fault or \
              solver bug)"
         else begin
           run.stats.retried_queries <- run.stats.retried_queries + 1;
+          if Obs.enabled () then
+            Obs.instant "resilience.retry"
+              ~args:
+                [
+                  ("attempt", Obs.Int attempt);
+                  ("reason", Obs.Str "validation_failure");
+                ];
           go (attempt + 1)
         end
     | r -> r
@@ -492,12 +519,28 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
             ~tasks_left:(Atomic.get tasks_left) ~attempt:rung
         in
         let result =
-          if use_fresh then Solver.check ~budget:b ?deadline:dl (shadow ())
-          else check ~budget:b ?deadline:dl ()
+          Obs.span "resilience.attempt"
+            ~args:
+              [
+                ("attempt", Obs.Int attempt);
+                ("budget", Obs.Int b);
+                ("fresh", Obs.Bool use_fresh);
+              ]
+            ~result:(fun r -> [ ("result", Obs.Str (Solver.outcome_name r)) ])
+            (fun () ->
+              if use_fresh then Solver.check ~budget:b ?deadline:dl (shadow ())
+              else check ~budget:b ?deadline:dl ())
         in
         consumed := !consumed + (Solver.stats_of result).Solver.sat_conflicts;
         match result with
-        | Solver.Unknown _ when attempt < attempts -> go (attempt + 1)
+        | Solver.Unknown _ when attempt < attempts ->
+            if Obs.enabled () then
+              Obs.instant "resilience.retry"
+                ~args:
+                  [
+                    ("attempt", Obs.Int attempt); ("reason", Obs.Str "unknown");
+                  ];
+            go (attempt + 1)
         | Solver.Sat (m, _)
           when validate_models && not (model_satisfies m (shadow ())) ->
             if use_fresh then
@@ -523,6 +566,18 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
   try
     Pool.map_arena ~jobs ~make:Solver.Arena.create ~retries
       (fun arena (c : Ila.Conditions.conditions) ->
+      Obs.span "verify.instr"
+        ~args:[ ("instr", Obs.Str c.Ila.Conditions.instr_name) ]
+        ~result:(fun (_, v) ->
+          [
+            ( "verdict",
+              Obs.Str
+                (match v with
+                | Verified -> "verified"
+                | Violated _ -> "violated"
+                | Inconclusive -> "inconclusive") );
+          ])
+      @@ fun () ->
       let violation =
         Term.band c.Ila.Conditions.pre
           (Term.band c.Ila.Conditions.assumes (Term.bnot c.Ila.Conditions.post))
@@ -724,6 +779,20 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
           the serial schedule blames. *)
        let failed = Atomic.make false in
        let task arena ((c : Ila.Conditions.conditions), correct, violation) =
+         Obs.span "cegis.instr"
+           ~args:[ ("instr", Obs.Str c.Ila.Conditions.instr_name) ]
+           ~result:(fun (r, (ts : stats)) ->
+             [
+               ( "status",
+                 Obs.Str
+                   (match r with
+                   | `Solved _ -> "solved"
+                   | `Skipped -> "skipped"
+                   | `Stopped _ -> "stopped") );
+               ("iterations", Obs.Int ts.iterations);
+               ("queries", Obs.Int ts.queries);
+             ])
+         @@ fun () ->
          let trun = { run with stats = fresh_stats () } in
          (* serial fallback keeps the historical early exit; parallel
             workers run to completion so blame stays deterministic *)
@@ -752,41 +821,74 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
               validation evaluates) *)
            let local_constraints = ref [] in
            let verify_candidate () =
-             match sessions with
-             | Some (vsess, _) -> session_verify trun vsess violation local
-             | None -> fresh_verify trun violation local
+             Obs.span "cegis.verify"
+               ~args:[ ("instr", Obs.Str c.Ila.Conditions.instr_name) ]
+               ~result:(fun r -> [ ("counterexample", Obs.Bool (r <> None)) ])
+               (fun () ->
+                 match sessions with
+                 | Some (vsess, _) -> session_verify trun vsess violation local
+                 | None -> fresh_verify trun violation local)
            in
            let synth_with g =
              local_constraints := g :: !local_constraints;
-             match sessions with
-             | Some (_, ssess) ->
-                 session_query ~shadow:(fun () -> !local_constraints) trun
-                   ssess [ g ]
-             | None -> solver_query trun !local_constraints
+             Obs.span "cegis.synth"
+               ~args:
+                 [
+                   ("instr", Obs.Str c.Ila.Conditions.instr_name);
+                   ("constraints", Obs.Int (List.length !local_constraints));
+                 ]
+               ~result:(fun r -> [ ("result", Obs.Str (Solver.outcome_name r)) ])
+               (fun () ->
+                 match sessions with
+                 | Some (_, ssess) ->
+                     session_query ~shadow:(fun () -> !local_constraints) trun
+                       ssess [ g ]
+                 | None -> solver_query trun !local_constraints)
            in
            try
+             (* the iteration span closes before the recursive call, so
+                nesting depth stays constant however many rounds run *)
              let rec loop iter =
                if iter > options.max_iterations then
                  raise (Stop (Timeout trun.stats));
                trun.stats.iterations <- trun.stats.iterations + 1;
-               match verify_candidate () with
-               | None -> ()
-               | Some model ->
-                   let env = cex_env trun model in
-                   let g = ground_reads model (Term.substitute env correct) in
-                   (match synth_with g with
-                   | Solver.Sat (m, _) -> refresh_table local m
-                   | Solver.Unsat _ ->
-                       raise
-                         (Stop
-                            (Unrealizable
-                               {
-                                 instr = Some c.Ila.Conditions.instr_name;
-                                 stats = trun.stats;
-                               }))
-                   | Solver.Unknown _ ->
-                       fail "internal: resilient query returned Unknown");
-                   loop (iter + 1)
+               let continue =
+                 Obs.span "cegis.iteration"
+                   ~args:
+                     [
+                       ("instr", Obs.Str c.Ila.Conditions.instr_name);
+                       ("iter", Obs.Int iter);
+                     ]
+                   ~result:(fun k -> [ ("counterexample", Obs.Bool k) ])
+                 @@ fun () ->
+                 match verify_candidate () with
+                 | None -> false
+                 | Some model ->
+                     if Obs.enabled () then
+                       Obs.instant "cegis.counterexample"
+                         ~args:
+                           [
+                             ( "instr",
+                               Obs.Str c.Ila.Conditions.instr_name );
+                             ("iter", Obs.Int iter);
+                           ];
+                     let env = cex_env trun model in
+                     let g = ground_reads model (Term.substitute env correct) in
+                     (match synth_with g with
+                     | Solver.Sat (m, _) -> refresh_table local m
+                     | Solver.Unsat _ ->
+                         raise
+                           (Stop
+                              (Unrealizable
+                                 {
+                                   instr = Some c.Ila.Conditions.instr_name;
+                                   stats = trun.stats;
+                                 }))
+                     | Solver.Unknown _ ->
+                         fail "internal: resilient query returned Unknown");
+                     true
+               in
+               if continue then loop (iter + 1)
              in
              loop 1;
              ignore (Atomic.fetch_and_add run.tasks_left (-1));
@@ -864,12 +966,20 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
        in
        let synth_step () =
          let result =
-           match synth_sess with
-           | Some s ->
-               let fresh = List.rev !pending in
-               pending := [];
-               session_query ~shadow:(fun () -> !constraints) run s fresh
-           | None -> solver_query run !constraints
+           Obs.span "cegis.synth"
+             ~args:
+               [
+                 ("instr", Obs.Str "joint");
+                 ("constraints", Obs.Int (List.length !constraints));
+               ]
+             ~result:(fun r -> [ ("result", Obs.Str (Solver.outcome_name r)) ])
+             (fun () ->
+               match synth_sess with
+               | Some s ->
+                   let fresh = List.rev !pending in
+                   pending := [];
+                   session_query ~shadow:(fun () -> !constraints) run s fresh
+               | None -> solver_query run !constraints)
          in
          match result with
          | Solver.Sat (m, _) -> refresh_table candidate m
@@ -879,19 +989,38 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
              fail "internal: resilient query returned Unknown"
        in
        let verify (v, sess) =
-         match sess with
-         | Some s -> session_verify run s v candidate
-         | None -> fresh_verify run v candidate
+         Obs.span "cegis.verify"
+           ~args:[ ("instr", Obs.Str "joint") ]
+           ~result:(fun r -> [ ("counterexample", Obs.Bool (r <> None)) ])
+           (fun () ->
+             match sess with
+             | Some s -> session_verify run s v candidate
+             | None -> fresh_verify run v candidate)
        in
        let rec loop iter =
          if iter > options.max_iterations then raise (Stop (Timeout run.stats));
          run.stats.iterations <- run.stats.iterations + 1;
-         match List.filter_map verify vsessions with
-         | [] -> ()
-         | models ->
-             List.iter add_cex_for models;
-             synth_step ();
-             loop (iter + 1)
+         let continue =
+           Obs.span "cegis.iteration"
+             ~args:[ ("instr", Obs.Str "joint"); ("iter", Obs.Int iter) ]
+             ~result:(fun k -> [ ("counterexample", Obs.Bool k) ])
+           @@ fun () ->
+           match List.filter_map verify vsessions with
+           | [] -> false
+           | models ->
+               if Obs.enabled () then
+                 Obs.instant "cegis.counterexample"
+                   ~args:
+                     [
+                       ("instr", Obs.Str "joint");
+                       ("iter", Obs.Int iter);
+                       ("models", Obs.Int (List.length models));
+                     ];
+               List.iter add_cex_for models;
+               synth_step ();
+               true
+         in
+         if continue then loop (iter + 1)
        in
        loop 1
      end);

@@ -18,6 +18,10 @@
 
 type 'b cell = Pending | Done of 'b | Raised of exn
 
+let c_tasks = Obs.counter "pool.tasks"
+let c_task_crashes = Obs.counter "pool.task_crashes"
+let h_task_latency = Obs.histogram "pool.task.latency_us"
+
 (* [map_arena] is the general form: each worker calls [make] at startup
    (and once more per retry attempt), and passes the resulting per-worker
    state to every task it executes.  This is how the engine gives each
@@ -38,30 +42,59 @@ let map_arena ~jobs ~make ?(retries = 0) ?retried f items =
          attempt and raises when the installed fault plan says so, taking
          exactly the retry path a real worker crash would *)
       let rec attempt w k =
-        try
-          Fault.on_task ();
-          Done (f w arr.(i))
-        with e ->
-          if k >= retries then Raised e
-          else begin
-            (match retried with
-            | Some c -> Atomic.incr c
-            | None -> ());
-            attempt (make ()) (k + 1)
-          end
+        match
+          Obs.span "pool.task"
+            ~args:[ ("task", Obs.Int i); ("attempt", Obs.Int k) ]
+            (fun () ->
+              Fault.on_task ();
+              f w arr.(i))
+        with
+        | v -> Done v
+        | exception e ->
+            let will_retry = k < retries in
+            Obs.incr c_task_crashes;
+            if Obs.enabled () then
+              Obs.instant "pool.task.crash"
+                ~args:
+                  [
+                    ("task", Obs.Int i);
+                    ("attempt", Obs.Int k);
+                    ("exn", Obs.Str (Printexc.to_string e));
+                    ("will_retry", Obs.Bool will_retry);
+                  ];
+            if not will_retry then Raised e
+            else begin
+              (match retried with
+              | Some c -> Atomic.incr c
+              | None -> ());
+              attempt (make ()) (k + 1)
+            end
       in
-      attempt w 0
+      let t_start =
+        if Obs.metrics_enabled () then Unix.gettimeofday () else 0.0
+      in
+      let r = attempt w 0 in
+      Obs.incr c_tasks;
+      if Obs.metrics_enabled () then
+        Obs.observe h_task_latency
+          (int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6));
+      r
     in
     let worker () =
-      let w = make () in
-      let rec go () =
-        let i = Atomic.fetch_and_add cursor 1 in
-        if i < n then begin
-          results.(i) <- run_task w i;
-          go ()
-        end
-      in
-      go ()
+      let executed = ref 0 in
+      Obs.span "pool.worker"
+        ~result:(fun () -> [ ("tasks", Obs.Int !executed) ])
+        (fun () ->
+          let w = make () in
+          let rec go () =
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i < n then begin
+              results.(i) <- run_task w i;
+              incr executed;
+              go ()
+            end
+          in
+          go ())
     in
     let spawned =
       List.init

@@ -1,0 +1,428 @@
+(* Owl_obs test suite: the JSON emitter/parser pair, the null sink, span
+   nesting and per-domain ordering, the deterministic ring-buffer merge,
+   the Chrome trace export, and the metrics registry. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* {1 JSON} *)
+
+let test_json_escape () =
+  checks "quote" "a\\\"b" (Json.escape "a\"b");
+  checks "backslash" "a\\\\b" (Json.escape "a\\b");
+  checks "newline" "a\\u000ab" (Json.escape "a\nb");
+  checks "tab" "\\u0009" (Json.escape "\t");
+  checks "nul" "\\u0000" (Json.escape "\000");
+  (* non-ASCII bytes pass through untouched, so UTF-8 stays UTF-8 *)
+  checks "utf8" "caf\xc3\xa9" (Json.escape "caf\xc3\xa9");
+  checks "str" "\"x\\\\y\"" (Json.str "x\\y")
+
+let test_json_num () =
+  checks "int-valued" "42" (Json.num 42.0);
+  checks "negative" "-7" (Json.num (-7.0));
+  checks "fraction" "2.5" (Json.num 2.5);
+  checks "nan" "null" (Json.num Float.nan);
+  checks "inf" "null" (Json.num Float.infinity)
+
+let test_json_roundtrip () =
+  let roundtrip s =
+    match Json.parse (Json.str s) with
+    | Json.String s' -> s'
+    | _ -> Alcotest.fail "expected a string"
+  in
+  List.iter
+    (fun s -> checks ("roundtrip " ^ String.escaped s) s (roundtrip s))
+    [
+      "plain";
+      "control\n\t\r chars\012\b";
+      "back\\slash and \"quotes\"";
+      "non-ascii caf\xc3\xa9 \xf0\x9f\xa6\x89";
+      "\000embedded\000nul\000";
+    ];
+  (* \uXXXX escapes decode to UTF-8, surrogate pairs included *)
+  (match Json.parse "\"\\u00e9\"" with
+  | Json.String s -> checks "bmp escape" "\xc3\xa9" s
+  | _ -> Alcotest.fail "expected a string");
+  (match Json.parse "\"\\ud83d\\ude00\"" with
+  | Json.String s -> checks "surrogate pair" "\xf0\x9f\x98\x80" s
+  | _ -> Alcotest.fail "expected a string");
+  (* documents compose by concatenation and parse back *)
+  let doc =
+    Json.obj
+      [
+        ("a", Json.int 1);
+        ("b", Json.arr [ Json.bool true; Json.str "x" ]);
+        ("c", Json.num 1.5);
+      ]
+  in
+  match Json.parse doc with
+  | Json.Obj _ as v ->
+      (match Json.member "a" v with
+      | Some (Json.Num f) -> checkb "a" true (f = 1.0)
+      | _ -> Alcotest.fail "missing a");
+      (match Json.member "b" v with
+      | Some (Json.Arr [ Json.Bool true; Json.String "x" ]) -> ()
+      | _ -> Alcotest.fail "bad b");
+      checkb "no d" true (Json.member "d" v = None)
+  | _ -> Alcotest.fail "expected an object"
+
+let test_json_errors () =
+  let fails s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("parse should fail: " ^ s)
+  in
+  List.iter fails
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "\"unterminated"; "1 2"; "tru"; "nan" ]
+
+(* {1 Null sink} *)
+
+let test_null_sink () =
+  Obs.disable ();
+  Obs.disable_metrics ();
+  let r = Obs.span "nothing" (fun () -> 41 + 1) in
+  checki "span passes value through" 42 r;
+  Obs.instant "nothing";
+  checki "no events" 0 (List.length (Obs.events ()));
+  checki "no drops" 0 (Obs.dropped ());
+  (* exceptions pass through undisturbed *)
+  (match Obs.span "boom" (fun () -> failwith "x") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  checki "still no events" 0 (List.length (Obs.events ()))
+
+(* {1 Spans and ordering} *)
+
+(* per-domain streams must follow stack discipline: every End matches the
+   most recent open Begin *)
+let well_nested events =
+  let ok = ref true in
+  let stacks = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.event) ->
+      let stack =
+        match Hashtbl.find_opt stacks e.Obs.dom with
+        | Some s -> s
+        | None ->
+            let s = ref [] in
+            Hashtbl.add stacks e.Obs.dom s;
+            s
+      in
+      match e.Obs.ph with
+      | Obs.Begin -> stack := e.Obs.name :: !stack
+      | Obs.End -> (
+          match !stack with
+          | top :: rest when top = e.Obs.name -> stack := rest
+          | _ -> ok := false)
+      | Obs.Instant -> ())
+    events;
+  Hashtbl.iter (fun _ s -> if !s <> [] then ok := false) stacks;
+  !ok
+
+let test_span_nesting () =
+  Obs.enable ();
+  let r =
+    Obs.span "outer" ~args:[ ("k", Obs.Int 1) ] (fun () ->
+        Obs.instant "mark";
+        Obs.span "inner"
+          ~result:(fun v -> [ ("v", Obs.Int v) ])
+          (fun () -> 7))
+  in
+  checki "value" 7 r;
+  (* a raising span still closes *)
+  (match Obs.span "raiser" (fun () -> failwith "expected") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  let evs = Obs.events () in
+  Obs.disable ();
+  let names ph =
+    List.filter_map
+      (fun (e : Obs.event) -> if e.Obs.ph = ph then Some e.Obs.name else None)
+      evs
+  in
+  check
+    Alcotest.(list string)
+    "begins in order"
+    [ "outer"; "inner"; "raiser" ]
+    (names Obs.Begin);
+  check
+    Alcotest.(list string)
+    "ends in order"
+    [ "inner"; "outer"; "raiser" ]
+    (names Obs.End);
+  check Alcotest.(list string) "instant" [ "mark" ] (names Obs.Instant);
+  checkb "well nested" true (well_nested evs);
+  (* the End of the raising span carries the exception *)
+  let raiser_end =
+    List.find
+      (fun (e : Obs.event) -> e.Obs.ph = Obs.End && e.Obs.name = "raiser")
+      evs
+  in
+  checkb "exception arg" true
+    (List.mem_assoc "exception" raiser_end.Obs.args);
+  (* result args land on the End event *)
+  let inner_end =
+    List.find
+      (fun (e : Obs.event) -> e.Obs.ph = Obs.End && e.Obs.name = "inner")
+      evs
+  in
+  checkb "result arg" true (inner_end.Obs.args = [ ("v", Obs.Int 7) ]);
+  (* timestamps never decrease within the merged stream of one domain *)
+  let rec monotonic = function
+    | (a : Obs.event) :: (b : Obs.event) :: rest ->
+        a.Obs.ts <= b.Obs.ts && monotonic (b :: rest)
+    | _ -> true
+  in
+  checkb "timestamps" true (monotonic evs)
+
+(* {1 Multi-domain recording and the deterministic merge} *)
+
+let burst id rounds =
+  for i = 1 to rounds do
+    Obs.span "work"
+      ~args:[ ("who", Obs.Int id); ("i", Obs.Int i) ]
+      (fun () -> Obs.instant "tick" ~args:[ ("who", Obs.Int id) ])
+  done
+
+let run_burst ~domains ~rounds =
+  Obs.enable ();
+  let spawned =
+    List.init (domains - 1) (fun i ->
+        Domain.spawn (fun () -> burst (i + 1) rounds))
+  in
+  burst 0 rounds;
+  List.iter Domain.join spawned;
+  let evs = Obs.events () in
+  Obs.disable ();
+  evs
+
+let test_merge_multi_domain () =
+  List.iter
+    (fun domains ->
+      let rounds = 50 in
+      let evs = run_burst ~domains ~rounds in
+      (* every domain contributed all of its events: 2 span events + 1
+         instant per round *)
+      checki
+        (Printf.sprintf "event count at %d domains" domains)
+        (domains * rounds * 3)
+        (List.length evs);
+      checki "nothing dropped" 0 (Obs.dropped ());
+      checkb "well nested per domain" true (well_nested evs);
+      (* the merge preserves every domain's own order exactly: per-domain
+         sequence numbers appear strictly increasing *)
+      let last_seq = Hashtbl.create 8 in
+      List.iter
+        (fun (e : Obs.event) ->
+          (match Hashtbl.find_opt last_seq e.Obs.dom with
+          | Some prev ->
+              checkb "per-domain order" true (e.Obs.seq > prev)
+          | None -> ());
+          Hashtbl.replace last_seq e.Obs.dom e.Obs.seq)
+        evs;
+      checki
+        (Printf.sprintf "domains seen at %d domains" domains)
+        domains
+        (Hashtbl.length last_seq))
+    [ 1; 4 ]
+
+let test_merge_deterministic () =
+  (* the merge is a pure function of the recorded buffers: merging twice
+     yields the identical stream *)
+  Obs.enable ();
+  let spawned =
+    List.init 3 (fun i -> Domain.spawn (fun () -> burst (i + 1) 25))
+  in
+  burst 0 25;
+  List.iter Domain.join spawned;
+  let a = Obs.events () in
+  let b = Obs.events () in
+  Obs.disable ();
+  checkb "same stream" true (a = b);
+  checki "jobs=4 event count" (4 * 25 * 3) (List.length a)
+
+let test_drop_newest () =
+  Obs.enable ~capacity:4 ();
+  for i = 1 to 10 do
+    Obs.instant "e" ~args:[ ("i", Obs.Int i) ]
+  done;
+  let evs = Obs.events () in
+  let n_dropped = Obs.dropped () in
+  Obs.disable ();
+  checki "kept prefix" 4 (List.length evs);
+  checki "dropped the rest" 6 n_dropped;
+  (* drop-newest keeps the earliest events *)
+  List.iteri
+    (fun idx (e : Obs.event) ->
+      checkb "prefix kept in order" true (e.Obs.args = [ ("i", Obs.Int (idx + 1)) ]))
+    evs
+
+(* {1 Chrome trace export} *)
+
+let test_chrome_trace () =
+  Obs.enable ();
+  ignore
+    (Obs.span "phase"
+       ~args:[ ("answer", Obs.Int 42); ("label", Obs.Str "a \"b\"\n") ]
+       (fun () ->
+         Obs.instant "blip" ~args:[ ("ok", Obs.Bool true) ];
+         17));
+  let s = Obs.chrome_trace_string () in
+  Obs.disable ();
+  let doc =
+    match Json.parse s with
+    | v -> v
+    | exception Json.Parse_error m -> Alcotest.fail ("invalid JSON: " ^ m)
+  in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  checkb "has events" true (List.length events > 0);
+  let str_member k v =
+    match Json.member k v with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let phase_events =
+    List.filter
+      (fun e ->
+        match str_member "ph" e with
+        | Some ("B" | "E" | "i") -> true
+        | Some "M" -> false
+        | _ -> Alcotest.fail "event without a known ph")
+      events
+  in
+  checki "B + E + i" 3 (List.length phase_events);
+  (* every non-metadata event round-trips the required fields *)
+  List.iter
+    (fun e ->
+      checkb "name" true (str_member "name" e <> None);
+      (match Json.member "ts" e with
+      | Some (Json.Num ts) -> checkb "ts >= 0" true (ts >= 0.0)
+      | _ -> Alcotest.fail "missing ts");
+      (match Json.member "pid" e with
+      | Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "missing pid");
+      match Json.member "tid" e with
+      | Some (Json.Num _) -> ()
+      | _ -> Alcotest.fail "missing tid")
+    phase_events;
+  (* instants carry a scope; span args survive escaping *)
+  let instant =
+    List.find (fun e -> str_member "ph" e = Some "i") phase_events
+  in
+  checkb "instant scope" true (str_member "s" instant = Some "t");
+  let begin_ev =
+    List.find (fun e -> str_member "ph" e = Some "B") phase_events
+  in
+  match Json.member "args" begin_ev with
+  | Some args -> (
+      (match Json.member "answer" args with
+      | Some (Json.Num f) -> checkb "int arg" true (f = 42.0)
+      | _ -> Alcotest.fail "missing int arg");
+      match Json.member "label" args with
+      | Some (Json.String s) -> checks "escaped arg" "a \"b\"\n" s
+      | _ -> Alcotest.fail "missing str arg")
+  | None -> Alcotest.fail "missing args"
+
+(* {1 Metrics} *)
+
+let test_metrics () =
+  Obs.reset_metrics ();
+  let c = Obs.counter "test.counter" in
+  let h = Obs.histogram "test.histogram" in
+  (* disabled: recording is a no-op *)
+  Obs.disable_metrics ();
+  Obs.incr c;
+  Obs.observe h 100;
+  checkb "disabled records nothing" true
+    (List.for_all
+       (fun (m : Obs.metric) ->
+         m.Obs.metric_name <> "test.counter"
+         && m.Obs.metric_name <> "test.histogram")
+       (Obs.metrics ()));
+  Obs.enable_metrics ();
+  Obs.incr c;
+  Obs.incr ~by:4 c;
+  List.iter (Obs.observe h) [ 1; 2; 3; 4; 1000 ];
+  Obs.disable_metrics ();
+  let find name =
+    List.find (fun (m : Obs.metric) -> m.Obs.metric_name = name) (Obs.metrics ())
+  in
+  let mc = find "test.counter" in
+  checki "counter value" 5 mc.Obs.count;
+  let mh = find "test.histogram" in
+  checki "histogram count" 5 mh.Obs.count;
+  checki "histogram sum" 1010 mh.Obs.sum;
+  checki "histogram min" 1 mh.Obs.min_value;
+  checki "histogram max" 1000 mh.Obs.max_value;
+  (* log-scale quantiles report bucket upper bounds *)
+  checki "p50" 3 mh.Obs.p50;
+  checki "p99" 1023 mh.Obs.p99;
+  checkb "summary mentions both" true
+    (let s = Obs.summary_table () in
+     let contains sub =
+       let n = String.length s and m = String.length sub in
+       let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+       go 0
+     in
+     contains "test.counter" && contains "test.histogram");
+  Obs.reset_metrics ();
+  checkb "reset clears" true
+    (List.for_all
+       (fun (m : Obs.metric) -> m.Obs.metric_name <> "test.counter")
+       (Obs.metrics ()))
+
+let test_metrics_parallel () =
+  Obs.reset_metrics ();
+  Obs.enable_metrics ();
+  let c = Obs.counter "test.par.counter" in
+  let h = Obs.histogram "test.par.histogram" in
+  let worker () =
+    for i = 1 to 1000 do
+      Obs.incr c;
+      Obs.observe h i
+    done
+  in
+  let spawned = List.init 3 (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  Obs.disable_metrics ();
+  let find name =
+    List.find (fun (m : Obs.metric) -> m.Obs.metric_name = name) (Obs.metrics ())
+  in
+  checki "atomic counter" 4000 (find "test.par.counter").Obs.count;
+  checki "atomic histogram count" 4000 (find "test.par.histogram").Obs.count;
+  checki "atomic histogram sum" (4 * 500500) (find "test.par.histogram").Obs.sum;
+  Obs.reset_metrics ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "escape" `Quick test_json_escape;
+          Alcotest.test_case "num" `Quick test_json_num;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "null sink" `Quick test_null_sink;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "multi-domain merge" `Quick test_merge_multi_domain;
+          Alcotest.test_case "deterministic merge" `Quick
+            test_merge_deterministic;
+          Alcotest.test_case "drop newest" `Quick test_drop_newest;
+          Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and histograms" `Quick test_metrics;
+          Alcotest.test_case "parallel recording" `Quick test_metrics_parallel;
+        ] );
+    ]
