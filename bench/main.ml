@@ -124,10 +124,12 @@ type row_result =
   | RFailed of string
 
 let run_problem ?(mode = Synth.Engine.Per_instruction) ?(jobs = 1)
-    ?(incremental = true) ?tag problem =
+    ?(incremental = true) ?cache ?tag problem =
   let options =
-    Synth.Engine.make_options ~mode ~jobs ~deadline_seconds:!deadline
-      ~incremental ()
+    Synth.Engine.(
+      default_options |> with_mode mode |> with_jobs jobs
+      |> with_deadline (Some !deadline)
+      |> with_incremental incremental |> with_cache cache)
   in
   let outcome, dt = time (fun () -> Synth.Engine.synthesize ~options problem) in
   let result =
@@ -471,6 +473,93 @@ let incremental () =
     exit 1
   end
 
+(* {1 Cross-run synthesis cache: cold vs warm}
+
+   Three runs of the RV32I single-cycle core against one cache directory:
+   a cold run that populates it, a warm jobs=1 rerun, and a warm jobs=4
+   rerun.  The warm runs must reproduce the cold run's hole bindings
+   bit for bit from validated result-tier hits, with measurably fewer
+   solver queries; the per-run hit/miss/stale/write counters land in the
+   JSON report. *)
+
+let cache_bench () =
+  print_endline "";
+  print_endline "Cross-run synthesis cache: cold vs warm on the RV32I";
+  print_endline "single-cycle core (one shared cache directory; each warm";
+  print_endline "run must reproduce the cold bindings bit for bit from";
+  print_endline "validated result-tier hits, with fewer solver queries).";
+  print_endline "";
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "owl-bench-cache.%d" (Unix.getpid ()))
+  in
+  Printf.printf "%-16s %8s %8s %6s %6s %6s %6s\n" "Run" "wall(s)" "queries"
+    "hits" "misses" "stale" "writes";
+  print_endline (String.make 62 '-');
+  (* a fresh handle per run keeps the counters per-run; the directory is
+     shared so later runs see earlier entries *)
+  let run tag ~jobs =
+    let cache = Owl_cache.open_dir dir in
+    let r =
+      run_problem ~jobs ~cache ~tag:("cache", tag)
+        (Designs.Riscv_single.problem Isa.Rv32.RV32I)
+    in
+    let k = Owl_cache.counters cache in
+    (match r with
+    | RSolved (s, dt) ->
+        Printf.printf "%-16s %8.2f %8d %6d %6d %6d %6d\n%!" tag dt
+          s.Synth.Engine.stats.Synth.Engine.queries k.Owl_cache.hits
+          k.Owl_cache.misses k.Owl_cache.stale k.Owl_cache.writes
+    | RTimeout dt -> Printf.printf "%-16s Timeout after %.1fs\n%!" tag dt
+    | RFailed m -> Printf.printf "%-16s failed (%s)\n%!" tag m);
+    Report.record
+      [ ("section", Report.str "cache"); ("label", Report.str tag);
+        ("cache_hits", string_of_int k.Owl_cache.hits);
+        ("cache_misses", string_of_int k.Owl_cache.misses);
+        ("cache_stale", string_of_int k.Owl_cache.stale);
+        ("cache_writes", string_of_int k.Owl_cache.writes) ];
+    (r, k)
+  in
+  let cold, _ = run "cold j1" ~jobs:1 in
+  let warm1, k1 = run "warm j1" ~jobs:1 in
+  let warm4, k4 = run "warm j4" ~jobs:4 in
+  (* clean up the temporary store whatever happened above *)
+  let cleanup () =
+    ignore (Owl_cache.clear (Owl_cache.open_dir dir));
+    List.iter
+      (fun d -> try Unix.rmdir d with Unix.Unix_error _ -> ())
+      [ Filename.concat dir "r"; Filename.concat dir "w"; dir ]
+  in
+  (match (cold, warm1, warm4) with
+  | RSolved (sc, _), RSolved (s1, _), RSolved (s4, _) ->
+      let same (a : Synth.Engine.solved) (b : Synth.Engine.solved) =
+        a.Synth.Engine.per_instr = b.Synth.Engine.per_instr
+        && a.Synth.Engine.shared = b.Synth.Engine.shared
+      in
+      let qc = sc.Synth.Engine.stats.Synth.Engine.queries in
+      let q1 = s1.Synth.Engine.stats.Synth.Engine.queries in
+      let q4 = s4.Synth.Engine.stats.Synth.Engine.queries in
+      let identical = same sc s1 && same sc s4 in
+      let fewer = q1 < qc && q4 < qc in
+      let hits = k1.Owl_cache.hits > 0 && k4.Owl_cache.hits > 0 in
+      Printf.printf
+        "\n  bindings identical across cold/warm/jobs=4: %s; queries %d -> \
+         %d (j1) / %d (j4): %s; warm hit rate nonzero: %s\n"
+        (if identical then "yes" else "NO (cache corruption)")
+        qc q1 q4
+        (if fewer then "fewer" else "NOT FEWER")
+        (if hits then "yes" else "NO");
+      if not (identical && fewer && hits) then begin
+        cleanup ();
+        print_endline "cache: REGRESSION (see rows above)";
+        exit 1
+      end
+  | _ ->
+      cleanup ();
+      print_endline "cache: synthesis failed";
+      exit 1);
+  cleanup ()
+
 (* {1 Smoke test (dune @bench-smoke alias)}
 
    A seconds-scale end-to-end exercise of the bench harness with sessions
@@ -480,7 +569,7 @@ let incremental () =
 let smoke () =
   let problem = Designs.Accumulator.problem () in
   let solve ~incremental =
-    let options = Synth.Engine.make_options ~incremental () in
+    let options = Synth.Engine.(default_options |> with_incremental incremental) in
     match Synth.Engine.synthesize ~options problem with
     | Synth.Engine.Solved s -> s
     | _ ->
@@ -570,6 +659,54 @@ let smoke () =
     prerr_endline "bench smoke: null-sink overhead exceeds 1000 ns/call";
     exit 1
   end;
+  (* Cross-run cache: a cold solve of the ALU machine (independent
+     per-instruction holes, so the cacheable path runs) followed by a
+     warm rerun against the same directory.  The warm run must hit, must
+     issue fewer solver queries, and must reproduce the cold bindings
+     bit for bit. *)
+  let cache_dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "owl-smoke-cache.%d" (Unix.getpid ()))
+  in
+  let solve_cached () =
+    let cache = Owl_cache.open_dir cache_dir in
+    let options = Synth.Engine.(default_options |> with_cache (Some cache)) in
+    match Synth.Engine.synthesize ~options (Designs.Alu.problem ()) with
+    | Synth.Engine.Solved s -> (s, Owl_cache.counters cache)
+    | _ ->
+        prerr_endline "bench smoke: alu synthesis failed";
+        exit 1
+  in
+  let cold, kc = solve_cached () in
+  let warm, kw = solve_cached () in
+  ignore (Owl_cache.clear (Owl_cache.open_dir cache_dir));
+  List.iter
+    (fun d -> try Unix.rmdir d with Unix.Unix_error _ -> ())
+    [ Filename.concat cache_dir "r"; Filename.concat cache_dir "w";
+      cache_dir ];
+  Printf.printf
+    "bench smoke: cache cold %d queries (%d writes), warm %d queries (%d \
+     hits)\n"
+    cold.Synth.Engine.stats.Synth.Engine.queries kc.Owl_cache.writes
+    warm.Synth.Engine.stats.Synth.Engine.queries kw.Owl_cache.hits;
+  if kw.Owl_cache.hits = 0 then begin
+    prerr_endline "bench smoke: warm rerun produced no cache hits";
+    exit 1
+  end;
+  if
+    warm.Synth.Engine.stats.Synth.Engine.queries
+    >= cold.Synth.Engine.stats.Synth.Engine.queries
+  then begin
+    prerr_endline "bench smoke: warm rerun did not issue fewer solver queries";
+    exit 1
+  end;
+  if
+    warm.Synth.Engine.per_instr <> cold.Synth.Engine.per_instr
+    || warm.Synth.Engine.shared <> cold.Synth.Engine.shared
+  then begin
+    prerr_endline "bench smoke: warm bindings diverged from cold bindings";
+    exit 1
+  end;
   print_endline "bench smoke: ok"
 
 (* {1 Micro-benchmarks (Bechamel)} *)
@@ -647,7 +784,8 @@ let () =
   let sections_tbl =
     [ ("table1", table1); ("table2", table2); ("table3", table3);
       ("ablation", ablation); ("parallel", parallel);
-      ("incremental", incremental); ("micro", micro) ]
+      ("incremental", incremental); ("cache", cache_bench);
+      ("micro", micro) ]
   in
   let run_sections names =
     (* histogram/counter collection across every section; the summaries
@@ -663,7 +801,8 @@ let () =
   match args with
   | [] | [ "all" ] ->
       run_sections
-        [ "table1"; "table2"; "table3"; "ablation"; "parallel"; "incremental" ]
+        [ "table1"; "table2"; "table3"; "ablation"; "parallel";
+          "incremental"; "cache" ]
   | [ "smoke" ] -> smoke ()
   | [ name ] when List.mem_assoc name sections_tbl -> run_sections [ name ]
   | _ ->

@@ -1,0 +1,189 @@
+(* Shared command-line vocabulary for the owl driver.
+
+   Several subcommands (synth, verify) accept the same engine-tuning,
+   fault-injection, observability, and cache flags.  Each flag — and its
+   environment-variable fallback, where one exists — is declared exactly
+   once here; the subcommands compose the [Term]s and call the
+   corresponding [install_*]/[apply_*] helper.  The precedence rule is
+   uniform: explicit flag beats environment variable beats default. *)
+
+open Cmdliner
+
+(* {1 Engine tuning} *)
+
+let jobs =
+  let doc =
+    "Worker domains for the independent per-instruction solver loops \
+     (1 = serial; shared holes force the serial joint path regardless)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let check_jobs jobs =
+  if jobs < 1 then begin
+    prerr_endline "owl: --jobs must be >= 1";
+    exit 1
+  end
+
+let no_incremental =
+  let doc =
+    "Use a fresh solver for every query instead of reusing incremental \
+     solver sessions (SAT state, blasting cache, learned clauses) across \
+     CEGIS iterations.  Escape hatch for debugging and A/B timing."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
+
+let default_recovery =
+  Synth.Engine.default_options.Synth.Engine.recovery
+
+let retries =
+  let doc =
+    "Extra attempts per solver query (and per crashed worker task) before \
+     giving up: Unknown outcomes retry with geometrically escalated \
+     conflict budgets and deadline slices, the final attempt on a fresh \
+     one-shot solver."
+  in
+  Arg.(value & opt int default_recovery.Synth.Engine.Recovery.retries
+       & info [ "retries" ] ~docv:"K" ~doc)
+
+let escalation_factor =
+  let doc = "Geometric budget/time growth per retry attempt." in
+  Arg.(value
+       & opt int default_recovery.Synth.Engine.Recovery.escalation_factor
+       & info [ "escalation-factor" ] ~docv:"F" ~doc)
+
+let validate_models =
+  let doc =
+    "Cross-check every satisfiable solver model by concrete evaluation of \
+     the asserted formulas before trusting it; failed checks retry and \
+     fall back to a fresh solver."
+  in
+  Arg.(value & flag & info [ "validate-models" ] ~doc)
+
+(* {1 Fault injection} *)
+
+let fault_plan =
+  let doc =
+    "Deterministic fault plan for resilience testing, e.g. \
+     'unknown@3,corrupt@5,crash@1,seed=7' (also read from the \
+     OWL_FAULT_PLAN environment variable; the flag wins)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
+
+let install_fault_plan = function
+  | Some plan -> (
+      match Fault.parse plan with
+      | p -> Fault.install p
+      | exception Fault.Parse_error m ->
+          Printf.eprintf "owl: %s\n" m;
+          exit 1)
+  | None -> (
+      match Fault.install_from_env () with
+      | (_ : bool) -> ()
+      | exception Fault.Parse_error m ->
+          Printf.eprintf "owl: OWL_FAULT_PLAN: %s\n" m;
+          exit 1)
+
+(* {1 Observability}
+
+   [--trace FILE] records spans across the solver, CEGIS engine, and
+   worker pool and writes Chrome trace-event JSON (open in chrome://tracing
+   or https://ui.perfetto.dev); the OWL_TRACE environment variable is the
+   flagless equivalent, mirroring OWL_FAULT_PLAN (the flag wins).
+   [--metrics] prints the counter/histogram summary table.  Both write
+   through [at_exit] so the timeout and error exit paths still report. *)
+
+let trace =
+  let doc =
+    "Record a trace of solver, CEGIS, and worker-pool activity and write \
+     it to $(docv) as Chrome trace-event JSON (viewable in chrome://tracing \
+     or Perfetto).  Also read from the OWL_TRACE environment variable; the \
+     flag wins.  Implies metrics collection."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics =
+  let doc =
+    "Collect counters and latency/size histograms across the run and print \
+     a summary table on exit."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let install_observability ~trace ~metrics =
+  let trace =
+    match trace with Some _ -> trace | None -> Sys.getenv_opt "OWL_TRACE"
+  in
+  if metrics then begin
+    Obs.enable_metrics ();
+    at_exit (fun () -> print_string (Obs.summary_table ()))
+  end;
+  match trace with
+  | None -> ()
+  | Some file ->
+      Obs.enable ();
+      Obs.enable_metrics ();
+      at_exit (fun () ->
+          let events = List.length (Obs.events ()) in
+          let oc = open_out file in
+          Obs.write_chrome_trace oc;
+          close_out oc;
+          Printf.eprintf "trace: %d events written to %s%s\n%!" events file
+            (match Obs.dropped () with
+            | 0 -> ""
+            | d -> Printf.sprintf " (%d dropped)" d))
+
+(* {1 Cross-run synthesis cache}
+
+   [--cache-dir DIR] enables the content-addressed cache rooted at DIR;
+   OWL_CACHE_DIR is the flagless equivalent (the flag wins) and
+   [--no-cache] forces caching off even when the environment sets a
+   directory.  There is deliberately no on-by-default directory: a cache
+   the user did not ask for is a surprising pile of files. *)
+
+let default_cache_dir = ".owl-cache"
+
+let cache_dir =
+  let doc =
+    "Enable the cross-run synthesis cache rooted at $(docv): solved \
+     per-instruction problems are fingerprinted and their hole bindings \
+     reused (after re-validation) on later runs; near-miss problems \
+     warm-start from accumulated counterexamples and learned clauses.  \
+     Also read from the OWL_CACHE_DIR environment variable; the flag \
+     wins.  The conventional directory is '.owl-cache'."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let no_cache =
+  let doc =
+    "Disable the synthesis cache even when OWL_CACHE_DIR is set."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+(* Resolve the flag/env/default precedence into an open handle (or
+   None).  Open failures are reported and fatal: the user asked for a
+   cache by naming a directory, so silently running uncached would be a
+   lie. *)
+let open_cache ~cache_dir ~no_cache =
+  let dir =
+    match cache_dir with
+    | Some _ -> cache_dir
+    | None -> Sys.getenv_opt "OWL_CACHE_DIR"
+  in
+  match dir with
+  | Some d when not no_cache -> (
+      match Owl_cache.open_dir d with
+      | c -> Some c
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "owl: cannot open cache directory %s: %s\n" d
+            (Unix.error_message e);
+          exit 1)
+  | _ -> None
+
+let report_cache = function
+  | None -> ()
+  | Some c ->
+      let k = Owl_cache.counters c in
+      Printf.printf "cache: %d hits, %d misses, %d stale, %d writes (%s)\n"
+        k.Owl_cache.hits k.Owl_cache.misses k.Owl_cache.stale
+        k.Owl_cache.writes (Owl_cache.dir c)

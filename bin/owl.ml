@@ -110,121 +110,8 @@ let print_cmd =
   Cmd.v (Cmd.info "print" ~doc:"Print a design as textual Oyster IR")
     Term.(const run $ design_arg $ reference)
 
-let jobs_arg =
-  let doc =
-    "Worker domains for the independent per-instruction solver loops \
-     (1 = serial; shared holes force the serial joint path regardless)."
-  in
-  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
-
-let check_jobs jobs =
-  if jobs < 1 then begin
-    prerr_endline "owl: --jobs must be >= 1";
-    exit 1
-  end
-
-let no_incremental_arg =
-  let doc =
-    "Use a fresh solver for every query instead of reusing incremental \
-     solver sessions (SAT state, blasting cache, learned clauses) across \
-     CEGIS iterations.  Escape hatch for debugging and A/B timing."
-  in
-  Arg.(value & flag & info [ "no-incremental" ] ~doc)
-
-let retries_arg =
-  let doc =
-    "Extra attempts per solver query (and per crashed worker task) before \
-     giving up: Unknown outcomes retry with geometrically escalated \
-     conflict budgets and deadline slices, the final attempt on a fresh \
-     one-shot solver."
-  in
-  Arg.(value & opt int Synth.Engine.default_options.Synth.Engine.retries
-       & info [ "retries" ] ~docv:"K" ~doc)
-
-let escalation_arg =
-  let doc = "Geometric budget/time growth per retry attempt." in
-  Arg.(value
-       & opt int Synth.Engine.default_options.Synth.Engine.escalation_factor
-       & info [ "escalation-factor" ] ~docv:"F" ~doc)
-
-let validate_models_arg =
-  let doc =
-    "Cross-check every satisfiable solver model by concrete evaluation of \
-     the asserted formulas before trusting it; failed checks retry and \
-     fall back to a fresh solver."
-  in
-  Arg.(value & flag & info [ "validate-models" ] ~doc)
-
-let fault_plan_arg =
-  let doc =
-    "Deterministic fault plan for resilience testing, e.g. \
-     'unknown@3,corrupt@5,crash@1,seed=7' (also read from the \
-     OWL_FAULT_PLAN environment variable; the flag wins)."
-  in
-  Arg.(value & opt (some string) None
-       & info [ "fault-plan" ] ~docv:"PLAN" ~doc)
-
-let install_fault_plan = function
-  | Some plan -> (
-      match Fault.parse plan with
-      | p -> Fault.install p
-      | exception Fault.Parse_error m ->
-          Printf.eprintf "owl: %s\n" m;
-          exit 1)
-  | None -> (
-      match Fault.install_from_env () with
-      | (_ : bool) -> ()
-      | exception Fault.Parse_error m ->
-          Printf.eprintf "owl: OWL_FAULT_PLAN: %s\n" m;
-          exit 1)
-
-(* {1 Observability}
-
-   [--trace FILE] records spans across the solver, CEGIS engine, and
-   worker pool and writes Chrome trace-event JSON (open in chrome://tracing
-   or https://ui.perfetto.dev); the OWL_TRACE environment variable is the
-   flagless equivalent, mirroring OWL_FAULT_PLAN (the flag wins).
-   [--metrics] prints the counter/histogram summary table.  Both write
-   through [at_exit] so the timeout and error exit paths still report. *)
-
-let trace_arg =
-  let doc =
-    "Record a trace of solver, CEGIS, and worker-pool activity and write \
-     it to $(docv) as Chrome trace-event JSON (viewable in chrome://tracing \
-     or Perfetto).  Also read from the OWL_TRACE environment variable; the \
-     flag wins.  Implies metrics collection."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let metrics_arg =
-  let doc =
-    "Collect counters and latency/size histograms across the run and print \
-     a summary table on exit."
-  in
-  Arg.(value & flag & info [ "metrics" ] ~doc)
-
-let install_observability ~trace ~metrics =
-  let trace =
-    match trace with Some _ -> trace | None -> Sys.getenv_opt "OWL_TRACE"
-  in
-  if metrics then begin
-    Obs.enable_metrics ();
-    at_exit (fun () -> print_string (Obs.summary_table ()))
-  end;
-  match trace with
-  | None -> ()
-  | Some file ->
-      Obs.enable ();
-      Obs.enable_metrics ();
-      at_exit (fun () ->
-          let events = List.length (Obs.events ()) in
-          let oc = open_out file in
-          Obs.write_chrome_trace oc;
-          close_out oc;
-          Printf.eprintf "trace: %d events written to %s%s\n%!" events file
-            (match Obs.dropped () with
-            | 0 -> ""
-            | d -> Printf.sprintf " (%d dropped)" d))
+(* The engine-tuning, fault-plan, observability, and cache flags are
+   shared between subcommands and declared once in {!Args}. *)
 
 (* every synthesis-layer failure (engine, union, minimizer) shares one
    structured exception; report it uniformly instead of crashing *)
@@ -254,24 +141,32 @@ let synth_cmd =
          & info [ "pyrtl" ] ~doc:"Print the generated control logic PyRTL-style (paper Fig. 7).")
   in
   let run name monolithic jobs deadline output pyrtl no_incremental retries
-      escalation_factor validate_models fault_plan trace metrics =
-    check_jobs jobs;
-    install_fault_plan fault_plan;
-    install_observability ~trace ~metrics;
+      escalation_factor validate_models cache_dir no_cache fault_plan trace
+      metrics =
+    Args.check_jobs jobs;
+    Args.install_fault_plan fault_plan;
+    Args.install_observability ~trace ~metrics;
     match lookup name with
     | Error m ->
         prerr_endline m;
         exit 1
     | Ok e -> (
+        let cache = Args.open_cache ~cache_dir ~no_cache in
+        if cache <> None then
+          (* [at_exit] so the timeout/unrealizable exit paths report too *)
+          at_exit (fun () -> Args.report_cache cache);
         let options =
           try
-            Synth.Engine.make_options
-              ~mode:
-                (if monolithic then Synth.Engine.Monolithic
-                 else Synth.Engine.Per_instruction)
-              ~jobs ?deadline_seconds:deadline
-              ~incremental:(not no_incremental) ~retries ~escalation_factor
-              ~validate_models ()
+            Synth.Engine.(
+              default_options
+              |> with_mode (if monolithic then Monolithic else Per_instruction)
+              |> with_jobs jobs
+              |> with_deadline deadline
+              |> with_incremental (not no_incremental)
+              |> with_retries retries
+              |> with_escalation_factor escalation_factor
+              |> with_validate_models validate_models
+              |> with_cache cache)
           with Invalid_argument m ->
             Printf.eprintf "owl: %s\n" m;
             exit 1
@@ -338,9 +233,10 @@ let synth_cmd =
   in
   Cmd.v
     (Cmd.info "synth" ~doc:"Synthesize control logic for a case-study design")
-    Term.(const run $ design_arg $ monolithic $ jobs_arg $ deadline $ output
-          $ pyrtl $ no_incremental_arg $ retries_arg $ escalation_arg
-          $ validate_models_arg $ fault_plan_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ design_arg $ monolithic $ Args.jobs $ deadline $ output
+          $ pyrtl $ Args.no_incremental $ Args.retries $ Args.escalation_factor
+          $ Args.validate_models $ Args.cache_dir $ Args.no_cache
+          $ Args.fault_plan $ Args.trace $ Args.metrics)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oyster")
@@ -510,9 +406,9 @@ let verify_cmd =
   in
   let run name deadline jobs no_incremental retries escalation_factor
       validate_models fault_plan trace metrics =
-    check_jobs jobs;
-    install_fault_plan fault_plan;
-    install_observability ~trace ~metrics;
+    Args.check_jobs jobs;
+    Args.install_fault_plan fault_plan;
+    Args.install_observability ~trace ~metrics;
     match lookup name with
     | Error m ->
         prerr_endline m;
@@ -553,9 +449,9 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:
          "Formally verify the hand-written reference control against the ILA specification")
-    Term.(const run $ design_arg $ deadline $ jobs_arg $ no_incremental_arg
-          $ retries_arg $ escalation_arg $ validate_models_arg
-          $ fault_plan_arg $ trace_arg $ metrics_arg)
+    Term.(const run $ design_arg $ deadline $ Args.jobs $ Args.no_incremental
+          $ Args.retries $ Args.escalation_factor $ Args.validate_models
+          $ Args.fault_plan $ Args.trace $ Args.metrics)
 
 let verilog_cmd =
   let run file =
@@ -601,6 +497,57 @@ let sim_cmd =
        ~doc:"Simulate a hole-free design with all inputs forced to zero")
     Term.(const run $ file_arg $ cycles $ vcd)
 
+let cache_cmd =
+  (* maintenance for the on-disk synthesis cache; resolution mirrors the
+     synth flags (--cache-dir beats OWL_CACHE_DIR beats the conventional
+     .owl-cache directory) but here a missing directory is just reported,
+     never created *)
+  let dir_term =
+    let doc =
+      "Cache directory to operate on.  Also read from the OWL_CACHE_DIR \
+       environment variable; defaults to '.owl-cache'."
+    in
+    Arg.(value & opt (some string) None
+         & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+  in
+  let resolve dir =
+    match dir with
+    | Some d -> d
+    | None -> (
+        match Sys.getenv_opt "OWL_CACHE_DIR" with
+        | Some d -> d
+        | None -> Args.default_cache_dir)
+  in
+  let stats_cmd =
+    let run dir =
+      let dir = resolve dir in
+      if not (Sys.file_exists dir) then
+        Printf.printf "%s: no cache\n" dir
+      else
+        let s = Owl_cache.disk_stats (Owl_cache.open_dir dir) in
+        Printf.printf "%s: %d result entries, %d warm entries, %d bytes\n"
+          dir s.Owl_cache.result_entries s.Owl_cache.warm_entries
+          s.Owl_cache.total_bytes
+    in
+    Cmd.v (Cmd.info "stats" ~doc:"Show entry counts and on-disk size")
+      Term.(const run $ dir_term)
+  in
+  let clear_cmd =
+    let run dir =
+      let dir = resolve dir in
+      if not (Sys.file_exists dir) then
+        Printf.printf "%s: no cache\n" dir
+      else
+        let n = Owl_cache.clear (Owl_cache.open_dir dir) in
+        Printf.printf "%s: %d entries removed\n" dir n
+    in
+    Cmd.v (Cmd.info "clear" ~doc:"Remove every cache entry")
+      Term.(const run $ dir_term)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect or clear the cross-run synthesis cache")
+    [ stats_cmd; clear_cmd ]
+
 let () =
   let info =
     Cmd.info "owl" ~version:"1.0.0"
@@ -608,4 +555,5 @@ let () =
   in
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; print_cmd; synth_cmd; cosim_cmd; independence_cmd;
-         verify_cmd; check_cmd; netlist_cmd; verilog_cmd; sim_cmd ]))
+         verify_cmd; check_cmd; netlist_cmd; verilog_cmd; sim_cmd;
+         cache_cmd ]))

@@ -14,7 +14,15 @@ let () =
   print_string (Oyster.Printer.design_to_string (Designs.Accumulator.sketch ()));
   print_endline "";
   print_endline "== Synthesizing control logic ==";
-  match Synth.Engine.synthesize (Designs.Accumulator.problem ()) with
+  (* engine options are the defaults piped through [with_*] setters;
+     here: a wall-clock guard, and two worker domains for the
+     per-instruction loops (the accumulator's Shared holes force the
+     joint path anyway, so jobs only matters for bigger designs) *)
+  let options =
+    Synth.Engine.(
+      default_options |> with_jobs 2 |> with_deadline (Some 30.0))
+  in
+  match Synth.Engine.synthesize ~options (Designs.Accumulator.problem ()) with
   | Synth.Engine.Solved s ->
       Printf.printf "solved in %.3fs (%d CEGIS rounds, %d solver queries)\n\n"
         s.Synth.Engine.stats.Synth.Engine.wall_seconds

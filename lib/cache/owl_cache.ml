@@ -1,0 +1,363 @@
+(* Content-addressed on-disk synthesis cache.
+
+   Layout: <root>/r/<fingerprint> for the result tier and
+   <root>/w/<key> for the warm tier, where both names are SHA-256 hex
+   strings produced by [fingerprint].  Every entry is one file:
+
+     owl-cache <version> <kind> <payload-sha256> <payload-length>\n
+     <payload bytes>
+
+   The header makes stale detection cheap and total: a version bump, a
+   kind mix-up, a truncation (payload shorter than declared), trailing
+   junk (longer), or any bit flip (checksum) all classify the entry as
+   stale, which readers treat as a miss.  Payload parsing goes through
+   the Term smart constructors, so even a checksum-valid but logically
+   stale document (e.g. a width change) is rejected by revalidation.
+
+   Publication is write-to-temp + atomic rename in the same directory,
+   so concurrent writers — worker domains of one process or entirely
+   separate processes sharing a cache directory — never expose torn
+   entries; duplicate solves of the same fingerprint just overwrite each
+   other with equally valid files.  All write failures are swallowed: a
+   cache that cannot write degrades to a slower run, never a broken
+   one. *)
+
+let format_version = 1
+
+type t = {
+  root : string;
+  n_hits : int Atomic.t;
+  n_misses : int Atomic.t;
+  n_stale : int Atomic.t;
+  n_writes : int Atomic.t;
+}
+
+type counters = { hits : int; misses : int; stale : int; writes : int }
+
+(* Observability mirrors of the per-handle atomics, registered once. *)
+let c_hit = Obs.counter "cache.hit"
+let c_miss = Obs.counter "cache.miss"
+let c_stale = Obs.counter "cache.stale"
+let c_write = Obs.counter "cache.write"
+
+let hit c = Atomic.incr c.n_hits; Obs.incr c_hit
+let miss c = Atomic.incr c.n_misses; Obs.incr c_miss
+let stale c = Atomic.incr c.n_stale; Obs.incr c_stale
+let wrote c = Atomic.incr c.n_writes; Obs.incr c_write
+
+let counters c =
+  {
+    hits = Atomic.get c.n_hits;
+    misses = Atomic.get c.n_misses;
+    stale = Atomic.get c.n_stale;
+    writes = Atomic.get c.n_writes;
+  }
+
+let fingerprint doc = Sha256.digest_hex doc
+
+(* Entry names come out of [fingerprint], so anything else is a caller
+   bug — and the check keeps [clear] safely confined to files this
+   module created. *)
+let check_name what name =
+  let hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false in
+  if name = "" || not (String.for_all hex name) then
+    invalid_arg (Printf.sprintf "Owl_cache: %s is not a fingerprint" what)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let result_dir root = Filename.concat root "r"
+let warm_dir root = Filename.concat root "w"
+
+let open_dir root =
+  mkdir_p (result_dir root);
+  mkdir_p (warm_dir root);
+  {
+    root;
+    n_hits = Atomic.make 0;
+    n_misses = Atomic.make 0;
+    n_stale = Atomic.make 0;
+    n_writes = Atomic.make 0;
+  }
+
+let dir c = c.root
+
+(* {1 Entry I/O} *)
+
+let tmp_counter = Atomic.make 0
+
+let tmp_path dir =
+  Filename.concat dir
+    (Printf.sprintf "tmp.%d.%d.%d" (Unix.getpid ())
+       (Domain.self () :> int)
+       (Atomic.fetch_and_add tmp_counter 1))
+
+let write_entry c ~path ~kind payload =
+  try
+    let tmp = tmp_path (Filename.dirname path) in
+    let oc = open_out_bin tmp in
+    (try
+       Printf.fprintf oc "owl-cache %d %s %s %d\n" format_version kind
+         (Sha256.digest_hex payload)
+         (String.length payload);
+       output_string oc payload;
+       close_out oc
+     with e ->
+       close_out_noerr oc;
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    Unix.rename tmp path;
+    wrote c
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+type read_result = Absent | Stale | Entry of string
+
+let read_entry path kind =
+  match open_in_bin path with
+  | exception Sys_error _ -> Absent
+  | ic ->
+      let r =
+        try
+          let header = input_line ic in
+          match String.split_on_char ' ' header with
+          | [ "owl-cache"; v; k; sha; len ] -> (
+              match (int_of_string_opt v, int_of_string_opt len) with
+              | Some v, Some len
+                when v = format_version && k = kind && len >= 0
+                     && len <= in_channel_length ic ->
+                  let payload = really_input_string ic len in
+                  let trailing =
+                    match input_char ic with
+                    | _ -> true
+                    | exception End_of_file -> false
+                  in
+                  if trailing || Sha256.digest_hex payload <> sha then Stale
+                  else Entry payload
+              | _ -> Stale)
+          | _ -> Stale
+        with End_of_file | Sys_error _ | Failure _ | Invalid_argument _ ->
+          Stale
+      in
+      close_in_noerr ic;
+      r
+
+(* Line-oriented payload parsing; any malformation raises and the caller
+   classifies the entry as stale. *)
+let line_reader payload =
+  let len = String.length payload in
+  let pos = ref 0 in
+  let next () =
+    if !pos >= len then failwith "cache entry truncated";
+    let i =
+      try String.index_from payload !pos '\n'
+      with Not_found -> failwith "cache entry truncated"
+    in
+    let l = String.sub payload !pos (i - !pos) in
+    pos := i + 1;
+    l
+  in
+  let rest () = String.sub payload !pos (len - !pos) in
+  (next, rest)
+
+let count_of header line =
+  match String.split_on_char ' ' line with
+  | [ h; n ] when h = header -> (
+      match int_of_string_opt n with
+      | Some n when n >= 0 && n <= 1_000_000 -> n
+      | _ -> failwith "cache entry count out of range")
+  | _ -> failwith "cache entry bad section header"
+
+(* Terms ride along as a Term.serialize document occupying the rest of the
+   payload; an empty list skips the document entirely (and the count line
+   cross-checks the roots actually present). *)
+let emit_terms buf count_header ts =
+  Buffer.add_string buf
+    (Printf.sprintf "%s %d\n" count_header (List.length ts));
+  if ts <> [] then Buffer.add_string buf (Term.serialize ts)
+
+let parse_terms next rest count_header =
+  let n = count_of count_header (next ()) in
+  if n = 0 then []
+  else begin
+    let ts = Term.deserialize (rest ()) in
+    if List.length ts <> n then failwith "cache entry root count mismatch";
+    ts
+  end
+
+(* {1 Result tier} *)
+
+let result_path c fp = Filename.concat (result_dir c.root) fp
+
+let store_result c ~fp ~bindings ~constraints =
+  check_name "result fingerprint" fp;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "bindings %d\n" (List.length bindings));
+  List.iter
+    (fun (name, v) ->
+      if String.contains name ' ' || String.contains name '\n' then
+        invalid_arg "Owl_cache.store_result: binding name contains whitespace";
+      Buffer.add_string buf (Printf.sprintf "%s %s\n" name (Bitvec.to_string v)))
+    bindings;
+  emit_terms buf "constraints" constraints;
+  write_entry c ~path:(result_path c fp) ~kind:"result" (Buffer.contents buf)
+
+let parse_result payload =
+  let next, rest = line_reader payload in
+  let n = count_of "bindings" (next ()) in
+  let bindings =
+    List.init n (fun _ ->
+        match String.split_on_char ' ' (next ()) with
+        | [ name; v ] -> (name, Bitvec.of_string v)
+        | _ -> failwith "cache entry bad binding")
+  in
+  (bindings, parse_terms next rest "constraints")
+
+let lookup_result c ~fp ~validate =
+  check_name "result fingerprint" fp;
+  match read_entry (result_path c fp) "result" with
+  | Absent ->
+      miss c;
+      None
+  | Stale ->
+      stale c;
+      None
+  | Entry payload -> (
+      match parse_result payload with
+      | exception _ ->
+          stale c;
+          None
+      | bindings, constraints ->
+          let ok = try validate bindings constraints with _ -> false in
+          if ok then begin
+            hit c;
+            Some bindings
+          end
+          else begin
+            (* present but untrustworthy: never a wrong answer, so it
+               degrades to a miss and the solve will overwrite it *)
+            stale c;
+            None
+          end)
+
+(* {1 Warm tier} *)
+
+type warm = { exact_fp : string; clauses : int list list; cex : Term.t list }
+
+let warm_path c key = Filename.concat (warm_dir c.root) key
+
+let store_warm c ~key w =
+  check_name "warm key" key;
+  check_name "warm exact fingerprint" w.exact_fp;
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "exact %s\n" w.exact_fp);
+  Buffer.add_string buf (Printf.sprintf "clauses %d\n" (List.length w.clauses));
+  List.iter
+    (fun lits ->
+      Buffer.add_string buf
+        (String.concat " " (List.map string_of_int lits));
+      Buffer.add_char buf '\n')
+    w.clauses;
+  emit_terms buf "cex" w.cex;
+  write_entry c ~path:(warm_path c key) ~kind:"warm" (Buffer.contents buf)
+
+let parse_warm payload =
+  let next, rest = line_reader payload in
+  let exact_fp =
+    match String.split_on_char ' ' (next ()) with
+    | [ "exact"; fp ] ->
+        check_name "stored exact fingerprint" fp;
+        fp
+    | _ -> failwith "cache entry bad exact line"
+  in
+  let n = count_of "clauses" (next ()) in
+  let clauses =
+    List.init n (fun _ ->
+        let lits =
+          List.map
+            (fun tok ->
+              match int_of_string_opt tok with
+              | Some l when l <> 0 -> l
+              | _ -> failwith "cache entry bad literal")
+            (String.split_on_char ' ' (next ()))
+        in
+        if lits = [] then failwith "cache entry empty clause";
+        lits)
+  in
+  { exact_fp; clauses; cex = parse_terms next rest "cex" }
+
+let lookup_warm c ~key =
+  check_name "warm key" key;
+  match read_entry (warm_path c key) "warm" with
+  | Absent ->
+      miss c;
+      None
+  | Stale ->
+      stale c;
+      None
+  | Entry payload -> (
+      match parse_warm payload with
+      | exception _ ->
+          stale c;
+          None
+      | w ->
+          hit c;
+          Some w)
+
+(* {1 Maintenance} *)
+
+type disk_stats = {
+  result_entries : int;
+  warm_entries : int;
+  total_bytes : int;
+}
+
+let is_tmp name =
+  String.length name >= 4 && String.sub name 0 4 = "tmp."
+
+let scan dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> ([], 0)
+  | names ->
+      Array.fold_left
+        (fun (entries, bytes) name ->
+          let path = Filename.concat dir name in
+          let size =
+            match Unix.stat path with
+            | st -> st.Unix.st_size
+            | exception Unix.Unix_error _ -> 0
+          in
+          let entries = if is_tmp name then entries else name :: entries in
+          (entries, bytes + size))
+        ([], 0) names
+
+let disk_stats c =
+  let r, rb = scan (result_dir c.root) in
+  let w, wb = scan (warm_dir c.root) in
+  {
+    result_entries = List.length r;
+    warm_entries = List.length w;
+    total_bytes = rb + wb;
+  }
+
+let clear c =
+  let removed = ref 0 in
+  let sweep dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+        Array.iter
+          (fun name ->
+            try
+              Sys.remove (Filename.concat dir name);
+              incr removed
+            with Sys_error _ -> ())
+          names
+  in
+  sweep (result_dir c.root);
+  sweep (warm_dir c.root);
+  !removed

@@ -1,0 +1,133 @@
+(** Content-addressed, on-disk synthesis cache.
+
+    Small per-instruction CEGIS queries are structurally stable across
+    runs, sketch edits, and [jobs] settings, which makes them memoize
+    well.  This store keys each synthesis problem by a {e fingerprint} —
+    the SHA-256 of a canonical document combining {!Term.serialize} output
+    (deterministic: same DAG ⇒ same bytes in every process) with the
+    solver-relevant options — and persists two tiers per fingerprint:
+
+    - the {b result tier} maps an exact problem fingerprint to the solved
+      hole bindings plus the ground constraint terms they were proven
+      against.  A hit is re-validated by concrete evaluation before being
+      trusted, so a stale or corrupted entry degrades to a miss, never to
+      a wrong answer;
+    - the {b warm tier} is keyed by a coarser per-instruction key that
+      survives sketch edits, and persists the accumulated counterexample
+      constraints plus the learned SAT clauses (stamped with the exact
+      fingerprint they were learned on).  Near-miss problems replay the
+      counterexamples to skip early CEGIS rounds; the clauses are only
+      replayed when the exact fingerprint still matches, because clause
+      reuse is sound only under identical variable numbering.
+
+    {b Crash and concurrency safety.}  Every write goes to a unique
+    temporary file in the entry's directory and is published with
+    [Unix.rename], which is atomic on POSIX — readers see either the old
+    complete entry or the new complete entry, never a torn one, and
+    concurrent writers (worker domains, or whole concurrent processes
+    sharing one cache directory) at worst overwrite each other with
+    equally valid entries.  Entries are version-stamped and checksummed;
+    any mismatch, truncation, or parse failure reads as a miss.  Write
+    failures (permissions, full disk) are swallowed: the cache can slow a
+    run down by missing, but it can never break one. *)
+
+type t
+(** An open cache handle.  Handles are safe to share across domains: the
+    hit/miss accounting is atomic and the store itself is append-only
+    files published by atomic rename. *)
+
+val format_version : int
+(** Bumped whenever the entry encoding changes; entries stamped with any
+    other version read as misses. *)
+
+val open_dir : string -> t
+(** Opens (creating if needed, parents included) a cache rooted at the
+    given directory.  Raises [Unix.Unix_error] if the directory cannot be
+    created or is not writable. *)
+
+val dir : t -> string
+
+(** {1 Fingerprints} *)
+
+val fingerprint : string -> string
+(** SHA-256 hex of a canonical key document.  Callers build the document
+    from {!Term.serialize} output plus option lines; this just hashes. *)
+
+(** {1 Per-handle accounting}
+
+    Mirrored into the [cache.hit] / [cache.miss] / [cache.stale] /
+    [cache.write] observability counters, but also kept as plain atomics
+    on the handle so the CLI and the bench harness can report rates
+    without enabling metrics globally. *)
+
+type counters = {
+  hits : int;  (** validated result hits + warm hits *)
+  misses : int;  (** entry absent *)
+  stale : int;
+      (** entry present but unusable: version mismatch, truncation,
+          checksum or parse failure, or failed re-validation *)
+  writes : int;  (** entries successfully published *)
+}
+
+val counters : t -> counters
+
+(** {1 Result tier} *)
+
+val store_result :
+  t ->
+  fp:string ->
+  bindings:(string * Bitvec.t) list ->
+  constraints:Term.t list ->
+  unit
+(** Publishes solved hole bindings for an exact problem fingerprint,
+    together with the ground constraint terms the solve proved them
+    against (the evidence a later {!lookup_result} re-checks).
+    Best-effort: write failures are swallowed. *)
+
+val lookup_result :
+  t ->
+  fp:string ->
+  validate:((string * Bitvec.t) list -> Term.t list -> bool) ->
+  (string * Bitvec.t) list option
+(** Looks up an exact fingerprint.  On a structurally sound entry the
+    [validate] callback receives the stored bindings and constraint terms
+    and must confirm them (the engine evaluates every constraint
+    concretely under the bindings); [false] — or any exception — marks
+    the entry stale and returns [None].  Only a validated entry counts as
+    a hit. *)
+
+(** {1 Warm tier} *)
+
+type warm = {
+  exact_fp : string;
+      (** the exact problem fingerprint the clauses were learned on *)
+  clauses : int list list;
+      (** learned SAT clauses ({!Solver.Session.export_learnt}); replay
+          {b only} when [exact_fp] equals the current problem fingerprint *)
+  cex : Term.t list;
+      (** accumulated counterexample constraints over hole variables,
+          oldest first — replayable across sketch edits because the engine
+          re-proves everything they imply *)
+}
+
+val store_warm : t -> key:string -> warm -> unit
+(** Publishes warm-start state under a per-instruction key (already a
+    fingerprint; see {!fingerprint}).  Best-effort like {!store_result}. *)
+
+val lookup_warm : t -> key:string -> warm option
+(** Structurally validated warm state, or [None] (miss or stale).  The
+    caller still owes the soundness guards documented on {!warm}. *)
+
+(** {1 Maintenance (the [owl cache] subcommands)} *)
+
+type disk_stats = {
+  result_entries : int;
+  warm_entries : int;
+  total_bytes : int;
+}
+
+val disk_stats : t -> disk_stats
+
+val clear : t -> int
+(** Removes every entry (and stray temporary file); returns how many
+    files were deleted.  The directory structure is kept. *)

@@ -502,7 +502,7 @@ let reduce_db s =
 
 (* {1 Adding clauses} *)
 
-let add_clause s ext_lits =
+let add_clause_gen s ~learnt ext_lits =
   s.model_valid <- false;
   cancel_until s 0;
   if s.ok then begin
@@ -527,9 +527,46 @@ let add_clause s ext_lits =
         | [ l ] ->
             enqueue s l (-1);
             if propagate s >= 0 then s.ok <- false
-        | _ -> ignore (alloc_clause s (Array.of_list lits) false)
+        | _ -> ignore (alloc_clause s (Array.of_list lits) learnt)
     end
   end
+
+let add_clause s ext_lits = add_clause_gen s ~learnt:false ext_lits
+
+(* Learned-clause exchange (the cross-run warm-start path).  Exported
+   clauses are consequences of the formula they were learned from, so they
+   are only sound to import into a solver holding {e the same} encoding —
+   the cache guards this with an exact problem fingerprint.  Imports are
+   allocated as learnt clauses: they never count as problem clauses in the
+   statistics and [reduce_db] may drop them again if they turn out not to
+   pull their weight. *)
+
+let export_learnt s =
+  let out = ref [] in
+  let to_ext l =
+    let v = (l lsr 1) + 1 in
+    if l land 1 = 1 then -v else v
+  in
+  for i = s.n_clauses - 1 downto 0 do
+    let c = s.clauses.(i) in
+    if c.learnt && Array.length c.lits > 0 then
+      out := Array.to_list (Array.map to_ext c.lits) :: !out
+  done;
+  !out
+
+let import_learnt s clauses =
+  let imported = ref 0 in
+  List.iter
+    (fun lits ->
+      if
+        lits <> []
+        && List.for_all (fun l -> abs l >= 1 && abs l <= s.nvars) lits
+      then begin
+        add_clause_gen s ~learnt:true lits;
+        incr imported
+      end)
+    clauses;
+  !imported
 
 (* {1 Search} *)
 

@@ -53,6 +53,20 @@ val add_clause : t -> int list -> unit
     falsified at level 0) makes the instance unsatisfiable.  Raises
     [Invalid_argument] on literals naming unallocated variables. *)
 
+val export_learnt : t -> int list list
+(** Snapshot of the learned-clause database, in DIMACS literals.  Every
+    exported clause is a consequence of the problem clauses the solver has
+    seen, so the list is only meaningful for re-import into a solver holding
+    the same encoding (same variable numbering) — the synthesis cache pins
+    this with an exact problem fingerprint before replaying. *)
+
+val import_learnt : t -> int list list -> int
+(** Replays previously exported clauses, allocating them as {e learnt}: they
+    never count as problem clauses in the statistics and the activity-based
+    deletion may drop them again.  Clauses naming variables the solver has
+    not allocated yet are skipped (the exporting run may have blasted more
+    terms).  Returns the number of clauses actually imported. *)
+
 val solve : ?assumptions:int list -> ?budget:int -> ?deadline:float -> t -> result
 (** [solve ~assumptions ~budget ~deadline s] checks satisfiability under the
     given assumption literals.  [budget] bounds the number of conflicts for

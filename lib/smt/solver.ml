@@ -287,11 +287,25 @@ module Session = struct
     s.last_conflicts <- conflicts;
     d
 
-  let cumulative_stats s =
+  (* One introspection snapshot instead of scattered accessors: the cache,
+     the obs instrumentation, and the arena aggregate all read the same
+     record, so adding a field means adding it in exactly one place. *)
+  type stats = {
+    vars : int;
+    clauses : int;
+    conflicts : int;
+    learnt : int;
+    cached_terms : int;
+    trivially_unsat : bool;
+  }
+
+  let stats s =
     {
-      sat_vars = Sat.num_vars s.sat;
-      sat_clauses = problem_clauses s;
-      sat_conflicts = Sat.conflicts s.sat;
+      vars = Sat.num_vars s.sat;
+      clauses = problem_clauses s;
+      conflicts = Sat.conflicts s.sat;
+      learnt = Sat.num_learnt s.sat;
+      cached_terms = Blast.cached_terms s.blast;
       trivially_unsat = s.trivially_false;
     }
 
@@ -414,7 +428,13 @@ module Session = struct
       outcome
     end
 
-  let cached_terms s = Blast.cached_terms s.blast
+  (* Cross-run warm starts: the cache exports a finished session's learned
+     clauses and replays them into a future session for the {e same}
+     problem fingerprint.  Replay is sound only under identical variable
+     numbering, which the deterministic blasting order guarantees when the
+     fingerprints match exactly — the cache layer enforces that guard. *)
+  let export_learnt s = Sat.export_learnt s.sat
+  let import_learnt s clauses = Sat.import_learnt s.sat clauses
 end
 
 (* {1 Arenas}
@@ -451,11 +471,11 @@ module Arena = struct
   let stats a =
     List.fold_left
       (fun acc s ->
-        let st = Session.cumulative_stats s in
+        let st = Session.stats s in
         {
-          sat_vars = acc.sat_vars + st.sat_vars;
-          sat_clauses = acc.sat_clauses + st.sat_clauses;
-          sat_conflicts = acc.sat_conflicts + st.sat_conflicts;
+          sat_vars = acc.sat_vars + st.Session.vars;
+          sat_clauses = acc.sat_clauses + st.Session.clauses;
+          sat_conflicts = acc.sat_conflicts + st.Session.conflicts;
           trivially_unsat = false;
         })
       empty_stats a.sessions

@@ -124,11 +124,31 @@ module Session : sig
       a snapshot and stays valid across later asserts, retractions, and
       checks on the same session. *)
 
-  val cumulative_stats : t -> stats
-  (** Totals since [create]: variables, problem clauses, conflicts. *)
+  type stats = {
+    vars : int;  (** SAT variables allocated since [create] *)
+    clauses : int;  (** problem clauses (learned clauses excluded) *)
+    conflicts : int;  (** total conflicts across all checks *)
+    learnt : int;  (** learned clauses currently in the database *)
+    cached_terms : int;  (** size of the term → literals blasting cache *)
+    trivially_unsat : bool;  (** the session is poisoned by constant false *)
+  }
+  (** One introspection snapshot covering everything callers used to read
+      through individual accessors — the cache, the observability layer,
+      and tests all consume this single record. *)
 
-  val cached_terms : t -> int
-  (** Size of the session's term → literals blasting cache. *)
+  val stats : t -> stats
+  (** Cumulative totals since [create] (not per-check deltas; those travel
+      inside each {!outcome}). *)
+
+  val export_learnt : t -> int list list
+  (** The session's learned clauses, for the cross-run warm-start cache.
+      Only sound to replay into a session holding the identical encoding
+      (same problem fingerprint ⇒ same deterministic variable numbering). *)
+
+  val import_learnt : t -> int list list -> int
+  (** Replays exported learned clauses into this session; clauses naming
+      variables not yet allocated are skipped.  Returns how many were
+      imported.  See {!Sat.import_learnt}. *)
 end
 
 (** {1 Session arenas}

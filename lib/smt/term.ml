@@ -686,6 +686,244 @@ let pp fmt root =
   in
   go fmt root
 
+(* {1 Canonical serialization}
+
+   A deterministic, self-contained text rendering of a term DAG, the basis
+   of the synthesis cache's content-addressed fingerprints.  Nodes are
+   numbered by shared post-order position (children before parents, roots
+   in list order), never by the process-local allocation [id], so the same
+   logical DAG serializes to the same bytes in every process and under any
+   domain interleaving.  Tables are emitted once, contents included, so a
+   document deserializes without any ambient registry state. *)
+
+let binop_tag = function
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Udiv -> "udiv"
+  | Urem -> "urem"
+  | Sdiv -> "sdiv"
+  | Srem -> "srem"
+  | Clmul -> "clmul"
+  | Clmulh -> "clmulh"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let binop_of_tag = function
+  | "and" -> And
+  | "or" -> Or
+  | "xor" -> Xor
+  | "add" -> Add
+  | "sub" -> Sub
+  | "mul" -> Mul
+  | "udiv" -> Udiv
+  | "urem" -> Urem
+  | "sdiv" -> Sdiv
+  | "srem" -> Srem
+  | "clmul" -> Clmul
+  | "clmulh" -> Clmulh
+  | "shl" -> Shl
+  | "lshr" -> Lshr
+  | "ashr" -> Ashr
+  | s -> failwith ("Term.deserialize: unknown binop " ^ s)
+
+let cmpop_tag = function
+  | Eq -> "eq"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Slt -> "slt"
+  | Sle -> "sle"
+
+let cmpop_of_tag = function
+  | "eq" -> Eq
+  | "ult" -> Ult
+  | "ule" -> Ule
+  | "slt" -> Slt
+  | "sle" -> Sle
+  | s -> failwith ("Term.deserialize: unknown cmpop " ^ s)
+
+let check_token_name what s =
+  if s = "" then invalid_arg (Printf.sprintf "Term.serialize: empty %s" what);
+  String.iter
+    (fun c ->
+      if c = ' ' || c = '\n' || c = '\r' || c = '\t' then
+        invalid_arg
+          (Printf.sprintf "Term.serialize: %s %S contains whitespace" what s))
+    s
+
+let serialize (roots : t list) : string =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "owlterm 1\n";
+  (* table definitions, numbered in first-use (post-order) order *)
+  let tables : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let table_defs = Buffer.create 256 in
+  let table_idx (tb : table) =
+    match Hashtbl.find_opt tables tb.tab_name with
+    | Some k -> k
+    | None ->
+        check_token_name "table name" tb.tab_name;
+        let k = Hashtbl.length tables in
+        Hashtbl.add tables tb.tab_name k;
+        Buffer.add_string table_defs
+          (Printf.sprintf "T %d %d %s" k tb.tab_addr_width tb.tab_name);
+        Array.iter
+          (fun v ->
+            Buffer.add_char table_defs ' ';
+            Buffer.add_string table_defs (Bitvec.to_string v))
+          tb.tab_data;
+        Buffer.add_char table_defs '\n';
+        k
+  in
+  let nodes = Buffer.create 4096 in
+  let pos : (int, int) Hashtbl.t = Hashtbl.create 256 in
+  let next = ref 0 in
+  let emit line =
+    Buffer.add_string nodes line;
+    Buffer.add_char nodes '\n';
+    let k = !next in
+    incr next;
+    k
+  in
+  let rec go t =
+    match Hashtbl.find_opt pos t.id with
+    | Some k -> k
+    | None ->
+        let k =
+          match t.node with
+          | Const v -> emit (Printf.sprintf "c %s" (Bitvec.to_string v))
+          | Var s ->
+              check_token_name "variable name" s;
+              emit (Printf.sprintf "v %d %s" t.width s)
+          | Not x -> emit (Printf.sprintf "n %d" (go x))
+          | Binop (o, a, b) ->
+              emit (Printf.sprintf "b %s %d %d" (binop_tag o) (go a) (go b))
+          | Cmp (o, a, b) ->
+              emit (Printf.sprintf "p %s %d %d" (cmpop_tag o) (go a) (go b))
+          | Ite (c, a, b) ->
+              emit (Printf.sprintf "i %d %d %d" (go c) (go a) (go b))
+          | Extract (h, l, x) -> emit (Printf.sprintf "x %d %d %d" h l (go x))
+          | Concat (a, b) -> emit (Printf.sprintf "@ %d %d" (go a) (go b))
+          | Read (m, addr) ->
+              check_token_name "memory name" m.mem_name;
+              let a = go addr in
+              emit
+                (Printf.sprintf "r %d %d %d %s" m.addr_width m.data_width a
+                   m.mem_name)
+          | Table (tb, idx) ->
+              let ti = table_idx tb in
+              emit (Printf.sprintf "t %d %d" ti (go idx))
+        in
+        Hashtbl.add pos t.id k;
+        k
+  in
+  let root_ids = List.map go roots in
+  Buffer.add_buffer buf table_defs;
+  Buffer.add_buffer buf nodes;
+  Buffer.add_string buf
+    ("R" ^ String.concat "" (List.map (Printf.sprintf " %d") root_ids) ^ "\n");
+  Buffer.contents buf
+
+(* Rebuilds a serialized DAG through the smart constructors.  Every line is
+   revalidated (widths, table sizes, registry consistency), so a malformed
+   or stale document fails with [Failure]/[Invalid_argument] instead of
+   producing an ill-formed term — cache readers treat any exception as a
+   miss. *)
+let deserialize (doc : string) : t list =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let lines =
+    String.split_on_char '\n' doc |> List.filter (fun l -> l <> "")
+  in
+  match lines with
+  | header :: rest when header = "owlterm 1" ->
+      let tables : (int, table) Hashtbl.t = Hashtbl.create 8 in
+      let nodes : t array ref = ref (Array.make 64 tru) in
+      let count = ref 0 in
+      let node k =
+        if k < 0 || k >= !count then fail "Term.deserialize: node %d undefined" k;
+        !nodes.(k)
+      in
+      let push t =
+        if !count = Array.length !nodes then begin
+          let bigger = Array.make (2 * !count) tru in
+          Array.blit !nodes 0 bigger 0 !count;
+          nodes := bigger
+        end;
+        !nodes.(!count) <- t;
+        incr count
+      in
+      let int_of s =
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> fail "Term.deserialize: expected integer, got %S" s
+      in
+      let roots = ref None in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | "T" :: k :: aw :: name :: data ->
+              let data = Array.of_list (List.map Bitvec.of_string data) in
+              Hashtbl.replace tables (int_of k)
+                { tab_name = name; tab_addr_width = int_of aw; tab_data = data }
+          | [ "c"; v ] -> push (const (Bitvec.of_string v))
+          | [ "v"; w; name ] -> push (var name (int_of w))
+          | [ "n"; a ] -> push (bnot (node (int_of a)))
+          | [ "b"; op; a; b ] ->
+              let op = binop_of_tag op in
+              let a = node (int_of a) and b = node (int_of b) in
+              push
+                (match op with
+                | And -> band a b
+                | Or -> bor a b
+                | Xor -> bxor a b
+                | Add -> add a b
+                | Sub -> sub a b
+                | Mul -> mul a b
+                | Udiv -> udiv a b
+                | Urem -> urem a b
+                | Sdiv -> sdiv a b
+                | Srem -> srem a b
+                | Clmul -> clmul a b
+                | Clmulh -> clmulh a b
+                | Shl -> shl a b
+                | Lshr -> lshr a b
+                | Ashr -> ashr a b)
+          | [ "p"; op; a; b ] ->
+              let op = cmpop_of_tag op in
+              let a = node (int_of a) and b = node (int_of b) in
+              push
+                (match op with
+                | Eq -> eq a b
+                | Ult -> ult a b
+                | Ule -> ule a b
+                | Slt -> slt a b
+                | Sle -> sle a b)
+          | [ "i"; c; a; b ] ->
+              push (ite (node (int_of c)) (node (int_of a)) (node (int_of b)))
+          | [ "x"; h; l; a ] ->
+              push (extract ~high:(int_of h) ~low:(int_of l) (node (int_of a)))
+          | [ "@"; a; b ] -> push (concat (node (int_of a)) (node (int_of b)))
+          | [ "r"; aw; dw; a; name ] ->
+              let m =
+                { mem_name = name; addr_width = int_of aw; data_width = int_of dw }
+              in
+              push (read m (node (int_of a)))
+          | [ "t"; ti; a ] -> (
+              match Hashtbl.find_opt tables (int_of ti) with
+              | Some tb -> push (table_read tb (node (int_of a)))
+              | None -> fail "Term.deserialize: table %s undefined" ti)
+          | "R" :: ids -> roots := Some (List.map (fun k -> node (int_of k)) ids)
+          | _ -> fail "Term.deserialize: malformed line %S" line)
+        rest;
+      (match !roots with
+      | Some rs -> rs
+      | None -> fail "Term.deserialize: missing root line")
+  | header :: _ -> fail "Term.deserialize: unknown header %S" header
+  | [] -> fail "Term.deserialize: empty document"
+
 (* {1 Evaluation and substitution} *)
 
 type env = {

@@ -155,6 +155,31 @@ val reads : t -> (mem * t) list
 val pp : Format.formatter -> t -> unit
 (** S-expression rendering (SMT-LIB flavoured), with sharing expanded. *)
 
+(** {1 Canonical serialization}
+
+    A deterministic, self-contained text rendering of a term DAG — the
+    basis of the synthesis cache's content-addressed fingerprints and of
+    its persisted counterexample constraints.  Nodes are numbered by
+    shared post-order position (children before parents, roots in list
+    order), never by the process-local allocation [id], so the same
+    logical DAG produces byte-identical output in every process, at any
+    [jobs] count, regardless of how many terms were interned before it.
+    Lookup tables are embedded with their contents, so a document stands
+    alone. *)
+
+val serialize : t list -> string
+(** Canonical text for the DAG rooted at the given terms (sharing across
+    roots preserved).  Raises [Invalid_argument] if a variable, memory, or
+    table name contains whitespace (no internally generated name does). *)
+
+val deserialize : string -> t list
+(** Rebuilds the roots of a {!serialize} document through the smart
+    constructors, revalidating every node (widths, table sizes, registry
+    consistency).  Raises [Failure] or [Invalid_argument] on malformed,
+    truncated, or stale input — cache readers treat any exception as a
+    miss.  Round-trip law: [deserialize (serialize ts)] returns terms
+    physically equal to [ts]. *)
+
 (** {1 Evaluation and substitution} *)
 
 type env = {

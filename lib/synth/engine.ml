@@ -26,12 +26,43 @@
 
 type mode = Per_instruction | Monolithic
 
+(* Engine configuration, grouped by concern.  The flat 10-field record
+   had outgrown itself: every new knob touched every construction site.
+   Callers now start from [default_options] and pipe through [with_*]
+   builders, which also centralize validation — a record a builder
+   produced is well-formed by construction. *)
+
+module Schedule = struct
+  type t = {
+    mode : mode;
+    jobs : int;  (* worker domains for independent per-instruction loops *)
+  }
+end
+
+module Budget = struct
+  type t = {
+    conflict_budget : int;  (* total SAT conflicts before declaring timeout *)
+    max_iterations : int;  (* CEGIS rounds per loop *)
+    deadline_seconds : float option;  (* wall-clock timeout *)
+  }
+end
+
+module Recovery = struct
+  type t = {
+    retries : int;
+        (* extra attempts per solver query when an attempt comes back
+           Unknown (or its model fails validation); see Resilience *)
+    escalation_factor : int;  (* geometric budget/time growth per attempt *)
+    validate_models : bool;
+        (* cross-check every Sat model by concrete evaluation of the
+           asserted terms before trusting it *)
+  }
+end
+
 type options = {
-  mode : mode;
-  jobs : int;  (* worker domains for independent per-instruction loops *)
-  conflict_budget : int;  (* total SAT conflicts before declaring timeout *)
-  max_iterations : int;  (* CEGIS rounds per loop *)
-  deadline_seconds : float option;  (* wall-clock timeout *)
+  schedule : Schedule.t;
+  budget : Budget.t;
+  recovery : Recovery.t;
   check_independence : bool;
       (* verify the instruction-independence preconditions (paper 3.3.1)
          before synthesizing; abstraction-function assume wires act as the
@@ -40,46 +71,97 @@ type options = {
       (* reuse one solver session per CEGIS loop (SAT state, blasting
          cache, learned clauses survive across iterations) instead of a
          fresh solver per query *)
-  retries : int;
-      (* extra attempts per solver query when an attempt comes back
-         Unknown (or its model fails validation); see Resilience *)
-  escalation_factor : int;  (* geometric budget/time growth per attempt *)
-  validate_models : bool;
-      (* cross-check every Sat model by concrete evaluation of the
-         asserted terms before trusting it *)
+  cache : Owl_cache.t option;
+      (* cross-run synthesis cache: consult before each per-instruction
+         CEGIS loop, populate after *)
 }
 
 let default_options =
   {
-    mode = Per_instruction;
-    jobs = 1;
-    conflict_budget = max_int;
-    max_iterations = 256;
-    deadline_seconds = None;
+    schedule = { Schedule.mode = Per_instruction; jobs = 1 };
+    budget =
+      {
+        Budget.conflict_budget = max_int;
+        max_iterations = 256;
+        deadline_seconds = None;
+      };
+    recovery =
+      {
+        Recovery.retries = Resilience.default.Resilience.retries;
+        escalation_factor = Resilience.default.Resilience.escalation_factor;
+        validate_models = Resilience.default.Resilience.validate_models;
+      };
     check_independence = false;
     incremental = true;
-    retries = Resilience.default.Resilience.retries;
-    escalation_factor = Resilience.default.Resilience.escalation_factor;
-    validate_models = Resilience.default.Resilience.validate_models;
+    cache = None;
   }
 
+let with_mode mode o = { o with schedule = { o.schedule with Schedule.mode } }
+
+let with_jobs jobs o =
+  if jobs < 1 then invalid_arg "Engine.with_jobs: jobs < 1";
+  { o with schedule = { o.schedule with Schedule.jobs } }
+
+let with_conflict_budget conflict_budget o =
+  { o with budget = { o.budget with Budget.conflict_budget } }
+
+let with_max_iterations max_iterations o =
+  if max_iterations < 1 then
+    invalid_arg "Engine.with_max_iterations: max_iterations < 1";
+  { o with budget = { o.budget with Budget.max_iterations } }
+
+let with_deadline deadline_seconds o =
+  { o with budget = { o.budget with Budget.deadline_seconds } }
+
+(* The recovery builders delegate validation to Resilience.make so the
+   engine and the standalone Resilience API can never drift apart. *)
+let check_recovery (r : Recovery.t) =
+  ignore
+    (Resilience.make ~retries:r.Recovery.retries
+       ~escalation_factor:r.Recovery.escalation_factor
+       ~validate_models:r.Recovery.validate_models ())
+
+let with_retries retries o =
+  let recovery = { o.recovery with Recovery.retries } in
+  check_recovery recovery;
+  { o with recovery }
+
+let with_escalation_factor escalation_factor o =
+  let recovery = { o.recovery with Recovery.escalation_factor } in
+  check_recovery recovery;
+  { o with recovery }
+
+let with_validate_models validate_models o =
+  { o with recovery = { o.recovery with Recovery.validate_models } }
+
+let with_check_independence check_independence o = { o with check_independence }
+let with_incremental incremental o = { o with incremental }
+let with_cache cache o = { o with cache }
+
+(* Deprecated compatibility shim over the builders; new code should pipe
+   [default_options] through [with_*]. *)
 let make_options ?(mode = Per_instruction) ?(jobs = 1)
     ?(conflict_budget = max_int) ?(max_iterations = 256) ?deadline_seconds
     ?(check_independence = false) ?(incremental = true)
-    ?(retries = default_options.retries)
-    ?(escalation_factor = default_options.escalation_factor)
-    ?(validate_models = default_options.validate_models) () =
+    ?(retries = default_options.recovery.Recovery.retries)
+    ?(escalation_factor = default_options.recovery.Recovery.escalation_factor)
+    ?(validate_models = default_options.recovery.Recovery.validate_models) () =
   if jobs < 1 then invalid_arg "Engine.make_options: jobs < 1";
-  if max_iterations < 1 then invalid_arg "Engine.make_options: max_iterations < 1";
-  (* Resilience.make validates retries/escalation_factor *)
-  ignore (Resilience.make ~retries ~escalation_factor ~validate_models ());
-  { mode; jobs; conflict_budget; max_iterations; deadline_seconds;
-    check_independence; incremental; retries; escalation_factor;
-    validate_models }
+  if max_iterations < 1 then
+    invalid_arg "Engine.make_options: max_iterations < 1";
+  default_options |> with_mode mode |> with_jobs jobs
+  |> with_conflict_budget conflict_budget
+  |> with_max_iterations max_iterations
+  |> with_deadline deadline_seconds
+  |> with_check_independence check_independence
+  |> with_incremental incremental |> with_retries retries
+  |> with_escalation_factor escalation_factor
+  |> with_validate_models validate_models
 
 let policy_of_options (o : options) =
-  Resilience.make ~retries:o.retries ~escalation_factor:o.escalation_factor
-    ~validate_models:o.validate_models ()
+  Resilience.make ~retries:o.recovery.Recovery.retries
+    ~escalation_factor:o.recovery.Recovery.escalation_factor
+    ~validate_models:o.recovery.Recovery.validate_models ()
 
 type stats = {
   mutable iterations : int;
@@ -198,7 +280,7 @@ let with_stats stats = function
 
 let check_deadline run =
   run.stats.wall_seconds <- now () -. run.started;
-  match run.opts.deadline_seconds with
+  match run.opts.budget.Budget.deadline_seconds with
   | Some d when run.stats.wall_seconds > d -> raise (Stop (Timeout run.stats))
   | _ -> ()
 
@@ -220,12 +302,12 @@ let account run (st : Solver.stats) =
 
 let budget_remaining run =
   check_deadline run;
-  let remaining = run.opts.conflict_budget - Atomic.get run.consumed in
+  let remaining = run.opts.budget.Budget.conflict_budget - Atomic.get run.consumed in
   if remaining <= 0 then raise (Stop (Timeout run.stats));
   remaining
 
 let query_deadline run =
-  Option.map (fun d -> run.started +. d) run.opts.deadline_seconds
+  Option.map (fun d -> run.started +. d) run.opts.budget.Budget.deadline_seconds
 
 (* {1 Model validation}
 
@@ -277,7 +359,7 @@ let model_satisfies model terms =
    from a stateless solver, so something is wrong beyond a transient. *)
 let resilient run ~check ~fresh ~validate =
   let p = run.policy in
-  let total = run.opts.conflict_budget in
+  let total = run.opts.budget.Budget.conflict_budget in
   let attempts = Resilience.attempts p in
   let rec go attempt =
     let remaining = budget_remaining run in
@@ -481,9 +563,9 @@ let ground_reads (model : Solver.model) (root : Term.t) : Term.t =
 type verdict = Verified | Violated of Solver.model | Inconclusive
 
 let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
-    ?(retries = default_options.retries)
-    ?(escalation_factor = default_options.escalation_factor)
-    ?(validate_models = default_options.validate_models) (problem : problem) :
+    ?(retries = default_options.recovery.Recovery.retries)
+    ?(escalation_factor = default_options.recovery.Recovery.escalation_factor)
+    ?(validate_models = default_options.recovery.Recovery.validate_models) (problem : problem) :
     (string * verdict) list =
   if Oyster.Ast.holes problem.design <> [] then
     fail "Engine.verify: design still has holes (synthesize first)";
@@ -634,7 +716,7 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
 (* {1 The synthesis core} *)
 
 let synthesize ?(options = default_options) (problem : problem) : outcome =
-  if options.jobs < 1 then fail "Engine.synthesize: options.jobs < 1";
+  if options.schedule.Schedule.jobs < 1 then fail "Engine.synthesize: options.schedule.Schedule.jobs < 1";
   let stats = fresh_stats () in
   let started = now () in
   let trace =
@@ -766,7 +848,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
       | Solver.Unsat _ -> None
       | Solver.Unknown _ -> fail "internal: resilient query returned Unknown"
     in
-    let independent = options.mode = Per_instruction && shared_holes = [] in
+    let independent = options.schedule.Schedule.mode = Per_instruction && shared_holes = [] in
     (if independent then begin
        (* The paper's per-instruction strategy: separate small CEGIS loops,
           independent by construction (paper 3.3.1), fanned out across the
@@ -796,22 +878,99 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
          let trun = { run with stats = fresh_stats () } in
          (* serial fallback keeps the historical early exit; parallel
             workers run to completion so blame stays deterministic *)
-         if trun.opts.jobs = 1 && Atomic.get failed then (`Skipped, trun.stats)
+         if trun.opts.schedule.Schedule.jobs = 1 && Atomic.get failed then (`Skipped, trun.stats)
          else begin
+           let iname = c.Ila.Conditions.instr_name in
+           let expected_holes = hole_vars_of_instr iname in
            let local : (string, Bitvec.t) Hashtbl.t = Hashtbl.create 16 in
            List.iter
              (fun (n, w) -> Hashtbl.replace local n (Bitvec.zero w))
-             (hole_vars_of_instr c.Ila.Conditions.instr_name);
+             expected_holes;
+           (* Content-addressed identity of this per-instruction problem.
+              [fp] keys the result tier: the canonical serialization of the
+              correctness and violation formulas pins the whole problem
+              (sketch structure, pre/post, abstraction wires, hole copies),
+              and the solver-relevant [incremental] flag rides along.
+              Budgets, deadlines, retries, and [jobs] deliberately do not:
+              they change how hard the engine tries, never which bindings
+              are correct — so jobs=1 and jobs=4 share entries.  [warm_key]
+              is coarser: design/instruction/hole signature only, so a
+              near-miss problem (same instruction, edited sketch) still
+              finds its accumulated counterexamples. *)
+           let fp, warm_key =
+             match options.cache with
+             | None -> ("", "")
+             | Some _ ->
+                 let holes_line =
+                   String.concat " "
+                     (List.map
+                        (fun (n, w) -> Printf.sprintf "%s:%d" n w)
+                        expected_holes)
+                 in
+                 ( Owl_cache.fingerprint
+                     (Printf.sprintf "owl-problem 1\nincremental %b\nholes %s\n%s"
+                        options.incremental holes_line
+                        (Term.serialize [ correct; violation ])),
+                   Owl_cache.fingerprint
+                     (Printf.sprintf
+                        "owl-warm 1\ndesign %s\ninstr %s\nincremental %b\n\
+                         holes %s\n"
+                        problem.design.Oyster.Ast.name iname
+                        options.incremental holes_line) )
+           in
+           (* Result tier: a structurally sound entry is only trusted after
+              re-proving its bindings by concrete evaluation of the stored
+              ground constraints (the validate_models machinery), so a
+              stale or corrupted entry degrades to a miss, never to wrong
+              control logic. *)
+           let cached_result =
+             match options.cache with
+             | None -> None
+             | Some cch ->
+                 Obs.span "cache.lookup"
+                   ~args:[ ("instr", Obs.Str iname) ]
+                   ~result:(fun r -> [ ("hit", Obs.Bool (r <> None)) ])
+                   (fun () ->
+                     Owl_cache.lookup_result cch ~fp
+                       ~validate:(fun bindings constraints ->
+                         List.length bindings = List.length expected_holes
+                         && List.for_all2
+                              (fun (n, w) (bn, bv) ->
+                                String.equal n bn && Bitvec.width bv = w)
+                              expected_holes bindings
+                         &&
+                         let env =
+                           {
+                             Term.lookup_var =
+                               (fun n w ->
+                                 match List.assoc_opt n bindings with
+                                 | Some v when Bitvec.width v = w -> Some v
+                                 | _ -> Some (Bitvec.zero w));
+                             Term.lookup_read = (fun _ _ -> None);
+                           }
+                         in
+                         List.for_all
+                           (fun t -> Bitvec.is_ones (Term.eval env t))
+                           constraints))
+           in
+           match cached_result with
+           | Some bindings ->
+               List.iter (fun (n, v) -> Hashtbl.replace local n v) bindings;
+               ignore (Atomic.fetch_and_add run.tasks_left (-1));
+               (`Solved local, trun.stats)
+           | None ->
            (* Incremental mode keeps two sessions for the whole loop — one
               for verify queries (candidates come and go via activation
               literals), one for synth queries (counterexample constraints
               only accumulate, so they are asserted permanently).  The
               sessions are per task, not per worker, so the query sequence
               each one sees is independent of the dynamic schedule and the
-              bindings are identical for any [jobs]. *)
+              bindings are identical for any [jobs].  The synth session
+              sits behind a ref: discarding a stale warm-start replay swaps
+              in a clean one. *)
            let sessions =
              if options.incremental then
-               Some (Solver.Arena.session arena, Solver.Arena.session arena)
+               Some (Solver.Arena.session arena, ref (Solver.Arena.session arena))
              else None
            in
            (* every accumulated ground constraint, newest first — the fresh
@@ -842,14 +1001,117 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
                  match sessions with
                  | Some (_, ssess) ->
                      session_query ~shadow:(fun () -> !local_constraints) trun
-                       ssess [ g ]
+                       !ssess [ g ]
                  | None -> solver_query trun !local_constraints)
            in
+           (* Warm-start state worth persisting: the accumulated ground
+              counterexample constraints (oldest first, the order a replay
+              must re-assert them in) plus the synth session's learned
+              clauses.  Stored on success and on timeout — a timed-out
+              loop's partial work is exactly what a rerun with a bigger
+              budget wants back. *)
+           let store_warm_state () =
+             match options.cache with
+             | None -> ()
+             | Some cch ->
+                 let cex = List.rev !local_constraints in
+                 let clauses =
+                   match sessions with
+                   | Some (_, ssess) -> Solver.Session.export_learnt !ssess
+                   | None -> []
+                 in
+                 if cex <> [] || clauses <> [] then
+                   Owl_cache.store_warm cch ~key:warm_key
+                     { Owl_cache.exact_fp = fp; clauses; cex }
+           in
+           (* Replay persisted warm-start state before the first CEGIS
+              round.  Counterexample constraints survive sketch edits (they
+              only narrow the hole space, and the loop re-verifies whatever
+              they produce), but two soundness guards apply:
+
+              - only constraints over exactly this problem's hole variables
+                are usable, and learned clauses are imported only on an
+                exact fingerprint match with a full replay — identical
+                assertion sequence means identical variable numbering,
+                which is what makes foreign clauses sound;
+              - if the replayed constraints are already unsatisfiable, the
+                staleness is over-constraining an edited sketch: the replay
+                is discarded wholesale (clean session, empty constraint
+                set) so a stale cache can never turn into a spurious
+                Unrealizable. *)
+           let replay_warm () =
+             match options.cache with
+             | None -> ()
+             | Some cch -> (
+                 match Owl_cache.lookup_warm cch ~key:warm_key with
+                 | None -> ()
+                 | Some w ->
+                     let usable =
+                       List.filter
+                         (fun t ->
+                           List.for_all
+                             (fun (n, tw) ->
+                               match List.assoc_opt n expected_holes with
+                               | Some w' -> w' = tw
+                               | None -> false)
+                             (Term.vars t))
+                         w.Owl_cache.cex
+                     in
+                     if usable <> [] then begin
+                       let full =
+                         List.length usable = List.length w.Owl_cache.cex
+                       in
+                       let imported =
+                         match sessions with
+                         | Some (_, ssess) ->
+                             List.iter
+                               (Solver.Session.assert_always !ssess)
+                               usable;
+                             if full && String.equal w.Owl_cache.exact_fp fp
+                             then
+                               Solver.Session.import_learnt !ssess
+                                 w.Owl_cache.clauses
+                             else 0
+                         | None -> 0
+                       in
+                       local_constraints := List.rev usable;
+                       if Obs.enabled () then
+                         Obs.instant "cache.warm_replay"
+                           ~args:
+                             [
+                               ("instr", Obs.Str iname);
+                               ("cex", Obs.Int (List.length usable));
+                               ("clauses", Obs.Int imported);
+                             ];
+                       let result =
+                         match sessions with
+                         | Some (_, ssess) ->
+                             session_query
+                               ~shadow:(fun () -> !local_constraints)
+                               trun !ssess []
+                         | None -> solver_query trun !local_constraints
+                       in
+                       match result with
+                       | Solver.Sat (m, _) -> refresh_table local m
+                       | Solver.Unsat _ ->
+                           if Obs.enabled () then
+                             Obs.instant "cache.warm_discard"
+                               ~args:[ ("instr", Obs.Str iname) ];
+                           local_constraints := [];
+                           (match sessions with
+                           | Some (_, ssess) ->
+                               ssess := Solver.Arena.session arena
+                           | None -> ())
+                       | Solver.Unknown _ ->
+                           fail "internal: resilient query returned Unknown"
+                     end)
+           in
            try
+             replay_warm ();
              (* the iteration span closes before the recursive call, so
                 nesting depth stays constant however many rounds run *)
              let rec loop iter =
-               if iter > options.max_iterations then
+               if iter > options.budget.Budget.max_iterations then
                  raise (Stop (Timeout trun.stats));
                trun.stats.iterations <- trun.stats.iterations + 1;
                let continue =
@@ -891,9 +1153,28 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
                if continue then loop (iter + 1)
              in
              loop 1;
+             (* populate both tiers: the bindings just proven (with the
+                ground constraints as re-checkable evidence) and the
+                warm-start state *)
+             (match options.cache with
+             | None -> ()
+             | Some cch ->
+                 let bindings =
+                   List.map
+                     (fun (n, w) ->
+                       ( n,
+                         match Hashtbl.find_opt local n with
+                         | Some v -> v
+                         | None -> Bitvec.zero w ))
+                     expected_holes
+                 in
+                 Owl_cache.store_result cch ~fp ~bindings
+                   ~constraints:(List.rev !local_constraints);
+                 store_warm_state ());
              ignore (Atomic.fetch_and_add run.tasks_left (-1));
              (`Solved local, trun.stats)
            with Stop o ->
+             (match o with Timeout _ -> store_warm_state () | _ -> ());
              Atomic.set failed true;
              ignore (Atomic.fetch_and_add run.tasks_left (-1));
              (`Stopped o, trun.stats)
@@ -903,12 +1184,12 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
        let task_retried = Atomic.make 0 in
        let results =
          try
-           Pool.map_arena ~jobs:options.jobs ~make:Solver.Arena.create
-             ~retries:options.retries ~retried:task_retried task formulas
+           Pool.map_arena ~jobs:options.schedule.Schedule.jobs ~make:Solver.Arena.create
+             ~retries:options.recovery.Recovery.retries ~retried:task_retried task formulas
          with Fault.Injected_crash i ->
            fail
              "worker task attempt %d crashed and exhausted %d retries" i
-             options.retries
+             options.recovery.Recovery.retries
        in
        run.stats.task_retries <-
          run.stats.task_retries + Atomic.get task_retried;
@@ -932,7 +1213,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
           Shared holes couple the loops, so this path stays serial. *)
        let corrects = List.map (fun (_, f, _) -> f) formulas in
        let verify_targets =
-         match options.mode with
+         match options.schedule.Schedule.mode with
          | Monolithic -> [ Term.disj (List.map (fun (_, _, v) -> v) formulas) ]
          | Per_instruction -> List.map (fun (_, _, v) -> v) formulas
        in
@@ -998,7 +1279,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
              | None -> fresh_verify run v candidate)
        in
        let rec loop iter =
-         if iter > options.max_iterations then raise (Stop (Timeout run.stats));
+         if iter > options.budget.Budget.max_iterations then raise (Stop (Timeout run.stats));
          run.stats.iterations <- run.stats.iterations + 1;
          let continue =
            Obs.span "cegis.iteration"

@@ -13,15 +13,71 @@
 
 type mode = Per_instruction | Monolithic
 
+(** {1 Configuration}
+
+    Options are grouped by concern into sub-records and built by piping
+    {!default_options} through [with_*] setters:
+
+    {[
+      let opts =
+        Engine.default_options
+        |> Engine.with_jobs 4
+        |> Engine.with_deadline (Some 60.0)
+        |> Engine.with_cache (Some (Owl_cache.open_dir ".owl-cache"))
+    ]}
+
+    The setters centralize validation, so any value they produce is
+    well-formed.  The historical flat {!make_options} remains as a
+    compatibility shim. *)
+
+(** How work is scheduled across strategies and worker domains. *)
+module Schedule : sig
+  type t = {
+    mode : mode;
+    jobs : int;
+        (** worker domains for the independent per-instruction loops; [1]
+            (the default) is the serial path.  Shared holes force joint
+            synthesis, which ignores [jobs] and stays serial. *)
+  }
+end
+
+(** How much work a call may spend before declaring [Timeout]. *)
+module Budget : sig
+  type t = {
+    conflict_budget : int;
+        (** total SAT conflicts before declaring timeout *)
+    max_iterations : int;  (** CEGIS rounds per loop *)
+    deadline_seconds : float option;  (** wall-clock timeout *)
+  }
+end
+
+(** How solver hiccups are retried and models cross-checked; see
+    {!Resilience}. *)
+module Recovery : sig
+  type t = {
+    retries : int;
+        (** extra attempts per solver query (and per crashed pool task)
+            before giving up: an [Unknown] outcome climbs the {!Resilience}
+            ladder — geometrically escalating conflict budgets and deadline
+            slices, the final attempt degrading from the incremental
+            session to a fresh one-shot solver — instead of immediately
+            timing the run out.  With the default unlimited budget and no
+            deadline the ladder only engages under injected or
+            environmental faults, so it costs nothing otherwise. *)
+    escalation_factor : int;
+        (** geometric budget/time growth per retry attempt *)
+    validate_models : bool;
+        (** cross-check every [Sat] model by concretely evaluating the
+            asserted terms before trusting it; a failed check retries and
+            ultimately falls back to a fresh solver rather than emitting
+            wrong bindings.  Off by default (pay-as-you-go). *)
+  }
+end
+
 type options = {
-  mode : mode;
-  jobs : int;
-      (** worker domains for the independent per-instruction loops; [1]
-          (the default) is the serial path.  Shared holes force joint
-          synthesis, which ignores [jobs] and stays serial. *)
-  conflict_budget : int;  (** total SAT conflicts before declaring timeout *)
-  max_iterations : int;  (** CEGIS rounds per loop *)
-  deadline_seconds : float option;  (** wall-clock timeout *)
+  schedule : Schedule.t;
+  budget : Budget.t;
+  recovery : Recovery.t;
   check_independence : bool;
       (** verify the instruction-independence preconditions (paper §3.3.1)
           before synthesizing; the abstraction function's assume wires act
@@ -33,28 +89,42 @@ type options = {
           literals — instead of re-encoding every query from scratch.  On
           by default; [false] restores the historical fresh-solver-per-query
           behavior (the [--no-incremental] escape hatch). *)
-  retries : int;
-      (** extra attempts per solver query (and per crashed pool task)
-          before giving up: an [Unknown] outcome climbs the {!Resilience}
-          ladder — geometrically escalating conflict budgets and deadline
-          slices, the final attempt degrading from the incremental session
-          to a fresh one-shot solver — instead of immediately timing the
-          run out.  With the default unlimited budget and no deadline the
-          ladder only engages under injected or environmental faults, so
-          it costs nothing otherwise. *)
-  escalation_factor : int;
-      (** geometric budget/time growth per retry attempt *)
-  validate_models : bool;
-      (** cross-check every [Sat] model by concretely evaluating the
-          asserted terms before trusting it; a failed check retries and
-          ultimately falls back to a fresh solver rather than emitting
-          wrong bindings.  Off by default (pay-as-you-go). *)
+  cache : Owl_cache.t option;
+      (** cross-run synthesis cache (see {!Owl_cache}): before each
+          independent per-instruction CEGIS loop the engine consults the
+          result tier (validated hits skip the loop entirely) and replays
+          warm-start state on partial hits; solved and timed-out loops
+          populate the store.  Joint and monolithic strategies do not
+          cache.  [None] (the default) disables caching. *)
 }
 
 val default_options : options
 (** [Per_instruction], one job, unlimited conflicts, 256 rounds, no
     deadline, incremental sessions on, 2 retries with factor-4 escalation,
-    model validation off. *)
+    model validation off, no cache. *)
+
+(** {2 Setters}
+
+    Each returns an updated copy; compose with [|>].  Validation:
+    {!with_jobs} rejects [jobs < 1], {!with_max_iterations} rejects
+    [max_iterations < 1], {!with_retries} and {!with_escalation_factor}
+    delegate to {!Resilience.make} (rejecting [retries < 0] and
+    [escalation_factor < 1]) — all with [Invalid_argument]. *)
+
+val with_mode : mode -> options -> options
+val with_jobs : int -> options -> options
+val with_conflict_budget : int -> options -> options
+val with_max_iterations : int -> options -> options
+
+val with_deadline : float option -> options -> options
+(** [None] removes a deadline. *)
+
+val with_retries : int -> options -> options
+val with_escalation_factor : int -> options -> options
+val with_validate_models : bool -> options -> options
+val with_check_independence : bool -> options -> options
+val with_incremental : bool -> options -> options
+val with_cache : Owl_cache.t option -> options -> options
 
 val make_options :
   ?mode:mode ->
@@ -69,11 +139,9 @@ val make_options :
   ?validate_models:bool ->
   unit ->
   options
-(** Labelled construction of {!options}, defaulting every field like
-    {!default_options}.  Prefer this over record literals so adding option
-    fields stops breaking call sites.  Raises [Invalid_argument] if
-    [jobs < 1], [max_iterations < 1], [retries < 0], or
-    [escalation_factor < 1]. *)
+(** @deprecated Compatibility shim from the flat-record era; new code
+    should pipe {!default_options} through the [with_*] setters (which
+    also cover [cache]).  Defaults and validation match the setters. *)
 
 type stats = {
   mutable iterations : int;

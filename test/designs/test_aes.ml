@@ -94,7 +94,7 @@ let test_synthesis () =
 
 let test_monolithic () =
   let options =
-    { Synth.Engine.default_options with Synth.Engine.mode = Synth.Engine.Monolithic }
+    Synth.Engine.(default_options |> with_mode Monolithic)
   in
   match Synth.Engine.synthesize ~options (Designs.Aes.problem ()) with
   | Synth.Engine.Solved s ->

@@ -189,12 +189,14 @@ let test_stats_deltas () =
       c := !c + st.Solver.sat_clauses;
       k := !k + st.Solver.sat_conflicts)
     checks;
-  let cum = Solver.Session.cumulative_stats s in
+  let cum = Solver.Session.stats s in
   let v, c, k = totals in
-  Alcotest.(check int) "vars sum" cum.Solver.sat_vars !v;
-  Alcotest.(check int) "clauses sum" cum.Solver.sat_clauses !c;
-  Alcotest.(check int) "conflicts sum" cum.Solver.sat_conflicts !k;
-  Alcotest.(check bool) "cache populated" true (Solver.Session.cached_terms s > 0)
+  Alcotest.(check int) "vars sum" cum.Solver.Session.vars !v;
+  Alcotest.(check int) "clauses sum" cum.Solver.Session.clauses !c;
+  Alcotest.(check int) "conflicts sum" cum.Solver.Session.conflicts !k;
+  Alcotest.(check bool)
+    "cache populated" true
+    (cum.Solver.Session.cached_terms > 0)
 
 (* An exhausted budget yields Unknown and leaves the session usable. *)
 let test_budget () =
@@ -242,6 +244,61 @@ let test_arena () =
   Alcotest.(check int) "two sessions per arena" 2 n1;
   Alcotest.(check bool) "arena stats aggregated" true (st1.Solver.sat_vars > 0)
 
+(* Learned-clause exchange: exporting from a finished session and replaying
+   into a fresh one asserting the identical problem (in the identical order,
+   hence identical variable numbering) must preserve the answer, register
+   the clauses as learnt (not problem clauses), and skip clauses naming
+   variables the importer has not allocated. *)
+let test_learnt_exchange () =
+  let a = Term.var "ss_lx_a" 16 and b = Term.var "ss_lx_b" 16 in
+  let problem =
+    [ Term.eq (Term.mul a b) (Term.of_int ~width:16 3127);
+      Term.ult (Term.one 16) a; Term.ult (Term.one 16) b;
+      Term.ule a b ]
+  in
+  let s1 = Solver.Session.create () in
+  let r1 = Solver.Session.check_with s1 problem in
+  let exported = Solver.Session.export_learnt s1 in
+  Alcotest.(check bool) "something learned" true (exported <> []);
+  let s2 = Solver.Session.create () in
+  (* encode the same problem first so the variables exist, via a guard that
+     costs no search *)
+  List.iter
+    (fun t -> ignore (Solver.Session.assert_retractable s2 t))
+    problem;
+  let before = Solver.Session.stats s2 in
+  let n = Solver.Session.import_learnt s2 exported in
+  let after = Solver.Session.stats s2 in
+  Alcotest.(check bool) "imported some" true (n > 0);
+  Alcotest.(check int) "registered as learnt" n
+    (after.Solver.Session.learnt - before.Solver.Session.learnt);
+  Alcotest.(check int) "no new problem clauses"
+    before.Solver.Session.clauses after.Solver.Session.clauses;
+  let r2 = Solver.Session.check_with s2 problem in
+  (* imported clauses may steer the search to a different — but still
+     correct — model, so validate each model concretely rather than
+     comparing them bit for bit *)
+  let validate label = function
+    | Solver.Sat (m, _) ->
+        let env =
+          { Term.lookup_var = (fun n _ -> m.Solver.var_value n);
+            Term.lookup_read = (fun _ _ -> None) }
+        in
+        List.iter
+          (fun t ->
+            Alcotest.(check bool)
+              (label ^ " model satisfies") true
+              (Bitvec.to_int_exn (Term.eval env t) = 1))
+          problem
+    | _ -> Alcotest.failf "%s: expected sat" label
+  in
+  validate "cold" r1;
+  validate "warm" r2;
+  (* clauses over unallocated variables are skipped, not crashed on *)
+  let s3 = Solver.Session.create () in
+  Alcotest.(check int) "unknown vars skipped" 0
+    (Solver.Session.import_learnt s3 exported)
+
 let () =
   Alcotest.run "session"
     [ ("properties",
@@ -256,4 +313,5 @@ let () =
          Alcotest.test_case "trivially unsat" `Quick test_trivially_unsat;
          Alcotest.test_case "stats deltas" `Quick test_stats_deltas;
          Alcotest.test_case "budget" `Quick test_budget;
-         Alcotest.test_case "arenas" `Quick test_arena ]) ]
+         Alcotest.test_case "arenas" `Quick test_arena;
+         Alcotest.test_case "learnt exchange" `Quick test_learnt_exchange ]) ]

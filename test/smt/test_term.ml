@@ -152,6 +152,57 @@ let test_vars_collection () =
   Alcotest.(check (list (pair string int))) "vars" [ ("ut_x8", 8); ("ut_y8", 8) ]
     (Term.vars t)
 
+(* Canonical serialization: round trip through smart constructors must land
+   on the physically identical hash-consed nodes, sharing across roots
+   preserved, and the document must be a deterministic function of the DAG
+   (the cache fingerprints depend on that). *)
+let test_serialize_roundtrip () =
+  let m = { Term.mem_name = "ut_smem"; addr_width = 4; data_width = 8 } in
+  let tab =
+    { Term.tab_name = "ut_stab";
+      tab_addr_width = 2;
+      tab_data = Array.init 4 (fun i -> Bitvec.of_int ~width:8 (i * 17)) }
+  in
+  let shared = Term.mul x8 y8 in
+  let t1 =
+    Term.ite
+      (Term.ult shared (Term.of_int ~width:8 200))
+      (Term.read m (Term.extract ~high:3 ~low:0 shared))
+      (Term.table_read tab (Term.extract ~high:1 ~low:0 x8))
+  in
+  let t2 = Term.concat (Term.bnot shared) (Term.ashr x8 (Term.one 8)) in
+  let doc = Term.serialize [ t1; t2; t1 ] in
+  (match Term.deserialize doc with
+  | [ r1; r2; r3 ] ->
+      Alcotest.(check bool) "root1 physical" true (Term.equal r1 t1);
+      Alcotest.(check bool) "root2 physical" true (Term.equal r2 t2);
+      Alcotest.(check bool) "root3 shares root1" true (Term.equal r3 t1)
+  | rs -> Alcotest.failf "expected 3 roots, got %d" (List.length rs));
+  Alcotest.(check string) "deterministic" doc (Term.serialize [ t1; t2; t1 ])
+
+(* Malformed documents must raise (the cache turns any exception into a
+   miss), never return a wrong term or crash the process harder. *)
+let test_deserialize_rejects () =
+  let doc = Term.serialize [ Term.add x8 y8 ] in
+  let rejects label s =
+    match Term.deserialize s with
+    | exception (Failure _ | Invalid_argument _) -> ()
+    | _ -> Alcotest.failf "%s: accepted" label
+  in
+  rejects "empty" "";
+  rejects "bad header" ("bogus 9\n" ^ doc);
+  rejects "truncated" (String.sub doc 0 (String.length doc - 4));
+  rejects "garbage line" (doc ^ "z z z\n");
+  (* flipping a width must be caught by reconstruction *)
+  rejects "corrupt"
+    (String.concat "\n"
+       (List.map
+          (fun line ->
+            if String.length line > 2 && String.sub line 0 2 = "v " then
+              "v 9999999 ut_x8"
+            else line)
+          (String.split_on_char '\n' doc)))
+
 let () =
   Alcotest.run "term"
     [ ("properties", props);
@@ -162,4 +213,6 @@ let () =
          Alcotest.test_case "structure" `Quick test_structure_rewrites;
          Alcotest.test_case "tables" `Quick test_table;
          Alcotest.test_case "reads" `Quick test_reads;
-         Alcotest.test_case "vars" `Quick test_vars_collection ]) ]
+         Alcotest.test_case "vars" `Quick test_vars_collection;
+         Alcotest.test_case "serialize roundtrip" `Quick test_serialize_roundtrip;
+         Alcotest.test_case "deserialize rejects" `Quick test_deserialize_rejects ]) ]

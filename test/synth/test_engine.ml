@@ -81,7 +81,7 @@ let test_alu_synthesis () =
 
 let test_alu_monolithic () =
   let options =
-    { Synth.Engine.default_options with Synth.Engine.mode = Synth.Engine.Monolithic }
+    Synth.Engine.(default_options |> with_mode Monolithic)
   in
   let solved = solve ~options (Designs.Alu.problem ()) in
   List.iter
@@ -94,9 +94,7 @@ let test_alu_monolithic () =
     solved.Synth.Engine.per_instr
 
 let test_alu_timeout () =
-  let options =
-    { Synth.Engine.default_options with Synth.Engine.conflict_budget = 1 }
-  in
+  let options = Synth.Engine.(default_options |> with_conflict_budget 1) in
   match Synth.Engine.synthesize ~options (Designs.Alu.problem ()) with
   | Synth.Engine.Timeout _ -> ()
   | _ -> Alcotest.fail "expected timeout with conflict budget 1"
@@ -248,7 +246,7 @@ let test_independence_gate () =
       af = Designs.Alu.abstraction () }
   in
   let options =
-    { Synth.Engine.default_options with Synth.Engine.check_independence = true }
+    Synth.Engine.(default_options |> with_check_independence true)
   in
   (match Synth.Engine.synthesize ~options problem with
   | Synth.Engine.Not_independent { overlapping = [ ("A", "B") ]; _ } -> ()

@@ -17,7 +17,9 @@
    - [Engine.verify] verdicts must agree between incremental and fresh. *)
 
 let solve ~incremental ?(jobs = 1) problem =
-  let options = Synth.Engine.make_options ~incremental ~jobs () in
+  let options =
+    Synth.Engine.(default_options |> with_incremental incremental |> with_jobs jobs)
+  in
   match Synth.Engine.synthesize ~options problem with
   | Synth.Engine.Solved s -> s
   | _ -> Alcotest.fail "synthesis failed"

@@ -13,7 +13,7 @@
    index-ordered merging; these tests are the regression net for both. *)
 
 let solve ~jobs problem =
-  let options = Synth.Engine.make_options ~jobs () in
+  let options = Synth.Engine.(default_options |> with_jobs jobs) in
   match Synth.Engine.synthesize ~options problem with
   | Synth.Engine.Solved s -> s
   | _ -> Alcotest.fail "synthesis failed"
@@ -60,12 +60,20 @@ let test_verify_jobs () =
     v1 v4
 
 let test_jobs_validation () =
+  (match Synth.Engine.(default_options |> with_jobs 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "with_jobs 0 must be rejected");
   (match Synth.Engine.make_options ~jobs:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "make_options ~jobs:0 must be rejected");
   match
     Synth.Engine.synthesize
-      ~options:{ Synth.Engine.default_options with Synth.Engine.jobs = -2 }
+      ~options:
+        {
+          Synth.Engine.default_options with
+          Synth.Engine.schedule =
+            { Synth.Engine.Schedule.mode = Synth.Engine.Per_instruction; jobs = -2 };
+        }
       (Designs.Accumulator.problem ())
   with
   | exception Synth.Engine.Engine_error _ -> ()

@@ -25,6 +25,9 @@ let test_policy_validation () =
   in
   rejects (fun () -> Synth.Resilience.make ~retries:(-1) ());
   rejects (fun () -> Synth.Resilience.make ~escalation_factor:0 ());
+  rejects (fun () -> Synth.Engine.(default_options |> with_retries (-1)));
+  rejects (fun () -> Synth.Engine.(default_options |> with_escalation_factor 0));
+  (* the deprecated shim delegates to the setters *)
   rejects (fun () -> Synth.Engine.make_options ~retries:(-1) ());
   rejects (fun () -> Synth.Engine.make_options ~escalation_factor:0 ())
 
@@ -92,7 +95,12 @@ let test_pool_retry_exhausts () =
 (* ---------- whole-engine recovery ---------- *)
 
 let solve ?(jobs = 1) ?retries ?validate_models problem =
-  let options = Synth.Engine.make_options ~jobs ?retries ?validate_models () in
+  let options =
+    Synth.Engine.(
+      default_options |> with_jobs jobs
+      |> Option.fold ~none:Fun.id ~some:with_retries retries
+      |> Option.fold ~none:Fun.id ~some:with_validate_models validate_models)
+  in
   match Synth.Engine.synthesize ~options problem with
   | Synth.Engine.Solved s -> s
   | _ -> Alcotest.fail "synthesis failed"
@@ -131,7 +139,7 @@ let test_corrupt_without_validation_undetected () =
      buys.  (The run may still solve or fail downstream; only the counters
      are the point here.) *)
   with_plan "corrupt@1,seed=7" (fun () ->
-      let options = Synth.Engine.make_options () in
+      let options = Synth.Engine.default_options in
       let st =
         match
           Synth.Engine.synthesize ~options (Designs.Accumulator.problem ())
