@@ -13,6 +13,7 @@
      dune exec bench/main.exe -- ablation  -- engine ablations (DESIGN.md §5)
      dune exec bench/main.exe -- parallel  -- serial vs parallel CEGIS scheduler
      dune exec bench/main.exe -- incremental -- solver sessions vs fresh solver
+     dune exec bench/main.exe -- serve     -- owl serve daemon under load
      dune exec bench/main.exe -- smoke     -- seconds-scale CI check, no report
 
    Regular invocations also write BENCH_<date>.json (section wall-clocks
@@ -560,6 +561,173 @@ let cache_bench () =
       exit 1);
   cleanup ()
 
+(* {1 The serve daemon under load}
+
+   Boots a real [owl serve] daemon (in process, on a /tmp Unix socket —
+   socket paths are length-capped, so the working directory cannot host
+   one) and pushes ~1000 mixed requests through the wire protocol at
+   several client counts.  The mix interleaves synthesis and
+   verification over a small set of distinct option fingerprints, so
+   the first request of each fingerprint is cold (runs on a worker
+   domain) and every repeat must come back from the hot tier.  A fresh
+   daemon per client count keeps the hit rates comparable.
+
+   What must hold, per run: zero protocol errors (every request gets a
+   well-framed terminal reply), zero admission rejections (the queue is
+   sized for the load), and every hot reply streamed zero progress
+   events — the protocol-level witness that a warm repeat touched no
+   solver.  Hit rates are computed from the client-observed [hot]
+   flags; the server's own tier counters are recorded alongside (they
+   run higher on misses: a cold request probes the tier once in the
+   reader and once in the worker). *)
+
+let serve_bench () =
+  print_endline "";
+  print_endline
+    "Serve: daemon under load (mixed cold/warm synth+verify requests)";
+  print_endline
+    "clients   requests  cold   hot  hit-rate  p50(ms)  p99(ms)   req/s";
+  let synth_problem = Designs.Accumulator.problem () in
+  let verify_problem =
+    {
+      synth_problem with
+      Synth.Engine.design = Designs.Accumulator.reference_design ();
+    }
+  in
+  let lookup kind _name =
+    match kind with
+    | `Synth -> Some synth_problem
+    | `Verify -> Some verify_problem
+  in
+  let total = 1000 and distinct = 16 in
+  List.iter
+    (fun clients ->
+      let sock =
+        Printf.sprintf "/tmp/owl-bench-serve-%d-%d.sock" (Unix.getpid ())
+          clients
+      in
+      let addr = Owl_serve.Proto.Unix_path sock in
+      let ready = Atomic.make false in
+      let server =
+        Thread.create
+          (fun () ->
+            Owl_serve.Server.run
+              ~ready:(fun () -> Atomic.set ready true)
+              {
+                Owl_serve.Server.addr;
+                jobs = 4;
+                queue_depth = total;
+                hot_tier_size = 64;
+                cache = None;
+                server_name = "owl-bench";
+              }
+              ~lookup)
+          ()
+      in
+      while not (Atomic.get ready) do
+        Thread.delay 0.002
+      done;
+      let per = total / clients in
+      let n = per * clients in
+      let latencies = Array.make n 0.0 in
+      let hot_answers = Atomic.make 0 in
+      let errors = Atomic.make 0 in
+      let tainted_hot = Atomic.make 0 in
+      let t0 = Unix.gettimeofday () in
+      let run_client ci =
+        try
+          let c = Owl_serve.Client.connect addr in
+          for k = 0 to per - 1 do
+            let seq = (ci * per) + k in
+            (* distinct max_iterations values give [distinct] synth and
+               [distinct] verify fingerprints; everything else is warm *)
+            let options =
+              Synth.Engine.(
+                default_options |> with_max_iterations (300 + (seq mod distinct)))
+            in
+            let progress = ref 0 in
+            let on_progress _ = incr progress in
+            let t = Unix.gettimeofday () in
+            let hot =
+              if seq mod 5 = 4 then
+                (Owl_serve.Client.verify ~on_progress c ~design:"acc" options)
+                  .Owl_serve.Proto.v_hot
+              else begin
+                let r =
+                  Owl_serve.Client.synth ~on_progress c ~design:"acc" options
+                in
+                if r.Owl_serve.Proto.outcome <> "solved" then
+                  Atomic.incr errors;
+                r.Owl_serve.Proto.hot
+              end
+            in
+            latencies.(seq) <- Unix.gettimeofday () -. t;
+            if hot then begin
+              Atomic.incr hot_answers;
+              (* a hot reply that streamed progress ran a solver: broken *)
+              if !progress > 0 then Atomic.incr tainted_hot
+            end
+          done;
+          Owl_serve.Client.close c
+        with _ -> Atomic.incr errors
+      in
+      let threads =
+        List.init clients (fun ci -> Thread.create run_client ci)
+      in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      let admin = Owl_serve.Client.connect addr in
+      let stats = Owl_serve.Client.cache_stats admin in
+      Owl_serve.Client.shutdown admin;
+      Owl_serve.Client.close admin;
+      Thread.join server;
+      Array.sort compare latencies;
+      let pct p =
+        latencies.(min (n - 1) (int_of_float (p *. float_of_int n)))
+      in
+      let tier_hits, tier_misses =
+        match stats.Owl_serve.Proto.hot_tier with
+        | Some h -> (h.Owl_serve.Proto.hot_hits, h.Owl_serve.Proto.hot_misses)
+        | None -> (0, 0)
+      in
+      let hot = Atomic.get hot_answers in
+      let cold = n - hot in
+      let rate = float_of_int hot /. float_of_int n in
+      Printf.printf "%7d %10d %5d %5d %8.1f%% %8.2f %8.2f %7.0f\n%!" clients n
+        cold hot (100.0 *. rate) (pct 0.50 *. 1e3) (pct 0.99 *. 1e3)
+        (float_of_int n /. wall);
+      let failed =
+        Atomic.get errors > 0
+        || Atomic.get tainted_hot > 0
+        || stats.Owl_serve.Proto.rejected > 0
+        || hot = 0
+      in
+      if failed then begin
+        Printf.eprintf
+          "serve: REGRESSION (%d errors, %d hot replies with progress, %d \
+           rejected, %d hot answers)\n"
+          (Atomic.get errors) (Atomic.get tainted_hot)
+          stats.Owl_serve.Proto.rejected hot;
+        exit 1
+      end;
+      Report.record
+        [ ("section", Report.str "serve");
+          ("label", Report.str (Printf.sprintf "%d clients" clients));
+          ("clients", string_of_int clients);
+          ("requests", string_of_int n);
+          ("cold", string_of_int cold);
+          ("hot", string_of_int hot);
+          ("hot_hit_rate", Printf.sprintf "%.4f" rate);
+          ("tier_hits", string_of_int tier_hits);
+          ("tier_misses", string_of_int tier_misses);
+          ("rejected", string_of_int stats.Owl_serve.Proto.rejected);
+          ("protocol_errors", string_of_int (Atomic.get errors));
+          ("p50_ms", Printf.sprintf "%.3f" (pct 0.50 *. 1e3));
+          ("p99_ms", Printf.sprintf "%.3f" (pct 0.99 *. 1e3));
+          ("throughput_rps", Printf.sprintf "%.1f" (float_of_int n /. wall));
+          ("wall_seconds", Printf.sprintf "%.6f" wall) ])
+    [ 1; 4; 8 ]
+
 (* {1 Smoke test (dune @bench-smoke alias)}
 
    A seconds-scale end-to-end exercise of the bench harness with sessions
@@ -707,6 +875,86 @@ let smoke () =
     prerr_endline "bench smoke: warm bindings diverged from cold bindings";
     exit 1
   end;
+  (* Miniature serve run: boot the daemon in process, push a small mixed
+     batch through the wire protocol, and require hot-tier hits, zero
+     protocol errors, and a clean drain — the seconds-scale version of
+     the [serve] load section. *)
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "owl-smoke-serve.%d.sock" (Unix.getpid ()))
+  in
+  let addr = Owl_serve.Proto.Unix_path sock in
+  let ready = Atomic.make false in
+  let acc_verify =
+    { problem with
+      Synth.Engine.design = Designs.Accumulator.reference_design () }
+  in
+  let lookup kind _name =
+    match kind with
+    | `Synth -> Some problem
+    | `Verify -> Some acc_verify
+  in
+  let server =
+    Thread.create
+      (fun () ->
+        Owl_serve.Server.run
+          ~ready:(fun () -> Atomic.set ready true)
+          {
+            Owl_serve.Server.addr;
+            jobs = 2;
+            queue_depth = 32;
+            hot_tier_size = 32;
+            cache = None;
+            server_name = "owl-smoke";
+          }
+          ~lookup)
+      ()
+  in
+  while not (Atomic.get ready) do
+    Thread.delay 0.002
+  done;
+  let serve_errors = ref 0 and serve_hot = ref 0 in
+  let c = Owl_serve.Client.connect addr in
+  (try
+     for seq = 0 to 19 do
+       (* four distinct fingerprints per kind: 8 cold, 12 warm *)
+       let options =
+         Synth.Engine.(
+           default_options |> with_max_iterations (300 + (seq mod 4)))
+       in
+       let hot =
+         if seq mod 5 = 4 then
+           (Owl_serve.Client.verify c ~design:"accumulator" options)
+             .Owl_serve.Proto.v_hot
+         else begin
+           let r = Owl_serve.Client.synth c ~design:"accumulator" options in
+           if r.Owl_serve.Proto.outcome <> "solved" then incr serve_errors;
+           r.Owl_serve.Proto.hot
+         end
+       in
+       if hot then incr serve_hot
+     done
+   with _ -> incr serve_errors);
+  let serve_stats = Owl_serve.Client.cache_stats c in
+  Owl_serve.Client.shutdown c;
+  Owl_serve.Client.close c;
+  Thread.join server;
+  let tier_hits =
+    match serve_stats.Owl_serve.Proto.hot_tier with
+    | Some h -> h.Owl_serve.Proto.hot_hits
+    | None -> 0
+  in
+  Printf.printf
+    "bench smoke: serve 20 requests, %d hot answers (%d tier hits), %d errors\n"
+    !serve_hot tier_hits !serve_errors;
+  if !serve_errors > 0 || !serve_hot = 0 || tier_hits = 0 then begin
+    prerr_endline "bench smoke: serve run failed (errors or no hot-tier hits)";
+    exit 1
+  end;
+  if Sys.file_exists sock then begin
+    prerr_endline "bench smoke: serve socket not unlinked after shutdown";
+    exit 1
+  end;
   print_endline "bench smoke: ok"
 
 (* {1 Micro-benchmarks (Bechamel)} *)
@@ -785,7 +1033,7 @@ let () =
     [ ("table1", table1); ("table2", table2); ("table3", table3);
       ("ablation", ablation); ("parallel", parallel);
       ("incremental", incremental); ("cache", cache_bench);
-      ("micro", micro) ]
+      ("serve", serve_bench); ("micro", micro) ]
   in
   let run_sections names =
     (* histogram/counter collection across every section; the summaries
@@ -802,12 +1050,12 @@ let () =
   | [] | [ "all" ] ->
       run_sections
         [ "table1"; "table2"; "table3"; "ablation"; "parallel";
-          "incremental"; "cache" ]
+          "incremental"; "cache"; "serve" ]
   | [ "smoke" ] -> smoke ()
   | [ name ] when List.mem_assoc name sections_tbl -> run_sections [ name ]
   | _ ->
       prerr_endline
         "usage: main.exe \
-         [all|table1|table2|table3|ablation|parallel|incremental|micro|smoke] \
-         [--deadline=SECONDS]";
+         [all|table1|table2|table3|ablation|parallel|incremental|cache|serve|\
+         micro|smoke] [--deadline=SECONDS]";
       exit 1

@@ -180,6 +180,65 @@ let open_cache ~cache_dir ~no_cache =
           exit 1)
   | _ -> None
 
+(* {1 Serving}
+
+   [owl serve] and [owl client] share the address vocabulary:
+   [--addr ADDR] beats the OWL_ADDR environment variable beats the
+   conventional socket under the system temp directory.  Accepted forms
+   are [unix:PATH], [tcp:HOST:PORT], and a bare path (implying unix:). *)
+
+let default_addr () =
+  "unix:" ^ Filename.concat (Filename.get_temp_dir_name ()) "owl-serve.sock"
+
+let addr =
+  let doc =
+    "Server address: 'unix:PATH', 'tcp:HOST:PORT', or a bare socket path.  \
+     Also read from the OWL_ADDR environment variable; the flag wins.  \
+     Defaults to 'unix:' + owl-serve.sock under the system temp directory."
+  in
+  Arg.(value & opt (some string) None & info [ "addr" ] ~docv:"ADDR" ~doc)
+
+let resolve_addr addr =
+  let s =
+    match addr with
+    | Some s -> s
+    | None -> (
+        match Sys.getenv_opt "OWL_ADDR" with
+        | Some s -> s
+        | None -> default_addr ())
+  in
+  match Owl_serve.Proto.addr_of_string s with
+  | Ok a -> a
+  | Error m ->
+      Printf.eprintf "owl: bad address %S: %s\n" s m;
+      exit 1
+
+let queue_depth =
+  let doc =
+    "Admission-control bound: how many requests may wait in the server's \
+     queue beyond those an idle worker takes immediately.  Requests past \
+     the bound are answered with a busy reply instead of queueing."
+  in
+  Arg.(value & opt int 64 & info [ "queue-depth" ] ~docv:"N" ~doc)
+
+let hot_tier_size =
+  let doc =
+    "Capacity of the server's in-process LRU hot tier (finished results \
+     keyed by request fingerprint); repeat requests are answered from it \
+     without touching a solver or the disk cache.  0 disables the tier."
+  in
+  Arg.(value & opt int 256 & info [ "hot-tier-size" ] ~docv:"N" ~doc)
+
+let check_serve ~queue_depth ~hot_tier_size =
+  if queue_depth < 0 then begin
+    prerr_endline "owl: --queue-depth must be >= 0";
+    exit 1
+  end;
+  if hot_tier_size < 0 then begin
+    prerr_endline "owl: --hot-tier-size must be >= 0";
+    exit 1
+  end
+
 let report_cache = function
   | None -> ()
   | Some c ->

@@ -519,18 +519,46 @@ let cache_cmd =
         | None -> Args.default_cache_dir)
   in
   let stats_cmd =
-    let run dir =
+    let json =
+      Arg.(value & flag
+           & info [ "json" ]
+               ~doc:
+                 "Emit the statistics as JSON, in the serve protocol's \
+                  cache_stats schema (the same record `owl client stats \
+                  --json' prints for a live server).")
+    in
+    (* one schema for cache state everywhere: the offline fields the
+       daemon would fill (hot tier, served/rejected, uptime) read as
+       null/zero here *)
+    let empty_stats =
+      {
+        Owl_serve.Proto.disk = None;
+        store = None;
+        hot_tier = None;
+        served = 0;
+        rejected = 0;
+        uptime_seconds = 0.0;
+      }
+    in
+    let run dir json =
       let dir = resolve dir in
       if not (Sys.file_exists dir) then
-        Printf.printf "%s: no cache\n" dir
+        if json then
+          print_endline (Owl_serve.Proto.cache_stats_to_json empty_stats)
+        else Printf.printf "%s: no cache\n" dir
       else
         let s = Owl_cache.disk_stats (Owl_cache.open_dir dir) in
-        Printf.printf "%s: %d result entries, %d warm entries, %d bytes\n"
-          dir s.Owl_cache.result_entries s.Owl_cache.warm_entries
-          s.Owl_cache.total_bytes
+        if json then
+          print_endline
+            (Owl_serve.Proto.cache_stats_to_json
+               { empty_stats with Owl_serve.Proto.disk = Some s })
+        else
+          Printf.printf "%s: %d result entries, %d warm entries, %d bytes\n"
+            dir s.Owl_cache.result_entries s.Owl_cache.warm_entries
+            s.Owl_cache.total_bytes
     in
     Cmd.v (Cmd.info "stats" ~doc:"Show entry counts and on-disk size")
-      Term.(const run $ dir_term)
+      Term.(const run $ dir_term $ json)
   in
   let clear_cmd =
     let run dir =
@@ -548,6 +576,272 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect or clear the cross-run synthesis cache")
     [ stats_cmd; clear_cmd ]
 
+(* {1 The synthesis service}
+
+   [owl serve] runs the long-lived daemon; [owl client *] talks to it.
+   The registry is shared with the offline subcommands: a request names
+   a case study and the server constructs the problem, so ISA specs and
+   sketches never cross the wire. *)
+
+let serve_cmd =
+  let run addr jobs queue_depth hot_tier_size cache_dir no_cache trace metrics
+      =
+    Args.check_jobs jobs;
+    Args.check_serve ~queue_depth ~hot_tier_size;
+    Args.install_observability ~trace ~metrics;
+    let addr = Args.resolve_addr addr in
+    let cache = Args.open_cache ~cache_dir ~no_cache in
+    let lookup kind name =
+      match List.assoc_opt name registry with
+      | None -> None
+      | Some e -> (
+          match kind with
+          | `Synth -> Some (e.problem ())
+          | `Verify -> (
+              (* verification checks the hand-written reference control,
+                 exactly as the offline `owl verify' does *)
+              match e.reference with
+              | None -> None
+              | Some f ->
+                  let p = e.problem () in
+                  Some { p with Synth.Engine.design = f () }))
+    in
+    Printf.printf
+      "owl serve: listening on %s (%d worker%s, queue depth %d, hot tier %d)\n%!"
+      (Owl_serve.Proto.addr_to_string addr)
+      jobs
+      (if jobs = 1 then "" else "s")
+      queue_depth hot_tier_size;
+    Owl_serve.Server.run
+      {
+        Owl_serve.Server.addr;
+        jobs;
+        queue_depth;
+        hot_tier_size;
+        cache;
+        server_name = "owl/1.0.0";
+      }
+      ~lookup;
+    print_endline "owl serve: drained and shut down"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the synthesis daemon (long-lived, multi-client)")
+    Term.(const run $ Args.addr $ Args.jobs $ Args.queue_depth
+          $ Args.hot_tier_size $ Args.cache_dir $ Args.no_cache $ Args.trace
+          $ Args.metrics)
+
+let client_cmd =
+  let with_client addr f =
+    let addr = Args.resolve_addr addr in
+    let c =
+      match Owl_serve.Client.connect addr with
+      | c -> c
+      | exception Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "owl: cannot reach server at %s: %s\n"
+            (Owl_serve.Proto.addr_to_string addr)
+            (Unix.error_message e);
+          exit 1
+    in
+    Fun.protect
+      ~finally:(fun () -> Owl_serve.Client.close c)
+      (fun () ->
+        try f c with
+        | Owl_serve.Client.Server_busy n ->
+            Printf.eprintf "owl: server busy (%d requests queued); retry later\n" n;
+            exit 7
+        | Owl_serve.Client.Server_error e ->
+            Printf.eprintf "owl: server error (%s): %s\n" e.Owl_serve.Proto.code
+              e.Owl_serve.Proto.message;
+            exit 6
+        | Owl_serve.Client.Protocol_error m
+        | Owl_serve.Proto.Framing_error m ->
+            Printf.eprintf "owl: protocol error: %s\n" m;
+            exit 6
+        | Unix.Unix_error (e, _, _) ->
+            Printf.eprintf "owl: connection lost: %s\n" (Unix.error_message e);
+            exit 6)
+  in
+  let quiet =
+    Arg.(value & flag
+         & info [ "q"; "quiet" ] ~doc:"Suppress streamed progress events.")
+  in
+  let on_progress quiet p =
+    if not quiet then
+      match p with
+      | Owl_serve.Proto.Instr_started { instr } ->
+          Printf.printf "  > %s...\n%!" instr
+      | Owl_serve.Proto.Instr_done { instr; status; iterations; queries } ->
+          if iterations = 0 && queries = 0 then
+            Printf.printf "  < %-20s %s\n%!" instr status
+          else
+            Printf.printf "  < %-20s %s (%d rounds, %d queries)\n%!" instr
+              status iterations queries
+      | Owl_serve.Proto.Retry { attempt; reason } ->
+          Printf.printf "  ! retry, attempt %d (%s)\n%!" attempt reason
+      | Owl_serve.Proto.Degraded { attempt } ->
+          Printf.printf "  ! degraded to a fresh solver (attempt %d)\n%!"
+            attempt
+  in
+  (* the subset of the engine options that makes sense remotely; jobs is
+     deliberately absent (the server pins each request to one domain) and
+     the cache is the server's policy *)
+  let remote_options monolithic deadline no_incremental retries
+      escalation_factor validate_models =
+    try
+      Synth.Engine.(
+        default_options
+        |> with_mode (if monolithic then Monolithic else Per_instruction)
+        |> with_deadline deadline
+        |> with_incremental (not no_incremental)
+        |> with_retries retries
+        |> with_escalation_factor escalation_factor
+        |> with_validate_models validate_models)
+    with Invalid_argument m ->
+      Printf.eprintf "owl: %s\n" m;
+      exit 1
+  in
+  let monolithic =
+    Arg.(value & flag
+         & info [ "monolithic" ]
+             ~doc:"Disable the per-instruction optimization (paper 3.3.1).")
+  in
+  let deadline =
+    Arg.(value & opt (some float) None
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Server-side wall-clock timeout for this request.")
+  in
+  let print_stats (st : Synth.Engine.stats) =
+    Printf.printf "  %d CEGIS rounds, %d solver queries, %d conflicts, %.2fs\n"
+      st.Synth.Engine.iterations st.Synth.Engine.queries
+      st.Synth.Engine.conflicts st.Synth.Engine.wall_seconds
+  in
+  let synth_cmd =
+    let run name addr monolithic deadline no_incremental retries
+        escalation_factor validate_models quiet =
+      let options =
+        remote_options monolithic deadline no_incremental retries
+          escalation_factor validate_models
+      in
+      with_client addr (fun c ->
+          let r =
+            Owl_serve.Client.synth ~on_progress:(on_progress quiet) c
+              ~design:name options
+          in
+          Printf.printf "%s%s%s\n" r.Owl_serve.Proto.outcome
+            (if r.Owl_serve.Proto.detail = "" then ""
+             else ": " ^ r.Owl_serve.Proto.detail)
+            (if r.Owl_serve.Proto.hot then " [hot]" else "");
+          print_stats r.Owl_serve.Proto.stats;
+          List.iter
+            (fun (hole, expr) -> Printf.printf "  %s = %s\n" hole expr)
+            r.Owl_serve.Proto.bindings;
+          match r.Owl_serve.Proto.outcome with
+          | "solved" -> ()
+          | "timeout" -> exit 2
+          | "unrealizable" -> exit 3
+          | "union_failed" -> exit 4
+          | "not_independent" -> exit 5
+          | _ -> exit 6)
+    in
+    Cmd.v
+      (Cmd.info "synth" ~doc:"Synthesize a case study on the server")
+      Term.(const run $ design_arg $ Args.addr $ monolithic $ deadline
+            $ Args.no_incremental $ Args.retries $ Args.escalation_factor
+            $ Args.validate_models $ quiet)
+  in
+  let verify_cmd =
+    let run name addr deadline no_incremental retries escalation_factor
+        validate_models quiet =
+      let options =
+        remote_options false deadline no_incremental retries escalation_factor
+          validate_models
+      in
+      with_client addr (fun c ->
+          let r =
+            Owl_serve.Client.verify ~on_progress:(on_progress quiet) c
+              ~design:name options
+          in
+          let bad = ref 0 in
+          List.iter
+            (fun (instr, verdict) ->
+              if verdict <> "verified" then incr bad;
+              Printf.printf "  %-20s %s\n" instr verdict)
+            r.Owl_serve.Proto.verdicts;
+          Printf.printf "%d/%d instructions verified%s\n"
+            (List.length r.Owl_serve.Proto.verdicts - !bad)
+            (List.length r.Owl_serve.Proto.verdicts)
+            (if r.Owl_serve.Proto.v_hot then " [hot]" else "");
+          if !bad > 0 then exit 1)
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:"Verify a case study's reference control on the server")
+      Term.(const run $ design_arg $ Args.addr $ deadline
+            $ Args.no_incremental $ Args.retries $ Args.escalation_factor
+            $ Args.validate_models $ quiet)
+  in
+  let stats_cmd =
+    let json =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit the cache_stats record as JSON.")
+    in
+    let run addr json =
+      with_client addr (fun c ->
+          let s = Owl_serve.Client.cache_stats c in
+          if json then
+            print_endline (Owl_serve.Proto.cache_stats_to_json s)
+          else begin
+            (match s.Owl_serve.Proto.hot_tier with
+            | Some h ->
+                Printf.printf "hot tier: %d/%d entries, %d hits, %d misses, %d evictions\n"
+                  h.Owl_serve.Proto.hot_size h.Owl_serve.Proto.hot_capacity
+                  h.Owl_serve.Proto.hot_hits h.Owl_serve.Proto.hot_misses
+                  h.Owl_serve.Proto.hot_evictions
+            | None -> ());
+            (match s.Owl_serve.Proto.store with
+            | Some k ->
+                Printf.printf "disk cache: %d hits, %d misses, %d stale, %d writes\n"
+                  k.Owl_cache.hits k.Owl_cache.misses k.Owl_cache.stale
+                  k.Owl_cache.writes
+            | None -> print_endline "disk cache: none");
+            (match s.Owl_serve.Proto.disk with
+            | Some d ->
+                Printf.printf "disk usage: %d result entries, %d warm entries, %d bytes\n"
+                  d.Owl_cache.result_entries d.Owl_cache.warm_entries
+                  d.Owl_cache.total_bytes
+            | None -> ());
+            Printf.printf "served %d, rejected %d, up %.1fs\n"
+              s.Owl_serve.Proto.served s.Owl_serve.Proto.rejected
+              s.Owl_serve.Proto.uptime_seconds
+          end)
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Show the server's cache and service statistics")
+      Term.(const run $ Args.addr $ json)
+  in
+  let ping_cmd =
+    let run addr =
+      with_client addr (fun c ->
+          let server, protocol = Owl_serve.Client.ping c in
+          Printf.printf "pong from %s (protocol %d)\n" server protocol)
+    in
+    Cmd.v (Cmd.info "ping" ~doc:"Check that the server answers")
+      Term.(const run $ Args.addr)
+  in
+  let shutdown_cmd =
+    let run addr =
+      with_client addr (fun c ->
+          Owl_serve.Client.shutdown c;
+          print_endline "server acknowledged shutdown")
+    in
+    Cmd.v
+      (Cmd.info "shutdown" ~doc:"Ask the server to drain and exit")
+      Term.(const run $ Args.addr)
+  in
+  Cmd.group (Cmd.info "client" ~doc:"Talk to a running owl serve daemon")
+    [ synth_cmd; verify_cmd; stats_cmd; ping_cmd; shutdown_cmd ]
+
 let () =
   let info =
     Cmd.info "owl" ~version:"1.0.0"
@@ -556,4 +850,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; print_cmd; synth_cmd; cosim_cmd; independence_cmd;
          verify_cmd; check_cmd; netlist_cmd; verilog_cmd; sim_cmd;
-         cache_cmd ]))
+         cache_cmd; serve_cmd; client_cmd ]))

@@ -361,3 +361,125 @@ let clear c =
   sweep (result_dir c.root);
   sweep (warm_dir c.root);
   !removed
+
+(* {1 In-process LRU (the serve hot tier)}
+
+   A small mutex-guarded LRU keyed by fingerprint strings.  The on-disk
+   tiers above survive process restarts but cost a file read, a checksum,
+   and a re-validation per hit; a daemon answering the same problem for
+   many clients wants repeats to cost a hash lookup and nothing else.
+   Classic doubly-linked-list-over-hashtable: find and add are O(1), the
+   lock is held for pointer surgery only.  Values are stored as given —
+   the hot tier holds already-encoded replies, so no validation happens
+   here; anything whose staleness matters belongs in the tiers above. *)
+
+module Lru = struct
+  type 'v node = {
+    n_key : string;
+    mutable n_value : 'v;
+    mutable n_prev : 'v node option;  (* toward most recent *)
+    mutable n_next : 'v node option;  (* toward least recent *)
+  }
+
+  type 'v t = {
+    l_capacity : int;
+    l_tbl : (string, 'v node) Hashtbl.t;
+    mutable l_head : 'v node option;  (* most recently used *)
+    mutable l_tail : 'v node option;  (* least recently used *)
+    l_mutex : Mutex.t;
+    mutable l_hits : int;
+    mutable l_misses : int;
+    mutable l_evictions : int;
+  }
+
+  let c_hot_hit = Obs.counter "cache.hot.hit"
+  let c_hot_miss = Obs.counter "cache.hot.miss"
+  let c_hot_eviction = Obs.counter "cache.hot.eviction"
+
+  let create ~capacity =
+    if capacity < 0 then invalid_arg "Owl_cache.Lru.create: capacity < 0";
+    {
+      l_capacity = capacity;
+      l_tbl = Hashtbl.create (max 16 capacity);
+      l_head = None;
+      l_tail = None;
+      l_mutex = Mutex.create ();
+      l_hits = 0;
+      l_misses = 0;
+      l_evictions = 0;
+    }
+
+  let capacity t = t.l_capacity
+
+  (* all list surgery below runs under [l_mutex] *)
+
+  let unlink t n =
+    (match n.n_prev with
+    | Some p -> p.n_next <- n.n_next
+    | None -> t.l_head <- n.n_next);
+    (match n.n_next with
+    | Some s -> s.n_prev <- n.n_prev
+    | None -> t.l_tail <- n.n_prev);
+    n.n_prev <- None;
+    n.n_next <- None
+
+  let push_front t n =
+    n.n_next <- t.l_head;
+    n.n_prev <- None;
+    (match t.l_head with Some h -> h.n_prev <- Some n | None -> ());
+    t.l_head <- Some n;
+    if t.l_tail = None then t.l_tail <- Some n
+
+  let locked t f =
+    Mutex.lock t.l_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.l_mutex) f
+
+  let find t key =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.l_tbl key with
+        | Some n ->
+            t.l_hits <- t.l_hits + 1;
+            Obs.incr c_hot_hit;
+            unlink t n;
+            push_front t n;
+            Some n.n_value
+        | None ->
+            t.l_misses <- t.l_misses + 1;
+            Obs.incr c_hot_miss;
+            None)
+
+  let add t key value =
+    if t.l_capacity > 0 then
+      locked t (fun () ->
+          (match Hashtbl.find_opt t.l_tbl key with
+          | Some n ->
+              n.n_value <- value;
+              unlink t n;
+              push_front t n
+          | None ->
+              let n =
+                { n_key = key; n_value = value; n_prev = None; n_next = None }
+              in
+              Hashtbl.replace t.l_tbl key n;
+              push_front t n);
+          while Hashtbl.length t.l_tbl > t.l_capacity do
+            match t.l_tail with
+            | Some victim ->
+                unlink t victim;
+                Hashtbl.remove t.l_tbl victim.n_key;
+                t.l_evictions <- t.l_evictions + 1;
+                Obs.incr c_hot_eviction
+            | None -> assert false
+          done)
+
+  type stats = { hits : int; misses : int; evictions : int; size : int }
+
+  let stats t =
+    locked t (fun () ->
+        {
+          hits = t.l_hits;
+          misses = t.l_misses;
+          evictions = t.l_evictions;
+          size = Hashtbl.length t.l_tbl;
+        })
+end

@@ -131,3 +131,37 @@ val disk_stats : t -> disk_stats
 val clear : t -> int
 (** Removes every entry (and stray temporary file); returns how many
     files were deleted.  The directory structure is kept. *)
+
+(** {1 In-process LRU}
+
+    The hot tier the [owl serve] daemon puts in front of this store: a
+    bounded, mutex-guarded, string-keyed LRU mapping problem fingerprints
+    to already-computed values (encoded replies, in the daemon), so repeat
+    problems from any client are answered without touching the solver or
+    the disk tiers.  Purely in-memory; nothing here survives the process.
+    Safe to share across domains and threads — every operation takes the
+    internal lock for its pointer surgery only.
+
+    Accounting mirrors the on-disk tiers: per-handle counters plus the
+    [cache.hot.hit] / [cache.hot.miss] / [cache.hot.eviction] metrics. *)
+module Lru : sig
+  type 'v t
+
+  val create : capacity:int -> 'v t
+  (** A tier holding at most [capacity] entries; least-recently-used
+      entries are evicted to make room.  [capacity = 0] is a valid
+      always-miss tier ({!add} is a no-op), the [--hot-tier-size 0]
+      escape hatch.  Raises [Invalid_argument] if [capacity < 0]. *)
+
+  val capacity : 'v t -> int
+
+  val find : 'v t -> string -> 'v option
+  (** O(1); a hit refreshes the entry's recency. *)
+
+  val add : 'v t -> string -> 'v -> unit
+  (** Inserts or overwrites, evicting from the cold end on overflow. *)
+
+  type stats = { hits : int; misses : int; evictions : int; size : int }
+
+  val stats : 'v t -> stats
+end

@@ -64,6 +64,43 @@ let enable ?(capacity = default_capacity) () =
 let disable () = Atomic.set current None
 let enabled () = Atomic.get current <> None
 
+(* {1 Taps}
+
+   A tap is a per-domain callback that observes every span Begin/End and
+   instant emitted on its own domain while installed — independent of the
+   global recording epoch, so a server can stream one request's progress
+   without enabling (or resetting) whole-process tracing.  The counter
+   keeps the no-tap path at one extra atomic load and a branch; the DLS
+   slot is only consulted when at least one tap exists somewhere. *)
+
+let tap_key : (phase -> string -> (string * arg) list -> unit) option ref
+    Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let taps_active = Atomic.make 0
+
+let tapping () =
+  Atomic.get taps_active > 0 && !(Domain.DLS.get tap_key) <> None
+
+let feed_tap ph name args =
+  if Atomic.get taps_active > 0 then
+    match !(Domain.DLS.get tap_key) with
+    | None -> ()
+    | Some f -> ( try f ph name args with _ -> ())
+
+let with_tap f thunk =
+  let slot = Domain.DLS.get tap_key in
+  let saved = !slot in
+  slot := Some f;
+  Atomic.incr taps_active;
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr taps_active;
+      slot := saved)
+    thunk
+
+let recording () = enabled () || tapping ()
+
 let ring_for st =
   let slot = Domain.DLS.get ring_key in
   match !slot with
@@ -101,23 +138,30 @@ let emit st ph name args =
   else r.r_dropped <- r.r_dropped + 1
 
 let span ?(args = []) ?result name f =
-  match Atomic.get current with
-  | None -> f ()
-  | Some st -> (
-      emit st Begin name args;
+  let st = Atomic.get current in
+  let tapped = tapping () in
+  match st with
+  | None when not tapped -> f ()
+  | _ -> (
+      (match st with Some s -> emit s Begin name args | None -> ());
+      if tapped then feed_tap Begin name args;
       match f () with
       | v ->
           let rargs = match result with None -> [] | Some g -> g v in
-          emit st End name rargs;
+          (match st with Some s -> emit s End name rargs | None -> ());
+          if tapped then feed_tap End name rargs;
           v
       | exception e ->
-          emit st End name [ ("exception", Str (Printexc.to_string e)) ];
+          let eargs = [ ("exception", Str (Printexc.to_string e)) ] in
+          (match st with Some s -> emit s End name eargs | None -> ());
+          if tapped then feed_tap End name eargs;
           raise e)
 
 let instant ?(args = []) name =
-  match Atomic.get current with
+  (match Atomic.get current with
   | None -> ()
-  | Some st -> emit st Instant name args
+  | Some st -> emit st Instant name args);
+  feed_tap Instant name args
 
 let snapshot_rings st =
   Mutex.lock st.reg_mutex;

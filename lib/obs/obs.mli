@@ -59,14 +59,40 @@ val span :
     event with [args] before, an [End] event after.  [result] computes
     arguments for the [End] event from [f]'s value — the hook for delta
     statistics that only exist once the work is done; it is not called
-    when tracing is disabled.  If [f] raises, the [End] event carries the
-    exception (printed) as its argument and the exception is re-raised,
-    so spans always nest properly per domain. *)
+    when tracing is disabled (unless a tap is active).  If [f] raises, the
+    [End] event carries the exception (printed) as its argument and the
+    exception is re-raised, so spans always nest properly per domain. *)
 
 val instant : ?args:(string * arg) list -> string -> unit
 (** Records a point event. *)
 
 type phase = Begin | End | Instant
+
+(** {2 Taps: per-domain event streaming}
+
+    A tap observes every {!span} Begin/End and {!instant} emitted {e on its
+    own domain} while installed, independently of the global recording
+    epoch — the hook a long-lived server uses to stream one request's
+    progress events without enabling (or resetting) whole-process tracing.
+    Taps compose with tracing: when both are active an event goes to the
+    ring buffer and to the tap. *)
+
+val with_tap :
+  (phase -> string -> (string * arg) list -> unit) -> (unit -> 'a) -> 'a
+(** [with_tap f thunk] runs [thunk ()] with [f] installed as this domain's
+    tap (replacing, and afterwards restoring, any previous one — taps on a
+    domain nest, they do not stack).  [f] receives the phase, span/event
+    name, and arguments of each event; with a tap active, a span's
+    [result] hook runs even when tracing is disabled.  Exceptions raised
+    by [f] are swallowed — a broken observer must not fail the observed
+    work. *)
+
+val tapping : unit -> bool
+(** Whether the calling domain currently has a tap installed. *)
+
+val recording : unit -> bool
+(** [enabled () || tapping ()] — the guard instrumentation sites use
+    around argument construction for conditional {!instant}s. *)
 
 type event = {
   ph : phase;

@@ -1,0 +1,87 @@
+(* Synchronous client for the owl serve protocol.
+
+   One request in flight at a time: each call writes a frame, then reads
+   replies — forwarding the non-terminal [Progress] stream to the
+   caller's callback — until its terminal reply arrives.  Outcomes the
+   caller must act on (backpressure, server-reported errors) are
+   exceptions, so the happy-path return types stay plain results. *)
+
+type t = { fd : Unix.file_descr }
+
+exception Server_busy of int
+exception Server_error of Proto.error
+exception Protocol_error of string
+
+let connect addr =
+  match addr with
+  | Proto.Unix_path path ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX path)
+       with e -> Unix.close fd; raise e);
+      { fd }
+  | Proto.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+          with Not_found ->
+            raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_INET (inet, port))
+       with e -> Unix.close fd; raise e);
+      { fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* reads to the terminal reply; [on_progress] sees the stream.  A reply
+   the protocol allows but this exchange does not expect (say, a
+   [Pong] answering a [Synth]) is a server bug — surfaced as
+   [Protocol_error], never silently dropped. *)
+let exchange ?(on_progress = fun _ -> ()) t req =
+  Proto.write_frame t.fd (Proto.request_to_frame req);
+  let rec next () =
+    match Proto.read_frame t.fd with
+    | None -> raise (Protocol_error "server closed the connection mid-exchange")
+    | Some payload -> (
+        match Proto.reply_of_frame payload with
+        | Error e ->
+            raise
+              (Protocol_error
+                 (Printf.sprintf "undecodable reply (%s: %s)" e.Proto.code
+                    e.Proto.message))
+        | Ok (Proto.Progress p) ->
+            on_progress p;
+            next ()
+        | Ok (Proto.Busy { queue_depth }) -> raise (Server_busy queue_depth)
+        | Ok (Proto.Err e) -> raise (Server_error e)
+        | Ok reply -> reply)
+  in
+  next ()
+
+let unexpected what = raise (Protocol_error ("unexpected terminal reply to " ^ what))
+
+let ping t =
+  match exchange t Proto.Ping with
+  | Proto.Pong { server; protocol } -> (server, protocol)
+  | _ -> unexpected "ping"
+
+let synth ?on_progress t ~design options =
+  match exchange ?on_progress t (Proto.Synth { design; options }) with
+  | Proto.Synth_result r -> r
+  | _ -> unexpected "synth"
+
+let verify ?on_progress t ~design options =
+  match exchange ?on_progress t (Proto.Verify { design; options }) with
+  | Proto.Verify_result r -> r
+  | _ -> unexpected "verify"
+
+let cache_stats t =
+  match exchange t Proto.Cache_stats with
+  | Proto.Cache_stats_reply c -> c
+  | _ -> unexpected "cache_stats"
+
+let shutdown t =
+  match exchange t Proto.Shutdown with
+  | Proto.Shutdown_ack -> ()
+  | _ -> unexpected "shutdown"

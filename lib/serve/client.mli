@@ -1,0 +1,49 @@
+(** Synchronous client for an [owl serve] daemon.
+
+    One request in flight per handle: each call writes its request frame
+    and blocks until the terminal reply, forwarding streamed
+    {!Proto.progress} events to [on_progress] as they arrive.  Handles
+    are not safe to share across threads without external locking (the
+    reply stream would interleave); open one handle per thread instead —
+    the server multiplexes connections fairly.
+
+    Any call may raise {!Server_busy} (admission control declined — back
+    off and retry), {!Server_error} (the server answered with an error,
+    e.g. ["unknown_design"] or ["version_skew"]), {!Protocol_error} (the
+    reply stream itself is broken), {!Proto.Framing_error}, or
+    [Unix.Unix_error]. *)
+
+type t
+
+exception Server_busy of int
+(** The queue already held this many waiting jobs. *)
+
+exception Server_error of Proto.error
+exception Protocol_error of string
+
+val connect : Proto.addr -> t
+(** Raises [Unix.Unix_error] if the daemon is not reachable. *)
+
+val close : t -> unit
+
+val ping : t -> string * int
+(** Server name and protocol version. *)
+
+val synth :
+  ?on_progress:(Proto.progress -> unit) ->
+  t ->
+  design:string ->
+  Synth.Engine.options ->
+  Proto.synth_result
+
+val verify :
+  ?on_progress:(Proto.progress -> unit) ->
+  t ->
+  design:string ->
+  Synth.Engine.options ->
+  Proto.verify_result
+
+val cache_stats : t -> Proto.cache_stats
+
+val shutdown : t -> unit
+(** Asks the daemon to drain and exit; returns once acknowledged. *)

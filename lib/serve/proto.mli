@@ -1,0 +1,184 @@
+(** The [owl serve] wire protocol: version-stamped, length-prefixed JSON.
+
+    Every message on the wire is one {e frame}: a 4-byte big-endian
+    unsigned length followed by exactly that many bytes of UTF-8 JSON.
+    Every JSON document is an object carrying the protocol {!version}
+    under ["v"] and its kind under ["t"]; a frame whose version does not
+    match is rejected with the distinct ["version_skew"] error code, so
+    old clients get "upgrade", not "bad request".
+
+    The conversation is strictly client-initiated: the client writes one
+    {!request} frame, then reads {!reply} frames until a terminal one
+    arrives.  [Progress] replies are non-terminal — a [synth] or [verify]
+    request streams zero or more of them before its result; every other
+    reply kind terminates the exchange.  Requests on one connection are
+    answered in order (the server pipelines at most one in-flight request
+    per connection), so no correlation ids are needed.
+
+    Codecs are built on {!Json} (the Owl_obs emitter and strict parser),
+    so escaping agrees byte-for-byte with every other JSON the toolchain
+    writes.  Decoding never raises: malformed payloads come back as
+    [Error {code; message}].  Framing does raise ({!Framing_error}) —
+    once the length discipline is broken the stream cannot be resynced. *)
+
+val version : int
+(** Protocol version stamped into (and required of) every frame. *)
+
+val max_frame : int
+(** Hard cap on payload bytes (16 MiB).  A length prefix above this is a
+    {!Framing_error} — it is either corruption or abuse, and reading it
+    would let one peer balloon the other's memory. *)
+
+exception Framing_error of string
+(** The byte stream violated the framing discipline: EOF inside a prefix
+    or payload, or an oversized/negative length prefix.  The connection
+    is unrecoverable; close it. *)
+
+(** {1 Addresses} *)
+
+type addr =
+  | Unix_path of string  (** Unix-domain socket at this filesystem path *)
+  | Tcp of string * int  (** host, port *)
+
+val addr_of_string : string -> (addr, string) result
+(** Parses ["unix:PATH"], ["tcp:HOST:PORT"], or a bare path (implying
+    [unix:]).  The port in ["tcp:"] splits at the {e last} colon, so IPv6
+    literals pass through as the host. *)
+
+val addr_to_string : addr -> string
+(** Canonical prefixed form; [addr_of_string] round-trips it. *)
+
+(** {1 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Writes one frame (prefix + payload), looping over short writes.
+    Raises {!Framing_error} if the payload exceeds {!max_frame}, and
+    [Unix.Unix_error] as [Unix.write] does (note [EPIPE]: daemon code
+    ignores [SIGPIPE] and handles the error instead). *)
+
+val read_frame : Unix.file_descr -> string option
+(** Reads one frame, looping over short reads.  [None] on a clean EOF at
+    a frame boundary (the peer closed between messages); raises
+    {!Framing_error} on EOF mid-frame or a bad length prefix. *)
+
+(** {1 Errors} *)
+
+type error = { code : string; message : string }
+(** [code] is machine-readable: ["bad_request"] (unparseable or
+    ill-formed payload, invalid options), ["version_skew"] (missing or
+    mismatched ["v"]), ["busy"] (admission control; see {!reply}),
+    ["unknown_design"], ["internal"]. *)
+
+(** {1 Engine options on the wire}
+
+    The flattened form of {!Synth.Engine.options}.  Deserialization pipes
+    {!Synth.Engine.default_options} through the [with_*] setters, so the
+    builder validation {e is} the wire validation: a request carrying
+    [jobs = 0] is rejected with ["bad_request"] exactly as a native
+    caller would get [Invalid_argument].  The [cache] field deliberately
+    never crosses the wire — which store and hot tier back a request is
+    the server's policy, not the client's. *)
+
+val options_to_json : Synth.Engine.options -> string
+val options_of_json : Json.value -> (Synth.Engine.options, error) result
+
+(** {1 Requests} *)
+
+type request =
+  | Synth of { design : string; options : Synth.Engine.options }
+      (** [design] names an entry in the server's case-study registry
+          (problem construction stays server-side, where the ISA specs
+          live); an unknown name earns an ["unknown_design"] error. *)
+  | Verify of { design : string; options : Synth.Engine.options }
+  | Cache_stats
+  | Ping
+  | Shutdown
+
+val request_to_frame : request -> string
+val request_of_frame : string -> (request, error) result
+
+(** {1 Progress events}
+
+    Streamed to the requesting client while its job runs, sourced from
+    the engine's Owl_obs instrumentation through a per-domain tap
+    ({!Obs.with_tap}) — the events below mirror the [cegis.instr] /
+    [verify.instr] spans and the [resilience.retry] / [resilience.degrade]
+    instants. *)
+
+type progress =
+  | Instr_started of { instr : string }
+  | Instr_done of {
+      instr : string;
+      status : string;
+          (** synthesis: ["solved"]/["skipped"]/["stopped"]; verification:
+              the verdict ["verified"]/["violated"]/["inconclusive"] *)
+      iterations : int;  (** 0 for verification events *)
+      queries : int;
+    }
+  | Retry of { attempt : int; reason : string }
+      (** the resilience ladder re-ran a solver query one rung up *)
+  | Degraded of { attempt : int }
+      (** the ladder's final rung: fresh one-shot solver *)
+
+(** {1 Results and statistics} *)
+
+val stats_to_json : Synth.Engine.stats -> string
+val stats_of_json : Json.value -> (Synth.Engine.stats, error) result
+
+type synth_result = {
+  outcome : string;
+      (** ["solved"], ["timeout"], ["unrealizable"], ["union_failed"],
+          or ["not_independent"] *)
+  detail : string;  (** human-readable elaboration; [""] when solved *)
+  bindings : (string * string) list;
+      (** hole name -> synthesized expression, printed with
+          {!Oyster.Printer.expr_to_string} *)
+  stats : Synth.Engine.stats;
+  hot : bool;  (** answered from the server's in-process hot tier *)
+}
+
+type verify_result = {
+  verdicts : (string * string) list;
+      (** instruction -> ["verified"]/["violated"]/["inconclusive"] *)
+  v_hot : bool;
+}
+
+type hot_stats = {
+  hot_hits : int;
+  hot_misses : int;
+  hot_evictions : int;
+  hot_size : int;
+  hot_capacity : int;
+}
+
+type cache_stats = {
+  disk : Owl_cache.disk_stats option;  (** [None]: no disk cache open *)
+  store : Owl_cache.counters option;
+  hot_tier : hot_stats option;  (** [None] outside a server *)
+  served : int;  (** requests answered since the server started *)
+  rejected : int;  (** requests refused by admission control *)
+  uptime_seconds : float;
+}
+
+val cache_stats_to_json : cache_stats -> string
+(** Also the payload of [owl cache stats --json], so the offline CLI and
+    the daemon report cache state in one schema. *)
+
+val cache_stats_of_json : Json.value -> (cache_stats, error) result
+
+(** {1 Replies} *)
+
+type reply =
+  | Progress of progress  (** non-terminal; zero or more per request *)
+  | Synth_result of synth_result
+  | Verify_result of verify_result
+  | Cache_stats_reply of cache_stats
+  | Pong of { server : string; protocol : int }
+  | Busy of { queue_depth : int }
+      (** admission control refused the request: the bounded queue
+          already holds [queue_depth] jobs.  Back off and retry. *)
+  | Err of error
+  | Shutdown_ack
+
+val reply_to_frame : reply -> string
+val reply_of_frame : string -> (reply, error) result

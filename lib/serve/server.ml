@@ -1,0 +1,543 @@
+(* The owl serve daemon.
+
+   One listener (Unix or TCP), one reader systhread per connection, and a
+   persistent pool of worker domains ([Pool.Service]) executing synthesis
+   and verification jobs.  The division of labor:
+
+   - the {e reader} owns the connection's request stream.  It answers
+     control requests (ping, cache stats, shutdown) and hot-tier hits
+     inline — neither touches a solver, so neither should wait behind
+     one — and enqueues cold work subject to admission control;
+   - the {e workers} own the solvers.  Each job runs with [jobs = 1], so
+     a request occupies exactly one domain: parallelism comes from
+     serving many requests, not from splitting one, and a per-domain
+     [Obs] tap attributes the engine's progress events to exactly the
+     request that caused them;
+   - the {e accept loop} owns the listener.  It blocks in [select] over
+     the listen socket and a self-pipe; shutdown writes one byte to the
+     pipe, which is the only reliable way to pry a blocked accept open.
+
+   Queueing is two-level for fairness: each connection keeps a FIFO of
+   its own pending jobs, and a ready-ring rotates between connections
+   that have work.  A worker always takes the head job of the ring's
+   head connection, and a connection re-enters the ring only when its
+   running job finishes — so one chatty client pipelining hundreds of
+   requests interleaves fairly with everyone else instead of occupying
+   the whole pool, and one connection's jobs still execute (and answer)
+   strictly in order.
+
+   Admission control bounds the {e waiting} jobs: a request is admitted
+   while [waiting < queue_depth + idle_workers] (an idle worker will
+   take the job immediately, so it never really waits), otherwise the
+   reader answers [Busy] without blocking.
+
+   Connection teardown is reference-counted.  The reader holds one
+   reference and each queued/running job holds one; the fd closes when
+   the count reaches zero with EOF seen.  Closing earlier would be a
+   use-after-free in fd space: the kernel recycles descriptor numbers,
+   so a worker finishing a job for a closed connection could otherwise
+   write its reply into some unrelated, newly-accepted socket. *)
+
+type config = {
+  addr : Proto.addr;
+  jobs : int;
+  queue_depth : int;
+  hot_tier_size : int;
+  cache : Owl_cache.t option;
+  server_name : string;
+}
+
+let c_requests = Obs.counter "serve.requests"
+let c_rejected = Obs.counter "serve.rejected"
+let h_job_latency = Obs.histogram "serve.job.latency_us"
+
+(* what the hot tier stores: finished results with [hot = false]; a hit
+   re-flags before replying *)
+type cached = C_synth of Proto.synth_result | C_verify of Proto.verify_result
+
+type conn = {
+  fd : Unix.file_descr;
+  wlock : Mutex.t;  (* serializes frames: reader replies vs worker progress *)
+  jobs_q : job Queue.t;
+  mutable busy : bool;  (* a worker is executing this conn's head job *)
+  mutable in_ring : bool;
+  mutable eof : bool;
+  mutable refs : int;  (* reader + queued/running jobs *)
+  mutable fd_closed : bool;
+}
+
+and job = {
+  j_kind : [ `Synth | `Verify ];
+  j_design : string;
+  j_fp : string;
+  j_options : Synth.Engine.options;
+  j_conn : conn;
+}
+
+type t = {
+  cfg : config;
+  lookup : [ `Synth | `Verify ] -> string -> Synth.Engine.problem option;
+  lock : Mutex.t;
+  work_cv : Condition.t;
+  ring : conn Queue.t;
+  mutable waiting : int;  (* jobs queued but not yet running *)
+  mutable idle : int;  (* workers blocked in [pull] *)
+  mutable stopping : bool;
+  mutable served : int;
+  mutable rejected : int;
+  mutable conns : conn list;
+  hot : cached Owl_cache.Lru.t;
+  started_at : float;
+  wake_w : Unix.file_descr;
+}
+
+let locked m f = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* {1 Connection lifecycle} *)
+
+let release t conn =
+  let close_now =
+    locked t.lock (fun () ->
+        conn.refs <- conn.refs - 1;
+        if conn.eof && conn.refs = 0 && not conn.fd_closed then begin
+          conn.fd_closed <- true;
+          true
+        end
+        else false)
+  in
+  if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+(* [false] means the peer is unreachable; callers can only shrug — the
+   job itself must complete regardless, and teardown is the reader's job *)
+let send conn reply =
+  locked conn.wlock (fun () ->
+      match Proto.write_frame conn.fd (Proto.reply_to_frame reply) with
+      | () -> true
+      | exception (Unix.Unix_error _ | Proto.Framing_error _) -> false)
+
+let bump_served t = locked t.lock (fun () -> t.served <- t.served + 1)
+
+(* {1 The scheduler} *)
+
+(* under t.lock: a conn with pending jobs is either busy or in the ring *)
+let ring_if_ready t conn =
+  if (not conn.busy) && (not conn.in_ring) && not (Queue.is_empty conn.jobs_q)
+  then begin
+    conn.in_ring <- true;
+    Queue.push conn t.ring;
+    Condition.signal t.work_cv
+  end
+
+(* Some Busy/Err reply to send instead, or None if admitted *)
+let enqueue t job =
+  let conn = job.j_conn in
+  locked t.lock (fun () ->
+      if t.stopping then
+        Some (Proto.Err { code = "internal"; message = "server is shutting down" })
+      else if t.waiting >= t.cfg.queue_depth + t.idle then begin
+        t.rejected <- t.rejected + 1;
+        Obs.incr c_rejected;
+        Some (Proto.Busy { queue_depth = t.waiting })
+      end
+      else begin
+        conn.refs <- conn.refs + 1;
+        t.waiting <- t.waiting + 1;
+        Queue.push job conn.jobs_q;
+        ring_if_ready t conn;
+        None
+      end)
+
+let finish t conn =
+  locked t.lock (fun () ->
+      conn.busy <- false;
+      ring_if_ready t conn)
+
+(* {1 Job execution (worker domains)} *)
+
+let find_str key args =
+  match List.assoc_opt key args with Some (Obs.Str s) -> Some s | _ -> None
+
+let find_int key args =
+  match List.assoc_opt key args with Some (Obs.Int i) -> i | _ -> 0
+
+(* maps the engine's Obs events to wire progress.  [cur] tracks the
+   instruction named by the innermost cegis/verify span Begin: the End
+   events carry only results, and with [jobs = 1] those spans never nest
+   on one domain, so a single cell suffices. *)
+let progress_tap conn =
+  let cur = ref "" in
+  let emit p = ignore (send conn (Proto.Progress p)) in
+  fun ph name args ->
+    match (ph, name) with
+    | Obs.Begin, ("cegis.instr" | "verify.instr") -> (
+        match find_str "instr" args with
+        | Some i ->
+            cur := i;
+            emit (Proto.Instr_started { instr = i })
+        | None -> ())
+    | Obs.End, "cegis.instr" ->
+        emit
+          (Proto.Instr_done
+             {
+               instr = !cur;
+               status = Option.value ~default:"unknown" (find_str "status" args);
+               iterations = find_int "iterations" args;
+               queries = find_int "queries" args;
+             })
+    | Obs.End, "verify.instr" ->
+        emit
+          (Proto.Instr_done
+             {
+               instr = !cur;
+               status = Option.value ~default:"unknown" (find_str "verdict" args);
+               iterations = 0;
+               queries = 0;
+             })
+    | Obs.Instant, "resilience.retry" ->
+        emit
+          (Proto.Retry
+             {
+               attempt = find_int "attempt" args;
+               reason = Option.value ~default:"" (find_str "reason" args);
+             })
+    | Obs.Instant, "resilience.degrade" ->
+        emit (Proto.Degraded { attempt = find_int "attempt" args })
+    | _ -> ()
+
+let synth_result_of_outcome (o : Synth.Engine.outcome) =
+  let r outcome detail stats =
+    { Proto.outcome; detail; bindings = []; stats; hot = false }
+  in
+  match o with
+  | Synth.Engine.Solved s ->
+      {
+        (r "solved" "" s.Synth.Engine.stats) with
+        Proto.bindings =
+          List.map
+            (fun (h, e) -> (h, Oyster.Printer.expr_to_string e))
+            s.Synth.Engine.bindings;
+      }
+  | Synth.Engine.Timeout stats -> r "timeout" "budget or deadline exhausted" stats
+  | Synth.Engine.Unrealizable { instr; stats } ->
+      r "unrealizable" (Option.value ~default:"" instr) stats
+  | Synth.Engine.Union_failed { diagnostic; stats } ->
+      r "union_failed" diagnostic stats
+  | Synth.Engine.Not_independent { overlapping; stats; _ } ->
+      r "not_independent"
+        (String.concat ", "
+           (List.map (fun (a, b) -> a ^ "/" ^ b) overlapping))
+        stats
+
+let verdict_to_string = function
+  | Synth.Engine.Verified -> "verified"
+  | Synth.Engine.Violated _ -> "violated"
+  | Synth.Engine.Inconclusive -> "inconclusive"
+
+let compute t job =
+  match t.lookup job.j_kind job.j_design with
+  | None ->
+      Error
+        {
+          Proto.code = "unknown_design";
+          message =
+            Printf.sprintf "no registry entry (or reference design) named %S"
+              job.j_design;
+        }
+  | Some problem -> (
+      (* the wire options already have jobs = 1 (normalized at admission);
+         the disk cache is server policy, attached here *)
+      let options = Synth.Engine.with_cache t.cfg.cache job.j_options in
+      try
+        match job.j_kind with
+        | `Synth ->
+            let outcome =
+              Obs.with_tap (progress_tap job.j_conn) (fun () ->
+                  Synth.Engine.synthesize ~options problem)
+            in
+            Ok (C_synth (synth_result_of_outcome outcome))
+        | `Verify ->
+            let b = options.Synth.Engine.budget in
+            let rcv = options.Synth.Engine.recovery in
+            let verdicts =
+              Obs.with_tap (progress_tap job.j_conn) (fun () ->
+                  Synth.Engine.verify
+                    ?budget:
+                      (if b.Synth.Engine.Budget.conflict_budget = max_int then
+                         None
+                       else Some b.Synth.Engine.Budget.conflict_budget)
+                    ?deadline:b.Synth.Engine.Budget.deadline_seconds
+                    ~jobs:1
+                    ~incremental:options.Synth.Engine.incremental
+                    ~retries:rcv.Synth.Engine.Recovery.retries
+                    ~escalation_factor:rcv.Synth.Engine.Recovery.escalation_factor
+                    ~validate_models:rcv.Synth.Engine.Recovery.validate_models
+                    problem)
+            in
+            Ok
+              (C_verify
+                 {
+                   Proto.verdicts =
+                     List.map (fun (i, v) -> (i, verdict_to_string v)) verdicts;
+                   v_hot = false;
+                 })
+      with
+      | Synth.Engine.Engine_error m ->
+          Error { Proto.code = "internal"; message = m }
+      | e ->
+          Error { Proto.code = "internal"; message = Printexc.to_string e })
+
+let reply_of_cached ~hot = function
+  | C_synth r -> Proto.Synth_result { r with Proto.hot }
+  | C_verify r -> Proto.Verify_result { r with Proto.v_hot = hot }
+
+let run_job t job =
+  let conn = job.j_conn in
+  let t_start = Unix.gettimeofday () in
+  (* a duplicate may have been computed while this job sat in the queue *)
+  (match Owl_cache.Lru.find t.hot job.j_fp with
+  | Some hit ->
+      ignore (send conn (reply_of_cached ~hot:true hit));
+      bump_served t
+  | None -> (
+      match compute t job with
+      | Error e -> ignore (send conn (Proto.Err e))
+      | Ok cached ->
+          Owl_cache.Lru.add t.hot job.j_fp cached;
+          ignore (send conn (reply_of_cached ~hot:false cached));
+          bump_served t));
+  if Obs.metrics_enabled () then
+    Obs.observe h_job_latency
+      (int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6))
+
+let pull t () =
+  Mutex.lock t.lock;
+  let rec wait () =
+    match Queue.take_opt t.ring with
+    | Some conn ->
+        conn.in_ring <- false;
+        let job = Queue.pop conn.jobs_q in
+        conn.busy <- true;
+        t.waiting <- t.waiting - 1;
+        Mutex.unlock t.lock;
+        Some
+          (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                finish t conn;
+                release t conn)
+              (fun () -> run_job t job))
+    | None ->
+        if t.stopping then begin
+          Mutex.unlock t.lock;
+          None
+        end
+        else begin
+          t.idle <- t.idle + 1;
+          Condition.wait t.work_cv t.lock;
+          t.idle <- t.idle - 1;
+          wait ()
+        end
+  in
+  wait ()
+
+(* {1 Request handling (reader threads)} *)
+
+let cache_stats_now t =
+  let hot = Owl_cache.Lru.stats t.hot in
+  let served, rejected =
+    locked t.lock (fun () -> (t.served, t.rejected))
+  in
+  {
+    Proto.disk = Option.map Owl_cache.disk_stats t.cfg.cache;
+    store = Option.map Owl_cache.counters t.cfg.cache;
+    hot_tier =
+      Some
+        {
+          Proto.hot_hits = hot.Owl_cache.Lru.hits;
+          hot_misses = hot.Owl_cache.Lru.misses;
+          hot_evictions = hot.Owl_cache.Lru.evictions;
+          hot_size = hot.Owl_cache.Lru.size;
+          hot_capacity = Owl_cache.Lru.capacity t.hot;
+        };
+    served;
+    rejected;
+    uptime_seconds = Unix.gettimeofday () -. t.started_at;
+  }
+
+let initiate_stop t =
+  let fire =
+    locked t.lock (fun () ->
+        if t.stopping then false
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.work_cv;
+          true
+        end)
+  in
+  if fire then
+    try ignore (Unix.write t.wake_w (Bytes.make 1 'x') 0 1)
+    with Unix.Unix_error _ -> ()
+
+let fingerprint kind design options =
+  Owl_cache.fingerprint
+    (String.concat "\n" [ kind; design; Proto.options_to_json options ])
+
+let handle t conn (req : Proto.request) =
+  Obs.incr c_requests;
+  match req with
+  | Proto.Ping ->
+      ignore
+        (send conn
+           (Proto.Pong { server = t.cfg.server_name; protocol = Proto.version }));
+      bump_served t
+  | Proto.Cache_stats ->
+      ignore (send conn (Proto.Cache_stats_reply (cache_stats_now t)));
+      bump_served t
+  | Proto.Shutdown ->
+      ignore (send conn Proto.Shutdown_ack);
+      bump_served t;
+      initiate_stop t
+  | Proto.Synth { design; options } | Proto.Verify { design; options } -> (
+      let kind = match req with Proto.Synth _ -> `Synth | _ -> `Verify in
+      let kind_s = match kind with `Synth -> "synth" | `Verify -> "verify" in
+      (* one request, one domain: intra-request parallelism is traded for
+         cross-request throughput, and it keeps the progress tap honest *)
+      let options = Synth.Engine.with_jobs 1 options in
+      let fp = fingerprint kind_s design options in
+      match Owl_cache.Lru.find t.hot fp with
+      | Some hit ->
+          ignore (send conn (reply_of_cached ~hot:true hit));
+          bump_served t
+      | None -> (
+          let job =
+            {
+              j_kind = kind;
+              j_design = design;
+              j_fp = fp;
+              j_options = options;
+              j_conn = conn;
+            }
+          in
+          match enqueue t job with
+          | None -> ()
+          | Some reply -> ignore (send conn reply)))
+
+let reader t conn () =
+  let rec loop () =
+    match Proto.read_frame conn.fd with
+    | None -> ()
+    | Some payload ->
+        (match Proto.request_of_frame payload with
+        | Ok req -> handle t conn req
+        | Error e -> ignore (send conn (Proto.Err e)));
+        loop ()
+    | exception Proto.Framing_error _ -> ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  loop ();
+  locked t.lock (fun () -> conn.eof <- true);
+  release t conn
+
+(* {1 Listener} *)
+
+let resolve_inet host =
+  try Unix.inet_addr_of_string host
+  with Failure _ -> (
+    try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+    with Not_found ->
+      raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+
+let listen_on = function
+  | Proto.Unix_path path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try
+         Unix.bind fd (Unix.ADDR_UNIX path);
+         Unix.listen fd 64
+       with e -> Unix.close fd; raise e);
+      fd
+  | Proto.Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      (try
+         Unix.setsockopt fd Unix.SO_REUSEADDR true;
+         Unix.bind fd (Unix.ADDR_INET (resolve_inet host, port));
+         Unix.listen fd 64
+       with e -> Unix.close fd; raise e);
+      fd
+
+let run ?(ready = fun () -> ()) cfg ~lookup =
+  if cfg.jobs < 1 then invalid_arg "Server.run: jobs < 1";
+  if cfg.queue_depth < 0 then invalid_arg "Server.run: queue_depth < 0";
+  (* a peer that disappears mid-reply must surface as EPIPE, not kill us *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listen_fd = listen_on cfg.addr in
+  let wake_r, wake_w = Unix.pipe () in
+  let t =
+    {
+      cfg;
+      lookup;
+      lock = Mutex.create ();
+      work_cv = Condition.create ();
+      ring = Queue.create ();
+      waiting = 0;
+      idle = 0;
+      stopping = false;
+      served = 0;
+      rejected = 0;
+      conns = [];
+      hot = Owl_cache.Lru.create ~capacity:cfg.hot_tier_size;
+      started_at = Unix.gettimeofday ();
+      wake_w;
+    }
+  in
+  let pool = Synth.Pool.Service.start ~jobs:cfg.jobs ~pull:(pull t) in
+  ready ();
+  let threads = ref [] in
+  let rec accept_loop () =
+    match Unix.select [ listen_fd; wake_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | readable, _, _ ->
+        if List.mem wake_r readable then () (* shutdown *)
+        else begin
+          (if List.mem listen_fd readable then
+             match Unix.accept listen_fd with
+             | exception Unix.Unix_error _ -> ()
+             | fd, _ ->
+                 let conn =
+                   {
+                     fd;
+                     wlock = Mutex.create ();
+                     jobs_q = Queue.create ();
+                     busy = false;
+                     in_ring = false;
+                     eof = false;
+                     refs = 1;
+                     fd_closed = false;
+                   }
+                 in
+                 locked t.lock (fun () -> t.conns <- conn :: t.conns);
+                 threads := Thread.create (reader t conn) () :: !threads);
+          accept_loop ()
+        end
+  in
+  accept_loop ();
+  (* teardown order matters: stop accepting, drain the queue (workers
+     retire once the ring runs dry), then wake any reader still blocked
+     in read so it can release its reference and close its fd *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  (match cfg.addr with
+  | Proto.Unix_path path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Proto.Tcp _ -> ());
+  Synth.Pool.Service.join pool;
+  locked t.lock (fun () ->
+      List.iter
+        (fun conn ->
+          if not conn.fd_closed then
+            try Unix.shutdown conn.fd Unix.SHUTDOWN_RECEIVE
+            with Unix.Unix_error _ -> ())
+        t.conns);
+  List.iter Thread.join !threads;
+  (try Unix.close wake_r with Unix.Unix_error _ -> ());
+  try Unix.close t.wake_w with Unix.Unix_error _ -> ()

@@ -138,26 +138,6 @@ let with_check_independence check_independence o = { o with check_independence }
 let with_incremental incremental o = { o with incremental }
 let with_cache cache o = { o with cache }
 
-(* Deprecated compatibility shim over the builders; new code should pipe
-   [default_options] through [with_*]. *)
-let make_options ?(mode = Per_instruction) ?(jobs = 1)
-    ?(conflict_budget = max_int) ?(max_iterations = 256) ?deadline_seconds
-    ?(check_independence = false) ?(incremental = true)
-    ?(retries = default_options.recovery.Recovery.retries)
-    ?(escalation_factor = default_options.recovery.Recovery.escalation_factor)
-    ?(validate_models = default_options.recovery.Recovery.validate_models) () =
-  if jobs < 1 then invalid_arg "Engine.make_options: jobs < 1";
-  if max_iterations < 1 then
-    invalid_arg "Engine.make_options: max_iterations < 1";
-  default_options |> with_mode mode |> with_jobs jobs
-  |> with_conflict_budget conflict_budget
-  |> with_max_iterations max_iterations
-  |> with_deadline deadline_seconds
-  |> with_check_independence check_independence
-  |> with_incremental incremental |> with_retries retries
-  |> with_escalation_factor escalation_factor
-  |> with_validate_models validate_models
-
 let policy_of_options (o : options) =
   Resilience.make ~retries:o.recovery.Recovery.retries
     ~escalation_factor:o.recovery.Recovery.escalation_factor
@@ -374,7 +354,7 @@ let resilient run ~check ~fresh ~validate =
     in
     if use_fresh then begin
       run.stats.degraded_queries <- run.stats.degraded_queries + 1;
-      if Obs.enabled () then
+      if Obs.recording () then
         Obs.instant "resilience.degrade" ~args:[ ("attempt", Obs.Int attempt) ]
     end;
     let result =
@@ -396,7 +376,7 @@ let resilient run ~check ~fresh ~validate =
         if final then raise (Stop (Timeout run.stats))
         else begin
           run.stats.retried_queries <- run.stats.retried_queries + 1;
-          if Obs.enabled () then
+          if Obs.recording () then
             Obs.instant "resilience.retry"
               ~args:
                 [ ("attempt", Obs.Int attempt); ("reason", Obs.Str "unknown") ];
@@ -406,7 +386,7 @@ let resilient run ~check ~fresh ~validate =
       when p.Resilience.validate_models
            && not (model_satisfies m (validate ())) ->
         run.stats.validation_failures <- run.stats.validation_failures + 1;
-        if Obs.enabled () then
+        if Obs.recording () then
           Obs.instant "resilience.validation_failure"
             ~args:
               [ ("attempt", Obs.Int attempt); ("fresh", Obs.Bool use_fresh) ];
@@ -416,7 +396,7 @@ let resilient run ~check ~fresh ~validate =
              solver bug)"
         else begin
           run.stats.retried_queries <- run.stats.retried_queries + 1;
-          if Obs.enabled () then
+          if Obs.recording () then
             Obs.instant "resilience.retry"
               ~args:
                 [
@@ -616,7 +596,7 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
         consumed := !consumed + (Solver.stats_of result).Solver.sat_conflicts;
         match result with
         | Solver.Unknown _ when attempt < attempts ->
-            if Obs.enabled () then
+            if Obs.recording () then
               Obs.instant "resilience.retry"
                 ~args:
                   [
@@ -1075,7 +1055,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
                          | None -> 0
                        in
                        local_constraints := List.rev usable;
-                       if Obs.enabled () then
+                       if Obs.recording () then
                          Obs.instant "cache.warm_replay"
                            ~args:
                              [
@@ -1094,7 +1074,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
                        match result with
                        | Solver.Sat (m, _) -> refresh_table local m
                        | Solver.Unsat _ ->
-                           if Obs.enabled () then
+                           if Obs.recording () then
                              Obs.instant "cache.warm_discard"
                                ~args:[ ("instr", Obs.Str iname) ];
                            local_constraints := [];
@@ -1126,7 +1106,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
                  match verify_candidate () with
                  | None -> false
                  | Some model ->
-                     if Obs.enabled () then
+                     if Obs.recording () then
                        Obs.instant "cegis.counterexample"
                          ~args:
                            [
@@ -1289,7 +1269,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
            match List.filter_map verify vsessions with
            | [] -> false
            | models ->
-               if Obs.enabled () then
+               if Obs.recording () then
                  Obs.instant "cegis.counterexample"
                    ~args:
                      [

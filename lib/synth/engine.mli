@@ -27,8 +27,7 @@ type mode = Per_instruction | Monolithic
     ]}
 
     The setters centralize validation, so any value they produce is
-    well-formed.  The historical flat {!make_options} remains as a
-    compatibility shim. *)
+    well-formed. *)
 
 (** How work is scheduled across strategies and worker domains. *)
 module Schedule : sig
@@ -125,23 +124,6 @@ val with_validate_models : bool -> options -> options
 val with_check_independence : bool -> options -> options
 val with_incremental : bool -> options -> options
 val with_cache : Owl_cache.t option -> options -> options
-
-val make_options :
-  ?mode:mode ->
-  ?jobs:int ->
-  ?conflict_budget:int ->
-  ?max_iterations:int ->
-  ?deadline_seconds:float ->
-  ?check_independence:bool ->
-  ?incremental:bool ->
-  ?retries:int ->
-  ?escalation_factor:int ->
-  ?validate_models:bool ->
-  unit ->
-  options
-(** @deprecated Compatibility shim from the flat-record era; new code
-    should pipe {!default_options} through the [with_*] setters (which
-    also cover [cache]).  Defaults and validation match the setters. *)
 
 type stats = {
   mutable iterations : int;

@@ -53,7 +53,7 @@ let map_arena ~jobs ~make ?(retries = 0) ?retried f items =
         | exception e ->
             let will_retry = k < retries in
             Obs.incr c_task_crashes;
-            if Obs.enabled () then
+            if Obs.recording () then
               Obs.instant "pool.task.crash"
                 ~args:
                   [
@@ -110,6 +110,43 @@ let map_arena ~jobs ~make ?(retries = 0) ?retried f items =
          (function Done v -> v | Pending | Raised _ -> assert false)
          results)
   end
+
+(* {1 Persistent service pool}
+
+   [map_arena] is a batch construct: it owns its workers for one call.  A
+   long-lived daemon instead needs workers that outlive any one request
+   and pull from a queue whose discipline the caller controls (admission
+   control, per-client fairness).  [Service] is exactly that and nothing
+   more: [jobs] domains looping on a caller-supplied blocking [pull].
+   The queueing policy, and therefore all synchronization around it, stays
+   with the caller — the pool only guarantees that a task that raises
+   never kills its worker. *)
+
+module Service = struct
+  type t = { domains : unit Domain.t list }
+
+  let c_service_tasks = Obs.counter "pool.service.tasks"
+  let c_service_crashes = Obs.counter "pool.service.task_crashes"
+
+  let start ~jobs ~pull =
+    if jobs < 1 then invalid_arg "Pool.Service.start: jobs < 1";
+    let worker () =
+      let rec go () =
+        match pull () with
+        | None -> ()
+        | Some task ->
+            (try
+               Obs.span "pool.service.task" task;
+               Obs.incr c_service_tasks
+             with _ -> Obs.incr c_service_crashes);
+            go ()
+      in
+      go ()
+    in
+    { domains = List.init jobs (fun _ -> Domain.spawn worker) }
+
+  let join t = List.iter Domain.join t.domains
+end
 
 let map ~jobs f items =
   if jobs < 1 then invalid_arg "Pool.map: jobs < 1";

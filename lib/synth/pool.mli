@@ -48,3 +48,27 @@ val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — a sensible [-j] default. *)
+
+(** Long-lived worker domains for a request-serving daemon.
+
+    Unlike {!map_arena}, whose workers exist for one batch, a service pool
+    runs until the work source it was given runs dry.  The queueing policy
+    lives entirely with the caller: the daemon keeps its own bounded,
+    per-client-fair queue and hands the pool just a blocking [pull]. *)
+module Service : sig
+  type t
+
+  val start : jobs:int -> pull:(unit -> (unit -> unit) option) -> t
+  (** [start ~jobs ~pull] spawns [jobs] worker domains, each looping
+      [pull () |> task ()].  [pull] must be safe to call from multiple
+      domains concurrently, should block while no work is available, and
+      returns [None] to retire the calling worker (after a shutdown has
+      drained the queue, typically).  A task that raises is counted
+      ([pool.service.task_crashes]) and its exception dropped — one bad
+      request must not take a worker down with it.  Raises
+      [Invalid_argument] if [jobs < 1]. *)
+
+  val join : t -> unit
+  (** Waits for every worker to retire.  Call only after arranging for
+      [pull] to return [None] to each of them, or [join] blocks forever. *)
+end

@@ -1,0 +1,685 @@
+(* Tests for the owl serve stack: Proto framing and codecs, the
+   Owl_cache.Lru hot tier, and end-to-end daemons.
+
+   The protocol layers are tested bottom-up: framing over real pipe fds
+   (including a dribbling writer that forces partial reads), codecs by
+   roundtrip plus hostile payloads (garbage, ill-typed fields, version
+   skew), and finally whole servers — started in-process on /tmp Unix
+   sockets with a stub registry — exercising concurrent clients, the
+   hot tier, admission control, framing abuse over a live socket, and
+   shutdown drain. *)
+
+module Proto = Owl_serve.Proto
+module Server = Owl_serve.Server
+module Client = Owl_serve.Client
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+(* {1 Framing} *)
+
+let frames_error thunk =
+  match thunk () with
+  | _ -> false
+  | exception Proto.Framing_error _ -> true
+
+let test_frame_roundtrip () =
+  let r, w = Unix.pipe () in
+  let payloads = [ ""; "x"; "{\"v\":1}"; String.make 70_000 'a' ] in
+  let writer =
+    Thread.create (fun () -> List.iter (Proto.write_frame w) payloads) ()
+  in
+  List.iter
+    (fun expect ->
+      match Proto.read_frame r with
+      | Some got -> check "frame payload" true (got = expect)
+      | None -> Alcotest.fail "premature EOF")
+    payloads;
+  Thread.join writer;
+  Unix.close w;
+  check "clean EOF is None" true (Proto.read_frame r = None);
+  Unix.close r
+
+let test_frame_dribble () =
+  (* one byte at a time: both the length prefix and the payload arrive
+     in partial reads, which the framing layer must loop over *)
+  let r, w = Unix.pipe () in
+  let payload = "{\"v\":1,\"t\":\"ping\"}" in
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b 4 n;
+  let writer =
+    Thread.create
+      (fun () ->
+        Bytes.iter
+          (fun c ->
+            ignore (Unix.write w (Bytes.make 1 c) 0 1);
+            Thread.yield ())
+          b;
+        Unix.close w)
+      ()
+  in
+  check "dribbled frame reassembles" true (Proto.read_frame r = Some payload);
+  check "then EOF" true (Proto.read_frame r = None);
+  Thread.join writer;
+  Unix.close r
+
+let with_raw_bytes bytes f =
+  let r, w = Unix.pipe () in
+  let n = Bytes.length bytes in
+  let writer =
+    Thread.create
+      (fun () ->
+        let rec go off =
+          if off < n then go (off + Unix.write w bytes off (n - off))
+        in
+        go 0;
+        Unix.close w)
+      ()
+  in
+  let result = f r in
+  Thread.join writer;
+  Unix.close r;
+  result
+
+let test_frame_eof_in_prefix () =
+  check "EOF inside length prefix" true
+    (with_raw_bytes (Bytes.make 2 '\x00') (fun r ->
+         frames_error (fun () -> Proto.read_frame r)))
+
+let test_frame_truncated_payload () =
+  let b = Bytes.make (4 + 10) '\x2a' in
+  Bytes.set_int32_be b 0 100l;
+  check "EOF inside payload" true
+    (with_raw_bytes b (fun r -> frames_error (fun () -> Proto.read_frame r)))
+
+let test_frame_oversized_prefix () =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int (Proto.max_frame + 1));
+  check "oversized prefix rejected" true
+    (with_raw_bytes b (fun r -> frames_error (fun () -> Proto.read_frame r)));
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 0xFFFFFFFFl;
+  check "negative prefix rejected" true
+    (with_raw_bytes b (fun r -> frames_error (fun () -> Proto.read_frame r)))
+
+let test_frame_write_oversized () =
+  let r, w = Unix.pipe () in
+  check "oversized write refused" true
+    (frames_error (fun () ->
+         Proto.write_frame w (String.make (Proto.max_frame + 1) 'x')));
+  Unix.close r;
+  Unix.close w
+
+(* {1 Addresses} *)
+
+let test_addr_parse () =
+  check "unix: prefix" true
+    (Proto.addr_of_string "unix:/tmp/x.sock" = Ok (Proto.Unix_path "/tmp/x.sock"));
+  check "bare path" true
+    (Proto.addr_of_string "/tmp/x.sock" = Ok (Proto.Unix_path "/tmp/x.sock"));
+  check "tcp host:port" true
+    (Proto.addr_of_string "tcp:localhost:7777" = Ok (Proto.Tcp ("localhost", 7777)));
+  check "tcp splits at last colon" true
+    (Proto.addr_of_string "tcp:::1:7777" = Ok (Proto.Tcp ("::1", 7777)));
+  check "bad port is an error" true
+    (match Proto.addr_of_string "tcp:host:notaport" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "out-of-range port is an error" true
+    (match Proto.addr_of_string "tcp:host:70000" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "missing port is an error" true
+    (match Proto.addr_of_string "tcp:hostonly" with
+    | Error _ -> true
+    | Ok _ -> false);
+  check "empty is an error" true
+    (match Proto.addr_of_string "" with Error _ -> true | Ok _ -> false);
+  List.iter
+    (fun a ->
+      check "addr roundtrip" true
+        (Proto.addr_of_string (Proto.addr_to_string a) = Ok a))
+    [ Proto.Unix_path "/tmp/y.sock"; Proto.Tcp ("127.0.0.1", 81) ]
+
+(* {1 Codecs} *)
+
+let custom_options =
+  Synth.Engine.(
+    default_options |> with_mode Monolithic |> with_jobs 3
+    |> with_conflict_budget 12345 |> with_max_iterations 77
+    |> with_deadline (Some 1.5) |> with_retries 5 |> with_escalation_factor 2
+    |> with_validate_models true |> with_check_independence true
+    |> with_incremental false)
+
+let test_options_roundtrip () =
+  List.iter
+    (fun o ->
+      match
+        Proto.request_of_frame
+          (Proto.request_to_frame (Proto.Synth { design = "d"; options = o }))
+      with
+      | Ok (Proto.Synth { design = "d"; options = o' }) ->
+          check "options roundtrip" true (o = o')
+      | _ -> Alcotest.fail "options did not roundtrip")
+    [ Synth.Engine.default_options; custom_options ];
+  (* the unlimited budget is max_int natively and null on the wire; a
+     naive float roundtrip would corrupt it *)
+  check "unlimited budget survives" true
+    ((match
+        Proto.request_of_frame
+          (Proto.request_to_frame
+             (Proto.Synth
+                { design = "d"; options = Synth.Engine.default_options }))
+      with
+     | Ok (Proto.Synth { options; _ }) ->
+         options.Synth.Engine.budget.Synth.Engine.Budget.conflict_budget
+     | _ -> 0)
+    = max_int)
+
+let code_of = function
+  | Error e -> e.Proto.code
+  | Ok _ -> "ok"
+
+let test_request_decode_errors () =
+  check_str "garbage" "bad_request" (code_of (Proto.request_of_frame "hello"));
+  check_str "non-object" "version_skew" (code_of (Proto.request_of_frame "[1,2]"));
+  check_str "missing version" "version_skew"
+    (code_of (Proto.request_of_frame "{\"t\":\"ping\"}"));
+  check_str "version skew" "version_skew"
+    (code_of (Proto.request_of_frame "{\"v\":99,\"t\":\"ping\"}"));
+  check_str "unknown kind" "bad_request"
+    (code_of (Proto.request_of_frame "{\"v\":1,\"t\":\"dance\"}"));
+  check_str "ill-typed design" "bad_request"
+    (code_of
+       (Proto.request_of_frame "{\"v\":1,\"t\":\"synth\",\"design\":5}"));
+  check_str "missing options" "bad_request"
+    (code_of
+       (Proto.request_of_frame "{\"v\":1,\"t\":\"synth\",\"design\":\"d\"}"));
+  (* the wire carries builder-validated options: jobs = 0 must be
+     rejected exactly as the native setter rejects it *)
+  check_str "invalid options" "bad_request"
+    (code_of
+       (Proto.request_of_frame
+          "{\"v\":1,\"t\":\"synth\",\"design\":\"d\",\"options\":{\"mode\":\"monolithic\",\"jobs\":0,\"conflict_budget\":null,\"max_iterations\":1,\"retries\":0,\"escalation_factor\":1,\"validate_models\":false,\"check_independence\":false,\"incremental\":true}}"))
+
+let sample_stats =
+  {
+    Synth.Engine.iterations = 4;
+    queries = 15;
+    conflicts = 1;
+    blasted_vars = 100;
+    blasted_clauses = 2000;
+    trivial_unsats = 3;
+    retried_queries = 1;
+    degraded_queries = 0;
+    validation_failures = 0;
+    task_retries = 2;
+    wall_seconds = 0.25;
+  }
+
+let sample_cache_stats =
+  {
+    Proto.disk =
+      Some { Owl_cache.result_entries = 3; warm_entries = 5; total_bytes = 999 };
+    store = Some { Owl_cache.hits = 1; misses = 2; stale = 3; writes = 4 };
+    hot_tier =
+      Some
+        {
+          Proto.hot_hits = 10;
+          hot_misses = 20;
+          hot_evictions = 1;
+          hot_size = 7;
+          hot_capacity = 16;
+        };
+    served = 42;
+    rejected = 6;
+    uptime_seconds = 12.5;
+  }
+
+let test_reply_roundtrip () =
+  let replies =
+    [
+      Proto.Progress (Proto.Instr_started { instr = "add" });
+      Proto.Progress
+        (Proto.Instr_done
+           { instr = "add"; status = "solved"; iterations = 3; queries = 9 });
+      Proto.Progress (Proto.Retry { attempt = 1; reason = "unknown" });
+      Proto.Progress (Proto.Degraded { attempt = 2 });
+      Proto.Synth_result
+        {
+          Proto.outcome = "solved";
+          detail = "";
+          bindings = [ ("h0", "2'x1"); ("h1", "(if a \"b\" c)") ];
+          stats = sample_stats;
+          hot = true;
+        };
+      Proto.Verify_result
+        {
+          Proto.verdicts = [ ("add", "verified"); ("sub", "violated") ];
+          v_hot = false;
+        };
+      Proto.Cache_stats_reply sample_cache_stats;
+      Proto.Cache_stats_reply
+        {
+          Proto.disk = None;
+          store = None;
+          hot_tier = None;
+          served = 0;
+          rejected = 0;
+          uptime_seconds = 0.0;
+        };
+      Proto.Pong { server = "owl/1.0.0"; protocol = Proto.version };
+      Proto.Busy { queue_depth = 9 };
+      Proto.Err { Proto.code = "internal"; message = "boom \"quoted\"" };
+      Proto.Shutdown_ack;
+    ]
+  in
+  List.iter
+    (fun reply ->
+      match Proto.reply_of_frame (Proto.reply_to_frame reply) with
+      | Ok got -> check "reply roundtrip" true (got = reply)
+      | Error e -> Alcotest.fail ("reply failed to decode: " ^ e.Proto.message))
+    replies
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Proto.request_of_frame (Proto.request_to_frame req) with
+      | Ok got -> check "request roundtrip" true (got = req)
+      | Error e ->
+          Alcotest.fail ("request failed to decode: " ^ e.Proto.message))
+    [
+      Proto.Synth { design = "acc"; options = custom_options };
+      Proto.Verify { design = "acc"; options = Synth.Engine.default_options };
+      Proto.Cache_stats;
+      Proto.Ping;
+      Proto.Shutdown;
+    ]
+
+(* {1 The LRU hot tier} *)
+
+let test_lru_basics () =
+  let l = Owl_cache.Lru.create ~capacity:2 in
+  check "miss on empty" true (Owl_cache.Lru.find l "a" = None);
+  Owl_cache.Lru.add l "a" 1;
+  Owl_cache.Lru.add l "b" 2;
+  check "hit a" true (Owl_cache.Lru.find l "a" = Some 1);
+  (* a was just refreshed, so adding c evicts b, the cold entry *)
+  Owl_cache.Lru.add l "c" 3;
+  check "b evicted" true (Owl_cache.Lru.find l "b" = None);
+  check "a survived" true (Owl_cache.Lru.find l "a" = Some 1);
+  check "c present" true (Owl_cache.Lru.find l "c" = Some 3);
+  Owl_cache.Lru.add l "a" 10;
+  check "overwrite in place" true (Owl_cache.Lru.find l "a" = Some 10);
+  let s = Owl_cache.Lru.stats l in
+  check_int "size" 2 s.Owl_cache.Lru.size;
+  check_int "evictions" 1 s.Owl_cache.Lru.evictions;
+  check "hits and misses counted" true
+    (s.Owl_cache.Lru.hits > 0 && s.Owl_cache.Lru.misses > 0)
+
+let test_lru_zero_capacity () =
+  let l = Owl_cache.Lru.create ~capacity:0 in
+  Owl_cache.Lru.add l "a" 1;
+  check "capacity 0 never stores" true (Owl_cache.Lru.find l "a" = None);
+  check "negative capacity rejected" true
+    (match Owl_cache.Lru.create ~capacity:(-1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_lru_concurrent () =
+  (* hammer one tier from several domains; the postcondition is sanity
+     (no crash, size within capacity), the mutex does the rest *)
+  let l = Owl_cache.Lru.create ~capacity:8 in
+  let worker seed () =
+    for i = 0 to 999 do
+      let k = string_of_int ((i * seed) mod 32) in
+      (match Owl_cache.Lru.find l k with Some _ -> () | None -> ());
+      Owl_cache.Lru.add l k i
+    done
+  in
+  let ds = List.map (fun s -> Domain.spawn (worker s)) [ 3; 5; 7 ] in
+  worker 11 ();
+  List.iter Domain.join ds;
+  let s = Owl_cache.Lru.stats l in
+  check "size bounded by capacity" true (s.Owl_cache.Lru.size <= 8);
+  check_int "all lookups accounted" 4000
+    (s.Owl_cache.Lru.hits + s.Owl_cache.Lru.misses)
+
+(* {1 End-to-end servers}
+
+   Each test boots a real daemon (worker domains, reader threads) on a
+   fresh /tmp socket with a stub two-design registry: "acc" is the
+   accumulator case study, "slow" is the same problem behind a 0.5 s
+   construction delay — the deterministic way to keep a worker busy
+   while admission control and drain behavior are observed. *)
+
+let acc_problem = Designs.Accumulator.problem ()
+let alu_problem = Designs.Alu.problem ()
+
+let acc_verify_problem =
+  {
+    acc_problem with
+    Synth.Engine.design = Designs.Accumulator.reference_design ();
+  }
+
+let stub_lookup kind name =
+  let slow = String.length name >= 4 && String.sub name 0 4 = "slow" in
+  if slow then Unix.sleepf 0.5;
+  match (kind, name) with
+  | `Synth, _ when name = "acc" || slow -> Some acc_problem
+  | `Synth, "alu" -> Some alu_problem
+  | `Verify, "acc" -> Some acc_verify_problem
+  | _ -> None
+
+let sock_counter = ref 0
+
+let start_server ?(jobs = 2) ?(queue_depth = 8) ?(hot = 16) () =
+  incr sock_counter;
+  let path =
+    Printf.sprintf "/tmp/owl-serve-test-%d-%d.sock" (Unix.getpid ())
+      !sock_counter
+  in
+  let addr = Proto.Unix_path path in
+  let ready = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Server.run
+          ~ready:(fun () -> Atomic.set ready true)
+          {
+            Server.addr;
+            jobs;
+            queue_depth;
+            hot_tier_size = hot;
+            cache = None;
+            server_name = "test";
+          }
+          ~lookup:stub_lookup)
+      ()
+  in
+  let rec wait n =
+    if not (Atomic.get ready) then
+      if n > 500 then Alcotest.fail "server did not come up"
+      else begin
+        Thread.delay 0.01;
+        wait (n + 1)
+      end
+  in
+  wait 0;
+  (addr, th)
+
+let stop_server addr th =
+  let c = Client.connect addr in
+  Client.shutdown c;
+  Client.close c;
+  Thread.join th
+
+let test_ping_and_stats () =
+  let addr, th = start_server () in
+  let c = Client.connect addr in
+  let server, protocol = Client.ping c in
+  check_str "server name" "test" server;
+  check_int "protocol" Proto.version protocol;
+  let s = Client.cache_stats c in
+  check "no disk cache configured" true (s.Proto.disk = None);
+  check "hot tier reported" true
+    (match s.Proto.hot_tier with
+    | Some h -> h.Proto.hot_capacity = 16
+    | None -> false);
+  Client.close c;
+  stop_server addr th
+
+let test_synth_cold_then_hot () =
+  let addr, th = start_server () in
+  let c = Client.connect addr in
+  let events = ref 0 in
+  let started = ref 0 in
+  let on_progress = function
+    | Proto.Instr_started _ ->
+        incr started;
+        incr events
+    | _ -> incr events
+  in
+  (* the ALU takes the per-instruction path, whose cegis.instr spans
+     feed the progress stream; shared-hole designs synthesize jointly
+     and stream only retry/degrade notices *)
+  let r = Client.synth ~on_progress c ~design:"alu" Synth.Engine.default_options in
+  check_str "cold outcome" "solved" r.Proto.outcome;
+  check "cold is not hot" true (not r.Proto.hot);
+  check "cold run streamed progress" true (!started >= 1);
+  check "bindings returned" true (r.Proto.bindings <> []);
+  let cold_events = !events in
+  let r2 =
+    Client.synth ~on_progress c ~design:"alu" Synth.Engine.default_options
+  in
+  check_str "warm outcome" "solved" r2.Proto.outcome;
+  check "warm answer is hot" true r2.Proto.hot;
+  (* the hot tier answers without running the engine, so a warm repeat
+     streams no events — the protocol-level witness that it never
+     touched a solver *)
+  check_int "no progress on a hot hit" cold_events !events;
+  check "same bindings either way" true (r.Proto.bindings = r2.Proto.bindings);
+  let s = Client.cache_stats c in
+  check "hot tier counted the hit" true
+    (match s.Proto.hot_tier with
+    | Some h -> h.Proto.hot_hits >= 1
+    | None -> false);
+  Client.close c;
+  stop_server addr th
+
+let test_verify_end_to_end () =
+  let addr, th = start_server () in
+  let c = Client.connect addr in
+  let r = Client.verify c ~design:"acc" Synth.Engine.default_options in
+  check "all instructions verified" true
+    (r.Proto.verdicts <> []
+    && List.for_all (fun (_, v) -> v = "verified") r.Proto.verdicts);
+  let r2 = Client.verify c ~design:"acc" Synth.Engine.default_options in
+  check "verify repeat is hot" true r2.Proto.v_hot;
+  Client.close c;
+  stop_server addr th
+
+let test_unknown_design () =
+  let addr, th = start_server () in
+  let c = Client.connect addr in
+  check "unknown design is a typed error" true
+    (match Client.synth c ~design:"nope" Synth.Engine.default_options with
+    | _ -> false
+    | exception Client.Server_error e -> e.Proto.code = "unknown_design");
+  (* the error must not poison the connection *)
+  let _ = Client.ping c in
+  Client.close c;
+  stop_server addr th
+
+let test_concurrent_clients () =
+  let addr, th = start_server ~jobs:3 ~queue_depth:64 () in
+  let failures = Atomic.make 0 in
+  let hot_answers = Atomic.make 0 in
+  let client i () =
+    try
+      let c = Client.connect addr in
+      for k = 0 to 4 do
+        (* vary max_iterations to mix distinct (cold) and repeated
+           (warm) fingerprints across clients *)
+        let options =
+          Synth.Engine.(
+            default_options |> with_max_iterations (200 + ((i + k) mod 3)))
+        in
+        let r = Client.synth c ~design:"acc" options in
+        if r.Proto.outcome <> "solved" then Atomic.incr failures;
+        if r.Proto.hot then Atomic.incr hot_answers
+      done;
+      ignore (Client.ping c);
+      Client.close c
+    with _ -> Atomic.incr failures
+  in
+  let threads = List.init 6 (fun i -> Thread.create (client i) ()) in
+  List.iter Thread.join threads;
+  check_int "no failed or misframed exchanges" 0 (Atomic.get failures);
+  (* 30 requests over 3 distinct fingerprints: most answers are warm *)
+  check "hot tier served repeats" true (Atomic.get hot_answers > 0);
+  stop_server addr th
+
+let test_admission_control () =
+  let addr, th = start_server ~jobs:1 ~queue_depth:0 () in
+  let first = ref None in
+  let a =
+    Thread.create
+      (fun () ->
+        let c = Client.connect addr in
+        first := Some (Client.synth c ~design:"slow" Synth.Engine.default_options);
+        Client.close c)
+      ()
+  in
+  Thread.delay 0.15;
+  (* the single worker is busy constructing "slow"; with queue_depth 0
+     the second request must bounce, not wait *)
+  let c = Client.connect addr in
+  check "second request bounces" true
+    (match Client.synth c ~design:"acc" Synth.Engine.default_options with
+    | _ -> false
+    | exception Client.Server_busy _ -> true);
+  Client.close c;
+  Thread.join a;
+  check "first request completed" true
+    (match !first with Some r -> r.Proto.outcome = "solved" | None -> false);
+  stop_server addr th
+
+let test_raw_protocol_abuse () =
+  let addr, th = start_server () in
+  let raw () =
+    match addr with
+    | Proto.Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Proto.Tcp _ -> assert false
+  in
+  (* version skew: answered with the distinct code, connection kept *)
+  let fd = raw () in
+  Proto.write_frame fd "{\"v\":99,\"t\":\"ping\"}";
+  check "version skew reported" true
+    (match Proto.read_frame fd with
+    | Some payload -> (
+        match Proto.reply_of_frame payload with
+        | Ok (Proto.Err e) -> e.Proto.code = "version_skew"
+        | _ -> false)
+    | None -> false);
+  (* garbage JSON: bad_request, and the connection still answers pings *)
+  Proto.write_frame fd "this is not json";
+  check "garbage reported" true
+    (match Proto.read_frame fd with
+    | Some payload -> (
+        match Proto.reply_of_frame payload with
+        | Ok (Proto.Err e) -> e.Proto.code = "bad_request"
+        | _ -> false)
+    | None -> false);
+  Proto.write_frame fd (Proto.request_to_frame Proto.Ping);
+  check "connection survives decode errors" true
+    (match Proto.read_frame fd with
+    | Some payload -> (
+        match Proto.reply_of_frame payload with
+        | Ok (Proto.Pong _) -> true
+        | _ -> false)
+    | None -> false);
+  Unix.close fd;
+  (* framing abuse is unrecoverable: an oversized prefix must get the
+     connection dropped, not answered *)
+  let fd = raw () in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 0x7FFFFFFFl;
+  ignore (Unix.write fd b 0 4);
+  check "oversized prefix drops the connection" true
+    (match Proto.read_frame fd with
+    | None -> true
+    | Some _ -> false
+    | exception Proto.Framing_error _ -> true);
+  Unix.close fd;
+  (* a truncated frame (prefix promises more than ever arrives) *)
+  let fd = raw () in
+  let b = Bytes.make (4 + 5) 'x' in
+  Bytes.set_int32_be b 0 1000l;
+  ignore (Unix.write fd b 0 9);
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  check "truncated frame drops the connection" true
+    (match Proto.read_frame fd with
+    | None -> true
+    | Some _ -> false
+    | exception Proto.Framing_error _ -> true);
+  Unix.close fd;
+  stop_server addr th
+
+let test_shutdown_drains () =
+  let addr, th = start_server ~jobs:1 ~queue_depth:4 () in
+  let result = ref None in
+  let a =
+    Thread.create
+      (fun () ->
+        let c = Client.connect addr in
+        result := Some (Client.synth c ~design:"slow2" Synth.Engine.default_options);
+        Client.close c)
+      ()
+  in
+  Thread.delay 0.15;
+  let c = Client.connect addr in
+  Client.shutdown c;
+  Client.close c;
+  (* the in-flight job must still complete and deliver its reply *)
+  Thread.join a;
+  check "queued job survived shutdown" true
+    (match !result with Some r -> r.Proto.outcome = "solved" | None -> false);
+  Thread.join th;
+  (* after drain the socket is gone *)
+  check "socket unlinked after drain" true
+    (match Client.connect addr with
+    | exception Unix.Unix_error _ -> true
+    | c ->
+        Client.close c;
+        false)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_frame_roundtrip;
+          Alcotest.test_case "dribbled partial reads" `Quick test_frame_dribble;
+          Alcotest.test_case "EOF in prefix" `Quick test_frame_eof_in_prefix;
+          Alcotest.test_case "truncated payload" `Quick
+            test_frame_truncated_payload;
+          Alcotest.test_case "oversized prefix" `Quick
+            test_frame_oversized_prefix;
+          Alcotest.test_case "oversized write" `Quick test_frame_write_oversized;
+        ] );
+      ( "addr",
+        [ Alcotest.test_case "parsing and roundtrip" `Quick test_addr_parse ] );
+      ( "codec",
+        [
+          Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip;
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "hostile payloads" `Quick
+            test_request_decode_errors;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "basics" `Quick test_lru_basics;
+          Alcotest.test_case "zero capacity" `Quick test_lru_zero_capacity;
+          Alcotest.test_case "concurrent" `Quick test_lru_concurrent;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "ping and stats" `Quick test_ping_and_stats;
+          Alcotest.test_case "cold then hot" `Quick test_synth_cold_then_hot;
+          Alcotest.test_case "verify" `Quick test_verify_end_to_end;
+          Alcotest.test_case "unknown design" `Quick test_unknown_design;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "admission control" `Quick test_admission_control;
+          Alcotest.test_case "protocol abuse" `Quick test_raw_protocol_abuse;
+          Alcotest.test_case "shutdown drain" `Quick test_shutdown_drains;
+        ] );
+    ]

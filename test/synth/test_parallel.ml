@@ -63,9 +63,6 @@ let test_jobs_validation () =
   (match Synth.Engine.(default_options |> with_jobs 0) with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "with_jobs 0 must be rejected");
-  (match Synth.Engine.make_options ~jobs:0 () with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "make_options ~jobs:0 must be rejected");
   match
     Synth.Engine.synthesize
       ~options:

@@ -26,10 +26,7 @@ let test_policy_validation () =
   rejects (fun () -> Synth.Resilience.make ~retries:(-1) ());
   rejects (fun () -> Synth.Resilience.make ~escalation_factor:0 ());
   rejects (fun () -> Synth.Engine.(default_options |> with_retries (-1)));
-  rejects (fun () -> Synth.Engine.(default_options |> with_escalation_factor 0));
-  (* the deprecated shim delegates to the setters *)
-  rejects (fun () -> Synth.Engine.make_options ~retries:(-1) ());
-  rejects (fun () -> Synth.Engine.make_options ~escalation_factor:0 ())
+  rejects (fun () -> Synth.Engine.(default_options |> with_escalation_factor 0))
 
 let test_budget_ladder () =
   let p = Synth.Resilience.make ~retries:2 ~escalation_factor:4 () in
