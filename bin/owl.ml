@@ -141,8 +141,8 @@ let synth_cmd =
          & info [ "pyrtl" ] ~doc:"Print the generated control logic PyRTL-style (paper Fig. 7).")
   in
   let run name monolithic jobs deadline output pyrtl no_incremental retries
-      escalation_factor validate_models cache_dir no_cache fault_plan trace
-      metrics =
+      escalation_factor validate_models sat_config cache_dir no_cache
+      fault_plan trace metrics =
     Args.check_jobs jobs;
     Args.install_fault_plan fault_plan;
     Args.install_observability ~trace ~metrics;
@@ -166,6 +166,7 @@ let synth_cmd =
               |> with_retries retries
               |> with_escalation_factor escalation_factor
               |> with_validate_models validate_models
+              |> with_sat_config sat_config
               |> with_cache cache)
           with Invalid_argument m ->
             Printf.eprintf "owl: %s\n" m;
@@ -194,6 +195,14 @@ let synth_cmd =
             row "degraded queries" st.Synth.Engine.degraded_queries;
             row "validation failures" st.Synth.Engine.validation_failures;
             row "task retries" st.Synth.Engine.task_retries;
+            row "sat restarts" st.Synth.Engine.sat_restarts;
+            row "sat learnt kept" st.Synth.Engine.sat_learnt_kept;
+            row "sat learnt deleted" st.Synth.Engine.sat_learnt_deleted;
+            row "sat subsumed" st.Synth.Engine.sat_subsumed;
+            row "sat strengthened" st.Synth.Engine.sat_strengthened;
+            row "sat vivified lits" st.Synth.Engine.sat_vivified;
+            row "sat eliminated vars" st.Synth.Engine.sat_eliminated;
+            row "sat rephases" st.Synth.Engine.sat_rephases;
             Printf.printf "  %-22s %.2f\n" "wall seconds"
               st.Synth.Engine.wall_seconds;
             if pyrtl then begin
@@ -235,8 +244,8 @@ let synth_cmd =
     (Cmd.info "synth" ~doc:"Synthesize control logic for a case-study design")
     Term.(const run $ design_arg $ monolithic $ Args.jobs $ deadline $ output
           $ pyrtl $ Args.no_incremental $ Args.retries $ Args.escalation_factor
-          $ Args.validate_models $ Args.cache_dir $ Args.no_cache
-          $ Args.fault_plan $ Args.trace $ Args.metrics)
+          $ Args.validate_models $ Args.sat_config $ Args.cache_dir
+          $ Args.no_cache $ Args.fault_plan $ Args.trace $ Args.metrics)
 
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.oyster")
@@ -405,7 +414,7 @@ let verify_cmd =
          & info [ "deadline" ] ~docv:"SECONDS" ~doc:"Wall-clock bound per query.")
   in
   let run name deadline jobs no_incremental retries escalation_factor
-      validate_models fault_plan trace metrics =
+      validate_models sat_config fault_plan trace metrics =
     Args.check_jobs jobs;
     Args.install_fault_plan fault_plan;
     Args.install_observability ~trace ~metrics;
@@ -426,7 +435,8 @@ let verify_cmd =
               or_engine_error (fun () ->
                   Synth.Engine.verify ?deadline ~jobs
                     ~incremental:(not no_incremental) ~retries
-                    ~escalation_factor ~validate_models problem)
+                    ~escalation_factor ~validate_models ~sat:sat_config
+                    problem)
             in
             let bad = ref 0 in
             List.iter
@@ -451,7 +461,7 @@ let verify_cmd =
          "Formally verify the hand-written reference control against the ILA specification")
     Term.(const run $ design_arg $ deadline $ Args.jobs $ Args.no_incremental
           $ Args.retries $ Args.escalation_factor $ Args.validate_models
-          $ Args.fault_plan $ Args.trace $ Args.metrics)
+          $ Args.sat_config $ Args.fault_plan $ Args.trace $ Args.metrics)
 
 let verilog_cmd =
   let run file =
@@ -687,7 +697,7 @@ let client_cmd =
      deliberately absent (the server pins each request to one domain) and
      the cache is the server's policy *)
   let remote_options monolithic deadline no_incremental retries
-      escalation_factor validate_models =
+      escalation_factor validate_models sat_config =
     try
       Synth.Engine.(
         default_options
@@ -696,7 +706,8 @@ let client_cmd =
         |> with_incremental (not no_incremental)
         |> with_retries retries
         |> with_escalation_factor escalation_factor
-        |> with_validate_models validate_models)
+        |> with_validate_models validate_models
+        |> with_sat_config sat_config)
     with Invalid_argument m ->
       Printf.eprintf "owl: %s\n" m;
       exit 1
@@ -718,10 +729,10 @@ let client_cmd =
   in
   let synth_cmd =
     let run name addr monolithic deadline no_incremental retries
-        escalation_factor validate_models quiet =
+        escalation_factor validate_models sat_config quiet =
       let options =
         remote_options monolithic deadline no_incremental retries
-          escalation_factor validate_models
+          escalation_factor validate_models sat_config
       in
       with_client addr (fun c ->
           let r =
@@ -748,14 +759,14 @@ let client_cmd =
       (Cmd.info "synth" ~doc:"Synthesize a case study on the server")
       Term.(const run $ design_arg $ Args.addr $ monolithic $ deadline
             $ Args.no_incremental $ Args.retries $ Args.escalation_factor
-            $ Args.validate_models $ quiet)
+            $ Args.validate_models $ Args.sat_config $ quiet)
   in
   let verify_cmd =
     let run name addr deadline no_incremental retries escalation_factor
-        validate_models quiet =
+        validate_models sat_config quiet =
       let options =
         remote_options false deadline no_incremental retries escalation_factor
-          validate_models
+          validate_models sat_config
       in
       with_client addr (fun c ->
           let r =
@@ -779,7 +790,7 @@ let client_cmd =
          ~doc:"Verify a case study's reference control on the server")
       Term.(const run $ design_arg $ Args.addr $ deadline
             $ Args.no_incremental $ Args.retries $ Args.escalation_factor
-            $ Args.validate_models $ quiet)
+            $ Args.validate_models $ Args.sat_config $ quiet)
   in
   let stats_cmd =
     let json =

@@ -2,8 +2,12 @@
 
     Implements the standard modern architecture: two-watched-literal unit
     propagation, first-UIP conflict analysis with clause learning, VSIDS
-    decision heuristic with phase saving, Luby restarts, and activity-based
-    learned-clause deletion.
+    decision heuristic with phase saving, and Luby restarts — plus the
+    "between conflicts" machinery that modern solvers win with, each piece
+    individually gated by {!config}: LBD (glue)-tiered learned-clause
+    retention, best-phase rephasing, and inprocessing (subsumption with
+    self-subsuming resolution, clause vivification, bounded variable
+    elimination).
 
     Literals use the DIMACS convention: variable [v >= 1], positive literal
     [v], negative literal [-v].  Clauses may be added between [solve] calls
@@ -17,19 +21,59 @@ type t
 
 type result = Sat | Unsat | Unknown
 
-val create : unit -> t
+(** {1 Configuration} *)
+
+type config = {
+  lbd_retention : bool;
+      (** LBD-tiered [reduce_db] with glue-clause protection (instead of
+          the legacy pure-activity policy). *)
+  rephase : bool;
+      (** Overwrite saved phases with the best (deepest-trail) snapshot
+          every few restarts. *)
+  subsume : bool;  (** Inprocessing: subsumption + self-subsumption. *)
+  vivify : bool;  (** Inprocessing: clause vivification. *)
+  elim : bool;  (** Inprocessing: bounded variable elimination. *)
+  inprocess_interval : int;
+      (** Conflicts between inprocessing rounds (>= 1). *)
+}
+
+type profile = Default | Aggressive | Conservative
+(** Named presets.  [Conservative] disables every modern pass and matches
+    the legacy solver exactly; [Default] enables everything except
+    variable elimination; [Aggressive] adds elimination and inprocesses
+    more often. *)
+
+val default_config : config
+val aggressive_config : config
+val conservative_config : config
+val config_of_profile : profile -> config
+
+val profile_name : profile -> string
+val profile_of_string : string -> profile option
+
+val create : ?config:config -> unit -> t
+(** Raises [Invalid_argument] if [config.inprocess_interval < 1]. *)
 
 val new_var : t -> int
 (** Allocates a fresh variable and returns its (positive) index. *)
+
+val freeze : t -> int -> unit
+(** Exempts a variable from variable elimination.  Incremental sessions
+    freeze their activation-literal guards: retraction re-constrains a
+    guard at any time, and a frozen guard never triggers the (expensive)
+    restore path that re-constraining an eliminated variable would. *)
 
 val num_vars : t -> int
 val num_clauses : t -> int
 
 val num_learnt : t -> int
-(** Learned clauses currently in the database.  [num_clauses - num_learnt]
-    is the number of problem clauses, which only ever grows; incremental
-    sessions difference it across [solve] calls to report how many clauses
-    each check actually blasted. *)
+(** Learned clauses currently in the database. *)
+
+val encoded_clauses : t -> int
+(** Cumulative problem clauses added through {!add_clause}.  Unlike
+    [num_clauses - num_learnt] this never shrinks (inprocessing deletes
+    and rewrites live clauses), so incremental sessions difference it
+    across [solve] calls to report how many clauses each check blasted. *)
 
 val conflicts : t -> int
 (** Total conflicts encountered across all [solve] calls. *)
@@ -48,10 +92,35 @@ val restarts : t -> int
 val reductions : t -> int
 (** Learned-clause database reductions, cumulative across [solve] calls. *)
 
+val learnt_kept : t -> int
+(** Learned clauses surviving reduce rounds, cumulative (each reduce adds
+    the post-reduction database size). *)
+
+val learnt_deleted : t -> int
+(** Learned clauses deleted by reduce rounds, cumulative. *)
+
+val subsumed : t -> int
+(** Clauses deleted by inprocessing subsumption, cumulative. *)
+
+val strengthened : t -> int
+(** Clauses shrunk by self-subsuming resolution, cumulative. *)
+
+val vivified : t -> int
+(** Literals removed by clause vivification, cumulative. *)
+
+val eliminated_vars : t -> int
+(** Variables eliminated (and not since restored), net. *)
+
+val rephases : t -> int
+(** Best-phase rephasing events, cumulative. *)
+
 val add_clause : t -> int list -> unit
 (** Adds a clause.  The empty clause (or a clause whose literals are all
     falsified at level 0) makes the instance unsatisfiable.  Raises
-    [Invalid_argument] on literals naming unallocated variables. *)
+    [Invalid_argument] on literals naming unallocated variables.  Adding a
+    clause that mentions an eliminated variable first restores the
+    eliminated clauses (sound, but slow — {!freeze} variables that will be
+    re-constrained). *)
 
 val export_learnt : t -> int list list
 (** Snapshot of the learned-clause database, in DIMACS literals.  Every
@@ -77,4 +146,5 @@ val solve : ?assumptions:int list -> ?budget:int -> ?deadline:float -> t -> resu
 
 val value : t -> int -> bool
 (** Model value of a variable after [solve] returned [Sat].  Variables the
-    search never assigned default to [false]. *)
+    search never assigned default to [false]; eliminated variables read
+    their witness-reconstructed values. *)

@@ -47,6 +47,16 @@ type stats = {
           increment over the previous check — summing over a query sequence
           gives total blasted clauses. *)
   sat_conflicts : int;  (** conflicts during this check's search *)
+  sat_restarts : int;  (** restarts during this check's search *)
+  sat_learnt_kept : int;
+      (** learned clauses surviving reduce-DB rounds this check (each
+          round contributes its post-reduction database size) *)
+  sat_learnt_deleted : int;  (** learned clauses deleted this check *)
+  sat_subsumed : int;  (** clauses deleted by inprocessing subsumption *)
+  sat_strengthened : int;  (** clauses shrunk by self-subsuming resolution *)
+  sat_vivified : int;  (** literals removed by clause vivification *)
+  sat_eliminated : int;  (** variables removed by bounded elimination *)
+  sat_rephases : int;  (** best-phase rephasing events *)
   trivially_unsat : bool;
       (** the conjunction simplified to constant false before any search:
           no SAT work happened, so zero conflicts really means zero cost —
@@ -66,11 +76,13 @@ val stats_of : outcome -> stats
 val outcome_name : outcome -> string
 (** ["sat"], ["unsat"], or ["unknown"] — for logs and trace arguments. *)
 
-val check : ?budget:int -> ?deadline:float -> Term.t list -> outcome
+val check :
+  ?config:Sat.config -> ?budget:int -> ?deadline:float -> Term.t list -> outcome
 (** Checks satisfiability of the conjunction of the given width-1 terms.
-    [deadline] is an absolute wall-clock bound ([Unix.gettimeofday]).
-    Raises [Invalid_argument] if any term is not width 1.  Re-entrant; see
-    the module preamble. *)
+    [config] selects the SAT core's pass configuration (see {!Sat.config};
+    defaults to {!Sat.default_config}).  [deadline] is an absolute
+    wall-clock bound ([Unix.gettimeofday]).  Raises [Invalid_argument] if
+    any term is not width 1.  Re-entrant; see the module preamble. *)
 
 val ackermannize : Term.t list -> Term.t list * (Term.mem * Term.t * Term.t) list
 (** One-shot Ackermann expansion (exposed for tests): rewritten assertions
@@ -87,7 +99,11 @@ module Session : sig
   type guard
   (** Handle to a retractable assertion (an activation literal). *)
 
-  val create : unit -> t
+  val create : ?config:Sat.config -> unit -> t
+  (** [config] selects the SAT core's pass configuration; defaults to
+      {!Sat.default_config}.  Sessions freeze their activation-literal
+      guards, so every configuration — including variable elimination —
+      is sound under retraction. *)
 
   val assert_always : t -> Term.t -> unit
   (** Permanently asserts a width-1 term.  Asserting a constant-false term
@@ -126,9 +142,19 @@ module Session : sig
 
   type stats = {
     vars : int;  (** SAT variables allocated since [create] *)
-    clauses : int;  (** problem clauses (learned clauses excluded) *)
+    clauses : int;
+        (** problem clauses encoded since [create] (cumulative — live
+            counts can shrink when inprocessing deletes clauses) *)
     conflicts : int;  (** total conflicts across all checks *)
     learnt : int;  (** learned clauses currently in the database *)
+    restarts : int;  (** total restarts across all checks *)
+    learnt_kept : int;  (** learned clauses surviving reduce rounds *)
+    learnt_deleted : int;  (** learned clauses deleted by reduce rounds *)
+    subsumed : int;  (** clauses deleted by inprocessing subsumption *)
+    strengthened : int;  (** clauses shrunk by self-subsuming resolution *)
+    vivified : int;  (** literals removed by clause vivification *)
+    eliminated_vars : int;  (** variables removed by bounded elimination *)
+    rephases : int;  (** best-phase rephasing events *)
     cached_terms : int;  (** size of the term → literals blasting cache *)
     trivially_unsat : bool;  (** the session is poisoned by constant false *)
   }
@@ -161,7 +187,9 @@ end
 module Arena : sig
   type t
 
-  val create : unit -> t
+  val create : ?config:Sat.config -> unit -> t
+  (** [config] is remembered and applied to every session the arena hands
+      out (including {!shared}). *)
 
   val session : t -> Session.t
   (** A fresh session owned by this arena. *)

@@ -462,10 +462,37 @@ and ite c a b =
         if a.width = 1 && is_true a && is_false b then c
         else if a.width = 1 && is_false a && is_true b then bnot c
         else
-          (* collapse nested ite on the same condition *)
-          let a = match a.node with Ite (c', x, _) when c' == c -> x | _ -> a in
-          let b = match b.node with Ite (c', _, y) when c' == c -> y | _ -> b in
-          if a == b then a else intern a.width (Ite (c, a, b))
+          (* collapse nested ite on the same condition, or its negation
+             (hash-consing makes the negation check a pointer test) *)
+          let negates c' = match c'.node with Not d -> d == c | _ -> false in
+          let a =
+            match a.node with
+            | Ite (c', x, y) ->
+                if c' == c then x else if negates c' then y else a
+            | _ -> a
+          in
+          let b =
+            match b.node with
+            | Ite (c', x, y) ->
+                if c' == c then y else if negates c' then x else b
+            | _ -> b
+          in
+          if a == b then a
+          else
+            (* guard merging: an arm that is itself an ite sharing the
+               other arm folds into a single ite under a conjoined or
+               disjoined guard — one mux (and one blasted select chain)
+               instead of two:
+                 ite c (ite c2 x b) b = ite (c & c2) x b
+                 ite c (ite c2 b y) b = ite (c & ~c2) y b
+                 ite c a (ite c2 a y) = ite (c | c2) a y
+                 ite c a (ite c2 x a) = ite (c | ~c2) a x *)
+            match (a.node, b.node) with
+            | Ite (c2, x, y), _ when y == b -> ite (band c c2) x b
+            | Ite (c2, x, y), _ when x == b -> ite (band c (bnot c2)) y b
+            | _, Ite (c2, x, y) when x == a -> ite (bor c c2) a y
+            | _, Ite (c2, x, y) when y == a -> ite (bor c (bnot c2)) a x
+            | _ -> intern a.width (Ite (c, a, b))
 
 and extract ~high ~low a =
   if low < 0 || high < low || high >= a.width then

@@ -74,6 +74,11 @@ type options = {
   cache : Owl_cache.t option;
       (* cross-run synthesis cache: consult before each per-instruction
          CEGIS loop, populate after *)
+  sat : Sat.config;
+      (* SAT core pass configuration (LBD retention, rephasing,
+         inprocessing) applied to every solver this run creates; excluded
+         from problem fingerprints because it never changes which models
+         exist, only how fast one is found *)
 }
 
 let default_options =
@@ -94,6 +99,7 @@ let default_options =
     check_independence = false;
     incremental = true;
     cache = None;
+    sat = Sat.default_config;
   }
 
 let with_mode mode o = { o with schedule = { o.schedule with Schedule.mode } }
@@ -138,6 +144,13 @@ let with_check_independence check_independence o = { o with check_independence }
 let with_incremental incremental o = { o with incremental }
 let with_cache cache o = { o with cache }
 
+let with_sat_config sat o =
+  if sat.Sat.inprocess_interval < 1 then
+    invalid_arg "Engine.with_sat_config: inprocess_interval < 1";
+  { o with sat }
+
+let with_sat_profile profile o = { o with sat = Sat.config_of_profile profile }
+
 let policy_of_options (o : options) =
   Resilience.make ~retries:o.recovery.Recovery.retries
     ~escalation_factor:o.recovery.Recovery.escalation_factor
@@ -154,6 +167,14 @@ type stats = {
   mutable degraded_queries : int;
   mutable validation_failures : int;
   mutable task_retries : int;
+  mutable sat_restarts : int;
+  mutable sat_learnt_kept : int;
+  mutable sat_learnt_deleted : int;
+  mutable sat_subsumed : int;
+  mutable sat_strengthened : int;
+  mutable sat_vivified : int;
+  mutable sat_eliminated : int;
+  mutable sat_rephases : int;
   mutable wall_seconds : float;
 }
 
@@ -232,6 +253,14 @@ let fresh_stats () =
     degraded_queries = 0;
     validation_failures = 0;
     task_retries = 0;
+    sat_restarts = 0;
+    sat_learnt_kept = 0;
+    sat_learnt_deleted = 0;
+    sat_subsumed = 0;
+    sat_strengthened = 0;
+    sat_vivified = 0;
+    sat_eliminated = 0;
+    sat_rephases = 0;
     wall_seconds = 0.0;
   }
 
@@ -246,7 +275,15 @@ let merge_stats into from =
   into.degraded_queries <- into.degraded_queries + from.degraded_queries;
   into.validation_failures <-
     into.validation_failures + from.validation_failures;
-  into.task_retries <- into.task_retries + from.task_retries
+  into.task_retries <- into.task_retries + from.task_retries;
+  into.sat_restarts <- into.sat_restarts + from.sat_restarts;
+  into.sat_learnt_kept <- into.sat_learnt_kept + from.sat_learnt_kept;
+  into.sat_learnt_deleted <- into.sat_learnt_deleted + from.sat_learnt_deleted;
+  into.sat_subsumed <- into.sat_subsumed + from.sat_subsumed;
+  into.sat_strengthened <- into.sat_strengthened + from.sat_strengthened;
+  into.sat_vivified <- into.sat_vivified + from.sat_vivified;
+  into.sat_eliminated <- into.sat_eliminated + from.sat_eliminated;
+  into.sat_rephases <- into.sat_rephases + from.sat_rephases
 
 (* Rebuild an outcome around the scheduler's merged stats (worker Stop
    payloads carry only that worker's tally). *)
@@ -276,6 +313,18 @@ let account run (st : Solver.stats) =
   run.stats.blasted_vars <- run.stats.blasted_vars + st.Solver.sat_vars;
   run.stats.blasted_clauses <-
     run.stats.blasted_clauses + st.Solver.sat_clauses;
+  run.stats.sat_restarts <- run.stats.sat_restarts + st.Solver.sat_restarts;
+  run.stats.sat_learnt_kept <-
+    run.stats.sat_learnt_kept + st.Solver.sat_learnt_kept;
+  run.stats.sat_learnt_deleted <-
+    run.stats.sat_learnt_deleted + st.Solver.sat_learnt_deleted;
+  run.stats.sat_subsumed <- run.stats.sat_subsumed + st.Solver.sat_subsumed;
+  run.stats.sat_strengthened <-
+    run.stats.sat_strengthened + st.Solver.sat_strengthened;
+  run.stats.sat_vivified <- run.stats.sat_vivified + st.Solver.sat_vivified;
+  run.stats.sat_eliminated <-
+    run.stats.sat_eliminated + st.Solver.sat_eliminated;
+  run.stats.sat_rephases <- run.stats.sat_rephases + st.Solver.sat_rephases;
   if st.Solver.trivially_unsat then
     run.stats.trivial_unsats <- run.stats.trivial_unsats + 1;
   ignore (Atomic.fetch_and_add run.consumed st.Solver.sat_conflicts)
@@ -410,7 +459,9 @@ let resilient run ~check ~fresh ~validate =
   go 1
 
 let solver_query run assertions =
-  let q ~budget ?deadline () = Solver.check ~budget ?deadline assertions in
+  let q ~budget ?deadline () =
+    Solver.check ~config:run.opts.sat ~budget ?deadline assertions
+  in
   resilient run ~check:q ~fresh:q ~validate:(fun () -> assertions)
 
 (* The incremental counterpart: the query runs inside a persistent session
@@ -425,7 +476,7 @@ let session_query ?assumptions ~shadow run sess assertions =
     ~check:(fun ~budget ?deadline () ->
       Solver.Session.check_with ?assumptions ~budget ?deadline sess [])
     ~fresh:(fun ~budget ?deadline () ->
-      Solver.check ~budget ?deadline (shadow ()))
+      Solver.check ~config:run.opts.sat ~budget ?deadline (shadow ()))
     ~validate:shadow
 
 let is_hole_var run name =
@@ -545,7 +596,8 @@ type verdict = Verified | Violated of Solver.model | Inconclusive
 let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
     ?(retries = default_options.recovery.Recovery.retries)
     ?(escalation_factor = default_options.recovery.Recovery.escalation_factor)
-    ?(validate_models = default_options.recovery.Recovery.validate_models) (problem : problem) :
+    ?(validate_models = default_options.recovery.Recovery.validate_models)
+    ?(sat = default_options.sat) (problem : problem) :
     (string * verdict) list =
   if Oyster.Ast.holes problem.design <> [] then
     fail "Engine.verify: design still has holes (synthesize first)";
@@ -590,7 +642,8 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
               ]
             ~result:(fun r -> [ ("result", Obs.Str (Solver.outcome_name r)) ])
             (fun () ->
-              if use_fresh then Solver.check ~budget:b ?deadline:dl (shadow ())
+              if use_fresh then
+                Solver.check ~config:sat ~budget:b ?deadline:dl (shadow ())
               else check ~budget:b ?deadline:dl ())
         in
         consumed := !consumed + (Solver.stats_of result).Solver.sat_conflicts;
@@ -626,7 +679,9 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
      an injected fault are retried on a fresh arena like the synthesis
      pool's. *)
   try
-    Pool.map_arena ~jobs ~make:Solver.Arena.create ~retries
+    Pool.map_arena ~jobs
+      ~make:(fun () -> Solver.Arena.create ~config:sat ())
+      ~retries
       (fun arena (c : Ila.Conditions.conditions) ->
       Obs.span "verify.instr"
         ~args:[ ("instr", Obs.Str c.Ila.Conditions.instr_name) ]
@@ -668,7 +723,7 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
         else
           resilient_check
             ~check:(fun ~budget ?deadline () ->
-              Solver.check ~budget ?deadline [ refined ])
+              Solver.check ~config:sat ~budget ?deadline [ refined ])
             ~shadow:(fun () -> [ refined ])
       in
       let verdict =
@@ -682,7 +737,7 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
                deterministic even under parallel incremental schedules;
                violations are found quickly in practice, so the extra
                query is cheap. *)
-            match Solver.check ~budget ?deadline [ violation ] with
+            match Solver.check ~config:sat ~budget ?deadline [ violation ] with
             | Solver.Sat (m', _) -> Violated m'
             | Solver.Unsat _ | Solver.Unknown _ -> Violated m)
       in
@@ -1164,7 +1219,8 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
        let task_retried = Atomic.make 0 in
        let results =
          try
-           Pool.map_arena ~jobs:options.schedule.Schedule.jobs ~make:Solver.Arena.create
+           Pool.map_arena ~jobs:options.schedule.Schedule.jobs
+             ~make:(fun () -> Solver.Arena.create ~config:options.sat ())
              ~retries:options.recovery.Recovery.retries ~retried:task_retried task formulas
          with Fault.Injected_crash i ->
            fail
@@ -1199,7 +1255,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
        in
        (* one verify session per target plus one synth session, all on the
           calling domain (this path is serial) *)
-       let arena = Solver.Arena.create () in
+       let arena = Solver.Arena.create ~config:options.sat () in
        let vsessions =
          List.map
            (fun v ->

@@ -95,12 +95,18 @@ type options = {
           warm-start state on partial hits; solved and timed-out loops
           populate the store.  Joint and monolithic strategies do not
           cache.  [None] (the default) disables caching. *)
+  sat : Sat.config;
+      (** SAT core pass configuration (see {!Sat.config}): LBD-tiered
+          clause retention, best-phase rephasing, and inprocessing, applied
+          to every solver the run creates.  Excluded from problem
+          fingerprints — it changes how fast a model is found, never which
+          models exist. *)
 }
 
 val default_options : options
 (** [Per_instruction], one job, unlimited conflicts, 256 rounds, no
     deadline, incremental sessions on, 2 retries with factor-4 escalation,
-    model validation off, no cache. *)
+    model validation off, no cache, {!Sat.default_config}. *)
 
 (** {2 Setters}
 
@@ -124,6 +130,12 @@ val with_validate_models : bool -> options -> options
 val with_check_independence : bool -> options -> options
 val with_incremental : bool -> options -> options
 val with_cache : Owl_cache.t option -> options -> options
+
+val with_sat_config : Sat.config -> options -> options
+(** Rejects [inprocess_interval < 1] with [Invalid_argument]. *)
+
+val with_sat_profile : Sat.profile -> options -> options
+(** Shorthand for [with_sat_config (Sat.config_of_profile p)]. *)
 
 type stats = {
   mutable iterations : int;
@@ -150,6 +162,20 @@ type stats = {
           terms (with [validate_models]) *)
   mutable task_retries : int;
       (** crashed pool tasks re-executed on a fresh worker arena *)
+  mutable sat_restarts : int;  (** solver restarts, summed over queries *)
+  mutable sat_learnt_kept : int;
+      (** learned clauses surviving reduce-DB rounds (each round counts
+          its post-reduction database size) *)
+  mutable sat_learnt_deleted : int;
+      (** learned clauses deleted by reduce-DB rounds *)
+  mutable sat_subsumed : int;
+      (** clauses deleted by inprocessing subsumption *)
+  mutable sat_strengthened : int;
+      (** clauses shrunk by self-subsuming resolution *)
+  mutable sat_vivified : int;  (** literals removed by clause vivification *)
+  mutable sat_eliminated : int;
+      (** variables removed by bounded variable elimination *)
+  mutable sat_rephases : int;  (** best-phase rephasing events *)
   mutable wall_seconds : float;
 }
 
@@ -246,9 +272,12 @@ val verify :
   ?retries:int ->
   ?escalation_factor:int ->
   ?validate_models:bool ->
+  ?sat:Sat.config ->
   problem ->
   (string * verdict) list
-(** Raises {!Engine_error} if the design still has holes.  [jobs]
+(** Raises {!Engine_error} if the design still has holes.  [sat] (default
+    {!Sat.default_config}) selects the SAT core's pass configuration for
+    every solver the verification creates.  [jobs]
     (default 1) fans the per-instruction refinement checks out across
     worker domains; the verdict list keeps instruction order either way.
     With [incremental] (the default) each worker reuses one solver session

@@ -152,7 +152,7 @@ let custom_options =
     |> with_conflict_budget 12345 |> with_max_iterations 77
     |> with_deadline (Some 1.5) |> with_retries 5 |> with_escalation_factor 2
     |> with_validate_models true |> with_check_independence true
-    |> with_incremental false)
+    |> with_incremental false |> with_sat_profile Sat.Aggressive)
 
 let test_options_roundtrip () =
   List.iter
@@ -178,6 +178,43 @@ let test_options_roundtrip () =
          options.Synth.Engine.budget.Synth.Engine.Budget.conflict_budget
      | _ -> 0)
     = max_int)
+
+(* Version-skew tolerance for the sat options block: a protocol-1 peer
+   that predates the field omits it entirely, and the request must still
+   decode (with the default profile) rather than be rejected — the
+   protocol version did not change when the block was added. *)
+let test_options_sat_skew () =
+  let old_frame =
+    "{\"v\":1,\"t\":\"synth\",\"design\":\"d\",\"options\":{\"mode\":\"per_instruction\",\"jobs\":1,\"conflict_budget\":null,\"max_iterations\":1,\"retries\":0,\"escalation_factor\":1,\"validate_models\":false,\"check_independence\":false,\"incremental\":true}}"
+  in
+  (match Proto.request_of_frame old_frame with
+  | Ok (Proto.Synth { options; _ }) ->
+      check "absent sat block decodes to default" true
+        (options.Synth.Engine.sat
+        = Synth.Engine.default_options.Synth.Engine.sat)
+  | _ -> Alcotest.fail "old-peer frame without sat block rejected");
+  (* a conservative profile's unlimited interval is max_int natively and
+     null on the wire, like the conflict budget *)
+  let conservative =
+    Synth.Engine.(default_options |> with_sat_profile Sat.Conservative)
+  in
+  (match
+     Proto.request_of_frame
+       (Proto.request_to_frame
+          (Proto.Synth { design = "d"; options = conservative }))
+   with
+  | Ok (Proto.Synth { options; _ }) ->
+      check "unlimited inprocess_interval survives" true
+        (options.Synth.Engine.sat.Sat.inprocess_interval = max_int)
+  | _ -> Alcotest.fail "conservative profile did not roundtrip");
+  (* malformed sat blocks are rejected through the builder, like jobs=0 *)
+  let bad =
+    "{\"v\":1,\"t\":\"synth\",\"design\":\"d\",\"options\":{\"mode\":\"per_instruction\",\"jobs\":1,\"conflict_budget\":null,\"max_iterations\":1,\"retries\":0,\"escalation_factor\":1,\"validate_models\":false,\"check_independence\":false,\"incremental\":true,\"sat\":{\"lbd_retention\":true,\"rephase\":true,\"subsume\":true,\"vivify\":true,\"elim\":false,\"inprocess_interval\":0}}}"
+  in
+  check "inprocess_interval 0 rejected" true
+    (match Proto.request_of_frame bad with
+    | Error e -> e.Proto.code = "bad_request"
+    | Ok _ -> false)
 
 let code_of = function
   | Error e -> e.Proto.code
@@ -217,6 +254,14 @@ let sample_stats =
     degraded_queries = 0;
     validation_failures = 0;
     task_retries = 2;
+    sat_restarts = 7;
+    sat_learnt_kept = 120;
+    sat_learnt_deleted = 55;
+    sat_subsumed = 9;
+    sat_strengthened = 4;
+    sat_vivified = 11;
+    sat_eliminated = 2;
+    sat_rephases = 1;
     wall_seconds = 0.25;
   }
 
@@ -659,6 +704,7 @@ let () =
       ( "codec",
         [
           Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip;
+          Alcotest.test_case "sat options skew" `Quick test_options_sat_skew;
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
           Alcotest.test_case "hostile payloads" `Quick

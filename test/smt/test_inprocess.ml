@@ -1,0 +1,327 @@
+(* Tests for the SAT core's modern passes: LBD-tiered retention,
+   best-phase rephasing, and inprocessing (subsumption, self-subsuming
+   resolution, vivification, bounded variable elimination).
+
+   Every pass is an optimization, never a semantic change, so the
+   properties are all equivalences: each single-pass configuration — and
+   the aggressive everything-on configuration — must agree with the
+   brute-force oracle on small CNFs, agree with the legacy conservative
+   solver on larger ones, and [Solver.Session]s built over any
+   configuration must agree with fresh checks under activation-literal
+   retraction and fault injection.  Inprocessing intervals are forced to
+   1 so the passes actually run whenever the search restarts. *)
+
+(* {1 Configurations under test} *)
+
+let conservative = Sat.conservative_config
+
+(* each pass alone on top of the legacy solver, inprocessing every
+   restart; the [all] row is the aggressive profile at interval 1 *)
+let pass_configs =
+  let base = { Sat.conservative_config with Sat.inprocess_interval = 1 } in
+  [ ("lbd", { base with Sat.lbd_retention = true });
+    ("rephase", { base with Sat.rephase = true });
+    ("subsume", { base with Sat.subsume = true });
+    ("vivify", { base with Sat.vivify = true });
+    ("elim", { base with Sat.elim = true });
+    ("all", { Sat.aggressive_config with Sat.inprocess_interval = 1 }) ]
+
+let aggressive1 = List.assoc "all" pass_configs
+
+(* {1 Brute-force oracle (as in test_sat.ml)} *)
+
+let brute_force nvars clauses =
+  let sat = ref false in
+  let n = 1 lsl nvars in
+  let assignment = Array.make (nvars + 1) false in
+  let i = ref 0 in
+  while (not !sat) && !i < n do
+    for v = 1 to nvars do
+      assignment.(v) <- (!i lsr (v - 1)) land 1 = 1
+    done;
+    let ok =
+      List.for_all
+        (fun c -> List.exists (fun l -> assignment.(abs l) = (l > 0)) c)
+        clauses
+    in
+    if ok then sat := true;
+    incr i
+  done;
+  !sat
+
+let model_satisfies s clauses =
+  List.for_all
+    (fun c -> List.exists (fun l -> Sat.value s (abs l) = (l > 0)) c)
+    clauses
+
+let mk_solver ?config nvars clauses =
+  let s = Sat.create ?config () in
+  for _ = 1 to nvars do
+    ignore (Sat.new_var s)
+  done;
+  List.iter (Sat.add_clause s) clauses;
+  s
+
+(* {1 Random CNFs} *)
+
+let gen_cnf =
+  QCheck.Gen.(
+    2 -- 12 >>= fun nvars ->
+    0 -- 60 >>= fun nclauses ->
+    let gen_lit =
+      pair (1 -- nvars) bool >>= fun (v, s) -> return (if s then v else -v)
+    in
+    let gen_clause = list_size (1 -- 4) gen_lit in
+    list_size (return nclauses) gen_clause >>= fun clauses ->
+    return (nvars, clauses))
+
+let print_cnf (n, cs) =
+  Printf.sprintf "nvars=%d %s" n
+    (String.concat " "
+       (List.map
+          (fun c -> "(" ^ String.concat "," (List.map string_of_int c) ^ ")")
+          cs))
+
+let arb_cnf = QCheck.make gen_cnf ~print:print_cnf
+
+(* larger 3-SAT instances near the phase transition: enough conflicts to
+   restart (and therefore inprocess), too many variables for the
+   brute-force oracle — the legacy conservative solver is the reference *)
+let gen_cnf3 =
+  QCheck.Gen.(
+    15 -- 40 >>= fun nvars ->
+    let nclauses = nvars * 4 in
+    let gen_lit =
+      pair (1 -- nvars) bool >>= fun (v, s) -> return (if s then v else -v)
+    in
+    let gen_clause = list_size (return 3) gen_lit in
+    list_size (return nclauses) gen_clause >>= fun clauses ->
+    return (nvars, clauses))
+
+let arb_cnf3 = QCheck.make gen_cnf3 ~print:print_cnf
+
+(* each pass agrees with the brute-force oracle, and Sat models satisfy
+   every clause (elimination must reconstruct eliminated variables) *)
+let prop_pass_matches_oracle (tag, config) =
+  QCheck.Test.make ~count:400
+    ~name:(Printf.sprintf "pass %s agrees with brute force" tag) arb_cnf
+    (fun (nvars, clauses) ->
+      let s = mk_solver ~config nvars clauses in
+      match Sat.solve s with
+      | Sat.Sat -> brute_force nvars clauses && model_satisfies s clauses
+      | Sat.Unsat -> not (brute_force nvars clauses)
+      | Sat.Unknown -> false)
+
+(* on restart-heavy instances every pass agrees with the legacy solver *)
+let prop_pass_matches_conservative (tag, config) =
+  QCheck.Test.make ~count:60
+    ~name:(Printf.sprintf "pass %s agrees with conservative" tag) arb_cnf3
+    (fun (nvars, clauses) ->
+      let reference = mk_solver ~config:conservative nvars clauses in
+      let s = mk_solver ~config nvars clauses in
+      match (Sat.solve s, Sat.solve reference) with
+      | Sat.Sat, Sat.Sat -> model_satisfies s clauses
+      | Sat.Unsat, Sat.Unsat -> true
+      | _ -> false)
+
+(* assumptions after an unconstrained solve: a solve may eliminate
+   variables, and a later solve naming them in assumptions must restore
+   them (and still agree with the oracle); then clause addition over
+   possibly-eliminated variables, same deal *)
+let prop_assumptions_after_elim =
+  QCheck.Test.make ~count:300 ~name:"assumptions after elimination"
+    (QCheck.pair arb_cnf
+       (QCheck.make QCheck.Gen.(list_size (1 -- 3) (pair (1 -- 4) bool))))
+    (fun ((nvars, clauses), assum_raw) ->
+      let assum =
+        List.sort_uniq Stdlib.compare
+          (List.map (fun (v, s) -> if s then v else -v) assum_raw)
+      in
+      let contradictory = List.exists (fun l -> List.mem (-l) assum) assum in
+      QCheck.assume (not contradictory);
+      let nvars = max nvars 4 in
+      let s = mk_solver ~config:aggressive1 nvars clauses in
+      ignore (Sat.solve s);
+      let expected =
+        brute_force nvars (List.map (fun l -> [ l ]) assum @ clauses)
+      in
+      let first_ok =
+        match Sat.solve ~assumptions:assum s with
+        | Sat.Sat -> expected && model_satisfies s clauses
+        | Sat.Unsat -> not expected
+        | Sat.Unknown -> false
+      in
+      (* adding the assumptions as unit clauses afterwards re-constrains
+         any variable elimination touched *)
+      List.iter (fun l -> Sat.add_clause s [ l ]) assum;
+      let second_ok =
+        match Sat.solve s with
+        | Sat.Sat -> expected && model_satisfies s clauses
+        | Sat.Unsat -> not expected
+        | Sat.Unknown -> false
+      in
+      first_ok && second_ok)
+
+(* {1 Structured instances: the passes demonstrably fire} *)
+
+let pigeonhole ?config p h =
+  let s = Sat.create ?config () in
+  let v = Array.make_matrix p h 0 in
+  for i = 0 to p - 1 do
+    for j = 0 to h - 1 do
+      v.(i).(j) <- Sat.new_var s
+    done
+  done;
+  for i = 0 to p - 1 do
+    Sat.add_clause s (Array.to_list v.(i))
+  done;
+  for j = 0 to h - 1 do
+    for i1 = 0 to p - 1 do
+      for i2 = i1 + 1 to p - 1 do
+        Sat.add_clause s [ -v.(i1).(j); -v.(i2).(j) ]
+      done
+    done
+  done;
+  s
+
+let test_pigeonhole_all_passes () =
+  List.iter
+    (fun (tag, config) ->
+      let s = pigeonhole ~config 6 5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "php 6 5 unsat under %s" tag)
+        true
+        (Sat.solve s = Sat.Unsat))
+    pass_configs
+
+let test_passes_engage () =
+  (* php 7 6 restarts many times; with interval 1 the inprocessing
+     passes must actually report work — a regression that silently turns
+     a pass off would otherwise keep every equivalence test green *)
+  let s = pigeonhole ~config:aggressive1 7 6 in
+  Alcotest.(check bool) "php 7 6 unsat" true (Sat.solve s = Sat.Unsat);
+  Alcotest.(check bool) "restarts happened" true (Sat.restarts s > 0);
+  Alcotest.(check bool)
+    "inprocessing reported work" true
+    (Sat.subsumed s + Sat.strengthened s + Sat.vivified s
+       + Sat.eliminated_vars s
+     > 0)
+
+let test_rephase_engages () =
+  let config =
+    { conservative with Sat.rephase = true; inprocess_interval = 1 }
+  in
+  let s = pigeonhole ~config 8 7 in
+  Alcotest.(check bool) "php 8 7 unsat" true (Sat.solve s = Sat.Unsat);
+  Alcotest.(check bool) "rephasing fired" true (Sat.rephases s > 0)
+
+let test_interval_validation () =
+  Alcotest.check_raises "interval 0 rejected"
+    (Invalid_argument "Sat.create: inprocess_interval < 1")
+    (fun () ->
+      ignore
+        (Sat.create ~config:{ conservative with Sat.inprocess_interval = 0 } ()))
+
+(* {1 Sessions: retraction and fault injection across configurations} *)
+
+let model_env (m : Solver.model) name width =
+  match m.Solver.var_value name with
+  | Some v -> v
+  | None -> Bitvec.zero width
+
+let satisfies gs m =
+  let env name =
+    let w = List.assoc name Gen_terms.all_vars in
+    model_env m name w
+  in
+  List.for_all (fun g -> Bitvec.is_ones (g.Gen_terms.reval env)) gs
+
+let agree a b =
+  match (a, b) with
+  | Solver.Sat _, Solver.Sat _ | Solver.Unsat _, Solver.Unsat _ -> true
+  | _ -> false
+
+(* a session under the aggressive interval-1 configuration must track a
+   conservative session through asserts, guarded asserts, retraction,
+   and checks — and every Sat model must satisfy what binds *)
+let prop_session_profiles_agree =
+  QCheck.Test.make ~count:100 ~name:"sessions agree across configurations"
+    (QCheck.triple Gen_terms.arb_bool_term Gen_terms.arb_bool_term
+       Gen_terms.arb_bool_term)
+    (fun (g1, g2, g3) ->
+      let t1 = g1.Gen_terms.term
+      and t2 = g2.Gen_terms.term
+      and t3 = g3.Gen_terms.term in
+      let run config =
+        let s = Solver.Session.create ~config () in
+        Solver.Session.assert_always s t1;
+        let g = Solver.Session.assert_retractable s t2 in
+        let r1 = Solver.Session.check_with ~assumptions:[ g ] s [] in
+        Solver.Session.retract s g;
+        let r2 = Solver.Session.check_with s [ t3 ] in
+        (* assuming the retracted guard must be contradictory *)
+        let dead =
+          match Solver.Session.check_with ~assumptions:[ g ] s [] with
+          | Solver.Unsat _ -> true
+          | _ -> false
+        in
+        (r1, r2, dead)
+      in
+      let c1, c2, cdead = run conservative in
+      let a1, a2, adead = run aggressive1 in
+      agree c1 a1 && agree c2 a2 && cdead && adead
+      && (match a1 with
+         | Solver.Sat (m, _) -> satisfies [ g1; g2 ] m
+         | _ -> true)
+      &&
+      match a2 with
+      | Solver.Sat (m, _) -> satisfies [ g1; g3 ] m
+      | _ -> true)
+
+(* fault injection: spurious Unknowns and corrupted model copies must
+   leave an inprocessing session exactly as recoverable as a legacy one *)
+let test_faults_across_profiles () =
+  List.iter
+    (fun (tag, config) ->
+      Fault.install (Fault.parse "unknown@1,corrupt@2,seed=7");
+      Fun.protect ~finally:Fault.clear (fun () ->
+          let s = Solver.Session.create ~config () in
+          let x = Term.var "gv8_0" 8 in
+          let pinned = Term.eq x (Term.of_int ~width:8 42) in
+          (match Solver.Session.check_with s [ pinned ] with
+          | Solver.Unknown _ -> ()
+          | _ -> Alcotest.failf "%s: planned Unknown missing" tag);
+          (* check 2 returns a corrupted model copy; check 3 is honest
+             and must see the pinned value — the corruption never reaches
+             solver state, inprocessing or not *)
+          ignore (Solver.Session.check_with s []);
+          match Solver.Session.check_with s [] with
+          | Solver.Sat (m, _) -> (
+              match m.Solver.var_value "gv8_0" with
+              | Some v ->
+                  Alcotest.(check int)
+                    (Printf.sprintf "%s: honest after faults" tag)
+                    42 (Bitvec.to_int_exn v)
+              | None -> Alcotest.failf "%s: model missing gv8_0" tag)
+          | _ -> Alcotest.failf "%s: expected Sat after faults" tag))
+    [ ("conservative", conservative); ("aggressive", aggressive1) ]
+
+let () =
+  Alcotest.run "inprocess"
+    [ ("oracle",
+       List.map QCheck_alcotest.to_alcotest
+         (List.map prop_pass_matches_oracle pass_configs
+         @ List.map prop_pass_matches_conservative pass_configs
+         @ [ prop_assumptions_after_elim ]));
+      ("structured",
+       [ Alcotest.test_case "pigeonhole all passes" `Quick
+           test_pigeonhole_all_passes;
+         Alcotest.test_case "passes engage" `Quick test_passes_engage;
+         Alcotest.test_case "rephase engages" `Quick test_rephase_engages;
+         Alcotest.test_case "interval validation" `Quick
+           test_interval_validation ]);
+      ("sessions",
+       Alcotest.test_case "faults across profiles" `Quick
+         test_faults_across_profiles
+       :: List.map QCheck_alcotest.to_alcotest [ prop_session_profiles_agree ])
+    ]
