@@ -14,6 +14,7 @@
      dune exec bench/main.exe -- parallel  -- serial vs parallel CEGIS scheduler
      dune exec bench/main.exe -- incremental -- solver sessions vs fresh solver
      dune exec bench/main.exe -- serve     -- owl serve daemon under load
+     dune exec bench/main.exe -- chaos     -- serve under injected fault plans
      dune exec bench/main.exe -- smoke     -- seconds-scale CI check, no report
 
    Regular invocations also write BENCH_<date>.json (section wall-clocks
@@ -736,6 +737,177 @@ let serve_bench () =
           ("wall_seconds", Printf.sprintf "%.6f" wall) ])
     [ 1; 4; 8 ]
 
+(* {1 Chaos: the daemon under injected fault plans}
+
+   The serve workload re-run under deterministic fault plans (DESIGN.md
+   §13): worker kills, connection drops, frame delays, and forced
+   admission sheds, injected by global index through the [Fault] hooks
+   the daemon consults.  Four retrying clients push 1000 mixed requests
+   through each plan.
+
+   What must hold, per plan: the run drains (completing at all is the
+   no-hang witness — every client bounds its attempts), zero requests
+   fail after the client's bounded retries, every solved synthesis
+   reply carries bindings bit-identical to the fault-free baseline
+   (faults may cost recomputation, never a wrong answer), and the
+   daemon recovers to full capacity — a fresh cold request solves, the
+   pool reports every worker alive, and nothing is left queued.  The
+   per-plan failure counters (workers lost, sheds, cancellations,
+   degraded time) land in the JSON report alongside the Owl_obs
+   counters. *)
+
+let chaos () =
+  print_endline "";
+  print_endline "Chaos: serve daemon under injected fault plans (1000 mixed";
+  print_endline "requests per plan, 4 retrying clients; every plan must drain";
+  print_endline "with zero unrecovered errors, bit-identical bindings, and a";
+  print_endline "fully recovered worker pool).";
+  print_endline "";
+  let synth_problem = Designs.Accumulator.problem () in
+  let verify_problem =
+    { synth_problem with
+      Synth.Engine.design = Designs.Accumulator.reference_design () }
+  in
+  let lookup kind _name =
+    match kind with
+    | `Synth -> Some synth_problem
+    | `Verify -> Some verify_problem
+  in
+  let total = 1000 and distinct = 16 and clients = 4 and jobs = 4 in
+  (* first solved synthesis of the fault-free plan; every later solved
+     reply, in every plan, must match it bit for bit *)
+  let baseline_bindings = ref None in
+  Printf.printf "%-12s %8s %7s %7s %5s %5s %7s %8s %8s\n" "Plan" "requests"
+    "errors" "retries" "lost" "shed" "cancel" "degr(s)" "wall(s)";
+  print_endline (String.make 76 '-');
+  let run_plan (tag, plan, expect_lost) =
+    if plan <> "" then Fault.install (Fault.parse plan);
+    Fun.protect ~finally:Fault.clear @@ fun () ->
+    let sock =
+      Printf.sprintf "/tmp/owl-bench-chaos-%d-%s.sock" (Unix.getpid ()) tag
+    in
+    let addr = Owl_serve.Proto.Unix_path sock in
+    let ready = Atomic.make false in
+    let server =
+      Thread.create
+        (fun () ->
+          Owl_serve.Server.run
+            ~ready:(fun () -> Atomic.set ready true)
+            {
+              Owl_serve.Server.addr;
+              jobs;
+              queue_depth = total;
+              hot_tier_size = 64;
+              cache = None;
+              server_name = "owl-chaos";
+            }
+            ~lookup)
+        ()
+    in
+    while not (Atomic.get ready) do
+      Thread.delay 0.002
+    done;
+    let per = total / clients in
+    let n = per * clients in
+    let errors = Atomic.make 0 in
+    let retried = Atomic.make 0 in
+    let divergent = Atomic.make 0 in
+    let t0 = Unix.gettimeofday () in
+    let run_client ci =
+      for k = 0 to per - 1 do
+        let seq = (ci * per) + k in
+        let options =
+          Synth.Engine.(
+            default_options |> with_max_iterations (300 + (seq mod distinct)))
+        in
+        match
+          Owl_serve.Client.with_retry ~retries:6 ~backoff_ms:5 ~seed:seq
+            ~on_retry:(fun ~attempt:_ ~delay:_ _ -> Atomic.incr retried)
+            addr
+            (fun c ->
+              if seq mod 5 = 4 then
+                ignore (Owl_serve.Client.verify c ~design:"acc" options)
+              else
+                let r = Owl_serve.Client.synth c ~design:"acc" options in
+                if r.Owl_serve.Proto.outcome <> "solved" then
+                  Atomic.incr errors
+                else
+                  match !baseline_bindings with
+                  | None ->
+                      baseline_bindings := Some r.Owl_serve.Proto.bindings
+                  | Some b ->
+                      if r.Owl_serve.Proto.bindings <> b then
+                        Atomic.incr divergent)
+        with
+        | () -> ()
+        | exception _ -> Atomic.incr errors
+      done
+    in
+    let threads = List.init clients (fun ci -> Thread.create run_client ci) in
+    List.iter Thread.join threads;
+    let wall = Unix.gettimeofday () -. t0 in
+    let fired = Fault.fired () in
+    (* recovery: a fresh cold fingerprint must still solve on a worker,
+       and the pool must report full strength *)
+    let admin = Owl_serve.Client.connect addr in
+    let post =
+      Owl_serve.Client.synth admin ~design:"acc"
+        Synth.Engine.(default_options |> with_max_iterations 997)
+    in
+    let _, _, h = Owl_serve.Client.ping admin in
+    Owl_serve.Client.shutdown admin;
+    Owl_serve.Client.close admin;
+    Thread.join server;
+    Printf.printf "%-12s %8d %7d %7d %5d %5d %7d %8.2f %8.2f\n%!" tag n
+      (Atomic.get errors) (Atomic.get retried) h.Owl_serve.Proto.workers_lost
+      h.Owl_serve.Proto.shed h.Owl_serve.Proto.cancelled
+      h.Owl_serve.Proto.degraded_seconds wall;
+    let failed =
+      Atomic.get errors > 0
+      || Atomic.get divergent > 0
+      || post.Owl_serve.Proto.outcome <> "solved"
+      || h.Owl_serve.Proto.workers_alive <> jobs
+      || h.Owl_serve.Proto.degraded
+      || h.Owl_serve.Proto.queue_waiting <> 0
+      || (expect_lost && h.Owl_serve.Proto.workers_lost = 0)
+    in
+    if failed then begin
+      Printf.eprintf
+        "chaos: REGRESSION under plan %S (%d errors, %d divergent bindings, \
+         recovery %s, %d/%d workers alive, %d lost, degraded %b, %d queued)\n"
+        plan (Atomic.get errors) (Atomic.get divergent)
+        post.Owl_serve.Proto.outcome h.Owl_serve.Proto.workers_alive jobs
+        h.Owl_serve.Proto.workers_lost h.Owl_serve.Proto.degraded
+        h.Owl_serve.Proto.queue_waiting;
+      exit 1
+    end;
+    Report.record
+      [ ("section", Report.str "chaos"); ("label", Report.str tag);
+        ("plan", Report.str plan); ("requests", string_of_int n);
+        ("faults_fired", string_of_int fired);
+        ("client_errors", string_of_int (Atomic.get errors));
+        ("client_retries", string_of_int (Atomic.get retried));
+        ("divergent_bindings", string_of_int (Atomic.get divergent));
+        ("workers_lost", string_of_int h.Owl_serve.Proto.workers_lost);
+        ("shed", string_of_int h.Owl_serve.Proto.shed);
+        ("cancelled", string_of_int h.Owl_serve.Proto.cancelled);
+        ("timeouts", string_of_int h.Owl_serve.Proto.timeouts);
+        ("degraded_seconds",
+         Printf.sprintf "%.3f" h.Owl_serve.Proto.degraded_seconds);
+        ("wall_seconds", Printf.sprintf "%.6f" wall) ]
+  in
+  List.iter run_plan
+    [ ("none", "", false);
+      ("worker_kill", "worker_kill@2,worker_kill@7,worker_kill@13", true);
+      ("conn_drop", "conn_drop@3,conn_drop@11,conn_drop@19", false);
+      ("frame_delay", "frame_delay@5,frame_delay@12", false);
+      ("shed", "shed@1,shed@6,shed@14", false);
+      ("mixed", "worker_kill@4,conn_drop@6,frame_delay@9,shed@2", true) ];
+  print_endline "";
+  print_endline
+    "chaos: every plan drained with zero unrecovered errors and \
+     bit-identical bindings"
+
 (* {1 Smoke test (dune @bench-smoke alias)}
 
    A seconds-scale end-to-end exercise of the bench harness with sessions
@@ -1232,7 +1404,8 @@ let () =
     [ ("table1", table1); ("table2", table2); ("table3", table3);
       ("ablation", ablation); ("parallel", parallel);
       ("incremental", incremental); ("cache", cache_bench);
-      ("serve", serve_bench); ("sat", sat_bench); ("micro", micro) ]
+      ("serve", serve_bench); ("chaos", chaos); ("sat", sat_bench);
+      ("micro", micro) ]
   in
   let run_sections names =
     (* histogram/counter collection across every section; the summaries
@@ -1249,12 +1422,12 @@ let () =
   | [] | [ "all" ] ->
       run_sections
         [ "table1"; "table2"; "table3"; "ablation"; "parallel";
-          "incremental"; "cache"; "serve"; "sat" ]
+          "incremental"; "cache"; "serve"; "chaos"; "sat" ]
   | [ "smoke" ] -> smoke ()
   | [ name ] when List.mem_assoc name sections_tbl -> run_sections [ name ]
   | _ ->
       prerr_endline
         "usage: main.exe \
          [all|table1|table2|table3|ablation|parallel|incremental|cache|serve|\
-         sat|micro|smoke] [--deadline=SECONDS]";
+         chaos|sat|micro|smoke] [--deadline=SECONDS]";
       exit 1

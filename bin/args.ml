@@ -314,6 +314,57 @@ let hot_tier_size =
   in
   Arg.(value & opt int 256 & info [ "hot-tier-size" ] ~docv:"N" ~doc)
 
+(* Client-side retry: [--connect-retries]/[--backoff-ms] with
+   OWL_CLIENT_RETRIES/OWL_BACKOFF_MS as the flagless equivalents (the
+   flag wins).  Distinct from [--retries], which tunes the engine's
+   solver-recovery ladder on the server. *)
+
+let connect_retries =
+  let doc =
+    "Extra client attempts when the daemon answers busy, reports a lost \
+     worker, or the connection fails transiently; each retry reconnects \
+     after jittered exponential backoff.  Also read from the \
+     OWL_CLIENT_RETRIES environment variable; the flag wins."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "connect-retries" ] ~docv:"K" ~doc)
+
+let backoff_ms =
+  let doc =
+    "Base client retry backoff in milliseconds; it doubles per attempt \
+     and is jittered into the rung's upper half.  Also read from the \
+     OWL_BACKOFF_MS environment variable; the flag wins."
+  in
+  Arg.(value & opt (some int) None & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+
+let resolve_client_retry ~connect_retries ~backoff_ms =
+  let env name =
+    match Sys.getenv_opt name with
+    | None -> None
+    | Some s -> (
+        match int_of_string_opt (String.trim s) with
+        | Some n -> Some n
+        | None ->
+            Printf.eprintf "owl: %s: %S is not an integer\n" name s;
+            exit 1)
+  in
+  let pick flag name default =
+    match flag with
+    | Some n -> n
+    | None -> ( match env name with Some n -> n | None -> default)
+  in
+  let retries = pick connect_retries "OWL_CLIENT_RETRIES" 0 in
+  let backoff = pick backoff_ms "OWL_BACKOFF_MS" 100 in
+  if retries < 0 then begin
+    prerr_endline "owl: --connect-retries must be >= 0";
+    exit 1
+  end;
+  if backoff < 0 then begin
+    prerr_endline "owl: --backoff-ms must be >= 0";
+    exit 1
+  end;
+  (retries, backoff)
+
 let check_serve ~queue_depth ~hot_tier_size =
   if queue_depth < 0 then begin
     prerr_endline "owl: --queue-depth must be >= 0";

@@ -595,10 +595,13 @@ let cache_cmd =
 
 let serve_cmd =
   let run addr jobs queue_depth hot_tier_size cache_dir no_cache trace metrics
-      =
+      fault_plan =
     Args.check_jobs jobs;
     Args.check_serve ~queue_depth ~hot_tier_size;
     Args.install_observability ~trace ~metrics;
+    (* chaos testing: worker_kill/conn_drop/frame_delay/shed directives
+       land in the serve layer, the solver directives in the engine *)
+    Args.install_fault_plan fault_plan;
     let addr = Args.resolve_addr addr in
     let cache = Args.open_cache ~cache_dir ~no_cache in
     let lookup kind name =
@@ -639,38 +642,54 @@ let serve_cmd =
        ~doc:"Run the synthesis daemon (long-lived, multi-client)")
     Term.(const run $ Args.addr $ Args.jobs $ Args.queue_depth
           $ Args.hot_tier_size $ Args.cache_dir $ Args.no_cache $ Args.trace
-          $ Args.metrics)
+          $ Args.metrics $ Args.fault_plan)
 
 let client_cmd =
-  let with_client addr f =
+  let describe = function
+    | Owl_serve.Client.Server_busy n -> Printf.sprintf "server busy, %d queued" n
+    | Owl_serve.Client.Server_error e ->
+        Printf.sprintf "server error %s" e.Owl_serve.Proto.code
+    | Owl_serve.Client.Protocol_error _ | Owl_serve.Proto.Framing_error _ ->
+        "connection broken"
+    | Unix.Unix_error (e, _, _) -> Unix.error_message e
+    | e -> Printexc.to_string e
+  in
+  (* every attempt gets a fresh connection; [Client.with_retry] spaces
+     them out with jittered exponential backoff.  Only the final failure
+     reaches the error reporting below. *)
+  let with_client addr (retries, backoff_ms) f =
     let addr = Args.resolve_addr addr in
-    let c =
-      match Owl_serve.Client.connect addr with
-      | c -> c
-      | exception Unix.Unix_error (e, _, _) ->
-          Printf.eprintf "owl: cannot reach server at %s: %s\n"
-            (Owl_serve.Proto.addr_to_string addr)
-            (Unix.error_message e);
-          exit 1
-    in
-    Fun.protect
-      ~finally:(fun () -> Owl_serve.Client.close c)
-      (fun () ->
-        try f c with
-        | Owl_serve.Client.Server_busy n ->
-            Printf.eprintf "owl: server busy (%d requests queued); retry later\n" n;
-            exit 7
-        | Owl_serve.Client.Server_error e ->
-            Printf.eprintf "owl: server error (%s): %s\n" e.Owl_serve.Proto.code
-              e.Owl_serve.Proto.message;
-            exit 6
-        | Owl_serve.Client.Protocol_error m
-        | Owl_serve.Proto.Framing_error m ->
-            Printf.eprintf "owl: protocol error: %s\n" m;
-            exit 6
-        | Unix.Unix_error (e, _, _) ->
-            Printf.eprintf "owl: connection lost: %s\n" (Unix.error_message e);
-            exit 6)
+    try
+      Owl_serve.Client.with_retry ~retries ~backoff_ms
+        ~on_retry:(fun ~attempt ~delay e ->
+          Printf.eprintf "owl: attempt %d failed (%s); retrying in %.2fs\n%!"
+            attempt (describe e) delay)
+        addr f
+    with
+    | Owl_serve.Client.Server_busy n ->
+        Printf.eprintf "owl: server busy (%d requests queued); retry later\n" n;
+        exit 7
+    | Owl_serve.Client.Server_error e ->
+        Printf.eprintf "owl: server error (%s): %s\n" e.Owl_serve.Proto.code
+          e.Owl_serve.Proto.message;
+        exit 6
+    | Owl_serve.Client.Protocol_error m | Owl_serve.Proto.Framing_error m ->
+        Printf.eprintf "owl: protocol error: %s\n" m;
+        exit 6
+    | Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT) as e, _, _) ->
+        Printf.eprintf "owl: cannot reach server at %s: %s\n"
+          (Owl_serve.Proto.addr_to_string addr)
+          (Unix.error_message e);
+        exit 1
+    | Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "owl: connection lost: %s\n" (Unix.error_message e);
+        exit 6
+  in
+  let retry_term =
+    Term.(
+      const (fun connect_retries backoff_ms ->
+          Args.resolve_client_retry ~connect_retries ~backoff_ms)
+      $ Args.connect_retries $ Args.backoff_ms)
   in
   let quiet =
     Arg.(value & flag
@@ -728,13 +747,13 @@ let client_cmd =
       st.Synth.Engine.conflicts st.Synth.Engine.wall_seconds
   in
   let synth_cmd =
-    let run name addr monolithic deadline no_incremental retries
+    let run name addr retry monolithic deadline no_incremental retries
         escalation_factor validate_models sat_config quiet =
       let options =
         remote_options monolithic deadline no_incremental retries
           escalation_factor validate_models sat_config
       in
-      with_client addr (fun c ->
+      with_client addr retry (fun c ->
           let r =
             Owl_serve.Client.synth ~on_progress:(on_progress quiet) c
               ~design:name options
@@ -757,18 +776,19 @@ let client_cmd =
     in
     Cmd.v
       (Cmd.info "synth" ~doc:"Synthesize a case study on the server")
-      Term.(const run $ design_arg $ Args.addr $ monolithic $ deadline
-            $ Args.no_incremental $ Args.retries $ Args.escalation_factor
-            $ Args.validate_models $ Args.sat_config $ quiet)
+      Term.(const run $ design_arg $ Args.addr $ retry_term $ monolithic
+            $ deadline $ Args.no_incremental $ Args.retries
+            $ Args.escalation_factor $ Args.validate_models $ Args.sat_config
+            $ quiet)
   in
   let verify_cmd =
-    let run name addr deadline no_incremental retries escalation_factor
+    let run name addr retry deadline no_incremental retries escalation_factor
         validate_models sat_config quiet =
       let options =
         remote_options false deadline no_incremental retries escalation_factor
           validate_models sat_config
       in
-      with_client addr (fun c ->
+      with_client addr retry (fun c ->
           let r =
             Owl_serve.Client.verify ~on_progress:(on_progress quiet) c
               ~design:name options
@@ -788,7 +808,7 @@ let client_cmd =
     Cmd.v
       (Cmd.info "verify"
          ~doc:"Verify a case study's reference control on the server")
-      Term.(const run $ design_arg $ Args.addr $ deadline
+      Term.(const run $ design_arg $ Args.addr $ retry_term $ deadline
             $ Args.no_incremental $ Args.retries $ Args.escalation_factor
             $ Args.validate_models $ Args.sat_config $ quiet)
   in
@@ -797,8 +817,8 @@ let client_cmd =
       Arg.(value & flag
            & info [ "json" ] ~doc:"Emit the cache_stats record as JSON.")
     in
-    let run addr json =
-      with_client addr (fun c ->
+    let run addr retry json =
+      with_client addr retry (fun c ->
           let s = Owl_serve.Client.cache_stats c in
           if json then
             print_endline (Owl_serve.Proto.cache_stats_to_json s)
@@ -829,26 +849,43 @@ let client_cmd =
     in
     Cmd.v
       (Cmd.info "stats" ~doc:"Show the server's cache and service statistics")
-      Term.(const run $ Args.addr $ json)
+      Term.(const run $ Args.addr $ retry_term $ json)
   in
   let ping_cmd =
-    let run addr =
-      with_client addr (fun c ->
-          let server, protocol = Owl_serve.Client.ping c in
-          Printf.printf "pong from %s (protocol %d)\n" server protocol)
+    let run addr retry =
+      with_client addr retry (fun c ->
+          let server, protocol, h = Owl_serve.Client.ping c in
+          Printf.printf "pong from %s (protocol %d)\n" server protocol;
+          Printf.printf
+            "workers %d/%d alive (%d lost), %d queued%s\n"
+            h.Owl_serve.Proto.workers_alive h.Owl_serve.Proto.workers
+            h.Owl_serve.Proto.workers_lost h.Owl_serve.Proto.queue_waiting
+            (if h.Owl_serve.Proto.degraded then " [DEGRADED]" else "");
+          if
+            h.Owl_serve.Proto.cancelled > 0
+            || h.Owl_serve.Proto.shed > 0
+            || h.Owl_serve.Proto.timeouts > 0
+            || h.Owl_serve.Proto.degraded_seconds > 0.0
+          then
+            Printf.printf
+              "cancelled %d, shed %d, timeouts %d, degraded %.1fs total\n"
+              h.Owl_serve.Proto.cancelled h.Owl_serve.Proto.shed
+              h.Owl_serve.Proto.timeouts h.Owl_serve.Proto.degraded_seconds)
     in
-    Cmd.v (Cmd.info "ping" ~doc:"Check that the server answers")
-      Term.(const run $ Args.addr)
+    Cmd.v
+      (Cmd.info "ping"
+         ~doc:"Check that the server answers, and report its health")
+      Term.(const run $ Args.addr $ retry_term)
   in
   let shutdown_cmd =
-    let run addr =
-      with_client addr (fun c ->
+    let run addr retry =
+      with_client addr retry (fun c ->
           Owl_serve.Client.shutdown c;
           print_endline "server acknowledged shutdown")
     in
     Cmd.v
       (Cmd.info "shutdown" ~doc:"Ask the server to drain and exit")
-      Term.(const run $ Args.addr)
+      Term.(const run $ Args.addr $ retry_term)
   in
   Cmd.group (Cmd.info "client" ~doc:"Talk to a running owl serve daemon")
     [ synth_cmd; verify_cmd; stats_cmd; ping_cmd; shutdown_cmd ]

@@ -63,7 +63,7 @@ let unexpected what = raise (Protocol_error ("unexpected terminal reply to " ^ w
 
 let ping t =
   match exchange t Proto.Ping with
-  | Proto.Pong { server; protocol } -> (server, protocol)
+  | Proto.Pong { server; protocol; health } -> (server, protocol, health)
   | _ -> unexpected "ping"
 
 let synth ?on_progress t ~design options =
@@ -85,3 +85,52 @@ let shutdown t =
   match exchange t Proto.Shutdown with
   | Proto.Shutdown_ack -> ()
   | _ -> unexpected "shutdown"
+
+(* {1 Retry} *)
+
+let c_retries = Obs.counter "client.retries"
+
+(* Worth another attempt: backpressure, a lost worker (the server says so
+   explicitly), or the connection dying under us — daemon restarts and
+   the [conn_drop] chaos fault land here.  Requests are idempotent by
+   content fingerprint, so re-sending after an ambiguous failure risks
+   recomputation, never a wrong answer. *)
+let retryable = function
+  | Server_busy _ -> true
+  | Server_error { Proto.code = "worker_lost"; _ } -> true
+  | Protocol_error _ -> true
+  | Proto.Framing_error _ -> true
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.EPIPE | Unix.ENOENT
+        | Unix.EAGAIN | Unix.ETIMEDOUT ),
+        _,
+        _ ) ->
+      true
+  | _ -> false
+
+(* exponential base doubling per attempt, jittered to half-to-full of the
+   rung so a burst of rejected clients does not re-arrive in lockstep;
+   seeded [Random.State] keeps any one client's schedule reproducible *)
+let backoff_delay ~backoff_ms ~seed ~attempt =
+  let st = Random.State.make [| seed; attempt; 0x6f776c |] in
+  let rung = float_of_int backoff_ms *. (2.0 ** float_of_int (attempt - 1)) in
+  rung /. 1000.0 *. (0.5 +. Random.State.float st 0.5)
+
+let with_retry ?(retries = 0) ?(backoff_ms = 100) ?(seed = 0)
+    ?(on_retry = fun ~attempt:_ ~delay:_ _ -> ()) addr f =
+  if retries < 0 then invalid_arg "Client.with_retry: retries < 0";
+  if backoff_ms < 0 then invalid_arg "Client.with_retry: backoff_ms < 0";
+  let rec go attempt =
+    match
+      let c = connect addr in
+      Fun.protect ~finally:(fun () -> close c) (fun () -> f c)
+    with
+    | v -> v
+    | exception e when attempt <= retries && retryable e ->
+        Obs.incr c_retries;
+        let delay = backoff_delay ~backoff_ms ~seed ~attempt in
+        on_retry ~attempt ~delay e;
+        Unix.sleepf delay;
+        go (attempt + 1)
+  in
+  go 1

@@ -26,8 +26,11 @@ val connect : Proto.addr -> t
 
 val close : t -> unit
 
-val ping : t -> string * int
-(** Server name and protocol version. *)
+val ping : t -> string * int * Proto.health
+(** Server name, protocol version, and the health report (worker
+    capacity, queue depth, degraded flag — see {!Proto.health}).  An
+    old server that predates the report answers with
+    {!Proto.empty_health}. *)
 
 val synth :
   ?on_progress:(Proto.progress -> unit) ->
@@ -47,3 +50,29 @@ val cache_stats : t -> Proto.cache_stats
 
 val shutdown : t -> unit
 (** Asks the daemon to drain and exit; returns once acknowledged. *)
+
+val with_retry :
+  ?retries:int ->
+  ?backoff_ms:int ->
+  ?seed:int ->
+  ?on_retry:(attempt:int -> delay:float -> exn -> unit) ->
+  Proto.addr ->
+  (t -> 'a) ->
+  'a
+(** [with_retry addr f] connects, runs [f] on the handle, and closes it.
+    If connecting or [f] fails with a retryable error — {!Server_busy},
+    a ["worker_lost"] {!Server_error}, a broken connection
+    ({!Protocol_error}, {!Proto.Framing_error}), or a transient
+    [Unix.Unix_error] (refused, reset, pipe, missing socket) — it backs
+    off and tries again on a {e fresh} connection, up to [retries]
+    (default 0) more times; anything else, and the last failure, re-raise
+    unchanged.  Safe for [synth]/[verify] because requests are idempotent
+    by content fingerprint: a duplicate submission finds the first run's
+    hot-tier entry, it cannot produce divergent bindings.
+
+    The backoff for attempt [k] is [backoff_ms * 2^(k-1)] milliseconds
+    (default base 100), jittered uniformly into its upper half so
+    simultaneously-rejected clients spread out; [seed] makes one client's
+    jitter reproducible.  Each retry bumps the [client.retries] Owl_obs
+    counter and calls [on_retry] with the upcoming delay and the failure
+    being retried. *)

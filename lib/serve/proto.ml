@@ -54,10 +54,18 @@ let addr_of_string s =
 
 (* {1 Framing} *)
 
+(* A signal landing mid-frame (SIGCHLD from a harness, a profiler's
+   SIGPROF) surfaces as EINTR from read/write; EAGAIN/EWOULDBLOCK can
+   leak out of sockets with unusual option inheritance.  Neither tears
+   the stream's framing discipline, so neither may cost the connection:
+   both retry the same syscall with the same offsets. *)
 let rec write_all fd buf off len =
   if len > 0 then begin
-    let n = Unix.write fd buf off len in
-    write_all fd buf (off + n) (len - n)
+    match Unix.write fd buf off len with
+    | n -> write_all fd buf (off + n) (len - n)
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      ->
+        write_all fd buf off len
   end
 
 let write_frame fd payload =
@@ -79,6 +87,9 @@ let read_upto fd buf len =
       match Unix.read fd buf off (len - off) with
       | 0 -> off
       | n -> go (off + n)
+      | exception Unix.Unix_error
+          ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          go off
   in
   go 0
 
@@ -431,12 +442,42 @@ type cache_stats = {
   uptime_seconds : float;
 }
 
+(* The [ping] health report, grown for load balancers and chaos asserts.
+   Every field postdates the first protocol-1 deployments, so the decode
+   is tolerant: an old server's bare pong reads as an all-zero report
+   (workers unknown, nothing shed), and the protocol version is
+   unchanged. *)
+type health = {
+  workers : int;  (* configured worker domains *)
+  workers_alive : int;
+  workers_lost : int;  (* cumulative worker-domain deaths *)
+  queue_waiting : int;  (* jobs admitted but not yet running *)
+  degraded : bool;  (* shedding solver work right now *)
+  cancelled : int;  (* jobs cancelled by client disconnect *)
+  shed : int;  (* solver requests answered Busy while degraded *)
+  timeouts : int;  (* requests answered timeout before reaching a solver *)
+  degraded_seconds : float;  (* cumulative time spent degraded *)
+}
+
+let empty_health =
+  {
+    workers = 0;
+    workers_alive = 0;
+    workers_lost = 0;
+    queue_waiting = 0;
+    degraded = false;
+    cancelled = 0;
+    shed = 0;
+    timeouts = 0;
+    degraded_seconds = 0.0;
+  }
+
 type reply =
   | Progress of progress
   | Synth_result of synth_result
   | Verify_result of verify_result
   | Cache_stats_reply of cache_stats
-  | Pong of { server : string; protocol : int }
+  | Pong of { server : string; protocol : int; health : health }
   | Busy of { queue_depth : int }
   | Err of error
   | Shutdown_ack
@@ -596,8 +637,21 @@ let reply_to_frame = function
           ("hot", Json.bool r.v_hot);
         ]
   | Cache_stats_reply c -> envelope "cache_stats" [ ("stats", cache_stats_to_json c) ]
-  | Pong { server; protocol } ->
-      envelope "pong" [ ("server", Json.str server); ("protocol", Json.int protocol) ]
+  | Pong { server; protocol; health = h } ->
+      envelope "pong"
+        [
+          ("server", Json.str server);
+          ("protocol", Json.int protocol);
+          ("workers", Json.int h.workers);
+          ("workers_alive", Json.int h.workers_alive);
+          ("workers_lost", Json.int h.workers_lost);
+          ("queue_waiting", Json.int h.queue_waiting);
+          ("degraded", Json.bool h.degraded);
+          ("cancelled", Json.int h.cancelled);
+          ("shed", Json.int h.shed);
+          ("timeouts", Json.int h.timeouts);
+          ("degraded_seconds", Json.num h.degraded_seconds);
+        ]
   | Busy { queue_depth } -> envelope "busy" [ ("queue_depth", Json.int queue_depth) ]
   | Err { code; message } ->
       envelope "error" [ ("code", Json.str code); ("message", Json.str message) ]
@@ -632,7 +686,33 @@ let reply_of_frame payload =
   | "pong" ->
       let* server = str_field "server" v in
       let* protocol = int_field "protocol" v in
-      Ok (Pong { server; protocol })
+      (* the health fields are newer than the first protocol-1 servers;
+         absent reads as the empty report, like the sat stats above *)
+      let opt_int name =
+        match Json.member name v with
+        | Some (Json.Num f) when Float.is_integer f -> int_of_float f
+        | _ -> 0
+      in
+      let health =
+        {
+          workers = opt_int "workers";
+          workers_alive = opt_int "workers_alive";
+          workers_lost = opt_int "workers_lost";
+          queue_waiting = opt_int "queue_waiting";
+          degraded =
+            (match Json.member "degraded" v with
+            | Some (Json.Bool b) -> b
+            | _ -> false);
+          cancelled = opt_int "cancelled";
+          shed = opt_int "shed";
+          timeouts = opt_int "timeouts";
+          degraded_seconds =
+            (match Json.member "degraded_seconds" v with
+            | Some (Json.Num f) -> f
+            | _ -> 0.0);
+        }
+      in
+      Ok (Pong { server; protocol; health })
   | "busy" ->
       let* queue_depth = int_field "queue_depth" v in
       Ok (Busy { queue_depth })

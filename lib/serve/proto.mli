@@ -67,7 +67,13 @@ type error = { code : string; message : string }
 (** [code] is machine-readable: ["bad_request"] (unparseable or
     ill-formed payload, invalid options), ["version_skew"] (missing or
     mismatched ["v"]), ["busy"] (admission control; see {!reply}),
-    ["unknown_design"], ["internal"]. *)
+    ["unknown_design"], ["timeout"] (the request's deadline expired
+    before it reached a solver — at admission or while queued; a deadline
+    that expires {e during} solving is a [synth_result] with outcome
+    ["timeout"] instead), ["worker_lost"] (the worker domain executing
+    the job died and its one re-execution was not possible; safe to
+    retry — requests are idempotent by content fingerprint),
+    ["cancelled"], ["internal"]. *)
 
 (** {1 Engine options on the wire}
 
@@ -168,15 +174,35 @@ val cache_stats_of_json : Json.value -> (cache_stats, error) result
 
 (** {1 Replies} *)
 
+type health = {
+  workers : int;  (** configured worker domains *)
+  workers_alive : int;  (** currently running (supervision respawns) *)
+  workers_lost : int;  (** cumulative worker-domain deaths *)
+  queue_waiting : int;  (** jobs admitted but not yet running *)
+  degraded : bool;  (** shedding solver work right now *)
+  cancelled : int;  (** jobs cancelled by client disconnect *)
+  shed : int;  (** solver requests answered [Busy] while degraded *)
+  timeouts : int;
+      (** requests answered ["timeout"] before reaching a solver *)
+  degraded_seconds : float;  (** cumulative time spent degraded *)
+}
+(** The [ping] health report — what a load balancer polls.  All fields
+    postdate the first protocol-1 servers; a bare old-style pong decodes
+    as {!empty_health} (tolerant decode, version unchanged). *)
+
+val empty_health : health
+
 type reply =
   | Progress of progress  (** non-terminal; zero or more per request *)
   | Synth_result of synth_result
   | Verify_result of verify_result
   | Cache_stats_reply of cache_stats
-  | Pong of { server : string; protocol : int }
+  | Pong of { server : string; protocol : int; health : health }
   | Busy of { queue_depth : int }
       (** admission control refused the request: the bounded queue
-          already holds [queue_depth] jobs.  Back off and retry. *)
+          already holds [queue_depth] jobs — or the daemon is degraded
+          (pool lost, or a planned [shed@N] fault) and is shedding solver
+          work.  Back off and retry. *)
   | Err of error
   | Shutdown_ack
 

@@ -36,7 +36,30 @@
    the count reaches zero with EOF seen.  Closing earlier would be a
    use-after-free in fd space: the kernel recycles descriptor numbers,
    so a worker finishing a job for a closed connection could otherwise
-   write its reply into some unrelated, newly-accepted socket. *)
+   write its reply into some unrelated, newly-accepted socket.
+
+   Failure handling (see DESIGN.md §13):
+
+   - {e supervision}: an exception escaping a job (the planned
+     [worker_kill@N] fault, or anything else run_job fails to contain)
+     downs the worker domain via [Pool.Service.Fatal]; the pool respawns
+     it.  Before dying, the worker settles the job — re-queued at the
+     head of its connection's FIFO exactly once, answered with a typed
+     ["worker_lost"] error after that;
+   - {e deadlines}: a request whose [deadline_seconds] is already
+     unsatisfiable at admission is answered ["timeout"] without a queue
+     slot; one that expires while queued is answered ["timeout"] by the
+     worker that pulls it, without touching a solver; one that reaches a
+     solver gets the deadline that remains after its queue wait;
+   - {e cancellation}: the reader seeing EOF (or a write failing, which
+     the progress tap notices) flips the job's cancel token.  Queued
+     jobs are dropped immediately, their admission slots released; the
+     running job is cancelled cooperatively — the engine polls the token
+     wherever it checks its deadline;
+   - {e degraded mode}: with zero workers alive the daemon still answers
+     ping/cache_stats and hot-tier hits, shedding only cold solver work
+     with [Busy].  [ping] reports worker capacity, queue depth, and the
+     cumulative counters so a load balancer can see all of this. *)
 
 type config = {
   addr : Proto.addr;
@@ -49,6 +72,15 @@ type config = {
 
 let c_requests = Obs.counter "serve.requests"
 let c_rejected = Obs.counter "serve.rejected"
+let c_worker_lost = Obs.counter "serve.worker_lost"
+let c_cancelled = Obs.counter "serve.cancelled"
+let c_shed = Obs.counter "serve.shed"
+let c_timeout = Obs.counter "serve.timeout"
+
+let c_degraded_ms = Obs.counter "serve.degraded_ms"
+(* degraded time is a duration, surfaced as [degraded_seconds] in the
+   health reply; the Obs counter keeps integer milliseconds *)
+
 let h_job_latency = Obs.histogram "serve.job.latency_us"
 
 (* what the hot tier stores: finished results with [hot = false]; a hit
@@ -60,6 +92,7 @@ type conn = {
   wlock : Mutex.t;  (* serializes frames: reader replies vs worker progress *)
   jobs_q : job Queue.t;
   mutable busy : bool;  (* a worker is executing this conn's head job *)
+  mutable running : job option;  (* the job [busy] refers to, for cancel *)
   mutable in_ring : bool;
   mutable eof : bool;
   mutable refs : int;  (* reader + queued/running jobs *)
@@ -72,6 +105,9 @@ and job = {
   j_fp : string;
   j_options : Synth.Engine.options;
   j_conn : conn;
+  j_deadline : float option;  (* absolute, fixed at admission *)
+  j_cancel : bool Atomic.t;  (* client gone — stop working for it *)
+  mutable j_requeued : bool;  (* already survived one worker loss *)
 }
 
 type t = {
@@ -85,6 +121,12 @@ type t = {
   mutable stopping : bool;
   mutable served : int;
   mutable rejected : int;
+  mutable cancelled : int;  (* jobs dropped or stopped for a dead client *)
+  mutable shed : int;  (* cold solver work refused while degraded *)
+  mutable timeouts : int;  (* requests answered "timeout" pre-solver *)
+  mutable degraded_since : float option;  (* inside a degraded span *)
+  mutable degraded_accum : float;  (* closed degraded spans, seconds *)
+  mutable pool : Synth.Pool.Service.t option;  (* set once, right after start *)
   mutable conns : conn list;
   hot : cached Owl_cache.Lru.t;
   started_at : float;
@@ -108,14 +150,61 @@ let release t conn =
   if close_now then try Unix.close conn.fd with Unix.Unix_error _ -> ()
 
 (* [false] means the peer is unreachable; callers can only shrug — the
-   job itself must complete regardless, and teardown is the reader's job *)
+   job itself must complete regardless, and teardown is the reader's job.
+   Every server-written frame first passes the [Fault.on_frame] chaos
+   hook: [conn_drop@N] severs the socket instead of writing (the client
+   experiences a mid-exchange hangup; the reader sees EOF and runs the
+   normal disconnect path), [frame_delay@N] just stalls the write. *)
 let send conn reply =
   locked conn.wlock (fun () ->
-      match Proto.write_frame conn.fd (Proto.reply_to_frame reply) with
-      | () -> true
-      | exception (Unix.Unix_error _ | Proto.Framing_error _) -> false)
+      match Fault.on_frame () with
+      | Some Fault.Drop_conn ->
+          (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+           with Unix.Unix_error _ -> ());
+          false
+      | (Some (Fault.Delay _) | None) as fa -> (
+          (match fa with
+          | Some (Fault.Delay d) -> Thread.delay d
+          | _ -> ());
+          match Proto.write_frame conn.fd (Proto.reply_to_frame reply) with
+          | () -> true
+          | exception (Unix.Unix_error _ | Proto.Framing_error _) -> false))
 
 let bump_served t = locked t.lock (fun () -> t.served <- t.served + 1)
+
+(* {1 Degraded mode} *)
+
+let pool_stats t =
+  match t.pool with
+  | Some p -> Synth.Pool.Service.stats p
+  | None ->
+      (* only before [Service.start] returns; nothing has run yet *)
+      Synth.Pool.Service.
+        { total = t.cfg.jobs; alive = t.cfg.jobs; lost = 0; respawns = 0 }
+
+(* under t.lock: fold the degraded flag into the span accounting.  The
+   daemon is degraded while it has no live worker (and is not merely
+   shutting down) — it keeps answering control traffic and hot hits but
+   sheds cold solver work. *)
+let note_degraded t ~alive =
+  let degraded = alive = 0 && not t.stopping in
+  (match (t.degraded_since, degraded) with
+  | None, true -> t.degraded_since <- Some (Unix.gettimeofday ())
+  | Some s, false ->
+      let span = Unix.gettimeofday () -. s in
+      t.degraded_accum <- t.degraded_accum +. span;
+      t.degraded_since <- None;
+      Obs.incr ~by:(int_of_float (span *. 1e3)) c_degraded_ms
+  | _ -> ());
+  degraded
+
+(* under t.lock *)
+let degraded_seconds t =
+  t.degraded_accum
+  +.
+  match t.degraded_since with
+  | Some s -> Unix.gettimeofday () -. s
+  | None -> 0.0
 
 (* {1 The scheduler} *)
 
@@ -150,7 +239,32 @@ let enqueue t job =
 let finish t conn =
   locked t.lock (fun () ->
       conn.busy <- false;
+      conn.running <- None;
       ring_if_ready t conn)
+
+(* The reader saw EOF or a dead socket: nothing this connection still
+   has queued can ever be answered.  Drop the queued jobs (releasing
+   their admission slots and connection references, so other clients
+   stop paying for a dead one), and flip the running job's token — the
+   engine will notice at its next deadline poll. *)
+let cancel_conn t conn =
+  let dropped =
+    locked t.lock (fun () ->
+        conn.eof <- true;
+        let n = Queue.length conn.jobs_q in
+        Queue.iter (fun j -> Atomic.set j.j_cancel true) conn.jobs_q;
+        Queue.clear conn.jobs_q;
+        t.waiting <- t.waiting - n;
+        t.cancelled <- t.cancelled + n;
+        (match conn.running with
+        | Some j -> Atomic.set j.j_cancel true
+        | None -> ());
+        n)
+  in
+  if dropped > 0 then Obs.incr ~by:dropped c_cancelled;
+  for _ = 1 to dropped do
+    release t conn
+  done
 
 (* {1 Job execution (worker domains)} *)
 
@@ -163,10 +277,17 @@ let find_int key args =
 (* maps the engine's Obs events to wire progress.  [cur] tracks the
    instruction named by the innermost cegis/verify span Begin: the End
    events carry only results, and with [jobs = 1] those spans never nest
-   on one domain, so a single cell suffices. *)
-let progress_tap conn =
+   on one domain, so a single cell suffices.  A progress write failing
+   is how a worker discovers mid-solve that its client is gone, so it
+   flips the job's cancel token — [Obs.with_tap] swallows anything a tap
+   raises, which is exactly why cancellation is a polled token and not
+   an exception thrown from here. *)
+let progress_tap job =
+  let conn = job.j_conn in
   let cur = ref "" in
-  let emit p = ignore (send conn (Proto.Progress p)) in
+  let emit p =
+    if not (send conn (Proto.Progress p)) then Atomic.set job.j_cancel true
+  in
   fun ph name args ->
     match (ph, name) with
     | Obs.Begin, ("cegis.instr" | "verify.instr") -> (
@@ -233,7 +354,10 @@ let verdict_to_string = function
   | Synth.Engine.Violated _ -> "violated"
   | Synth.Engine.Inconclusive -> "inconclusive"
 
-let compute t job =
+(* [options] comes from the caller rather than [job.j_options] because
+   the deadline has been rewritten to what remains after the queue wait
+   (the engine's clock starts at [synthesize], not at admission) *)
+let compute t job options =
   match t.lookup job.j_kind job.j_design with
   | None ->
       Error
@@ -246,20 +370,21 @@ let compute t job =
   | Some problem -> (
       (* the wire options already have jobs = 1 (normalized at admission);
          the disk cache is server policy, attached here *)
-      let options = Synth.Engine.with_cache t.cfg.cache job.j_options in
+      let options = Synth.Engine.with_cache t.cfg.cache options in
+      let cancel () = Atomic.get job.j_cancel in
       try
         match job.j_kind with
         | `Synth ->
             let outcome =
-              Obs.with_tap (progress_tap job.j_conn) (fun () ->
-                  Synth.Engine.synthesize ~options problem)
+              Obs.with_tap (progress_tap job) (fun () ->
+                  Synth.Engine.synthesize ~options ~cancel problem)
             in
             Ok (C_synth (synth_result_of_outcome outcome))
         | `Verify ->
             let b = options.Synth.Engine.budget in
             let rcv = options.Synth.Engine.recovery in
             let verdicts =
-              Obs.with_tap (progress_tap job.j_conn) (fun () ->
+              Obs.with_tap (progress_tap job) (fun () ->
                   Synth.Engine.verify
                     ?budget:
                       (if b.Synth.Engine.Budget.conflict_budget = max_int then
@@ -271,7 +396,7 @@ let compute t job =
                     ~retries:rcv.Synth.Engine.Recovery.retries
                     ~escalation_factor:rcv.Synth.Engine.Recovery.escalation_factor
                     ~validate_models:rcv.Synth.Engine.Recovery.validate_models
-                    problem)
+                    ~cancel problem)
             in
             Ok
               (C_verify
@@ -281,6 +406,9 @@ let compute t job =
                    v_hot = false;
                  })
       with
+      | Synth.Engine.Cancelled ->
+          Error
+            { Proto.code = "cancelled"; message = "client disconnected" }
       | Synth.Engine.Engine_error m ->
           Error { Proto.code = "internal"; message = m }
       | e ->
@@ -291,41 +419,134 @@ let reply_of_cached ~hot = function
   | C_verify r -> Proto.Verify_result { r with Proto.v_hot = hot }
 
 let run_job t job =
+  (* the worker-kill chaos hook sits before any real work: an injected
+     kill takes exactly the path a worker dying mid-job would *)
+  Fault.on_serve_job ();
   let conn = job.j_conn in
   let t_start = Unix.gettimeofday () in
-  (* a duplicate may have been computed while this job sat in the queue *)
-  (match Owl_cache.Lru.find t.hot job.j_fp with
-  | Some hit ->
-      ignore (send conn (reply_of_cached ~hot:true hit));
-      bump_served t
-  | None -> (
-      match compute t job with
-      | Error e -> ignore (send conn (Proto.Err e))
-      | Ok cached ->
-          Owl_cache.Lru.add t.hot job.j_fp cached;
-          ignore (send conn (reply_of_cached ~hot:false cached));
-          bump_served t));
-  if Obs.metrics_enabled () then
-    Obs.observe h_job_latency
-      (int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6))
+  let expired =
+    match job.j_deadline with
+    | Some dl -> Unix.gettimeofday () > dl
+    | None -> false
+  in
+  if Atomic.get job.j_cancel then begin
+    (* flipped after this job left the queue; the peer is gone, so there
+       is nobody to answer — just account for it *)
+    locked t.lock (fun () -> t.cancelled <- t.cancelled + 1);
+    Obs.incr c_cancelled
+  end
+  else if expired then begin
+    (* expired while queued: answered without touching a solver *)
+    locked t.lock (fun () -> t.timeouts <- t.timeouts + 1);
+    Obs.incr c_timeout;
+    ignore
+      (send conn
+         (Proto.Err
+            {
+              code = "timeout";
+              message = "deadline expired while the request was queued";
+            }))
+  end
+  else begin
+    (* a duplicate may have been computed while this job sat in the queue *)
+    (match Owl_cache.Lru.find t.hot job.j_fp with
+    | Some hit ->
+        ignore (send conn (reply_of_cached ~hot:true hit));
+        bump_served t
+    | None -> (
+        (* the engine restarts its deadline clock now, so hand it only
+           what the queue wait left over *)
+        let options =
+          match job.j_deadline with
+          | None -> job.j_options
+          | Some dl ->
+              Synth.Engine.with_deadline
+                (Some (dl -. Unix.gettimeofday ()))
+                job.j_options
+        in
+        match compute t job options with
+        | Error e ->
+            if e.Proto.code = "cancelled" then begin
+              locked t.lock (fun () -> t.cancelled <- t.cancelled + 1);
+              Obs.incr c_cancelled
+            end;
+            ignore (send conn (Proto.Err e))
+        | Ok cached ->
+            Owl_cache.Lru.add t.hot job.j_fp cached;
+            ignore (send conn (reply_of_cached ~hot:false cached));
+            bump_served t));
+    if Obs.metrics_enabled () then
+      Obs.observe h_job_latency
+        (int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6))
+  end
+
+(* The executing worker is about to die with this job in hand (it raised
+   through [run_job]).  Give the job one second chance: back to the head
+   of its connection's FIFO — unless it already had one, or nobody is
+   left to read the answer.  When the job is not re-queued it is settled
+   right here with a typed, retryable error.  Returns whether the job
+   was re-queued (its connection reference then stays live). *)
+let settle_lost_job t job =
+  let conn = job.j_conn in
+  Obs.incr c_worker_lost;
+  let requeued =
+    locked t.lock (fun () ->
+        if
+          (not job.j_requeued) && (not conn.eof) && (not t.stopping)
+          && not (Atomic.get job.j_cancel)
+        then begin
+          job.j_requeued <- true;
+          t.waiting <- t.waiting + 1;
+          (* Queue has no push-front; rebuild with the job at the head so
+             the connection's answers keep request order *)
+          let nq = Queue.create () in
+          Queue.push job nq;
+          Queue.transfer conn.jobs_q nq;
+          Queue.transfer nq conn.jobs_q;
+          true
+        end
+        else false)
+  in
+  if not requeued then
+    ignore
+      (send conn
+         (Proto.Err
+            {
+              code = "worker_lost";
+              message =
+                "the worker executing this request died; safe to retry \
+                 (requests are idempotent)";
+            }));
+  requeued
 
 let pull t () =
   Mutex.lock t.lock;
   let rec wait () =
     match Queue.take_opt t.ring with
-    | Some conn ->
+    | Some conn -> (
         conn.in_ring <- false;
-        let job = Queue.pop conn.jobs_q in
-        conn.busy <- true;
-        t.waiting <- t.waiting - 1;
-        Mutex.unlock t.lock;
-        Some
-          (fun () ->
-            Fun.protect
-              ~finally:(fun () ->
-                finish t conn;
-                release t conn)
-              (fun () -> run_job t job))
+        match Queue.take_opt conn.jobs_q with
+        | None ->
+            (* ringed, then its jobs were cancelled by a disconnect *)
+            wait ()
+        | Some job ->
+            conn.busy <- true;
+            conn.running <- Some job;
+            t.waiting <- t.waiting - 1;
+            Mutex.unlock t.lock;
+            Some
+              (fun () ->
+                let requeued = ref false in
+                Fun.protect
+                  ~finally:(fun () ->
+                    finish t conn;
+                    if not !requeued then release t conn)
+                  (fun () ->
+                    try run_job t job
+                    with e ->
+                      requeued := settle_lost_job t job;
+                      (* down this worker; the pool respawns it *)
+                      raise (Synth.Pool.Service.Fatal e))))
     | None ->
         if t.stopping then begin
           Mutex.unlock t.lock;
@@ -364,6 +585,22 @@ let cache_stats_now t =
     uptime_seconds = Unix.gettimeofday () -. t.started_at;
   }
 
+let health_now t =
+  let ps = pool_stats t in
+  locked t.lock (fun () ->
+      let degraded = note_degraded t ~alive:ps.Synth.Pool.Service.alive in
+      {
+        Proto.workers = ps.Synth.Pool.Service.total;
+        workers_alive = ps.Synth.Pool.Service.alive;
+        workers_lost = ps.Synth.Pool.Service.lost;
+        queue_waiting = t.waiting;
+        degraded;
+        cancelled = t.cancelled;
+        shed = t.shed;
+        timeouts = t.timeouts;
+        degraded_seconds = degraded_seconds t;
+      })
+
 let initiate_stop t =
   let fire =
     locked t.lock (fun () ->
@@ -388,7 +625,12 @@ let handle t conn (req : Proto.request) =
   | Proto.Ping ->
       ignore
         (send conn
-           (Proto.Pong { server = t.cfg.server_name; protocol = Proto.version }));
+           (Proto.Pong
+              {
+                server = t.cfg.server_name;
+                protocol = Proto.version;
+                health = health_now t;
+              }));
       bump_served t
   | Proto.Cache_stats ->
       ignore (send conn (Proto.Cache_stats_reply (cache_stats_now t)));
@@ -409,18 +651,62 @@ let handle t conn (req : Proto.request) =
           ignore (send conn (reply_of_cached ~hot:true hit));
           bump_served t
       | None -> (
-          let job =
-            {
-              j_kind = kind;
-              j_design = design;
-              j_fp = fp;
-              j_options = options;
-              j_conn = conn;
-            }
+          (* cold solver work from here on: deadline sanity, degraded-mode
+             shedding, then admission.  Control requests and hot hits never
+             reach any of these. *)
+          let dl =
+            options.Synth.Engine.budget.Synth.Engine.Budget.deadline_seconds
           in
-          match enqueue t job with
-          | None -> ()
-          | Some reply -> ignore (send conn reply)))
+          match dl with
+          | Some d when d <= 0.0 ->
+              (* unsatisfiable before it starts: no queue slot consumed *)
+              locked t.lock (fun () -> t.timeouts <- t.timeouts + 1);
+              Obs.incr c_timeout;
+              ignore
+                (send conn
+                   (Proto.Err
+                      {
+                        code = "timeout";
+                        message =
+                          Printf.sprintf
+                            "deadline_seconds = %g is already unsatisfiable"
+                            d;
+                      }))
+          | _ ->
+              let alive = (pool_stats t).Synth.Pool.Service.alive in
+              let shed =
+                locked t.lock (fun () ->
+                    let degraded = note_degraded t ~alive in
+                    let shed = Fault.on_admit () || degraded in
+                    if shed then begin
+                      t.shed <- t.shed + 1;
+                      t.rejected <- t.rejected + 1
+                    end;
+                    shed)
+              in
+              if shed then begin
+                Obs.incr c_shed;
+                Obs.incr c_rejected;
+                ignore (send conn (Proto.Busy { queue_depth = t.waiting }))
+              end
+              else begin
+                let job =
+                  {
+                    j_kind = kind;
+                    j_design = design;
+                    j_fp = fp;
+                    j_options = options;
+                    j_conn = conn;
+                    j_deadline =
+                      Option.map (fun d -> Unix.gettimeofday () +. d) dl;
+                    j_cancel = Atomic.make false;
+                    j_requeued = false;
+                  }
+                in
+                match enqueue t job with
+                | None -> ()
+                | Some reply -> ignore (send conn reply)
+              end))
 
 let reader t conn () =
   let rec loop () =
@@ -435,7 +721,7 @@ let reader t conn () =
     | exception Unix.Unix_error _ -> ()
   in
   loop ();
-  locked t.lock (fun () -> conn.eof <- true);
+  cancel_conn t conn;
   release t conn
 
 (* {1 Listener} *)
@@ -485,6 +771,12 @@ let run ?(ready = fun () -> ()) cfg ~lookup =
       stopping = false;
       served = 0;
       rejected = 0;
+      cancelled = 0;
+      shed = 0;
+      timeouts = 0;
+      degraded_since = None;
+      degraded_accum = 0.0;
+      pool = None;
       conns = [];
       hot = Owl_cache.Lru.create ~capacity:cfg.hot_tier_size;
       started_at = Unix.gettimeofday ();
@@ -492,6 +784,7 @@ let run ?(ready = fun () -> ()) cfg ~lookup =
     }
   in
   let pool = Synth.Pool.Service.start ~jobs:cfg.jobs ~pull:(pull t) in
+  t.pool <- Some pool;
   ready ();
   let threads = ref [] in
   let rec accept_loop () =
@@ -510,6 +803,7 @@ let run ?(ready = fun () -> ()) cfg ~lookup =
                      wlock = Mutex.create ();
                      jobs_q = Queue.create ();
                      busy = false;
+                     running = None;
                      in_ring = false;
                      eof = false;
                      refs = 1;

@@ -8,14 +8,24 @@
    not fault placement, is what must be deterministic). *)
 
 type action = Spurious_unknown | Corrupt_model
+type frame_action = Drop_conn | Delay of float
 
 exception Injected_crash of int
+exception Injected_worker_kill of int
 exception Parse_error of string
+
+(* how long a [frame_delay@N] stalls its frame: long enough to reorder a
+   race, short enough that chaos suites stay fast *)
+let frame_delay_seconds = 0.05
 
 type plan = {
   unknowns : int list;  (* sorted, 1-based check indices *)
   corrupts : int list;
   crashes : int list;  (* sorted, 1-based task-attempt indices *)
+  worker_kills : int list;  (* sorted, 1-based service-job indices *)
+  conn_drops : int list;  (* sorted, 1-based server-written frame indices *)
+  frame_delays : int list;
+  sheds : int list;  (* sorted, 1-based admission indices *)
   plan_seed : int;
 }
 
@@ -23,6 +33,9 @@ type state = {
   plan : plan;
   checks : int Atomic.t;
   tasks : int Atomic.t;
+  serve_jobs : int Atomic.t;
+  frames : int Atomic.t;
+  admits : int Atomic.t;
   hits : int Atomic.t;
 }
 
@@ -55,6 +68,10 @@ let parse s =
             | "unknown" -> { acc with unknowns = n :: acc.unknowns }
             | "corrupt" -> { acc with corrupts = n :: acc.corrupts }
             | "crash" -> { acc with crashes = n :: acc.crashes }
+            | "worker_kill" -> { acc with worker_kills = n :: acc.worker_kills }
+            | "conn_drop" -> { acc with conn_drops = n :: acc.conn_drops }
+            | "frame_delay" -> { acc with frame_delays = n :: acc.frame_delays }
+            | "shed" -> { acc with sheds = n :: acc.sheds }
             | _ -> parse_error "fault plan: unknown directive %S" d)
         | None -> (
             match String.index_opt part '=' with
@@ -64,13 +81,26 @@ let parse s =
                 | Some n -> { acc with plan_seed = n }
                 | None -> parse_error "fault plan: seed=%s: not an integer" v)
             | _ -> parse_error "fault plan: cannot parse element %S" part))
-      { unknowns = []; corrupts = []; crashes = []; plan_seed = 0 }
+      {
+        unknowns = [];
+        corrupts = [];
+        crashes = [];
+        worker_kills = [];
+        conn_drops = [];
+        frame_delays = [];
+        sheds = [];
+        plan_seed = 0;
+      }
       parts
   in
   {
     unknowns = List.sort_uniq compare p.unknowns;
     corrupts = List.sort_uniq compare p.corrupts;
     crashes = List.sort_uniq compare p.crashes;
+    worker_kills = List.sort_uniq compare p.worker_kills;
+    conn_drops = List.sort_uniq compare p.conn_drops;
+    frame_delays = List.sort_uniq compare p.frame_delays;
+    sheds = List.sort_uniq compare p.sheds;
     plan_seed = p.plan_seed;
   }
 
@@ -79,6 +109,10 @@ let to_string p =
   String.concat ","
     (tag "unknown" p.unknowns @ tag "corrupt" p.corrupts
     @ tag "crash" p.crashes
+    @ tag "worker_kill" p.worker_kills
+    @ tag "conn_drop" p.conn_drops
+    @ tag "frame_delay" p.frame_delays
+    @ tag "shed" p.sheds
     @ if p.plan_seed = 0 then [] else [ Printf.sprintf "seed=%d" p.plan_seed ])
 
 let install plan =
@@ -88,6 +122,9 @@ let install plan =
          plan;
          checks = Atomic.make 0;
          tasks = Atomic.make 0;
+         serve_jobs = Atomic.make 0;
+         frames = Atomic.make 0;
+         admits = Atomic.make 0;
          hits = Atomic.make 0;
        })
 
@@ -133,3 +170,42 @@ let on_task () =
         Atomic.incr st.hits;
         raise (Injected_crash i)
       end
+
+let on_serve_job () =
+  match Atomic.get installed with
+  | None -> ()
+  | Some st ->
+      let i = 1 + Atomic.fetch_and_add st.serve_jobs 1 in
+      if List.mem i st.plan.worker_kills then begin
+        Atomic.incr st.hits;
+        raise (Injected_worker_kill i)
+      end
+
+let on_frame () =
+  match Atomic.get installed with
+  | None -> None
+  | Some st ->
+      (* the plan-free fast path above keeps production sends at one
+         atomic load; with a plan installed every server-written frame
+         advances the shared index, drops included *)
+      let i = 1 + Atomic.fetch_and_add st.frames 1 in
+      if List.mem i st.plan.conn_drops then begin
+        Atomic.incr st.hits;
+        Some Drop_conn
+      end
+      else if List.mem i st.plan.frame_delays then begin
+        Atomic.incr st.hits;
+        Some (Delay frame_delay_seconds)
+      end
+      else None
+
+let on_admit () =
+  match Atomic.get installed with
+  | None -> false
+  | Some st ->
+      let i = 1 + Atomic.fetch_and_add st.admits 1 in
+      if List.mem i st.plan.sheds then begin
+        Atomic.incr st.hits;
+        true
+      end
+      else false

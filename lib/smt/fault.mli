@@ -16,19 +16,45 @@
 
     Plan grammar (comma-separated, whitespace-free):
 
-    {v unknown@N | corrupt@N | crash@N | seed=N v}
+    {v unknown@N | corrupt@N | crash@N
+       | worker_kill@N | conn_drop@N | frame_delay@N | shed@N | seed=N v}
 
-    where [N >= 1] indexes solver checks (for [unknown]/[corrupt]) or pool
-    task attempts (for [crash]) in process-global arrival order.  [seed]
-    (default 0) varies which model bit a [corrupt] flips. *)
+    where [N >= 1] indexes solver checks (for [unknown]/[corrupt]), pool
+    task attempts (for [crash]), service-job executions (for
+    [worker_kill]), server-written frames (for [conn_drop]/[frame_delay]),
+    or admission decisions (for [shed]) — each in its own process-global
+    arrival order.  [seed] (default 0) varies which model bit a [corrupt]
+    flips.
+
+    The first three directives exercise the engine's resilience ladder and
+    the batch pool's crash-blame retry; the last four extend the same
+    deterministic machinery to the serve layer: [worker_kill@N] downs the
+    worker domain executing the Nth service job (supervision must respawn
+    it), [conn_drop@N] severs the connection instead of writing the Nth
+    frame (the client sees a mid-exchange hangup), [frame_delay@N] stalls
+    the Nth frame by {!frame_delay_seconds}, and [shed@N] forces the Nth
+    admission decision to answer [Busy] as if the daemon were degraded. *)
 
 type action =
   | Spurious_unknown  (** report [Unknown] without consulting the solver *)
   | Corrupt_model  (** if the check is [Sat], corrupt a copy of its model *)
 
+type frame_action =
+  | Drop_conn  (** sever the connection instead of writing this frame *)
+  | Delay of float  (** stall this frame's write by the given seconds *)
+
 exception Injected_crash of int
 (** Raised by {!on_task} for a planned crash; the payload is the 1-based
     task-attempt index that crashed. *)
+
+exception Injected_worker_kill of int
+(** Raised by {!on_serve_job} for a planned worker kill; the payload is
+    the 1-based service-job index.  The serve layer deliberately lets this
+    escape the job so it downs the executing worker domain — exactly the
+    failure the supervisor must recover from. *)
+
+val frame_delay_seconds : float
+(** How long a [frame_delay@N] stalls its frame (0.05 s). *)
 
 exception Parse_error of string
 
@@ -72,3 +98,18 @@ val on_task : unit -> unit
 (** Called by the pool once per task attempt, before the task body.
     Raises {!Injected_crash} when this attempt index is planned to
     crash. *)
+
+val on_serve_job : unit -> unit
+(** Called by the serve layer once per service-job execution, before the
+    job body.  Raises {!Injected_worker_kill} when this job index is
+    planned to down its worker. *)
+
+val on_frame : unit -> frame_action option
+(** Called by the serve layer once per server-written frame, before the
+    write.  Returns the planned misbehavior for this frame index, if any;
+    [conn_drop@N] wins over [frame_delay@N] at the same index. *)
+
+val on_admit : unit -> bool
+(** Called by the serve layer once per admission decision (solver work
+    only — control requests and hot-tier hits never shed).  Returns
+    whether this admission is planned to answer [Busy]. *)

@@ -235,9 +235,14 @@ type run = {
   tasks_left : int Atomic.t;
       (* per-instruction tasks not yet completed, shared by all workers:
          the denominator of the resilience ladder's deadline slices *)
+  cancel : unit -> bool;
+      (* cooperative cancellation token, polled wherever the deadline is
+         checked; a closure rather than an options field so the options
+         record stays structurally comparable and wire-serializable *)
 }
 
 exception Stop of outcome
+exception Cancelled
 
 let now () = Unix.gettimeofday ()
 
@@ -296,6 +301,7 @@ let with_stats stats = function
       Not_independent { overlapping; feedback; stats }
 
 let check_deadline run =
+  if run.cancel () then raise Cancelled;
   run.stats.wall_seconds <- now () -. run.started;
   match run.opts.budget.Budget.deadline_seconds with
   | Some d when run.stats.wall_seconds > d -> raise (Stop (Timeout run.stats))
@@ -597,8 +603,8 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
     ?(retries = default_options.recovery.Recovery.retries)
     ?(escalation_factor = default_options.recovery.Recovery.escalation_factor)
     ?(validate_models = default_options.recovery.Recovery.validate_models)
-    ?(sat = default_options.sat) (problem : problem) :
-    (string * verdict) list =
+    ?(sat = default_options.sat) ?(cancel = fun () -> false)
+    (problem : problem) : (string * verdict) list =
   if Oyster.Ast.holes problem.design <> [] then
     fail "Engine.verify: design still has holes (synthesize first)";
   let policy = Resilience.make ~retries ~escalation_factor ~validate_models () in
@@ -619,6 +625,7 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
     let attempts = Resilience.attempts policy in
     let consumed = ref 0 in
     let rec go attempt =
+      if cancel () then raise Cancelled;
       let remaining = budget - !consumed in
       if remaining <= 0 then Solver.Unknown Solver.empty_stats
       else begin
@@ -750,7 +757,8 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
 
 (* {1 The synthesis core} *)
 
-let synthesize ?(options = default_options) (problem : problem) : outcome =
+let synthesize ?(options = default_options) ?(cancel = fun () -> false)
+    (problem : problem) : outcome =
   if options.schedule.Schedule.jobs < 1 then fail "Engine.synthesize: options.schedule.Schedule.jobs < 1";
   let stats = fresh_stats () in
   let started = now () in
@@ -767,6 +775,7 @@ let synthesize ?(options = default_options) (problem : problem) : outcome =
       hole_marker = trace.Oyster.Symbolic.prefix ^ "hole!";
       policy = policy_of_options options;
       tasks_left = Atomic.make 1;
+      cancel;
     }
   in
   try

@@ -207,6 +207,15 @@ type outcome =
 
 exception Engine_error of string
 
+exception Cancelled
+(** Raised out of {!synthesize} or {!verify} when the caller's [cancel]
+    token reports true.  Cancellation is cooperative: the token is polled
+    wherever the deadline is checked (every CEGIS iteration and every
+    resilience-ladder attempt), so a long single solver query still runs
+    to its own budget slice before the poll is reached.  No partial
+    outcome is returned — the caller asked for the work to stop, so there
+    is nothing worth reporting. *)
+
 type problem = {
   design : Oyster.Ast.design;
   spec : Ila.Spec.t;
@@ -225,8 +234,15 @@ val ground_reads : Solver.model -> Term.t -> Term.t
     counterexample-substituted formula by the counterexample's memory
     function; exposed for the {!Minimize} pass and tests. *)
 
-val synthesize : ?options:options -> problem -> outcome
-(** Runs CEGIS according to [options].  With [options.jobs > 1] and no
+val synthesize :
+  ?options:options -> ?cancel:(unit -> bool) -> problem -> outcome
+(** Runs CEGIS according to [options].  [cancel] (default
+    [fun () -> false]) is a cooperative cancellation token — a daemon
+    passes a closure over an [Atomic.t] it flips when the requesting
+    client disconnects; the engine polls it alongside the deadline and
+    raises {!Cancelled}.  It is a parameter rather than an [options]
+    field so [options] stays a first-class, comparable, serializable
+    value.  With [options.jobs > 1] and no
     [Shared] holes, the independent per-instruction loops are fanned out
     over a {!Pool} of worker domains; results are merged deterministically
     (same [bindings]/[per_instr] as the serial schedule, stats summed
@@ -273,9 +289,12 @@ val verify :
   ?escalation_factor:int ->
   ?validate_models:bool ->
   ?sat:Sat.config ->
+  ?cancel:(unit -> bool) ->
   problem ->
   (string * verdict) list
-(** Raises {!Engine_error} if the design still has holes.  [sat] (default
+(** Raises {!Engine_error} if the design still has holes, and
+    {!Cancelled} if [cancel] (polled at every resilience-ladder attempt)
+    reports true.  [sat] (default
     {!Sat.default_config}) selects the SAT core's pass configuration for
     every solver the verification creates.  [jobs]
     (default 1) fans the per-instruction refinement checks out across

@@ -58,17 +58,38 @@ val default_jobs : unit -> int
 module Service : sig
   type t
 
+  exception Fatal of exn
+  (** A task raises [Fatal e] to declare its worker domain unusable
+      (simulating — or reacting to — a worker death).  The worker spawns
+      its own replacement and dies; the service's capacity recovers and
+      the loss shows up in {!stats} and the [pool.service.worker_lost]
+      counter.  Any other exception from a task is swallowed (counted as
+      [pool.service.task_crashes]): one bad request must not take a
+      worker down with it. *)
+
+  type stats = {
+    total : int;  (** worker slots configured at {!start} *)
+    alive : int;  (** workers currently running (replacements included) *)
+    lost : int;  (** cumulative {!Fatal} worker deaths *)
+    respawns : int;  (** replacements spawned; equals [lost] today *)
+  }
+
   val start : jobs:int -> pull:(unit -> (unit -> unit) option) -> t
   (** [start ~jobs ~pull] spawns [jobs] worker domains, each looping
       [pull () |> task ()].  [pull] must be safe to call from multiple
       domains concurrently, should block while no work is available, and
       returns [None] to retire the calling worker (after a shutdown has
-      drained the queue, typically).  A task that raises is counted
-      ([pool.service.task_crashes]) and its exception dropped — one bad
-      request must not take a worker down with it.  Raises
-      [Invalid_argument] if [jobs < 1]. *)
+      drained the queue, typically).  A task that raises {!Fatal} downs
+      its worker, which is respawned (supervision); any other exception
+      is counted and dropped.  Raises [Invalid_argument] if
+      [jobs < 1]. *)
+
+  val stats : t -> stats
+  (** A consistent snapshot of the supervision state — the daemon's
+      health report reads worker capacity from here. *)
 
   val join : t -> unit
-  (** Waits for every worker to retire.  Call only after arranging for
-      [pull] to return [None] to each of them, or [join] blocks forever. *)
+  (** Waits for every worker — replacements included — to retire.  Call
+      only after arranging for [pull] to return [None] to each of them,
+      or [join] blocks forever. *)
 end

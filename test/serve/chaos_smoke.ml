@@ -1,0 +1,148 @@
+(* Chaos smoke: the seconds-scale slice of the bench harness's chaos
+   section, run on every `dune runtest` via the @chaos-smoke alias.
+
+   Two phases against in-process daemons on /tmp sockets.  Phase one
+   runs a 20-request mixed batch fault-free and records every solved
+   reply's hole bindings.  Phase two installs the miniature fault plan
+   [worker_kill@2,conn_drop@3] — the second service job downs its worker
+   domain (supervision must respawn it), the third server-written frame
+   severs its connection (the retrying client must recompute) — and
+   replays the same batch through [Client.with_retry].  The plan may
+   cost retries and recomputation; it must never cost correctness:
+
+   - zero requests fail after bounded retries (no hangs: every attempt
+     is bounded, so termination of this program is the liveness check);
+   - every solved reply's bindings are bit-identical to phase one
+     (faults never produce a wrong answer — requests are idempotent by
+     content fingerprint);
+   - the daemon recovers to full capacity: a fresh cold request solves,
+     the health report shows every worker alive (and at least one lost
+     along the way), nothing queued, not degraded. *)
+
+module Proto = Owl_serve.Proto
+module Server = Owl_serve.Server
+module Client = Owl_serve.Client
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline ("chaos smoke: " ^ m); exit 1) fmt
+
+let acc_problem = Designs.Accumulator.problem ()
+let alu_problem = Designs.Alu.problem ()
+
+let lookup kind name =
+  match (kind, name) with
+  | `Synth, "acc" -> Some acc_problem
+  | `Synth, "alu" -> Some alu_problem
+  | _ -> None
+
+let jobs = 2
+
+let start tag =
+  let path =
+    Printf.sprintf "/tmp/owl-chaos-smoke-%d-%s.sock" (Unix.getpid ()) tag
+  in
+  let addr = Proto.Unix_path path in
+  let ready = Atomic.make false in
+  let th =
+    Thread.create
+      (fun () ->
+        Server.run
+          ~ready:(fun () -> Atomic.set ready true)
+          { Server.addr; jobs; queue_depth = 8; hot_tier_size = 16;
+            cache = None; server_name = "chaos-smoke" }
+          ~lookup)
+      ()
+  in
+  let rec wait n =
+    if not (Atomic.get ready) then
+      if n > 500 then fail "server %s did not come up" tag
+      else begin
+        Thread.delay 0.01;
+        wait (n + 1)
+      end
+  in
+  wait 0;
+  (addr, th)
+
+let stop addr th =
+  let c = Client.connect addr in
+  Client.shutdown c;
+  Client.close c;
+  Thread.join th
+
+let total = 20
+
+(* four distinct fingerprints on the accumulator plus one on the ALU:
+   enough cold service jobs to reach the planned kill index, plenty of
+   warm repeats to keep the hot tier honest under faults *)
+let request_of seq =
+  let design = if seq mod 4 = 3 then "alu" else "acc" in
+  let options =
+    Synth.Engine.(default_options |> with_max_iterations (300 + (seq mod 4)))
+  in
+  (design, options)
+
+(* runs the batch; returns per-request bindings and the retry count *)
+let run_batch addr =
+  let retried = ref 0 in
+  let results =
+    Array.init total (fun seq ->
+        let design, options = request_of seq in
+        match
+          Client.with_retry ~retries:5 ~backoff_ms:5 ~seed:seq
+            ~on_retry:(fun ~attempt:_ ~delay:_ _ -> incr retried)
+            addr
+            (fun c -> Client.synth c ~design options)
+        with
+        | r ->
+            if r.Proto.outcome <> "solved" then
+              fail "request %d (%s) came back %s" seq design r.Proto.outcome;
+            r.Proto.bindings
+        | exception e ->
+            fail "request %d (%s) failed after retries: %s" seq design
+              (Printexc.to_string e))
+  in
+  (results, !retried)
+
+let () =
+  (* phase one: fault-free baseline *)
+  let addr, th = start "baseline" in
+  let baseline, _ = run_batch addr in
+  stop addr th;
+  (* phase two: the same batch under the miniature fault plan *)
+  Fault.install (Fault.parse "worker_kill@2,conn_drop@3");
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let addr, th = start "faulted" in
+  let faulted, retried = run_batch addr in
+  let wrong = ref 0 in
+  Array.iteri
+    (fun seq b -> if b <> baseline.(seq) then incr wrong)
+    faulted;
+  if !wrong > 0 then
+    fail "%d of %d replies diverged from the fault-free bindings" !wrong total;
+  if Fault.fired () < 2 then
+    fail "fault plan only fired %d of 2 planned faults" (Fault.fired ());
+  (* recovery: a fresh cold fingerprint still solves on a worker, and
+     the pool is back to full strength *)
+  let c = Client.connect addr in
+  let post =
+    Client.synth c ~design:"acc"
+      Synth.Engine.(default_options |> with_max_iterations 997)
+  in
+  if post.Proto.outcome <> "solved" then
+    fail "post-fault cold request came back %s" post.Proto.outcome;
+  if post.Proto.hot then fail "post-fault cold request answered hot";
+  let _, _, h = Client.ping c in
+  Client.close c;
+  stop addr th;
+  if h.Proto.workers_alive <> jobs then
+    fail "recovery incomplete: %d/%d workers alive" h.Proto.workers_alive jobs;
+  if h.Proto.workers_lost < 1 then
+    fail "worker_kill@2 left no trace in the health report";
+  if h.Proto.degraded then fail "daemon still degraded after recovery";
+  if h.Proto.queue_waiting <> 0 then
+    fail "%d jobs still queued after the batch" h.Proto.queue_waiting;
+  Printf.printf
+    "chaos smoke: %d requests ok under worker_kill@2,conn_drop@3 (%d \
+     retries, %d worker(s) lost and respawned, bindings bit-identical)\n"
+    total retried h.Proto.workers_lost;
+  print_endline "chaos smoke: ok"

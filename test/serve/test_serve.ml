@@ -216,6 +216,21 @@ let test_options_sat_skew () =
     | Error e -> e.Proto.code = "bad_request"
     | Ok _ -> false)
 
+(* Version-skew tolerance for the pong health report, mirroring the sat
+   options block above: a protocol-1 server that predates the report
+   sends a bare pong, which must decode to {!Proto.empty_health} rather
+   than be rejected — the protocol version did not change when the
+   fields were added. *)
+let test_pong_health_skew () =
+  let old_frame = "{\"v\":1,\"t\":\"pong\",\"server\":\"old\",\"protocol\":1}" in
+  match Proto.reply_of_frame old_frame with
+  | Ok (Proto.Pong { server; protocol; health }) ->
+      check_str "old server name survives" "old" server;
+      check_int "old protocol survives" 1 protocol;
+      check "absent health decodes to empty report" true
+        (health = Proto.empty_health)
+  | _ -> Alcotest.fail "bare old-style pong rejected"
+
 let code_of = function
   | Error e -> e.Proto.code
   | Ok _ -> "ok"
@@ -316,7 +331,29 @@ let test_reply_roundtrip () =
           rejected = 0;
           uptime_seconds = 0.0;
         };
-      Proto.Pong { server = "owl/1.0.0"; protocol = Proto.version };
+      Proto.Pong
+        {
+          server = "owl/1.0.0";
+          protocol = Proto.version;
+          health =
+            {
+              Proto.workers = 4;
+              workers_alive = 3;
+              workers_lost = 1;
+              queue_waiting = 2;
+              degraded = true;
+              cancelled = 5;
+              shed = 6;
+              timeouts = 7;
+              degraded_seconds = 1.5;
+            };
+        };
+      Proto.Pong
+        {
+          server = "owl/1.0.0";
+          protocol = Proto.version;
+          health = Proto.empty_health;
+        };
       Proto.Busy { queue_depth = 9 };
       Proto.Err { Proto.code = "internal"; message = "boom \"quoted\"" };
       Proto.Shutdown_ack;
@@ -465,9 +502,13 @@ let stop_server addr th =
 let test_ping_and_stats () =
   let addr, th = start_server () in
   let c = Client.connect addr in
-  let server, protocol = Client.ping c in
+  let server, protocol, h = Client.ping c in
   check_str "server name" "test" server;
   check_int "protocol" Proto.version protocol;
+  check_int "workers configured" 2 h.Proto.workers;
+  check_int "all workers alive" 2 h.Proto.workers_alive;
+  check_int "none lost" 0 h.Proto.workers_lost;
+  check "healthy daemon is not degraded" true (not h.Proto.degraded);
   let s = Client.cache_stats c in
   check "no disk cache configured" true (s.Proto.disk = None);
   check "hot tier reported" true
@@ -657,6 +698,150 @@ let test_raw_protocol_abuse () =
   Unix.close fd;
   stop_server addr th
 
+(* A client that pipelines work and vanishes: its queued jobs must be
+   cancelled (admission slots and connection references released) and a
+   later client must be served promptly — nobody pays for a dead peer. *)
+let test_disconnect_cancels_queued () =
+  let addr, th = start_server ~jobs:1 ~queue_depth:8 () in
+  (* occupy the single worker so the dead client's jobs stay queued *)
+  let a_result = ref None in
+  let a =
+    Thread.create
+      (fun () ->
+        let c = Client.connect addr in
+        a_result :=
+          Some (Client.synth c ~design:"slow-dc" Synth.Engine.default_options);
+        Client.close c)
+      ()
+  in
+  Thread.delay 0.15;
+  let fd =
+    match addr with
+    | Proto.Unix_path path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Proto.Tcp _ -> assert false
+  in
+  (* pipeline two distinct cold requests, then slam the socket shut with
+     both still queued behind the slow job *)
+  List.iter
+    (fun iters ->
+      Proto.write_frame fd
+        (Proto.request_to_frame
+           (Proto.Synth
+              {
+                design = "acc";
+                options =
+                  Synth.Engine.(default_options |> with_max_iterations iters);
+              })))
+    [ 901; 902 ];
+  Unix.close fd;
+  Thread.delay 0.2;
+  (* the dead client's slots are released: a live client still gets
+     served, and the health report shows the cancellations *)
+  let c = Client.connect addr in
+  let r = Client.synth c ~design:"acc" Synth.Engine.default_options in
+  check_str "later client still served" "solved" r.Proto.outcome;
+  let _, _, h = Client.ping c in
+  check "both queued jobs cancelled" true (h.Proto.cancelled >= 2);
+  check_int "queue empty again" 0 h.Proto.queue_waiting;
+  Client.close c;
+  Thread.join a;
+  check "slow job unaffected" true
+    (match !a_result with Some r -> r.Proto.outcome = "solved" | None -> false);
+  stop_server addr th
+
+(* The worker_kill fault downs the domain executing the first solver
+   job.  Supervision must respawn it, and the job — re-queued once at
+   the head of its connection's FIFO — must still answer correctly, so
+   the kill is invisible to the client except in the health report. *)
+let test_worker_kill_supervision () =
+  Fault.install (Fault.parse "worker_kill@1");
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let addr, th = start_server ~jobs:2 () in
+  let c = Client.connect addr in
+  let r = Client.synth c ~design:"acc" Synth.Engine.default_options in
+  check_str "killed worker's job still solved" "solved" r.Proto.outcome;
+  let _, _, h = Client.ping c in
+  check_int "the kill is on the books" 1 h.Proto.workers_lost;
+  check_int "capacity recovered" 2 h.Proto.workers_alive;
+  check "recovered daemon is not degraded" true (not h.Proto.degraded);
+  Client.close c;
+  stop_server addr th
+
+(* Second kill on the same request: the re-queued execution dies too, so
+   the client gets the typed, retryable worker_lost error — and
+   [Client.with_retry] turns it back into a success. *)
+let test_worker_lost_then_retry () =
+  Fault.install (Fault.parse "worker_kill@1,worker_kill@2");
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let addr, th = start_server ~jobs:2 () in
+  let c = Client.connect addr in
+  check "double kill surfaces worker_lost" true
+    (match Client.synth c ~design:"acc" Synth.Engine.default_options with
+    | _ -> false
+    | exception Client.Server_error e -> e.Proto.code = "worker_lost");
+  Client.close c;
+  let retried = ref 0 in
+  let r =
+    Client.with_retry ~retries:2 ~backoff_ms:5
+      ~on_retry:(fun ~attempt:_ ~delay:_ _ -> incr retried)
+      addr
+      (fun c -> Client.synth c ~design:"acc" Synth.Engine.default_options)
+  in
+  check_str "retry recovers the answer" "solved" r.Proto.outcome;
+  check_int "no further faults, no further retries" 0 !retried;
+  let _, _, h =
+    Client.with_retry addr (fun c -> Client.ping c)
+  in
+  check_int "both kills on the books" 2 h.Proto.workers_lost;
+  check_int "capacity still full" 2 h.Proto.workers_alive;
+  stop_server addr th
+
+(* Deadline enforcement before any solver is involved: already
+   unsatisfiable at admission (no queue slot), or expired during the
+   queue wait (answered by the worker without solving). *)
+let test_deadline_admission () =
+  let addr, th = start_server () in
+  let c = Client.connect addr in
+  let opts = Synth.Engine.(default_options |> with_deadline (Some 0.0)) in
+  check "unsatisfiable deadline rejected immediately" true
+    (match Client.synth c ~design:"acc" opts with
+    | _ -> false
+    | exception Client.Server_error e -> e.Proto.code = "timeout");
+  let _, _, h = Client.ping c in
+  check_int "no queue slot consumed" 0 h.Proto.queue_waiting;
+  check "timeout counted" true (h.Proto.timeouts >= 1);
+  (* the connection survives the rejection *)
+  let r = Client.synth c ~design:"acc" Synth.Engine.default_options in
+  check_str "same connection still works" "solved" r.Proto.outcome;
+  Client.close c;
+  stop_server addr th
+
+let test_deadline_queued_expiry () =
+  let addr, th = start_server ~jobs:1 ~queue_depth:4 () in
+  let a =
+    Thread.create
+      (fun () ->
+        let c = Client.connect addr in
+        ignore (Client.synth c ~design:"slow-dl" Synth.Engine.default_options);
+        Client.close c)
+      ()
+  in
+  Thread.delay 0.15;
+  (* 50 ms of deadline cannot outlive the ~350 ms still left on the slow
+     job occupying the only worker: it must expire in the queue *)
+  let c = Client.connect addr in
+  let opts = Synth.Engine.(default_options |> with_deadline (Some 0.05)) in
+  check "deadline expired while queued" true
+    (match Client.synth c ~design:"acc" opts with
+    | _ -> false
+    | exception Client.Server_error e -> e.Proto.code = "timeout");
+  Client.close c;
+  Thread.join a;
+  stop_server addr th
+
 let test_shutdown_drains () =
   let addr, th = start_server ~jobs:1 ~queue_depth:4 () in
   let result = ref None in
@@ -705,6 +890,7 @@ let () =
         [
           Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip;
           Alcotest.test_case "sat options skew" `Quick test_options_sat_skew;
+          Alcotest.test_case "pong health skew" `Quick test_pong_health_skew;
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
           Alcotest.test_case "hostile payloads" `Quick
@@ -726,6 +912,16 @@ let () =
             test_concurrent_clients;
           Alcotest.test_case "admission control" `Quick test_admission_control;
           Alcotest.test_case "protocol abuse" `Quick test_raw_protocol_abuse;
+          Alcotest.test_case "disconnect cancels queued jobs" `Quick
+            test_disconnect_cancels_queued;
+          Alcotest.test_case "worker kill supervision" `Quick
+            test_worker_kill_supervision;
+          Alcotest.test_case "worker lost then client retry" `Quick
+            test_worker_lost_then_retry;
+          Alcotest.test_case "deadline at admission" `Quick
+            test_deadline_admission;
+          Alcotest.test_case "deadline expires queued" `Quick
+            test_deadline_queued_expiry;
           Alcotest.test_case "shutdown drain" `Quick test_shutdown_drains;
         ] );
     ]

@@ -32,7 +32,57 @@ let test_parse_errors () =
       | _ -> false)
   in
   List.iter rejects
-    [ ""; "bogus@1"; "unknown@0"; "unknown@x"; "seed=oops"; "unknown" ]
+    [ ""; "bogus@1"; "unknown@0"; "unknown@x"; "seed=oops"; "unknown";
+      "worker_kill@0"; "conn_drop"; "frame_delay@"; "shed@-1" ]
+
+let test_parse_serve_directives () =
+  let canon s = Fault.to_string (Fault.parse s) in
+  Alcotest.(check string)
+    "serve directives canonicalize"
+    "worker_kill@2,conn_drop@3,frame_delay@1,shed@4,seed=9"
+    (canon "shed@4,frame_delay@1,seed=9,conn_drop@3,worker_kill@2");
+  Alcotest.(check string)
+    "mixed with solver directives"
+    "unknown@1,crash@2,worker_kill@1,conn_drop@5"
+    (canon "conn_drop@5,worker_kill@1,crash@2,unknown@1");
+  Alcotest.(check string)
+    "serve duplicates collapse" "shed@2" (canon "shed@2,shed@2")
+
+let test_serve_hooks () =
+  with_plan "worker_kill@2,conn_drop@1,frame_delay@2,shed@3" (fun () ->
+      (* service jobs: 1 clean, 2 kills, 3 clean *)
+      Fault.on_serve_job ();
+      (match Fault.on_serve_job () with
+      | exception Fault.Injected_worker_kill 2 -> ()
+      | exception Fault.Injected_worker_kill i ->
+          Alcotest.fail (Printf.sprintf "killed at index %d" i)
+      | () -> Alcotest.fail "job 2 should kill its worker");
+      Fault.on_serve_job ();
+      (* frames: 1 drops (winning over nothing), 2 delays, 3 clean *)
+      (match Fault.on_frame () with
+      | Some Fault.Drop_conn -> ()
+      | _ -> Alcotest.fail "frame 1 should drop the connection");
+      (match Fault.on_frame () with
+      | Some (Fault.Delay d) ->
+          Alcotest.(check (float 1e-9))
+            "delay magnitude" Fault.frame_delay_seconds d
+      | _ -> Alcotest.fail "frame 2 should delay");
+      Alcotest.(check bool) "frame 3 clean" true (Fault.on_frame () = None);
+      (* admissions: 1-2 honest, 3 shed *)
+      Alcotest.(check bool) "admit 1" false (Fault.on_admit ());
+      Alcotest.(check bool) "admit 2" false (Fault.on_admit ());
+      Alcotest.(check bool) "admit 3 shed" true (Fault.on_admit ());
+      Alcotest.(check int) "four faults fired" 4 (Fault.fired ()));
+  (* plan cleared: every hook free *)
+  Fault.on_serve_job ();
+  Alcotest.(check bool) "no frame fault" true (Fault.on_frame () = None);
+  Alcotest.(check bool) "no shed" false (Fault.on_admit ())
+
+let test_drop_beats_delay () =
+  with_plan "conn_drop@1,frame_delay@1" (fun () ->
+      match Fault.on_frame () with
+      | Some Fault.Drop_conn -> ()
+      | _ -> Alcotest.fail "conn_drop@N must win over frame_delay@N")
 
 (* one assertion pinning x to a constant: Sat with exactly one honest
    model, so corruption is detectable as "model value <> 5" *)
@@ -117,6 +167,8 @@ let () =
     [ ("plan",
        [ Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip;
          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+         Alcotest.test_case "serve directives" `Quick
+           test_parse_serve_directives;
          Alcotest.test_case "env install" `Quick test_env_install ]);
       ("injection",
        [ Alcotest.test_case "spurious unknown" `Quick test_spurious_unknown;
@@ -125,4 +177,6 @@ let () =
            test_corrupt_session_retry;
          Alcotest.test_case "unknown beats corrupt" `Quick
            test_unknown_beats_corrupt;
-         Alcotest.test_case "task crash" `Quick test_task_crash ]) ]
+         Alcotest.test_case "task crash" `Quick test_task_crash;
+         Alcotest.test_case "serve hooks" `Quick test_serve_hooks;
+         Alcotest.test_case "drop beats delay" `Quick test_drop_beats_delay ]) ]
