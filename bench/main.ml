@@ -96,13 +96,15 @@ module Report = struct
               str
                 (match m.Obs.metric_kind with
                  | `Counter -> "counter"
-                 | `Histogram -> "histogram"));
+                 | `Gauge -> "gauge"
+                 | `Histogram -> "histogram"
+                 | `Window -> "window"));
              ("count", Json.int m.Obs.count);
              ("sum", Json.int m.Obs.sum) ]
           @
           match m.Obs.metric_kind with
-          | `Counter -> []
-          | `Histogram ->
+          | `Counter | `Gauge -> []
+          | `Histogram | `Window ->
               [ ("min", Json.int m.Obs.min_value);
                 ("max", Json.int m.Obs.max_value);
                 ("p50", Json.int m.Obs.p50);
@@ -629,6 +631,8 @@ let serve_bench () =
                 hot_tier_size = 64;
                 cache = None;
                 server_name = "owl-bench";
+                telemetry = true;
+                dump_dir = None;
               }
               ~lookup)
           ()
@@ -800,6 +804,8 @@ let chaos () =
               hot_tier_size = 64;
               cache = None;
               server_name = "owl-chaos";
+              telemetry = true;
+              dump_dir = None;
             }
             ~lookup)
         ()
@@ -1249,13 +1255,11 @@ let smoke () =
   (* Miniature serve run: boot the daemon in process, push a small mixed
      batch through the wire protocol, and require hot-tier hits, zero
      protocol errors, and a clean drain — the seconds-scale version of
-     the [serve] load section. *)
-  let sock =
-    Filename.concat (Filename.get_temp_dir_name ())
-      (Printf.sprintf "owl-smoke-serve.%d.sock" (Unix.getpid ()))
-  in
-  let addr = Owl_serve.Proto.Unix_path sock in
-  let ready = Atomic.make false in
+     the [serve] load section.  Run twice each with telemetry off and
+     on: the telemetry-enabled daemon must stay within 5% wall (plus a
+     small absolute floor for scheduler noise on a sub-second run) of
+     the null-sink baseline, and a mid-run [metrics] request against it
+     must come back with live gauges. *)
   let acc_verify =
     { problem with
       Synth.Engine.design = Designs.Accumulator.reference_design () }
@@ -1265,65 +1269,107 @@ let smoke () =
     | `Synth -> Some problem
     | `Verify -> Some acc_verify
   in
-  let server =
-    Thread.create
-      (fun () ->
-        Owl_serve.Server.run
-          ~ready:(fun () -> Atomic.set ready true)
-          {
-            Owl_serve.Server.addr;
-            jobs = 2;
-            queue_depth = 32;
-            hot_tier_size = 32;
-            cache = None;
-            server_name = "owl-smoke";
-          }
-          ~lookup)
-      ()
+  let serve_run = ref 0 in
+  let serve_miniature ~telemetry () =
+    incr serve_run;
+    let sock =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "owl-smoke-serve.%d.%d.sock" (Unix.getpid ())
+           !serve_run)
+    in
+    let addr = Owl_serve.Proto.Unix_path sock in
+    let ready = Atomic.make false in
+    let server =
+      Thread.create
+        (fun () ->
+          Owl_serve.Server.run
+            ~ready:(fun () -> Atomic.set ready true)
+            {
+              Owl_serve.Server.addr;
+              jobs = 2;
+              queue_depth = 32;
+              hot_tier_size = 32;
+              cache = None;
+              server_name = "owl-smoke";
+              telemetry;
+              dump_dir = None;
+            }
+            ~lookup)
+        ()
+    in
+    while not (Atomic.get ready) do
+      Thread.delay 0.002
+    done;
+    let serve_errors = ref 0 and serve_hot = ref 0 in
+    let gauges_live = ref (not telemetry) in
+    let c = Owl_serve.Client.connect addr in
+    let t0 = Unix.gettimeofday () in
+    (try
+       for seq = 0 to 19 do
+         (* four distinct fingerprints per kind: 8 cold, 12 warm *)
+         let options =
+           Synth.Engine.(
+             default_options |> with_max_iterations (300 + (seq mod 4)))
+         in
+         let hot =
+           if seq mod 5 = 4 then
+             (Owl_serve.Client.verify c ~design:"accumulator" options)
+               .Owl_serve.Proto.v_hot
+           else begin
+             let r = Owl_serve.Client.synth c ~design:"accumulator" options in
+             if r.Owl_serve.Proto.outcome <> "solved" then incr serve_errors;
+             r.Owl_serve.Proto.hot
+           end
+         in
+         if hot then incr serve_hot;
+         (* scrape the live registry mid-batch: the gauges must be
+            populated while the daemon is actually working *)
+         if telemetry && seq = 10 then
+           if
+             List.exists
+               (fun m -> m.Owl_serve.Proto.m_kind = "gauge")
+               (Owl_serve.Client.metrics c)
+           then gauges_live := true
+       done
+     with _ -> incr serve_errors);
+    let wall = Unix.gettimeofday () -. t0 in
+    let serve_stats = Owl_serve.Client.cache_stats c in
+    Owl_serve.Client.shutdown c;
+    Owl_serve.Client.close c;
+    Thread.join server;
+    let tier_hits =
+      match serve_stats.Owl_serve.Proto.hot_tier with
+      | Some h -> h.Owl_serve.Proto.hot_hits
+      | None -> 0
+    in
+    Printf.printf
+      "bench smoke: serve 20 requests (telemetry %s), %d hot answers (%d \
+       tier hits), %d errors, %.3fs\n"
+      (if telemetry then "on" else "off")
+      !serve_hot tier_hits !serve_errors wall;
+    if !serve_errors > 0 || !serve_hot = 0 || tier_hits = 0 then begin
+      prerr_endline "bench smoke: serve run failed (errors or no hot-tier hits)";
+      exit 1
+    end;
+    if not !gauges_live then begin
+      prerr_endline "bench smoke: mid-run metrics scrape returned no gauges";
+      exit 1
+    end;
+    if Sys.file_exists sock then begin
+      prerr_endline "bench smoke: serve socket not unlinked after shutdown";
+      exit 1
+    end;
+    wall
   in
-  while not (Atomic.get ready) do
-    Thread.delay 0.002
-  done;
-  let serve_errors = ref 0 and serve_hot = ref 0 in
-  let c = Owl_serve.Client.connect addr in
-  (try
-     for seq = 0 to 19 do
-       (* four distinct fingerprints per kind: 8 cold, 12 warm *)
-       let options =
-         Synth.Engine.(
-           default_options |> with_max_iterations (300 + (seq mod 4)))
-       in
-       let hot =
-         if seq mod 5 = 4 then
-           (Owl_serve.Client.verify c ~design:"accumulator" options)
-             .Owl_serve.Proto.v_hot
-         else begin
-           let r = Owl_serve.Client.synth c ~design:"accumulator" options in
-           if r.Owl_serve.Proto.outcome <> "solved" then incr serve_errors;
-           r.Owl_serve.Proto.hot
-         end
-       in
-       if hot then incr serve_hot
-     done
-   with _ -> incr serve_errors);
-  let serve_stats = Owl_serve.Client.cache_stats c in
-  Owl_serve.Client.shutdown c;
-  Owl_serve.Client.close c;
-  Thread.join server;
-  let tier_hits =
-    match serve_stats.Owl_serve.Proto.hot_tier with
-    | Some h -> h.Owl_serve.Proto.hot_hits
-    | None -> 0
-  in
+  let min2 f = Float.min (f ()) (f ()) in
+  let wall_off = min2 (serve_miniature ~telemetry:false) in
+  let wall_on = min2 (serve_miniature ~telemetry:true) in
   Printf.printf
-    "bench smoke: serve 20 requests, %d hot answers (%d tier hits), %d errors\n"
-    !serve_hot tier_hits !serve_errors;
-  if !serve_errors > 0 || !serve_hot = 0 || tier_hits = 0 then begin
-    prerr_endline "bench smoke: serve run failed (errors or no hot-tier hits)";
-    exit 1
-  end;
-  if Sys.file_exists sock then begin
-    prerr_endline "bench smoke: serve socket not unlinked after shutdown";
+    "bench smoke: serve telemetry overhead %+.1f%% wall (off %.3fs, on %.3fs)\n"
+    (100.0 *. ((wall_on /. wall_off) -. 1.0))
+    wall_off wall_on;
+  if wall_on > (wall_off *. 1.05) +. 0.05 then begin
+    prerr_endline "bench smoke: telemetry-enabled serve exceeded the 5% budget";
     exit 1
   end;
   print_endline "bench smoke: ok"

@@ -314,6 +314,26 @@ let hot_tier_size =
   in
   Arg.(value & opt int 256 & info [ "hot-tier-size" ] ~docv:"N" ~doc)
 
+let no_telemetry =
+  let doc =
+    "Disable the daemon's live telemetry: the metric registry (counters, \
+     gauges, sliding latency windows — served by `owl client metrics' and \
+     `owl top') and the always-on flight recorder (served by `owl client \
+     dump-trace').  Both revert to null sinks, the measured-overhead \
+     baseline."
+  in
+  Arg.(value & flag & info [ "no-telemetry" ] ~doc)
+
+let dump_dir =
+  let doc =
+    "Directory for automatic flight-recorder dumps: when a worker domain \
+     is lost or the daemon enters degraded mode, the recorder's recent \
+     spans are written there as owl-flight-*.json Chrome-trace files \
+     (created if missing).  Without this flag automatic dumps are off; \
+     `owl client dump-trace' works either way."
+  in
+  Arg.(value & opt (some string) None & info [ "dump-dir" ] ~docv:"DIR" ~doc)
+
 (* Client-side retry: [--connect-retries]/[--backoff-ms] with
    OWL_CLIENT_RETRIES/OWL_BACKOFF_MS as the flagless equivalents (the
    flag wins).  Distinct from [--retries], which tunes the engine's

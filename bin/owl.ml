@@ -595,7 +595,7 @@ let cache_cmd =
 
 let serve_cmd =
   let run addr jobs queue_depth hot_tier_size cache_dir no_cache trace metrics
-      fault_plan =
+      fault_plan no_telemetry dump_dir =
     Args.check_jobs jobs;
     Args.check_serve ~queue_depth ~hot_tier_size;
     Args.install_observability ~trace ~metrics;
@@ -633,6 +633,8 @@ let serve_cmd =
         hot_tier_size;
         cache;
         server_name = "owl/1.0.0";
+        telemetry = not no_telemetry;
+        dump_dir;
       }
       ~lookup;
     print_endline "owl serve: drained and shut down"
@@ -642,22 +644,23 @@ let serve_cmd =
        ~doc:"Run the synthesis daemon (long-lived, multi-client)")
     Term.(const run $ Args.addr $ Args.jobs $ Args.queue_depth
           $ Args.hot_tier_size $ Args.cache_dir $ Args.no_cache $ Args.trace
-          $ Args.metrics $ Args.fault_plan)
+          $ Args.metrics $ Args.fault_plan $ Args.no_telemetry $ Args.dump_dir)
 
-let client_cmd =
-  let describe = function
-    | Owl_serve.Client.Server_busy n -> Printf.sprintf "server busy, %d queued" n
-    | Owl_serve.Client.Server_error e ->
-        Printf.sprintf "server error %s" e.Owl_serve.Proto.code
-    | Owl_serve.Client.Protocol_error _ | Owl_serve.Proto.Framing_error _ ->
-        "connection broken"
-    | Unix.Unix_error (e, _, _) -> Unix.error_message e
-    | e -> Printexc.to_string e
-  in
-  (* every attempt gets a fresh connection; [Client.with_retry] spaces
-     them out with jittered exponential backoff.  Only the final failure
-     reaches the error reporting below. *)
-  let with_client addr (retries, backoff_ms) f =
+(* shared by [owl client *] and [owl top] *)
+let describe_client_error = function
+  | Owl_serve.Client.Server_busy n -> Printf.sprintf "server busy, %d queued" n
+  | Owl_serve.Client.Server_error e ->
+      Printf.sprintf "server error %s" e.Owl_serve.Proto.code
+  | Owl_serve.Client.Protocol_error _ | Owl_serve.Proto.Framing_error _ ->
+      "connection broken"
+  | Unix.Unix_error (e, _, _) -> Unix.error_message e
+  | e -> Printexc.to_string e
+
+(* every attempt gets a fresh connection; [Client.with_retry] spaces
+   them out with jittered exponential backoff.  Only the final failure
+   reaches the error reporting below. *)
+let with_client addr (retries, backoff_ms) f =
+  let describe = describe_client_error in
     let addr = Args.resolve_addr addr in
     try
       Owl_serve.Client.with_retry ~retries ~backoff_ms
@@ -684,13 +687,14 @@ let client_cmd =
     | Unix.Unix_error (e, _, _) ->
         Printf.eprintf "owl: connection lost: %s\n" (Unix.error_message e);
         exit 6
-  in
-  let retry_term =
-    Term.(
-      const (fun connect_retries backoff_ms ->
-          Args.resolve_client_retry ~connect_retries ~backoff_ms)
-      $ Args.connect_retries $ Args.backoff_ms)
-  in
+
+let retry_term =
+  Term.(
+    const (fun connect_retries backoff_ms ->
+        Args.resolve_client_retry ~connect_retries ~backoff_ms)
+    $ Args.connect_retries $ Args.backoff_ms)
+
+let client_cmd =
   let quiet =
     Arg.(value & flag
          & info [ "q"; "quiet" ] ~doc:"Suppress streamed progress events.")
@@ -856,11 +860,22 @@ let client_cmd =
       with_client addr retry (fun c ->
           let server, protocol, h = Owl_serve.Client.ping c in
           Printf.printf "pong from %s (protocol %d)\n" server protocol;
+          (* an old server that predates the extended health report
+             answers with zeroed fields; suppress the rows it cannot
+             fill rather than printing lies *)
+          if h.Owl_serve.Proto.uptime_s > 0.0 || h.Owl_serve.Proto.build <> ""
+          then
+            Printf.printf "up %.1fs, build %s\n" h.Owl_serve.Proto.uptime_s
+              (if h.Owl_serve.Proto.build = "" then "?"
+               else h.Owl_serve.Proto.build);
           Printf.printf
             "workers %d/%d alive (%d lost), %d queued%s\n"
             h.Owl_serve.Proto.workers_alive h.Owl_serve.Proto.workers
             h.Owl_serve.Proto.workers_lost h.Owl_serve.Proto.queue_waiting
             (if h.Owl_serve.Proto.degraded then " [DEGRADED]" else "");
+          if h.Owl_serve.Proto.hot_capacity > 0 then
+            Printf.printf "hot tier %d/%d entries\n"
+              h.Owl_serve.Proto.hot_size h.Owl_serve.Proto.hot_capacity;
           if
             h.Owl_serve.Proto.cancelled > 0
             || h.Owl_serve.Proto.shed > 0
@@ -877,6 +892,82 @@ let client_cmd =
          ~doc:"Check that the server answers, and report its health")
       Term.(const run $ Args.addr $ retry_term)
   in
+  let metrics_cmd =
+    let prometheus =
+      Arg.(value & flag
+           & info [ "prometheus" ]
+               ~doc:"Render in the Prometheus text exposition format.")
+    in
+    let json =
+      Arg.(value & flag
+           & info [ "json" ] ~doc:"Emit the metrics as a JSON array.")
+    in
+    let run addr retry prometheus json =
+      with_client addr retry (fun c ->
+          let ms = Owl_serve.Client.metrics c in
+          if prometheus then
+            print_string (Owl_serve.Proto.metrics_to_prometheus ms)
+          else if json then
+            print_endline (Owl_serve.Proto.metrics_to_json ms)
+          else if ms = [] then
+            print_endline
+              "no metrics (is the daemon running with --no-telemetry?)"
+          else begin
+            Printf.printf "%-40s %-10s %12s %10s %10s %10s\n" "metric" "kind"
+              "value/count" "p50" "p90" "p99";
+            List.iter
+              (fun m ->
+                match m.Owl_serve.Proto.m_kind with
+                | "counter" | "gauge" ->
+                    Printf.printf "%-40s %-10s %12d\n"
+                      m.Owl_serve.Proto.m_name m.Owl_serve.Proto.m_kind
+                      m.Owl_serve.Proto.m_count
+                | _ ->
+                    Printf.printf "%-40s %-10s %12d %10d %10d %10d\n"
+                      m.Owl_serve.Proto.m_name m.Owl_serve.Proto.m_kind
+                      m.Owl_serve.Proto.m_count m.Owl_serve.Proto.m_p50
+                      m.Owl_serve.Proto.m_p90 m.Owl_serve.Proto.m_p99)
+              ms
+          end)
+    in
+    Cmd.v
+      (Cmd.info "metrics"
+         ~doc:
+           "Scrape the server's live metric registry (counters, gauges, \
+            histograms, sliding windows)")
+      Term.(const run $ Args.addr $ retry_term $ prometheus $ json)
+  in
+  let dump_trace_cmd =
+    let trace =
+      Arg.(value & opt (some string) None
+           & info [ "trace" ] ~docv:"ID"
+               ~doc:
+                 "Restrict the dump to one request's trace id (reported in \
+                  synth/verify replies and flight dumps).")
+    in
+    let output =
+      Arg.(value & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"FILE"
+               ~doc:"Write the Chrome-trace JSON to $(docv) instead of stdout.")
+    in
+    let run addr retry trace output =
+      with_client addr retry (fun c ->
+          let doc = Owl_serve.Client.dump_trace ?trace c in
+          match output with
+          | None -> print_string doc
+          | Some file ->
+              let oc = open_out file in
+              output_string oc doc;
+              close_out oc;
+              Printf.eprintf "flight trace written to %s\n" file)
+    in
+    Cmd.v
+      (Cmd.info "dump-trace"
+         ~doc:
+           "Dump the server's flight recorder (recent spans, Chrome-trace \
+            JSON), optionally filtered to one request")
+      Term.(const run $ Args.addr $ retry_term $ trace $ output)
+  in
   let shutdown_cmd =
     let run addr retry =
       with_client addr retry (fun c ->
@@ -888,7 +979,122 @@ let client_cmd =
       Term.(const run $ Args.addr $ retry_term)
   in
   Cmd.group (Cmd.info "client" ~doc:"Talk to a running owl serve daemon")
-    [ synth_cmd; verify_cmd; stats_cmd; ping_cmd; shutdown_cmd ]
+    [ synth_cmd; verify_cmd; stats_cmd; ping_cmd; metrics_cmd; dump_trace_cmd;
+      shutdown_cmd ]
+
+(* [owl top]: a polling terminal dashboard over the same wire requests
+   the client subcommands use (ping + metrics + cache_stats).  Rates are
+   deltas between successive polls; latency quantiles come from the
+   server's sliding 1-minute window, so they describe recent traffic,
+   not the daemon's lifetime. *)
+let top_cmd =
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period.")
+  in
+  let count =
+    Arg.(value & opt (some int) None
+         & info [ "count" ] ~docv:"N"
+             ~doc:
+               "Exit after $(docv) refreshes (default: run until \
+                interrupted).  With 1, prints a single snapshot — no \
+                screen clearing, suitable for scripts.")
+  in
+  let run addr retry interval count =
+    if interval <= 0.0 then begin
+      prerr_endline "owl: --interval must be > 0";
+      exit 1
+    end;
+    (match count with
+    | Some n when n < 1 ->
+        prerr_endline "owl: --count must be >= 1";
+        exit 1
+    | _ -> ());
+    let find name ms =
+      List.find_opt (fun m -> m.Owl_serve.Proto.m_name = name) ms
+    in
+    let gauge name ms =
+      match find name ms with
+      | Some m -> Some m.Owl_serve.Proto.m_count
+      | None -> None
+    in
+    let one_shot = count = Some 1 in
+    (* previous poll: (time, requests counter, tier hits, tier misses) *)
+    let prev = ref None in
+    let frame () =
+      with_client addr retry (fun c ->
+          let server, _protocol, h = Owl_serve.Client.ping c in
+          let ms = Owl_serve.Client.metrics c in
+          let stats = Owl_serve.Client.cache_stats c in
+          let now = Unix.gettimeofday () in
+          if not one_shot then print_string "\027[2J\027[H";
+          Printf.printf "owl top — %s%s  up %.0fs  served %d  rejected %d\n"
+            server
+            (if h.Owl_serve.Proto.degraded then "  [DEGRADED]" else "")
+            h.Owl_serve.Proto.uptime_s stats.Owl_serve.Proto.served
+            stats.Owl_serve.Proto.rejected;
+          Printf.printf
+            "workers   %d/%d alive (%d lost)   queue %d   in-flight %s\n"
+            h.Owl_serve.Proto.workers_alive h.Owl_serve.Proto.workers
+            h.Owl_serve.Proto.workers_lost h.Owl_serve.Proto.queue_waiting
+            (match gauge "serve.inflight" ms with
+            | Some n -> string_of_int n
+            | None -> "?");
+          let tier_hits, tier_misses =
+            match stats.Owl_serve.Proto.hot_tier with
+            | Some t -> (t.Owl_serve.Proto.hot_hits, t.Owl_serve.Proto.hot_misses)
+            | None -> (0, 0)
+          in
+          Printf.printf "hot tier  %d/%d entries   %d hits, %d misses lifetime\n"
+            h.Owl_serve.Proto.hot_size h.Owl_serve.Proto.hot_capacity
+            tier_hits tier_misses;
+          let requests =
+            match find "serve.requests" ms with
+            | Some m -> m.Owl_serve.Proto.m_count
+            | None -> 0
+          in
+          (match !prev with
+          | Some (t0, req0, hit0, miss0) when now > t0 ->
+              let dt = now -. t0 in
+              let dreq = requests - req0 in
+              let dhit = tier_hits - hit0 and dmiss = tier_misses - miss0 in
+              let probes = dhit + dmiss in
+              Printf.printf "interval  %.1f req/s   hot hit rate %s\n"
+                (float_of_int dreq /. dt)
+                (if probes = 0 then "-"
+                 else Printf.sprintf "%.0f%%"
+                        (100.0 *. float_of_int dhit /. float_of_int probes))
+          | _ ->
+              print_endline "interval  (gathering — rates appear next poll)");
+          (match find "serve.job.latency_us.1m" ms with
+          | Some m when m.Owl_serve.Proto.m_count > 0 ->
+              Printf.printf
+                "latency   p50 %.1fms  p99 %.1fms  (%d jobs, last 60s)\n"
+                (float_of_int m.Owl_serve.Proto.m_p50 /. 1e3)
+                (float_of_int m.Owl_serve.Proto.m_p99 /. 1e3)
+                m.Owl_serve.Proto.m_count
+          | _ ->
+              print_endline
+                "latency   (no solver jobs in the last 60s, or telemetry off)");
+          prev := Some (now, requests, tier_hits, tier_misses))
+    in
+    let rec loop n =
+      frame ();
+      print_newline ();
+      flush stdout;
+      if match count with Some k -> n + 1 < k | None -> true then begin
+        Unix.sleepf interval;
+        loop (n + 1)
+      end
+    in
+    loop 0
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live terminal dashboard for a running owl serve daemon \
+          (throughput, hit rate, queue depth, worker health, latency)")
+    Term.(const run $ Args.addr $ retry_term $ interval $ count)
 
 let () =
   let info =
@@ -898,4 +1104,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [ list_cmd; print_cmd; synth_cmd; cosim_cmd; independence_cmd;
          verify_cmd; check_cmd; netlist_cmd; verilog_cmd; sim_cmd;
-         cache_cmd; serve_cmd; client_cmd ]))
+         cache_cmd; serve_cmd; client_cmd; top_cmd ]))

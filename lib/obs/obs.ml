@@ -6,7 +6,12 @@
    domain records into its own fixed-capacity buffer (reached through
    domain-local storage, so the hot path takes no locks); buffers register
    themselves with the epoch on a domain's first event, which is the only
-   mutex in the system and runs once per domain per epoch. *)
+   mutex in the system and runs once per domain per epoch.
+
+   The flight recorder is a second, independent sink with the same
+   discipline but wraparound semantics: instead of dropping the newest
+   events when full, each domain's ring overwrites the oldest, so a dump
+   always shows the most recent window of activity. *)
 
 type arg = Int of int | Float of float | Str of string | Bool of bool
 type phase = Begin | End | Instant
@@ -18,6 +23,7 @@ type event = {
   dom : int;
   seq : int;
   args : (string * arg) list;
+  trace : string option;
 }
 
 type ring = {
@@ -40,7 +46,7 @@ let current : state option Atomic.t = Atomic.make None
 let epoch_counter = Atomic.make 0
 
 let dummy_event =
-  { ph = Instant; name = ""; ts = 0.0; dom = 0; seq = 0; args = [] }
+  { ph = Instant; name = ""; ts = 0.0; dom = 0; seq = 0; args = []; trace = None }
 
 (* Each domain caches its ring here; the epoch tag invalidates rings from
    a previous enable so recordings never bleed across epochs. *)
@@ -63,6 +69,106 @@ let enable ?(capacity = default_capacity) () =
 
 let disable () = Atomic.set current None
 let enabled () = Atomic.get current <> None
+
+(* {1 Trace context}
+
+   A per-domain request identity.  The serve daemon installs the admitted
+   request's trace id on the worker domain before running its job; every
+   event recorded on that domain while the context is set — pool spans,
+   CEGIS iterations, SAT queries — carries the id, so one request's span
+   tree can be filtered out of a merged stream.  Reading the slot costs a
+   DLS lookup only on paths that already record an event. *)
+
+let trace_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set_trace_context t = Domain.DLS.get trace_key := t
+let trace_context () = !(Domain.DLS.get trace_key)
+
+let with_trace_context id thunk =
+  let slot = Domain.DLS.get trace_key in
+  let saved = !slot in
+  slot := Some id;
+  Fun.protect ~finally:(fun () -> slot := saved) thunk
+
+(* {1 Flight recorder}
+
+   Always-on black box: a bounded per-domain ring of the most recent
+   events, overwriting the oldest.  Independent of the tracing epoch so a
+   server can keep it running for its whole life while one-shot traces
+   come and go. *)
+
+type fring = {
+  f_epoch : int;
+  f_dom : int;
+  f_events : event array;
+  mutable f_next : int;  (* next write slot *)
+  mutable f_total : int;  (* lifetime writes; also the seq source *)
+}
+
+type fstate = {
+  fl_epoch : int;
+  fl_capacity : int;
+  fl_t0 : float;
+  mutable fl_rings : fring list;  (* guarded by [fl_mutex] *)
+  fl_mutex : Mutex.t;
+}
+
+let flight : fstate option Atomic.t = Atomic.make None
+let default_flight_capacity = 4096
+
+let enable_flight ?(capacity = default_flight_capacity) () =
+  if capacity < 1 then invalid_arg "Obs.enable_flight: capacity < 1";
+  Atomic.set flight
+    (Some
+       {
+         fl_epoch = 1 + Atomic.fetch_and_add epoch_counter 1;
+         fl_capacity = capacity;
+         fl_t0 = Unix.gettimeofday ();
+         fl_rings = [];
+         fl_mutex = Mutex.create ();
+       })
+
+let disable_flight () = Atomic.set flight None
+let flight_enabled () = Atomic.get flight <> None
+
+let fring_key : fring option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let fring_for fs =
+  let slot = Domain.DLS.get fring_key in
+  match !slot with
+  | Some r when r.f_epoch = fs.fl_epoch -> r
+  | _ ->
+      let r =
+        {
+          f_epoch = fs.fl_epoch;
+          f_dom = (Domain.self () :> int);
+          f_events = Array.make fs.fl_capacity dummy_event;
+          f_next = 0;
+          f_total = 0;
+        }
+      in
+      Mutex.lock fs.fl_mutex;
+      fs.fl_rings <- r :: fs.fl_rings;
+      Mutex.unlock fs.fl_mutex;
+      slot := Some r;
+      r
+
+let femit fs ph name args trace =
+  let r = fring_for fs in
+  r.f_events.(r.f_next) <-
+    {
+      ph;
+      name;
+      ts = Unix.gettimeofday () -. fs.fl_t0;
+      dom = r.f_dom;
+      seq = r.f_total;
+      args;
+      trace;
+    };
+  r.f_next <- (r.f_next + 1) mod Array.length r.f_events;
+  r.f_total <- r.f_total + 1
 
 (* {1 Taps}
 
@@ -99,7 +205,7 @@ let with_tap f thunk =
       slot := saved)
     thunk
 
-let recording () = enabled () || tapping ()
+let recording () = enabled () || flight_enabled () || tapping ()
 
 let ring_for st =
   let slot = Domain.DLS.get ring_key in
@@ -121,7 +227,7 @@ let ring_for st =
       slot := Some r;
       r
 
-let emit st ph name args =
+let emit st ph name args trace =
   let r = ring_for st in
   if r.r_len < Array.length r.r_events then begin
     r.r_events.(r.r_len) <-
@@ -132,36 +238,46 @@ let emit st ph name args =
         dom = r.r_dom;
         seq = r.r_len;
         args;
+        trace;
       };
     r.r_len <- r.r_len + 1
   end
   else r.r_dropped <- r.r_dropped + 1
 
+(* One fan-out point for every sink; the trace context is read only when
+   at least one buffer sink is live (taps receive args as given — the
+   trace id travels with the server's own progress protocol there). *)
+let record st fs tapped ph name args =
+  let trace =
+    match (st, fs) with None, None -> None | _ -> trace_context ()
+  in
+  (match st with Some s -> emit s ph name args trace | None -> ());
+  (match fs with Some f -> femit f ph name args trace | None -> ());
+  if tapped then feed_tap ph name args
+
 let span ?(args = []) ?result name f =
   let st = Atomic.get current in
+  let fs = Atomic.get flight in
   let tapped = tapping () in
-  match st with
-  | None when not tapped -> f ()
+  match (st, fs) with
+  | None, None when not tapped -> f ()
   | _ -> (
-      (match st with Some s -> emit s Begin name args | None -> ());
-      if tapped then feed_tap Begin name args;
+      record st fs tapped Begin name args;
       match f () with
       | v ->
           let rargs = match result with None -> [] | Some g -> g v in
-          (match st with Some s -> emit s End name rargs | None -> ());
-          if tapped then feed_tap End name rargs;
+          record st fs tapped End name rargs;
           v
       | exception e ->
           let eargs = [ ("exception", Str (Printexc.to_string e)) ] in
-          (match st with Some s -> emit s End name eargs | None -> ());
-          if tapped then feed_tap End name eargs;
+          record st fs tapped End name eargs;
           raise e)
 
 let instant ?(args = []) name =
-  (match Atomic.get current with
-  | None -> ()
-  | Some st -> emit st Instant name args);
-  feed_tap Instant name args
+  let st = Atomic.get current in
+  let fs = Atomic.get flight in
+  if st <> None || fs <> None || Atomic.get taps_active > 0 then
+    record st fs true Instant name args
 
 let snapshot_rings st =
   Mutex.lock st.reg_mutex;
@@ -213,6 +329,36 @@ let dropped () =
   | Some st ->
       List.fold_left (fun acc (r, _) -> acc + r.r_dropped) 0 (snapshot_rings st)
 
+(* Flight snapshot: each ring's slots in chronological order (from the
+   oldest surviving slot through the newest write), then a stable sort by
+   (ts, dom).  Writers may lap the snapshot mid-read — each slot read is
+   still a whole event (a single pointer load), so the result is always a
+   list of well-formed events even if the window edges tear. *)
+let flight_events ?trace () =
+  match Atomic.get flight with
+  | None -> []
+  | Some fs ->
+      Mutex.lock fs.fl_mutex;
+      let rings = fs.fl_rings in
+      Mutex.unlock fs.fl_mutex;
+      let ring_events r =
+        let cap = Array.length r.f_events in
+        let next = r.f_next and total = r.f_total in
+        let n = min total cap in
+        let first = if total <= cap then 0 else next in
+        List.init n (fun i -> r.f_events.((first + i) mod cap))
+      in
+      let evs = List.concat_map ring_events rings in
+      let evs =
+        match trace with
+        | None -> evs
+        | Some id -> List.filter (fun ev -> ev.trace = Some id) evs
+      in
+      List.stable_sort
+        (fun a b ->
+          if a.ts <> b.ts then compare a.ts b.ts else compare a.dom b.dom)
+        evs
+
 (* {1 Chrome trace-event export}
 
    The JSON Object Format: {"traceEvents": [...]}.  Spans become "B"/"E"
@@ -244,8 +390,14 @@ let chrome_event ev =
     | Instant -> fields @ [ ("s", Json.str "t") ]
     | Begin | End -> fields
   in
+  let args =
+    match ev.trace with
+    | Some id when not (List.mem_assoc "trace" ev.args) ->
+        ("trace", Str id) :: ev.args
+    | _ -> ev.args
+  in
   let fields =
-    match ev.args with
+    match args with
     | [] -> fields
     | args ->
         fields
@@ -254,11 +406,8 @@ let chrome_event ev =
   in
   Json.obj fields
 
-let chrome_trace_string () =
-  let evs = events () in
-  let doms =
-    List.sort_uniq compare (List.map (fun ev -> ev.dom) evs)
-  in
+let chrome_doc ?(tail = []) evs =
+  let doms = List.sort_uniq compare (List.map (fun ev -> ev.dom) evs) in
   let meta =
     Json.obj
       [
@@ -281,6 +430,13 @@ let chrome_trace_string () =
              ])
          doms
   in
+  Json.obj
+    [
+      ("traceEvents", Json.arr (meta @ List.map chrome_event evs @ tail));
+      ("displayTimeUnit", Json.str "ms");
+    ]
+
+let chrome_trace_string () =
   let n_dropped = dropped () in
   let tail =
     if n_dropped = 0 then []
@@ -299,22 +455,19 @@ let chrome_trace_string () =
           ];
       ]
   in
-  Json.obj
-    [
-      ( "traceEvents",
-        Json.arr (meta @ List.map chrome_event evs @ tail) );
-      ("displayTimeUnit", Json.str "ms");
-    ]
+  chrome_doc ~tail (events ())
 
 let write_chrome_trace oc = output_string oc (chrome_trace_string ())
+let flight_trace_string ?trace () = chrome_doc (flight_events ?trace ())
 
 (* {1 Metrics}
 
-   A flat registry of named counters and log₂-bucketed histograms.  The
-   registry is mutex-guarded (metric handles are created once, at module
-   initialization of the instrumented libraries); recording through a
-   handle is atomic operations only.  The enabled flag makes the disabled
-   path one load and a branch, like tracing. *)
+   A flat registry of named counters, gauges, log₂-bucketed histograms,
+   and sliding-window histograms.  The registry is mutex-guarded (metric
+   handles are created once, at module initialization of the instrumented
+   libraries); recording through a handle is atomic operations only.  The
+   enabled flag makes the disabled path one load and a branch, like
+   tracing. *)
 
 let metrics_on = Atomic.make false
 let enable_metrics () = Atomic.set metrics_on true
@@ -322,6 +475,8 @@ let disable_metrics () = Atomic.set metrics_on false
 let metrics_enabled () = Atomic.get metrics_on
 
 type counter = { c_name : string; c_value : int Atomic.t }
+
+type gauge = { g_name : string; g_value : int Atomic.t; g_set : bool Atomic.t }
 
 type histogram = {
   h_name : string;
@@ -332,9 +487,24 @@ type histogram = {
   h_buckets : int Atomic.t array;  (* 64: bucket 0 = "<= 0", i = 2^(i-1).. *)
 }
 
+(* One slot per second of the window; a slot is reset (under its own
+   mutex, at most once per second) the first time an observation lands in
+   a new second that maps onto it. *)
+type wslot = {
+  ws_sec : int Atomic.t;  (* epoch second this slot holds; -1 = empty *)
+  ws_count : int Atomic.t;
+  ws_sum : int Atomic.t;
+  ws_buckets : int Atomic.t array;
+  ws_lock : Mutex.t;
+}
+
+type window = { w_name : string; w_seconds : int; w_slots : wslot array }
+
 let registry_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+let windows : (string, window) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
   Mutex.lock registry_mutex;
@@ -348,6 +518,21 @@ let counter name =
   in
   Mutex.unlock registry_mutex;
   c
+
+let gauge name =
+  Mutex.lock registry_mutex;
+  let g =
+    match Hashtbl.find_opt gauges name with
+    | Some g -> g
+    | None ->
+        let g =
+          { g_name = name; g_value = Atomic.make 0; g_set = Atomic.make false }
+        in
+        Hashtbl.add gauges name g;
+        g
+  in
+  Mutex.unlock registry_mutex;
+  g
 
 let histogram name =
   Mutex.lock registry_mutex;
@@ -371,8 +556,46 @@ let histogram name =
   Mutex.unlock registry_mutex;
   h
 
+let default_window_seconds = 60
+
+let window ?(seconds = default_window_seconds) name =
+  if seconds < 1 then invalid_arg "Obs.window: seconds < 1";
+  Mutex.lock registry_mutex;
+  let w =
+    match Hashtbl.find_opt windows name with
+    | Some w -> w
+    | None ->
+        let w =
+          {
+            w_name = name;
+            w_seconds = seconds;
+            w_slots =
+              Array.init seconds (fun _ ->
+                  {
+                    ws_sec = Atomic.make (-1);
+                    ws_count = Atomic.make 0;
+                    ws_sum = Atomic.make 0;
+                    ws_buckets = Array.init 64 (fun _ -> Atomic.make 0);
+                    ws_lock = Mutex.create ();
+                  });
+          }
+        in
+        Hashtbl.add windows name w;
+        w
+  in
+  Mutex.unlock registry_mutex;
+  w
+
 let incr ?(by = 1) c =
   if Atomic.get metrics_on then ignore (Atomic.fetch_and_add c.c_value by)
+
+let set_gauge g v =
+  if Atomic.get metrics_on then begin
+    Atomic.set g.g_value v;
+    Atomic.set g.g_set true
+  end
+
+let gauge_value g = Atomic.get g.g_value
 
 let bucket_of v =
   if v <= 0 then 0
@@ -398,9 +621,49 @@ let observe h v =
     Atomic.incr h.h_buckets.(bucket_of v)
   end
 
+let observe_window w v =
+  if Atomic.get metrics_on then begin
+    let now = int_of_float (Unix.gettimeofday ()) in
+    let slot = w.w_slots.(now mod w.w_seconds) in
+    if Atomic.get slot.ws_sec <> now then begin
+      Mutex.lock slot.ws_lock;
+      if Atomic.get slot.ws_sec <> now then begin
+        Atomic.set slot.ws_count 0;
+        Atomic.set slot.ws_sum 0;
+        Array.iter (fun b -> Atomic.set b 0) slot.ws_buckets;
+        Atomic.set slot.ws_sec now
+      end;
+      Mutex.unlock slot.ws_lock
+    end;
+    (* an observation racing the reset above can land in the freshly
+       cleared slot or be cleared with the stale second — a one-in-a-slot
+       attribution blur that sliding-window telemetry tolerates *)
+    Atomic.incr slot.ws_count;
+    ignore (Atomic.fetch_and_add slot.ws_sum v);
+    Atomic.incr slot.ws_buckets.(bucket_of v)
+  end
+
+(* Merge the slots still inside the window into one bucket array. *)
+let window_totals w =
+  let now = int_of_float (Unix.gettimeofday ()) in
+  let count = ref 0 and sum = ref 0 in
+  let buckets = Array.make 64 0 in
+  Array.iter
+    (fun s ->
+      let sec = Atomic.get s.ws_sec in
+      if sec >= 0 && now - sec < w.w_seconds then begin
+        count := !count + Atomic.get s.ws_count;
+        sum := !sum + Atomic.get s.ws_sum;
+        Array.iteri
+          (fun i b -> buckets.(i) <- buckets.(i) + Atomic.get b)
+          s.ws_buckets
+      end)
+    w.w_slots;
+  (!count, !sum, buckets)
+
 type metric = {
   metric_name : string;
-  metric_kind : [ `Counter | `Histogram ];
+  metric_kind : [ `Counter | `Gauge | `Histogram | `Window ];
   count : int;
   sum : int;
   min_value : int;
@@ -410,30 +673,47 @@ type metric = {
   p99 : int;
 }
 
-(* log-scale quantile: the upper bound of the first bucket whose
-   cumulative count reaches the rank *)
-let quantile buckets total q =
+(* Log-scale quantile with linear interpolation inside the landing
+   bucket: bucket [i >= 1] spans [2^(i-1), 2^i - 1]; the estimate walks
+   [q * total] observations into the cumulative distribution and places
+   the result proportionally within the bucket's range, clamped to the
+   observed min/max when the caller tracks them.  (Reporting the bucket's
+   upper bound, as this used to, overstated skewed tails by up to 2×.) *)
+let quantile ?(clamp_lo = 0) ?(clamp_hi = max_int) buckets total q =
   if total = 0 then 0
   else begin
-    let rank = max 1 (int_of_float (ceil (q *. float_of_int total))) in
-    let acc = ref 0 and result = ref 0 and found = ref false in
-    Array.iteri
-      (fun i b ->
-        if not !found then begin
-          acc := !acc + b;
-          if !acc >= rank then begin
-            result := (if i = 0 then 0 else (1 lsl i) - 1);
-            found := true
-          end
-        end)
-      buckets;
-    !result
+    let rank = Float.max 1e-9 (q *. float_of_int total) in
+    let acc = ref 0 and landing = ref (-1) and i = ref 0 in
+    while !landing < 0 && !i < Array.length buckets do
+      let b = buckets.(!i) in
+      if b > 0 && float_of_int (!acc + b) >= rank then landing := !i
+      else begin
+        acc := !acc + b;
+        Stdlib.incr i
+      end
+    done;
+    let est =
+      match !landing with
+      | -1 | 0 -> 0 (* bucket 0 holds values <= 0 *)
+      | i ->
+          let lo = 1 lsl (i - 1) in
+          let hi = if i >= 62 then max_int else (1 lsl i) - 1 in
+          let frac =
+            (rank -. float_of_int !acc) /. float_of_int buckets.(i)
+          in
+          lo
+          + int_of_float
+              (Float.round (float_of_int (hi - lo) *. Float.min 1.0 frac))
+    in
+    min clamp_hi (max clamp_lo est)
   end
 
 let metrics () =
   Mutex.lock registry_mutex;
   let cs = Hashtbl.fold (fun _ c acc -> c :: acc) counters [] in
+  let gs = Hashtbl.fold (fun _ g acc -> g :: acc) gauges [] in
   let hs = Hashtbl.fold (fun _ h acc -> h :: acc) histograms [] in
+  let ws = Hashtbl.fold (fun _ w acc -> w :: acc) windows [] in
   Mutex.unlock registry_mutex;
   let counter_metrics =
     List.filter_map
@@ -455,6 +735,26 @@ let metrics () =
             })
       cs
   in
+  let gauge_metrics =
+    List.filter_map
+      (fun g ->
+        if not (Atomic.get g.g_set) then None
+        else
+          let v = Atomic.get g.g_value in
+          Some
+            {
+              metric_name = g.g_name;
+              metric_kind = `Gauge;
+              count = v;
+              sum = v;
+              min_value = 0;
+              max_value = 0;
+              p50 = 0;
+              p90 = 0;
+              p99 = 0;
+            })
+      gs
+  in
   let histogram_metrics =
     List.filter_map
       (fun h ->
@@ -462,39 +762,72 @@ let metrics () =
         if count = 0 then None
         else begin
           let buckets = Array.map Atomic.get h.h_buckets in
+          let lo = Atomic.get h.h_min and hi = Atomic.get h.h_max in
           Some
             {
               metric_name = h.h_name;
               metric_kind = `Histogram;
               count;
               sum = Atomic.get h.h_sum;
-              min_value = Atomic.get h.h_min;
-              max_value = Atomic.get h.h_max;
-              p50 = quantile buckets count 0.50;
-              p90 = quantile buckets count 0.90;
-              p99 = quantile buckets count 0.99;
+              min_value = lo;
+              max_value = hi;
+              p50 = quantile ~clamp_lo:lo ~clamp_hi:hi buckets count 0.50;
+              p90 = quantile ~clamp_lo:lo ~clamp_hi:hi buckets count 0.90;
+              p99 = quantile ~clamp_lo:lo ~clamp_hi:hi buckets count 0.99;
             }
         end)
       hs
   in
+  let window_metrics =
+    List.filter_map
+      (fun w ->
+        let count, sum, buckets = window_totals w in
+        if count = 0 then None
+        else
+          Some
+            {
+              metric_name = w.w_name;
+              metric_kind = `Window;
+              count;
+              sum;
+              min_value = 0;
+              max_value = 0;
+              p50 = quantile buckets count 0.50;
+              p90 = quantile buckets count 0.90;
+              p99 = quantile buckets count 0.99;
+            })
+      ws
+  in
   List.sort
     (fun a b -> compare a.metric_name b.metric_name)
-    (counter_metrics @ histogram_metrics)
+    (counter_metrics @ gauge_metrics @ histogram_metrics @ window_metrics)
 
 let summary_table () =
   let ms = metrics () in
   let b = Buffer.create 1024 in
-  let hists = List.filter (fun m -> m.metric_kind = `Histogram) ms in
+  let hists =
+    List.filter
+      (fun m -> m.metric_kind = `Histogram || m.metric_kind = `Window)
+      ms
+  in
   let counts = List.filter (fun m -> m.metric_kind = `Counter) ms in
+  let gs = List.filter (fun m -> m.metric_kind = `Gauge) ms in
   if counts <> [] then begin
     Buffer.add_string b "counters:\n";
     List.iter
       (fun m -> Buffer.add_string b (Printf.sprintf "  %-36s %12d\n" m.metric_name m.count))
       counts
   end;
+  if gs <> [] then begin
+    Buffer.add_string b "gauges:\n";
+    List.iter
+      (fun m -> Buffer.add_string b (Printf.sprintf "  %-36s %12d\n" m.metric_name m.count))
+      gs
+  end;
   if hists <> [] then begin
     Buffer.add_string b
-      (Printf.sprintf "histograms (p50/p90/p99 are log-scale upper bounds):\n");
+      (Printf.sprintf
+         "histograms (p50/p90/p99 interpolated within log2 buckets):\n");
     Buffer.add_string b
       (Printf.sprintf "  %-36s %8s %12s %10s %7s %7s %7s %7s %9s\n" "name"
          "count" "sum" "mean" "min" "p50" "p90" "p99" "max");
@@ -514,6 +847,11 @@ let reset_metrics () =
   Mutex.lock registry_mutex;
   Hashtbl.iter (fun _ c -> Atomic.set c.c_value 0) counters;
   Hashtbl.iter
+    (fun _ g ->
+      Atomic.set g.g_value 0;
+      Atomic.set g.g_set false)
+    gauges;
+  Hashtbl.iter
     (fun _ h ->
       Atomic.set h.h_count 0;
       Atomic.set h.h_sum 0;
@@ -521,4 +859,14 @@ let reset_metrics () =
       Atomic.set h.h_max min_int;
       Array.iter (fun b -> Atomic.set b 0) h.h_buckets)
     histograms;
+  Hashtbl.iter
+    (fun _ w ->
+      Array.iter
+        (fun s ->
+          Atomic.set s.ws_sec (-1);
+          Atomic.set s.ws_count 0;
+          Atomic.set s.ws_sum 0;
+          Array.iter (fun b -> Atomic.set b 0) s.ws_buckets)
+        w.w_slots)
+    windows;
   Mutex.unlock registry_mutex

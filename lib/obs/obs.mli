@@ -1,6 +1,6 @@
 (** Owl_obs: domain-safe tracing and metrics for the synthesis runtime.
 
-    Two independent facilities share this module:
+    Three independent facilities share this module:
 
     - {b Tracing}: spans ({!span}) and instant events ({!instant}) carrying
       a timestamp, the recording domain's id, and structured key→value
@@ -11,11 +11,18 @@
       JSON ({!write_chrome_trace}) that [chrome://tracing] and Perfetto
       open directly.
 
-    - {b Metrics}: named {!counter}s and log-scaled {!histogram}s (powers
-      of two), summarized as a table ({!summary_table}) or structured
-      records ({!metrics}) for embedding in reports.
+    - {b Flight recorder}: a second, always-on-capable sink with
+      wraparound semantics — each domain keeps a bounded ring of its most
+      recent events, overwriting the oldest — so a long-lived server can
+      dump "what just happened" on demand or on failure without paying for
+      (or truncating) a whole-process trace.
 
-    Both are off by default.  The disabled path — the "null sink" — is one
+    - {b Metrics}: named {!counter}s, {!gauge}s, log-scaled {!histogram}s
+      (powers of two), and sliding-window histograms ({!window}),
+      summarized as a table ({!summary_table}) or structured records
+      ({!metrics}) for embedding in reports.
+
+    All are off by default.  The disabled path — the "null sink" — is one
     atomic load and a branch per call site: [span] runs its thunk directly,
     [instant]/[observe]/[incr] return immediately.  Instrumentation is
     therefore safe to leave in the hottest solver paths.
@@ -59,12 +66,57 @@ val span :
     event with [args] before, an [End] event after.  [result] computes
     arguments for the [End] event from [f]'s value — the hook for delta
     statistics that only exist once the work is done; it is not called
-    when tracing is disabled (unless a tap is active).  If [f] raises, the
-    [End] event carries the exception (printed) as its argument and the
-    exception is re-raised, so spans always nest properly per domain. *)
+    when tracing is disabled (unless a tap or the flight recorder is
+    active).  If [f] raises, the [End] event carries the exception
+    (printed) as its argument and the exception is re-raised, so spans
+    always nest properly per domain. *)
 
 val instant : ?args:(string * arg) list -> string -> unit
 (** Records a point event. *)
+
+(** {2 Trace context: request-scoped identity}
+
+    A per-domain slot naming the request the domain is currently working
+    for.  While set, every event the domain records — in the tracing
+    epoch and in the flight recorder — carries the id in its
+    {!event.trace} field (and as a ["trace"] argument in Chrome exports),
+    so one request's span tree can be filtered out of a merged stream.
+    The serve daemon mints an id at admission, stores it with the queued
+    job, and installs it on the worker domain for the duration of the
+    job. *)
+
+val set_trace_context : string option -> unit
+(** Sets (or clears, with [None]) the calling domain's trace context. *)
+
+val trace_context : unit -> string option
+(** The calling domain's current trace context. *)
+
+val with_trace_context : string -> (unit -> 'a) -> 'a
+(** [with_trace_context id f] runs [f ()] with the context set to [id],
+    restoring the previous context afterwards (also on exceptions). *)
+
+(** {2 Flight recorder}
+
+    A bounded per-domain ring of the most recent spans/instants with
+    overwrite-oldest semantics, independent of the tracing epoch.  Meant
+    to stay enabled for a server's whole life: the ring is the black box
+    that a [dump_trace] request, a lost worker, or entry into degraded
+    mode snapshots. *)
+
+val enable_flight : ?capacity:int -> unit -> unit
+(** Starts (or restarts, clearing) the flight recorder with per-domain
+    rings of [capacity] events (default 4096).  Raises [Invalid_argument]
+    if [capacity < 1]. *)
+
+val disable_flight : unit -> unit
+val flight_enabled : unit -> bool
+
+val flight_trace_string : ?trace:string -> unit -> string
+(** The flight recorder's current contents as a Chrome trace-event JSON
+    document (same format as {!chrome_trace_string}).  With [?trace],
+    only events recorded under that trace context are kept — a single
+    request's span tree.  Concurrent recording may tear the window's
+    edges but every exported event is whole. *)
 
 type phase = Begin | End | Instant
 
@@ -91,22 +143,28 @@ val tapping : unit -> bool
 (** Whether the calling domain currently has a tap installed. *)
 
 val recording : unit -> bool
-(** [enabled () || tapping ()] — the guard instrumentation sites use
-    around argument construction for conditional {!instant}s. *)
+(** [enabled () || flight_enabled () || tapping ()] — the guard
+    instrumentation sites use around argument construction for
+    conditional {!instant}s. *)
 
 type event = {
   ph : phase;
   name : string;
-  ts : float;  (** seconds since {!enable} *)
+  ts : float;  (** seconds since {!enable} (or {!enable_flight}) *)
   dom : int;  (** recording domain id *)
   seq : int;  (** per-domain sequence number *)
   args : (string * arg) list;
+  trace : string option;  (** the trace context at recording time *)
 }
 
 val events : unit -> event list
 (** The merged event stream of the current epoch: a deterministic k-way
     merge of the per-domain buffers ordered by [(ts, dom)] that preserves
     each domain's own order exactly.  Empty when disabled. *)
+
+val flight_events : ?trace:string -> unit -> event list
+(** The flight recorder's surviving events, oldest first (sorted by
+    [(ts, dom)]), optionally filtered to one trace context. *)
 
 val dropped : unit -> int
 (** Events dropped across all domains because a buffer filled. *)
@@ -127,40 +185,68 @@ val disable_metrics : unit -> unit
 val metrics_enabled : unit -> bool
 
 type counter
+type gauge
 type histogram
+type window
 
 val counter : string -> counter
 (** Registers (or returns the existing) named counter.  Call it once at
     module initialization and keep the handle: the handle path is
     lock-free, the registry lookup is not. *)
 
+val gauge : string -> gauge
+(** Registers (or returns the existing) named gauge — a point-in-time
+    level (queue depth, live workers) rather than a monotone count.  A
+    gauge only appears in {!metrics} once it has been set. *)
+
 val histogram : string -> histogram
 (** Registers (or returns the existing) named histogram.  Buckets are
     powers of two: bucket 0 holds values [<= 0], bucket [i >= 1] holds
     values in [[2^(i-1), 2^i - 1]]. *)
 
+val window : ?seconds:int -> string -> window
+(** Registers (or returns the existing) named sliding-window histogram: a
+    ring of [seconds] (default 60) per-second sub-histograms.  Snapshots
+    aggregate only the slots whose second is still inside the window, so
+    the reported distribution covers roughly the last [seconds] seconds
+    rather than the process lifetime. *)
+
 val incr : ?by:int -> counter -> unit
 (** Adds to a counter; a no-op (one branch) when metrics are disabled. *)
+
+val set_gauge : gauge -> int -> unit
+(** Sets a gauge's level; a no-op when metrics are disabled. *)
+
+val gauge_value : gauge -> int
+(** The gauge's last set level (0 if never set). *)
 
 val observe : histogram -> int -> unit
 (** Records a value; a no-op (one branch) when metrics are disabled. *)
 
+val observe_window : window -> int -> unit
+(** Records a value into the window slot for the current second; a no-op
+    when metrics are disabled.  Slot recycling races blur at most one
+    second of attribution. *)
+
 type metric = {
   metric_name : string;
-  metric_kind : [ `Counter | `Histogram ];
-  count : int;  (** counter value, or number of observations *)
+  metric_kind : [ `Counter | `Gauge | `Histogram | `Window ];
+  count : int;  (** counter/gauge value, or number of observations *)
   sum : int;
   min_value : int;
   max_value : int;
-  p50 : int;  (** bucket upper bounds — log-scale approximations *)
+  p50 : int;
+      (** quantiles are linearly interpolated within the landing log2
+          bucket and clamped to the observed min/max (histograms) *)
   p90 : int;
   p99 : int;
 }
 
 val metrics : unit -> metric list
 (** Snapshot of every registered metric with at least one recording,
-    sorted by name.  Counter records carry the value in [count] and [sum];
-    the distribution fields are zero. *)
+    sorted by name.  Counter and gauge records carry the value in [count]
+    and [sum]; the distribution fields are zero.  Window records cover
+    only the last window of seconds. *)
 
 val summary_table : unit -> string
 (** Human-readable rendering of {!metrics}. *)

@@ -81,6 +81,16 @@ let cache_stats t =
   | Proto.Cache_stats_reply c -> c
   | _ -> unexpected "cache_stats"
 
+let metrics t =
+  match exchange t Proto.Metrics with
+  | Proto.Metrics_reply ms -> ms
+  | _ -> unexpected "metrics"
+
+let dump_trace ?trace t =
+  match exchange t (Proto.Dump_trace { trace }) with
+  | Proto.Dump_trace_reply { trace_json } -> trace_json
+  | _ -> unexpected "dump_trace"
+
 let shutdown t =
   match exchange t Proto.Shutdown with
   | Proto.Shutdown_ack -> ()

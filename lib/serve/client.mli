@@ -48,6 +48,21 @@ val verify :
 
 val cache_stats : t -> Proto.cache_stats
 
+val metrics : t -> Proto.wire_metric list
+(** The server's live metric registry — counters, gauges (refreshed at
+    the moment of the request: queue depth, in-flight jobs, worker
+    liveness, hot-tier occupancy), lifetime histograms, and the sliding
+    1-minute latency windows.  Empty when the daemon runs with
+    telemetry disabled.  Render with {!Proto.metrics_to_prometheus} or
+    {!Proto.metrics_to_json}. *)
+
+val dump_trace : ?trace:string -> t -> string
+(** The server's flight recorder — the bounded per-domain ring of
+    recent spans and instants — serialized as Chrome trace-event JSON.
+    [?trace] restricts the dump to the events of one request-scoped
+    trace id (as returned in {!Proto.synth_result.trace}).  The JSON is
+    empty-but-valid when telemetry is disabled. *)
+
 val shutdown : t -> unit
 (** Asks the daemon to drain and exit; returns once acknowledged. *)
 

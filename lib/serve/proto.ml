@@ -274,21 +274,46 @@ type request =
   | Verify of { design : string; options : Synth.Engine.options }
   | Cache_stats
   | Ping
+  | Metrics
+  | Dump_trace of { trace : string option }
   | Shutdown
 
-let envelope kind fields =
+(* the envelope's optional "trace" member is the request-scoped trace id:
+   a client may supply one (distributed tracing), otherwise the server
+   mints one at admission.  Absent reads as None — tolerant decode, the
+   protocol version is unchanged *)
+let envelope ?trace kind fields =
+  let fields =
+    match trace with
+    | None -> fields
+    | Some id -> ("trace", Json.str id) :: fields
+  in
   Json.obj ((("v", Json.int version) :: ("t", Json.str kind) :: fields))
 
-let request_to_frame = function
+let trace_of_frame payload =
+  match Json.parse payload with
+  | exception Json.Parse_error _ -> None
+  | v -> (
+      match Json.member "trace" v with
+      | Some (Json.String s) when s <> "" -> Some s
+      | _ -> None)
+
+let request_to_frame ?trace = function
   | Synth { design; options } ->
-      envelope "synth"
+      envelope ?trace "synth"
         [ ("design", Json.str design); ("options", options_to_json options) ]
   | Verify { design; options } ->
-      envelope "verify"
+      envelope ?trace "verify"
         [ ("design", Json.str design); ("options", options_to_json options) ]
-  | Cache_stats -> envelope "cache_stats" []
-  | Ping -> envelope "ping" []
-  | Shutdown -> envelope "shutdown" []
+  | Cache_stats -> envelope ?trace "cache_stats" []
+  | Ping -> envelope ?trace "ping" []
+  | Metrics -> envelope ?trace "metrics" []
+  | Dump_trace { trace = filter } ->
+      envelope ?trace "dump_trace"
+        (match filter with
+        | None -> []
+        | Some id -> [ ("filter", Json.str id) ])
+  | Shutdown -> envelope ?trace "shutdown" []
 
 (* version check shared by both decode directions: absent or mismatched
    "v" is version skew, a distinct error code so the peer can say
@@ -323,6 +348,14 @@ let request_of_frame payload =
          else Verify { design; options })
   | "cache_stats" -> Ok Cache_stats
   | "ping" -> Ok Ping
+  | "metrics" -> Ok Metrics
+  | "dump_trace" ->
+      let filter =
+        match Json.member "filter" v with
+        | Some (Json.String s) when s <> "" -> Some s
+        | _ -> None
+      in
+      Ok (Dump_trace { trace = filter })
   | "shutdown" -> Ok Shutdown
   | t -> fail "bad_request" "unknown request kind %S" t
 
@@ -421,9 +454,14 @@ type synth_result = {
   bindings : (string * string) list;
   stats : Synth.Engine.stats;
   hot : bool;
+  trace : string;  (* the server-minted (or client-supplied) trace id *)
 }
 
-type verify_result = { verdicts : (string * string) list; v_hot : bool }
+type verify_result = {
+  verdicts : (string * string) list;
+  v_hot : bool;
+  v_trace : string;
+}
 
 type hot_stats = {
   hot_hits : int;
@@ -457,6 +495,10 @@ type health = {
   shed : int;  (* solver requests answered Busy while degraded *)
   timeouts : int;  (* requests answered timeout before reaching a solver *)
   degraded_seconds : float;  (* cumulative time spent degraded *)
+  uptime_s : float;  (* seconds since the daemon started listening *)
+  build : string;  (* server build identifier *)
+  hot_size : int;  (* hot-tier entries resident right now *)
+  hot_capacity : int;  (* hot-tier capacity (0 = no hot tier) *)
 }
 
 let empty_health =
@@ -470,6 +512,43 @@ let empty_health =
     shed = 0;
     timeouts = 0;
     degraded_seconds = 0.0;
+    uptime_s = 0.0;
+    build = "";
+    hot_size = 0;
+    hot_capacity = 0;
+  }
+
+(* One metric as it crosses the wire: the flattened shape of
+   [Owl_obs.metric], kind as a string so new kinds never break old
+   decoders. *)
+type wire_metric = {
+  m_name : string;
+  m_kind : string;  (* "counter" | "gauge" | "histogram" | "window" *)
+  m_count : int;
+  m_sum : int;
+  m_min : int;
+  m_max : int;
+  m_p50 : int;
+  m_p90 : int;
+  m_p99 : int;
+}
+
+let wire_metric_of_obs (m : Obs.metric) =
+  {
+    m_name = m.Obs.metric_name;
+    m_kind =
+      (match m.Obs.metric_kind with
+      | `Counter -> "counter"
+      | `Gauge -> "gauge"
+      | `Histogram -> "histogram"
+      | `Window -> "window");
+    m_count = m.Obs.count;
+    m_sum = m.Obs.sum;
+    m_min = m.Obs.min_value;
+    m_max = m.Obs.max_value;
+    m_p50 = m.Obs.p50;
+    m_p90 = m.Obs.p90;
+    m_p99 = m.Obs.p99;
   }
 
 type reply =
@@ -478,6 +557,8 @@ type reply =
   | Verify_result of verify_result
   | Cache_stats_reply of cache_stats
   | Pong of { server : string; protocol : int; health : health }
+  | Metrics_reply of wire_metric list
+  | Dump_trace_reply of { trace_json : string }
   | Busy of { queue_depth : int }
   | Err of error
   | Shutdown_ack
@@ -619,10 +700,46 @@ let cache_stats_of_json v =
   let* uptime_seconds = float_field "uptime_seconds" v in
   Ok { disk; store; hot_tier; served; rejected; uptime_seconds }
 
+let wire_metric_json m =
+  Json.obj
+    [
+      ("name", Json.str m.m_name);
+      ("kind", Json.str m.m_kind);
+      ("count", Json.int m.m_count);
+      ("sum", Json.int m.m_sum);
+      ("min", Json.int m.m_min);
+      ("max", Json.int m.m_max);
+      ("p50", Json.int m.m_p50);
+      ("p90", Json.int m.m_p90);
+      ("p99", Json.int m.m_p99);
+    ]
+
+let wire_metric_of_json o =
+  let* m_name = str_field "name" o in
+  let* m_kind = str_field "kind" o in
+  let opt_int name =
+    match Json.member name o with
+    | Some (Json.Num f) when Float.is_integer f -> int_of_float f
+    | _ -> 0
+  in
+  Ok
+    {
+      m_name;
+      m_kind;
+      m_count = opt_int "count";
+      m_sum = opt_int "sum";
+      m_min = opt_int "min";
+      m_max = opt_int "max";
+      m_p50 = opt_int "p50";
+      m_p90 = opt_int "p90";
+      m_p99 = opt_int "p99";
+    }
+
 let reply_to_frame = function
   | Progress p -> envelope "progress" (progress_fields p)
   | Synth_result r ->
       envelope "synth_result"
+        ?trace:(if r.trace = "" then None else Some r.trace)
         [
           ("outcome", Json.str r.outcome);
           ("detail", Json.str r.detail);
@@ -632,6 +749,7 @@ let reply_to_frame = function
         ]
   | Verify_result r ->
       envelope "verify_result"
+        ?trace:(if r.v_trace = "" then None else Some r.v_trace)
         [
           ("verdicts", pairs_json "instr" "verdict" r.verdicts);
           ("hot", Json.bool r.v_hot);
@@ -651,7 +769,15 @@ let reply_to_frame = function
           ("shed", Json.int h.shed);
           ("timeouts", Json.int h.timeouts);
           ("degraded_seconds", Json.num h.degraded_seconds);
+          ("uptime_s", Json.num h.uptime_s);
+          ("build", Json.str h.build);
+          ("hot_size", Json.int h.hot_size);
+          ("hot_capacity", Json.int h.hot_capacity);
         ]
+  | Metrics_reply ms ->
+      envelope "metrics" [ ("metrics", Json.arr (List.map wire_metric_json ms)) ]
+  | Dump_trace_reply { trace_json } ->
+      envelope "dump_trace" [ ("trace_json", Json.str trace_json) ]
   | Busy { queue_depth } -> envelope "busy" [ ("queue_depth", Json.int queue_depth) ]
   | Err { code; message } ->
       envelope "error" [ ("code", Json.str code); ("message", Json.str message) ]
@@ -671,11 +797,13 @@ let reply_of_frame payload =
         | None -> fail "bad_request" "missing field \"stats\""
       in
       let* hot = bool_field "hot" v in
-      Ok (Synth_result { outcome; detail; bindings; stats; hot })
+      let trace = Option.value ~default:"" (trace_of_frame payload) in
+      Ok (Synth_result { outcome; detail; bindings; stats; hot; trace })
   | "verify_result" ->
       let* verdicts = pairs_of_json "instr" "verdict" "verdicts" v in
       let* v_hot = bool_field "hot" v in
-      Ok (Verify_result { verdicts; v_hot })
+      let v_trace = Option.value ~default:"" (trace_of_frame payload) in
+      Ok (Verify_result { verdicts; v_hot; v_trace })
   | "cache_stats" ->
       let* c =
         match Json.member "stats" v with
@@ -710,9 +838,33 @@ let reply_of_frame payload =
             (match Json.member "degraded_seconds" v with
             | Some (Json.Num f) -> f
             | _ -> 0.0);
+          uptime_s =
+            (match Json.member "uptime_s" v with
+            | Some (Json.Num f) -> f
+            | _ -> 0.0);
+          build =
+            (match Json.member "build" v with
+            | Some (Json.String s) -> s
+            | _ -> "");
+          hot_size = opt_int "hot_size";
+          hot_capacity = opt_int "hot_capacity";
         }
       in
       Ok (Pong { server; protocol; health })
+  | "metrics" -> (
+      match Json.member "metrics" v with
+      | Some (Json.Arr items) ->
+          List.fold_left
+            (fun acc item ->
+              let* acc = acc in
+              let* m = wire_metric_of_json item in
+              Ok (m :: acc))
+            (Ok []) items
+          |> Result.map (fun ms -> Metrics_reply (List.rev ms))
+      | _ -> fail "bad_request" "missing or non-array field \"metrics\"")
+  | "dump_trace" ->
+      let* trace_json = str_field "trace_json" v in
+      Ok (Dump_trace_reply { trace_json })
   | "busy" ->
       let* queue_depth = int_field "queue_depth" v in
       Ok (Busy { queue_depth })
@@ -722,3 +874,41 @@ let reply_of_frame payload =
       Ok (Err { code; message })
   | "shutdown_ack" -> Ok Shutdown_ack
   | t -> fail "bad_request" "unknown reply kind %S" t
+
+(* {1 Metric renderings}
+
+   Textual forms of a metrics reply, here rather than in the CLI so the
+   test suite can pin them down next to the codec.  The Prometheus form
+   follows the exposition-format conventions: dots become underscores, an
+   [owl_] namespace prefix, counters get a [_total] suffix, histograms
+   and windows render as summaries (quantile-labelled samples plus
+   [_sum]/[_count]). *)
+
+let prometheus_name m =
+  "owl_" ^ String.map (fun c -> if c = '.' || c = '-' then '_' else c) m.m_name
+
+let metrics_to_prometheus ms =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      let n = prometheus_name m in
+      match m.m_kind with
+      | "counter" ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s_total counter\n" n);
+          Buffer.add_string b (Printf.sprintf "%s_total %d\n" n m.m_count)
+      | "gauge" ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n" n);
+          Buffer.add_string b (Printf.sprintf "%s %d\n" n m.m_count)
+      | _ ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" n);
+          List.iter
+            (fun (q, v) ->
+              Buffer.add_string b
+                (Printf.sprintf "%s{quantile=%S} %d\n" n q v))
+            [ ("0.5", m.m_p50); ("0.9", m.m_p90); ("0.99", m.m_p99) ];
+          Buffer.add_string b (Printf.sprintf "%s_sum %d\n" n m.m_sum);
+          Buffer.add_string b (Printf.sprintf "%s_count %d\n" n m.m_count))
+    ms;
+  Buffer.contents b
+
+let metrics_to_json ms = Json.arr (List.map wire_metric_json ms)

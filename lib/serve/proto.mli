@@ -98,10 +98,27 @@ type request =
   | Verify of { design : string; options : Synth.Engine.options }
   | Cache_stats
   | Ping
+  | Metrics
+      (** snapshot of the server's live metric registry: counters,
+          gauges, histograms, sliding windows *)
+  | Dump_trace of { trace : string option }
+      (** the server's flight recorder as Chrome trace JSON; with
+          [Some id], only events recorded under that trace context —
+          one request's span tree *)
   | Shutdown
 
-val request_to_frame : request -> string
+val request_to_frame : ?trace:string -> request -> string
+(** [?trace] stamps a client-chosen trace id into the envelope's
+    ["trace"] member; the server adopts it instead of minting one.
+    Omitted by default. *)
+
 val request_of_frame : string -> (request, error) result
+
+val trace_of_frame : string -> string option
+(** The envelope's ["trace"] member, if present and non-empty.  Total:
+    unparseable payloads read as [None].  Works on request and reply
+    frames alike — the tolerant peek both ends use, so the trace id rides
+    protocol version {!version} unchanged. *)
 
 (** {1 Progress events}
 
@@ -141,12 +158,17 @@ type synth_result = {
           {!Oyster.Printer.expr_to_string} *)
   stats : Synth.Engine.stats;
   hot : bool;  (** answered from the server's in-process hot tier *)
+  trace : string;
+      (** the request's trace id (server-minted at admission unless the
+          client supplied one); [""] from a pre-tracing peer.  Rides the
+          reply envelope's ["trace"] member, tolerant both ways. *)
 }
 
 type verify_result = {
   verdicts : (string * string) list;
       (** instruction -> ["verified"]/["violated"]/["inconclusive"] *)
   v_hot : bool;
+  v_trace : string;  (** as {!synth_result.trace} *)
 }
 
 type hot_stats = {
@@ -185,12 +207,35 @@ type health = {
   timeouts : int;
       (** requests answered ["timeout"] before reaching a solver *)
   degraded_seconds : float;  (** cumulative time spent degraded *)
+  uptime_s : float;  (** seconds since the daemon started listening *)
+  build : string;  (** server build identifier, e.g. ["owl/1.0.0"] *)
+  hot_size : int;  (** hot-tier entries resident right now *)
+  hot_capacity : int;  (** hot-tier capacity ([0] = no hot tier) *)
 }
-(** The [ping] health report — what a load balancer polls.  All fields
-    postdate the first protocol-1 servers; a bare old-style pong decodes
-    as {!empty_health} (tolerant decode, version unchanged). *)
+(** The [ping] health report — a one-stop liveness probe: worker pool
+    state, queue, degradation, uptime, build, and hot-tier occupancy.
+    All fields postdate the first protocol-1 servers; a bare old-style
+    pong decodes as {!empty_health} (tolerant decode, version
+    unchanged). *)
 
 val empty_health : health
+
+type wire_metric = {
+  m_name : string;
+  m_kind : string;  (** ["counter"], ["gauge"], ["histogram"], ["window"] *)
+  m_count : int;  (** counter/gauge value, or number of observations *)
+  m_sum : int;
+  m_min : int;
+  m_max : int;
+  m_p50 : int;
+  m_p90 : int;
+  m_p99 : int;
+}
+(** One metric as it crosses the wire — the flattened shape of
+    {!Obs.metric}, with the kind as a string so new kinds never break an
+    old decoder (they pass through and render generically). *)
+
+val wire_metric_of_obs : Obs.metric -> wire_metric
 
 type reply =
   | Progress of progress  (** non-terminal; zero or more per request *)
@@ -198,6 +243,10 @@ type reply =
   | Verify_result of verify_result
   | Cache_stats_reply of cache_stats
   | Pong of { server : string; protocol : int; health : health }
+  | Metrics_reply of wire_metric list
+  | Dump_trace_reply of { trace_json : string }
+      (** the flight recorder dump: a complete Chrome trace-event JSON
+          document carried as a string payload *)
   | Busy of { queue_depth : int }
       (** admission control refused the request: the bounded queue
           already holds [queue_depth] jobs — or the daemon is degraded
@@ -208,3 +257,14 @@ type reply =
 
 val reply_to_frame : reply -> string
 val reply_of_frame : string -> (reply, error) result
+
+(** {1 Metric renderings} *)
+
+val metrics_to_prometheus : wire_metric list -> string
+(** Prometheus exposition-format text: dots become underscores under an
+    [owl_] prefix; counters render with a [_total] suffix, gauges as
+    gauges, histograms/windows as summaries ([{quantile="0.5"}] samples
+    plus [_sum]/[_count]). *)
+
+val metrics_to_json : wire_metric list -> string
+(** The reply's metric list as a standalone JSON array. *)

@@ -68,7 +68,11 @@ type config = {
   hot_tier_size : int;
   cache : Owl_cache.t option;
   server_name : string;
+  telemetry : bool;
+  dump_dir : string option;
 }
+
+let build_id = "owl-serve/1.0 proto-" ^ string_of_int Proto.version
 
 let c_requests = Obs.counter "serve.requests"
 let c_rejected = Obs.counter "serve.rejected"
@@ -82,6 +86,18 @@ let c_degraded_ms = Obs.counter "serve.degraded_ms"
    health reply; the Obs counter keeps integer milliseconds *)
 
 let h_job_latency = Obs.histogram "serve.job.latency_us"
+
+let w_job_latency = Obs.window "serve.job.latency_us.1m"
+(* the last minute of the same distribution: what `owl top` diffs for
+   "p50/p99 right now" against the lifetime histogram above *)
+
+(* levels, refreshed from server state whenever a metrics snapshot is
+   taken (so a scrape always sees current depth, not the last change) *)
+let g_queue = Obs.gauge "serve.queue_waiting"
+let g_inflight = Obs.gauge "serve.inflight"
+let g_workers_alive = Obs.gauge "serve.workers_alive"
+let g_workers_total = Obs.gauge "serve.workers_total"
+let g_hot_size = Obs.gauge "serve.hot_tier.size"
 
 (* what the hot tier stores: finished results with [hot = false]; a hit
    re-flags before replying *)
@@ -103,6 +119,7 @@ and job = {
   j_kind : [ `Synth | `Verify ];
   j_design : string;
   j_fp : string;
+  j_trace : string;  (* minted at admission; follows the job everywhere *)
   j_options : Synth.Engine.options;
   j_conn : conn;
   j_deadline : float option;  (* absolute, fixed at admission *)
@@ -117,6 +134,7 @@ type t = {
   work_cv : Condition.t;
   ring : conn Queue.t;
   mutable waiting : int;  (* jobs queued but not yet running *)
+  mutable inflight : int;  (* jobs currently executing on a worker *)
   mutable idle : int;  (* workers blocked in [pull] *)
   mutable stopping : bool;
   mutable served : int;
@@ -131,7 +149,37 @@ type t = {
   hot : cached Owl_cache.Lru.t;
   started_at : float;
   wake_w : Unix.file_descr;
+  trace_ctr : int Atomic.t;  (* next minted trace id suffix *)
+  dump_ctr : int Atomic.t;  (* flight-dump filename disambiguator *)
 }
+
+(* "t<start-us-low-bits>-<seq>": unique across the daemon's life and
+   across daemons that share a pid (sequential in-process test servers) *)
+let mint_trace t =
+  Printf.sprintf "t%x-%d"
+    (int_of_float (t.started_at *. 1e6) land 0xffffff)
+    (Atomic.fetch_and_add t.trace_ctr 1)
+
+(* The flight recorder's black-box dump: best-effort, never fails the
+   caller — a telemetry path must not take down a serving path. *)
+let flight_dump t ~reason =
+  match t.cfg.dump_dir with
+  | None -> ()
+  | Some dir ->
+      if Obs.flight_enabled () then begin
+        (try Unix.mkdir dir 0o755 with Unix.Unix_error _ -> ());
+        let file =
+          Filename.concat dir
+            (Printf.sprintf "owl-flight-%d-%s-%d.json" (Unix.getpid ()) reason
+               (Atomic.fetch_and_add t.dump_ctr 1))
+        in
+        try
+          let oc = open_out file in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc (Obs.flight_trace_string ()))
+        with Sys_error _ -> ()
+      end
 
 let locked m f = Mutex.lock m; Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
@@ -189,7 +237,12 @@ let pool_stats t =
 let note_degraded t ~alive =
   let degraded = alive = 0 && not t.stopping in
   (match (t.degraded_since, degraded) with
-  | None, true -> t.degraded_since <- Some (Unix.gettimeofday ())
+  | None, true ->
+      t.degraded_since <- Some (Unix.gettimeofday ());
+      (* black-box the moment the pool went dark.  File IO under t.lock,
+         but entry into degraded mode is rare and the dump is bounded. *)
+      Obs.instant "serve.degraded" ~args:[ ("reason", Obs.Str "no_workers") ];
+      flight_dump t ~reason:"degraded"
   | Some s, false ->
       let span = Unix.gettimeofday () -. s in
       t.degraded_accum <- t.degraded_accum +. span;
@@ -240,6 +293,7 @@ let finish t conn =
   locked t.lock (fun () ->
       conn.busy <- false;
       conn.running <- None;
+      t.inflight <- t.inflight - 1;
       ring_if_ready t conn)
 
 (* The reader saw EOF or a dead socket: nothing this connection still
@@ -327,7 +381,7 @@ let progress_tap job =
 
 let synth_result_of_outcome (o : Synth.Engine.outcome) =
   let r outcome detail stats =
-    { Proto.outcome; detail; bindings = []; stats; hot = false }
+    { Proto.outcome; detail; bindings = []; stats; hot = false; trace = "" }
   in
   match o with
   | Synth.Engine.Solved s ->
@@ -404,6 +458,7 @@ let compute t job options =
                    Proto.verdicts =
                      List.map (fun (i, v) -> (i, verdict_to_string v)) verdicts;
                    v_hot = false;
+                   v_trace = "";
                  })
       with
       | Synth.Engine.Cancelled ->
@@ -414,13 +469,28 @@ let compute t job options =
       | e ->
           Error { Proto.code = "internal"; message = Printexc.to_string e })
 
-let reply_of_cached ~hot = function
-  | C_synth r -> Proto.Synth_result { r with Proto.hot }
-  | C_verify r -> Proto.Verify_result { r with Proto.v_hot = hot }
+(* hot-tier entries are stored with [hot = false] and an empty trace;
+   both are stamped per-request at reply time — the trace id belongs to
+   the request being answered, not to the one that populated the tier *)
+let reply_of_cached ~hot ~trace = function
+  | C_synth r -> Proto.Synth_result { r with Proto.hot; trace }
+  | C_verify r -> Proto.Verify_result { r with Proto.v_hot = hot; v_trace = trace }
 
-let run_job t job =
+let rec run_job t job =
   (* the worker-kill chaos hook sits before any real work: an injected
-     kill takes exactly the path a worker dying mid-job would *)
+     kill takes exactly the path a worker dying mid-job would — inside
+     the serve.job span, so the flight recorder shows the aborted span *)
+  Obs.span "serve.job"
+    ~args:
+      [
+        ("design", Obs.Str job.j_design);
+        ( "kind",
+          Obs.Str (match job.j_kind with `Synth -> "synth" | `Verify -> "verify")
+        );
+      ]
+    (fun () -> run_job_body t job)
+
+and run_job_body t job =
   Fault.on_serve_job ();
   let conn = job.j_conn in
   let t_start = Unix.gettimeofday () in
@@ -451,7 +521,7 @@ let run_job t job =
     (* a duplicate may have been computed while this job sat in the queue *)
     (match Owl_cache.Lru.find t.hot job.j_fp with
     | Some hit ->
-        ignore (send conn (reply_of_cached ~hot:true hit));
+        ignore (send conn (reply_of_cached ~hot:true ~trace:job.j_trace hit));
         bump_served t
     | None -> (
         (* the engine restarts its deadline clock now, so hand it only
@@ -473,11 +543,14 @@ let run_job t job =
             ignore (send conn (Proto.Err e))
         | Ok cached ->
             Owl_cache.Lru.add t.hot job.j_fp cached;
-            ignore (send conn (reply_of_cached ~hot:false cached));
+            ignore
+              (send conn (reply_of_cached ~hot:false ~trace:job.j_trace cached));
             bump_served t));
-    if Obs.metrics_enabled () then
-      Obs.observe h_job_latency
-        (int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6))
+    if Obs.metrics_enabled () then begin
+      let us = int_of_float ((Unix.gettimeofday () -. t_start) *. 1e6) in
+      Obs.observe h_job_latency us;
+      Obs.observe_window w_job_latency us
+    end
   end
 
 (* The executing worker is about to die with this job in hand (it raised
@@ -489,6 +562,13 @@ let run_job t job =
 let settle_lost_job t job =
   let conn = job.j_conn in
   Obs.incr c_worker_lost;
+  (* the dying worker's trace context is still installed, so this instant
+     lands in the flight recorder tagged with the killed request — then
+     the dump snapshots the black box before the domain unwinds *)
+  Obs.instant "serve.worker_lost"
+    ~args:
+      [ ("trace", Obs.Str job.j_trace); ("design", Obs.Str job.j_design) ];
+  flight_dump t ~reason:"worker_lost";
   let requeued =
     locked t.lock (fun () ->
         if
@@ -533,7 +613,15 @@ let pull t () =
             conn.busy <- true;
             conn.running <- Some job;
             t.waiting <- t.waiting - 1;
+            t.inflight <- t.inflight + 1;
             Mutex.unlock t.lock;
+            (* [pull] runs on the worker domain that will execute the
+               job, so this is where the request's trace id becomes the
+               domain-local context — every span the engine opens from
+               here on (pool.service.task included) carries it.  The next
+               pull overwrites it; a dying worker keeps it through
+               [settle_lost_job]. *)
+            Obs.set_trace_context (Some job.j_trace);
             Some
               (fun () ->
                 let requeued = ref false in
@@ -550,6 +638,7 @@ let pull t () =
     | None ->
         if t.stopping then begin
           Mutex.unlock t.lock;
+          Obs.set_trace_context None;
           None
         end
         else begin
@@ -587,6 +676,7 @@ let cache_stats_now t =
 
 let health_now t =
   let ps = pool_stats t in
+  let hot = Owl_cache.Lru.stats t.hot in
   locked t.lock (fun () ->
       let degraded = note_degraded t ~alive:ps.Synth.Pool.Service.alive in
       {
@@ -599,7 +689,28 @@ let health_now t =
         shed = t.shed;
         timeouts = t.timeouts;
         degraded_seconds = degraded_seconds t;
+        uptime_s = Unix.gettimeofday () -. t.started_at;
+        build = build_id;
+        hot_size = hot.Owl_cache.Lru.size;
+        hot_capacity = Owl_cache.Lru.capacity t.hot;
       })
+
+(* refresh the level gauges from live server state, then snapshot the
+   whole registry — a scrape reads current depth, not the last change.
+   With telemetry off the answer is the empty list, not whatever a
+   previous telemetry-on daemon in this process left in the registry *)
+let metrics_now t =
+  if not t.cfg.telemetry then []
+  else
+  let ps = pool_stats t in
+  let hot = Owl_cache.Lru.stats t.hot in
+  locked t.lock (fun () ->
+      Obs.set_gauge g_queue t.waiting;
+      Obs.set_gauge g_inflight t.inflight);
+  Obs.set_gauge g_workers_alive ps.Synth.Pool.Service.alive;
+  Obs.set_gauge g_workers_total ps.Synth.Pool.Service.total;
+  Obs.set_gauge g_hot_size hot.Owl_cache.Lru.size;
+  List.map Proto.wire_metric_of_obs (Obs.metrics ())
 
 let initiate_stop t =
   let fire =
@@ -619,7 +730,7 @@ let fingerprint kind design options =
   Owl_cache.fingerprint
     (String.concat "\n" [ kind; design; Proto.options_to_json options ])
 
-let handle t conn (req : Proto.request) =
+let handle t conn ~trace (req : Proto.request) =
   Obs.incr c_requests;
   match req with
   | Proto.Ping ->
@@ -635,6 +746,15 @@ let handle t conn (req : Proto.request) =
   | Proto.Cache_stats ->
       ignore (send conn (Proto.Cache_stats_reply (cache_stats_now t)));
       bump_served t
+  | Proto.Metrics ->
+      ignore (send conn (Proto.Metrics_reply (metrics_now t)));
+      bump_served t
+  | Proto.Dump_trace { trace = filter } ->
+      ignore
+        (send conn
+           (Proto.Dump_trace_reply
+              { trace_json = Obs.flight_trace_string ?trace:filter () }));
+      bump_served t
   | Proto.Shutdown ->
       ignore (send conn Proto.Shutdown_ack);
       bump_served t;
@@ -648,7 +768,7 @@ let handle t conn (req : Proto.request) =
       let fp = fingerprint kind_s design options in
       match Owl_cache.Lru.find t.hot fp with
       | Some hit ->
-          ignore (send conn (reply_of_cached ~hot:true hit));
+          ignore (send conn (reply_of_cached ~hot:true ~trace hit));
           bump_served t
       | None -> (
           (* cold solver work from here on: deadline sanity, degraded-mode
@@ -695,6 +815,7 @@ let handle t conn (req : Proto.request) =
                     j_kind = kind;
                     j_design = design;
                     j_fp = fp;
+                    j_trace = trace;
                     j_options = options;
                     j_conn = conn;
                     j_deadline =
@@ -714,7 +835,15 @@ let reader t conn () =
     | None -> ()
     | Some payload ->
         (match Proto.request_of_frame payload with
-        | Ok req -> handle t conn req
+        | Ok req ->
+            (* admission is where the request's identity is fixed: adopt
+               the client's trace id if it sent one, mint one otherwise *)
+            let trace =
+              match Proto.trace_of_frame payload with
+              | Some id -> id
+              | None -> mint_trace t
+            in
+            handle t conn ~trace req
         | Error e -> ignore (send conn (Proto.Err e)));
         loop ()
     | exception Proto.Framing_error _ -> ()
@@ -767,6 +896,7 @@ let run ?(ready = fun () -> ()) cfg ~lookup =
       work_cv = Condition.create ();
       ring = Queue.create ();
       waiting = 0;
+      inflight = 0;
       idle = 0;
       stopping = false;
       served = 0;
@@ -781,8 +911,17 @@ let run ?(ready = fun () -> ()) cfg ~lookup =
       hot = Owl_cache.Lru.create ~capacity:cfg.hot_tier_size;
       started_at = Unix.gettimeofday ();
       wake_w;
+      trace_ctr = Atomic.make 0;
+      dump_ctr = Atomic.make 0;
     }
   in
+  (* live telemetry: the metric registry plus the always-on flight
+     recorder, for the daemon's whole life.  [telemetry = false] is the
+     measured-overhead baseline — both stay null sinks. *)
+  if cfg.telemetry then begin
+    Obs.enable_metrics ();
+    Obs.enable_flight ()
+  end;
   let pool = Synth.Pool.Service.start ~jobs:cfg.jobs ~pull:(pull t) in
   t.pool <- Some pool;
   ready ();
@@ -833,5 +972,12 @@ let run ?(ready = fun () -> ()) cfg ~lookup =
             with Unix.Unix_error _ -> ())
         t.conns);
   List.iter Thread.join !threads;
+  (* stop recording (accumulated metric values persist for at_exit
+     summaries; the flight rings are dropped) so a telemetry-off run
+     started later in the same process really is off *)
+  if cfg.telemetry then begin
+    Obs.disable_flight ();
+    Obs.disable_metrics ()
+  end;
   (try Unix.close wake_r with Unix.Unix_error _ -> ());
   try Unix.close t.wake_w with Unix.Unix_error _ -> ()

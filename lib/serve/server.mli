@@ -36,6 +36,17 @@ type config = {
   cache : Owl_cache.t option;
       (** on-disk cache attached to every job's engine options *)
   server_name : string;  (** reported in [Pong] replies *)
+  telemetry : bool;
+      (** enable live telemetry for the daemon's lifetime: the metric
+          registry (counters, gauges, the latency window served by the
+          [metrics] request) and the always-on flight recorder (served
+          by [dump_trace]).  [false] keeps both as null sinks — the
+          measured-overhead baseline. *)
+  dump_dir : string option;
+      (** where automatic flight-recorder dumps go (timestamped
+          [owl-flight-<pid>-<reason>-<n>.json] files, written on
+          [worker_lost] and on entry into degraded mode); [None]
+          disables automatic dumps.  Requires [telemetry]. *)
 }
 
 val run :

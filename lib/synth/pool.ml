@@ -163,8 +163,15 @@ module Service = struct
       let down e =
         Obs.incr c_service_lost;
         if Obs.recording () then
+          (* the trace context the caller's [pull] installed for the task
+             that killed this worker is still set on the dying domain, so
+             the instant names the request that was in hand *)
           Obs.instant "pool.service.worker_lost"
-            ~args:[ ("exn", Obs.Str (Printexc.to_string e)) ];
+            ~args:
+              (let exn = [ ("exn", Obs.Str (Printexc.to_string e)) ] in
+               match Obs.trace_context () with
+               | None -> exn
+               | Some id -> ("trace", Obs.Str id) :: exn);
         Mutex.lock t.lock;
         t.lost <- t.lost + 1;
         t.respawns <- t.respawns + 1;

@@ -360,9 +360,13 @@ let test_metrics () =
   checki "histogram sum" 1010 mh.Obs.sum;
   checki "histogram min" 1 mh.Obs.min_value;
   checki "histogram max" 1000 mh.Obs.max_value;
-  (* log-scale quantiles report bucket upper bounds *)
+  (* log-scale quantiles interpolate linearly within the landing bucket
+     (and clamp to the observed min/max), so small samples no longer
+     report the bucket's upper bound: the rank-4.95 sample of
+     [1;2;3;4;1000] lands 95% into the [512,1023] bucket *)
   checki "p50" 3 mh.Obs.p50;
-  checki "p99" 1023 mh.Obs.p99;
+  checki "p90" 768 mh.Obs.p90;
+  checki "p99" 997 mh.Obs.p99;
   checkb "summary mentions both" true
     (let s = Obs.summary_table () in
      let contains sub =
@@ -376,6 +380,221 @@ let test_metrics () =
     (List.for_all
        (fun (m : Obs.metric) -> m.Obs.metric_name <> "test.counter")
        (Obs.metrics ()))
+
+let test_quantile_uniform () =
+  (* a dense uniform sample: interpolation recovers the true quantile
+     exactly where the bucket really is uniformly filled *)
+  Obs.reset_metrics ();
+  Obs.enable_metrics ();
+  let h = Obs.histogram "test.uniform" in
+  for v = 1 to 1000 do
+    Obs.observe h v
+  done;
+  Obs.disable_metrics ();
+  let m =
+    List.find
+      (fun (m : Obs.metric) -> m.Obs.metric_name = "test.uniform")
+      (Obs.metrics ())
+  in
+  checki "uniform p50" 500 m.Obs.p50;
+  (* the top bucket [512,1023] is only filled to 1000, so interpolation
+     overshoots within it — but the clamp to the observed max bounds it *)
+  checkb "uniform p99 bounded" true (m.Obs.p99 >= 900 && m.Obs.p99 <= 1000);
+  Obs.reset_metrics ()
+
+let test_gauges () =
+  Obs.reset_metrics ();
+  let g = Obs.gauge "test.gauge" in
+  (* disabled: setting is a no-op, and an unset gauge stays invisible *)
+  Obs.disable_metrics ();
+  Obs.set_gauge g 9;
+  checkb "unset gauge hidden" true
+    (List.for_all
+       (fun (m : Obs.metric) -> m.Obs.metric_name <> "test.gauge")
+       (Obs.metrics ()));
+  Obs.enable_metrics ();
+  Obs.set_gauge g 7;
+  Obs.set_gauge g 3;
+  Obs.disable_metrics ();
+  checki "last level wins" 3 (Obs.gauge_value g);
+  let m =
+    List.find
+      (fun (m : Obs.metric) -> m.Obs.metric_name = "test.gauge")
+      (Obs.metrics ())
+  in
+  checkb "kind" true (m.Obs.metric_kind = `Gauge);
+  checki "level, not a sum" 3 m.Obs.count;
+  Obs.reset_metrics ();
+  checkb "reset hides it again" true
+    (List.for_all
+       (fun (m : Obs.metric) -> m.Obs.metric_name <> "test.gauge")
+       (Obs.metrics ()))
+
+let test_windows () =
+  Obs.reset_metrics ();
+  Obs.enable_metrics ();
+  let w = Obs.window "test.window" in
+  List.iter (Obs.observe_window w) [ 1; 2; 3; 4; 1000 ];
+  let m =
+    List.find
+      (fun (m : Obs.metric) -> m.Obs.metric_name = "test.window")
+      (Obs.metrics ())
+  in
+  checkb "kind" true (m.Obs.metric_kind = `Window);
+  checki "window count" 5 m.Obs.count;
+  checki "window sum" 1010 m.Obs.sum;
+  checki "window p50" 3 m.Obs.p50;
+  checki "window p99" 997 m.Obs.p99;
+  (* a 1-second window forgets: after the slot ages out the snapshot is
+     empty again *)
+  let tiny = Obs.window ~seconds:1 "test.window.tiny" in
+  Obs.observe_window tiny 5;
+  Unix.sleepf 1.1;
+  checkb "tiny window aged out" true
+    (List.for_all
+       (fun (m : Obs.metric) ->
+         m.Obs.metric_name <> "test.window.tiny" || m.Obs.count = 0)
+       (Obs.metrics ()));
+  Obs.disable_metrics ();
+  Obs.reset_metrics ()
+
+(* {1 Flight recorder and trace context} *)
+
+let test_flight_wraparound () =
+  Obs.disable ();
+  Obs.enable_flight ~capacity:8 ();
+  for i = 1 to 20 do
+    Obs.instant "f" ~args:[ ("i", Obs.Int i) ]
+  done;
+  let evs = Obs.flight_events () in
+  checki "ring keeps capacity" 8 (List.length evs);
+  (* overwrite-oldest: the survivors are the newest 8, oldest first *)
+  List.iteri
+    (fun idx (e : Obs.event) ->
+      checkb "newest kept in order" true
+        (e.Obs.args = [ ("i", Obs.Int (13 + idx)) ]))
+    evs;
+  let s = Obs.flight_trace_string () in
+  (match Json.parse s with
+  | doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "flight dump has no traceEvents")
+  | exception Json.Parse_error m ->
+      Alcotest.fail ("flight dump is not valid JSON: " ^ m));
+  Obs.disable_flight ();
+  checki "disabled recorder is empty" 0 (List.length (Obs.flight_events ()))
+
+let test_trace_context () =
+  checkb "no initial context" true (Obs.trace_context () = None);
+  Obs.enable_flight ();
+  Obs.with_trace_context "req-1" (fun () ->
+      checkb "context visible inside" true
+        (Obs.trace_context () = Some "req-1");
+      Obs.instant "a";
+      Obs.span "s" (fun () -> ()));
+  checkb "context restored" true (Obs.trace_context () = None);
+  Obs.with_trace_context "req-2" (fun () -> Obs.instant "b");
+  Obs.instant "c";
+  let all = Obs.flight_events () in
+  let trace_of name =
+    (List.find (fun (e : Obs.event) -> e.Obs.name = name) all).Obs.trace
+  in
+  checkb "a tagged" true (trace_of "a" = Some "req-1");
+  checkb "b tagged" true (trace_of "b" = Some "req-2");
+  checkb "c untagged" true (trace_of "c" = None);
+  (* the filter isolates one request's events, span Begin/End included *)
+  let one = Obs.flight_events ~trace:"req-1" () in
+  checki "filtered count" 3 (List.length one);
+  checkb "filtered names" true
+    (List.for_all
+       (fun (e : Obs.event) -> e.Obs.name = "a" || e.Obs.name = "s")
+       one);
+  (* the filtered Chrome export tags every event with the id *)
+  (match Json.parse (Obs.flight_trace_string ~trace:"req-1" ()) with
+  | doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.Arr all_evs) ->
+          (* skip the process/thread-name metadata events *)
+          let evs =
+            List.filter
+              (fun ev ->
+                match Json.member "ph" ev with
+                | Some (Json.String "M") -> false
+                | _ -> true)
+              all_evs
+          in
+          checki "exported count" 3 (List.length evs);
+          List.iter
+            (fun ev ->
+              match Json.member "args" ev with
+              | Some args -> (
+                  match Json.member "trace" args with
+                  | Some (Json.String "req-1") -> ()
+                  | _ -> Alcotest.fail "event missing trace arg")
+              | None -> Alcotest.fail "event missing args")
+            evs
+      | _ -> Alcotest.fail "no traceEvents")
+  | exception Json.Parse_error m ->
+      Alcotest.fail ("filtered dump is not valid JSON: " ^ m));
+  (* exceptions restore the context too *)
+  (match Obs.with_trace_context "req-3" (fun () -> failwith "expected") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  checkb "context restored after raise" true (Obs.trace_context () = None);
+  Obs.disable_flight ()
+
+(* {1 Concurrent taps} *)
+
+let test_tap_concurrent () =
+  (* four domains, each with its own tap, while a fifth domain toggles
+     the tracing epoch and the metric registry as fast as it can.  The
+     races may cost epoch events (that sink is being cleared under us)
+     but each tap must still observe exactly its own domain's stream, in
+     order, and nothing may crash *)
+  Obs.disable ();
+  Obs.disable_metrics ();
+  let stop = Atomic.make false in
+  let toggler =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Obs.enable ();
+          Obs.disable ();
+          Obs.enable_metrics ();
+          Obs.disable_metrics ()
+        done)
+  in
+  let rounds = 500 in
+  let worker id () =
+    let seen = ref [] in
+    Obs.with_tap
+      (fun ph name args -> if ph = Obs.Instant then seen := (name, args) :: !seen)
+      (fun () ->
+        for i = 1 to rounds do
+          Obs.span "tapped.span" (fun () ->
+              Obs.instant "tapped"
+                ~args:[ ("who", Obs.Int id); ("i", Obs.Int i) ])
+        done);
+    let l = List.rev !seen in
+    List.length l = rounds
+    && List.for_all2
+         (fun i (name, args) ->
+           name = "tapped"
+           && args = [ ("who", Obs.Int id); ("i", Obs.Int i) ])
+         (List.init rounds (fun i -> i + 1))
+         l
+  in
+  let spawned = List.init 3 (fun k -> Domain.spawn (worker (k + 1))) in
+  let mine = worker 0 () in
+  let oks = List.map Domain.join spawned in
+  Atomic.set stop true;
+  Domain.join toggler;
+  (* leave the globals however the toggler's last iteration did not *)
+  Obs.disable ();
+  Obs.disable_metrics ();
+  checkb "every tap saw exactly its own stream" true
+    (mine && List.for_all Fun.id oks);
+  checkb "no tap left installed" true (not (Obs.tapping ()))
 
 let test_metrics_parallel () =
   Obs.reset_metrics ();
@@ -419,10 +638,20 @@ let () =
             test_merge_deterministic;
           Alcotest.test_case "drop newest" `Quick test_drop_newest;
           Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+          Alcotest.test_case "concurrent taps" `Quick test_tap_concurrent;
+        ] );
+      ( "flight",
+        [
+          Alcotest.test_case "wraparound ring" `Quick test_flight_wraparound;
+          Alcotest.test_case "trace context" `Quick test_trace_context;
         ] );
       ( "metrics",
         [
           Alcotest.test_case "counters and histograms" `Quick test_metrics;
+          Alcotest.test_case "quantile interpolation" `Quick
+            test_quantile_uniform;
+          Alcotest.test_case "gauges" `Quick test_gauges;
+          Alcotest.test_case "windows" `Quick test_windows;
           Alcotest.test_case "parallel recording" `Quick test_metrics_parallel;
         ] );
     ]

@@ -17,7 +17,11 @@
      content fingerprint);
    - the daemon recovers to full capacity: a fresh cold request solves,
      the health report shows every worker alive (and at least one lost
-     along the way), nothing queued, not degraded. *)
+     along the way), nothing queued, not degraded;
+   - the worker kill left an automatic flight-recorder dump: a valid
+     Chrome-trace JSON file in the configured dump directory whose
+     events carry the killed request's trace id (which the requeued
+     request's terminal reply also reports). *)
 
 module Proto = Owl_serve.Proto
 module Server = Owl_serve.Server
@@ -36,6 +40,10 @@ let lookup kind name =
 
 let jobs = 2
 
+(* automatic flight-recorder dumps from the faulted phase land here *)
+let dump_dir =
+  Printf.sprintf "/tmp/owl-chaos-smoke-dumps-%d" (Unix.getpid ())
+
 let start tag =
   let path =
     Printf.sprintf "/tmp/owl-chaos-smoke-%d-%s.sock" (Unix.getpid ()) tag
@@ -48,7 +56,8 @@ let start tag =
         Server.run
           ~ready:(fun () -> Atomic.set ready true)
           { Server.addr; jobs; queue_depth = 8; hot_tier_size = 16;
-            cache = None; server_name = "chaos-smoke" }
+            cache = None; server_name = "chaos-smoke";
+            telemetry = true; dump_dir = Some dump_dir }
           ~lookup)
       ()
   in
@@ -81,9 +90,11 @@ let request_of seq =
   in
   (design, options)
 
-(* runs the batch; returns per-request bindings and the retry count *)
+(* runs the batch; returns per-request bindings, the trace ids the
+   terminal replies carried, and the retry count *)
 let run_batch addr =
   let retried = ref 0 in
+  let traces = ref [] in
   let results =
     Array.init total (fun seq ->
         let design, options = request_of seq in
@@ -96,23 +107,88 @@ let run_batch addr =
         | r ->
             if r.Proto.outcome <> "solved" then
               fail "request %d (%s) came back %s" seq design r.Proto.outcome;
+            if r.Proto.trace = "" then
+              fail "request %d (%s) reply carried no trace id" seq design;
+            traces := r.Proto.trace :: !traces;
             r.Proto.bindings
         | exception e ->
             fail "request %d (%s) failed after retries: %s" seq design
               (Printexc.to_string e))
   in
-  (results, !retried)
+  (results, !traces, !retried)
+
+(* the faulted phase's flight dumps: every [worker_lost] dump must be
+   valid Chrome-trace JSON, and at least one event across them must be
+   tagged with a trace id some terminal reply reported — the killed
+   request is requeued under its original id, so its reply names it *)
+let check_flight_dumps traces =
+  let dumps =
+    match Sys.readdir dump_dir with
+    | files -> Array.to_list files
+    | exception Sys_error _ -> []
+  in
+  let is_lost_dump f =
+    (* owl-flight-<pid>-worker_lost-<n>.json *)
+    String.length f > 5
+    && Filename.check_suffix f ".json"
+    &&
+    let rec find i =
+      i + 11 <= String.length f
+      && (String.sub f i 11 = "worker_lost" || find (i + 1))
+    in
+    find 0
+  in
+  let lost = List.filter is_lost_dump dumps in
+  if lost = [] then
+    fail "worker_kill@2 left no worker_lost flight dump in %s" dump_dir;
+  let traced = ref false in
+  List.iter
+    (fun f ->
+      let path = Filename.concat dump_dir f in
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.parse s with
+      | exception Json.Parse_error m ->
+          fail "flight dump %s is not valid JSON: %s" f m
+      | doc -> (
+          match Json.member "traceEvents" doc with
+          | Some (Json.Arr (_ :: _ as evs)) ->
+              List.iter
+                (fun ev ->
+                  match Json.member "args" ev with
+                  | Some args -> (
+                      match Json.member "trace" args with
+                      | Some (Json.String id) when List.mem id traces ->
+                          traced := true
+                      | _ -> ())
+                  | None -> ())
+                evs
+          | _ -> fail "flight dump %s has no traceEvents" f))
+    lost;
+  if not !traced then
+    fail "no flight-dump event carries a trace id any reply reported";
+  List.length lost
+
+let cleanup_dumps () =
+  (match Sys.readdir dump_dir with
+  | files ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dump_dir f) with Sys_error _ -> ())
+        files
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dump_dir with Unix.Unix_error _ -> ()
 
 let () =
   (* phase one: fault-free baseline *)
   let addr, th = start "baseline" in
-  let baseline, _ = run_batch addr in
+  let baseline, _, _ = run_batch addr in
   stop addr th;
   (* phase two: the same batch under the miniature fault plan *)
   Fault.install (Fault.parse "worker_kill@2,conn_drop@3");
   Fun.protect ~finally:Fault.clear @@ fun () ->
   let addr, th = start "faulted" in
-  let faulted, retried = run_batch addr in
+  let faulted, traces, retried = run_batch addr in
   let wrong = ref 0 in
   Array.iteri
     (fun seq b -> if b <> baseline.(seq) then incr wrong)
@@ -141,8 +217,10 @@ let () =
   if h.Proto.degraded then fail "daemon still degraded after recovery";
   if h.Proto.queue_waiting <> 0 then
     fail "%d jobs still queued after the batch" h.Proto.queue_waiting;
+  let dumps = Fun.protect ~finally:cleanup_dumps (fun () -> check_flight_dumps traces) in
   Printf.printf
     "chaos smoke: %d requests ok under worker_kill@2,conn_drop@3 (%d \
-     retries, %d worker(s) lost and respawned, bindings bit-identical)\n"
-    total retried h.Proto.workers_lost;
+     retries, %d worker(s) lost and respawned, bindings bit-identical, %d \
+     traced flight dump(s))\n"
+    total retried h.Proto.workers_lost dumps;
   print_endline "chaos smoke: ok"

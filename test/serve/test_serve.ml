@@ -315,11 +315,22 @@ let test_reply_roundtrip () =
           bindings = [ ("h0", "2'x1"); ("h1", "(if a \"b\" c)") ];
           stats = sample_stats;
           hot = true;
+          trace = "tdeadbe-7";
+        };
+      Proto.Synth_result
+        {
+          Proto.outcome = "timeout";
+          detail = "";
+          bindings = [];
+          stats = sample_stats;
+          hot = false;
+          trace = "";
         };
       Proto.Verify_result
         {
           Proto.verdicts = [ ("add", "verified"); ("sub", "violated") ];
           v_hot = false;
+          v_trace = "tcafe00-12";
         };
       Proto.Cache_stats_reply sample_cache_stats;
       Proto.Cache_stats_reply
@@ -346,6 +357,10 @@ let test_reply_roundtrip () =
               shed = 6;
               timeouts = 7;
               degraded_seconds = 1.5;
+              uptime_s = 33.25;
+              build = "owl-serve/1.0 proto-1";
+              hot_size = 9;
+              hot_capacity = 64;
             };
         };
       Proto.Pong
@@ -356,6 +371,34 @@ let test_reply_roundtrip () =
         };
       Proto.Busy { queue_depth = 9 };
       Proto.Err { Proto.code = "internal"; message = "boom \"quoted\"" };
+      Proto.Metrics_reply
+        [
+          {
+            Proto.m_name = "serve.requests";
+            m_kind = "counter";
+            m_count = 42;
+            m_sum = 0;
+            m_min = 0;
+            m_max = 0;
+            m_p50 = 0;
+            m_p90 = 0;
+            m_p99 = 0;
+          };
+          {
+            Proto.m_name = "serve.job.latency_us";
+            m_kind = "histogram";
+            m_count = 5;
+            m_sum = 1010;
+            m_min = 1;
+            m_max = 1000;
+            m_p50 = 3;
+            m_p90 = 768;
+            m_p99 = 997;
+          };
+        ];
+      Proto.Metrics_reply [];
+      Proto.Dump_trace_reply
+        { trace_json = "{\"traceEvents\":[{\"name\":\"x \\\"q\\\"\"}]}" };
       Proto.Shutdown_ack;
     ]
   in
@@ -378,8 +421,91 @@ let test_request_roundtrip () =
       Proto.Verify { design = "acc"; options = Synth.Engine.default_options };
       Proto.Cache_stats;
       Proto.Ping;
+      Proto.Metrics;
+      Proto.Dump_trace { trace = None };
+      Proto.Dump_trace { trace = Some "t1a2b3-4" };
       Proto.Shutdown;
     ]
+
+(* The envelope's "trace" member is a tolerant peek on both ends: any
+   request can carry one, old decoders ignore it, and unparseable
+   payloads read as None rather than raising. *)
+let test_trace_envelope () =
+  check "client-stamped trace survives the envelope" true
+    (Proto.trace_of_frame (Proto.request_to_frame ~trace:"tabc12-9" Proto.Ping)
+    = Some "tabc12-9");
+  check "untraced frame peeks as None" true
+    (Proto.trace_of_frame (Proto.request_to_frame Proto.Ping) = None);
+  check "garbage peeks as None, not an exception" true
+    (Proto.trace_of_frame "not json at all" = None);
+  (* a traced request still decodes as the same request — the id rides
+     protocol version 1 unchanged *)
+  check "traced ping still decodes" true
+    (Proto.request_of_frame (Proto.request_to_frame ~trace:"t0-0" Proto.Ping)
+    = Ok Proto.Ping);
+  (* terminal replies re-surface the id they were stamped with *)
+  let r =
+    Proto.Synth_result
+      {
+        Proto.outcome = "solved";
+        detail = "";
+        bindings = [ ("h0", "1'x0") ];
+        stats = sample_stats;
+        hot = false;
+        trace = "tfeed0-3";
+      }
+  in
+  check "reply frame carries the result's trace id" true
+    (Proto.trace_of_frame (Proto.reply_to_frame r) = Some "tfeed0-3")
+
+let wm ?(count = 0) ?(sum = 0) ?(min = 0) ?(max = 0) ?(p50 = 0) ?(p90 = 0)
+    ?(p99 = 0) name kind =
+  {
+    Proto.m_name = name;
+    m_kind = kind;
+    m_count = count;
+    m_sum = sum;
+    m_min = min;
+    m_max = max;
+    m_p50 = p50;
+    m_p90 = p90;
+    m_p99 = p99;
+  }
+
+let sample_metrics =
+  [
+    wm "serve.requests" "counter" ~count:42;
+    wm "serve.queue_waiting" "gauge" ~count:3;
+    wm "serve.job.latency_us.1m" "window" ~count:5 ~sum:1010 ~min:1 ~max:1000
+      ~p50:3 ~p90:768 ~p99:997;
+  ]
+
+(* Pin down the Prometheus exposition rendering: name mangling, the
+   _total counter suffix, plain gauges, and summary quantiles.  These
+   lines are what a scraper parses, so the format is a contract. *)
+let test_prometheus_render () =
+  let text = Proto.metrics_to_prometheus sample_metrics in
+  let has needle =
+    let n = String.length needle and l = String.length text in
+    let rec go i = i + n <= l && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "counter renders with _total" true (has "owl_serve_requests_total 42\n");
+  check "counter typed" true (has "# TYPE owl_serve_requests_total counter\n");
+  check "gauge renders plainly" true (has "owl_serve_queue_waiting 3\n");
+  check "window renders as summary" true
+    (has "# TYPE owl_serve_job_latency_us_1m summary\n");
+  check "p99 quantile sample" true
+    (has "owl_serve_job_latency_us_1m{quantile=\"0.99\"} 997\n");
+  check "summary sum and count" true
+    (has "owl_serve_job_latency_us_1m_sum 1010\n"
+    && has "owl_serve_job_latency_us_1m_count 5\n");
+  (* and the JSON rendering is a standalone parseable array *)
+  match Json.parse (Proto.metrics_to_json sample_metrics) with
+  | Json.Arr [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "metrics_to_json is not a 3-element array"
+  | exception Json.Parse_error m ->
+      Alcotest.fail ("metrics_to_json unparseable: " ^ m)
 
 (* {1 The LRU hot tier} *)
 
@@ -458,7 +584,8 @@ let stub_lookup kind name =
 
 let sock_counter = ref 0
 
-let start_server ?(jobs = 2) ?(queue_depth = 8) ?(hot = 16) () =
+let start_server ?(jobs = 2) ?(queue_depth = 8) ?(hot = 16)
+    ?(telemetry = false) () =
   incr sock_counter;
   let path =
     Printf.sprintf "/tmp/owl-serve-test-%d-%d.sock" (Unix.getpid ())
@@ -478,6 +605,8 @@ let start_server ?(jobs = 2) ?(queue_depth = 8) ?(hot = 16) () =
             hot_tier_size = hot;
             cache = None;
             server_name = "test";
+            telemetry;
+            dump_dir = None;
           }
           ~lookup:stub_lookup)
       ()
@@ -565,6 +694,86 @@ let test_verify_end_to_end () =
     && List.for_all (fun (_, v) -> v = "verified") r.Proto.verdicts);
   let r2 = Client.verify c ~design:"acc" Synth.Engine.default_options in
   check "verify repeat is hot" true r2.Proto.v_hot;
+  Client.close c;
+  stop_server addr th
+
+(* Telemetry end to end: a daemon started with telemetry on serves the
+   metrics snapshot (counters counting, gauges live) and flight-recorder
+   dumps — both the full ring and a single request's slice by trace id;
+   one started with telemetry off answers the same request with an empty
+   list rather than an error. *)
+let test_live_telemetry () =
+  let addr, th = start_server ~telemetry:true () in
+  let c = Client.connect addr in
+  let r = Client.synth c ~design:"acc" Synth.Engine.default_options in
+  check_str "request solved" "solved" r.Proto.outcome;
+  check "reply carries a trace id" true (r.Proto.trace <> "");
+  let ms = Client.metrics c in
+  check "metrics reply is non-empty" true (ms <> []);
+  let find name = List.find_opt (fun m -> m.Proto.m_name = name) ms in
+  (match find "serve.requests" with
+  | Some m ->
+      check_str "requests kind" "counter" m.Proto.m_kind;
+      check "requests counted" true (m.Proto.m_count >= 1)
+  | None -> Alcotest.fail "no serve.requests counter");
+  (match find "serve.workers_alive" with
+  | Some m ->
+      check_str "workers kind" "gauge" m.Proto.m_kind;
+      check_int "workers gauge" 2 m.Proto.m_count
+  | None -> Alcotest.fail "no serve.workers_alive gauge");
+  (* the worker observes job latency after sending the terminal reply,
+     so the histogram may land an instant behind the reply — poll *)
+  let rec await_latency n =
+    match
+      List.find_opt
+        (fun m -> m.Proto.m_name = "serve.job.latency_us")
+        (Client.metrics c)
+    with
+    | Some m when m.Proto.m_count >= 1 -> ()
+    | _ when n < 100 ->
+        Thread.delay 0.01;
+        await_latency (n + 1)
+    | _ -> Alcotest.fail "no serve.job.latency_us observation"
+  in
+  await_latency 0;
+  (* the flight recorder serves a full dump... *)
+  (match Json.parse (Client.dump_trace c) with
+  | doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.Arr (_ :: _)) -> ()
+      | _ -> Alcotest.fail "flight dump has no traceEvents")
+  | exception Json.Parse_error m ->
+      Alcotest.fail ("flight dump is not valid JSON: " ^ m));
+  (* ...and a single request's span tree in isolation: every non-metadata
+     event in the slice is tagged with exactly the reply's trace id *)
+  (match Json.parse (Client.dump_trace ~trace:r.Proto.trace c) with
+  | doc -> (
+      match Json.member "traceEvents" doc with
+      | Some (Json.Arr evs) ->
+          let payload =
+            List.filter
+              (fun ev -> Json.member "ph" ev <> Some (Json.String "M"))
+              evs
+          in
+          check "slice is non-empty" true (payload <> []);
+          check "slice events all carry the request's id" true
+            (List.for_all
+               (fun ev ->
+                 match Json.member "args" ev with
+                 | Some args ->
+                     Json.member "trace" args
+                     = Some (Json.String r.Proto.trace)
+                 | None -> false)
+               payload)
+      | _ -> Alcotest.fail "trace slice has no traceEvents")
+  | exception Json.Parse_error m ->
+      Alcotest.fail ("trace slice is not valid JSON: " ^ m));
+  Client.close c;
+  stop_server addr th;
+  (* telemetry off: the wire request succeeds, the registry is empty *)
+  let addr, th = start_server () in
+  let c = Client.connect addr in
+  check "telemetry off serves an empty list" true (Client.metrics c = []);
   Client.close c;
   stop_server addr th
 
@@ -893,6 +1102,9 @@ let () =
           Alcotest.test_case "pong health skew" `Quick test_pong_health_skew;
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;
+          Alcotest.test_case "trace envelope" `Quick test_trace_envelope;
+          Alcotest.test_case "prometheus rendering" `Quick
+            test_prometheus_render;
           Alcotest.test_case "hostile payloads" `Quick
             test_request_decode_errors;
         ] );
@@ -907,6 +1119,7 @@ let () =
           Alcotest.test_case "ping and stats" `Quick test_ping_and_stats;
           Alcotest.test_case "cold then hot" `Quick test_synth_cold_then_hot;
           Alcotest.test_case "verify" `Quick test_verify_end_to_end;
+          Alcotest.test_case "live telemetry" `Quick test_live_telemetry;
           Alcotest.test_case "unknown design" `Quick test_unknown_design;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients;
