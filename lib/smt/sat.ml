@@ -26,6 +26,15 @@ type result = Sat | Unsat | Unknown
 
 (* {1 Configuration} *)
 
+type restart_schedule =
+  | Luby of int  (* unit run length; the legacy schedule is [Luby 100] *)
+  | Geometric of int * float  (* first interval, growth factor >= 1.0 *)
+
+type phase_init =
+  | Phase_neg  (* fresh variables decide negative first (the legacy rule) *)
+  | Phase_pos  (* fresh variables decide positive first *)
+  | Phase_rand  (* per-variable pseudo-random phase, seeded by branch_seed *)
+
 type config = {
   lbd_retention : bool;  (* LBD-tiered reduce_db with glue protection *)
   rephase : bool;  (* best-phase rephasing on restarts *)
@@ -33,6 +42,12 @@ type config = {
   vivify : bool;  (* inprocessing: clause vivification *)
   elim : bool;  (* inprocessing: bounded variable elimination *)
   inprocess_interval : int;  (* conflicts between inprocessing rounds *)
+  restart : restart_schedule;
+  branch_seed : int;
+      (* 0 = pure VSIDS tie-by-index; nonzero perturbs fresh variables'
+         initial activity by a tiny seed-dependent epsilon, diversifying
+         the early decision order without touching learned activity *)
+  phase : phase_init;
 }
 
 type profile = Default | Aggressive | Conservative
@@ -45,6 +60,9 @@ let conservative_config =
     vivify = false;
     elim = false;
     inprocess_interval = max_int;
+    restart = Luby 100;
+    branch_seed = 0;
+    phase = Phase_neg;
   }
 
 let default_config =
@@ -55,6 +73,9 @@ let default_config =
     vivify = true;
     elim = false;
     inprocess_interval = 2000;
+    restart = Luby 100;
+    branch_seed = 0;
+    phase = Phase_neg;
   }
 
 let aggressive_config =
@@ -75,6 +96,15 @@ let profile_of_string = function
   | "aggressive" -> Some Aggressive
   | "conservative" -> Some Conservative
   | _ -> None
+
+(* Deterministic integer mixer (splitmix-style) for seeded diversification:
+   the same (seed, v) always lands on the same value, independent of any
+   global hashing state, so seeded runs are bit-for-bit reproducible. *)
+let mix seed v =
+  let x = (seed * 0x9E3779B1) lxor ((v + 1) * 0x85EBCA6B) in
+  let x = x lxor (x lsr 16) in
+  let x = x * 0x27D4EB2F in
+  (x lxor (x lsr 13)) land max_int
 
 (* {1 Dynamic int arrays} *)
 
@@ -164,11 +194,19 @@ type t = {
       (* cumulative problem clauses added through the external API — the
          monotone count statistics deltas need (live counts can shrink
          when inprocessing deletes clauses) *)
+  mutable n_import_dropped : int;
+      (* imported clauses rejected by the bounds check: they named
+         variables this solver never allocated *)
 }
 
 let create ?(config = default_config) () =
   if config.inprocess_interval < 1 then
     invalid_arg "Sat.create: inprocess_interval < 1";
+  (match config.restart with
+  | Luby base when base < 1 -> invalid_arg "Sat.create: Luby base < 1"
+  | Geometric (base, f) when base < 1 || f < 1.0 ->
+      invalid_arg "Sat.create: Geometric base < 1 or factor < 1.0"
+  | _ -> ());
   {
     cfg = config;
     clauses = Array.make 64 { lits = [||]; learnt = false; act = 0.0; lbd = 0 };
@@ -216,6 +254,7 @@ let create ?(config = default_config) () =
     n_eliminated = 0;
     n_rephases = 0;
     n_encoded = 0;
+    n_import_dropped = 0;
   }
 
 let num_vars s = s.nvars
@@ -234,6 +273,7 @@ let vivified s = s.n_vivified
 let eliminated_vars s = s.n_eliminated
 let rephases s = s.n_rephases
 let encoded_clauses s = s.n_encoded
+let import_dropped s = s.n_import_dropped
 
 (* {1 Variable allocation} *)
 
@@ -334,10 +374,23 @@ let new_var s =
   s.assigns.(v) <- -1;
   s.reason.(v) <- -1;
   s.level.(v) <- 0;
-  s.activity.(v) <- 0.0;
+  (* Seeded diversification: a nonzero branch seed perturbs the initial
+     activity by a tiny epsilon (far below any bumped activity, so it only
+     breaks ties among untouched variables), and the phase policy sets the
+     first decision polarity.  The defaults (seed 0, Phase_neg) reproduce
+     the historical solver bit for bit. *)
+  s.activity.(v) <-
+    (if s.cfg.branch_seed = 0 then 0.0
+     else float_of_int (mix s.cfg.branch_seed v land 0xFFFF) *. 1e-12);
   s.heap_pos.(v) <- -1;
-  s.polarity.(v) <- false;
-  s.best_phase.(v) <- false;
+  let init_phase =
+    match s.cfg.phase with
+    | Phase_neg -> false
+    | Phase_pos -> true
+    | Phase_rand -> mix (s.cfg.branch_seed + 77) v land 1 = 1
+  in
+  s.polarity.(v) <- init_phase;
+  s.best_phase.(v) <- init_phase;
   s.frozen.(v) <- false;
   s.eliminated.(v) <- false;
   s.ext_model.(v) <- -1;
@@ -1152,7 +1205,7 @@ let add_clause s ext_lits = add_clause_gen s ~learnt:false ext_lits
    exist (elimination deletes them), so exports are clean; imports go
    through [add_clause_gen], whose restore-on-add covers the converse. *)
 
-let export_learnt s =
+let export_learnt ?(max_lbd = max_int) s =
   let out = ref [] in
   let to_ext l =
     let v = (l lsr 1) + 1 in
@@ -1160,7 +1213,7 @@ let export_learnt s =
   in
   for i = s.n_clauses - 1 downto 0 do
     let c = s.clauses.(i) in
-    if c.learnt && Array.length c.lits > 0 then
+    if c.learnt && Array.length c.lits > 0 && c.lbd <= max_lbd then
       out := Array.to_list (Array.map to_ext c.lits) :: !out
   done;
   !out
@@ -1171,13 +1224,47 @@ let import_learnt s clauses =
     (fun lits ->
       if
         lits <> []
-        && List.for_all (fun l -> abs l >= 1 && abs l <= s.nvars) lits
+        && List.for_all (fun l -> l <> min_int && abs l >= 1 && abs l <= s.nvars) lits
       then begin
         add_clause_gen s ~learnt:true lits;
         incr imported
-      end)
+      end
+      else
+        (* clause over variables this solver never allocated (or empty):
+           silently adding it would index watch lists out of range, so it
+           is dropped — and counted, because a high drop rate means the
+           exporter and importer do not share an encoding *)
+        s.n_import_dropped <- s.n_import_dropped + 1)
     clauses;
   !imported
+
+(* The K most clause-constrained variables — a static occurrence-count
+   proxy for the lookahead heuristic a cube-and-conquer splitter wants.
+   Only unassigned, decidable problem variables qualify (root-fixed,
+   eliminated, and frozen activation-guard variables make useless cube
+   literals).  Ties break by variable index, so the split is deterministic
+   for a fixed encoding.  Returns DIMACS (positive) indices. *)
+let top_vars s k =
+  if k <= 0 || s.nvars = 0 then []
+  else begin
+    let occ = Array.make s.nvars 0 in
+    for i = 0 to s.n_clauses - 1 do
+      let c = s.clauses.(i) in
+      if (not c.learnt) && Array.length c.lits > 0 then
+        Array.iter (fun l -> occ.(lit_var l) <- occ.(lit_var l) + 1) c.lits
+    done;
+    let cand = ref [] in
+    for v = s.nvars - 1 downto 0 do
+      if
+        s.assigns.(v) < 0 && (not s.eliminated.(v)) && (not s.frozen.(v))
+        && occ.(v) > 0
+      then cand := v :: !cand
+    done;
+    let sorted =
+      List.stable_sort (fun a b -> compare occ.(b) occ.(a)) !cand
+    in
+    List.filteri (fun i _ -> i < k) sorted |> List.map (fun v -> v + 1)
+  end
 
 (* {1 Search} *)
 
@@ -1195,6 +1282,17 @@ let luby x =
     x := !x mod !size
   done;
   1 lsl !seq
+
+(* Interval until the k-th restart (1-based), per the configured schedule.
+   [Luby base] is the classic base*luby(k) staircase (the legacy behavior
+   at base 100); [Geometric] grows from its first interval by a constant
+   factor, capped to keep the float->int conversion safe. *)
+let restart_interval s k =
+  match s.cfg.restart with
+  | Luby base -> base * luby k
+  | Geometric (base, f) ->
+      let iv = float_of_int base *. (f ** float_of_int (k - 1)) in
+      if iv >= 1e9 then 1_000_000_000 else max 1 (int_of_float iv)
 
 let solve_inner ?(assumptions = []) ?(budget = max_int) ?deadline s =
   cancel_until s 0;
@@ -1236,7 +1334,7 @@ let solve_inner ?(assumptions = []) ?(budget = max_int) ?deadline s =
     let learnt = Vec.create () in
     let conflicts_this = ref 0 in
     let restart_count = ref 0 in
-    let next_restart = ref (100 * luby 1) in
+    let next_restart = ref (restart_interval s 1) in
     let result = ref None in
     (if propagate s >= 0 || not s.ok then begin
        s.ok <- false;
@@ -1297,7 +1395,7 @@ let solve_inner ?(assumptions = []) ?(budget = max_int) ?deadline s =
             incr restart_count;
             s.n_restarts <- s.n_restarts + 1;
             next_restart :=
-              !conflicts_this + (100 * luby (!restart_count + 1));
+              !conflicts_this + restart_interval s (!restart_count + 1);
             if Obs.enabled () then
               Obs.instant "sat.restart"
                 ~args:

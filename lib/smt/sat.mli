@@ -23,6 +23,20 @@ type result = Sat | Unsat | Unknown
 
 (** {1 Configuration} *)
 
+type restart_schedule =
+  | Luby of int
+      (** Luby staircase with the given unit run length; [Luby 100] is the
+          historical schedule. *)
+  | Geometric of int * float
+      (** First restart interval and per-restart growth factor (>= 1.0). *)
+
+type phase_init =
+  | Phase_neg  (** fresh variables decide negative first (historical) *)
+  | Phase_pos  (** fresh variables decide positive first *)
+  | Phase_rand
+      (** deterministic per-variable pseudo-random phase, seeded by
+          [branch_seed] *)
+
 type config = {
   lbd_retention : bool;
       (** LBD-tiered [reduce_db] with glue-clause protection (instead of
@@ -35,6 +49,13 @@ type config = {
   elim : bool;  (** Inprocessing: bounded variable elimination. *)
   inprocess_interval : int;
       (** Conflicts between inprocessing rounds (>= 1). *)
+  restart : restart_schedule;  (** Restart pacing; default [Luby 100]. *)
+  branch_seed : int;
+      (** [0] (default) is the pure VSIDS index tie-break; a nonzero seed
+          perturbs fresh variables' initial activity by a tiny
+          deterministic epsilon, diversifying the early decision order —
+          the portfolio racers' branching diversification knob. *)
+  phase : phase_init;  (** Initial decision polarity; default [Phase_neg]. *)
 }
 
 type profile = Default | Aggressive | Conservative
@@ -52,7 +73,9 @@ val profile_name : profile -> string
 val profile_of_string : string -> profile option
 
 val create : ?config:config -> unit -> t
-(** Raises [Invalid_argument] if [config.inprocess_interval < 1]. *)
+(** Raises [Invalid_argument] if [config.inprocess_interval < 1], the
+    restart schedule's base interval is [< 1], or a geometric factor is
+    [< 1.0]. *)
 
 val new_var : t -> int
 (** Allocates a fresh variable and returns its (positive) index. *)
@@ -122,19 +145,33 @@ val add_clause : t -> int list -> unit
     eliminated clauses (sound, but slow — {!freeze} variables that will be
     re-constrained). *)
 
-val export_learnt : t -> int list list
+val export_learnt : ?max_lbd:int -> t -> int list list
 (** Snapshot of the learned-clause database, in DIMACS literals.  Every
     exported clause is a consequence of the problem clauses the solver has
     seen, so the list is only meaningful for re-import into a solver holding
     the same encoding (same variable numbering) — the synthesis cache pins
-    this with an exact problem fingerprint before replaying. *)
+    this with an exact problem fingerprint before replaying.  [max_lbd]
+    keeps only clauses whose glue level is at or below the bound (the
+    portfolio racers share [max_lbd]-filtered "glue" clauses); the default
+    exports everything. *)
 
 val import_learnt : t -> int list list -> int
 (** Replays previously exported clauses, allocating them as {e learnt}: they
     never count as problem clauses in the statistics and the activity-based
     deletion may drop them again.  Clauses naming variables the solver has
-    not allocated yet are skipped (the exporting run may have blasted more
-    terms).  Returns the number of clauses actually imported. *)
+    not allocated yet are dropped — never handed to the watch lists — and
+    counted in {!import_dropped} (the exporting run may have blasted more
+    terms, or the peer may not share this encoding at all).  Returns the
+    number of clauses actually imported. *)
+
+val import_dropped : t -> int
+(** Imported clauses rejected by the bounds check, cumulative. *)
+
+val top_vars : t -> int -> int list
+(** [top_vars s k] returns up to [k] (positive DIMACS) variables with the
+    highest problem-clause occurrence counts — a deterministic static
+    proxy for a lookahead cube splitter.  Root-assigned, eliminated, and
+    frozen variables are excluded; ties break by variable index. *)
 
 val solve : ?assumptions:int list -> ?budget:int -> ?deadline:float -> t -> result
 (** [solve ~assumptions ~budget ~deadline s] checks satisfiability under the

@@ -74,11 +74,14 @@ type options = {
   cache : Owl_cache.t option;
       (* cross-run synthesis cache: consult before each per-instruction
          CEGIS loop, populate after *)
-  sat : Sat.config;
-      (* SAT core pass configuration (LBD retention, rephasing,
-         inprocessing) applied to every solver this run creates; excluded
-         from problem fingerprints because it never changes which models
+  strategy : Solver.Strategy.t;
+      (* solver strategy (pass gates + restart/seed/phase diversification
+         base) applied to every solver this run creates; excluded from
+         problem fingerprints because it never changes which models
          exist, only how fast one is found *)
+  race : Portfolio.options;
+      (* portfolio racing / cube-and-conquer for the hard verify
+         queries; Portfolio.default = sequential *)
 }
 
 let default_options =
@@ -99,8 +102,12 @@ let default_options =
     check_independence = false;
     incremental = true;
     cache = None;
-    sat = Sat.default_config;
+    strategy = Solver.Strategy.default;
+    race = Portfolio.default;
   }
+
+(* the configuration actually handed to the SAT core *)
+let sat_config o = Solver.Strategy.sat_config o.strategy
 
 let with_mode mode o = { o with schedule = { o.schedule with Schedule.mode } }
 
@@ -144,12 +151,23 @@ let with_check_independence check_independence o = { o with check_independence }
 let with_incremental incremental o = { o with incremental }
 let with_cache cache o = { o with cache }
 
+let with_strategy strategy o = { o with strategy }
+
+(* deprecated shims: the raw Sat.config plumbing predates Strategy — the
+   CLI's --no-sat-* flags and the wire "sat" object still arrive here *)
 let with_sat_config sat o =
   if sat.Sat.inprocess_interval < 1 then
     invalid_arg "Engine.with_sat_config: inprocess_interval < 1";
-  { o with sat }
+  { o with strategy = Solver.Strategy.of_config sat }
 
-let with_sat_profile profile o = { o with sat = Sat.config_of_profile profile }
+let with_sat_profile profile o =
+  { o with strategy = Solver.Strategy.of_profile profile }
+
+let with_race race o = { o with race }
+let with_portfolio n o = { o with race = Portfolio.with_racers n o.race }
+
+let with_cube_vars k o =
+  { o with race = Portfolio.with_cube_vars k o.race }
 
 let policy_of_options (o : options) =
   Resilience.make ~retries:o.recovery.Recovery.retries
@@ -175,6 +193,12 @@ type stats = {
   mutable sat_vivified : int;
   mutable sat_eliminated : int;
   mutable sat_rephases : int;
+  mutable races : int;
+  mutable race_unsat : int;
+  mutable race_shared_out : int;
+  mutable race_shared_in : int;
+  mutable cubes : int;
+  mutable cubes_unsat : int;
   mutable wall_seconds : float;
 }
 
@@ -266,6 +290,12 @@ let fresh_stats () =
     sat_vivified = 0;
     sat_eliminated = 0;
     sat_rephases = 0;
+    races = 0;
+    race_unsat = 0;
+    race_shared_out = 0;
+    race_shared_in = 0;
+    cubes = 0;
+    cubes_unsat = 0;
     wall_seconds = 0.0;
   }
 
@@ -288,7 +318,13 @@ let merge_stats into from =
   into.sat_strengthened <- into.sat_strengthened + from.sat_strengthened;
   into.sat_vivified <- into.sat_vivified + from.sat_vivified;
   into.sat_eliminated <- into.sat_eliminated + from.sat_eliminated;
-  into.sat_rephases <- into.sat_rephases + from.sat_rephases
+  into.sat_rephases <- into.sat_rephases + from.sat_rephases;
+  into.races <- into.races + from.races;
+  into.race_unsat <- into.race_unsat + from.race_unsat;
+  into.race_shared_out <- into.race_shared_out + from.race_shared_out;
+  into.race_shared_in <- into.race_shared_in + from.race_shared_in;
+  into.cubes <- into.cubes + from.cubes;
+  into.cubes_unsat <- into.cubes_unsat + from.cubes_unsat
 
 (* Rebuild an outcome around the scheduler's merged stats (worker Stop
    payloads carry only that worker's tally). *)
@@ -466,7 +502,7 @@ let resilient run ~check ~fresh ~validate =
 
 let solver_query run assertions =
   let q ~budget ?deadline () =
-    Solver.check ~config:run.opts.sat ~budget ?deadline assertions
+    Solver.check ~config:(sat_config run.opts) ~budget ?deadline assertions
   in
   resilient run ~check:q ~fresh:q ~validate:(fun () -> assertions)
 
@@ -482,8 +518,37 @@ let session_query ?assumptions ~shadow run sess assertions =
     ~check:(fun ~budget ?deadline () ->
       Solver.Session.check_with ?assumptions ~budget ?deadline sess [])
     ~fresh:(fun ~budget ?deadline () ->
-      Solver.check ~config:run.opts.sat ~budget ?deadline (shadow ()))
+      Solver.check ~config:(sat_config run.opts) ~budget ?deadline (shadow ()))
     ~validate:shadow
+
+(* Race (or cube) one hard query on the pool, charging the winner's work
+   to this run's budget and absorbing the tally delta into the run stats
+   (delta-based so a caller-shared long-lived tally still accounts
+   correctly).  Only the Unsat direction is consumed by callers:
+   [derive_sat:false] skips the canonical Sat re-derivation because the
+   engine falls through to its sequential path on Sat anyway, which is
+   what keeps portfolio bindings bit-identical to sequential ones. *)
+let race_check run tally terms =
+  let before = Portfolio.read_tally tally in
+  let outcome =
+    Portfolio.check ~options:run.opts.race ~tally ~cancel:run.cancel
+      ~budget:(budget_remaining run)
+      ?deadline:(query_deadline run) ~derive_sat:false
+      ~jobs:run.opts.schedule.Schedule.jobs ~strategy:run.opts.strategy terms
+  in
+  let after = Portfolio.read_tally tally in
+  let d f = f after - f before in
+  run.stats.races <- run.stats.races + d (fun s -> s.Portfolio.races);
+  run.stats.race_unsat <- run.stats.race_unsat + d (fun s -> s.Portfolio.race_unsat);
+  run.stats.race_shared_out <-
+    run.stats.race_shared_out + d (fun s -> s.Portfolio.shared_out);
+  run.stats.race_shared_in <-
+    run.stats.race_shared_in + d (fun s -> s.Portfolio.shared_in);
+  run.stats.cubes <- run.stats.cubes + d (fun s -> s.Portfolio.cubes);
+  run.stats.cubes_unsat <-
+    run.stats.cubes_unsat + d (fun s -> s.Portfolio.cubes_unsat);
+  account run (Solver.stats_of outcome);
+  outcome
 
 let is_hole_var run name =
   (* hole variables are <prefix>hole!<name> plus the per-instruction suffix *)
@@ -603,10 +668,25 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
     ?(retries = default_options.recovery.Recovery.retries)
     ?(escalation_factor = default_options.recovery.Recovery.escalation_factor)
     ?(validate_models = default_options.recovery.Recovery.validate_models)
-    ?(sat = default_options.sat) ?(cancel = fun () -> false)
-    (problem : problem) : (string * verdict) list =
+    ?sat ?strategy ?(race = Portfolio.default) ?race_tally
+    ?(cancel = fun () -> false) (problem : problem) :
+    (string * verdict) list =
   if Oyster.Ast.holes problem.design <> [] then
     fail "Engine.verify: design still has holes (synthesize first)";
+  (* [strategy] wins over the deprecated raw [sat] config *)
+  let strategy =
+    match (strategy, sat) with
+    | Some st, _ -> st
+    | None, Some c -> Solver.Strategy.of_config c
+    | None, None -> default_options.strategy
+  in
+  let sat = Solver.Strategy.sat_config strategy in
+  (* When racing, per-query parallelism replaces per-instruction
+     parallelism: the whole pool serves each query's racers (or cubes)
+     and the instructions run in sequence — enabling the portfolio is the
+     caller saying single queries, not task count, are the bottleneck. *)
+  let race_jobs = jobs in
+  let jobs = if Portfolio.enabled race then 1 else jobs in
   let policy = Resilience.make ~retries ~escalation_factor ~validate_models () in
   let trace =
     Oyster.Symbolic.eval ~prefix:(problem_prefix problem) problem.design
@@ -713,7 +793,25 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
          with 64-bit multiplier/divider cones is intractable without it. *)
       let pins = Refine.collect c.Ila.Conditions.pre in
       let refined = Refine.apply pins violation in
+      (* Portfolio hook: Unsat from the race settles the instruction as
+         Verified without climbing the resilience ladder; Sat/Unknown
+         falls through to the sequential path, which re-derives any
+         counterexample model deterministically. *)
+      let raced_outcome =
+        if Portfolio.enabled race then
+          match
+            Portfolio.check ~options:race ?tally:race_tally ~cancel ~budget
+              ?deadline ~derive_sat:false ~jobs:race_jobs ~strategy
+              [ refined ]
+          with
+          | Solver.Unsat _ as o -> Some o
+          | Solver.Sat _ | Solver.Unknown _ -> None
+        else None
+      in
       let refined_outcome =
+        match raced_outcome with
+        | Some o -> o
+        | None ->
         if incremental then begin
           let s = Solver.Arena.shared arena in
           let g = Solver.Session.assert_retractable s refined in
@@ -755,11 +853,50 @@ let verify ?(budget = max_int) ?deadline ?(jobs = 1) ?(incremental = true)
     fail "Engine.verify: worker task attempt %d crashed and exhausted %d retries"
       i retries
 
+(* The monolithic ∀-verify query in closed form: the disjunction, over
+   every instruction of the spec, of "this instruction's precondition and
+   assumptions hold yet its postcondition fails" on the completed
+   design's symbolic trace.  Unsat iff the design is correct.  This is
+   the query the monolithic schedule mode poses each CEGIS iteration —
+   the one the paper's headline table shows timing out — exported so
+   benches and tools can attack it directly (portfolio racing,
+   cube-and-conquer) without driving the full synthesis loop.
+
+   [refine] folds each disjunct's pinned instruction-word fields first
+   (see Refine), collapsing decode per disjunct the way [verify] does
+   per query.  Unrefined, the full decode tree survives into the blast:
+   that is the hard form, and also the one where cube-and-conquer's
+   occurrence-ranked splitting has decode bits to split on. *)
+let monolithic_violation ?(refine = true) (problem : problem) : Term.t =
+  if Oyster.Ast.holes problem.design <> [] then
+    fail "Engine.monolithic_violation: design still has holes (synthesize first)";
+  let trace =
+    Oyster.Symbolic.eval ~prefix:(problem_prefix problem) problem.design
+      ~cycles:problem.af.Ila.Absfun.cycles
+  in
+  let conds = Ila.Conditions.compile problem.spec problem.af trace in
+  if conds = [] then fail "Engine.monolithic_violation: specification has no instructions";
+  Term.disj
+    (List.map
+       (fun (c : Ila.Conditions.conditions) ->
+         let violation =
+           Term.band c.Ila.Conditions.pre
+             (Term.band c.Ila.Conditions.assumes
+                (Term.bnot c.Ila.Conditions.post))
+         in
+         if refine then
+           Refine.apply (Refine.collect c.Ila.Conditions.pre) violation
+         else violation)
+       conds)
+
 (* {1 The synthesis core} *)
 
 let synthesize ?(options = default_options) ?(cancel = fun () -> false)
-    (problem : problem) : outcome =
+    ?race_tally (problem : problem) : outcome =
   if options.schedule.Schedule.jobs < 1 then fail "Engine.synthesize: options.schedule.Schedule.jobs < 1";
+  let race_tally =
+    match race_tally with Some t -> t | None -> Portfolio.create_tally ()
+  in
   let stats = fresh_stats () in
   let started = now () in
   let trace =
@@ -1229,7 +1366,7 @@ let synthesize ?(options = default_options) ?(cancel = fun () -> false)
        let results =
          try
            Pool.map_arena ~jobs:options.schedule.Schedule.jobs
-             ~make:(fun () -> Solver.Arena.create ~config:options.sat ())
+             ~make:(fun () -> Solver.Arena.create ~config:(sat_config options) ())
              ~retries:options.recovery.Recovery.retries ~retried:task_retried task formulas
          with Fault.Injected_crash i ->
            fail
@@ -1264,7 +1401,7 @@ let synthesize ?(options = default_options) ?(cancel = fun () -> false)
        in
        (* one verify session per target plus one synth session, all on the
           calling domain (this path is serial) *)
-       let arena = Solver.Arena.create ~config:options.sat () in
+       let arena = Solver.Arena.create ~config:(sat_config options) () in
        let vsessions =
          List.map
            (fun v ->
@@ -1319,9 +1456,26 @@ let synthesize ?(options = default_options) ?(cancel = fun () -> false)
            ~args:[ ("instr", Obs.Str "joint") ]
            ~result:(fun r -> [ ("counterexample", Obs.Bool (r <> None)) ])
            (fun () ->
-             match sess with
-             | Some s -> session_verify run s v candidate
-             | None -> fresh_verify run v candidate)
+             (* Portfolio hook: race the candidate-substituted violation
+                across the pool first.  Unsat settles the query (this is
+                the monolithic ∀-check that times out sequentially — the
+                whole point of the race); Sat or Unknown falls through to
+                the sequential session path, whose counterexample models —
+                and hence the final bindings — are exactly the ones a
+                sequential run derives. *)
+             let raced_unsat =
+               Portfolio.enabled options.race
+               &&
+               let vt = Term.substitute (candidate_env run candidate) v in
+               match race_check run race_tally [ vt ] with
+               | Solver.Unsat _ -> true
+               | Solver.Sat _ | Solver.Unknown _ -> false
+             in
+             if raced_unsat then None
+             else
+               match sess with
+               | Some s -> session_verify run s v candidate
+               | None -> fresh_verify run v candidate)
        in
        let rec loop iter =
          if iter > options.budget.Budget.max_iterations then raise (Stop (Timeout run.stats));

@@ -95,18 +95,24 @@ type options = {
           warm-start state on partial hits; solved and timed-out loops
           populate the store.  Joint and monolithic strategies do not
           cache.  [None] (the default) disables caching. *)
-  sat : Sat.config;
-      (** SAT core pass configuration (see {!Sat.config}): LBD-tiered
-          clause retention, best-phase rephasing, and inprocessing, applied
-          to every solver the run creates.  Excluded from problem
-          fingerprints — it changes how fast a model is found, never which
-          models exist. *)
+  strategy : Solver.Strategy.t;
+      (** solver strategy (see {!Solver.Strategy}): the SAT pass gates
+          plus the restart-schedule/seed/phase diversification base,
+          applied to every solver the run creates.  Excluded from problem
+          fingerprints — it changes how fast a model is found, never
+          which models exist. *)
+  race : Portfolio.options;
+      (** portfolio racing / cube-and-conquer for the hard verification
+          queries (see {!Portfolio}); {!Portfolio.default} = sequential.
+          Racing accelerates only the Unsat direction, so bindings stay
+          bit-identical to sequential runs. *)
 }
 
 val default_options : options
 (** [Per_instruction], one job, unlimited conflicts, 256 rounds, no
     deadline, incremental sessions on, 2 retries with factor-4 escalation,
-    model validation off, no cache, {!Sat.default_config}. *)
+    model validation off, no cache, {!Solver.Strategy.default}, no
+    racing. *)
 
 (** {2 Setters}
 
@@ -131,11 +137,32 @@ val with_check_independence : bool -> options -> options
 val with_incremental : bool -> options -> options
 val with_cache : Owl_cache.t option -> options -> options
 
+val with_strategy : Solver.Strategy.t -> options -> options
+
+val sat_config : options -> Sat.config
+(** The SAT configuration the strategy resolves to —
+    [Solver.Strategy.sat_config options.strategy]. *)
+
+val with_race : Portfolio.options -> options -> options
+val with_portfolio : int -> options -> options
+(** [with_portfolio n] races [n] diversified strategies on each hard
+    verify query; shorthand for editing [race].  Rejects [n < 1]
+    (via {!Portfolio.with_racers}). *)
+
+val with_cube_vars : int -> options -> options
+(** [with_cube_vars k] splits each hard verify query into [2^k]
+    assumption cubes; rejects values outside [0..12]. *)
+
 val with_sat_config : Sat.config -> options -> options
-(** Rejects [inprocess_interval < 1] with [Invalid_argument]. *)
+(** Deprecated shim: adopts a raw {!Sat.config} as
+    [with_strategy (Solver.Strategy.of_config c)].  Rejects
+    [inprocess_interval < 1] with [Invalid_argument].  Prefer
+    {!with_strategy}. *)
 
 val with_sat_profile : Sat.profile -> options -> options
-(** Shorthand for [with_sat_config (Sat.config_of_profile p)]. *)
+(** Deprecated shim for
+    [with_strategy (Solver.Strategy.of_profile p)]; prefer
+    {!with_strategy}. *)
 
 type stats = {
   mutable iterations : int;
@@ -176,6 +203,13 @@ type stats = {
   mutable sat_eliminated : int;
       (** variables removed by bounded variable elimination *)
   mutable sat_rephases : int;  (** best-phase rephasing events *)
+  mutable races : int;  (** portfolio races run (see {!Portfolio}) *)
+  mutable race_unsat : int;  (** races settling a query Unsat *)
+  mutable race_shared_out : int;
+      (** glue clauses published between racers *)
+  mutable race_shared_in : int;  (** glue clauses imported by racers *)
+  mutable cubes : int;  (** cube-and-conquer cubes fanned out *)
+  mutable cubes_unsat : int;  (** cubes refuted *)
   mutable wall_seconds : float;
 }
 
@@ -235,7 +269,11 @@ val ground_reads : Solver.model -> Term.t -> Term.t
     function; exposed for the {!Minimize} pass and tests. *)
 
 val synthesize :
-  ?options:options -> ?cancel:(unit -> bool) -> problem -> outcome
+  ?options:options ->
+  ?cancel:(unit -> bool) ->
+  ?race_tally:Portfolio.tally ->
+  problem ->
+  outcome
 (** Runs CEGIS according to [options].  [cancel] (default
     [fun () -> false]) is a cooperative cancellation token — a daemon
     passes a closure over an [Atomic.t] it flips when the requesting
@@ -289,14 +327,24 @@ val verify :
   ?escalation_factor:int ->
   ?validate_models:bool ->
   ?sat:Sat.config ->
+  ?strategy:Solver.Strategy.t ->
+  ?race:Portfolio.options ->
+  ?race_tally:Portfolio.tally ->
   ?cancel:(unit -> bool) ->
   problem ->
   (string * verdict) list
 (** Raises {!Engine_error} if the design still has holes, and
     {!Cancelled} if [cancel] (polled at every resilience-ladder attempt)
-    reports true.  [sat] (default
-    {!Sat.default_config}) selects the SAT core's pass configuration for
-    every solver the verification creates.  [jobs]
+    reports true.  [strategy] (default {!Solver.Strategy.default})
+    selects the solver strategy for every solver the verification
+    creates; [sat] is the deprecated raw-config spelling of the same
+    thing and loses to [strategy] when both are given.  [race] (default
+    off) runs each instruction's refinement check through {!Portfolio}
+    first — an Unsat race verdict is [Verified] directly; Sat/Unknown
+    falls through to the sequential ladder below.  When racing, the
+    worker pool serves each query's racers or cubes and the instructions
+    run serially; [race_tally] (see {!Portfolio.read_tally}) accumulates
+    per-racer wins and sharing volumes across the call.  [jobs]
     (default 1) fans the per-instruction refinement checks out across
     worker domains; the verdict list keeps instruction order either way.
     With [incremental] (the default) each worker reuses one solver session
@@ -315,3 +363,15 @@ val verify :
     still outstanding, the final attempt runs on a fresh one-shot solver,
     and only an exhausted ladder is reported [Inconclusive].  Crashed
     worker tasks are retried up to [retries] times on a fresh arena. *)
+
+val monolithic_violation : ?refine:bool -> problem -> Term.t
+(** The monolithic ∀-verify query in closed form: the disjunction over
+    all instructions of "precondition and assumptions hold but the
+    postcondition fails" on the completed design's trace — Unsat iff the
+    design is correct.  This is the per-iteration verification query of
+    the monolithic schedule mode, exported so benches and tools can
+    attack the hard query directly (e.g. {!Portfolio.check}) without
+    driving the CEGIS loop.  [refine] (default [true]) folds each
+    disjunct's pinned instruction-word fields first, as {!verify} does;
+    [refine:false] keeps the whole decode tree — the intractable form.
+    Raises {!Engine_error} if the design still has holes. *)

@@ -190,8 +190,13 @@ let test_options_sat_skew () =
   (match Proto.request_of_frame old_frame with
   | Ok (Proto.Synth { options; _ }) ->
       check "absent sat block decodes to default" true
-        (options.Synth.Engine.sat
-        = Synth.Engine.default_options.Synth.Engine.sat)
+        (Synth.Engine.sat_config options
+        = Synth.Engine.sat_config Synth.Engine.default_options);
+      check "absent strategy block decodes to default" true
+        (Solver.Strategy.equal options.Synth.Engine.strategy
+           Solver.Strategy.default);
+      check "absent portfolio block decodes to sequential" true
+        (not (Synth.Portfolio.enabled options.Synth.Engine.race))
   | _ -> Alcotest.fail "old-peer frame without sat block rejected");
   (* a conservative profile's unlimited interval is max_int natively and
      null on the wire, like the conflict budget *)
@@ -205,7 +210,7 @@ let test_options_sat_skew () =
    with
   | Ok (Proto.Synth { options; _ }) ->
       check "unlimited inprocess_interval survives" true
-        (options.Synth.Engine.sat.Sat.inprocess_interval = max_int)
+        ((Synth.Engine.sat_config options).Sat.inprocess_interval = max_int)
   | _ -> Alcotest.fail "conservative profile did not roundtrip");
   (* malformed sat blocks are rejected through the builder, like jobs=0 *)
   let bad =
@@ -215,6 +220,74 @@ let test_options_sat_skew () =
     (match Proto.request_of_frame bad with
     | Error e -> e.Proto.code = "bad_request"
     | Ok _ -> false)
+
+(* Version-skew tolerance for the strategy/portfolio blocks, mirroring
+   the sat block above: a peer that predates them omits both, and the
+   request decodes to a sequential default-strategy run.  The protocol
+   version did not change when the blocks were added. *)
+let test_options_strategy_skew () =
+  (* a frame carrying a sat block but neither new block: the PR-7-era
+     client.  The gates must be honored and the rest defaulted. *)
+  let sat_only =
+    "{\"v\":1,\"t\":\"synth\",\"design\":\"d\",\"options\":{\"mode\":\"per_instruction\",\"jobs\":1,\"conflict_budget\":null,\"max_iterations\":1,\"retries\":0,\"escalation_factor\":1,\"validate_models\":false,\"check_independence\":false,\"incremental\":true,\"sat\":{\"lbd_retention\":false,\"rephase\":true,\"subsume\":true,\"vivify\":true,\"elim\":true,\"inprocess_interval\":5000}}}"
+  in
+  (match Proto.request_of_frame sat_only with
+  | Ok (Proto.Synth { options; _ }) ->
+      check "sat gates honored without strategy block" false
+        (Synth.Engine.sat_config options).Sat.lbd_retention;
+      check "diversification defaults without strategy block" true
+        ((Synth.Engine.sat_config options).Sat.branch_seed = 0);
+      check "sequential without portfolio block" true
+        (not (Synth.Portfolio.enabled options.Synth.Engine.race))
+  | _ -> Alcotest.fail "sat-only frame rejected");
+  (* full roundtrip of a diversified, racing request *)
+  let racy =
+    Synth.Engine.(
+      default_options
+      |> with_strategy
+           Solver.Strategy.(
+             of_profile Sat.Aggressive
+             |> with_restart (Sat.Geometric (150, 1.5))
+             |> with_seed 7 |> with_phase Sat.Phase_rand
+             |> with_share_out false)
+      |> with_portfolio 4 |> with_cube_vars 3)
+  in
+  (match
+     Proto.request_of_frame
+       (Proto.request_to_frame (Proto.Synth { design = "d"; options = racy }))
+   with
+  | Ok (Proto.Synth { options; _ }) ->
+      check "diversified strategy roundtrips" true
+        (Solver.Strategy.equal options.Synth.Engine.strategy
+           racy.Synth.Engine.strategy);
+      check "portfolio options roundtrip" true
+        (options.Synth.Engine.race = racy.Synth.Engine.race)
+  | _ -> Alcotest.fail "racing request did not roundtrip");
+  (* malformed blocks are rejected through the builders *)
+  let reject frame name =
+    check name true
+      (match Proto.request_of_frame frame with
+      | Error e -> e.Proto.code = "bad_request"
+      | Ok _ -> false)
+  in
+  let base =
+    "{\"v\":1,\"t\":\"synth\",\"design\":\"d\",\"options\":{\"mode\":\"per_instruction\",\"jobs\":1,\"conflict_budget\":null,\"max_iterations\":1,\"retries\":0,\"escalation_factor\":1,\"validate_models\":false,\"check_independence\":false,\"incremental\":true,"
+  in
+  reject
+    (base
+   ^ "\"strategy\":{\"profile\":\"default\",\"restart\":\"luby:0\",\"seed\":0,\"phase\":\"neg\",\"share_in\":true,\"share_out\":true}}}")
+    "restart luby:0 rejected";
+  reject
+    (base
+   ^ "\"strategy\":{\"profile\":\"default\",\"restart\":\"luby:100\",\"seed\":0,\"phase\":\"sideways\",\"share_in\":true,\"share_out\":true}}}")
+    "unknown phase rejected";
+  reject
+    (base ^ "\"portfolio\":{\"racers\":0,\"cube_vars\":0,\"share_interval\":2000,\"share_max_lbd\":4}}}")
+    "racers 0 rejected";
+  reject
+    (base
+   ^ "\"portfolio\":{\"racers\":1,\"cube_vars\":40,\"share_interval\":2000,\"share_max_lbd\":4}}}")
+    "cube_vars 40 rejected"
 
 (* Version-skew tolerance for the pong health report, mirroring the sat
    options block above: a protocol-1 server that predates the report
@@ -277,6 +350,12 @@ let sample_stats =
     sat_vivified = 11;
     sat_eliminated = 2;
     sat_rephases = 1;
+    races = 3;
+    race_unsat = 2;
+    race_shared_out = 40;
+    race_shared_in = 25;
+    cubes = 8;
+    cubes_unsat = 8;
     wall_seconds = 0.25;
   }
 
@@ -1099,6 +1178,8 @@ let () =
         [
           Alcotest.test_case "options roundtrip" `Quick test_options_roundtrip;
           Alcotest.test_case "sat options skew" `Quick test_options_sat_skew;
+          Alcotest.test_case "strategy/portfolio skew" `Quick
+            test_options_strategy_skew;
           Alcotest.test_case "pong health skew" `Quick test_pong_health_skew;
           Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
           Alcotest.test_case "reply roundtrip" `Quick test_reply_roundtrip;

@@ -299,6 +299,40 @@ let test_learnt_exchange () =
   Alcotest.(check int) "unknown vars skipped" 0
     (Solver.Session.import_learnt s3 exported)
 
+(* Regression for the importer's bounds check: clauses naming variables
+   the session never allocated, zero literals, the unnegatable [min_int],
+   and the empty clause must be dropped — and counted via
+   [import_dropped] — rather than corrupting the watch lists, and the
+   session must keep answering correctly afterwards. *)
+let test_import_bounds () =
+  let a = Term.var "ss_ib_a" 16 and b = Term.var "ss_ib_b" 16 in
+  let problem =
+    [ Term.eq (Term.mul a b) (Term.of_int ~width:16 3127);
+      Term.ult (Term.one 16) a; Term.ult (Term.one 16) b;
+      Term.ule a b ]
+  in
+  let s1 = Solver.Session.create () in
+  (match Solver.Session.check_with s1 problem with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "factoring query: expected sat");
+  let sound = Solver.Session.export_learnt s1 in
+  Alcotest.(check bool) "something to import" true (sound <> []);
+  let s2 = Solver.Session.create () in
+  List.iter (fun t -> ignore (Solver.Session.assert_retractable s2 t)) problem;
+  let nv = Solver.Session.num_vars s2 in
+  Alcotest.(check bool) "variables allocated" true (nv > 0);
+  Alcotest.(check int) "fresh session dropped nothing" 0
+    (Solver.Session.import_dropped s2);
+  let bad = [ [ nv + 1 ]; [ 1; -(nv + 5) ]; [ 0 ]; [ min_int ]; [] ] in
+  let n = Solver.Session.import_learnt s2 (sound @ bad) in
+  Alcotest.(check int) "in-range clauses imported" (List.length sound) n;
+  Alcotest.(check int) "hostile clauses counted as dropped"
+    (List.length bad)
+    (Solver.Session.import_dropped s2);
+  match Solver.Session.check_with s2 problem with
+  | Solver.Sat _ -> ()
+  | _ -> Alcotest.fail "expected sat after hostile import"
+
 let () =
   Alcotest.run "session"
     [ ("properties",
@@ -314,4 +348,5 @@ let () =
          Alcotest.test_case "stats deltas" `Quick test_stats_deltas;
          Alcotest.test_case "budget" `Quick test_budget;
          Alcotest.test_case "arenas" `Quick test_arena;
-         Alcotest.test_case "learnt exchange" `Quick test_learnt_exchange ]) ]
+         Alcotest.test_case "learnt exchange" `Quick test_learnt_exchange;
+         Alcotest.test_case "import bounds check" `Quick test_import_bounds ]) ]

@@ -1,0 +1,43 @@
+(* @portfolio-smoke: a 2-racer portfolio on the accumulator (FSM-style
+   shared holes, so the joint CEGIS path — the one the portfolio hooks
+   into — carries the verification) must solve, record its races and a
+   winner in the tally, and produce bindings identical to a sequential
+   run: the determinism contract, end to end. *)
+
+let solve ?options ?race_tally problem =
+  match Synth.Engine.synthesize ?options ?race_tally problem with
+  | Synth.Engine.Solved s -> s
+  | _ -> Alcotest.fail "synthesis did not solve"
+
+let test_smoke () =
+  let seq = solve (Designs.Accumulator.problem ()) in
+  let tally = Synth.Portfolio.create_tally () in
+  let options = Synth.Engine.(default_options |> with_portfolio 2) in
+  let raced = solve ~options ~race_tally:tally (Designs.Accumulator.problem ()) in
+  Alcotest.(check bool) "hole bindings identical" true
+    (seq.Synth.Engine.bindings = raced.Synth.Engine.bindings);
+  Alcotest.(check (list string)) "same instructions"
+    (List.map fst seq.Synth.Engine.per_instr)
+    (List.map fst raced.Synth.Engine.per_instr);
+  List.iter2
+    (fun (instr, hs) (_, hr) ->
+      List.iter2
+        (fun (h, v) (h', v') ->
+          Alcotest.(check string) (instr ^ " hole name") h h';
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %s identical" instr h)
+            true (Bitvec.equal v v'))
+        hs hr)
+    seq.Synth.Engine.per_instr raced.Synth.Engine.per_instr;
+  let s = Synth.Portfolio.read_tally tally in
+  Alcotest.(check bool) "races ran" true (s.Synth.Portfolio.races > 0);
+  Alcotest.(check bool) "winners recorded" true
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Synth.Portfolio.win_counts
+    > 0)
+
+let () =
+  Alcotest.run "portfolio-smoke"
+    [
+      ( "portfolio-smoke",
+        [ Alcotest.test_case "race = sequential" `Quick test_smoke ] );
+    ]

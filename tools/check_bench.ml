@@ -97,6 +97,46 @@ let check_section ~file s =
   if wall < 0.0 then fail "%s: section %s has negative wall" file name;
   name
 
+(* Portfolio summary rows (section "portfolio", no outcome) carry the
+   racing schema the EXPERIMENTS.md speedup tables consume: both speedup
+   fields present, win counts parse as "racer:wins" pairs whose wins sum
+   to races_won, no more races won than run, and no more cubes refuted
+   than fanned out. *)
+let check_portfolio_summary ~file ~what r =
+  let field k = num ~file ~what:(what ^ " " ^ k) (Json.member k r) in
+  List.iter
+    (fun k -> if field k < 0.0 then fail "%s: %s has negative %s" file what k)
+    [ "sequential_wall_seconds"; "portfolio_wall_seconds";
+      "cube_wall_seconds"; "portfolio_speedup"; "cube_speedup"; "races";
+      "races_won"; "shared_out"; "shared_in"; "shared_dropped"; "cubes";
+      "cubes_unsat" ];
+  let races = field "races" and races_won = field "races_won" in
+  if races_won > races then
+    fail "%s: %s has races_won > races" file what;
+  if field "cubes_unsat" > field "cubes" then
+    fail "%s: %s has cubes_unsat > cubes" file what;
+  let win_counts = str ~file ~what:(what ^ " win_counts") (Json.member "win_counts" r) in
+  let wins =
+    List.fold_left
+      (fun acc pair ->
+        match String.split_on_char ':' pair with
+        | [ racer; wins ] -> (
+            match (int_of_string_opt racer, int_of_string_opt wins) with
+            | Some racer, Some wins when racer >= 0 && wins >= 1 -> acc + wins
+            | _ -> fail "%s: %s has malformed win_counts entry %S" file what pair)
+        | _ -> fail "%s: %s has malformed win_counts entry %S" file what pair)
+      0
+      (List.filter (( <> ) "") (String.split_on_char ' ' win_counts))
+  in
+  if float_of_int wins <> races_won then
+    fail "%s: %s win_counts sum to %d but races_won is %g" file what wins
+      races_won;
+  ignore (str ~file ~what:(what ^ " bindings_identical")
+            (Json.member "bindings_identical" r));
+  match Json.member "accelerated" r with
+  | Some (Json.Bool _) -> ()
+  | _ -> fail "%s: %s accelerated is not a bool" file what
+
 let check_run ~file ~sections i r =
   let what = Printf.sprintf "run %d" i in
   let section = str ~file ~what:(what ^ " section") (Json.member "section" r) in
@@ -105,9 +145,12 @@ let check_run ~file ~sections i r =
   let label = str ~file ~what:(what ^ " label") (Json.member "label" r) in
   if label = "" then fail "%s: %s has an empty label" file what;
   (* summary rows (derived comparisons, no outcome) carry free-form
-     fields; measured rows carry outcome + wall *)
+     fields — except portfolio summaries, whose racing schema is pinned *)
   match Json.member "outcome" r with
-  | None -> None
+  | None ->
+      if section = "portfolio" then
+        check_portfolio_summary ~file ~what:(what ^ " (portfolio summary)") r;
+      None
   | Some (Json.String "solved") ->
       let wall =
         num ~file ~what:(what ^ " wall_seconds") (Json.member "wall_seconds" r)
